@@ -1,0 +1,105 @@
+// E10 — accuracy contracts: promise the error bound up front or decline.
+//
+// Claim (survey §accuracy contracts): an AQP system is usable only if the
+// user-facing guarantee is honored — every approximated answer must land
+// within the requested error, and queries the system cannot guarantee must
+// fall back to exact execution rather than return a bad answer.
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/approx_executor.h"
+#include "sql/binder.h"
+#include "workload/datagen.h"
+
+namespace aqp {
+namespace {
+
+void Run() {
+  bench::Banner("E10: a-priori error contracts (sweep 1% - 10%)",
+                "For every target, achieved error of approximated answers "
+                "should stay at or below the target (contracts honored); "
+                "tight targets should raise sampled fractions or force "
+                "fallbacks.");
+  workload::StarSchemaSpec spec;
+  spec.fact_rows = 400000;
+  spec.dim_sizes = {20};
+  spec.fk_skew = 0.3;
+  Catalog cat = workload::GenerateStarSchema(spec, 3).value();
+
+  const std::vector<std::string> kQueries = {
+      "SELECT SUM(measure_0) AS v FROM fact",
+      "SELECT AVG(measure_1) AS v FROM fact",
+      "SELECT COUNT(*) AS v FROM fact WHERE measure_1 > 110",
+      "SELECT SUM(measure_0) AS v FROM fact WHERE measure_1 > 90",
+  };
+  // Exact answers.
+  std::vector<double> truth;
+  for (const std::string& q : kQueries) {
+    Table r = sql::ExecuteSql(q, cat).value();
+    truth.push_back(r.column(0).NumericAt(0));
+  }
+
+  bench::TablePrinter out({"target err", "runs", "approximated", "fallbacks",
+                           "max achieved err", "mean achieved err",
+                           "mean sampled fraction", "contract held"});
+  const int kSeeds = 8;
+  for (double target : {0.01, 0.02, 0.05, 0.10}) {
+    int runs = 0;
+    int approx = 0;
+    int fallback = 0;
+    double max_err = 0.0;
+    double sum_err = 0.0;
+    double sum_rate = 0.0;
+    int violations = 0;
+    char clause[64];
+    std::snprintf(clause, sizeof(clause),
+                  " WITH ERROR %.4f CONFIDENCE 0.95", target);
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      core::AqpOptions opt;
+      opt.pilot_rate = 0.01;
+      opt.block_size = 128;
+      opt.min_table_rows = 1000;
+      opt.max_rate = 0.8;
+      opt.seed = 1000 + seed * 7;
+      core::ApproxExecutor exec(&cat, opt);
+      for (size_t q = 0; q < kQueries.size(); ++q) {
+        ++runs;
+        core::ApproxResult r = exec.Execute(kQueries[q] + clause).value();
+        if (!r.approximated) {
+          ++fallback;
+          continue;
+        }
+        ++approx;
+        double est = r.table.column(0).NumericAt(0);
+        double rel = std::fabs(est - truth[q]) / std::fabs(truth[q]);
+        max_err = std::max(max_err, rel);
+        sum_err += rel;
+        sum_rate += r.final_rate;
+        if (rel > target) ++violations;
+      }
+    }
+    out.AddRow({bench::FmtPct(target, 0), std::to_string(runs),
+                std::to_string(approx), std::to_string(fallback),
+                bench::FmtPct(max_err, 2),
+                bench::FmtPct(approx > 0 ? sum_err / approx : 0.0, 2),
+                bench::FmtPct(approx > 0 ? sum_rate / approx : 0.0, 1),
+                violations == 0
+                    ? "yes"
+                    : std::to_string(violations) + " violation(s)"});
+  }
+  out.Print();
+  std::printf(
+      "\nShape check: max achieved error <= target on approximated runs "
+      "(the 95%% confidence leaves room for rare excursions); sampled "
+      "fraction rises as the target tightens; fallbacks appear when "
+      "sampling cannot win.\n");
+}
+
+}  // namespace
+}  // namespace aqp
+
+int main() {
+  aqp::Run();
+  return 0;
+}

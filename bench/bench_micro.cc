@@ -1,0 +1,164 @@
+// Microbenchmarks (google-benchmark): per-element throughput of sketches,
+// samplers, expression evaluation, and core operators.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "engine/executor.h"
+#include "expr/eval.h"
+#include "sampling/bernoulli.h"
+#include "sampling/block.h"
+#include "sampling/reservoir.h"
+#include "sketch/bloom_filter.h"
+#include "sketch/count_min.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/kll.h"
+#include "sketch/misra_gries.h"
+#include "workload/datagen.h"
+
+namespace aqp {
+namespace {
+
+// --- Sketch updates --------------------------------------------------------
+
+void BM_HllAdd(benchmark::State& state) {
+  sketch::HyperLogLog hll = sketch::HyperLogLog::Create(14).value();
+  uint64_t k = 0;
+  for (auto _ : state) {
+    hll.Add(k++ * 0x9e3779b97f4a7c15ULL);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HllAdd);
+
+void BM_CountMinAdd(benchmark::State& state) {
+  sketch::CountMinSketch cms(4, 4096);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    cms.Add(k++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinAdd);
+
+void BM_BloomAdd(benchmark::State& state) {
+  sketch::BloomFilter bloom(1 << 20, 7);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    bloom.Add(k++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomAdd);
+
+void BM_KllAdd(benchmark::State& state) {
+  sketch::KllSketch kll(200, 1);
+  Pcg32 rng(3);
+  for (auto _ : state) {
+    kll.Add(rng.NextDouble());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KllAdd);
+
+void BM_MisraGriesAdd(benchmark::State& state) {
+  sketch::MisraGries mg(64);
+  Pcg32 rng(3);
+  ZipfGenerator zipf(100000, 1.1);
+  for (auto _ : state) {
+    mg.Add(zipf.Next(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MisraGriesAdd);
+
+// --- Samplers ---------------------------------------------------------------
+
+Table BenchTable(size_t rows) {
+  workload::ColumnSpec spec;
+  spec.name = "x";
+  spec.dist = workload::ColumnSpec::Dist::kExponential;
+  return workload::GenerateTable({spec}, rows, 3).value();
+}
+
+void BM_BernoulliSample(benchmark::State& state) {
+  Table t = BenchTable(1 << 20);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BernoulliRowSample(t, 0.01, seed++));
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_BernoulliSample);
+
+void BM_BlockSample(benchmark::State& state) {
+  Table t = BenchTable(1 << 20);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BlockSample(t, 0.01, 1024, seed++));
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_BlockSample);
+
+void BM_ReservoirSample(benchmark::State& state) {
+  Table t = BenchTable(1 << 20);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReservoirSample(t, 10000, seed++));
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_ReservoirSample);
+
+// --- Expression evaluation and operators -----------------------------------
+
+void BM_EvalPredicate(benchmark::State& state) {
+  Table t = BenchTable(1 << 20);
+  ExprPtr pred = And(Gt(Col("x"), Lit(0.5)), Lt(Col("x"), Lit(2.0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalPredicate(*pred, t));
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_EvalPredicate);
+
+void BM_HashGroupBy(benchmark::State& state) {
+  workload::ColumnSpec group;
+  group.name = "g";
+  group.dist = workload::ColumnSpec::Dist::kZipfInt;
+  group.cardinality = 1000;
+  group.zipf_s = 0.8;
+  workload::ColumnSpec measure;
+  measure.name = "x";
+  measure.dist = workload::ColumnSpec::Dist::kExponential;
+  Table t = workload::GenerateTable({group, measure}, 1 << 19, 5).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GroupByAggregate(
+        t, {Col("g")}, {"g"}, {{AggKind::kSum, Col("x"), "s"}}));
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_HashGroupBy);
+
+void BM_HashJoin(benchmark::State& state) {
+  Catalog cat;
+  {
+    workload::StarSchemaSpec spec;
+    spec.fact_rows = 1 << 18;
+    spec.dim_sizes = {1000};
+    cat = workload::GenerateStarSchema(spec, 3).value();
+  }
+  PlanPtr plan = PlanNode::Join(PlanNode::Scan("fact"), PlanNode::Scan("dim_0"),
+                                JoinType::kInner, {"fk_0"}, {"pk"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Execute(plan, cat));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 18));
+}
+BENCHMARK(BM_HashJoin);
+
+}  // namespace
+}  // namespace aqp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+#ifndef AQP_BENCH_BENCH_UTIL_H_
+#define AQP_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace aqp {
+namespace bench {
+
+/// Wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  double Millis() const { return Seconds() * 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Minimal fixed-width table printer for experiment output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    AQP_CHECK(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& row : rows_) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int decimals = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string FmtPct(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, v * 100.0);
+  return buf;
+}
+
+inline std::string FmtSci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return buf;
+}
+
+inline void Banner(const std::string& title, const std::string& claim) {
+  std::printf("\n=== %s ===\n%s\n\n", title.c_str(), claim.c_str());
+}
+
+}  // namespace bench
+}  // namespace aqp
+
+#endif  // AQP_BENCH_BENCH_UTIL_H_

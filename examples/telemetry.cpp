@@ -1,0 +1,86 @@
+// Telemetry scenario: a monitoring pipeline streams events and must answer —
+// without storing the stream — how many distinct users were seen, what the
+// latency quantiles are, which endpoints are the heaviest hitters, and
+// whether a given user id has appeared at all. These are exactly the
+// non-linear aggregates sampling cannot guarantee; sketches can.
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "sketch/bloom_filter.h"
+#include "sketch/count_min.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/kll.h"
+#include "sketch/misra_gries.h"
+
+int main() {
+  using namespace aqp;
+
+  const size_t kEvents = 3000000;
+  Pcg32 rng(2024);
+  ZipfGenerator endpoint_popularity(5000, 1.1);
+
+  sketch::HyperLogLog distinct_users = sketch::HyperLogLog::Create(14).value();
+  sketch::KllSketch latency_quantiles(256, 7);
+  sketch::MisraGries heavy_endpoints(32);
+  sketch::CountMinSketch endpoint_counts =
+      sketch::CountMinSketch::Create(1e-4, 0.01).value();
+  sketch::BloomFilter seen_users = sketch::BloomFilter::Create(
+                                       400000, 0.001)
+                                       .value();
+
+  // Ground truth kept only to demonstrate accuracy in this demo.
+  std::unordered_set<uint64_t> true_users;
+
+  for (size_t i = 0; i < kEvents; ++i) {
+    uint64_t user = rng.NextUint64() % 300000;
+    uint64_t endpoint = endpoint_popularity.Next(rng);
+    double latency_ms = rng.Exponential(0.05);  // Mean 20ms, long tail.
+
+    distinct_users.Add(user);
+    seen_users.Add(user);
+    latency_quantiles.Add(latency_ms);
+    heavy_endpoints.Add(endpoint);
+    endpoint_counts.AddConservative(endpoint);
+    true_users.insert(user);
+  }
+
+  std::printf("Processed %zu events with ~%zu KB of sketch state.\n\n",
+              kEvents,
+              (distinct_users.SizeBytes() + endpoint_counts.SizeBytes() +
+               seen_users.SizeBytes() + latency_quantiles.StoredItems() * 8) /
+                  1024);
+
+  std::printf("Distinct users:   estimated %.0f, true %zu (err %.2f%%)\n",
+              distinct_users.Estimate(), true_users.size(),
+              100.0 *
+                  std::abs(distinct_users.Estimate() -
+                           static_cast<double>(true_users.size())) /
+                  static_cast<double>(true_users.size()));
+
+  std::printf("Latency p50/p95/p99: %.1fms / %.1fms / %.1fms (n=%llu)\n",
+              latency_quantiles.Quantile(0.5).value(),
+              latency_quantiles.Quantile(0.95).value(),
+              latency_quantiles.Quantile(0.99).value(),
+              static_cast<unsigned long long>(latency_quantiles.count()));
+
+  std::printf("\nTop endpoints (Misra-Gries, refined by Count-Min):\n");
+  auto hitters = heavy_endpoints.HeavyHitters(kEvents / 100);
+  for (size_t i = 0; i < hitters.size() && i < 5; ++i) {
+    std::printf("  /endpoint/%llu  ~%llu calls (count-min: %llu)\n",
+                static_cast<unsigned long long>(hitters[i].first),
+                static_cast<unsigned long long>(hitters[i].second),
+                static_cast<unsigned long long>(
+                    endpoint_counts.Estimate(hitters[i].first)));
+  }
+
+  std::printf("\nMembership probes (Bloom filter, 0.1%% target FPR):\n");
+  std::printf("  user 123 seen?    %s (truth: %s)\n",
+              seen_users.MayContain(123) ? "maybe" : "no",
+              true_users.count(123) ? "yes" : "no");
+  std::printf("  user 999999 seen? %s (truth: %s)\n",
+              seen_users.MayContain(999999) ? "maybe" : "no",
+              true_users.count(999999) ? "yes" : "no");
+  return 0;
+}

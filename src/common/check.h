@@ -1,0 +1,68 @@
+#ifndef AQP_COMMON_CHECK_H_
+#define AQP_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace aqp {
+namespace internal {
+
+/// Stream sink that aborts the process when destroyed; backs AQP_CHECK.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  /// Lvalue self-reference so the macro works with and without streaming.
+  CheckFailure& Ref() { return *this; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Converts the streamed CheckFailure chain to void so AQP_CHECK can appear
+/// in a ternary expression. operator& binds looser than operator<<.
+struct Voidify {
+  void operator&(CheckFailure&) {}
+};
+
+/// Swallows streamed operands when the check is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace aqp
+
+/// Aborts with a message when `cond` is false. Always on (guards invariants
+/// whose violation would be a programming error, not user error). Supports
+/// streaming extra context: AQP_CHECK(n > 0) << "n=" << n;
+#define AQP_CHECK(cond)            \
+  (cond) ? (void)0                 \
+         : ::aqp::internal::Voidify() &  \
+               ::aqp::internal::CheckFailure(__FILE__, __LINE__, #cond).Ref()
+
+#ifndef NDEBUG
+#define AQP_DCHECK(cond) AQP_CHECK(cond)
+#else
+#define AQP_DCHECK(cond) \
+  while (false) ::aqp::internal::NullStream()
+#endif
+
+#endif  // AQP_COMMON_CHECK_H_

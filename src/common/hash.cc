@@ -1,0 +1,33 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace aqp {
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed ^ (len * 0x9e3779b97f4a7c15ULL);
+  while (len >= 8) {
+    uint64_t k;
+    std::memcpy(&k, p, 8);
+    h = Mix64(h ^ Mix64(k));
+    p += 8;
+    len -= 8;
+  }
+  uint64_t tail = 0;
+  // Little-endian accumulate of the trailing bytes.
+  for (size_t i = 0; i < len; ++i) {
+    tail |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  if (len > 0) h = Mix64(h ^ Mix64(tail + len));
+  return Mix64(h);
+}
+
+uint64_t HashDouble(double v, uint64_t seed) {
+  if (v == 0.0) v = 0.0;  // Canonicalize -0.0.
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  return Mix64(bits + 0x9e3779b97f4a7c15ULL * (seed + 1));
+}
+
+}  // namespace aqp

@@ -1,0 +1,44 @@
+#ifndef AQP_COMMON_HASH_H_
+#define AQP_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace aqp {
+
+/// Finalizer from SplitMix64 / MurmurHash3: a fast, high-quality 64-bit mixer
+/// used to hash integer keys and to derive independent hash functions.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Hashes a byte string with a 64-bit seed (xxHash-flavoured mixing).
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0);
+
+/// Hashes a string view.
+inline uint64_t HashString(std::string_view s, uint64_t seed = 0) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+/// Hashes a 64-bit integer with a seed.
+inline uint64_t HashInt64(int64_t v, uint64_t seed = 0) {
+  return Mix64(static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL * (seed + 1));
+}
+
+/// Hashes a double by its bit pattern, canonicalizing -0.0 to +0.0.
+uint64_t HashDouble(double v, uint64_t seed = 0);
+
+/// Combines two hashes (boost::hash_combine flavoured, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace aqp
+
+#endif  // AQP_COMMON_HASH_H_

@@ -1,0 +1,126 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aqp {
+
+Pcg32::Pcg32(uint64_t seed, uint64_t stream) {
+  inc_ = (stream << 1u) | 1u;
+  state_ = 0u;
+  NextUint32();
+  state_ += seed;
+  NextUint32();
+}
+
+uint32_t Pcg32::NextUint32() {
+  uint64_t oldstate = state_;
+  state_ = oldstate * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted =
+      static_cast<uint32_t>(((oldstate >> 18u) ^ oldstate) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(oldstate >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Pcg32::NextUint64() {
+  return (static_cast<uint64_t>(NextUint32()) << 32) | NextUint32();
+}
+
+uint32_t Pcg32::UniformUint32(uint32_t bound) {
+  AQP_CHECK(bound > 0);
+  // Lemire's rejection method: unbiased without division in the common case.
+  uint32_t threshold = (-bound) % bound;
+  while (true) {
+    uint32_t r = NextUint32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+uint64_t Pcg32::UniformUint64(uint64_t bound) {
+  AQP_CHECK(bound > 0);
+  uint64_t threshold = (-bound) % bound;
+  while (true) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Pcg32::NextDouble() {
+  // 53 random bits scaled to [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Pcg32::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Pcg32::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box–Muller: two uniforms -> two independent standard normals.
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = NextDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+double Pcg32::Exponential(double rate) {
+  AQP_CHECK(rate > 0.0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+std::vector<uint32_t> Pcg32::Permutation(uint32_t n) {
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+  for (uint32_t i = n; i > 1; --i) {
+    uint32_t j = UniformUint32(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double s) : n_(n), s_(s) {
+  AQP_CHECK(n > 0);
+  AQP_CHECK(s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (uint64_t k = 0; k < n; ++k) cdf_[k] /= total;
+  cdf_[n - 1] = 1.0;  // Guard against floating-point shortfall.
+}
+
+uint64_t ZipfGenerator::Next(Pcg32& rng) const {
+  double u = rng.NextDouble();
+  // First rank whose cumulative probability exceeds u.
+  uint64_t lo = 0;
+  uint64_t hi = n_ - 1;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] > u) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace aqp

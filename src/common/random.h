@@ -1,0 +1,75 @@
+#ifndef AQP_COMMON_RANDOM_H_
+#define AQP_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace aqp {
+
+/// PCG32 pseudo-random generator (O'Neill, 2014): small state, excellent
+/// statistical quality, fully deterministic from a 64-bit seed. All randomized
+/// components in this library take a seed and use Pcg32 so experiments are
+/// reproducible run-to-run.
+class Pcg32 {
+ public:
+  /// Seeds the generator. Two generators with the same (seed, stream) produce
+  /// identical output; distinct streams are statistically independent.
+  explicit Pcg32(uint64_t seed, uint64_t stream = 0);
+
+  /// Uniform 32-bit value.
+  uint32_t NextUint32();
+
+  /// Uniform 64-bit value (two draws).
+  uint64_t NextUint64();
+
+  /// Unbiased uniform integer in [0, bound). bound must be > 0.
+  uint32_t UniformUint32(uint32_t bound);
+
+  /// Unbiased uniform integer in [0, bound). bound must be > 0.
+  uint64_t UniformUint64(uint64_t bound);
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal variate (Box–Muller, cached pair).
+  double Gaussian();
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  /// Fisher–Yates shuffles indices [0, n) and returns the permutation.
+  std::vector<uint32_t> Permutation(uint32_t n);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Draws from a Zipf(s) distribution over ranks {0, 1, ..., n-1}: rank k has
+/// probability proportional to 1/(k+1)^s. s = 0 degenerates to uniform.
+/// Uses a precomputed CDF with binary search; construction is O(n), each draw
+/// O(log n). Intended for workload/data generation, not for hot loops.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double s);
+
+  /// Draws one rank in [0, n).
+  uint64_t Next(Pcg32& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cumulative probabilities, size n.
+};
+
+}  // namespace aqp
+
+#endif  // AQP_COMMON_RANDOM_H_

@@ -1,0 +1,73 @@
+#ifndef AQP_COMMON_RESULT_H_
+#define AQP_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace aqp {
+
+/// Holds either a value of type T or an error Status — the exception-free
+/// return type for fallible functions (akin to absl::StatusOr / arrow::Result).
+///
+/// Usage:
+///   Result<Table> r = LoadCsv(path);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return my_table;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: `return Status::NotFound(...);`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    AQP_CHECK(!status_.ok()) << "Result constructed from OK status without value";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  const Status& status() const { return status_; }
+
+  /// Access the contained value. Aborts if `!ok()`.
+  const T& value() const& {
+    AQP_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    AQP_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    AQP_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+}  // namespace aqp
+
+#endif  // AQP_COMMON_RESULT_H_

@@ -1,0 +1,101 @@
+#ifndef AQP_COMMON_STATUS_H_
+#define AQP_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace aqp {
+
+/// Canonical error codes, in the spirit of absl::StatusCode / rocksdb::Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Lightweight success-or-error value used across all public APIs instead of
+/// exceptions. An OK status carries no message; error statuses carry a
+/// diagnostic message describing what failed.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers mirroring the code enum.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace aqp
+
+/// Propagates an error status out of the enclosing function.
+#define AQP_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::aqp::Status _aqp_status = (expr);          \
+    if (!_aqp_status.ok()) return _aqp_status;   \
+  } while (0)
+
+#define AQP_CONCAT_IMPL_(a, b) a##b
+#define AQP_CONCAT_(a, b) AQP_CONCAT_IMPL_(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// assigns the value to `lhs`. `lhs` may be a declaration.
+#define AQP_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  auto AQP_CONCAT_(_aqp_result_, __LINE__) = (rexpr);               \
+  if (!AQP_CONCAT_(_aqp_result_, __LINE__).ok())                    \
+    return AQP_CONCAT_(_aqp_result_, __LINE__).status();            \
+  lhs = std::move(AQP_CONCAT_(_aqp_result_, __LINE__)).value()
+
+#endif  // AQP_COMMON_STATUS_H_

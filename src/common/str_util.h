@@ -1,0 +1,45 @@
+#ifndef AQP_COMMON_STR_UTIL_H_
+#define AQP_COMMON_STR_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aqp {
+
+/// Splits `s` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+/// ASCII-lowercases a copy of `s`.
+std::string ToLower(std::string_view s);
+
+/// ASCII-uppercases a copy of `s`.
+std::string ToUpper(std::string_view s);
+
+/// True iff `s` equals `other` ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view s, std::string_view other);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a signed 64-bit integer; the entire string must be consumed.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a double; the entire string must be consumed.
+Result<double> ParseDouble(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Formats a double compactly (up to 6 significant digits, no trailing zeros).
+std::string FormatDouble(double v);
+
+}  // namespace aqp
+
+#endif  // AQP_COMMON_STR_UTIL_H_

@@ -1,0 +1,337 @@
+#include "core/approx_executor.h"
+
+#include <chrono>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "core/contract.h"
+#include "core/estimate.h"
+#include "core/missing_groups.h"
+#include "core/result_assembly.h"
+#include "sampling/bernoulli.h"
+#include "sampling/block.h"
+#include "sql/parser.h"
+
+namespace aqp {
+namespace core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+sql::SqlExprPtr ColumnExpr(std::string name) {
+  auto e = std::make_shared<sql::SqlExpr>();
+  e->kind = sql::SqlExpr::Kind::kColumn;
+  e->column = std::move(name);
+  return e;
+}
+
+// The pre-aggregation twin of the user query: selects the group keys, the
+// aggregate arguments, and the sample-design columns, keeping FROM / JOIN /
+// WHERE, dropping aggregation and everything after it.
+sql::SelectStmt FlattenStatement(const sql::SelectStmt& stmt,
+                                 const sql::BoundQuery& bound) {
+  sql::SelectStmt flat;
+  for (size_t g = 0; g < stmt.group_by.size(); ++g) {
+    flat.items.push_back({stmt.group_by[g], "__g" + std::to_string(g)});
+  }
+  for (size_t a = 0; a < bound.aggregates.size(); ++a) {
+    const sql::BoundAggregate& agg = bound.aggregates[a];
+    if (agg.kind == AggKind::kCountStar) continue;
+    // Re-parse is unnecessary: the bound aggregate already carries the
+    // lowered engine expression, but the flattened statement needs SQL AST
+    // items; we reference the original AST via the display text is fragile,
+    // so instead we walk the original items to find the arg ASTs.
+    flat.items.push_back({nullptr, "__arg" + std::to_string(a)});
+  }
+  flat.from = stmt.from;
+  flat.from.sample = SampleSpec{};  // Sampling happens via table substitution.
+  flat.joins = stmt.joins;
+  for (sql::JoinClause& join : flat.joins) join.table.sample = SampleSpec{};
+  flat.where = stmt.where;
+  flat.items.push_back({ColumnExpr("__unit"), "__unit"});
+  flat.items.push_back({ColumnExpr("__weight"), "__weight"});
+  return flat;
+}
+
+// Finds the AST of each bound aggregate's argument by display text, walking
+// the select items and HAVING.
+void CollectAggAsts(const sql::SqlExprPtr& e,
+                    std::unordered_map<std::string, sql::SqlExprPtr>* out) {
+  if (e == nullptr) return;
+  if (e->kind == sql::SqlExpr::Kind::kAggCall) {
+    out->emplace(e->ToString(), e);
+    return;
+  }
+  for (const sql::SqlExprPtr& c : e->children) CollectAggAsts(c, out);
+}
+
+// Counts occurrences of each aggregate display inside one select item.
+void CountAggOccurrences(const sql::SqlExprPtr& e,
+                         std::unordered_map<std::string, int>* counts) {
+  if (e == nullptr) return;
+  if (e->kind == sql::SqlExpr::Kind::kAggCall) {
+    (*counts)[e->ToString()]++;
+    return;
+  }
+  for (const sql::SqlExprPtr& c : e->children) CountAggOccurrences(c, counts);
+}
+
+// Copies the sample's table and appends the design columns __unit / __weight.
+Result<Table> WithDesignColumns(const Sample& sample) {
+  Schema schema = sample.table.schema();
+  schema.AddField({"__unit", DataType::kInt64});
+  schema.AddField({"__weight", DataType::kDouble});
+  std::vector<Column> cols;
+  cols.reserve(schema.num_fields());
+  for (size_t c = 0; c < sample.table.num_columns(); ++c) {
+    cols.push_back(sample.table.column(c));
+  }
+  Column unit(DataType::kInt64);
+  Column weight(DataType::kDouble);
+  unit.Reserve(sample.num_rows());
+  weight.Reserve(sample.num_rows());
+  for (size_t i = 0; i < sample.num_rows(); ++i) {
+    unit.AppendInt64(static_cast<int64_t>(sample.unit_ids[i]));
+    weight.AppendDouble(sample.weights[i]);
+  }
+  cols.push_back(std::move(unit));
+  cols.push_back(std::move(weight));
+  return Table::Make(std::move(schema), std::move(cols));
+}
+
+// Rebuilds a design-carrying Sample from the flattened-query output (which
+// has __unit and __weight columns), inheriting the design metadata of the
+// base-table sample `design`.
+Result<Sample> ReconstituteSample(Table result, const Sample& design) {
+  Sample sample;
+  AQP_ASSIGN_OR_RETURN(size_t unit_col, result.ColumnIndex("__unit"));
+  AQP_ASSIGN_OR_RETURN(size_t weight_col, result.ColumnIndex("__weight"));
+  sample.unit_ids.reserve(result.num_rows());
+  sample.weights.reserve(result.num_rows());
+  for (size_t i = 0; i < result.num_rows(); ++i) {
+    sample.unit_ids.push_back(
+        static_cast<uint32_t>(result.column(unit_col).Int64At(i)));
+    sample.weights.push_back(result.column(weight_col).DoubleAt(i));
+  }
+  sample.num_units_sampled = design.num_units_sampled;
+  sample.unit_sizes = design.unit_sizes;
+  sample.num_units_population = design.num_units_population;
+  sample.nominal_rate = design.nominal_rate;
+  sample.population_rows = design.population_rows;
+  sample.table = std::move(result);
+  return sample;
+}
+
+}  // namespace
+
+ApproxExecutor::ApproxExecutor(const Catalog* catalog, AqpOptions options)
+    : catalog_(catalog), options_(options) {
+  AQP_CHECK(catalog != nullptr);
+}
+
+Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
+  ++invocation_;
+  AQP_ASSIGN_OR_RETURN(sql::SelectStmt stmt, sql::Parse(sql));
+  AQP_ASSIGN_OR_RETURN(sql::BoundQuery bound, sql::Bind(stmt, *catalog_));
+
+  ApproxResult result;
+  auto fallback = [&](std::string reason) -> Result<ApproxResult> {
+    result.approximated = false;
+    result.fallback_reason = std::move(reason);
+    AQP_ASSIGN_OR_RETURN(result.table, aqp::Execute(bound.plan, *catalog_,
+                                                    &result.exec_stats));
+    return result;
+  };
+
+  if (!stmt.error_spec.has_value()) {
+    return fallback("no error contract (WITH ERROR clause) given");
+  }
+  if (!bound.has_aggregates) {
+    return fallback("query has no aggregates to approximate");
+  }
+  std::vector<AggKind> kinds;
+  for (const sql::BoundAggregate& agg : bound.aggregates) {
+    kinds.push_back(agg.kind);
+  }
+  if (!ContractCoversAggregates(kinds)) {
+    return fallback(
+        "non-linear aggregate (MIN/MAX/COUNT DISTINCT/VAR/STDDEV) cannot "
+        "carry a sampling error contract");
+  }
+  if (stmt.having != nullptr) {
+    return fallback("HAVING is answered exactly");
+  }
+
+  // Pick the largest scanned table above the sampling threshold.
+  std::string target_table;
+  uint64_t target_rows = 0;
+  for (const sql::TableRef& ref : bound.tables) {
+    AQP_ASSIGN_OR_RETURN(uint64_t rows, catalog_->Cardinality(ref.table));
+    if (rows >= options_.min_table_rows && rows > target_rows) {
+      target_rows = rows;
+      target_table = ref.table;
+    }
+  }
+  if (target_table.empty()) {
+    return fallback("no table is large enough to benefit from sampling");
+  }
+  AQP_ASSIGN_OR_RETURN(std::shared_ptr<const Table> base,
+                       catalog_->Get(target_table));
+
+  // Flattened (pre-aggregation) statement; aggregate-argument items need
+  // their original ASTs.
+  sql::SelectStmt flat = FlattenStatement(stmt, bound);
+  {
+    std::unordered_map<std::string, sql::SqlExprPtr> agg_asts;
+    for (const sql::SelectItem& item : stmt.items) {
+      CollectAggAsts(item.expr, &agg_asts);
+    }
+    CollectAggAsts(stmt.having, &agg_asts);
+    size_t flat_idx = stmt.group_by.size();
+    for (size_t a = 0; a < bound.aggregates.size(); ++a) {
+      const sql::BoundAggregate& agg = bound.aggregates[a];
+      if (agg.kind == AggKind::kCountStar) continue;
+      auto it = agg_asts.find(agg.display);
+      if (it == agg_asts.end() || it->second->children.empty()) {
+        return Status::Internal("lost aggregate argument AST: " + agg.display);
+      }
+      flat.items[flat_idx].expr = it->second->children[0];
+      ++flat_idx;
+    }
+  }
+
+  // Estimation-side specs over the flattened output's column names.
+  std::vector<ExprPtr> group_exprs;
+  for (size_t g = 0; g < stmt.group_by.size(); ++g) {
+    group_exprs.push_back(Col("__g" + std::to_string(g)));
+  }
+  std::vector<AggSpec> agg_specs;
+  for (size_t a = 0; a < bound.aggregates.size(); ++a) {
+    const sql::BoundAggregate& agg = bound.aggregates[a];
+    ExprPtr arg = agg.kind == AggKind::kCountStar
+                      ? nullptr
+                      : Col("__arg" + std::to_string(a));
+    agg_specs.push_back({agg.kind, arg, agg.internal_alias});
+  }
+
+  // One stage = sample -> substitute -> run flattened query -> estimate.
+  auto run_stage =
+      [&](double rate,
+          uint64_t seed) -> Result<std::pair<GroupedEstimates, ExecStats>> {
+    Sample sample;
+    if (options_.method == SampleSpec::Method::kSystemBlock) {
+      AQP_ASSIGN_OR_RETURN(
+          sample, BlockSample(*base, rate, options_.block_size, seed));
+    } else {
+      AQP_ASSIGN_OR_RETURN(sample, BernoulliRowSample(*base, rate, seed));
+    }
+    AQP_ASSIGN_OR_RETURN(Table design_table, WithDesignColumns(sample));
+    Catalog staged = *catalog_;
+    staged.RegisterOrReplace(target_table,
+                             std::make_shared<Table>(std::move(design_table)));
+    AQP_ASSIGN_OR_RETURN(sql::BoundQuery flat_bound, sql::Bind(flat, staged));
+    ExecStats stats;
+    AQP_ASSIGN_OR_RETURN(Table flat_out,
+                         aqp::Execute(flat_bound.plan, staged, &stats));
+    AQP_ASSIGN_OR_RETURN(Sample joined,
+                         ReconstituteSample(std::move(flat_out), sample));
+    AQP_ASSIGN_OR_RETURN(GroupedEstimates estimates,
+                         EstimateGroupedAggregates(joined, group_exprs,
+                                                   agg_specs));
+    return std::make_pair(std::move(estimates), stats);
+  };
+
+  // ---- Stage 1: pilot --------------------------------------------------
+  Clock::time_point t0 = Clock::now();
+  const uint64_t population_units =
+      options_.method == SampleSpec::Method::kSystemBlock
+          ? base->NumBlocks(options_.block_size)
+          : base->num_rows();
+  double pilot_rate = options_.pilot_rate;
+  // The pilot itself must see enough units for its variance estimates to
+  // mean anything.
+  if (population_units > 0) {
+    pilot_rate = std::max(
+        pilot_rate, std::min(0.5, static_cast<double>(options_.min_units) /
+                                      static_cast<double>(population_units)));
+  }
+  if (!stmt.group_by.empty()) {
+    pilot_rate = std::max(
+        pilot_rate,
+        BlockRateForGroupCoverage(options_.min_group_rows,
+                                  options_.method ==
+                                          SampleSpec::Method::kSystemBlock
+                                      ? options_.block_size
+                                      : 1,
+                                  /*delta=*/0.05));
+    pilot_rate = std::min(pilot_rate, 0.5);
+  }
+  AQP_ASSIGN_OR_RETURN(auto pilot,
+                       run_stage(pilot_rate, options_.seed + invocation_ * 2));
+  result.exec_stats = pilot.second;
+  result.pilot_seconds = Seconds(t0);
+
+  // ---- Stage 2: plan -----------------------------------------------------
+  Clock::time_point t1 = Clock::now();
+  size_t pilot_groups = std::max<size_t>(pilot.first.num_groups, 1);
+  size_t num_estimates = pilot_groups * bound.aggregates.size();
+  // Composite items split the error budget across their factors.
+  int max_factors = 1;
+  for (const sql::SelectItem& item : stmt.items) {
+    std::unordered_map<std::string, int> counts;
+    CountAggOccurrences(item.expr, &counts);
+    int factors = 0;
+    for (const auto& [display, c] : counts) factors += c;
+    max_factors = std::max(max_factors, factors);
+  }
+  sql::ErrorSpec spec = *stmt.error_spec;
+  PerEstimateTarget target = AllocateContract(spec, num_estimates);
+  target.relative_error =
+      AllocateCompositeError(target.relative_error, max_factors);
+
+  PlanningInputs inputs;
+  inputs.pilot = &pilot.first;
+  inputs.pilot_rate = pilot_rate;
+  inputs.target = target;
+  inputs.max_rate = options_.max_rate;
+  inputs.safety_factor = options_.safety_factor;
+  inputs.min_units = options_.min_units;
+  inputs.population_units = population_units;
+  SamplingPlan plan = PlanSamplingRate(inputs);
+  result.planning_seconds = Seconds(t1);
+  if (!plan.feasible) {
+    return fallback("sampling plan infeasible: " + plan.reason);
+  }
+
+  // ---- Stage 3: final ----------------------------------------------------
+  Clock::time_point t2 = Clock::now();
+  AQP_ASSIGN_OR_RETURN(
+      auto final_stage,
+      run_stage(plan.rate, options_.seed + invocation_ * 2 + 1));
+  const GroupedEstimates& estimates = final_stage.first;
+  result.exec_stats.rows_scanned += final_stage.second.rows_scanned;
+  result.exec_stats.blocks_read += final_stage.second.blocks_read;
+  result.exec_stats.rows_joined += final_stage.second.rows_joined;
+
+  // Materialize the estimates into the exact query's output shape with
+  // per-cell confidence intervals.
+  AQP_ASSIGN_OR_RETURN(AssembledResult assembled,
+                       AssembleOutput(stmt, bound, estimates, *catalog_,
+                                      target.confidence));
+  result.table = std::move(assembled.table);
+  result.cis = std::move(assembled.cis);
+
+  result.approximated = true;
+  result.final_rate = plan.rate;
+  result.sampled_table = target_table;
+  result.final_seconds = Seconds(t2);
+  return result;
+}
+
+}  // namespace core
+}  // namespace aqp

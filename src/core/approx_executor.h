@@ -1,0 +1,103 @@
+#ifndef AQP_CORE_APPROX_EXECUTOR_H_
+#define AQP_CORE_APPROX_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/sample_planner.h"
+#include "engine/catalog.h"
+#include "engine/executor.h"
+#include "sql/binder.h"
+#include "stats/confidence.h"
+
+namespace aqp {
+namespace core {
+
+/// Knobs of the approximate executor.
+struct AqpOptions {
+  /// Pilot-stage sampling rate (raised automatically for GROUP BY queries to
+  /// keep groups of at least `min_group_rows` covered w.p. 1 - 0.05).
+  double pilot_rate = 0.01;
+  uint64_t min_group_rows = 100;
+
+  /// Sampling method for both stages. Block sampling is the default: it is
+  /// what actually skips I/O; the executor's estimators stay valid because
+  /// they aggregate per block (unit).
+  SampleSpec::Method method = SampleSpec::Method::kSystemBlock;
+  uint32_t block_size = kDefaultBlockSize;
+
+  /// Plans above this rate fall back to exact execution (sampling overhead
+  /// no longer pays for itself).
+  double max_rate = 0.1;
+  /// Tables smaller than this are never sampled.
+  uint64_t min_table_rows = 5000;
+  /// Inflation on the planned rate to absorb pilot noise.
+  double safety_factor = 2.0;
+  /// Both stages must be expected to draw at least this many sampling units
+  /// (blocks for block sampling, rows for row sampling).
+  uint64_t min_units = 30;
+
+  uint64_t seed = 42;
+};
+
+/// Result of an approximate execution. `table` always has the exact query's
+/// output shape; when `approximated` is false it IS the exact answer and
+/// `fallback_reason` says why sampling was declined.
+struct ApproxResult {
+  Table table;
+  bool approximated = false;
+  std::string fallback_reason;
+
+  double final_rate = 1.0;
+  std::string sampled_table;
+
+  /// cis[row][item]: confidence interval of each output cell at the
+  /// contract's (allocated) confidence; zero-width for group-key items.
+  std::vector<std::vector<stats::ConfidenceInterval>> cis;
+
+  /// Latency decomposition (seconds).
+  double pilot_seconds = 0.0;
+  double planning_seconds = 0.0;
+  double final_seconds = 0.0;
+
+  ExecStats exec_stats;
+};
+
+/// Two-stage online approximate SQL executor with a-priori error contracts:
+///
+///   1. PILOT: block-sample the largest scanned table at a small rate,
+///      execute the query's pre-aggregation pipeline over the sample (the
+///      sampling-equivalence rules make this a valid sample of the
+///      aggregate's input), and estimate every aggregate with a unit-aware
+///      variance.
+///   2. PLAN: allocate the user's joint (error, confidence) contract across
+///      all estimates (Boole), invert the HT variance law for the smallest
+///      sufficient rate, and decline (exact fallback) when sampling cannot
+///      win.
+///   3. FINAL: resample at the planned rate, re-estimate, and assemble the
+///      original query's output shape with per-cell confidence intervals.
+///
+/// The executor never modifies the underlying engine: sampling happens via
+/// plain table substitution + ordinary query execution, the middleware
+/// posture the AQP-adoption literature argues for.
+class ApproxExecutor {
+ public:
+  /// `catalog` must outlive the executor.
+  ApproxExecutor(const Catalog* catalog, AqpOptions options);
+
+  /// Executes `sql`. Queries without a WITH ERROR clause, without
+  /// aggregates, with non-linear aggregates (MIN/MAX/COUNT DISTINCT/VAR),
+  /// with HAVING, or whose planned rate is infeasible run exactly.
+  Result<ApproxResult> Execute(std::string_view sql);
+
+ private:
+  const Catalog* catalog_;
+  AqpOptions options_;
+  uint64_t invocation_ = 0;  // Salts stage seeds across calls.
+};
+
+}  // namespace core
+}  // namespace aqp
+
+#endif  // AQP_CORE_APPROX_EXECUTOR_H_

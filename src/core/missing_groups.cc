@@ -1,0 +1,39 @@
+#include "core/missing_groups.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/bounds.h"
+
+namespace aqp {
+namespace core {
+
+double BlockGroupMissProbability(uint64_t group_size, uint32_t block_size,
+                                 double rate) {
+  AQP_CHECK(block_size > 0);
+  AQP_CHECK(rate >= 0.0 && rate <= 1.0);
+  if (group_size == 0) return 1.0;
+  uint64_t blocks = (group_size + block_size - 1) / block_size;
+  return std::pow(1.0 - rate, static_cast<double>(blocks));
+}
+
+double BlockRateForGroupCoverage(uint64_t group_size, uint32_t block_size,
+                                 double delta) {
+  AQP_CHECK(block_size > 0);
+  AQP_CHECK(group_size > 0);
+  uint64_t blocks = (group_size + block_size - 1) / block_size;
+  return stats::RateForGroupCoverage(blocks, delta);
+}
+
+double ExpectedMissedGroups(const std::vector<uint64_t>& group_sizes,
+                            double rate) {
+  double expected = 0.0;
+  for (uint64_t m : group_sizes) {
+    expected += stats::GroupMissProbability(m, rate);
+  }
+  return expected;
+}
+
+}  // namespace core
+}  // namespace aqp

@@ -1,0 +1,32 @@
+#ifndef AQP_CORE_MISSING_GROUPS_H_
+#define AQP_CORE_MISSING_GROUPS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace aqp {
+namespace core {
+
+/// Probability that BLOCK sampling at `rate` misses every block containing a
+/// group of `group_size` rows spread over blocks of `block_size` rows: the
+/// group occupies at least ceil(group_size / block_size) blocks, so the miss
+/// probability is at most (1 - rate)^ceil(m/b). A group clustered into few
+/// blocks is the worst case — exactly the statistical-efficiency tax of
+/// block sampling on clustered layouts.
+double BlockGroupMissProbability(uint64_t group_size, uint32_t block_size,
+                                 double rate);
+
+/// Minimum block sampling rate so any group with at least `group_size` rows
+/// survives into the sample with probability >= 1 - delta.
+double BlockRateForGroupCoverage(uint64_t group_size, uint32_t block_size,
+                                 double delta);
+
+/// Expected number of groups missed, given per-group sizes, under Bernoulli
+/// row sampling at `rate` (sum of per-group miss probabilities).
+double ExpectedMissedGroups(const std::vector<uint64_t>& group_sizes,
+                            double rate);
+
+}  // namespace core
+}  // namespace aqp
+
+#endif  // AQP_CORE_MISSING_GROUPS_H_

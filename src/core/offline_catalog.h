@@ -1,0 +1,95 @@
+#ifndef AQP_CORE_OFFLINE_CATALOG_H_
+#define AQP_CORE_OFFLINE_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/catalog.h"
+#include "sampling/sample.h"
+#include "workload/querygen.h"
+
+namespace aqp {
+namespace core {
+
+/// One pre-computed sample and the bookkeeping needed to answer "is it still
+/// valid?" — the offline-AQP artifact whose maintenance cost is the P2
+/// problem the paper dwells on.
+struct StoredSample {
+  std::string base_table;
+  std::string strata_column;  // Empty = uniform sample.
+  uint64_t budget = 0;
+  uint64_t base_rows_at_build = 0;  // Table cardinality when (re)built.
+  Sample sample;
+};
+
+/// Catalog of pre-computed (offline) samples with explicit maintenance
+/// accounting. Every build or refresh records how many base rows had to be
+/// scanned; experiments read the counters to price maintenance against the
+/// query-time savings.
+class SampleCatalog {
+ public:
+  enum class MaintenancePolicy {
+    kRebuild,      // Re-scan the full table on every append batch.
+    kIncremental,  // Stream appended rows through the reservoir (uniform
+                   // samples only; stratified samples still rebuild).
+  };
+
+  explicit SampleCatalog(MaintenancePolicy policy = MaintenancePolicy::kRebuild)
+      : policy_(policy) {}
+
+  /// Builds a uniform reservoir sample of `budget` rows of `table`.
+  Status BuildUniform(const Catalog& catalog, const std::string& table,
+                      uint64_t budget, uint64_t seed);
+
+  /// Builds a stratified sample on `strata_column` (equal allocation, the
+  /// BlinkDB-style rare-group hedge).
+  Status BuildStratified(const Catalog& catalog, const std::string& table,
+                         const std::string& strata_column, uint64_t budget,
+                         uint64_t seed);
+
+  /// The stored sample for (table, strata_column); with an empty
+  /// strata_column returns the uniform sample; NotFound when absent.
+  Result<const StoredSample*> Find(const std::string& table,
+                                   const std::string& strata_column = "") const;
+
+  /// Any sample for `table`, preferring one stratified on `preferred_column`
+  /// then uniform — the (simplified) BlinkDB sample-selection step.
+  Result<const StoredSample*> FindBest(
+      const std::string& table, const std::string& preferred_column) const;
+
+  /// Maintenance hook: `appended` rows were appended to `table` (the engine
+  /// catalog must already reflect the append). Refreshes all samples of the
+  /// table per the policy and charges the cost counters.
+  Status OnAppend(const Catalog& catalog, const std::string& table,
+                  const Table& appended, uint64_t seed);
+
+  /// Rows scanned for building + maintaining samples so far.
+  uint64_t maintenance_rows_scanned() const { return maintenance_rows_; }
+  /// Rows held across all stored samples (storage cost).
+  uint64_t storage_rows() const;
+  size_t num_samples() const { return samples_.size(); }
+
+  /// Workload-aware stratification choice: the most frequent GROUP BY column
+  /// in the workload (empty if the workload never groups) — the "aggressive
+  /// use of workload knowledge" axis of the paper's taxonomy.
+  static std::string ChooseStratificationColumn(
+      const std::vector<workload::QuerySpec>& workload);
+
+ private:
+  std::string Key(const std::string& table,
+                  const std::string& strata_column) const {
+    return table + "\x1f" + strata_column;
+  }
+
+  MaintenancePolicy policy_;
+  std::map<std::string, StoredSample> samples_;
+  uint64_t maintenance_rows_ = 0;
+  uint64_t next_stream_ = 0;  // Distinct RNG streams per refresh.
+};
+
+}  // namespace core
+}  // namespace aqp
+
+#endif  // AQP_CORE_OFFLINE_CATALOG_H_

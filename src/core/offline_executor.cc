@@ -1,0 +1,124 @@
+#include "core/offline_executor.h"
+
+#include "common/check.h"
+#include "core/contract.h"
+#include "core/result_assembly.h"
+#include "expr/eval.h"
+#include "sql/parser.h"
+
+namespace aqp {
+namespace core {
+namespace {
+
+// Base column name: the part after the last '.'.
+std::string BaseName(const std::string& name) {
+  size_t pos = name.rfind('.');
+  return pos == std::string::npos ? name : name.substr(pos + 1);
+}
+
+// Restricts a sample to the rows matching `predicate`, keeping the design
+// metadata intact (units that lose all rows simply stop contributing).
+Result<Sample> FilterSample(const Sample& sample, const ExprPtr& predicate) {
+  AQP_ASSIGN_OR_RETURN(std::vector<uint32_t> selected,
+                       EvalPredicate(*predicate, sample.table));
+  Sample out;
+  out.table = sample.table.Take(selected);
+  out.weights.reserve(selected.size());
+  out.unit_ids.reserve(selected.size());
+  for (uint32_t i : selected) {
+    out.weights.push_back(sample.weights[i]);
+    out.unit_ids.push_back(sample.unit_ids[i]);
+  }
+  out.unit_sizes = sample.unit_sizes;
+  out.num_units_sampled = sample.num_units_sampled;
+  out.num_units_population = sample.num_units_population;
+  out.nominal_rate = sample.nominal_rate;
+  out.population_rows = sample.population_rows;
+  return out;
+}
+
+}  // namespace
+
+OfflineExecutor::OfflineExecutor(const Catalog* catalog,
+                                 const SampleCatalog* samples)
+    : catalog_(catalog), samples_(samples) {
+  AQP_CHECK(catalog != nullptr);
+  AQP_CHECK(samples != nullptr);
+}
+
+Result<ApproxResult> OfflineExecutor::Execute(std::string_view sql,
+                                              double confidence) {
+  AQP_ASSIGN_OR_RETURN(sql::SelectStmt stmt, sql::Parse(sql));
+  AQP_ASSIGN_OR_RETURN(sql::BoundQuery bound, sql::Bind(stmt, *catalog_));
+  if (!bound.has_aggregates) {
+    return Status::Unimplemented("offline AQP answers aggregate queries only");
+  }
+  if (!stmt.joins.empty()) {
+    return Status::Unimplemented(
+        "offline AQP over joins needs a join synopsis; fall back");
+  }
+  if (stmt.having != nullptr) {
+    return Status::Unimplemented("HAVING unsupported offline; fall back");
+  }
+  std::vector<AggKind> kinds;
+  for (const sql::BoundAggregate& agg : bound.aggregates) {
+    kinds.push_back(agg.kind);
+  }
+  if (!ContractCoversAggregates(kinds)) {
+    return Status::Unimplemented(
+        "non-linear aggregates unsupported offline; fall back");
+  }
+
+  // Pick the best stored sample: prefer one stratified on the GROUP BY
+  // column (sample selection, the BlinkDB step).
+  std::string preferred;
+  if (stmt.group_by.size() == 1 &&
+      stmt.group_by[0]->kind == sql::SqlExpr::Kind::kColumn) {
+    preferred = BaseName(stmt.group_by[0]->column);
+  }
+  AQP_ASSIGN_OR_RETURN(const StoredSample* stored,
+                       samples_->FindBest(stmt.from.table, preferred));
+
+  // Qualify the stored sample's columns to the query's table alias so both
+  // qualified and bare references resolve.
+  Sample sample = stored->sample;
+  {
+    std::vector<std::string> names;
+    for (const Field& f : sample.table.schema().fields()) {
+      names.push_back(stmt.from.qualifier() + "." + BaseName(f.name));
+    }
+    AQP_RETURN_IF_ERROR(sample.table.RenameColumns(names));
+  }
+
+  if (stmt.where != nullptr) {
+    AQP_ASSIGN_OR_RETURN(ExprPtr predicate, sql::LowerSqlExpr(stmt.where));
+    AQP_ASSIGN_OR_RETURN(sample, FilterSample(sample, predicate));
+  }
+
+  std::vector<ExprPtr> group_exprs;
+  for (const sql::SqlExprPtr& g : stmt.group_by) {
+    AQP_ASSIGN_OR_RETURN(ExprPtr e, sql::LowerSqlExpr(g));
+    group_exprs.push_back(std::move(e));
+  }
+  std::vector<AggSpec> agg_specs;
+  for (const sql::BoundAggregate& agg : bound.aggregates) {
+    agg_specs.push_back({agg.kind, agg.arg, agg.internal_alias});
+  }
+  AQP_ASSIGN_OR_RETURN(GroupedEstimates estimates,
+                       EstimateGroupedAggregates(sample, group_exprs,
+                                                 agg_specs));
+
+  AQP_ASSIGN_OR_RETURN(
+      AssembledResult assembled,
+      AssembleOutput(stmt, bound, estimates, *catalog_, confidence));
+  ApproxResult result;
+  result.table = std::move(assembled.table);
+  result.cis = std::move(assembled.cis);
+  result.approximated = true;
+  result.sampled_table = stmt.from.table;
+  result.final_rate = stored->sample.nominal_rate;
+  return result;
+}
+
+}  // namespace core
+}  // namespace aqp

@@ -1,0 +1,129 @@
+#include "core/online_aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "expr/eval.h"
+
+namespace aqp {
+namespace core {
+
+Result<OnlineAggregator> OnlineAggregator::Create(const Table& table,
+                                                  ExprPtr measure,
+                                                  ExprPtr predicate,
+                                                  uint64_t seed) {
+  if (measure == nullptr) {
+    return Status::InvalidArgument("OLA requires a measure expression");
+  }
+  OnlineAggregator ola;
+  ola.population_ = table.num_rows();
+  AQP_ASSIGN_OR_RETURN(Column values, Eval(*measure, table));
+  if (!IsNumeric(values.type())) {
+    return Status::InvalidArgument("OLA measure must be numeric");
+  }
+  ola.values_.resize(table.num_rows());
+  std::vector<uint8_t> nulls(table.num_rows(), 0);
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    if (values.IsNull(i)) {
+      nulls[i] = 1;
+      ola.values_[i] = 0.0;
+    } else {
+      ola.values_[i] = values.NumericAt(i);
+    }
+  }
+  ola.qualifies_.assign(table.num_rows(), 1);
+  if (predicate != nullptr) {
+    AQP_ASSIGN_OR_RETURN(std::vector<uint32_t> sel,
+                         EvalPredicate(*predicate, table));
+    std::fill(ola.qualifies_.begin(), ola.qualifies_.end(), 0);
+    for (uint32_t i : sel) ola.qualifies_[i] = 1;
+  }
+  // NULL measures never contribute to SUM/AVG; fold into the mask for the
+  // qualifying accumulator but keep COUNT semantics via a separate flag (a
+  // row can qualify with a NULL measure; it counts but adds 0).
+  for (size_t i = 0; i < nulls.size(); ++i) {
+    if (nulls[i]) ola.values_[i] = 0.0;
+  }
+  Pcg32 rng(seed);
+  ola.order_ = rng.Permutation(static_cast<uint32_t>(table.num_rows()));
+  return ola;
+}
+
+OlaProgress OnlineAggregator::Step(size_t chunk_rows, double confidence) {
+  size_t end = std::min(consumed_ + chunk_rows, order_.size());
+  for (; consumed_ < end; ++consumed_) {
+    uint32_t row = order_[consumed_];
+    double contribution = qualifies_[row] ? values_[row] : 0.0;
+    acc_.Add(contribution);
+    if (qualifies_[row]) ++qualifying_seen_;
+  }
+
+  OlaProgress progress;
+  progress.rows_seen = consumed_;
+  progress.fraction =
+      population_ == 0
+          ? 1.0
+          : static_cast<double>(consumed_) / static_cast<double>(population_);
+  progress.complete = consumed_ >= order_.size();
+
+  const uint64_t n = acc_.count();
+  const double big_n = static_cast<double>(population_);
+  // SUM: N * mean(contribution), CLT CI with finite-population correction.
+  stats::ConfidenceInterval mean_ci =
+      stats::MeanCi(acc_.mean(), acc_.sample_variance(), n, confidence,
+                    population_);
+  progress.sum_ci.estimate = mean_ci.estimate * big_n;
+  progress.sum_ci.low = mean_ci.low * big_n;
+  progress.sum_ci.high = mean_ci.high * big_n;
+  progress.sum_ci.confidence = confidence;
+
+  // COUNT of qualifying rows: N * proportion, normal-approx CI with FPC.
+  double q_hat =
+      n == 0 ? 0.0
+             : static_cast<double>(qualifying_seen_) / static_cast<double>(n);
+  double prop_var = q_hat * (1.0 - q_hat);
+  progress.count_ci =
+      stats::MeanCi(q_hat, prop_var, n, confidence, population_);
+  progress.count_ci.estimate *= big_n;
+  progress.count_ci.low = std::max(0.0, progress.count_ci.low * big_n);
+  progress.count_ci.high = progress.count_ci.high * big_n;
+
+  // AVG over qualifying rows: ratio of the two estimates; delta-method-free
+  // conservative interval from the SUM and COUNT bounds.
+  if (progress.count_ci.estimate > 0.0) {
+    progress.avg_ci.estimate =
+        progress.sum_ci.estimate / progress.count_ci.estimate;
+    double count_low = std::max(progress.count_ci.low, 1.0);
+    progress.avg_ci.low = progress.sum_ci.low / progress.count_ci.high;
+    progress.avg_ci.high = progress.sum_ci.high / count_low;
+    if (progress.avg_ci.low > progress.avg_ci.high) {
+      std::swap(progress.avg_ci.low, progress.avg_ci.high);
+    }
+    progress.avg_ci.confidence = confidence;
+  }
+  if (progress.complete) {
+    // Fully consumed: estimates are exact.
+    progress.sum_ci.low = progress.sum_ci.high = progress.sum_ci.estimate;
+    progress.count_ci.low = progress.count_ci.high =
+        progress.count_ci.estimate;
+    progress.avg_ci.low = progress.avg_ci.high = progress.avg_ci.estimate;
+  }
+  return progress;
+}
+
+OlaProgress OnlineAggregator::RunToTarget(double target_relative_error,
+                                          double confidence,
+                                          size_t chunk_rows) {
+  OlaProgress progress;
+  do {
+    progress = Step(chunk_rows, confidence);
+    if (progress.sum_ci.estimate != 0.0 &&
+        progress.sum_ci.relative_half_width() <= target_relative_error) {
+      return progress;
+    }
+  } while (!progress.complete);
+  return progress;
+}
+
+}  // namespace core
+}  // namespace aqp

@@ -1,0 +1,101 @@
+#include "core/rewriter.h"
+
+#include <functional>
+
+#include "common/check.h"
+
+namespace aqp {
+namespace core {
+namespace {
+
+// Rebuilds `plan` with each scan transformed by `fn(table_name, spec)`.
+PlanPtr MapScans(const PlanPtr& plan,
+                 const std::function<SampleSpec(const std::string&,
+                                                const SampleSpec&)>& fn) {
+  switch (plan->kind()) {
+    case PlanKind::kScan:
+      return PlanNode::Scan(plan->table_name(),
+                            fn(plan->table_name(), plan->sample()));
+    case PlanKind::kFilter:
+      return PlanNode::Filter(MapScans(plan->child(), fn), plan->predicate());
+    case PlanKind::kProject:
+      return PlanNode::Project(MapScans(plan->child(), fn), plan->exprs(),
+                               plan->names());
+    case PlanKind::kJoin:
+      return PlanNode::Join(MapScans(plan->child(0), fn),
+                            MapScans(plan->child(1), fn), plan->join_type(),
+                            plan->left_keys(), plan->right_keys());
+    case PlanKind::kAggregate:
+      return PlanNode::Aggregate(MapScans(plan->child(), fn),
+                                 plan->group_exprs(), plan->group_names(),
+                                 plan->aggs());
+    case PlanKind::kSort:
+      return PlanNode::Sort(MapScans(plan->child(), fn), plan->sort_keys());
+    case PlanKind::kLimit:
+      return PlanNode::Limit(MapScans(plan->child(), fn), plan->limit());
+    case PlanKind::kUnionAll: {
+      std::vector<PlanPtr> children;
+      for (size_t i = 0; i < plan->num_children(); ++i) {
+        children.push_back(MapScans(plan->child(i), fn));
+      }
+      return PlanNode::UnionAll(std::move(children));
+    }
+  }
+  AQP_CHECK(false) << "unreachable plan kind";
+  return nullptr;
+}
+
+void Walk(const PlanPtr& plan,
+          const std::function<void(const PlanNode&)>& visit) {
+  visit(*plan);
+  for (size_t i = 0; i < plan->num_children(); ++i) {
+    Walk(plan->child(i), visit);
+  }
+}
+
+}  // namespace
+
+Result<PlanPtr> InjectSample(const PlanPtr& plan,
+                             const std::string& table_name,
+                             const SampleSpec& spec) {
+  bool found = false;
+  PlanPtr out = MapScans(
+      plan, [&](const std::string& name, const SampleSpec& old) {
+        if (name == table_name) {
+          found = true;
+          return spec;
+        }
+        return old;
+      });
+  if (!found) {
+    return Status::NotFound("plan never scans table " + table_name);
+  }
+  return out;
+}
+
+PlanPtr StripSamples(const PlanPtr& plan) {
+  return MapScans(plan, [](const std::string&, const SampleSpec&) {
+    return SampleSpec{};
+  });
+}
+
+std::vector<std::string> ScannedTables(const PlanPtr& plan) {
+  std::vector<std::string> names;
+  Walk(plan, [&](const PlanNode& node) {
+    if (node.kind() == PlanKind::kScan) names.push_back(node.table_name());
+  });
+  return names;
+}
+
+double SampleScaleFactor(const PlanPtr& plan) {
+  double scale = 1.0;
+  Walk(plan, [&](const PlanNode& node) {
+    if (node.kind() == PlanKind::kScan && node.sample().is_sampled()) {
+      scale /= node.sample().rate;
+    }
+  });
+  return scale;
+}
+
+}  // namespace core
+}  // namespace aqp

@@ -1,0 +1,38 @@
+#ifndef AQP_CORE_REWRITER_H_
+#define AQP_CORE_REWRITER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "engine/plan.h"
+
+namespace aqp {
+namespace core {
+
+/// Plan rewrites for query-time (online) sampling, in the spirit of Quickr's
+/// sampler placement: samplers commute with selection and project, and may
+/// be pushed through the fact side of an FK join — which is why annotating
+/// the *scan* with the sample spec is statistically equivalent to sampling
+/// the aggregate's input, while being enormously cheaper.
+
+/// Returns a copy of `plan` with the scan of `table_name` annotated with
+/// `spec` (every occurrence). NotFound if the table is never scanned.
+Result<PlanPtr> InjectSample(const PlanPtr& plan, const std::string& table_name,
+                             const SampleSpec& spec);
+
+/// Returns a copy of `plan` with ALL sampling annotations removed — the
+/// exact-execution twin used for fallbacks and ground-truth comparisons.
+PlanPtr StripSamples(const PlanPtr& plan);
+
+/// Names of all tables scanned by the plan, in scan order.
+std::vector<std::string> ScannedTables(const PlanPtr& plan);
+
+/// The SUM/COUNT scale-up factor implied by sampling annotations in `plan`:
+/// the product of 1/rate over all sampled scans (each sampled table thins
+/// the aggregate input independently).
+double SampleScaleFactor(const PlanPtr& plan);
+
+}  // namespace core
+}  // namespace aqp
+
+#endif  // AQP_CORE_REWRITER_H_

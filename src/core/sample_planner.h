@@ -1,0 +1,61 @@
+#ifndef AQP_CORE_SAMPLE_PLANNER_H_
+#define AQP_CORE_SAMPLE_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/contract.h"
+#include "core/estimate.h"
+
+namespace aqp {
+namespace core {
+
+/// Inputs to rate planning: what the pilot saw, and the design parameters
+/// under which the final sample will be drawn.
+struct PlanningInputs {
+  /// Pilot estimates (per aggregate per group), computed unit-aware from a
+  /// pilot sample drawn at `pilot_rate`.
+  const GroupedEstimates* pilot = nullptr;
+  double pilot_rate = 0.0;
+  /// Per-estimate contract target after Boole allocation.
+  PerEstimateTarget target;
+  /// Planner caps: rates above max_rate are declared infeasible (sampling
+  /// overhead makes them slower than exact execution).
+  double max_rate = 0.1;
+  /// Multiplier on the required rate to absorb pilot-estimate noise.
+  double safety_factor = 2.0;
+  /// CLT hygiene: the final sample must be expected to contain at least
+  /// `min_units` sampling units (the literature's "n >= 30" rule); the rate
+  /// is floored at min_units / population_units when population_units > 0.
+  uint64_t min_units = 30;
+  uint64_t population_units = 0;
+};
+
+/// Outcome of rate planning.
+struct SamplingPlan {
+  bool feasible = false;
+  double rate = 1.0;        // Final sampling rate when feasible.
+  std::string reason;       // Why infeasible (diagnostic).
+  double worst_required_rate = 0.0;  // Before capping, for diagnostics.
+};
+
+/// Chooses the smallest Bernoulli unit-sampling rate that makes every
+/// (aggregate, group) estimate meet the per-estimate target, by inverting
+/// the HT variance law:
+///
+///   Var_r(T_hat) ~ ((1 - r) / r) * S2,  with S2 estimated from the pilot as
+///   S2_hat = (pilot_rate) * sum of w_u(w_u-1) y_u^2-style terms — i.e. the
+///   pilot's variance estimate rescaled from pilot_rate to rate r:
+///   Var_r = Var_pilot * ((1-r)/r) / ((1-p)/p).
+///
+/// Requiring z^2 * Var_r <= (eps * |T|)^2 and solving for r gives the
+/// per-estimate required rate; the plan takes the max over estimates, then
+/// applies the safety factor and the max_rate cap. Estimates with |T| == 0
+/// (empty pilot groups) are skipped — group coverage is handled separately
+/// via core/missing_groups.h.
+SamplingPlan PlanSamplingRate(const PlanningInputs& inputs);
+
+}  // namespace core
+}  // namespace aqp
+
+#endif  // AQP_CORE_SAMPLE_PLANNER_H_

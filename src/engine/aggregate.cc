@@ -1,0 +1,318 @@
+#include "engine/aggregate.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "expr/eval.h"
+
+namespace aqp {
+
+std::string_view AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCountStar:
+      return "COUNT(*)";
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kAvg:
+      return "AVG";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+    case AggKind::kVar:
+      return "VAR";
+    case AggKind::kStddev:
+      return "STDDEV";
+    case AggKind::kCountDistinct:
+      return "COUNT DISTINCT";
+  }
+  return "?";
+}
+
+bool IsLinearAgg(AggKind kind) {
+  return kind == AggKind::kCountStar || kind == AggKind::kCount ||
+         kind == AggKind::kSum || kind == AggKind::kAvg;
+}
+
+Result<DataType> AggResultType(AggKind kind, DataType arg_type) {
+  switch (kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+    case AggKind::kCountDistinct:
+      return DataType::kInt64;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+    case AggKind::kVar:
+    case AggKind::kStddev:
+      if (!IsNumeric(arg_type)) {
+        return Status::InvalidArgument(
+            std::string(AggKindName(kind)) + " requires a numeric argument");
+      }
+      return DataType::kDouble;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return arg_type;
+  }
+  return Status::Internal("unreachable agg kind");
+}
+
+Result<GroupIndex> BuildGroupIndex(const Table& input,
+                                   const std::vector<ExprPtr>& group_exprs) {
+  GroupIndex index;
+  const size_t n = input.num_rows();
+  index.group_ids.resize(n);
+  if (group_exprs.empty()) {
+    // Single global group, present even for empty input.
+    index.num_groups = 1;
+    return index;
+  }
+  std::vector<Column> keys;
+  keys.reserve(group_exprs.size());
+  for (const ExprPtr& e : group_exprs) {
+    AQP_ASSIGN_OR_RETURN(Column c, Eval(*e, input));
+    keys.push_back(std::move(c));
+  }
+  for (const Column& k : keys) {
+    index.key_columns.emplace_back(k.type());
+  }
+  // Hash -> candidate group ids (chained for collision safety).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> table;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Column& k : keys) h = HashCombine(h, k.HashAt(i));
+    std::vector<uint32_t>& bucket = table[h];
+    uint32_t gid = UINT32_MAX;
+    for (uint32_t cand : bucket) {
+      bool equal = true;
+      for (size_t c = 0; c < keys.size(); ++c) {
+        if (!keys[c].SlotEquals(i, index.key_columns[c], cand)) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        gid = cand;
+        break;
+      }
+    }
+    if (gid == UINT32_MAX) {
+      gid = static_cast<uint32_t>(index.num_groups++);
+      for (size_t c = 0; c < keys.size(); ++c) {
+        index.key_columns[c].AppendFrom(keys[c], i);
+      }
+      bucket.push_back(gid);
+    }
+    index.group_ids[i] = gid;
+  }
+  return index;
+}
+
+namespace {
+
+// Per-group running state for one aggregate.
+struct AggState {
+  double weighted_sum = 0.0;   // sum of w * x
+  double weight_total = 0.0;   // sum of w over non-null args (or all rows).
+  uint64_t count = 0;          // raw (unweighted) non-null count.
+  double mean = 0.0;           // Welford (unweighted).
+  double m2 = 0.0;
+  bool has_value = false;
+  Value min_v;
+  Value max_v;
+  std::unordered_set<uint64_t> distinct;  // Hashes for COUNT DISTINCT.
+};
+
+// Compares boxed values of the same (or numeric-compatible) type.
+int CompareValues(const Value& a, const Value& b) {
+  if (IsNumeric(a.type()) && IsNumeric(b.type())) {
+    double x = a.AsDouble();
+    double y = b.AsDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  AQP_CHECK(a.type() == b.type());
+  switch (a.type()) {
+    case DataType::kString:
+      return a.str().compare(b.str()) < 0 ? -1 : (a.str() == b.str() ? 0 : 1);
+    case DataType::kBool:
+      return (a.boolean() ? 1 : 0) - (b.boolean() ? 1 : 0);
+    default:
+      AQP_CHECK(false);
+      return 0;
+  }
+}
+
+}  // namespace
+
+Result<Table> GroupByAggregate(const Table& input,
+                               const std::vector<ExprPtr>& group_exprs,
+                               const std::vector<std::string>& group_names,
+                               const std::vector<AggSpec>& aggs,
+                               const AggregateOptions& options) {
+  if (group_names.size() != group_exprs.size()) {
+    return Status::InvalidArgument("group name/expr arity mismatch");
+  }
+  const size_t n = input.num_rows();
+  if (options.weights != nullptr && options.weights->size() != n) {
+    return Status::InvalidArgument("weight vector length mismatch");
+  }
+  AQP_ASSIGN_OR_RETURN(GroupIndex index, BuildGroupIndex(input, group_exprs));
+
+  // Evaluate aggregate arguments once, vectorized.
+  std::vector<Column> arg_columns;
+  std::vector<DataType> out_types;
+  arg_columns.reserve(aggs.size());
+  for (const AggSpec& spec : aggs) {
+    if (spec.kind == AggKind::kCountStar) {
+      arg_columns.emplace_back(DataType::kInt64);  // Placeholder, unused.
+      out_types.push_back(DataType::kInt64);
+      continue;
+    }
+    if (spec.arg == nullptr) {
+      return Status::InvalidArgument("aggregate missing argument: " +
+                                     spec.alias);
+    }
+    AQP_ASSIGN_OR_RETURN(Column c, Eval(*spec.arg, input));
+    AQP_ASSIGN_OR_RETURN(DataType t, AggResultType(spec.kind, c.type()));
+    out_types.push_back(t);
+    arg_columns.push_back(std::move(c));
+  }
+
+  // Accumulate.
+  std::vector<std::vector<AggState>> states(
+      aggs.size(), std::vector<AggState>(index.num_groups));
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t g = index.group_ids[i];
+    double w = options.weights ? (*options.weights)[i] : 1.0;
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      AggState& st = states[a][g];
+      const AggSpec& spec = aggs[a];
+      if (spec.kind == AggKind::kCountStar) {
+        st.weight_total += w;
+        ++st.count;
+        continue;
+      }
+      const Column& arg = arg_columns[a];
+      if (arg.IsNull(i)) continue;
+      switch (spec.kind) {
+        case AggKind::kCount:
+          st.weight_total += w;
+          ++st.count;
+          break;
+        case AggKind::kSum:
+        case AggKind::kAvg: {
+          double x = arg.NumericAt(i);
+          st.weighted_sum += w * x;
+          st.weight_total += w;
+          ++st.count;
+          break;
+        }
+        case AggKind::kVar:
+        case AggKind::kStddev: {
+          double x = arg.NumericAt(i);
+          ++st.count;
+          double delta = x - st.mean;
+          st.mean += delta / static_cast<double>(st.count);
+          st.m2 += delta * (x - st.mean);
+          break;
+        }
+        case AggKind::kMin:
+        case AggKind::kMax: {
+          Value v = arg.GetValue(i);
+          if (!st.has_value) {
+            st.min_v = v;
+            st.max_v = v;
+            st.has_value = true;
+          } else {
+            if (CompareValues(v, st.min_v) < 0) st.min_v = v;
+            if (CompareValues(v, st.max_v) > 0) st.max_v = std::move(v);
+          }
+          break;
+        }
+        case AggKind::kCountDistinct:
+          st.distinct.insert(arg.HashAt(i, /*seed=*/17));
+          break;
+        case AggKind::kCountStar:
+          break;  // Handled above.
+      }
+    }
+  }
+
+  // Materialize output table: group keys then aggregates.
+  Schema out_schema;
+  std::vector<Column> out_columns;
+  for (size_t c = 0; c < group_exprs.size(); ++c) {
+    out_schema.AddField({group_names[c], index.key_columns[c].type()});
+    out_columns.push_back(index.key_columns[c]);
+  }
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    out_schema.AddField({aggs[a].alias, out_types[a]});
+    Column col(out_types[a]);
+    col.Reserve(index.num_groups);
+    for (size_t g = 0; g < index.num_groups; ++g) {
+      const AggState& st = states[a][g];
+      switch (aggs[a].kind) {
+        case AggKind::kCountStar:
+        case AggKind::kCount:
+          // With weights this is the Horvitz–Thompson count estimate;
+          // unweighted it is the exact count. Rounded to nearest integer.
+          col.AppendInt64(static_cast<int64_t>(std::llround(st.weight_total)));
+          break;
+        case AggKind::kSum:
+          if (st.count == 0) {
+            col.AppendNull();
+          } else {
+            col.AppendDouble(st.weighted_sum);
+          }
+          break;
+        case AggKind::kAvg:
+          if (st.weight_total == 0.0) {
+            col.AppendNull();
+          } else {
+            col.AppendDouble(st.weighted_sum / st.weight_total);
+          }
+          break;
+        case AggKind::kVar:
+          if (st.count < 2) {
+            col.AppendNull();
+          } else {
+            col.AppendDouble(st.m2 / static_cast<double>(st.count - 1));
+          }
+          break;
+        case AggKind::kStddev:
+          if (st.count < 2) {
+            col.AppendNull();
+          } else {
+            col.AppendDouble(
+                std::sqrt(st.m2 / static_cast<double>(st.count - 1)));
+          }
+          break;
+        case AggKind::kMin:
+          if (!st.has_value) {
+            col.AppendNull();
+          } else {
+            AQP_RETURN_IF_ERROR(col.AppendValue(st.min_v));
+          }
+          break;
+        case AggKind::kMax:
+          if (!st.has_value) {
+            col.AppendNull();
+          } else {
+            AQP_RETURN_IF_ERROR(col.AppendValue(st.max_v));
+          }
+          break;
+        case AggKind::kCountDistinct:
+          col.AppendInt64(static_cast<int64_t>(st.distinct.size()));
+          break;
+      }
+    }
+    out_columns.push_back(std::move(col));
+  }
+  return Table::Make(std::move(out_schema), std::move(out_columns));
+}
+
+}  // namespace aqp

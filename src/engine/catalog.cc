@@ -1,0 +1,50 @@
+#include "engine/catalog.h"
+
+#include <algorithm>
+
+namespace aqp {
+
+Status Catalog::Register(const std::string& name,
+                         std::shared_ptr<const Table> table) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table already registered: " + name);
+  }
+  tables_[name] = std::move(table);
+  return Status::OK();
+}
+
+void Catalog::RegisterOrReplace(const std::string& name,
+                                std::shared_ptr<const Table> table) {
+  tables_[name] = std::move(table);
+}
+
+Result<std::shared_ptr<const Table>> Catalog::Get(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + name);
+  }
+  return it->second;
+}
+
+Status Catalog::Drop(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("no table named " + name);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> Catalog::Cardinality(const std::string& name) const {
+  AQP_ASSIGN_OR_RETURN(std::shared_ptr<const Table> t, Get(name));
+  return static_cast<uint64_t>(t->num_rows());
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace aqp

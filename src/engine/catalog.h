@@ -1,0 +1,48 @@
+#ifndef AQP_ENGINE_CATALOG_H_
+#define AQP_ENGINE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace aqp {
+
+/// Name -> table registry, the executor's source of scan inputs. Tables are
+/// held by shared_ptr so samples and synopses can alias base data cheaply.
+class Catalog {
+ public:
+  /// Registers a table under `name`; fails if the name is taken.
+  Status Register(const std::string& name, std::shared_ptr<const Table> table);
+
+  /// Registers or replaces.
+  void RegisterOrReplace(const std::string& name,
+                         std::shared_ptr<const Table> table);
+
+  /// Looks up a table; NotFound if missing.
+  Result<std::shared_ptr<const Table>> Get(const std::string& name) const;
+
+  /// Removes a table; NotFound if missing.
+  Status Drop(const std::string& name);
+
+  bool Contains(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  /// Estimated (here: exact) cardinality of a table — the statistic a cost
+  /// model would read from the DBMS catalog.
+  Result<uint64_t> Cardinality(const std::string& name) const;
+
+  /// Registered table names, sorted.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<const Table>> tables_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_ENGINE_CATALOG_H_

@@ -1,0 +1,28 @@
+#ifndef AQP_ENGINE_EXECUTOR_H_
+#define AQP_ENGINE_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "engine/catalog.h"
+#include "engine/plan.h"
+
+namespace aqp {
+
+/// Execution statistics accumulated per query, used by cost analysis and the
+/// latency benchmarks (a stand-in for a DBMS's "rows scanned" counters).
+struct ExecStats {
+  uint64_t rows_scanned = 0;   // Rows materialized out of scans (post-sample).
+  uint64_t blocks_read = 0;    // Blocks touched by scans (block sampling
+                               // skips blocks; row sampling reads all).
+  uint64_t rows_joined = 0;    // Join output rows.
+};
+
+/// Executes a plan against the catalog, materializing every operator.
+/// `stats`, when non-null, is incremented (not reset) by this execution.
+Result<Table> Execute(const PlanPtr& plan, const Catalog& catalog,
+                      ExecStats* stats = nullptr);
+
+}  // namespace aqp
+
+#endif  // AQP_ENGINE_EXECUTOR_H_

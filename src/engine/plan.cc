@@ -1,0 +1,165 @@
+#include "engine/plan.h"
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace aqp {
+
+PlanPtr PlanNode::Scan(std::string table_name, SampleSpec sample) {
+  auto n = std::shared_ptr<PlanNode>(new PlanNode());
+  n->kind_ = PlanKind::kScan;
+  n->table_name_ = std::move(table_name);
+  n->sample_ = sample;
+  return n;
+}
+
+PlanPtr PlanNode::Filter(PlanPtr input, ExprPtr predicate) {
+  auto n = std::shared_ptr<PlanNode>(new PlanNode());
+  n->kind_ = PlanKind::kFilter;
+  n->children_ = {std::move(input)};
+  n->predicate_ = std::move(predicate);
+  return n;
+}
+
+PlanPtr PlanNode::Project(PlanPtr input, std::vector<ExprPtr> exprs,
+                          std::vector<std::string> names) {
+  AQP_CHECK(exprs.size() == names.size());
+  auto n = std::shared_ptr<PlanNode>(new PlanNode());
+  n->kind_ = PlanKind::kProject;
+  n->children_ = {std::move(input)};
+  n->exprs_ = std::move(exprs);
+  n->names_ = std::move(names);
+  return n;
+}
+
+PlanPtr PlanNode::Join(PlanPtr left, PlanPtr right, JoinType type,
+                       std::vector<std::string> left_keys,
+                       std::vector<std::string> right_keys) {
+  AQP_CHECK(left_keys.size() == right_keys.size());
+  AQP_CHECK(!left_keys.empty());
+  auto n = std::shared_ptr<PlanNode>(new PlanNode());
+  n->kind_ = PlanKind::kJoin;
+  n->children_ = {std::move(left), std::move(right)};
+  n->join_type_ = type;
+  n->left_keys_ = std::move(left_keys);
+  n->right_keys_ = std::move(right_keys);
+  return n;
+}
+
+PlanPtr PlanNode::Aggregate(PlanPtr input, std::vector<ExprPtr> group_exprs,
+                            std::vector<std::string> group_names,
+                            std::vector<AggSpec> aggs) {
+  AQP_CHECK(group_exprs.size() == group_names.size());
+  auto n = std::shared_ptr<PlanNode>(new PlanNode());
+  n->kind_ = PlanKind::kAggregate;
+  n->children_ = {std::move(input)};
+  n->exprs_ = std::move(group_exprs);
+  n->names_ = std::move(group_names);
+  n->aggs_ = std::move(aggs);
+  return n;
+}
+
+PlanPtr PlanNode::Sort(PlanPtr input, std::vector<SortKey> keys) {
+  auto n = std::shared_ptr<PlanNode>(new PlanNode());
+  n->kind_ = PlanKind::kSort;
+  n->children_ = {std::move(input)};
+  n->sort_keys_ = std::move(keys);
+  return n;
+}
+
+PlanPtr PlanNode::Limit(PlanPtr input, uint64_t limit) {
+  auto n = std::shared_ptr<PlanNode>(new PlanNode());
+  n->kind_ = PlanKind::kLimit;
+  n->children_ = {std::move(input)};
+  n->limit_ = limit;
+  return n;
+}
+
+PlanPtr PlanNode::UnionAll(std::vector<PlanPtr> inputs) {
+  AQP_CHECK(!inputs.empty());
+  auto n = std::shared_ptr<PlanNode>(new PlanNode());
+  n->kind_ = PlanKind::kUnionAll;
+  n->children_ = std::move(inputs);
+  return n;
+}
+
+void PlanNode::Render(int indent, std::string* out) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  switch (kind_) {
+    case PlanKind::kScan:
+      *out += "Scan(" + table_name_;
+      if (sample_.is_sampled()) {
+        *out += sample_.method == SampleSpec::Method::kBernoulliRow
+                    ? " SAMPLE BERNOULLI "
+                    : " SAMPLE SYSTEM ";
+        *out += FormatDouble(sample_.rate * 100.0) + "%";
+      }
+      *out += ")";
+      break;
+    case PlanKind::kFilter:
+      *out += "Filter(" + predicate_->ToString() + ")";
+      break;
+    case PlanKind::kProject: {
+      *out += "Project(";
+      for (size_t i = 0; i < exprs_.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += exprs_[i]->ToString() + " AS " + names_[i];
+      }
+      *out += ")";
+      break;
+    }
+    case PlanKind::kJoin: {
+      *out += join_type_ == JoinType::kInner ? "InnerJoin(" : "LeftJoin(";
+      for (size_t i = 0; i < left_keys_.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += left_keys_[i] + " = " + right_keys_[i];
+      }
+      *out += ")";
+      break;
+    }
+    case PlanKind::kAggregate: {
+      *out += "Aggregate(";
+      for (size_t i = 0; i < exprs_.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += names_[i];
+      }
+      if (!exprs_.empty() && !aggs_.empty()) *out += "; ";
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += std::string(AggKindName(aggs_[i].kind));
+        if (aggs_[i].arg != nullptr) {
+          *out += "(" + aggs_[i].arg->ToString() + ")";
+        }
+        *out += " AS " + aggs_[i].alias;
+      }
+      *out += ")";
+      break;
+    }
+    case PlanKind::kSort: {
+      *out += "Sort(";
+      for (size_t i = 0; i < sort_keys_.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += sort_keys_[i].column;
+        *out += sort_keys_[i].ascending ? " ASC" : " DESC";
+      }
+      *out += ")";
+      break;
+    }
+    case PlanKind::kLimit:
+      *out += "Limit(" + std::to_string(limit_) + ")";
+      break;
+    case PlanKind::kUnionAll:
+      *out += "UnionAll";
+      break;
+  }
+  *out += "\n";
+  for (const PlanPtr& c : children_) c->Render(indent + 1, out);
+}
+
+std::string PlanNode::ToString() const {
+  std::string out;
+  Render(0, &out);
+  return out;
+}
+
+}  // namespace aqp

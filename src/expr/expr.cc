@@ -1,0 +1,317 @@
+#include "expr/expr.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/check.h"
+
+namespace aqp {
+namespace {
+
+bool IsArithmetic(OpKind op) {
+  return op == OpKind::kAdd || op == OpKind::kSub || op == OpKind::kMul ||
+         op == OpKind::kDiv || op == OpKind::kMod;
+}
+
+bool IsComparison(OpKind op) {
+  return op == OpKind::kEq || op == OpKind::kNe || op == OpKind::kLt ||
+         op == OpKind::kLe || op == OpKind::kGt || op == OpKind::kGe;
+}
+
+bool IsLogical(OpKind op) { return op == OpKind::kAnd || op == OpKind::kOr; }
+
+// Two operand types are comparable if equal, or both numeric.
+bool Comparable(DataType a, DataType b) {
+  return a == b || (IsNumeric(a) && IsNumeric(b));
+}
+
+}  // namespace
+
+std::string_view OpName(OpKind op) {
+  switch (op) {
+    case OpKind::kNeg:
+      return "-";
+    case OpKind::kNot:
+      return "NOT";
+    case OpKind::kAdd:
+      return "+";
+    case OpKind::kSub:
+      return "-";
+    case OpKind::kMul:
+      return "*";
+    case OpKind::kDiv:
+      return "/";
+    case OpKind::kMod:
+      return "%";
+    case OpKind::kEq:
+      return "=";
+    case OpKind::kNe:
+      return "<>";
+    case OpKind::kLt:
+      return "<";
+    case OpKind::kLe:
+      return "<=";
+    case OpKind::kGt:
+      return ">";
+    case OpKind::kGe:
+      return ">=";
+    case OpKind::kAnd:
+      return "AND";
+    case OpKind::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+ExprPtr Expr::MakeColumnRef(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kColumnRef;
+  e->column_name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::MakeLiteral(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::MakeUnary(OpKind op, ExprPtr operand) {
+  AQP_CHECK(op == OpKind::kNeg || op == OpKind::kNot);
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kUnary;
+  e->op_ = op;
+  e->children_ = {std::move(operand)};
+  return e;
+}
+
+ExprPtr Expr::MakeBinary(OpKind op, ExprPtr lhs, ExprPtr rhs) {
+  AQP_CHECK(IsArithmetic(op) || IsComparison(op) || IsLogical(op));
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kBinary;
+  e->op_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::MakeIn(ExprPtr operand, std::vector<Value> list) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kIn;
+  e->children_ = {std::move(operand)};
+  e->in_list_ = std::move(list);
+  return e;
+}
+
+ExprPtr Expr::MakeBetween(ExprPtr operand, ExprPtr low, ExprPtr high) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kBetween;
+  e->children_ = {std::move(operand), std::move(low), std::move(high)};
+  return e;
+}
+
+ExprPtr Expr::MakeLike(ExprPtr operand, std::string pattern) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLike;
+  e->children_ = {std::move(operand)};
+  e->like_pattern_ = std::move(pattern);
+  return e;
+}
+
+ExprPtr Expr::MakeFunction(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kFunction;
+  std::string upper;
+  upper.reserve(name.size());
+  for (char c : name) {
+    upper += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  e->function_name_ = std::move(upper);
+  e->children_ = std::move(args);
+  return e;
+}
+
+Result<DataType> Expr::TypeCheck(const Schema& schema) const {
+  switch (kind_) {
+    case ExprKind::kColumnRef: {
+      AQP_ASSIGN_OR_RETURN(size_t idx, schema.FieldIndex(column_name_));
+      return schema.field(idx).type;
+    }
+    case ExprKind::kLiteral:
+      if (literal_.is_null()) {
+        // A bare NULL literal has no intrinsic type; treat as DOUBLE, the
+        // most permissive numeric carrier.
+        return DataType::kDouble;
+      }
+      return literal_.type();
+    case ExprKind::kUnary: {
+      AQP_ASSIGN_OR_RETURN(DataType t, children_[0]->TypeCheck(schema));
+      if (op_ == OpKind::kNeg) {
+        if (!IsNumeric(t)) {
+          return Status::InvalidArgument("unary - on non-numeric operand");
+        }
+        return t;
+      }
+      if (t != DataType::kBool) {
+        return Status::InvalidArgument("NOT on non-boolean operand");
+      }
+      return DataType::kBool;
+    }
+    case ExprKind::kBinary: {
+      AQP_ASSIGN_OR_RETURN(DataType lt, children_[0]->TypeCheck(schema));
+      AQP_ASSIGN_OR_RETURN(DataType rt, children_[1]->TypeCheck(schema));
+      if (IsArithmetic(op_)) {
+        if (!IsNumeric(lt) || !IsNumeric(rt)) {
+          return Status::InvalidArgument(
+              std::string("arithmetic ") + std::string(OpName(op_)) +
+              " on non-numeric operands");
+        }
+        if (op_ == OpKind::kMod) {
+          if (lt != DataType::kInt64 || rt != DataType::kInt64) {
+            return Status::InvalidArgument("% requires integer operands");
+          }
+          return DataType::kInt64;
+        }
+        if (op_ == OpKind::kDiv) return DataType::kDouble;
+        return (lt == DataType::kDouble || rt == DataType::kDouble)
+                   ? DataType::kDouble
+                   : DataType::kInt64;
+      }
+      if (IsComparison(op_)) {
+        if (!Comparable(lt, rt)) {
+          return Status::InvalidArgument(
+              "cannot compare " + std::string(DataTypeName(lt)) + " with " +
+              std::string(DataTypeName(rt)));
+        }
+        return DataType::kBool;
+      }
+      // Logical.
+      if (lt != DataType::kBool || rt != DataType::kBool) {
+        return Status::InvalidArgument("AND/OR on non-boolean operands");
+      }
+      return DataType::kBool;
+    }
+    case ExprKind::kIn: {
+      AQP_ASSIGN_OR_RETURN(DataType t, children_[0]->TypeCheck(schema));
+      for (const Value& v : in_list_) {
+        if (!v.is_null() && !Comparable(t, v.type())) {
+          return Status::InvalidArgument("IN list type mismatch");
+        }
+      }
+      return DataType::kBool;
+    }
+    case ExprKind::kBetween: {
+      AQP_ASSIGN_OR_RETURN(DataType t, children_[0]->TypeCheck(schema));
+      AQP_ASSIGN_OR_RETURN(DataType lo, children_[1]->TypeCheck(schema));
+      AQP_ASSIGN_OR_RETURN(DataType hi, children_[2]->TypeCheck(schema));
+      if (!Comparable(t, lo) || !Comparable(t, hi)) {
+        return Status::InvalidArgument("BETWEEN bound type mismatch");
+      }
+      return DataType::kBool;
+    }
+    case ExprKind::kLike: {
+      AQP_ASSIGN_OR_RETURN(DataType t, children_[0]->TypeCheck(schema));
+      if (t != DataType::kString) {
+        return Status::InvalidArgument("LIKE on non-string operand");
+      }
+      return DataType::kBool;
+    }
+    case ExprKind::kFunction: {
+      std::vector<DataType> arg_types;
+      for (const ExprPtr& c : children_) {
+        AQP_ASSIGN_OR_RETURN(DataType t, c->TypeCheck(schema));
+        arg_types.push_back(t);
+      }
+      const std::string& fn = function_name_;
+      if (fn == "ABS" || fn == "ROUND" || fn == "FLOOR" || fn == "CEIL" ||
+          fn == "SQRT" || fn == "LN" || fn == "EXP") {
+        if (arg_types.size() != 1 || !IsNumeric(arg_types[0])) {
+          return Status::InvalidArgument(fn + " takes one numeric argument");
+        }
+        if (fn == "ABS") return arg_types[0];
+        if (fn == "ROUND" || fn == "FLOOR" || fn == "CEIL") {
+          return DataType::kInt64;
+        }
+        return DataType::kDouble;
+      }
+      if (fn == "POWER") {
+        if (arg_types.size() != 2 || !IsNumeric(arg_types[0]) ||
+            !IsNumeric(arg_types[1])) {
+          return Status::InvalidArgument("POWER takes two numeric arguments");
+        }
+        return DataType::kDouble;
+      }
+      if (fn == "COALESCE") {
+        if (arg_types.empty()) {
+          return Status::InvalidArgument("COALESCE needs arguments");
+        }
+        DataType t = arg_types[0];
+        for (DataType other : arg_types) {
+          if (other != t && !(IsNumeric(other) && IsNumeric(t))) {
+            return Status::InvalidArgument("COALESCE argument type mismatch");
+          }
+          if (other == DataType::kDouble) t = DataType::kDouble;
+        }
+        return t;
+      }
+      return Status::InvalidArgument("unknown function: " + fn);
+    }
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+void Expr::CollectColumns(std::vector<std::string>* out) const {
+  if (kind_ == ExprKind::kColumnRef) {
+    out->push_back(column_name_);
+  }
+  for (const ExprPtr& c : children_) c->CollectColumns(out);
+}
+
+std::vector<std::string> Expr::ReferencedColumns() const {
+  std::vector<std::string> out;
+  CollectColumns(&out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kColumnRef:
+      return column_name_;
+    case ExprKind::kLiteral:
+      if (literal_.is_string()) return "'" + literal_.str() + "'";
+      return literal_.ToString();
+    case ExprKind::kUnary:
+      if (op_ == OpKind::kNot) return "NOT (" + children_[0]->ToString() + ")";
+      return "-(" + children_[0]->ToString() + ")";
+    case ExprKind::kBinary:
+      return "(" + children_[0]->ToString() + " " +
+             std::string(OpName(op_)) + " " + children_[1]->ToString() + ")";
+    case ExprKind::kIn: {
+      std::string out = children_[0]->ToString() + " IN (";
+      for (size_t i = 0; i < in_list_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += in_list_[i].is_string() ? "'" + in_list_[i].str() + "'"
+                                       : in_list_[i].ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kBetween:
+      return children_[0]->ToString() + " BETWEEN " +
+             children_[1]->ToString() + " AND " + children_[2]->ToString();
+    case ExprKind::kLike:
+      return children_[0]->ToString() + " LIKE '" + like_pattern_ + "'";
+    case ExprKind::kFunction: {
+      std::string out = function_name_ + "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace aqp

@@ -1,0 +1,187 @@
+#ifndef AQP_EXPR_EXPR_H_
+#define AQP_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace aqp {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Expression node kinds.
+enum class ExprKind {
+  kColumnRef,
+  kLiteral,
+  kUnary,
+  kBinary,
+  kIn,
+  kBetween,
+  kLike,
+  kFunction,
+};
+
+/// Operators for unary/binary expression nodes.
+enum class OpKind {
+  // Unary.
+  kNeg,
+  kNot,
+  // Arithmetic.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  // Comparison.
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  // Logical.
+  kAnd,
+  kOr,
+};
+
+/// Printable operator token ("+", "AND", ...).
+std::string_view OpName(OpKind op);
+
+/// Immutable expression tree node. Construct via the factory helpers below
+/// (Col, Lit, Add, Eq, ...). Evaluation lives in expr/eval.h.
+class Expr {
+ public:
+  ExprKind kind() const { return kind_; }
+  OpKind op() const { return op_; }
+  const std::string& column_name() const { return column_name_; }
+  const Value& literal() const { return literal_; }
+  const ExprPtr& child(size_t i) const { return children_[i]; }
+  size_t num_children() const { return children_.size(); }
+  const std::vector<Value>& in_list() const { return in_list_; }
+  const std::string& like_pattern() const { return like_pattern_; }
+  const std::string& function_name() const { return function_name_; }
+
+  /// Resolves column references and checks operand types against `schema`;
+  /// returns the expression's result type.
+  Result<DataType> TypeCheck(const Schema& schema) const;
+
+  /// Column names referenced anywhere in this tree (deduplicated).
+  std::vector<std::string> ReferencedColumns() const;
+
+  /// SQL-ish rendering for diagnostics.
+  std::string ToString() const;
+
+  // --- Node constructors (prefer the free factory functions below) --------
+  static ExprPtr MakeColumnRef(std::string name);
+  static ExprPtr MakeLiteral(Value v);
+  static ExprPtr MakeUnary(OpKind op, ExprPtr operand);
+  static ExprPtr MakeBinary(OpKind op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr MakeIn(ExprPtr operand, std::vector<Value> list);
+  static ExprPtr MakeBetween(ExprPtr operand, ExprPtr low, ExprPtr high);
+  static ExprPtr MakeLike(ExprPtr operand, std::string pattern);
+  /// Scalar function call. Supported (case-insensitive names, canonicalized
+  /// to upper-case): ABS, ROUND, FLOOR, CEIL, SQRT, LN, EXP, POWER(x, y),
+  /// COALESCE(a, b, ...). Arity is validated at TypeCheck/Eval time.
+  static ExprPtr MakeFunction(std::string name, std::vector<ExprPtr> args);
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  OpKind op_ = OpKind::kAdd;
+  std::string column_name_;
+  Value literal_;
+  std::vector<ExprPtr> children_;
+  std::vector<Value> in_list_;
+  std::string like_pattern_;
+  std::string function_name_;
+
+  void CollectColumns(std::vector<std::string>* out) const;
+};
+
+// --- Factory helpers (ergonomic tree building in tests and planners) -------
+
+inline ExprPtr Col(std::string name) {
+  return Expr::MakeColumnRef(std::move(name));
+}
+inline ExprPtr Lit(int64_t v) { return Expr::MakeLiteral(Value(v)); }
+inline ExprPtr Lit(double v) { return Expr::MakeLiteral(Value(v)); }
+inline ExprPtr Lit(const char* v) {
+  return Expr::MakeLiteral(Value(std::string(v)));
+}
+inline ExprPtr Lit(std::string v) {
+  return Expr::MakeLiteral(Value(std::move(v)));
+}
+inline ExprPtr Lit(bool v) { return Expr::MakeLiteral(Value(v)); }
+inline ExprPtr NullLit() { return Expr::MakeLiteral(Value::Null()); }
+
+inline ExprPtr Neg(ExprPtr e) {
+  return Expr::MakeUnary(OpKind::kNeg, std::move(e));
+}
+inline ExprPtr Not(ExprPtr e) {
+  return Expr::MakeUnary(OpKind::kNot, std::move(e));
+}
+
+inline ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(OpKind::kAdd, std::move(a), std::move(b));
+}
+inline ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(OpKind::kSub, std::move(a), std::move(b));
+}
+inline ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(OpKind::kMul, std::move(a), std::move(b));
+}
+inline ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(OpKind::kDiv, std::move(a), std::move(b));
+}
+inline ExprPtr Mod(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(OpKind::kMod, std::move(a), std::move(b));
+}
+
+inline ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(OpKind::kEq, std::move(a), std::move(b));
+}
+inline ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(OpKind::kNe, std::move(a), std::move(b));
+}
+inline ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(OpKind::kLt, std::move(a), std::move(b));
+}
+inline ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(OpKind::kLe, std::move(a), std::move(b));
+}
+inline ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(OpKind::kGt, std::move(a), std::move(b));
+}
+inline ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(OpKind::kGe, std::move(a), std::move(b));
+}
+
+inline ExprPtr And(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(OpKind::kAnd, std::move(a), std::move(b));
+}
+inline ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(OpKind::kOr, std::move(a), std::move(b));
+}
+
+inline ExprPtr In(ExprPtr e, std::vector<Value> list) {
+  return Expr::MakeIn(std::move(e), std::move(list));
+}
+inline ExprPtr Between(ExprPtr e, ExprPtr low, ExprPtr high) {
+  return Expr::MakeBetween(std::move(e), std::move(low), std::move(high));
+}
+inline ExprPtr Like(ExprPtr e, std::string pattern) {
+  return Expr::MakeLike(std::move(e), std::move(pattern));
+}
+inline ExprPtr Fn(std::string name, std::vector<ExprPtr> args) {
+  return Expr::MakeFunction(std::move(name), std::move(args));
+}
+
+}  // namespace aqp
+
+#endif  // AQP_EXPR_EXPR_H_

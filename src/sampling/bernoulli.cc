@@ -1,0 +1,32 @@
+#include "sampling/bernoulli.h"
+
+#include "common/random.h"
+
+namespace aqp {
+
+Result<Sample> BernoulliRowSample(const Table& table, double rate,
+                                  uint64_t seed) {
+  if (rate <= 0.0 || rate > 1.0) {
+    return Status::InvalidArgument("sampling rate must be in (0, 1]");
+  }
+  Pcg32 rng(seed);
+  std::vector<uint32_t> keep;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    if (rng.Bernoulli(rate)) keep.push_back(static_cast<uint32_t>(i));
+  }
+  Sample sample;
+  sample.table = table.Take(keep);
+  sample.weights.assign(keep.size(), 1.0 / rate);
+  sample.unit_ids.resize(keep.size());
+  for (size_t i = 0; i < keep.size(); ++i) {
+    sample.unit_ids[i] = static_cast<uint32_t>(i);
+  }
+  sample.unit_sizes.assign(keep.size(), 1.0);
+  sample.num_units_sampled = keep.size();
+  sample.num_units_population = table.num_rows();
+  sample.nominal_rate = rate;
+  sample.population_rows = table.num_rows();
+  return sample;
+}
+
+}  // namespace aqp

@@ -1,0 +1,17 @@
+#ifndef AQP_SAMPLING_BERNOULLI_H_
+#define AQP_SAMPLING_BERNOULLI_H_
+
+#include "common/result.h"
+#include "sampling/sample.h"
+
+namespace aqp {
+
+/// Uniform row-level Bernoulli sampling: every row is included independently
+/// with probability `rate` (SQL's TABLESAMPLE BERNOULLI). The sample size is
+/// Binomial(N, rate); weights are the constant 1/rate.
+Result<Sample> BernoulliRowSample(const Table& table, double rate,
+                                  uint64_t seed);
+
+}  // namespace aqp
+
+#endif  // AQP_SAMPLING_BERNOULLI_H_

@@ -1,0 +1,77 @@
+#include "sampling/congressional.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "engine/aggregate.h"
+
+namespace aqp {
+
+Result<StratifiedSampleResult> CongressionalSample(
+    const Table& table, const std::string& group_column, uint64_t budget,
+    uint64_t seed) {
+  if (budget == 0) return Status::InvalidArgument("budget must be positive");
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("cannot sample an empty table");
+  }
+  AQP_ASSIGN_OR_RETURN(GroupIndex index,
+                       BuildGroupIndex(table, {Col(group_column)}));
+  const size_t num_groups = index.num_groups;
+  std::vector<std::vector<uint32_t>> rows_by_group(num_groups);
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    rows_by_group[index.group_ids[i]].push_back(static_cast<uint32_t>(i));
+  }
+
+  const double total_rows = static_cast<double>(table.num_rows());
+  const double b = static_cast<double>(budget);
+  // House: proportional. Senate: equal. Congress: max of the two, rescaled.
+  std::vector<double> congress(num_groups);
+  double congress_total = 0.0;
+  for (size_t g = 0; g < num_groups; ++g) {
+    double house = b * static_cast<double>(rows_by_group[g].size()) /
+                   total_rows;
+    double senate = b / static_cast<double>(num_groups);
+    congress[g] = std::max(house, senate);
+    congress_total += congress[g];
+  }
+
+  Pcg32 rng(seed);
+  StratifiedSampleResult result;
+  result.sample.table = Table(table.schema());
+  std::vector<uint32_t> keep;
+  for (size_t g = 0; g < num_groups; ++g) {
+    std::vector<uint32_t>& rows = rows_by_group[g];
+    uint64_t alloc = static_cast<uint64_t>(
+        std::llround(b * congress[g] / congress_total));
+    alloc = std::max<uint64_t>(alloc, 1);
+    alloc = std::min<uint64_t>(alloc, rows.size());
+    for (uint64_t i = 0; i < alloc; ++i) {
+      uint64_t j = i + rng.UniformUint64(rows.size() - i);
+      std::swap(rows[i], rows[j]);
+    }
+    double weight =
+        static_cast<double>(rows.size()) / static_cast<double>(alloc);
+    for (uint64_t i = 0; i < alloc; ++i) {
+      keep.push_back(rows[i]);
+      result.sample.weights.push_back(weight);
+      result.sample.unit_ids.push_back(
+          static_cast<uint32_t>(result.sample.unit_ids.size()));
+    }
+    StratumInfo info;
+    info.key = index.key_columns[0].GetValue(g);
+    info.population_rows = rows.size();
+    info.sampled_rows = alloc;
+    result.strata.push_back(std::move(info));
+  }
+  result.sample.table = table.Take(keep);
+  result.sample.num_units_sampled = keep.size();
+  result.sample.num_units_population = table.num_rows();
+  result.sample.nominal_rate =
+      static_cast<double>(keep.size()) / total_rows;
+  result.sample.population_rows = table.num_rows();
+  return result;
+}
+
+}  // namespace aqp

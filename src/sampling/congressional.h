@@ -1,0 +1,24 @@
+#ifndef AQP_SAMPLING_CONGRESSIONAL_H_
+#define AQP_SAMPLING_CONGRESSIONAL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sampling/stratified.h"
+
+namespace aqp {
+
+/// Congressional sampling (Acharya, Gibbons, Poosala, SIGMOD'00): an
+/// allocation for GROUP BY workloads that hedges between the "house"
+/// (proportional — good for global aggregates) and the "senate" (equal per
+/// group — good for small groups): each group receives the maximum of its
+/// house and senate allocations, then everything is scaled back into the
+/// budget. Guarantees every group is represented while staying close to
+/// proportional for the big ones.
+Result<StratifiedSampleResult> CongressionalSample(
+    const Table& table, const std::string& group_column, uint64_t budget,
+    uint64_t seed);
+
+}  // namespace aqp
+
+#endif  // AQP_SAMPLING_CONGRESSIONAL_H_

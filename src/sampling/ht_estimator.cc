@@ -1,0 +1,208 @@
+#include "sampling/ht_estimator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "expr/eval.h"
+
+namespace aqp {
+namespace {
+
+// Per-unit sums of the measure (y), qualifying-row counts (c), and the unit
+// weight (w, constant across a unit's rows in all supported designs).
+struct UnitAggregates {
+  std::vector<double> y;
+  std::vector<double> c;
+  std::vector<double> w;
+  uint64_t num_units = 0;
+};
+
+Result<UnitAggregates> Aggregate(const Sample& sample, const ExprPtr& measure,
+                                 const ExprPtr& predicate) {
+  UnitAggregates agg;
+  agg.num_units = sample.num_units_sampled;
+  agg.y.assign(agg.num_units, 0.0);
+  agg.c.assign(agg.num_units, 0.0);
+  agg.w.assign(agg.num_units, 0.0);
+
+  const size_t n = sample.table.num_rows();
+  AQP_CHECK(sample.weights.size() == n);
+  AQP_CHECK(sample.unit_ids.size() == n);
+
+  // Qualifying-row mask.
+  std::vector<uint8_t> qualifies(n, 1);
+  if (predicate != nullptr) {
+    AQP_ASSIGN_OR_RETURN(Column mask, Eval(*predicate, sample.table));
+    if (mask.type() != DataType::kBool) {
+      return Status::InvalidArgument("predicate is not boolean");
+    }
+    for (size_t i = 0; i < n; ++i) {
+      qualifies[i] = (!mask.IsNull(i) && mask.BoolAt(i)) ? 1 : 0;
+    }
+  }
+
+  // Optional measure values.
+  Column values(DataType::kDouble);
+  bool has_measure = measure != nullptr;
+  if (has_measure) {
+    AQP_ASSIGN_OR_RETURN(values, Eval(*measure, sample.table));
+    if (!IsNumeric(values.type())) {
+      return Status::InvalidArgument("measure must be numeric");
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t u = sample.unit_ids[i];
+    AQP_CHECK(u < agg.num_units);
+    agg.w[u] = sample.weights[i];
+    if (!qualifies[i]) continue;
+    agg.c[u] += 1.0;
+    if (has_measure && !values.IsNull(i)) {
+      agg.y[u] += values.NumericAt(i);
+    }
+  }
+  return agg;
+}
+
+PointEstimate HtTotal(const UnitAggregates& agg, const std::vector<double>& v) {
+  PointEstimate out;
+  for (uint64_t u = 0; u < agg.num_units; ++u) {
+    out.estimate += agg.w[u] * v[u];
+    out.variance += agg.w[u] * std::max(agg.w[u] - 1.0, 0.0) * v[u] * v[u];
+  }
+  out.df = agg.num_units > 0 ? agg.num_units - 1 : 0;
+  return out;
+}
+
+// True when the design is equal-probability and carries per-unit base sizes,
+// enabling the ratio-to-size cluster estimator (exact for COUNT(*), immune
+// to random-sample-size noise — far tighter than HT for Bernoulli designs).
+bool SupportsRatioToSize(const Sample& sample) {
+  if (sample.num_units_sampled < 2 ||
+      sample.unit_sizes.size() != sample.num_units_sampled ||
+      sample.population_rows == 0 ||
+      sample.num_units_population < sample.num_units_sampled) {
+    return false;
+  }
+  for (size_t i = 1; i < sample.weights.size(); ++i) {
+    if (std::fabs(sample.weights[i] - sample.weights[0]) >
+        1e-9 * std::fabs(sample.weights[0])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Ratio-to-size total: T = N * (sum_u v_u / sum_u n_u), with residual
+// variance from e_u = v_u - R n_u (whose mean is exactly zero).
+PointEstimate RatioTotal(const Sample& sample, const UnitAggregates& agg,
+                         const std::vector<double>& v) {
+  const double m = static_cast<double>(sample.num_units_sampled);
+  double sum_n = 0.0;
+  for (double nu : sample.unit_sizes) sum_n += nu;
+  double sum_v = 0.0;
+  for (uint64_t u = 0; u < agg.num_units; ++u) sum_v += v[u];
+  PointEstimate out;
+  out.df = sample.num_units_sampled - 1;
+  double ratio = sum_n > 0.0 ? sum_v / sum_n : 0.0;
+  double big_n = static_cast<double>(sample.population_rows);
+  out.estimate = big_n * ratio;
+  double res_sq = 0.0;
+  for (uint64_t u = 0; u < agg.num_units; ++u) {
+    double e = v[u] - ratio * sample.unit_sizes[u];
+    res_sq += e * e;
+  }
+  double s_e2 = res_sq / (m - 1.0);
+  double fpc = 1.0 - m / static_cast<double>(sample.num_units_population);
+  double n_bar = sum_n / m;
+  out.variance = n_bar > 0.0
+                     ? big_n * big_n * fpc * s_e2 / (m * n_bar * n_bar)
+                     : 0.0;
+  return out;
+}
+
+PointEstimate Total(const Sample& sample, const UnitAggregates& agg,
+                    const std::vector<double>& v) {
+  if (SupportsRatioToSize(sample)) return RatioTotal(sample, agg, v);
+  return HtTotal(agg, v);
+}
+
+}  // namespace
+
+Result<PointEstimate> EstimateSum(const Sample& sample, const ExprPtr& measure,
+                                  const ExprPtr& predicate) {
+  if (measure == nullptr) {
+    return Status::InvalidArgument("SUM requires a measure expression");
+  }
+  AQP_ASSIGN_OR_RETURN(UnitAggregates agg,
+                       Aggregate(sample, measure, predicate));
+  return Total(sample, agg, agg.y);
+}
+
+Result<PointEstimate> EstimateCount(const Sample& sample,
+                                    const ExprPtr& predicate) {
+  AQP_ASSIGN_OR_RETURN(UnitAggregates agg,
+                       Aggregate(sample, nullptr, predicate));
+  return Total(sample, agg, agg.c);
+}
+
+Result<PointEstimate> EstimateAvg(const Sample& sample, const ExprPtr& measure,
+                                  const ExprPtr& predicate) {
+  if (measure == nullptr) {
+    return Status::InvalidArgument("AVG requires a measure expression");
+  }
+  AQP_ASSIGN_OR_RETURN(UnitAggregates agg,
+                       Aggregate(sample, measure, predicate));
+  double t_x = 0.0;
+  double t_1 = 0.0;
+  for (uint64_t u = 0; u < agg.num_units; ++u) {
+    t_x += agg.w[u] * agg.y[u];
+    t_1 += agg.w[u] * agg.c[u];
+  }
+  PointEstimate out;
+  out.df = agg.num_units > 0 ? agg.num_units - 1 : 0;
+  if (t_1 == 0.0) {
+    return Status::FailedPrecondition(
+        "no qualifying rows in sample; cannot estimate AVG");
+  }
+  double ratio = t_x / t_1;
+  out.estimate = ratio;
+  if (SupportsRatioToSize(sample)) {
+    // Equal-probability design: delta-method with the per-unit residual
+    // sample variance and finite-population correction. The estimate itself
+    // is the plain ratio of unweighted unit totals (weights cancel).
+    const double m = static_cast<double>(sample.num_units_sampled);
+    double sum_y = 0.0;
+    double sum_c = 0.0;
+    for (uint64_t u = 0; u < agg.num_units; ++u) {
+      sum_y += agg.y[u];
+      sum_c += agg.c[u];
+    }
+    if (sum_c <= 0.0) {
+      return Status::FailedPrecondition(
+          "no qualifying rows in sample; cannot estimate AVG");
+    }
+    double plain_ratio = sum_y / sum_c;
+    double res_sq = 0.0;
+    for (uint64_t u = 0; u < agg.num_units; ++u) {
+      double d = agg.y[u] - plain_ratio * agg.c[u];
+      res_sq += d * d;
+    }
+    double s_d2 = res_sq / (m - 1.0);
+    double fpc = 1.0 - m / static_cast<double>(sample.num_units_population);
+    double c_bar = sum_c / m;
+    out.estimate = plain_ratio;
+    out.variance = fpc * s_d2 / (m * c_bar * c_bar);
+    return out;
+  }
+  // Delta-method: Var(R) ~ Var(sum_u W_u (y_u - R c_u)) / T_1^2.
+  double var_num = 0.0;
+  for (uint64_t u = 0; u < agg.num_units; ++u) {
+    double d = agg.y[u] - ratio * agg.c[u];
+    var_num += agg.w[u] * std::max(agg.w[u] - 1.0, 0.0) * d * d;
+  }
+  out.variance = var_num / (t_1 * t_1);
+  return out;
+}
+
+}  // namespace aqp

@@ -1,0 +1,48 @@
+#ifndef AQP_SAMPLING_HT_ESTIMATOR_H_
+#define AQP_SAMPLING_HT_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "expr/expr.h"
+#include "sampling/sample.h"
+#include "stats/confidence.h"
+
+namespace aqp {
+
+/// A point estimate of a population aggregate together with the estimated
+/// variance of the estimator and the degrees of freedom available for a
+/// Student-t interval.
+struct PointEstimate {
+  double estimate = 0.0;
+  double variance = 0.0;  // Estimated Var of the estimator itself.
+  uint64_t df = 0;        // Sampling units - 1.
+
+  /// Two-sided CI at the given confidence (t-based when df is small).
+  stats::ConfidenceInterval Ci(double confidence) const {
+    return stats::EstimatorCi(estimate, variance, confidence, df);
+  }
+};
+
+/// Horvitz–Thompson estimators over a Sample. All three aggregate at the
+/// *sampling unit* level first (rows for row designs, blocks for block
+/// designs), which is what makes the variance estimates valid in the
+/// presence of intra-block correlation:
+///   SUM:   T = sum_u W_u * y_u,        Var = sum_u W_u (W_u - 1) y_u^2
+///   COUNT: same with y_u = qualifying-row count of unit u
+///   AVG:   ratio T_x / T_1 with linearized (delta-method) variance.
+/// `predicate` (optional) restricts to qualifying rows, evaluated on the
+/// sample; `measure` must be numeric. Rows with NULL measure are skipped for
+/// SUM/AVG, matching SQL semantics.
+Result<PointEstimate> EstimateSum(const Sample& sample, const ExprPtr& measure,
+                                  const ExprPtr& predicate = nullptr);
+
+Result<PointEstimate> EstimateCount(const Sample& sample,
+                                    const ExprPtr& predicate = nullptr);
+
+Result<PointEstimate> EstimateAvg(const Sample& sample, const ExprPtr& measure,
+                                  const ExprPtr& predicate = nullptr);
+
+}  // namespace aqp
+
+#endif  // AQP_SAMPLING_HT_ESTIMATOR_H_

@@ -1,0 +1,148 @@
+#include "sampling/join_synopsis.h"
+
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace aqp {
+namespace {
+
+// Builds a key -> row-indices map over `keys` (NULL keys excluded).
+std::unordered_map<uint64_t, std::vector<uint32_t>> BuildKeyMap(
+    const Column& keys) {
+  std::unordered_map<uint64_t, std::vector<uint32_t>> map;
+  for (size_t j = 0; j < keys.size(); ++j) {
+    if (keys.IsNull(j)) continue;
+    map[keys.HashAt(j)].push_back(static_cast<uint32_t>(j));
+  }
+  return map;
+}
+
+// Joined output schema: fact fields then dim fields.
+Schema JoinedSchema(const Table& fact, const Table& dim) {
+  Schema schema;
+  for (const Field& f : fact.schema().fields()) schema.AddField(f);
+  for (const Field& f : dim.schema().fields()) schema.AddField(f);
+  return schema;
+}
+
+void EmitJoined(const Table& fact, size_t fi, const Table& dim, size_t dj,
+                Table* out) {
+  for (size_t c = 0; c < fact.num_columns(); ++c) {
+    out->mutable_column(c).AppendFrom(fact.column(c), fi);
+  }
+  for (size_t c = 0; c < dim.num_columns(); ++c) {
+    out->mutable_column(fact.num_columns() + c).AppendFrom(dim.column(c), dj);
+  }
+}
+
+// Repackages mutable-column-built rows into a well-formed table.
+Result<Table> Finalize(Table&& staged) {
+  std::vector<Column> cols;
+  cols.reserve(staged.num_columns());
+  for (size_t c = 0; c < staged.num_columns(); ++c) {
+    cols.push_back(staged.column(c));
+  }
+  return Table::Make(staged.schema(), std::move(cols));
+}
+
+}  // namespace
+
+Result<Sample> BuildJoinSynopsis(const Table& fact,
+                                 const std::string& fact_key,
+                                 const Table& dim, const std::string& dim_key,
+                                 double rate, uint64_t seed) {
+  if (rate <= 0.0 || rate > 1.0) {
+    return Status::InvalidArgument("rate must be in (0, 1]");
+  }
+  AQP_ASSIGN_OR_RETURN(size_t fk, fact.ColumnIndex(fact_key));
+  AQP_ASSIGN_OR_RETURN(size_t dk, dim.ColumnIndex(dim_key));
+  const Column& fkeys = fact.column(fk);
+  const Column& dkeys = dim.column(dk);
+  if (fkeys.type() != dkeys.type()) {
+    return Status::InvalidArgument("join key type mismatch");
+  }
+  auto dim_map = BuildKeyMap(dkeys);
+
+  Pcg32 rng(seed);
+  Table staged(JoinedSchema(fact, dim));
+  Sample sample;
+  uint64_t join_cardinality = 0;  // |fact join dim| estimated exactly below.
+  for (size_t i = 0; i < fact.num_rows(); ++i) {
+    if (fkeys.IsNull(i)) continue;
+    auto it = dim_map.find(fkeys.HashAt(i));
+    if (it == dim_map.end()) continue;
+    bool sampled = rng.Bernoulli(rate);
+    for (uint32_t j : it->second) {
+      if (!fkeys.SlotEquals(i, dkeys, j)) continue;
+      ++join_cardinality;
+      if (sampled) {
+        EmitJoined(fact, i, dim, j, &staged);
+        sample.weights.push_back(1.0 / rate);
+        sample.unit_ids.push_back(
+            static_cast<uint32_t>(sample.unit_ids.size()));
+      }
+    }
+  }
+  AQP_ASSIGN_OR_RETURN(sample.table, Finalize(std::move(staged)));
+  sample.num_units_sampled = sample.table.num_rows();
+  sample.num_units_population = join_cardinality;
+  sample.nominal_rate = rate;
+  sample.population_rows = join_cardinality;
+  return sample;
+}
+
+Result<Sample> JoinOfSamples(const Table& fact, const std::string& fact_key,
+                             const Table& dim, const std::string& dim_key,
+                             double rate, uint64_t seed) {
+  if (rate <= 0.0 || rate > 1.0) {
+    return Status::InvalidArgument("rate must be in (0, 1]");
+  }
+  AQP_ASSIGN_OR_RETURN(size_t fk, fact.ColumnIndex(fact_key));
+  AQP_ASSIGN_OR_RETURN(size_t dk, dim.ColumnIndex(dim_key));
+  const Column& fkeys = fact.column(fk);
+  const Column& dkeys = dim.column(dk);
+  if (fkeys.type() != dkeys.type()) {
+    return Status::InvalidArgument("join key type mismatch");
+  }
+  Pcg32 rng(seed);
+  // Independently sample both sides.
+  std::vector<uint8_t> fact_in(fact.num_rows());
+  for (size_t i = 0; i < fact.num_rows(); ++i) {
+    fact_in[i] = rng.Bernoulli(rate) ? 1 : 0;
+  }
+  std::vector<uint8_t> dim_in(dim.num_rows());
+  for (size_t j = 0; j < dim.num_rows(); ++j) {
+    dim_in[j] = rng.Bernoulli(rate) ? 1 : 0;
+  }
+  auto dim_map = BuildKeyMap(dkeys);
+
+  Table staged(JoinedSchema(fact, dim));
+  Sample sample;
+  uint64_t join_cardinality = 0;
+  double pair_weight = 1.0 / (rate * rate);
+  for (size_t i = 0; i < fact.num_rows(); ++i) {
+    if (fkeys.IsNull(i)) continue;
+    auto it = dim_map.find(fkeys.HashAt(i));
+    if (it == dim_map.end()) continue;
+    for (uint32_t j : it->second) {
+      if (!fkeys.SlotEquals(i, dkeys, j)) continue;
+      ++join_cardinality;
+      if (fact_in[i] && dim_in[j]) {
+        EmitJoined(fact, i, dim, j, &staged);
+        sample.weights.push_back(pair_weight);
+        sample.unit_ids.push_back(
+            static_cast<uint32_t>(sample.unit_ids.size()));
+      }
+    }
+  }
+  AQP_ASSIGN_OR_RETURN(sample.table, Finalize(std::move(staged)));
+  sample.num_units_sampled = sample.table.num_rows();
+  sample.num_units_population = join_cardinality;
+  sample.nominal_rate = rate * rate;
+  sample.population_rows = join_cardinality;
+  return sample;
+}
+
+}  // namespace aqp

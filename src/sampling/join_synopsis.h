@@ -1,0 +1,36 @@
+#ifndef AQP_SAMPLING_JOIN_SYNOPSIS_H_
+#define AQP_SAMPLING_JOIN_SYNOPSIS_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sampling/sample.h"
+
+namespace aqp {
+
+/// AQUA-style join synopsis (Acharya et al., SIGMOD'99) for foreign-key
+/// joins: sample the FACT side, then join each sampled fact row to its
+/// (unique) dimension match, yielding a uniform sample OF THE JOIN RESULT.
+/// This sidesteps the classic pitfall the paper emphasizes: the join of two
+/// independent samples is NOT a sample of the join — its size collapses
+/// (rate^2) and its variance explodes. Sampling one side of an FK join and
+/// joining it fully preserves uniformity at rate `rate`.
+///
+/// The schema of the synopsis is fact fields followed by dim fields. Fact
+/// rows with no dimension match are dropped (inner-join semantics).
+Result<Sample> BuildJoinSynopsis(const Table& fact,
+                                 const std::string& fact_key,
+                                 const Table& dim, const std::string& dim_key,
+                                 double rate, uint64_t seed);
+
+/// The anti-pattern, provided for the E4 experiment: Bernoulli-sample BOTH
+/// sides at `rate` and join the samples. Weights are 1/rate^2 (a pair
+/// survives only if both endpoints do), so HT totals remain unbiased — but
+/// the variance is dramatically worse, which is the measurable claim.
+Result<Sample> JoinOfSamples(const Table& fact, const std::string& fact_key,
+                             const Table& dim, const std::string& dim_key,
+                             double rate, uint64_t seed);
+
+}  // namespace aqp
+
+#endif  // AQP_SAMPLING_JOIN_SYNOPSIS_H_

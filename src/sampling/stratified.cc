@@ -1,0 +1,116 @@
+#include "sampling/stratified.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "engine/aggregate.h"
+#include "stats/descriptive.h"
+
+namespace aqp {
+
+Result<StratifiedSampleResult> StratifiedSample(
+    const Table& table, const std::string& strata_column, uint64_t budget,
+    Allocation allocation, uint64_t seed, const std::string& measure_column) {
+  if (budget == 0) return Status::InvalidArgument("budget must be positive");
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("cannot stratify an empty table");
+  }
+  AQP_ASSIGN_OR_RETURN(GroupIndex index,
+                       BuildGroupIndex(table, {Col(strata_column)}));
+  const size_t num_strata = index.num_groups;
+
+  // Rows per stratum.
+  std::vector<std::vector<uint32_t>> rows_by_stratum(num_strata);
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    rows_by_stratum[index.group_ids[i]].push_back(static_cast<uint32_t>(i));
+  }
+
+  // Optional per-stratum stddev for Neyman allocation.
+  std::vector<double> stddev(num_strata, 1.0);
+  if (allocation == Allocation::kNeyman) {
+    if (measure_column.empty()) {
+      return Status::InvalidArgument(
+          "Neyman allocation requires a measure column");
+    }
+    AQP_ASSIGN_OR_RETURN(size_t mcol, table.ColumnIndex(measure_column));
+    if (!IsNumeric(table.column(mcol).type())) {
+      return Status::InvalidArgument("measure column must be numeric");
+    }
+    std::vector<stats::Accumulator> accs(num_strata);
+    const Column& m = table.column(mcol);
+    for (size_t i = 0; i < table.num_rows(); ++i) {
+      if (!m.IsNull(i)) accs[index.group_ids[i]].Add(m.NumericAt(i));
+    }
+    for (size_t h = 0; h < num_strata; ++h) {
+      stddev[h] = std::max(accs[h].sample_stddev(), 1e-9);
+    }
+  }
+
+  // Allocation scores -> integer sample sizes (>= 1 per stratum, <= N_h).
+  std::vector<double> score(num_strata);
+  for (size_t h = 0; h < num_strata; ++h) {
+    double nh = static_cast<double>(rows_by_stratum[h].size());
+    switch (allocation) {
+      case Allocation::kProportional:
+        score[h] = nh;
+        break;
+      case Allocation::kEqual:
+        score[h] = 1.0;
+        break;
+      case Allocation::kNeyman:
+        score[h] = nh * stddev[h];
+        break;
+    }
+  }
+  double total_score = 0.0;
+  for (double s : score) total_score += s;
+  AQP_CHECK(total_score > 0.0);
+
+  std::vector<uint64_t> alloc(num_strata);
+  for (size_t h = 0; h < num_strata; ++h) {
+    uint64_t n = static_cast<uint64_t>(
+        std::llround(static_cast<double>(budget) * score[h] / total_score));
+    n = std::max<uint64_t>(n, 1);
+    n = std::min<uint64_t>(n, rows_by_stratum[h].size());
+    alloc[h] = n;
+  }
+
+  // Draw a simple random sample (without replacement) inside each stratum.
+  Pcg32 rng(seed);
+  StratifiedSampleResult result;
+  result.sample.table = Table(table.schema());
+  std::vector<uint32_t> keep;
+  for (size_t h = 0; h < num_strata; ++h) {
+    std::vector<uint32_t>& rows = rows_by_stratum[h];
+    // Partial Fisher–Yates: first alloc[h] positions become the sample.
+    for (uint64_t i = 0; i < alloc[h]; ++i) {
+      uint64_t j = i + rng.UniformUint64(rows.size() - i);
+      std::swap(rows[i], rows[j]);
+    }
+    double weight = static_cast<double>(rows.size()) /
+                    static_cast<double>(alloc[h]);
+    for (uint64_t i = 0; i < alloc[h]; ++i) {
+      keep.push_back(rows[i]);
+      result.sample.weights.push_back(weight);
+      result.sample.unit_ids.push_back(
+          static_cast<uint32_t>(result.sample.unit_ids.size()));
+    }
+    StratumInfo info;
+    info.key = index.key_columns[0].GetValue(h);
+    info.population_rows = rows.size();
+    info.sampled_rows = alloc[h];
+    result.strata.push_back(std::move(info));
+  }
+  result.sample.table = table.Take(keep);
+  result.sample.num_units_sampled = keep.size();
+  result.sample.num_units_population = table.num_rows();
+  result.sample.nominal_rate =
+      static_cast<double>(keep.size()) / static_cast<double>(table.num_rows());
+  result.sample.population_rows = table.num_rows();
+  return result;
+}
+
+}  // namespace aqp

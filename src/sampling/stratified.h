@@ -1,0 +1,48 @@
+#ifndef AQP_SAMPLING_STRATIFIED_H_
+#define AQP_SAMPLING_STRATIFIED_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sampling/sample.h"
+#include "storage/value.h"
+
+namespace aqp {
+
+/// How a stratified sampler splits the row budget across strata.
+enum class Allocation {
+  kProportional,  // n_h ∝ N_h: mirrors the data, rare strata stay rare.
+  kEqual,         // n_h = budget / H: guarantees coverage of small strata
+                  // (BlinkDB-style stratified samples for rare groups).
+  kNeyman,        // n_h ∝ N_h * s_h: variance-optimal for a measure column.
+};
+
+/// Per-stratum bookkeeping in a stratified sample.
+struct StratumInfo {
+  Value key;
+  uint64_t population_rows = 0;
+  uint64_t sampled_rows = 0;
+};
+
+/// A stratified sample: the Sample carries per-row weights N_h / n_h, so HT
+/// estimation composes unchanged; `strata` records the design.
+struct StratifiedSampleResult {
+  Sample sample;
+  std::vector<StratumInfo> strata;
+};
+
+/// Draws a stratified sample of ~`budget` rows grouped by `strata_column`.
+/// For kNeyman a numeric `measure_column` is required (its within-stratum
+/// stddev drives the allocation). Every non-empty stratum receives at least
+/// one row (budget permitting), which is the property that rescues rare
+/// groups from being missed — at the cost of building and maintaining the
+/// stratification offline.
+Result<StratifiedSampleResult> StratifiedSample(
+    const Table& table, const std::string& strata_column, uint64_t budget,
+    Allocation allocation, uint64_t seed,
+    const std::string& measure_column = "");
+
+}  // namespace aqp
+
+#endif  // AQP_SAMPLING_STRATIFIED_H_

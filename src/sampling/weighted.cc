@@ -1,0 +1,62 @@
+#include "sampling/weighted.h"
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace aqp {
+
+Result<Sample> MeasureBiasedSample(const Table& table,
+                                   const std::string& measure_column,
+                                   uint64_t expected_rows, uint64_t seed) {
+  if (expected_rows == 0) {
+    return Status::InvalidArgument("expected_rows must be positive");
+  }
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("cannot sample an empty table");
+  }
+  AQP_ASSIGN_OR_RETURN(size_t mcol, table.ColumnIndex(measure_column));
+  const Column& m = table.column(mcol);
+  if (!IsNumeric(m.type())) {
+    return Status::InvalidArgument("measure column must be numeric");
+  }
+  const size_t n = table.num_rows();
+  double total_abs = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!m.IsNull(i)) total_abs += std::fabs(m.NumericAt(i));
+  }
+  double uniform_p = std::min(
+      1.0, static_cast<double>(expected_rows) / static_cast<double>(n));
+  double scale = total_abs > 0.0
+                     ? static_cast<double>(expected_rows) / total_abs
+                     : 0.0;
+
+  Pcg32 rng(seed);
+  Sample sample;
+  std::vector<uint32_t> keep;
+  for (size_t i = 0; i < n; ++i) {
+    double p;
+    if (m.IsNull(i) || total_abs == 0.0) {
+      p = uniform_p;
+    } else {
+      p = std::min(1.0, scale * std::fabs(m.NumericAt(i)));
+      // Rows with measure 0 would never be sampled and would bias COUNT
+      // estimates; give them a small floor probability.
+      p = std::max(p, uniform_p * 0.01);
+    }
+    if (rng.Bernoulli(p)) {
+      keep.push_back(static_cast<uint32_t>(i));
+      sample.weights.push_back(1.0 / p);
+      sample.unit_ids.push_back(static_cast<uint32_t>(keep.size() - 1));
+    }
+  }
+  sample.table = table.Take(keep);
+  sample.num_units_sampled = keep.size();
+  sample.num_units_population = n;
+  sample.nominal_rate =
+      static_cast<double>(expected_rows) / static_cast<double>(n);
+  sample.population_rows = n;
+  return sample;
+}
+
+}  // namespace aqp

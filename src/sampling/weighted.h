@@ -1,0 +1,24 @@
+#ifndef AQP_SAMPLING_WEIGHTED_H_
+#define AQP_SAMPLING_WEIGHTED_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sampling/sample.h"
+
+namespace aqp {
+
+/// Measure-biased (probability-proportional-to-size) Poisson sampling: row i
+/// is included independently with probability
+///   p_i = min(1, expected_rows * |x_i| / sum_j |x_j|),
+/// where x is the measure column. Rows with large |x| — exactly the rows that
+/// dominate a SUM — are sampled preferentially, which slashes the variance of
+/// SUM estimates on skewed data (the paper's workload-aware sampling family).
+/// NULL measures get probability expected_rows / N (uniform fallback).
+Result<Sample> MeasureBiasedSample(const Table& table,
+                                   const std::string& measure_column,
+                                   uint64_t expected_rows, uint64_t seed);
+
+}  // namespace aqp
+
+#endif  // AQP_SAMPLING_WEIGHTED_H_

@@ -1,0 +1,58 @@
+#include "sketch/ams_f2.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace aqp {
+namespace sketch {
+
+AmsF2Sketch::AmsF2Sketch(uint32_t rows, uint32_t cols, uint64_t seed)
+    : rows_(rows), cols_(cols), seed_(seed) {
+  AQP_CHECK(rows > 0 && cols > 0);
+  counters_.assign(static_cast<size_t>(rows_) * cols_, 0);
+}
+
+int64_t AmsF2Sketch::Sign(uint32_t row, uint32_t col, uint64_t key) const {
+  uint64_t h = Mix64(key ^ Mix64(seed_ + row * 0x100000001b3ULL + col));
+  return (h & 1) ? 1 : -1;
+}
+
+void AmsF2Sketch::Add(uint64_t key, int64_t count) {
+  for (uint32_t r = 0; r < rows_; ++r) {
+    for (uint32_t c = 0; c < cols_; ++c) {
+      counters_[static_cast<size_t>(r) * cols_ + c] +=
+          Sign(r, c, key) * count;
+    }
+  }
+}
+
+double AmsF2Sketch::Estimate() const {
+  std::vector<double> row_means(rows_);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    double sum_sq = 0.0;
+    for (uint32_t c = 0; c < cols_; ++c) {
+      double v =
+          static_cast<double>(counters_[static_cast<size_t>(r) * cols_ + c]);
+      sum_sq += v * v;
+    }
+    row_means[r] = sum_sq / static_cast<double>(cols_);
+  }
+  std::nth_element(row_means.begin(), row_means.begin() + rows_ / 2,
+                   row_means.end());
+  return row_means[rows_ / 2];
+}
+
+Status AmsF2Sketch::Merge(const AmsF2Sketch& other) {
+  if (other.rows_ != rows_ || other.cols_ != cols_ || other.seed_ != seed_) {
+    return Status::InvalidArgument("AMS sketch geometry/seed mismatch");
+  }
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  return Status::OK();
+}
+
+}  // namespace sketch
+}  // namespace aqp

@@ -1,0 +1,45 @@
+#ifndef AQP_SKETCH_AMS_F2_H_
+#define AQP_SKETCH_AMS_F2_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aqp {
+namespace sketch {
+
+/// AMS sketch for the second frequency moment F2 = sum_k f_k^2 (Alon,
+/// Matias, Szegedy 1996): each of r x c counters accumulates ±1-signed
+/// updates; F2 is estimated as the median over r rows of the mean of squared
+/// counters. F2 drives self-join size estimation — the classic sketch
+/// application in query optimization.
+class AmsF2Sketch {
+ public:
+  /// `rows` medians over `cols` averaged squares; error ~ F2 / sqrt(cols)
+  /// with failure probability exp(-rows).
+  AmsF2Sketch(uint32_t rows, uint32_t cols, uint64_t seed = 1);
+
+  void Add(uint64_t key, int64_t count = 1);
+
+  /// Estimate of F2 (equivalently, the self-join size of the keyed column).
+  double Estimate() const;
+
+  /// Merges another sketch (same geometry and seed).
+  Status Merge(const AmsF2Sketch& other);
+
+  size_t SizeBytes() const { return counters_.size() * sizeof(int64_t); }
+
+ private:
+  int64_t Sign(uint32_t row, uint32_t col, uint64_t key) const;
+
+  uint32_t rows_;
+  uint32_t cols_;
+  uint64_t seed_;
+  std::vector<int64_t> counters_;  // rows_ x cols_.
+};
+
+}  // namespace sketch
+}  // namespace aqp
+
+#endif  // AQP_SKETCH_AMS_F2_H_

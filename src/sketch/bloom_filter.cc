@@ -1,0 +1,105 @@
+#include "sketch/bloom_filter.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/bytes.h"
+#include "common/hash.h"
+
+namespace aqp {
+namespace sketch {
+
+Result<BloomFilter> BloomFilter::Create(uint64_t expected_items,
+                                        double false_positive_rate) {
+  if (expected_items == 0) {
+    return Status::InvalidArgument("expected_items must be positive");
+  }
+  if (false_positive_rate <= 0.0 || false_positive_rate >= 1.0) {
+    return Status::InvalidArgument("false positive rate must be in (0,1)");
+  }
+  const double ln2 = std::log(2.0);
+  double m = -static_cast<double>(expected_items) *
+             std::log(false_positive_rate) / (ln2 * ln2);
+  double k = m / static_cast<double>(expected_items) * ln2;
+  uint64_t num_bits = static_cast<uint64_t>(std::ceil(m));
+  uint32_t num_hashes = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::llround(k)));
+  return BloomFilter(num_bits, num_hashes);
+}
+
+BloomFilter::BloomFilter(uint64_t num_bits, uint32_t num_hashes)
+    : num_bits_((num_bits + 63) / 64 * 64), num_hashes_(num_hashes) {
+  AQP_CHECK(num_bits > 0);
+  AQP_CHECK(num_hashes > 0);
+  bits_.assign(num_bits_ / 64, 0);
+}
+
+void BloomFilter::Add(uint64_t key) {
+  uint64_t h1 = Mix64(key);
+  uint64_t h2 = Mix64(key ^ 0x9e3779b97f4a7c15ULL) | 1;  // Odd step.
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    uint64_t pos = (h1 + i * h2) % num_bits_;
+    bits_[pos >> 6] |= (1ULL << (pos & 63));
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  uint64_t h1 = Mix64(key);
+  uint64_t h2 = Mix64(key ^ 0x9e3779b97f4a7c15ULL) | 1;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    uint64_t pos = (h1 + i * h2) % num_bits_;
+    if ((bits_[pos >> 6] & (1ULL << (pos & 63))) == 0) return false;
+  }
+  return true;
+}
+
+Status BloomFilter::Merge(const BloomFilter& other) {
+  if (other.num_bits_ != num_bits_ || other.num_hashes_ != num_hashes_) {
+    return Status::InvalidArgument("bloom filter geometry mismatch");
+  }
+  for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+  return Status::OK();
+}
+
+namespace {
+constexpr uint32_t kBloomMagic = 0x424c4d31;  // "BLM1".
+}  // namespace
+
+std::string BloomFilter::Serialize() const {
+  ByteWriter w;
+  w.PutU32(kBloomMagic);
+  w.PutU64(num_bits_);
+  w.PutU32(num_hashes_);
+  w.PutBytes(bits_.data(), bits_.size() * sizeof(uint64_t));
+  return w.Take();
+}
+
+Result<BloomFilter> BloomFilter::Deserialize(std::string_view data) {
+  ByteReader r(data);
+  AQP_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kBloomMagic) {
+    return Status::InvalidArgument("not a serialized Bloom filter");
+  }
+  AQP_ASSIGN_OR_RETURN(uint64_t num_bits, r.GetU64());
+  AQP_ASSIGN_OR_RETURN(uint32_t num_hashes, r.GetU32());
+  if (num_bits == 0 || num_bits % 64 != 0 || num_hashes == 0 ||
+      num_hashes > 64 || num_bits > (1ull << 40)) {
+    return Status::InvalidArgument("implausible Bloom filter geometry");
+  }
+  BloomFilter filter(num_bits, num_hashes);
+  if (r.remaining() != filter.bits_.size() * sizeof(uint64_t)) {
+    return Status::InvalidArgument("Bloom filter payload mismatch");
+  }
+  AQP_RETURN_IF_ERROR(r.GetBytes(filter.bits_.data(),
+                                 filter.bits_.size() * sizeof(uint64_t)));
+  return filter;
+}
+
+double BloomFilter::FillRatio() const {
+  uint64_t set = 0;
+  for (uint64_t word : bits_) set += __builtin_popcountll(word);
+  return static_cast<double>(set) / static_cast<double>(num_bits_);
+}
+
+}  // namespace sketch
+}  // namespace aqp

@@ -1,0 +1,58 @@
+#ifndef AQP_SKETCH_BLOOM_FILTER_H_
+#define AQP_SKETCH_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aqp {
+namespace sketch {
+
+/// Classic Bloom filter over 64-bit keys (hash your value first; see
+/// common/hash.h). Double hashing derives the k probe positions from two
+/// base hashes, per Kirsch & Mitzenmacher.
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected_items` at the target false-positive
+  /// rate: m = -n ln(fpr) / (ln 2)^2 bits, k = (m/n) ln 2 hash functions.
+  static Result<BloomFilter> Create(uint64_t expected_items,
+                                    double false_positive_rate);
+
+  /// Directly sized filter (`num_bits` rounded up to a multiple of 64).
+  BloomFilter(uint64_t num_bits, uint32_t num_hashes);
+
+  void Add(uint64_t key);
+
+  /// True if the key may be present; false only if definitely absent.
+  bool MayContain(uint64_t key) const;
+
+  /// Unions another filter (must have identical geometry).
+  Status Merge(const BloomFilter& other);
+
+  uint64_t num_bits() const { return num_bits_; }
+  uint32_t num_hashes() const { return num_hashes_; }
+
+  /// Fraction of set bits — a load estimate (fpr ~ fill^k).
+  double FillRatio() const;
+
+  /// Memory footprint of the bit array in bytes.
+  size_t SizeBytes() const { return bits_.size() * sizeof(uint64_t); }
+
+  /// Compact binary encoding.
+  std::string Serialize() const;
+  /// Inverse of Serialize; rejects corrupt or foreign buffers.
+  static Result<BloomFilter> Deserialize(std::string_view data);
+
+ private:
+  uint64_t num_bits_;
+  uint32_t num_hashes_;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace sketch
+}  // namespace aqp
+
+#endif  // AQP_SKETCH_BLOOM_FILTER_H_

@@ -1,0 +1,109 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/bytes.h"
+#include "common/hash.h"
+
+namespace aqp {
+namespace sketch {
+
+Result<CountMinSketch> CountMinSketch::Create(double epsilon, double delta) {
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0,1)");
+  }
+  if (delta <= 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument("delta must be in (0,1)");
+  }
+  uint32_t width = static_cast<uint32_t>(std::ceil(M_E / epsilon));
+  uint32_t depth = static_cast<uint32_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMinSketch(std::max<uint32_t>(depth, 1),
+                        std::max<uint32_t>(width, 1));
+}
+
+CountMinSketch::CountMinSketch(uint32_t depth, uint32_t width)
+    : depth_(depth), width_(width) {
+  AQP_CHECK(depth > 0 && width > 0);
+  table_.assign(static_cast<size_t>(depth_) * width_, 0);
+}
+
+uint64_t CountMinSketch::CellIndex(uint32_t row, uint64_t key) const {
+  uint64_t h = Mix64(key + 0x9e3779b97f4a7c15ULL * (row + 1));
+  return static_cast<uint64_t>(row) * width_ + (h % width_);
+}
+
+void CountMinSketch::Add(uint64_t key, uint64_t count) {
+  for (uint32_t r = 0; r < depth_; ++r) {
+    table_[CellIndex(r, key)] += count;
+  }
+  total_ += count;
+}
+
+void CountMinSketch::AddConservative(uint64_t key, uint64_t count) {
+  uint64_t current = Estimate(key);
+  uint64_t target = current + count;
+  for (uint32_t r = 0; r < depth_; ++r) {
+    uint64_t& cell = table_[CellIndex(r, key)];
+    cell = std::max(cell, target);
+  }
+  total_ += count;
+}
+
+uint64_t CountMinSketch::Estimate(uint64_t key) const {
+  uint64_t best = std::numeric_limits<uint64_t>::max();
+  for (uint32_t r = 0; r < depth_; ++r) {
+    best = std::min(best, table_[CellIndex(r, key)]);
+  }
+  return best;
+}
+
+namespace {
+constexpr uint32_t kCmsMagic = 0x434d5331;  // "CMS1".
+}  // namespace
+
+std::string CountMinSketch::Serialize() const {
+  ByteWriter w;
+  w.PutU32(kCmsMagic);
+  w.PutU32(depth_);
+  w.PutU32(width_);
+  w.PutU64(total_);
+  w.PutBytes(table_.data(), table_.size() * sizeof(uint64_t));
+  return w.Take();
+}
+
+Result<CountMinSketch> CountMinSketch::Deserialize(std::string_view data) {
+  ByteReader r(data);
+  AQP_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kCmsMagic) {
+    return Status::InvalidArgument("not a serialized Count-Min sketch");
+  }
+  AQP_ASSIGN_OR_RETURN(uint32_t depth, r.GetU32());
+  AQP_ASSIGN_OR_RETURN(uint32_t width, r.GetU32());
+  if (depth == 0 || width == 0 || depth > 64 ||
+      width > (1u << 28)) {
+    return Status::InvalidArgument("implausible Count-Min geometry");
+  }
+  CountMinSketch cms(depth, width);
+  AQP_ASSIGN_OR_RETURN(cms.total_, r.GetU64());
+  if (r.remaining() != cms.table_.size() * sizeof(uint64_t)) {
+    return Status::InvalidArgument("Count-Min payload mismatch");
+  }
+  AQP_RETURN_IF_ERROR(
+      r.GetBytes(cms.table_.data(), cms.table_.size() * sizeof(uint64_t)));
+  return cms;
+}
+
+Status CountMinSketch::Merge(const CountMinSketch& other) {
+  if (other.depth_ != depth_ || other.width_ != width_) {
+    return Status::InvalidArgument("count-min geometry mismatch");
+  }
+  for (size_t i = 0; i < table_.size(); ++i) table_[i] += other.table_[i];
+  total_ += other.total_;
+  return Status::OK();
+}
+
+}  // namespace sketch
+}  // namespace aqp

@@ -1,0 +1,62 @@
+#ifndef AQP_SKETCH_COUNT_MIN_H_
+#define AQP_SKETCH_COUNT_MIN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aqp {
+namespace sketch {
+
+/// Count-Min sketch (Cormode & Muthukrishnan): d×w counter matrix answering
+/// point frequency queries with one-sided error — estimates never undershoot
+/// and overshoot by at most eps*N with probability 1-delta, for
+/// w = ceil(e/eps), d = ceil(ln(1/delta)).
+class CountMinSketch {
+ public:
+  /// Sizes the sketch from the (eps, delta) guarantee.
+  static Result<CountMinSketch> Create(double epsilon, double delta);
+
+  /// Directly sized sketch.
+  CountMinSketch(uint32_t depth, uint32_t width);
+
+  /// Adds `count` occurrences of the key.
+  void Add(uint64_t key, uint64_t count = 1);
+
+  /// Conservative update: only raises counters to the new minimum estimate —
+  /// strictly tighter estimates for the same space.
+  void AddConservative(uint64_t key, uint64_t count = 1);
+
+  /// Frequency estimate (upper bound in expectation).
+  uint64_t Estimate(uint64_t key) const;
+
+  /// Merges another sketch (same geometry). Conservative-update sketches
+  /// lose their extra tightness after merge but remain valid upper bounds.
+  Status Merge(const CountMinSketch& other);
+
+  /// Compact binary encoding.
+  std::string Serialize() const;
+  /// Inverse of Serialize; rejects corrupt or foreign buffers.
+  static Result<CountMinSketch> Deserialize(std::string_view data);
+
+  uint64_t total_count() const { return total_; }
+  uint32_t depth() const { return depth_; }
+  uint32_t width() const { return width_; }
+  size_t SizeBytes() const { return table_.size() * sizeof(uint64_t); }
+
+ private:
+  uint64_t CellIndex(uint32_t row, uint64_t key) const;
+
+  uint32_t depth_;
+  uint32_t width_;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> table_;  // depth_ x width_, row-major.
+};
+
+}  // namespace sketch
+}  // namespace aqp
+
+#endif  // AQP_SKETCH_COUNT_MIN_H_

@@ -1,0 +1,58 @@
+#include "sketch/count_sketch.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace aqp {
+namespace sketch {
+
+CountSketch::CountSketch(uint32_t depth, uint32_t width)
+    : depth_(depth), width_(width) {
+  AQP_CHECK(depth > 0 && width > 0);
+  table_.assign(static_cast<size_t>(depth_) * width_, 0);
+}
+
+uint64_t CountSketch::Bucket(uint32_t row, uint64_t key) const {
+  uint64_t h = Mix64(key + 0x9e3779b97f4a7c15ULL * (row + 1));
+  return static_cast<uint64_t>(row) * width_ + (h % width_);
+}
+
+int64_t CountSketch::Sign(uint32_t row, uint64_t key) const {
+  uint64_t h = Mix64(key ^ (0xda942042e4dd58b5ULL * (row + 1)));
+  return (h & 1) ? 1 : -1;
+}
+
+void CountSketch::Add(uint64_t key, int64_t count) {
+  for (uint32_t r = 0; r < depth_; ++r) {
+    table_[Bucket(r, key)] += Sign(r, key) * count;
+  }
+}
+
+int64_t CountSketch::Estimate(uint64_t key) const {
+  std::vector<int64_t> estimates;
+  estimates.reserve(depth_);
+  for (uint32_t r = 0; r < depth_; ++r) {
+    estimates.push_back(Sign(r, key) * table_[Bucket(r, key)]);
+  }
+  std::nth_element(estimates.begin(),
+                   estimates.begin() + estimates.size() / 2, estimates.end());
+  int64_t upper_median = estimates[estimates.size() / 2];
+  if (estimates.size() % 2 == 1) return upper_median;
+  std::nth_element(estimates.begin(),
+                   estimates.begin() + estimates.size() / 2 - 1,
+                   estimates.end());
+  return (estimates[estimates.size() / 2 - 1] + upper_median) / 2;
+}
+
+Status CountSketch::Merge(const CountSketch& other) {
+  if (other.depth_ != depth_ || other.width_ != width_) {
+    return Status::InvalidArgument("count-sketch geometry mismatch");
+  }
+  for (size_t i = 0; i < table_.size(); ++i) table_[i] += other.table_[i];
+  return Status::OK();
+}
+
+}  // namespace sketch
+}  // namespace aqp

@@ -1,0 +1,44 @@
+#ifndef AQP_SKETCH_COUNT_SKETCH_H_
+#define AQP_SKETCH_COUNT_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aqp {
+namespace sketch {
+
+/// Count sketch (Charikar, Chen, Farach-Colton): like Count-Min but with
+/// random ±1 signs per row, making estimates unbiased (two-sided error of
+/// order ||f||_2 / sqrt(w) per row, median over d rows). Better than
+/// Count-Min when frequencies are spread rather than concentrated.
+class CountSketch {
+ public:
+  CountSketch(uint32_t depth, uint32_t width);
+
+  void Add(uint64_t key, int64_t count = 1);
+
+  /// Unbiased frequency estimate: median across rows of sign * cell.
+  int64_t Estimate(uint64_t key) const;
+
+  /// Merges another sketch (same geometry).
+  Status Merge(const CountSketch& other);
+
+  uint32_t depth() const { return depth_; }
+  uint32_t width() const { return width_; }
+  size_t SizeBytes() const { return table_.size() * sizeof(int64_t); }
+
+ private:
+  uint64_t Bucket(uint32_t row, uint64_t key) const;
+  int64_t Sign(uint32_t row, uint64_t key) const;
+
+  uint32_t depth_;
+  uint32_t width_;
+  std::vector<int64_t> table_;
+};
+
+}  // namespace sketch
+}  // namespace aqp
+
+#endif  // AQP_SKETCH_COUNT_SKETCH_H_

@@ -1,0 +1,78 @@
+#include "sketch/distinct_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace aqp {
+namespace sketch {
+
+KmvSketch::KmvSketch(uint32_t k) : k_(k) { AQP_CHECK(k >= 3); }
+
+void KmvSketch::Add(uint64_t key) {
+  uint64_t h = Mix64(key);
+  if (minima_.size() < k_) {
+    minima_.insert(h);
+    return;
+  }
+  uint64_t largest = *minima_.rbegin();
+  if (h >= largest || minima_.count(h) > 0) return;
+  minima_.insert(h);
+  minima_.erase(std::prev(minima_.end()));
+}
+
+double KmvSketch::Estimate() const {
+  if (minima_.size() < k_) {
+    // Saw fewer than k distinct hashes: the set size IS the answer.
+    return static_cast<double>(minima_.size());
+  }
+  uint64_t kth = *minima_.rbegin();
+  double fraction =
+      static_cast<double>(kth) / static_cast<double>(UINT64_MAX);
+  AQP_CHECK(fraction > 0.0);
+  return (static_cast<double>(k_) - 1.0) / fraction;
+}
+
+double KmvSketch::StandardError() const {
+  return 1.0 / std::sqrt(static_cast<double>(k_) - 2.0);
+}
+
+std::vector<uint64_t> KmvSketch::MinHashes() const {
+  return std::vector<uint64_t>(minima_.begin(), minima_.end());
+}
+
+void KmvSketch::Merge(const KmvSketch& other) {
+  for (uint64_t h : other.minima_) {
+    if (minima_.size() < k_) {
+      minima_.insert(h);
+      continue;
+    }
+    uint64_t largest = *minima_.rbegin();
+    if (h >= largest || minima_.count(h) > 0) continue;
+    minima_.insert(h);
+    minima_.erase(std::prev(minima_.end()));
+  }
+}
+
+double KmvSketch::EstimateJaccard(const KmvSketch& a, const KmvSketch& b) {
+  // k minima of the union, then the fraction also present in both.
+  std::vector<uint64_t> au = a.MinHashes();
+  std::vector<uint64_t> bu = b.MinHashes();
+  std::vector<uint64_t> unioned;
+  std::set_union(au.begin(), au.end(), bu.begin(), bu.end(),
+                 std::back_inserter(unioned));
+  size_t k = std::min<size_t>(std::min(a.k_, b.k_), unioned.size());
+  if (k == 0) return 0.0;
+  size_t in_both = 0;
+  for (size_t i = 0; i < k; ++i) {
+    bool in_a = std::binary_search(au.begin(), au.end(), unioned[i]);
+    bool in_b = std::binary_search(bu.begin(), bu.end(), unioned[i]);
+    if (in_a && in_b) ++in_both;
+  }
+  return static_cast<double>(in_both) / static_cast<double>(k);
+}
+
+}  // namespace sketch
+}  // namespace aqp

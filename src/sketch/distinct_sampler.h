@@ -1,0 +1,52 @@
+#ifndef AQP_SKETCH_DISTINCT_SAMPLER_H_
+#define AQP_SKETCH_DISTINCT_SAMPLER_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aqp {
+namespace sketch {
+
+/// KMV ("k minimum values") distinct sketch (Bar-Yossef et al. 2002): keep
+/// the k smallest hash values seen; the k-th smallest, viewed as a fraction
+/// of the hash space, estimates the density of distinct values, giving
+///   D_hat = (k - 1) / t_k.
+/// Besides cardinality it yields a uniform sample of the *distinct* values
+/// (not of the rows), which is what "distinct sampling" needs.
+class KmvSketch {
+ public:
+  explicit KmvSketch(uint32_t k);
+
+  void Add(uint64_t key);
+
+  /// Estimated number of distinct keys.
+  double Estimate() const;
+
+  /// Relative standard error ~ 1/sqrt(k - 2).
+  double StandardError() const;
+
+  /// The retained minimum hash values (a uniform sample of distinct keys'
+  /// hashes).
+  std::vector<uint64_t> MinHashes() const;
+
+  /// Merges another KMV sketch (same k recommended; result uses this k).
+  void Merge(const KmvSketch& other);
+
+  /// Jaccard similarity estimate between the distinct sets summarized by
+  /// two sketches (resemblance over the union's k minima).
+  static double EstimateJaccard(const KmvSketch& a, const KmvSketch& b);
+
+  uint32_t k() const { return k_; }
+
+ private:
+  uint32_t k_;
+  std::set<uint64_t> minima_;  // At most k smallest hashes, deduplicated.
+};
+
+}  // namespace sketch
+}  // namespace aqp
+
+#endif  // AQP_SKETCH_DISTINCT_SAMPLER_H_

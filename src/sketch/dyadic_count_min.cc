@@ -1,0 +1,106 @@
+#include "sketch/dyadic_count_min.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aqp {
+namespace sketch {
+
+Result<DyadicCountMin> DyadicCountMin::Create(uint32_t universe_bits,
+                                              double epsilon, double delta) {
+  if (universe_bits == 0 || universe_bits > 32) {
+    return Status::InvalidArgument("universe_bits must be in [1, 32]");
+  }
+  AQP_ASSIGN_OR_RETURN(CountMinSketch prototype,
+                       CountMinSketch::Create(epsilon, delta));
+  return DyadicCountMin(universe_bits, prototype.depth(), prototype.width());
+}
+
+DyadicCountMin::DyadicCountMin(uint32_t universe_bits, uint32_t depth,
+                               uint32_t width)
+    : universe_bits_(universe_bits),
+      universe_size_(1ULL << universe_bits) {
+  levels_.reserve(universe_bits_ + 1);
+  for (uint32_t l = 0; l <= universe_bits_; ++l) {
+    levels_.emplace_back(depth, width);
+  }
+}
+
+Status DyadicCountMin::Add(uint64_t value, uint64_t count) {
+  if (value >= universe_size_) {
+    return Status::OutOfRange("value outside the sketch universe");
+  }
+  for (uint32_t l = 0; l <= universe_bits_; ++l) {
+    levels_[l].Add(value >> l, count);
+  }
+  total_ += count;
+  return Status::OK();
+}
+
+uint64_t DyadicCountMin::EstimateRange(uint64_t lo, uint64_t hi) const {
+  if (hi >= universe_size_) hi = universe_size_ - 1;
+  if (lo > hi) return 0;
+  // Canonical dyadic decomposition: greedily take the largest aligned block
+  // starting at lo that fits within [lo, hi].
+  uint64_t estimate = 0;
+  uint64_t cursor = lo;
+  while (cursor <= hi) {
+    uint32_t level = 0;
+    // Largest level where cursor is aligned and the block fits.
+    while (level < universe_bits_) {
+      uint64_t block = 1ULL << (level + 1);
+      if ((cursor & (block - 1)) != 0 || cursor + block - 1 > hi) break;
+      ++level;
+    }
+    estimate += levels_[level].Estimate(cursor >> level);
+    uint64_t step = 1ULL << level;
+    if (cursor > UINT64_MAX - step) break;
+    cursor += step;
+  }
+  return estimate;
+}
+
+Result<uint64_t> DyadicCountMin::Quantile(double q) const {
+  if (q < 0.0 || q > 1.0) {
+    return Status::InvalidArgument("q must be in [0, 1]");
+  }
+  if (total_ == 0) {
+    return Status::FailedPrecondition("quantile of empty sketch");
+  }
+  uint64_t target = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  // Binary search the smallest v with rank(v) >= target.
+  uint64_t lo = 0;
+  uint64_t hi = universe_size_ - 1;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (EstimateRank(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+Status DyadicCountMin::Merge(const DyadicCountMin& other) {
+  if (other.universe_bits_ != universe_bits_) {
+    return Status::InvalidArgument("universe size mismatch");
+  }
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    AQP_RETURN_IF_ERROR(levels_[l].Merge(other.levels_[l]));
+  }
+  total_ += other.total_;
+  return Status::OK();
+}
+
+size_t DyadicCountMin::SizeBytes() const {
+  size_t total = 0;
+  for (const CountMinSketch& level : levels_) total += level.SizeBytes();
+  return total;
+}
+
+}  // namespace sketch
+}  // namespace aqp

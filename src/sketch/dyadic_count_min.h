@@ -1,0 +1,59 @@
+#ifndef AQP_SKETCH_DYADIC_COUNT_MIN_H_
+#define AQP_SKETCH_DYADIC_COUNT_MIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "sketch/count_min.h"
+
+namespace aqp {
+namespace sketch {
+
+/// Range-query Count-Min: one Count-Min sketch per dyadic level over the
+/// integer universe [0, 2^universe_bits). A range [lo, hi] decomposes into
+/// at most 2*universe_bits dyadic intervals, so range counts cost
+/// O(log U) point queries, each with the usual one-sided eps*N guarantee.
+/// This is the sketch counterpart of a histogram: mergeable, streaming, and
+/// it also yields approximate quantiles over the universe via binary search
+/// on prefix counts.
+class DyadicCountMin {
+ public:
+  /// universe_bits in [1, 32]; (epsilon, delta) sizes each level's sketch.
+  static Result<DyadicCountMin> Create(uint32_t universe_bits, double epsilon,
+                                       double delta);
+
+  /// Adds `count` occurrences of `value` (must be < 2^universe_bits).
+  Status Add(uint64_t value, uint64_t count = 1);
+
+  /// Estimated number of stream items in [lo, hi] (inclusive; clamped).
+  uint64_t EstimateRange(uint64_t lo, uint64_t hi) const;
+
+  /// Estimated number of items <= value.
+  uint64_t EstimateRank(uint64_t value) const {
+    return EstimateRange(0, value);
+  }
+
+  /// Smallest value whose rank reaches q * N (approximate q-quantile).
+  Result<uint64_t> Quantile(double q) const;
+
+  /// Merges another sketch (same geometry).
+  Status Merge(const DyadicCountMin& other);
+
+  uint64_t total_count() const { return total_; }
+  size_t SizeBytes() const;
+
+ private:
+  DyadicCountMin(uint32_t universe_bits, uint32_t depth, uint32_t width);
+
+  uint32_t universe_bits_;
+  uint64_t universe_size_;
+  uint64_t total_ = 0;
+  // levels_[l]: values bucketed by (value >> l); level 0 is exact values.
+  std::vector<CountMinSketch> levels_;
+};
+
+}  // namespace sketch
+}  // namespace aqp
+
+#endif  // AQP_SKETCH_DYADIC_COUNT_MIN_H_

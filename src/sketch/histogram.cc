@@ -1,0 +1,112 @@
+#include "sketch/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aqp {
+namespace sketch {
+namespace {
+
+// Fraction of bucket [b.low, b.high) overlapped by the query [low, high],
+// assuming uniform spread.
+double OverlapFraction(const Bucket& b, double low, double high) {
+  double width = b.high - b.low;
+  if (width <= 0.0) {
+    // Degenerate (single-value) bucket: in or out.
+    return (b.low >= low && b.low <= high) ? 1.0 : 0.0;
+  }
+  double lo = std::max(b.low, low);
+  double hi = std::min(b.high, high);
+  if (hi <= lo) return 0.0;
+  return (hi - lo) / width;
+}
+
+}  // namespace
+
+Result<Histogram> Histogram::EquiWidth(const std::vector<double>& values,
+                                       uint32_t num_buckets) {
+  if (values.empty()) return Status::InvalidArgument("empty input");
+  if (num_buckets == 0) return Status::InvalidArgument("need >= 1 bucket");
+  auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+  double mn = *mn_it;
+  double mx = *mx_it;
+  if (mn == mx) mx = mn + 1.0;  // Avoid zero-width domain.
+  double width = (mx - mn) / static_cast<double>(num_buckets);
+
+  Histogram h;
+  h.buckets_.resize(num_buckets);
+  for (uint32_t b = 0; b < num_buckets; ++b) {
+    h.buckets_[b].low = mn + width * b;
+    h.buckets_[b].high = mn + width * (b + 1);
+  }
+  h.buckets_.back().high = mx;
+  for (double v : values) {
+    uint32_t b = static_cast<uint32_t>((v - mn) / width);
+    if (b >= num_buckets) b = num_buckets - 1;
+    h.buckets_[b].count++;
+    h.buckets_[b].sum += v;
+  }
+  h.total_count_ = values.size();
+  return h;
+}
+
+Result<Histogram> Histogram::EquiDepth(const std::vector<double>& values,
+                                       uint32_t num_buckets) {
+  if (values.empty()) return Status::InvalidArgument("empty input");
+  if (num_buckets == 0) return Status::InvalidArgument("need >= 1 bucket");
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  num_buckets = static_cast<uint32_t>(
+      std::min<size_t>(num_buckets, n));
+
+  Histogram h;
+  h.total_count_ = n;
+  size_t start = 0;
+  for (uint32_t b = 0; b < num_buckets; ++b) {
+    size_t end = (b + 1 == num_buckets)
+                     ? n
+                     : (n * (b + 1)) / num_buckets;
+    // Extend over ties so a value never straddles two buckets.
+    while (end < n && end > start && sorted[end] == sorted[end - 1]) ++end;
+    if (end <= start) continue;
+    Bucket bucket;
+    bucket.low = sorted[start];
+    bucket.high = (end == n) ? sorted[n - 1] : sorted[end];
+    for (size_t i = start; i < end; ++i) {
+      bucket.count++;
+      bucket.sum += sorted[i];
+    }
+    h.buckets_.push_back(bucket);
+    start = end;
+  }
+  return h;
+}
+
+double Histogram::EstimateRangeCount(double low, double high) const {
+  if (high < low) return 0.0;
+  double total = 0.0;
+  for (const Bucket& b : buckets_) {
+    total += OverlapFraction(b, low, high) * static_cast<double>(b.count);
+  }
+  return total;
+}
+
+double Histogram::EstimateRangeSum(double low, double high) const {
+  if (high < low) return 0.0;
+  double total = 0.0;
+  for (const Bucket& b : buckets_) {
+    total += OverlapFraction(b, low, high) * b.sum;
+  }
+  return total;
+}
+
+double Histogram::EstimateSelectivity(double low, double high) const {
+  if (total_count_ == 0) return 0.0;
+  return EstimateRangeCount(low, high) / static_cast<double>(total_count_);
+}
+
+}  // namespace sketch
+}  // namespace aqp

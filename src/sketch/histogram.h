@@ -1,0 +1,56 @@
+#ifndef AQP_SKETCH_HISTOGRAM_H_
+#define AQP_SKETCH_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aqp {
+namespace sketch {
+
+/// One histogram bucket [low, high) (the final bucket is closed).
+struct Bucket {
+  double low = 0.0;
+  double high = 0.0;
+  uint64_t count = 0;
+  double sum = 0.0;  // Sum of values in the bucket (for range-SUM answers).
+};
+
+/// Bucketed numeric synopsis answering range COUNT/SUM/selectivity queries —
+/// the oldest form of AQP, still what every optimizer uses for selectivity
+/// estimation. Supports equi-width (fixed bucket width) and equi-depth
+/// (quantile-boundary) construction.
+class Histogram {
+ public:
+  /// Equi-width over [min, max] of the data.
+  static Result<Histogram> EquiWidth(const std::vector<double>& values,
+                                     uint32_t num_buckets);
+
+  /// Equi-depth: boundaries at data quantiles, so each bucket holds roughly
+  /// the same number of rows — much better on skewed data.
+  static Result<Histogram> EquiDepth(const std::vector<double>& values,
+                                     uint32_t num_buckets);
+
+  /// Estimated number of rows in [low, high] assuming uniform spread inside
+  /// each bucket (the textbook interpolation).
+  double EstimateRangeCount(double low, double high) const;
+
+  /// Estimated SUM of values in [low, high].
+  double EstimateRangeSum(double low, double high) const;
+
+  /// Estimated selectivity of [low, high] in [0, 1].
+  double EstimateSelectivity(double low, double high) const;
+
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+  uint64_t total_count() const { return total_count_; }
+
+ private:
+  std::vector<Bucket> buckets_;
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace sketch
+}  // namespace aqp
+
+#endif  // AQP_SKETCH_HISTOGRAM_H_

@@ -1,0 +1,103 @@
+#include "sketch/hyperloglog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+
+namespace aqp {
+namespace sketch {
+
+Result<HyperLogLog> HyperLogLog::Create(uint32_t precision) {
+  if (precision < 4 || precision > 18) {
+    return Status::InvalidArgument("HLL precision must be in [4, 18]");
+  }
+  return HyperLogLog(precision);
+}
+
+HyperLogLog::HyperLogLog(uint32_t precision) : precision_(precision) {
+  registers_.assign(1u << precision_, 0);
+}
+
+void HyperLogLog::Add(uint64_t key) {
+  uint64_t h = Mix64(key);
+  uint32_t idx = static_cast<uint32_t>(h >> (64 - precision_));
+  uint64_t rest = h << precision_;
+  // Rank: position of the leftmost 1-bit in the remaining bits (1-based).
+  uint8_t rank = rest == 0
+                     ? static_cast<uint8_t>(64 - precision_ + 1)
+                     : static_cast<uint8_t>(__builtin_clzll(rest) + 1);
+  registers_[idx] = std::max(registers_[idx], rank);
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  if (registers_.size() == 16) {
+    alpha = 0.673;
+  } else if (registers_.size() == 32) {
+    alpha = 0.697;
+  } else if (registers_.size() == 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+  double inverse_sum = 0.0;
+  uint32_t zeros = 0;
+  for (uint8_t r : registers_) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  double raw = alpha * m * m / inverse_sum;
+  if (raw <= 2.5 * m && zeros > 0) {
+    // Small-range correction: linear counting.
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+Status HyperLogLog::Merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_) {
+    return Status::InvalidArgument("HLL precision mismatch");
+  }
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+  return Status::OK();
+}
+
+namespace {
+constexpr uint32_t kHllMagic = 0x484c4c31;  // "HLL1".
+}  // namespace
+
+std::string HyperLogLog::Serialize() const {
+  ByteWriter w;
+  w.PutU32(kHllMagic);
+  w.PutU32(precision_);
+  w.PutBytes(registers_.data(), registers_.size());
+  return w.Take();
+}
+
+Result<HyperLogLog> HyperLogLog::Deserialize(std::string_view data) {
+  ByteReader r(data);
+  AQP_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kHllMagic) {
+    return Status::InvalidArgument("not a serialized HyperLogLog");
+  }
+  AQP_ASSIGN_OR_RETURN(uint32_t precision, r.GetU32());
+  AQP_ASSIGN_OR_RETURN(HyperLogLog hll, Create(precision));
+  if (r.remaining() != hll.registers_.size()) {
+    return Status::InvalidArgument("HyperLogLog register payload mismatch");
+  }
+  AQP_RETURN_IF_ERROR(r.GetBytes(hll.registers_.data(),
+                                 hll.registers_.size()));
+  return hll;
+}
+
+double HyperLogLog::StandardError() const {
+  return 1.04 / std::sqrt(static_cast<double>(registers_.size()));
+}
+
+}  // namespace sketch
+}  // namespace aqp

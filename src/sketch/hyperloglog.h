@@ -1,0 +1,51 @@
+#ifndef AQP_SKETCH_HYPERLOGLOG_H_
+#define AQP_SKETCH_HYPERLOGLOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aqp {
+namespace sketch {
+
+/// HyperLogLog cardinality estimator (Flajolet et al. 2007) with the small-
+/// range linear-counting correction. 2^precision single-byte registers give
+/// a relative standard error of ~1.04 / sqrt(2^precision) — the canonical
+/// answer to COUNT(DISTINCT), the aggregate sampling fundamentally cannot
+/// estimate.
+class HyperLogLog {
+ public:
+  /// precision in [4, 18]: 2^precision registers.
+  static Result<HyperLogLog> Create(uint32_t precision);
+
+  void Add(uint64_t key);
+
+  /// Estimated number of distinct keys added.
+  double Estimate() const;
+
+  /// Merges another sketch (same precision): register-wise max.
+  Status Merge(const HyperLogLog& other);
+
+  uint32_t precision() const { return precision_; }
+  size_t SizeBytes() const { return registers_.size(); }
+
+  /// Theoretical relative standard error for this precision.
+  double StandardError() const;
+
+  /// Compact binary encoding (magic + version + precision + registers).
+  std::string Serialize() const;
+  /// Inverse of Serialize; rejects corrupt or foreign buffers.
+  static Result<HyperLogLog> Deserialize(std::string_view data);
+
+ private:
+  explicit HyperLogLog(uint32_t precision);
+
+  uint32_t precision_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace sketch
+}  // namespace aqp
+
+#endif  // AQP_SKETCH_HYPERLOGLOG_H_

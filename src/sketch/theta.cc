@@ -1,0 +1,81 @@
+#include "sketch/theta.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace aqp {
+namespace sketch {
+
+Result<ThetaSketch> ThetaSketch::Create(uint32_t k) {
+  if (k < 16) return Status::InvalidArgument("theta sketch needs k >= 16");
+  return ThetaSketch(k);
+}
+
+void ThetaSketch::Add(uint64_t key) {
+  uint64_t h = Mix64(key);
+  if (h >= theta_) return;
+  hashes_.insert(h);
+  Trim();
+}
+
+void ThetaSketch::Trim() {
+  while (hashes_.size() > k_) {
+    // Shrink theta to the current maximum retained hash (exclusive bound).
+    auto last = std::prev(hashes_.end());
+    theta_ = *last;
+    hashes_.erase(last);
+  }
+}
+
+double ThetaSketch::theta() const {
+  return static_cast<double>(theta_) / static_cast<double>(UINT64_MAX);
+}
+
+double ThetaSketch::Estimate() const {
+  if (theta_ == UINT64_MAX) {
+    return static_cast<double>(hashes_.size());  // Exact mode.
+  }
+  return static_cast<double>(hashes_.size()) / theta();
+}
+
+double ThetaSketch::StandardError() const {
+  return 1.0 / std::sqrt(static_cast<double>(k_) - 2.0);
+}
+
+ThetaSketch ThetaSketch::Union(const ThetaSketch& a, const ThetaSketch& b) {
+  ThetaSketch out(std::min(a.k_, b.k_));
+  out.theta_ = std::min(a.theta_, b.theta_);
+  for (uint64_t h : a.hashes_) {
+    if (h < out.theta_) out.hashes_.insert(h);
+  }
+  for (uint64_t h : b.hashes_) {
+    if (h < out.theta_) out.hashes_.insert(h);
+  }
+  out.Trim();
+  return out;
+}
+
+ThetaSketch ThetaSketch::Intersect(const ThetaSketch& a,
+                                   const ThetaSketch& b) {
+  ThetaSketch out(std::min(a.k_, b.k_));
+  out.theta_ = std::min(a.theta_, b.theta_);
+  for (uint64_t h : a.hashes_) {
+    if (h < out.theta_ && b.hashes_.count(h) > 0) out.hashes_.insert(h);
+  }
+  return out;
+}
+
+ThetaSketch ThetaSketch::ANotB(const ThetaSketch& a, const ThetaSketch& b) {
+  ThetaSketch out(a.k_);
+  out.theta_ = std::min(a.theta_, b.theta_);
+  for (uint64_t h : a.hashes_) {
+    if (h < out.theta_ && b.hashes_.count(h) == 0) out.hashes_.insert(h);
+  }
+  return out;
+}
+
+}  // namespace sketch
+}  // namespace aqp

@@ -1,0 +1,58 @@
+#ifndef AQP_SKETCH_THETA_H_
+#define AQP_SKETCH_THETA_H_
+
+#include <cstdint>
+#include <set>
+
+#include "common/result.h"
+
+namespace aqp {
+namespace sketch {
+
+/// Theta sketch (Dasgupta, Lang, Rhodes, Thaler): a KMV-style distinct
+/// sketch that additionally supports set algebra — union, intersection, and
+/// difference of the *distinct sets* behind two sketches, each returning a
+/// new sketch. This is what answers "how many distinct users did A AND B
+/// see?" without the raw data, a question neither sampling nor HLL
+/// intersection heuristics answer with guarantees.
+///
+/// Invariant: the sketch retains every hash below theta; when more than k
+/// accumulate, theta shrinks to the k-th smallest retained hash. The
+/// estimate is (retained - 1) / theta_fraction when saturated, exact below k.
+class ThetaSketch {
+ public:
+  /// k >= 16 controls accuracy: relative standard error ~ 1/sqrt(k - 2).
+  static Result<ThetaSketch> Create(uint32_t k);
+
+  void Add(uint64_t key);
+
+  /// Estimated distinct count of keys added.
+  double Estimate() const;
+
+  /// Relative standard error for this k (saturated regime).
+  double StandardError() const;
+
+  /// Set-algebraic combinations (results carry min(k) of the operands).
+  static ThetaSketch Union(const ThetaSketch& a, const ThetaSketch& b);
+  static ThetaSketch Intersect(const ThetaSketch& a, const ThetaSketch& b);
+  /// Distinct keys in `a` but not in `b`.
+  static ThetaSketch ANotB(const ThetaSketch& a, const ThetaSketch& b);
+
+  uint32_t k() const { return k_; }
+  /// Current theta as a fraction of the hash space in (0, 1].
+  double theta() const;
+  size_t retained() const { return hashes_.size(); }
+
+ private:
+  explicit ThetaSketch(uint32_t k) : k_(k) {}
+  void Trim();
+
+  uint32_t k_;
+  uint64_t theta_ = UINT64_MAX;  // Retention threshold (exclusive).
+  std::set<uint64_t> hashes_;    // Retained hashes, all < theta_.
+};
+
+}  // namespace sketch
+}  // namespace aqp
+
+#endif  // AQP_SKETCH_THETA_H_

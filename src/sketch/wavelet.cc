@@ -1,0 +1,116 @@
+#include "sketch/wavelet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aqp {
+namespace sketch {
+namespace {
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::vector<double> WaveletSynopsis::HaarTransform(std::vector<double> data) {
+  AQP_CHECK(IsPowerOfTwo(data.size()));
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  std::vector<double> tmp(data.size());
+  for (size_t len = data.size(); len > 1; len /= 2) {
+    for (size_t i = 0; i < len / 2; ++i) {
+      tmp[i] = (data[2 * i] + data[2 * i + 1]) * inv_sqrt2;           // Avg.
+      tmp[len / 2 + i] = (data[2 * i] - data[2 * i + 1]) * inv_sqrt2;  // Diff.
+    }
+    std::copy(tmp.begin(), tmp.begin() + static_cast<int64_t>(len),
+              data.begin());
+  }
+  return data;
+}
+
+std::vector<double> WaveletSynopsis::InverseHaarTransform(
+    std::vector<double> coeffs) {
+  AQP_CHECK(IsPowerOfTwo(coeffs.size()));
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  std::vector<double> tmp(coeffs.size());
+  for (size_t len = 2; len <= coeffs.size(); len *= 2) {
+    for (size_t i = 0; i < len / 2; ++i) {
+      tmp[2 * i] = (coeffs[i] + coeffs[len / 2 + i]) * inv_sqrt2;
+      tmp[2 * i + 1] = (coeffs[i] - coeffs[len / 2 + i]) * inv_sqrt2;
+    }
+    std::copy(tmp.begin(), tmp.begin() + static_cast<int64_t>(len),
+              coeffs.begin());
+  }
+  return coeffs;
+}
+
+Result<WaveletSynopsis> WaveletSynopsis::Build(const std::vector<double>& data,
+                                               uint32_t num_coefficients) {
+  if (data.empty()) return Status::InvalidArgument("empty input");
+  if (num_coefficients == 0) {
+    return Status::InvalidArgument("need >= 1 coefficient");
+  }
+  WaveletSynopsis synopsis;
+  synopsis.original_size_ = data.size();
+  synopsis.padded_size_ = NextPowerOfTwo(data.size());
+  std::vector<double> padded(data);
+  padded.resize(synopsis.padded_size_, 0.0);
+  std::vector<double> coeffs = HaarTransform(std::move(padded));
+
+  // Keep the B largest-magnitude coefficients (orthonormal basis => this is
+  // the L2-optimal B-term approximation).
+  std::vector<uint32_t> order(coeffs.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<uint32_t>(i);
+  }
+  size_t keep = std::min<size_t>(num_coefficients, coeffs.size());
+  std::nth_element(order.begin(), order.begin() + static_cast<int64_t>(keep),
+                   order.end(), [&](uint32_t a, uint32_t b) {
+                     return std::fabs(coeffs[a]) > std::fabs(coeffs[b]);
+                   });
+  for (size_t i = 0; i < keep; ++i) {
+    synopsis.kept_.push_back({order[i], coeffs[order[i]]});
+  }
+  std::sort(synopsis.kept_.begin(), synopsis.kept_.end(),
+            [](const Coefficient& a, const Coefficient& b) {
+              return a.index < b.index;
+            });
+  return synopsis;
+}
+
+void WaveletSynopsis::EnsureCache() const {
+  if (cache_valid_) return;
+  std::vector<double> coeffs(padded_size_, 0.0);
+  for (const Coefficient& c : kept_) coeffs[c.index] = c.value;
+  cache_ = InverseHaarTransform(std::move(coeffs));
+  cache_valid_ = true;
+}
+
+double WaveletSynopsis::ValueAt(size_t i) const {
+  EnsureCache();
+  return i < padded_size_ ? cache_[i] : 0.0;
+}
+
+double WaveletSynopsis::RangeSum(size_t lo, size_t hi) const {
+  EnsureCache();
+  hi = std::min(hi, original_size_ - 1);
+  double total = 0.0;
+  for (size_t i = lo; i <= hi && i < cache_.size(); ++i) total += cache_[i];
+  return total;
+}
+
+std::vector<double> WaveletSynopsis::Reconstruct() const {
+  EnsureCache();
+  return std::vector<double>(cache_.begin(),
+                             cache_.begin() +
+                                 static_cast<int64_t>(original_size_));
+}
+
+}  // namespace sketch
+}  // namespace aqp

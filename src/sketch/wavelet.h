@@ -1,0 +1,61 @@
+#ifndef AQP_SKETCH_WAVELET_H_
+#define AQP_SKETCH_WAVELET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aqp {
+namespace sketch {
+
+/// Haar wavelet synopsis (Matias, Vitter, Wang 1998): transform a frequency
+/// vector into the Haar basis, keep only the B largest-magnitude normalized
+/// coefficients, reconstruct approximately on demand. Compresses smooth or
+/// piecewise-flat distributions dramatically; the summary-based AQP family
+/// in the paper's taxonomy.
+class WaveletSynopsis {
+ public:
+  /// Builds from a frequency/measure vector (padded to a power of two
+  /// internally), keeping `num_coefficients` coefficients.
+  static Result<WaveletSynopsis> Build(const std::vector<double>& data,
+                                       uint32_t num_coefficients);
+
+  /// Reconstructed value at index i (0 for padded tail).
+  double ValueAt(size_t i) const;
+
+  /// Approximate sum of data[lo..hi] (inclusive bounds, clamped).
+  double RangeSum(size_t lo, size_t hi) const;
+
+  /// Full reconstruction (length = original data size).
+  std::vector<double> Reconstruct() const;
+
+  size_t original_size() const { return original_size_; }
+  size_t coefficients_kept() const { return kept_.size(); }
+
+  /// Forward Haar transform (exposed for tests): length must be a power of
+  /// two. Uses the orthonormal normalization.
+  static std::vector<double> HaarTransform(std::vector<double> data);
+
+  /// Inverse of HaarTransform.
+  static std::vector<double> InverseHaarTransform(std::vector<double> coeffs);
+
+ private:
+  struct Coefficient {
+    uint32_t index;
+    double value;
+  };
+
+  size_t original_size_ = 0;
+  size_t padded_size_ = 0;
+  std::vector<Coefficient> kept_;
+  mutable std::vector<double> cache_;  // Lazy full reconstruction.
+  mutable bool cache_valid_ = false;
+
+  void EnsureCache() const;
+};
+
+}  // namespace sketch
+}  // namespace aqp
+
+#endif  // AQP_SKETCH_WAVELET_H_

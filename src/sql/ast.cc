@@ -1,0 +1,90 @@
+#include "sql/ast.h"
+
+namespace aqp {
+namespace sql {
+
+bool SqlExpr::ContainsAggregate() const {
+  if (kind == Kind::kAggCall) return true;
+  for (const SqlExprPtr& c : children) {
+    if (c != nullptr && c->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+std::string SqlExpr::ToString() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return column;
+    case Kind::kLiteral:
+      if (literal.is_string()) return "'" + literal.str() + "'";
+      return literal.ToString();
+    case Kind::kUnary:
+      if (op == OpKind::kNot) return "NOT (" + children[0]->ToString() + ")";
+      return "-(" + children[0]->ToString() + ")";
+    case Kind::kBinary:
+      return "(" + children[0]->ToString() + " " + std::string(OpName(op)) +
+             " " + children[1]->ToString() + ")";
+    case Kind::kIn: {
+      std::string out = children[0]->ToString() + " IN (";
+      for (size_t i = 0; i < in_list.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += in_list[i].is_string() ? "'" + in_list[i].str() + "'"
+                                      : in_list[i].ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kBetween:
+      return children[0]->ToString() + " BETWEEN " +
+             children[1]->ToString() + " AND " + children[2]->ToString();
+    case Kind::kLike:
+      return children[0]->ToString() + " LIKE '" + like_pattern + "'";
+    case Kind::kFunction: {
+      std::string out = function_name + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kAggCall: {
+      if (agg_kind == AggKind::kCountStar) return "COUNT(*)";
+      std::string name;
+      switch (agg_kind) {
+        case AggKind::kCount:
+          name = "COUNT";
+          break;
+        case AggKind::kCountDistinct:
+          name = "COUNT(DISTINCT";
+          break;
+        case AggKind::kSum:
+          name = "SUM";
+          break;
+        case AggKind::kAvg:
+          name = "AVG";
+          break;
+        case AggKind::kMin:
+          name = "MIN";
+          break;
+        case AggKind::kMax:
+          name = "MAX";
+          break;
+        case AggKind::kVar:
+          name = "VAR";
+          break;
+        case AggKind::kStddev:
+          name = "STDDEV";
+          break;
+        case AggKind::kCountStar:
+          break;
+      }
+      if (agg_kind == AggKind::kCountDistinct) {
+        return name + " " + children[0]->ToString() + ")";
+      }
+      return name + "(" + children[0]->ToString() + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace sql
+}  // namespace aqp

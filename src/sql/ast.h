@@ -1,0 +1,117 @@
+#ifndef AQP_SQL_AST_H_
+#define AQP_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/aggregate.h"
+#include "engine/plan.h"
+#include "expr/expr.h"
+#include "storage/value.h"
+
+namespace aqp {
+namespace sql {
+
+struct SqlExpr;
+using SqlExprPtr = std::shared_ptr<SqlExpr>;
+
+/// Parser-level expression: the engine Expr grammar plus aggregate calls
+/// (which only the binder knows how to place in the plan).
+struct SqlExpr {
+  enum class Kind {
+    kColumn,
+    kLiteral,
+    kUnary,
+    kBinary,
+    kIn,
+    kBetween,
+    kLike,
+    kFunction,
+    kAggCall,
+  };
+
+  Kind kind = Kind::kLiteral;
+  // kColumn.
+  std::string column;
+  // kLiteral.
+  Value literal;
+  // kUnary / kBinary.
+  OpKind op = OpKind::kAdd;
+  std::vector<SqlExprPtr> children;
+  // kIn.
+  std::vector<Value> in_list;
+  // kLike.
+  std::string like_pattern;
+  // kFunction.
+  std::string function_name;
+  // kAggCall: children[0] is the argument (absent for COUNT(*)).
+  AggKind agg_kind = AggKind::kCountStar;
+
+  /// True iff an aggregate call appears anywhere in this tree.
+  bool ContainsAggregate() const;
+
+  /// SQL-ish rendering (used for derived output column names).
+  std::string ToString() const;
+};
+
+/// The user's accuracy contract: "WITH ERROR 5% CONFIDENCE 95%".
+/// Semantics (joint, per §2.4 of the AQP literature): with probability at
+/// least `confidence`, ALL returned aggregates simultaneously have relative
+/// error at most `relative_error`.
+struct ErrorSpec {
+  double relative_error = 0.0;  // e.g. 0.05.
+  double confidence = 0.0;      // e.g. 0.95.
+};
+
+/// FROM/JOIN table reference with optional alias and TABLESAMPLE clause.
+struct TableRef {
+  std::string table;
+  std::string alias;  // Empty -> use table name as qualifier.
+  SampleSpec sample;
+
+  const std::string& qualifier() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+/// One "JOIN t ON a = b [AND c = d ...]" clause. Conditions are raw column
+/// pairs; the binder works out which side each column belongs to.
+struct JoinClause {
+  TableRef table;
+  JoinType type = JoinType::kInner;
+  std::vector<std::pair<std::string, std::string>> conditions;
+};
+
+/// One SELECT-list item.
+struct SelectItem {
+  SqlExprPtr expr;
+  std::string alias;  // Empty -> derived from the expression text.
+};
+
+/// One ORDER BY key (references an output column name or alias).
+struct OrderItem {
+  std::string column;
+  bool ascending = true;
+};
+
+/// A parsed SELECT statement.
+struct SelectStmt {
+  bool distinct = false;  // SELECT DISTINCT.
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  SqlExprPtr where;                // May be null.
+  std::vector<SqlExprPtr> group_by;
+  SqlExprPtr having;               // May be null.
+  std::vector<OrderItem> order_by;
+  std::optional<uint64_t> limit;
+  std::optional<ErrorSpec> error_spec;
+};
+
+}  // namespace sql
+}  // namespace aqp
+
+#endif  // AQP_SQL_AST_H_

@@ -1,0 +1,50 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace aqp {
+namespace stats {
+
+ConfidenceInterval BootstrapCi(
+    const std::vector<double>& values,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    const BootstrapOptions& options) {
+  AQP_CHECK(!values.empty());
+  AQP_CHECK(options.num_resamples >= 2);
+  Pcg32 rng(options.seed);
+  std::vector<double> stats_out;
+  stats_out.reserve(options.num_resamples);
+  std::vector<double> resample(values.size());
+  for (uint32_t b = 0; b < options.num_resamples; ++b) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      resample[i] =
+          values[rng.UniformUint64(static_cast<uint64_t>(values.size()))];
+    }
+    stats_out.push_back(statistic(resample));
+  }
+  double alpha = 1.0 - options.confidence;
+  ConfidenceInterval ci;
+  ci.estimate = statistic(values);
+  ci.confidence = options.confidence;
+  ci.low = ExactQuantile(stats_out, alpha / 2.0);
+  ci.high = ExactQuantile(std::move(stats_out), 1.0 - alpha / 2.0);
+  return ci;
+}
+
+ConfidenceInterval BootstrapMeanCi(const std::vector<double>& values,
+                                   const BootstrapOptions& options) {
+  return BootstrapCi(
+      values,
+      [](const std::vector<double>& v) {
+        double sum = 0.0;
+        for (double x : v) sum += x;
+        return sum / static_cast<double>(v.size());
+      },
+      options);
+}
+
+}  // namespace stats
+}  // namespace aqp

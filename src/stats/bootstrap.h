@@ -1,0 +1,40 @@
+#ifndef AQP_STATS_BOOTSTRAP_H_
+#define AQP_STATS_BOOTSTRAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "stats/confidence.h"
+
+namespace aqp {
+namespace stats {
+
+/// Options for percentile bootstrap.
+struct BootstrapOptions {
+  uint32_t num_resamples = 200;
+  double confidence = 0.95;
+  uint64_t seed = 7;
+};
+
+/// Percentile-bootstrap confidence interval for an arbitrary statistic of a
+/// sample: resamples `values` with replacement `num_resamples` times, applies
+/// `statistic` to each resample, and returns the empirical
+/// (alpha/2, 1-alpha/2) percentiles around the plug-in estimate.
+///
+/// This is the AQP fallback for estimators whose analytic variance is
+/// intractable (e.g. aggregates over joins of samples).
+ConfidenceInterval BootstrapCi(
+    const std::vector<double>& values,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    const BootstrapOptions& options = {});
+
+/// Bootstrap CI for the mean (common case, avoids the lambda).
+ConfidenceInterval BootstrapMeanCi(const std::vector<double>& values,
+                                   const BootstrapOptions& options = {});
+
+}  // namespace stats
+}  // namespace aqp
+
+#endif  // AQP_STATS_BOOTSTRAP_H_

@@ -1,0 +1,225 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace aqp {
+namespace stats {
+namespace {
+
+constexpr double kEps = 1e-14;
+constexpr int kMaxIter = 300;
+
+// Continued-fraction evaluation of the incomplete gamma Q(a,x) (Lentz).
+double GammaContinuedFraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / 1e-300;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIter; ++i) {
+    double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::fabs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEps) break;
+  }
+  return std::exp(-x + a * std::log(x) - LogGamma(a)) * h;
+}
+
+// Series expansion of P(a,x), converges fast for x < a + 1.
+double GammaSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int i = 0; i < kMaxIter; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+// Continued fraction for the regularized incomplete beta (Lentz).
+double BetaContinuedFraction(double x, double a, double b) {
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < 1e-300) d = 1e-300;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < 1e-300) d = 1e-300;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < 1e-300) d = 1e-300;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double LogGamma(double x) {
+  AQP_CHECK(x > 0.0);
+  // Lanczos approximation (g = 7, n = 9), double-precision accurate.
+  static const double kCoeffs[] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - LogGamma(1.0 - x);
+  }
+  x -= 1.0;
+  double acc = kCoeffs[0];
+  double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) acc += kCoeffs[i] / (x + i);
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t +
+         std::log(acc);
+}
+
+double NormalCdf(double x) {
+  return 0.5 * std::erfc(-x * M_SQRT1_2);
+}
+
+double NormalQuantile(double p) {
+  AQP_CHECK(p > 0.0 && p < 1.0) << "p=" << p;
+  // Acklam's rational approximation with one Halley refinement step.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    double q = p - 0.5;
+    double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley step against the exact CDF.
+  double e = NormalCdf(x) - p;
+  double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double RegularizedGammaP(double a, double x) {
+  AQP_CHECK(a > 0.0);
+  AQP_CHECK(x >= 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaSeries(a, x);
+  return 1.0 - GammaContinuedFraction(a, x);
+}
+
+double RegularizedBeta(double x, double a, double b) {
+  AQP_CHECK(a > 0.0 && b > 0.0);
+  AQP_CHECK(x >= 0.0 && x <= 1.0);
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  double log_front = LogGamma(a + b) - LogGamma(a) - LogGamma(b) +
+                     a * std::log(x) + b * std::log(1.0 - x);
+  double front = std::exp(log_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(x, a, b) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(1.0 - x, b, a) / b;
+}
+
+double StudentTCdf(double t, double df) {
+  AQP_CHECK(df > 0.0);
+  double x = df / (df + t * t);
+  double prob = 0.5 * RegularizedBeta(x, df / 2.0, 0.5);
+  return t > 0.0 ? 1.0 - prob : prob;
+}
+
+double StudentTQuantile(double p, double df) {
+  AQP_CHECK(p > 0.0 && p < 1.0);
+  AQP_CHECK(df > 0.0);
+  if (df > 1e6) return NormalQuantile(p);
+  if (p == 0.5) return 0.0;
+  // Bisection on the CDF; robust and fast enough (quantiles are computed once
+  // per query, not per tuple).
+  double lo = -1e10;
+  double hi = 1e10;
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (StudentTCdf(mid, df) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-10 * (1.0 + std::fabs(hi))) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double ChiSquaredCdf(double x, double df) {
+  AQP_CHECK(df > 0.0);
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(df / 2.0, x / 2.0);
+}
+
+double ChiSquaredQuantile(double p, double df) {
+  AQP_CHECK(p > 0.0 && p < 1.0);
+  AQP_CHECK(df > 0.0);
+  // Wilson–Hilferty starting point, then bisection refinement.
+  double z = NormalQuantile(p);
+  double term = 1.0 - 2.0 / (9.0 * df) + z * std::sqrt(2.0 / (9.0 * df));
+  double guess = df * term * term * term;
+  if (guess <= 0.0) guess = 1e-8;
+  double lo = 0.0;
+  double hi = guess;
+  while (ChiSquaredCdf(hi, df) < p) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (ChiSquaredCdf(mid, df) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace stats
+}  // namespace aqp

@@ -1,0 +1,40 @@
+#ifndef AQP_STATS_DISTRIBUTIONS_H_
+#define AQP_STATS_DISTRIBUTIONS_H_
+
+namespace aqp {
+namespace stats {
+
+/// Standard normal cumulative distribution function Phi(x).
+double NormalCdf(double x);
+
+/// Standard normal quantile Phi^{-1}(p), p in (0,1). Acklam's algorithm,
+/// relative error < 1.15e-9 across the domain.
+double NormalQuantile(double p);
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a,x) / Gamma(a).
+/// a > 0, x >= 0. Series expansion for x < a+1, continued fraction otherwise.
+double RegularizedGammaP(double a, double x);
+
+/// Regularized incomplete beta I_x(a, b), a,b > 0, x in [0,1].
+double RegularizedBeta(double x, double a, double b);
+
+/// Student's t cumulative distribution function with `df` degrees of freedom.
+double StudentTCdf(double t, double df);
+
+/// Student's t quantile: smallest t with StudentTCdf(t, df) >= p.
+/// df > 0, p in (0,1). Falls back to the normal quantile for df > 1e6.
+double StudentTQuantile(double p, double df);
+
+/// Chi-squared CDF with `df` degrees of freedom.
+double ChiSquaredCdf(double x, double df);
+
+/// Chi-squared quantile, df > 0, p in (0,1). Wilson–Hilferty start + Newton.
+double ChiSquaredQuantile(double p, double df);
+
+/// ln Gamma(x) for x > 0 (Lanczos approximation).
+double LogGamma(double x);
+
+}  // namespace stats
+}  // namespace aqp
+
+#endif  // AQP_STATS_DISTRIBUTIONS_H_

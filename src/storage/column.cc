@@ -1,0 +1,229 @@
+#include "storage/column.h"
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace aqp {
+
+Column Column::FromInt64(std::vector<int64_t> values) {
+  Column c(DataType::kInt64);
+  c.valid_.assign(values.size(), 1);
+  c.ints_ = std::move(values);
+  return c;
+}
+
+Column Column::FromDouble(std::vector<double> values) {
+  Column c(DataType::kDouble);
+  c.valid_.assign(values.size(), 1);
+  c.doubles_ = std::move(values);
+  return c;
+}
+
+Column Column::FromString(std::vector<std::string> values) {
+  Column c(DataType::kString);
+  c.valid_.assign(values.size(), 1);
+  c.strings_ = std::move(values);
+  return c;
+}
+
+Column Column::FromBool(std::vector<bool> values) {
+  Column c(DataType::kBool);
+  c.valid_.assign(values.size(), 1);
+  c.bools_.reserve(values.size());
+  for (bool b : values) c.bools_.push_back(b ? 1 : 0);
+  return c;
+}
+
+double Column::NumericAt(size_t i) const {
+  if (type_ == DataType::kInt64) return static_cast<double>(ints_[i]);
+  AQP_CHECK(type_ == DataType::kDouble)
+      << "NumericAt on " << DataTypeName(type_) << " column";
+  return doubles_[i];
+}
+
+Value Column::GetValue(size_t i) const {
+  AQP_DCHECK(i < size());
+  if (IsNull(i)) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+      return Value(ints_[i]);
+    case DataType::kDouble:
+      return Value(doubles_[i]);
+    case DataType::kString:
+      return Value(strings_[i]);
+    case DataType::kBool:
+      return Value(bools_[i] != 0);
+  }
+  return Value::Null();
+}
+
+void Column::AppendInt64(int64_t v) {
+  AQP_DCHECK(type_ == DataType::kInt64);
+  ints_.push_back(v);
+  valid_.push_back(1);
+}
+
+void Column::AppendDouble(double v) {
+  AQP_DCHECK(type_ == DataType::kDouble);
+  doubles_.push_back(v);
+  valid_.push_back(1);
+}
+
+void Column::AppendString(std::string v) {
+  AQP_DCHECK(type_ == DataType::kString);
+  strings_.push_back(std::move(v));
+  valid_.push_back(1);
+}
+
+void Column::AppendBool(bool v) {
+  AQP_DCHECK(type_ == DataType::kBool);
+  bools_.push_back(v ? 1 : 0);
+  valid_.push_back(1);
+}
+
+void Column::AppendNull() {
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.push_back(0);
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case DataType::kString:
+      strings_.emplace_back();
+      break;
+    case DataType::kBool:
+      bools_.push_back(0);
+      break;
+  }
+  valid_.push_back(0);
+  ++null_count_;
+}
+
+Status Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      if (!v.is_int64()) break;
+      AppendInt64(v.int64());
+      return Status::OK();
+    case DataType::kDouble:
+      if (v.is_double()) {
+        AppendDouble(v.dbl());
+        return Status::OK();
+      }
+      if (v.is_int64()) {  // Widen INT64 literals into DOUBLE columns.
+        AppendDouble(static_cast<double>(v.int64()));
+        return Status::OK();
+      }
+      break;
+    case DataType::kString:
+      if (!v.is_string()) break;
+      AppendString(v.str());
+      return Status::OK();
+    case DataType::kBool:
+      if (!v.is_bool()) break;
+      AppendBool(v.boolean());
+      return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "value " + v.ToString() + " does not fit column type " +
+      std::string(DataTypeName(type_)));
+}
+
+void Column::AppendFrom(const Column& other, size_t i) {
+  AQP_DCHECK(other.type_ == type_);
+  if (other.IsNull(i)) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      AppendInt64(other.ints_[i]);
+      break;
+    case DataType::kDouble:
+      AppendDouble(other.doubles_[i]);
+      break;
+    case DataType::kString:
+      AppendString(other.strings_[i]);
+      break;
+    case DataType::kBool:
+      AppendBool(other.bools_[i] != 0);
+      break;
+  }
+}
+
+Column Column::Take(const std::vector<uint32_t>& indices) const {
+  Column out(type_);
+  out.Reserve(indices.size());
+  for (uint32_t i : indices) {
+    AQP_DCHECK(i < size());
+    out.AppendFrom(*this, i);
+  }
+  return out;
+}
+
+Column Column::Slice(size_t offset, size_t length) const {
+  AQP_CHECK(offset <= size());
+  length = std::min(length, size() - offset);
+  Column out(type_);
+  out.Reserve(length);
+  for (size_t i = offset; i < offset + length; ++i) out.AppendFrom(*this, i);
+  return out;
+}
+
+uint64_t Column::HashAt(size_t i, uint64_t seed) const {
+  if (IsNull(i)) return Mix64(seed ^ 0xdeadbeefcafef00dULL);
+  switch (type_) {
+    case DataType::kInt64:
+      return HashInt64(ints_[i], seed);
+    case DataType::kDouble:
+      return HashDouble(doubles_[i], seed);
+    case DataType::kString:
+      return HashString(strings_[i], seed);
+    case DataType::kBool:
+      return HashInt64(bools_[i] != 0 ? 1 : 0, seed ^ 0x5bd1e995);
+  }
+  return 0;
+}
+
+bool Column::SlotEquals(size_t i, const Column& other, size_t j) const {
+  AQP_DCHECK(type_ == other.type_);
+  bool a_null = IsNull(i);
+  bool b_null = other.IsNull(j);
+  if (a_null || b_null) return a_null && b_null;
+  switch (type_) {
+    case DataType::kInt64:
+      return ints_[i] == other.ints_[j];
+    case DataType::kDouble:
+      return doubles_[i] == other.doubles_[j];
+    case DataType::kString:
+      return strings_[i] == other.strings_[j];
+    case DataType::kBool:
+      return bools_[i] == other.bools_[j];
+  }
+  return false;
+}
+
+void Column::Reserve(size_t n) {
+  valid_.reserve(n);
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.reserve(n);
+      break;
+    case DataType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case DataType::kString:
+      strings_.reserve(n);
+      break;
+    case DataType::kBool:
+      bools_.reserve(n);
+      break;
+  }
+}
+
+}  // namespace aqp

@@ -1,0 +1,91 @@
+#ifndef AQP_STORAGE_COLUMN_H_
+#define AQP_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace aqp {
+
+/// A typed, nullable, append-only column vector. Data is stored densely in a
+/// single std::vector of the physical type plus a validity byte-map; NULL
+/// slots hold a default-initialized physical value.
+class Column {
+ public:
+  /// Constructs an empty column of the given type.
+  explicit Column(DataType type) : type_(type) {}
+
+  /// Convenience factories pre-filled from a vector (all values valid).
+  static Column FromInt64(std::vector<int64_t> values);
+  static Column FromDouble(std::vector<double> values);
+  static Column FromString(std::vector<std::string> values);
+  static Column FromBool(std::vector<bool> values);
+
+  DataType type() const { return type_; }
+  size_t size() const { return valid_.size(); }
+  bool empty() const { return valid_.empty(); }
+
+  /// True iff slot `i` is NULL.
+  bool IsNull(size_t i) const { return valid_[i] == 0; }
+  /// Number of NULL slots.
+  size_t null_count() const { return null_count_; }
+
+  /// Typed accessors; callers must respect type() and check IsNull first for
+  /// semantic correctness (reading a NULL slot returns the default value).
+  int64_t Int64At(size_t i) const { return ints_[i]; }
+  double DoubleAt(size_t i) const { return doubles_[i]; }
+  const std::string& StringAt(size_t i) const { return strings_[i]; }
+  bool BoolAt(size_t i) const { return bools_[i] != 0; }
+
+  /// Numeric view of slot i (INT64 widened to double). CHECK-fails on
+  /// non-numeric column types.
+  double NumericAt(size_t i) const;
+
+  /// Boxed value of slot i (Value::Null() for NULL slots).
+  Value GetValue(size_t i) const;
+
+  /// Typed appends.
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+  void AppendBool(bool v);
+  void AppendNull();
+
+  /// Appends a boxed value; the value type must match (INT64 widens into
+  /// DOUBLE columns).
+  Status AppendValue(const Value& v);
+
+  /// Appends slot `i` of `other` (same type) onto this column.
+  void AppendFrom(const Column& other, size_t i);
+
+  /// Gathers the given row indices into a new column.
+  Column Take(const std::vector<uint32_t>& indices) const;
+
+  /// Contiguous sub-range [offset, offset+length) as a new column.
+  Column Slice(size_t offset, size_t length) const;
+
+  /// 64-bit hash of slot i (NULL hashes to a fixed sentinel).
+  uint64_t HashAt(size_t i, uint64_t seed = 0) const;
+
+  /// True iff slots i (here) and j (other) hold equal non-null values or are
+  /// both NULL. Columns must share a type.
+  bool SlotEquals(size_t i, const Column& other, size_t j) const;
+
+  void Reserve(size_t n);
+
+ private:
+  DataType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<uint8_t> bools_;
+  std::vector<uint8_t> valid_;
+  size_t null_count_ = 0;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_STORAGE_COLUMN_H_

@@ -1,0 +1,141 @@
+#include "storage/csv.h"
+
+#include <fstream>
+
+#include "common/str_util.h"
+
+namespace aqp {
+namespace {
+
+bool NeedsQuoting(const std::string& s, char delim) {
+  return s.find(delim) != std::string::npos ||
+         s.find('"') != std::string::npos || s.find('\n') != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+// Splits one CSV line honoring double-quoted fields.
+std::vector<std::string> ParseCsvLine(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<Value> ParseField(const std::string& field, DataType type) {
+  if (field.empty()) return Value::Null();
+  switch (type) {
+    case DataType::kInt64: {
+      AQP_ASSIGN_OR_RETURN(int64_t v, ParseInt64(field));
+      return Value(v);
+    }
+    case DataType::kDouble: {
+      AQP_ASSIGN_OR_RETURN(double v, ParseDouble(field));
+      return Value(v);
+    }
+    case DataType::kString:
+      return Value(field);
+    case DataType::kBool:
+      if (EqualsIgnoreCase(field, "true") || field == "1") return Value(true);
+      if (EqualsIgnoreCase(field, "false") || field == "0") {
+        return Value(false);
+      }
+      return Status::InvalidArgument("invalid bool literal: " + field);
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, const std::string& path, char delim) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out << delim;
+    out << table.schema().field(c).name;
+  }
+  out << '\n';
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << delim;
+      const Column& col = table.column(c);
+      if (col.IsNull(i)) continue;  // NULL -> empty field.
+      std::string s = col.GetValue(i).ToString();
+      out << (NeedsQuoting(s, delim) ? QuoteField(s) : s);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(const std::string& path, const Schema& schema,
+                      char delim) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV file: " + path);
+  }
+  std::vector<std::string> header = ParseCsvLine(line, delim);
+  if (header.size() != schema.num_fields()) {
+    return Status::InvalidArgument("CSV header arity mismatch in " + path);
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (StripWhitespace(header[i]) != schema.field(i).name) {
+      return Status::InvalidArgument("CSV header mismatch: expected " +
+                                     schema.field(i).name + ", got " +
+                                     header[i]);
+    }
+  }
+  Table table(schema);
+  size_t line_no = 1;
+  std::vector<Value> row(schema.num_fields());
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = ParseCsvLine(line, delim);
+    if (fields.size() != schema.num_fields()) {
+      return Status::InvalidArgument("CSV arity mismatch at line " +
+                                     std::to_string(line_no));
+    }
+    for (size_t c = 0; c < fields.size(); ++c) {
+      AQP_ASSIGN_OR_RETURN(row[c], ParseField(fields[c], schema.field(c).type));
+    }
+    AQP_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace aqp

@@ -1,0 +1,22 @@
+#ifndef AQP_STORAGE_CSV_H_
+#define AQP_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace aqp {
+
+/// Writes `table` as CSV with a header row. Strings containing the delimiter,
+/// quotes, or newlines are quoted; NULL is written as an empty field.
+Status WriteCsv(const Table& table, const std::string& path, char delim = ',');
+
+/// Reads a CSV file with a header row into a table with the given schema;
+/// header names must match the schema field names. Empty fields become NULL.
+Result<Table> ReadCsv(const std::string& path, const Schema& schema,
+                      char delim = ',');
+
+}  // namespace aqp
+
+#endif  // AQP_STORAGE_CSV_H_

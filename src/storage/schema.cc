@@ -1,0 +1,42 @@
+#include "storage/schema.h"
+
+#include "common/str_util.h"
+
+namespace aqp {
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  // Pass 1: exact match.
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  // Pass 2: unqualified `name` against qualified fields "<qualifier>.<name>".
+  if (name.find('.') == std::string::npos) {
+    size_t found = fields_.size();
+    int matches = 0;
+    std::string suffix = "." + name;
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      const std::string& f = fields_[i].name;
+      if (f.size() > suffix.size() &&
+          f.compare(f.size() - suffix.size(), suffix.size(), suffix) == 0) {
+        found = i;
+        ++matches;
+      }
+    }
+    if (matches == 1) return found;
+    if (matches > 1) {
+      return Status::InvalidArgument("ambiguous column reference: " + name);
+    }
+  }
+  return Status::NotFound("no column named " + name);
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const Field& f : fields_) {
+    parts.push_back(f.name + ":" + std::string(DataTypeName(f.type)));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace aqp

@@ -1,0 +1,59 @@
+#ifndef AQP_STORAGE_SCHEMA_H_
+#define AQP_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace aqp {
+
+/// One column's name and type.
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered list of fields describing a table's columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Appends a field (duplicate names are allowed at this layer; the SQL
+  /// binder enforces uniqueness where it matters).
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  /// Index of the field named `name`, or NotFound. Exact-match first; when
+  /// `name` is unqualified ("price") also matches a single qualified field
+  /// ("l.price"); ambiguity is an error.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  /// True iff the schema has a field named `name`.
+  bool HasField(const std::string& name) const {
+    return FieldIndex(name).ok();
+  }
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+  /// "name:TYPE, name:TYPE, ..." rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_STORAGE_SCHEMA_H_

@@ -1,0 +1,48 @@
+#include "storage/value.h"
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace aqp {
+
+std::string_view DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kBool:
+      return "BOOL";
+  }
+  return "UNKNOWN";
+}
+
+bool IsNumeric(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kDouble;
+}
+
+double Value::AsDouble() const {
+  if (is_int64()) return static_cast<double>(int64());
+  AQP_CHECK(is_double()) << "AsDouble on non-numeric value " << ToString();
+  return dbl();
+}
+
+DataType Value::type() const {
+  AQP_CHECK(!is_null()) << "type() on NULL value";
+  if (is_int64()) return DataType::kInt64;
+  if (is_double()) return DataType::kDouble;
+  if (is_string()) return DataType::kString;
+  return DataType::kBool;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int64()) return std::to_string(int64());
+  if (is_double()) return FormatDouble(dbl());
+  if (is_bool()) return boolean() ? "true" : "false";
+  return str();
+}
+
+}  // namespace aqp

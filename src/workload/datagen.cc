@@ -1,0 +1,252 @@
+#include "workload/datagen.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace aqp {
+namespace workload {
+namespace {
+
+DataType SpecType(const ColumnSpec& spec) {
+  switch (spec.dist) {
+    case ColumnSpec::Dist::kSequential:
+    case ColumnSpec::Dist::kUniformInt:
+    case ColumnSpec::Dist::kZipfInt:
+      return DataType::kInt64;
+    case ColumnSpec::Dist::kCategorical:
+      return DataType::kString;
+    default:
+      return DataType::kDouble;
+  }
+}
+
+}  // namespace
+
+Result<Table> GenerateTable(const std::vector<ColumnSpec>& specs, size_t rows,
+                            uint64_t seed) {
+  if (specs.empty()) return Status::InvalidArgument("no column specs");
+  Schema schema;
+  for (const ColumnSpec& spec : specs) {
+    schema.AddField({spec.name, SpecType(spec)});
+    if (spec.dist == ColumnSpec::Dist::kCategorical &&
+        spec.categories.empty()) {
+      return Status::InvalidArgument("categorical column " + spec.name +
+                                     " has no categories");
+    }
+    if (spec.dist == ColumnSpec::Dist::kUniformInt &&
+        spec.max_value < spec.min_value) {
+      return Status::InvalidArgument("bad range for " + spec.name);
+    }
+  }
+  Table table(schema);
+
+  // One RNG stream per column keeps columns independent and layouts stable
+  // when a column spec changes.
+  std::vector<Pcg32> rngs;
+  std::vector<std::unique_ptr<ZipfGenerator>> zipfs(specs.size());
+  for (size_t c = 0; c < specs.size(); ++c) {
+    rngs.emplace_back(seed, /*stream=*/c + 1);
+    const ColumnSpec& spec = specs[c];
+    if (spec.dist == ColumnSpec::Dist::kZipfInt) {
+      zipfs[c] = std::make_unique<ZipfGenerator>(spec.cardinality,
+                                                 spec.zipf_s);
+    } else if (spec.dist == ColumnSpec::Dist::kCategorical) {
+      zipfs[c] = std::make_unique<ZipfGenerator>(spec.categories.size(),
+                                                 spec.zipf_s);
+    }
+  }
+
+  for (size_t c = 0; c < specs.size(); ++c) {
+    const ColumnSpec& spec = specs[c];
+    Column& col = table.mutable_column(c);
+    col.Reserve(rows);
+    Pcg32& rng = rngs[c];
+    for (size_t i = 0; i < rows; ++i) {
+      switch (spec.dist) {
+        case ColumnSpec::Dist::kSequential:
+          col.AppendInt64(static_cast<int64_t>(i));
+          break;
+        case ColumnSpec::Dist::kUniformInt:
+          col.AppendInt64(spec.min_value +
+                          static_cast<int64_t>(rng.UniformUint64(
+                              static_cast<uint64_t>(spec.max_value -
+                                                    spec.min_value + 1))));
+          break;
+        case ColumnSpec::Dist::kZipfInt:
+          col.AppendInt64(static_cast<int64_t>(zipfs[c]->Next(rng)));
+          break;
+        case ColumnSpec::Dist::kUniformDouble:
+          col.AppendDouble(static_cast<double>(spec.min_value) +
+                           rng.NextDouble() *
+                               static_cast<double>(spec.max_value -
+                                                   spec.min_value));
+          break;
+        case ColumnSpec::Dist::kNormal:
+          col.AppendDouble(spec.mean + spec.stddev * rng.Gaussian());
+          break;
+        case ColumnSpec::Dist::kExponential:
+          col.AppendDouble(rng.Exponential(spec.rate));
+          break;
+        case ColumnSpec::Dist::kPareto: {
+          double u = rng.NextDouble() + 1e-12;
+          col.AppendDouble(std::pow(u, -1.0 / spec.pareto_alpha));
+          break;
+        }
+        case ColumnSpec::Dist::kCategorical:
+          col.AppendString(spec.categories[zipfs[c]->Next(rng)]);
+          break;
+      }
+    }
+  }
+  // Rebuild through Make so num_rows is consistent.
+  std::vector<Column> cols;
+  cols.reserve(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    cols.push_back(table.column(c));
+  }
+  return Table::Make(schema, std::move(cols));
+}
+
+Result<Catalog> GenerateStarSchema(const StarSchemaSpec& spec, uint64_t seed) {
+  Catalog catalog;
+  // Dimensions.
+  for (size_t d = 0; d < spec.dim_sizes.size(); ++d) {
+    Table dim(Schema({{"pk", DataType::kInt64},
+                      {"attr", DataType::kString},
+                      {"band", DataType::kInt64}}));
+    for (uint64_t k = 0; k < spec.dim_sizes[d]; ++k) {
+      AQP_RETURN_IF_ERROR(
+          dim.AppendRow({Value(static_cast<int64_t>(k)),
+                         Value("v" + std::to_string(k % 50)),
+                         Value(static_cast<int64_t>(k % 10))}));
+    }
+    AQP_RETURN_IF_ERROR(catalog.Register(
+        "dim_" + std::to_string(d),
+        std::make_shared<Table>(std::move(dim))));
+  }
+  // Fact.
+  std::vector<ColumnSpec> fact_specs;
+  {
+    ColumnSpec id;
+    id.name = "id";
+    id.dist = ColumnSpec::Dist::kSequential;
+    fact_specs.push_back(id);
+  }
+  for (size_t d = 0; d < spec.dim_sizes.size(); ++d) {
+    ColumnSpec fk;
+    fk.name = "fk_" + std::to_string(d);
+    fk.dist = ColumnSpec::Dist::kZipfInt;
+    fk.cardinality = spec.dim_sizes[d];
+    fk.zipf_s = spec.fk_skew;
+    fact_specs.push_back(fk);
+  }
+  for (uint32_t m = 0; m < spec.num_measures; ++m) {
+    ColumnSpec measure;
+    measure.name = "measure_" + std::to_string(m);
+    if (m % 2 == 0) {
+      measure.dist = ColumnSpec::Dist::kExponential;
+      measure.rate = 1.0;
+    } else {
+      measure.dist = ColumnSpec::Dist::kNormal;
+      measure.mean = 100.0;
+      measure.stddev = 20.0;
+    }
+    fact_specs.push_back(measure);
+  }
+  AQP_ASSIGN_OR_RETURN(Table fact,
+                       GenerateTable(fact_specs, spec.fact_rows, seed));
+  AQP_RETURN_IF_ERROR(
+      catalog.Register("fact", std::make_shared<Table>(std::move(fact))));
+  return catalog;
+}
+
+Result<Catalog> GenerateLineitemLike(size_t lineitem_rows, uint64_t seed) {
+  Catalog catalog;
+  const uint64_t num_orders = std::max<uint64_t>(lineitem_rows / 4, 1);
+  static const char* kModes[] = {"AIR",  "RAIL", "SHIP",
+                                 "TRUCK", "MAIL", "FOB"};
+  static const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                      "4-NOT SPECIFIED", "5-LOW"};
+
+  std::vector<ColumnSpec> li_specs;
+  {
+    ColumnSpec orderkey;
+    orderkey.name = "orderkey";
+    orderkey.dist = ColumnSpec::Dist::kUniformInt;
+    orderkey.min_value = 0;
+    orderkey.max_value = static_cast<int64_t>(num_orders) - 1;
+    li_specs.push_back(orderkey);
+
+    ColumnSpec suppkey;
+    suppkey.name = "suppkey";
+    suppkey.dist = ColumnSpec::Dist::kZipfInt;
+    suppkey.cardinality = 1000;
+    suppkey.zipf_s = 0.8;
+    li_specs.push_back(suppkey);
+
+    ColumnSpec quantity;
+    quantity.name = "quantity";
+    quantity.dist = ColumnSpec::Dist::kUniformInt;
+    quantity.min_value = 1;
+    quantity.max_value = 50;
+    li_specs.push_back(quantity);
+
+    ColumnSpec price;
+    price.name = "extendedprice";
+    price.dist = ColumnSpec::Dist::kPareto;
+    price.pareto_alpha = 2.5;
+    li_specs.push_back(price);
+
+    ColumnSpec discount;
+    discount.name = "discount";
+    discount.dist = ColumnSpec::Dist::kUniformDouble;
+    discount.min_value = 0;
+    discount.max_value = 1;  // Scaled below via expression in queries (0-10%).
+    li_specs.push_back(discount);
+
+    ColumnSpec mode;
+    mode.name = "shipmode";
+    mode.dist = ColumnSpec::Dist::kCategorical;
+    mode.zipf_s = 0.5;
+    mode.categories.assign(std::begin(kModes), std::end(kModes));
+    li_specs.push_back(mode);
+  }
+  AQP_ASSIGN_OR_RETURN(Table lineitem,
+                       GenerateTable(li_specs, lineitem_rows, seed));
+
+  std::vector<ColumnSpec> ord_specs;
+  {
+    ColumnSpec orderkey;
+    orderkey.name = "orderkey";
+    orderkey.dist = ColumnSpec::Dist::kSequential;
+    ord_specs.push_back(orderkey);
+
+    ColumnSpec custkey;
+    custkey.name = "custkey";
+    custkey.dist = ColumnSpec::Dist::kZipfInt;
+    custkey.cardinality = 5000;
+    custkey.zipf_s = 1.0;
+    ord_specs.push_back(custkey);
+
+    ColumnSpec priority;
+    priority.name = "orderpriority";
+    priority.dist = ColumnSpec::Dist::kCategorical;
+    priority.zipf_s = 0.3;
+    priority.categories.assign(std::begin(kPriorities),
+                               std::end(kPriorities));
+    ord_specs.push_back(priority);
+  }
+  AQP_ASSIGN_OR_RETURN(Table orders,
+                       GenerateTable(ord_specs, num_orders, seed + 1));
+
+  AQP_RETURN_IF_ERROR(catalog.Register(
+      "lineitem", std::make_shared<Table>(std::move(lineitem))));
+  AQP_RETURN_IF_ERROR(
+      catalog.Register("orders", std::make_shared<Table>(std::move(orders))));
+  return catalog;
+}
+
+}  // namespace workload
+}  // namespace aqp

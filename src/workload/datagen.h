@@ -1,0 +1,66 @@
+#ifndef AQP_WORKLOAD_DATAGEN_H_
+#define AQP_WORKLOAD_DATAGEN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/catalog.h"
+#include "storage/table.h"
+
+namespace aqp {
+namespace workload {
+
+/// Distribution of one generated column.
+struct ColumnSpec {
+  enum class Dist {
+    kSequential,     // 0, 1, 2, ... (row id).
+    kUniformInt,     // Uniform integer in [min_value, max_value].
+    kZipfInt,        // Zipf(zipf_s) rank over [0, cardinality).
+    kUniformDouble,  // Uniform double in [min_value, max_value].
+    kNormal,         // N(mean, stddev^2).
+    kExponential,    // Exp(rate).
+    kPareto,         // Heavy tail: u^(-1/pareto_alpha).
+    kCategorical,    // Zipf(zipf_s)-weighted pick from `categories`.
+  };
+
+  std::string name;
+  Dist dist = Dist::kUniformDouble;
+  int64_t min_value = 0;
+  int64_t max_value = 100;
+  uint64_t cardinality = 100;  // For kZipfInt.
+  double zipf_s = 1.0;
+  double mean = 0.0;
+  double stddev = 1.0;
+  double rate = 1.0;
+  double pareto_alpha = 1.5;
+  std::vector<std::string> categories;
+};
+
+/// Generates `rows` rows with one column per spec. Deterministic per seed.
+Result<Table> GenerateTable(const std::vector<ColumnSpec>& specs, size_t rows,
+                            uint64_t seed);
+
+/// A star schema: one fact table with FK columns referencing dimension
+/// tables (FK skew controlled by zipf_s), measure columns on the fact.
+struct StarSchemaSpec {
+  size_t fact_rows = 100000;
+  std::vector<uint64_t> dim_sizes = {100, 1000};
+  double fk_skew = 0.5;       // Zipf exponent of FK popularity.
+  uint32_t num_measures = 2;  // measure_0 ~ Exp(1), measure_1 ~ N(100, 20).
+};
+
+/// Tables: "fact" (id, fk_0.., measure_0..), "dim_<i>" (pk, attr, band).
+/// dim attr is a label "v<k>"; band is pk % 10 (a low-cardinality rollup).
+Result<Catalog> GenerateStarSchema(const StarSchemaSpec& spec, uint64_t seed);
+
+/// TPC-H-flavoured pair: "lineitem" (orderkey, suppkey, quantity,
+/// extendedprice, discount, shipmode) and "orders" (orderkey, custkey,
+/// orderpriority). Sized by `lineitem_rows`; ~1 order per 4 lineitems.
+Result<Catalog> GenerateLineitemLike(size_t lineitem_rows, uint64_t seed);
+
+}  // namespace workload
+}  // namespace aqp
+
+#endif  // AQP_WORKLOAD_DATAGEN_H_

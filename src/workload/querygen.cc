@@ -1,0 +1,107 @@
+#include "workload/querygen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/str_util.h"
+#include "stats/descriptive.h"
+
+namespace aqp {
+namespace workload {
+
+QueryGenerator::QueryGenerator(const Table& table, QueryGenOptions options)
+    : table_(table), options_(std::move(options)) {}
+
+std::vector<std::string> QueryGenerator::DriftedOrder(
+    const std::vector<std::string>& candidates) const {
+  std::vector<std::string> order = candidates;
+  if (order.empty()) return order;
+  // drift = 0 keeps the training order; drift = 1 rotates maximally
+  // (size - 1 positions) rather than wrapping back to the identity.
+  size_t shift = static_cast<size_t>(
+      std::llround(options_.drift * static_cast<double>(order.size() - 1)));
+  shift %= order.size();
+  std::rotate(order.begin(), order.begin() + static_cast<int64_t>(shift),
+              order.end());
+  return order;
+}
+
+Result<std::vector<QuerySpec>> QueryGenerator::Generate(size_t n,
+                                                        uint64_t seed) const {
+  if (options_.numeric_columns.empty()) {
+    return Status::InvalidArgument("no numeric columns to aggregate");
+  }
+  std::vector<std::string> agg_order = DriftedOrder(options_.numeric_columns);
+  std::vector<std::string> pred_order =
+      DriftedOrder(options_.predicate_columns);
+  std::vector<std::string> group_order =
+      DriftedOrder(options_.group_by_columns);
+
+  Pcg32 rng(seed);
+  ZipfGenerator agg_pick(agg_order.size(), options_.column_skew);
+  std::unique_ptr<ZipfGenerator> pred_pick;
+  if (!pred_order.empty()) {
+    pred_pick = std::make_unique<ZipfGenerator>(pred_order.size(),
+                                                options_.column_skew);
+  }
+  std::unique_ptr<ZipfGenerator> group_pick;
+  if (!group_order.empty()) {
+    group_pick = std::make_unique<ZipfGenerator>(group_order.size(),
+                                                 options_.column_skew);
+  }
+
+  std::vector<QuerySpec> out;
+  out.reserve(n);
+  for (size_t q = 0; q < n; ++q) {
+    QuerySpec spec;
+    spec.aggregate_column = agg_order[agg_pick.Next(rng)];
+    std::string agg_fn = (rng.NextUint32() % 2 == 0) ? "SUM" : "AVG";
+    std::string select =
+        "SELECT " + agg_fn + "(" + spec.aggregate_column + ") AS agg_value";
+    std::string group_clause;
+    if (group_pick != nullptr &&
+        rng.NextDouble() < options_.group_by_probability) {
+      spec.group_by_column = group_order[group_pick->Next(rng)];
+      select = "SELECT " + spec.group_by_column + ", " + agg_fn + "(" +
+               spec.aggregate_column + ") AS agg_value";
+      group_clause = " GROUP BY " + spec.group_by_column;
+    }
+    std::string where_clause;
+    if (pred_pick != nullptr &&
+        rng.NextDouble() < options_.predicate_probability) {
+      spec.predicate_column = pred_order[pred_pick->Next(rng)];
+      // Calibrate "col <= q-quantile" to a random target selectivity.
+      double sel = std::pow(10.0, -2.0 * rng.NextDouble());  // 1% .. 100%.
+      spec.target_selectivity = sel;
+      AQP_ASSIGN_OR_RETURN(size_t idx,
+                           table_.ColumnIndex(spec.predicate_column));
+      const Column& col = table_.column(idx);
+      if (!IsNumeric(col.type())) {
+        return Status::InvalidArgument("predicate column not numeric: " +
+                                       spec.predicate_column);
+      }
+      std::vector<double> values;
+      // Quantile from a cheap fixed-size probe of the column.
+      size_t step = std::max<size_t>(1, table_.num_rows() / 10000);
+      for (size_t i = 0; i < table_.num_rows(); i += step) {
+        if (!col.IsNull(i)) values.push_back(col.NumericAt(i));
+      }
+      if (!values.empty()) {
+        double threshold = stats::ExactQuantile(std::move(values), sel);
+        where_clause = " WHERE " + spec.predicate_column +
+                       " <= " + FormatDouble(threshold);
+      }
+    }
+    spec.sql = select + " FROM " + options_.table + where_clause +
+               group_clause;
+    if (!options_.error_clause.empty()) {
+      spec.sql += " " + options_.error_clause;
+    }
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace aqp

@@ -1,0 +1,64 @@
+#ifndef AQP_WORKLOAD_QUERYGEN_H_
+#define AQP_WORKLOAD_QUERYGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace aqp {
+namespace workload {
+
+/// One generated aggregation query, both as SQL text and as structured
+/// pieces experiments can introspect.
+struct QuerySpec {
+  std::string sql;
+  std::string predicate_column;   // Empty if no predicate.
+  std::string group_by_column;    // Empty if no grouping.
+  std::string aggregate_column;
+  double target_selectivity = 1.0;
+};
+
+/// Options controlling the random query mix over one table.
+struct QueryGenOptions {
+  std::string table = "fact";
+  std::vector<std::string> numeric_columns;      // Aggregate candidates.
+  std::vector<std::string> predicate_columns;    // Numeric filter candidates.
+  std::vector<std::string> group_by_columns;     // Grouping candidates.
+  double group_by_probability = 0.5;
+  double predicate_probability = 0.8;
+  /// Column popularity is Zipf(column_skew)-distributed over each candidate
+  /// list; `drift` in [0, 1] rotates the popularity ranking by
+  /// drift * list-size positions — 0 keeps the training workload, 1 is a
+  /// completely shifted workload (the W1 -> W2 drift experiment).
+  double column_skew = 1.0;
+  double drift = 0.0;
+  std::string error_clause;  // e.g. "WITH ERROR 5% CONFIDENCE 95%"; optional.
+};
+
+/// Generates a workload of aggregation queries over `table` (which must be
+/// present so predicate thresholds can be calibrated to the requested
+/// selectivity via its empirical quantiles).
+class QueryGenerator {
+ public:
+  QueryGenerator(const Table& table, QueryGenOptions options);
+
+  /// Generates `n` query specs, deterministic per seed.
+  Result<std::vector<QuerySpec>> Generate(size_t n, uint64_t seed) const;
+
+  /// The popularity-ordered candidate list after applying drift (exposed so
+  /// experiments can verify the shift).
+  std::vector<std::string> DriftedOrder(
+      const std::vector<std::string>& candidates) const;
+
+ private:
+  const Table& table_;
+  QueryGenOptions options_;
+};
+
+}  // namespace workload
+}  // namespace aqp
+
+#endif  // AQP_WORKLOAD_QUERYGEN_H_

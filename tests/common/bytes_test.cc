@@ -1,0 +1,59 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace {
+
+TEST(BytesTest, RoundTripAllTypes) {
+  ByteWriter w;
+  w.PutU8(7);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI64(-42);
+  w.PutDouble(3.25);
+  w.PutBytes("hi", 2);
+  std::string buffer = w.Take();
+
+  ByteReader r(buffer);
+  EXPECT_EQ(r.GetU8().value(), 7);
+  EXPECT_EQ(r.GetU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.GetI64().value(), -42);
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(), 3.25);
+  char tail[2];
+  ASSERT_TRUE(r.GetBytes(tail, 2).ok());
+  EXPECT_EQ(tail[0], 'h');
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BytesTest, TruncationDetected) {
+  ByteWriter w;
+  w.PutU32(1);
+  std::string buffer = w.Take();
+  ByteReader r(buffer);
+  EXPECT_TRUE(r.GetU32().ok());
+  EXPECT_EQ(r.GetU32().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BytesTest, RemainingTracksPosition) {
+  ByteWriter w;
+  w.PutU64(1);
+  w.PutU64(2);
+  std::string buffer = w.Take();
+  ByteReader r(buffer);
+  EXPECT_EQ(r.remaining(), 16u);
+  ASSERT_TRUE(r.GetU64().ok());
+  EXPECT_EQ(r.remaining(), 8u);
+  ASSERT_TRUE(r.GetU64().ok());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BytesTest, EmptyBufferFailsImmediately) {
+  ByteReader r("");
+  EXPECT_FALSE(r.GetU8().ok());
+  EXPECT_TRUE(r.exhausted());
+}
+
+}  // namespace
+}  // namespace aqp

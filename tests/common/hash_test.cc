@@ -1,0 +1,66 @@
+#include "common/hash.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace {
+
+TEST(HashTest, Mix64IsDeterministic) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+}
+
+TEST(HashTest, HashStringDeterministic) {
+  EXPECT_EQ(HashString("hello"), HashString("hello"));
+  EXPECT_NE(HashString("hello"), HashString("hellp"));
+  EXPECT_NE(HashString("hello"), HashString("hello", /*seed=*/1));
+}
+
+TEST(HashTest, EmptyStringHashes) {
+  EXPECT_EQ(HashString(""), HashString(""));
+  EXPECT_NE(HashString("", 0), HashString("", 1));
+}
+
+TEST(HashTest, HashBytesRespectsLength) {
+  const char data[] = "abcdefgh12345678";
+  EXPECT_NE(HashBytes(data, 8), HashBytes(data, 16));
+  EXPECT_NE(HashBytes(data, 7), HashBytes(data, 8));
+}
+
+TEST(HashTest, HashDoubleCanonicalizesNegativeZero) {
+  EXPECT_EQ(HashDouble(0.0), HashDouble(-0.0));
+  EXPECT_NE(HashDouble(1.0), HashDouble(2.0));
+}
+
+TEST(HashTest, HashInt64SeedsAreIndependent) {
+  EXPECT_NE(HashInt64(5, 0), HashInt64(5, 1));
+}
+
+TEST(HashTest, LowCollisionRateOnSequentialKeys) {
+  std::set<uint64_t> hashes;
+  const int kN = 100000;
+  for (int64_t i = 0; i < kN; ++i) hashes.insert(HashInt64(i));
+  // 64-bit hashes of 1e5 keys should effectively never collide.
+  EXPECT_EQ(hashes.size(), static_cast<size_t>(kN));
+}
+
+TEST(HashTest, StringHashSpreadsBits) {
+  // Count distinct values of the low 10 bits over many keys; a bad hash
+  // would collapse into few buckets.
+  std::set<uint64_t> buckets;
+  for (int i = 0; i < 10000; ++i) {
+    buckets.insert(HashString("key" + std::to_string(i)) & 1023);
+  }
+  EXPECT_GT(buckets.size(), 1000u);
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+}  // namespace
+}  // namespace aqp

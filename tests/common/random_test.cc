@@ -1,0 +1,170 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace {
+
+TEST(Pcg32Test, DeterministicForSameSeed) {
+  Pcg32 a(123);
+  Pcg32 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint32(), b.NextUint32());
+}
+
+TEST(Pcg32Test, DifferentSeedsDiffer) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextUint32() != b.NextUint32()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(Pcg32Test, DifferentStreamsDiffer) {
+  Pcg32 a(1, 0);
+  Pcg32 b(1, 1);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextUint32() != b.NextUint32()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(Pcg32Test, NextDoubleInUnitInterval) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Pcg32Test, UniformUint32RespectsBound) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformUint32(17), 17u);
+  }
+}
+
+TEST(Pcg32Test, UniformUint32IsRoughlyUniform) {
+  Pcg32 rng(11);
+  const int kBuckets = 10;
+  const int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) counts[rng.UniformUint32(kBuckets)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 5 * std::sqrt(kDraws / kBuckets));
+  }
+}
+
+TEST(Pcg32Test, BernoulliFrequencyMatchesP) {
+  Pcg32 rng(13);
+  const int kDraws = 200000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Pcg32Test, BernoulliEdgeCases) {
+  Pcg32 rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(Pcg32Test, GaussianMomentsMatchStandardNormal) {
+  Pcg32 rng(17);
+  const int kDraws = 200000;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  double mean = sum / kDraws;
+  double var = sumsq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Pcg32Test, ExponentialMeanMatchesRate) {
+  Pcg32 rng(19);
+  const int kDraws = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Pcg32Test, PermutationIsAPermutation) {
+  Pcg32 rng(21);
+  auto perm = rng.Permutation(1000);
+  std::set<uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 999u);
+}
+
+TEST(Pcg32Test, PermutationShuffles) {
+  Pcg32 rng(23);
+  auto perm = rng.Permutation(1000);
+  int fixed_points = 0;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    if (perm[i] == i) ++fixed_points;
+  }
+  // Expected number of fixed points of a random permutation is 1.
+  EXPECT_LT(fixed_points, 10);
+}
+
+TEST(ZipfTest, UniformWhenSIsZero) {
+  Pcg32 rng(25);
+  ZipfGenerator zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) counts[zipf.Next(rng)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, 5 * std::sqrt(kDraws / 10.0));
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnLowRanks) {
+  Pcg32 rng(27);
+  ZipfGenerator zipf(1000, 1.2);
+  const int kDraws = 100000;
+  int rank0 = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Next(rng) == 0) ++rank0;
+  }
+  // With s=1.2 over 1000 ranks, rank 0 holds a large share (~17%).
+  EXPECT_GT(rank0, kDraws / 10);
+}
+
+TEST(ZipfTest, RanksWithinDomain) {
+  Pcg32 rng(29);
+  ZipfGenerator zipf(50, 1.0);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(rng), 50u);
+}
+
+TEST(ZipfTest, RelativeFrequencyFollowsPowerLaw) {
+  Pcg32 rng(31);
+  ZipfGenerator zipf(100, 1.0);
+  const int kDraws = 400000;
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < kDraws; ++i) counts[zipf.Next(rng)]++;
+  // f(1)/f(2) should be ~2 under s=1.
+  double ratio = static_cast<double>(counts[0]) / counts[1];
+  EXPECT_NEAR(ratio, 2.0, 0.2);
+}
+
+}  // namespace
+}  // namespace aqp

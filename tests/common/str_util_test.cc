@@ -1,0 +1,97 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  auto parts = Split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, NoDelimiterYieldsWhole) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StripTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(CaseTest, LowerUpper) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("SeLeCt"), "SELECT");
+}
+
+TEST(CaseTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("GROUP", "group"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("group", "groupe"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("tablesample", "table"));
+  EXPECT_FALSE(StartsWith("tab", "table"));
+}
+
+TEST(ParseInt64Test, ParsesValid) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseInt64("  13 ").value(), 13);
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+}
+
+TEST(ParseInt64Test, RejectsInvalid) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+}
+
+TEST(ParseInt64Test, RangeError) {
+  EXPECT_EQ(ParseInt64("99999999999999999999999").status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ParseDoubleTest, ParsesValid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble(" 0.5 ").value(), 0.5);
+}
+
+TEST(ParseDoubleTest, RejectsInvalid) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("12..5").ok());
+  EXPECT_FALSE(ParseDouble("x").ok());
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(FormatDoubleTest, Compact) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(2.0), "2");
+  EXPECT_EQ(FormatDouble(0.001), "0.001");
+}
+
+}  // namespace
+}  // namespace aqp

@@ -1,0 +1,156 @@
+#include "core/estimate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sampling/bernoulli.h"
+#include "sampling/block.h"
+#include "test_util.h"
+
+namespace aqp {
+namespace core {
+namespace {
+
+TEST(GroupedEstimateTest, RejectsNonLinearAggregates) {
+  Table t = testutil::GroupedTable({{0, 1.0}});
+  Sample s = BernoulliRowSample(t, 1.0, 1).value();
+  EXPECT_FALSE(EstimateGroupedAggregates(
+                   s, {}, {{AggKind::kMin, Col("x"), "m"}})
+                   .ok());
+}
+
+TEST(GroupedEstimateTest, FullSampleIsExact) {
+  Table t = testutil::GroupedTable(
+      {{0, 1.0}, {1, 10.0}, {0, 2.0}, {1, 20.0}, {0, 3.0}});
+  Sample s = BernoulliRowSample(t, 1.0, 1).value();
+  GroupedEstimates est =
+      EstimateGroupedAggregates(s, {Col("g")},
+                                {{AggKind::kSum, Col("x"), "s"},
+                                 {AggKind::kCountStar, nullptr, "n"},
+                                 {AggKind::kAvg, Col("x"), "a"}})
+          .value();
+  ASSERT_EQ(est.num_groups, 2u);
+  // Group order is first-appearance: g=0 then g=1.
+  EXPECT_DOUBLE_EQ(est.estimates[0][0].estimate, 6.0);
+  EXPECT_DOUBLE_EQ(est.estimates[0][1].estimate, 30.0);
+  EXPECT_DOUBLE_EQ(est.estimates[1][0].estimate, 3.0);
+  EXPECT_DOUBLE_EQ(est.estimates[1][1].estimate, 2.0);
+  EXPECT_DOUBLE_EQ(est.estimates[2][0].estimate, 2.0);
+  EXPECT_DOUBLE_EQ(est.estimates[2][1].estimate, 15.0);
+  for (const auto& per_group : est.estimates) {
+    for (const PointEstimate& pe : per_group) {
+      EXPECT_DOUBLE_EQ(pe.variance, 0.0);
+    }
+  }
+}
+
+TEST(GroupedEstimateTest, GlobalGroupAlwaysPresent) {
+  Table t(Schema({{"x", DataType::kDouble}}));
+  Sample s;
+  s.table = t;  // Empty sample.
+  s.num_units_sampled = 0;
+  GroupedEstimates est =
+      EstimateGroupedAggregates(s, {}, {{AggKind::kSum, Col("x"), "s"}})
+          .value();
+  EXPECT_EQ(est.num_groups, 1u);
+  EXPECT_DOUBLE_EQ(est.estimates[0][0].estimate, 0.0);
+}
+
+TEST(GroupedEstimateTest, PerGroupSumsUnbiased) {
+  Table t = testutil::ZipfGroupedTable(40000, 5, 0.5, 3);
+  // Exact per-group sums.
+  std::vector<double> truth(5, 0.0);
+  size_t gcol = t.ColumnIndex("g").value();
+  size_t xcol = t.ColumnIndex("x").value();
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    truth[static_cast<size_t>(t.column(gcol).Int64At(i))] +=
+        t.column(xcol).NumericAt(i);
+  }
+  std::vector<double> mean_est(5, 0.0);
+  const int kTrials = 40;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Sample s = BernoulliRowSample(t, 0.05, 100 + trial).value();
+    GroupedEstimates est =
+        EstimateGroupedAggregates(s, {Col("g")},
+                                  {{AggKind::kSum, Col("x"), "s"}})
+            .value();
+    for (size_t g = 0; g < est.num_groups; ++g) {
+      int64_t key = est.group_keys.column(0).Int64At(g);
+      mean_est[static_cast<size_t>(key)] +=
+          est.estimates[0][g].estimate / kTrials;
+    }
+  }
+  for (size_t g = 0; g < 5; ++g) {
+    EXPECT_NEAR(mean_est[g], truth[g], std::fabs(truth[g]) * 0.1 + 50.0)
+        << "group " << g;
+  }
+}
+
+TEST(GroupedEstimateTest, CiCoverageUnderBlockSampling) {
+  // Clustered layout (group-correlated blocks) — the case where row-naive
+  // analysis fails; the unit-aware estimator must keep near-nominal
+  // coverage for per-group sums.
+  const size_t kRows = 30000;
+  Table t(Schema({{"g", DataType::kInt64}, {"x", DataType::kDouble}}));
+  Pcg32 rng(7);
+  for (size_t i = 0; i < kRows; ++i) {
+    int64_t g = static_cast<int64_t>((i / 3000) % 3);  // Clustered groups.
+    ASSERT_TRUE(t.AppendRow({Value(g),
+                             Value(static_cast<double>(g) * 10.0 +
+                                   rng.Gaussian())})
+                    .ok());
+  }
+  std::vector<double> truth(3, 0.0);
+  for (size_t i = 0; i < kRows; ++i) {
+    truth[static_cast<size_t>(t.column(0).Int64At(i))] +=
+        t.column(1).NumericAt(i);
+  }
+  int covered = 0;
+  int total = 0;
+  const int kTrials = 80;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Sample s = BlockSample(t, 0.1, 250, 900 + trial).value();
+    GroupedEstimates est =
+        EstimateGroupedAggregates(s, {Col("g")},
+                                  {{AggKind::kSum, Col("x"), "s"}})
+            .value();
+    for (size_t g = 0; g < est.num_groups; ++g) {
+      int64_t key = est.group_keys.column(0).Int64At(g);
+      ++total;
+      if (est.estimates[0][g].Ci(0.95).Covers(
+              truth[static_cast<size_t>(key)])) {
+        ++covered;
+      }
+    }
+  }
+  double coverage = static_cast<double>(covered) / total;
+  EXPECT_GE(coverage, 0.85);
+}
+
+TEST(GroupedEstimateTest, CountSkipsNullsCountStarDoesNot) {
+  Table t(Schema({{"x", DataType::kDouble}}));
+  ASSERT_TRUE(t.AppendRow({Value(1.0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  Sample s = BernoulliRowSample(t, 1.0, 1).value();
+  GroupedEstimates est =
+      EstimateGroupedAggregates(s, {},
+                                {{AggKind::kCount, Col("x"), "c"},
+                                 {AggKind::kCountStar, nullptr, "n"}})
+          .value();
+  EXPECT_DOUBLE_EQ(est.estimates[0][0].estimate, 1.0);
+  EXPECT_DOUBLE_EQ(est.estimates[1][0].estimate, 2.0);
+}
+
+TEST(GroupedEstimateTest, NonNumericArgRejected) {
+  Table t(Schema({{"s", DataType::kString}}));
+  ASSERT_TRUE(t.AppendRow({Value(std::string("a"))}).ok());
+  Sample s = BernoulliRowSample(t, 1.0, 1).value();
+  EXPECT_FALSE(EstimateGroupedAggregates(
+                   s, {}, {{AggKind::kSum, Col("s"), "x"}})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace aqp

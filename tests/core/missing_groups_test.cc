@@ -1,0 +1,52 @@
+#include "core/missing_groups.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace core {
+namespace {
+
+TEST(MissingGroupsTest, BlockMissProbabilityFormula) {
+  // Group of 1000 rows in blocks of 100 occupies >= 10 blocks.
+  EXPECT_NEAR(BlockGroupMissProbability(1000, 100, 0.1),
+              std::pow(0.9, 10), 1e-12);
+  // Tiny group fits a single block: miss prob = 1 - rate.
+  EXPECT_NEAR(BlockGroupMissProbability(5, 100, 0.3), 0.7, 1e-12);
+  EXPECT_DOUBLE_EQ(BlockGroupMissProbability(0, 100, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(BlockGroupMissProbability(100, 100, 1.0), 0.0);
+}
+
+TEST(MissingGroupsTest, RateInversion) {
+  double rate = BlockRateForGroupCoverage(1000, 100, 0.01);
+  EXPECT_LE(BlockGroupMissProbability(1000, 100, rate), 0.01 + 1e-9);
+  EXPECT_GT(BlockGroupMissProbability(1000, 100, rate * 0.8), 0.01);
+}
+
+TEST(MissingGroupsTest, SmallGroupsNeedHigherRates) {
+  double small = BlockRateForGroupCoverage(100, 100, 0.05);
+  double large = BlockRateForGroupCoverage(100000, 100, 0.05);
+  EXPECT_GT(small, large);
+}
+
+TEST(MissingGroupsTest, LargerBlocksHurtCoverage) {
+  // A clustered group spreads over fewer big blocks => higher rate needed.
+  double small_blocks = BlockRateForGroupCoverage(10000, 100, 0.05);
+  double big_blocks = BlockRateForGroupCoverage(10000, 5000, 0.05);
+  EXPECT_GT(big_blocks, small_blocks);
+}
+
+TEST(MissingGroupsTest, ExpectedMissedGroups) {
+  std::vector<uint64_t> sizes = {1, 10, 100, 100000};
+  double expected = ExpectedMissedGroups(sizes, 0.01);
+  // Tiny groups dominate: size-1 group missed w.p. 0.99.
+  EXPECT_GT(expected, 0.99);
+  EXPECT_LT(expected, 3.0);
+  // High rate -> almost nothing missed.
+  EXPECT_LT(ExpectedMissedGroups(sizes, 0.9), 0.2);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace aqp

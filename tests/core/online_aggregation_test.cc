@@ -1,0 +1,111 @@
+#include "core/online_aggregation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqp {
+namespace core {
+namespace {
+
+TEST(OlaTest, RequiresNumericMeasure) {
+  Table t(Schema({{"s", DataType::kString}}));
+  ASSERT_TRUE(t.AppendRow({Value(std::string("x"))}).ok());
+  EXPECT_FALSE(OnlineAggregator::Create(t, Col("s"), nullptr, 1).ok());
+  EXPECT_FALSE(OnlineAggregator::Create(t, nullptr, nullptr, 1).ok());
+}
+
+TEST(OlaTest, CompleteConsumptionIsExact) {
+  Table t = testutil::DoubleTable({1.0, 2.0, 3.0, 4.0});
+  OnlineAggregator ola =
+      OnlineAggregator::Create(t, Col("x"), nullptr, 3).value();
+  OlaProgress p = ola.Step(100, 0.95);
+  EXPECT_TRUE(p.complete);
+  EXPECT_DOUBLE_EQ(p.sum_ci.estimate, 10.0);
+  EXPECT_DOUBLE_EQ(p.sum_ci.low, 10.0);
+  EXPECT_DOUBLE_EQ(p.sum_ci.high, 10.0);
+  EXPECT_DOUBLE_EQ(p.avg_ci.estimate, 2.5);
+  EXPECT_DOUBLE_EQ(p.count_ci.estimate, 4.0);
+}
+
+TEST(OlaTest, IntervalShrinksAsRowsConsumed) {
+  Table t = testutil::ZipfGroupedTable(50000, 10, 0.5, 3);
+  OnlineAggregator ola =
+      OnlineAggregator::Create(t, Col("x"), nullptr, 7).value();
+  OlaProgress early = ola.Step(1000, 0.95);
+  double early_width = early.sum_ci.half_width();
+  OlaProgress later = ola.Step(15000, 0.95);
+  EXPECT_LT(later.sum_ci.half_width(), early_width);
+  EXPECT_GT(later.rows_seen, early.rows_seen);
+}
+
+TEST(OlaTest, EstimateTracksTruthEarly) {
+  Table t = testutil::ZipfGroupedTable(50000, 10, 0.5, 3);
+  double truth = testutil::ExactSum(t, "x");
+  OnlineAggregator ola =
+      OnlineAggregator::Create(t, Col("x"), nullptr, 11).value();
+  OlaProgress p = ola.Step(5000, 0.95);
+  EXPECT_FALSE(p.complete);
+  EXPECT_TRUE(p.sum_ci.Covers(truth))
+      << "[" << p.sum_ci.low << "," << p.sum_ci.high << "] vs " << truth;
+}
+
+TEST(OlaTest, PredicateRestriction) {
+  Table t = testutil::GroupedTable(
+      {{0, 1.0}, {1, 100.0}, {0, 2.0}, {1, 200.0}});
+  OnlineAggregator ola =
+      OnlineAggregator::Create(t, Col("x"), Eq(Col("g"), Lit(int64_t{1})), 3)
+          .value();
+  OlaProgress p = ola.Step(100, 0.95);
+  EXPECT_DOUBLE_EQ(p.sum_ci.estimate, 300.0);
+  EXPECT_DOUBLE_EQ(p.count_ci.estimate, 2.0);
+  EXPECT_DOUBLE_EQ(p.avg_ci.estimate, 150.0);
+}
+
+TEST(OlaTest, RunToTargetStopsEarly) {
+  Table t = testutil::ZipfGroupedTable(100000, 5, 0.3, 5);
+  OnlineAggregator ola =
+      OnlineAggregator::Create(t, Col("x"), nullptr, 13).value();
+  OlaProgress p = ola.RunToTarget(0.05, 0.95, 2000);
+  EXPECT_LE(p.sum_ci.relative_half_width(), 0.05);
+  EXPECT_LT(p.rows_seen, 100000u) << "should stop before full scan";
+}
+
+TEST(OlaTest, RunToTargetExhaustsWhenImpossible) {
+  Table t = testutil::DoubleTable({1.0, -1.0, 2.0, -2.0});
+  OnlineAggregator ola =
+      OnlineAggregator::Create(t, Col("x"), nullptr, 3).value();
+  // Sum is 0: relative error target can never be met; must terminate anyway.
+  OlaProgress p = ola.RunToTarget(0.01, 0.95, 1);
+  EXPECT_TRUE(p.complete);
+}
+
+TEST(OlaTest, CoverageAcrossSeeds) {
+  Table t = testutil::ZipfGroupedTable(20000, 10, 0.5, 17);
+  double truth = testutil::ExactSum(t, "x");
+  int covered = 0;
+  const int kTrials = 100;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    OnlineAggregator ola =
+        OnlineAggregator::Create(t, Col("x"), nullptr, 1000 + trial).value();
+    OlaProgress p = ola.Step(2000, 0.95);
+    if (p.sum_ci.Covers(truth)) ++covered;
+  }
+  EXPECT_GE(covered, 88);
+}
+
+TEST(OlaTest, NullMeasuresContributeZeroToSum) {
+  Table t(Schema({{"x", DataType::kDouble}}));
+  ASSERT_TRUE(t.AppendRow({Value(5.0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  OnlineAggregator ola =
+      OnlineAggregator::Create(t, Col("x"), nullptr, 3).value();
+  OlaProgress p = ola.Step(10, 0.95);
+  EXPECT_DOUBLE_EQ(p.sum_ci.estimate, 5.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace aqp

@@ -1,0 +1,91 @@
+#include "core/rewriter.h"
+
+#include <cmath>
+
+#include "expr/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "sampling/bernoulli.h"
+#include "sampling/ht_estimator.h"
+#include "test_util.h"
+
+namespace aqp {
+namespace core {
+namespace {
+
+PlanPtr TestPlan() {
+  return PlanNode::Aggregate(
+      PlanNode::Filter(
+          PlanNode::Join(PlanNode::Scan("fact"), PlanNode::Scan("dim"),
+                         JoinType::kInner, {"fk"}, {"pk"}),
+          Gt(Col("x"), Lit(0.0))),
+      {}, {}, {{AggKind::kSum, Col("x"), "s"}});
+}
+
+TEST(RewriterTest, InjectSampleHitsScan) {
+  SampleSpec spec{SampleSpec::Method::kSystemBlock, 0.05, 7, 512};
+  PlanPtr rewritten = InjectSample(TestPlan(), "fact", spec).value();
+  std::string rendered = rewritten->ToString();
+  EXPECT_NE(rendered.find("Scan(fact SAMPLE SYSTEM 5%)"), std::string::npos);
+  EXPECT_NE(rendered.find("Scan(dim)"), std::string::npos);
+}
+
+TEST(RewriterTest, InjectSampleMissingTableFails) {
+  SampleSpec spec{SampleSpec::Method::kBernoulliRow, 0.05, 7, 512};
+  EXPECT_EQ(InjectSample(TestPlan(), "ghost", spec).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RewriterTest, StripSamplesRemovesAll) {
+  SampleSpec spec{SampleSpec::Method::kBernoulliRow, 0.05, 7, 512};
+  PlanPtr sampled = InjectSample(TestPlan(), "fact", spec).value();
+  PlanPtr stripped = StripSamples(sampled);
+  EXPECT_EQ(stripped->ToString().find("SAMPLE"), std::string::npos);
+}
+
+TEST(RewriterTest, ScannedTablesInOrder) {
+  auto tables = ScannedTables(TestPlan());
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(tables[0], "fact");
+  EXPECT_EQ(tables[1], "dim");
+}
+
+TEST(RewriterTest, ScaleFactorMultiplies) {
+  EXPECT_DOUBLE_EQ(SampleScaleFactor(TestPlan()), 1.0);
+  SampleSpec s1{SampleSpec::Method::kBernoulliRow, 0.1, 7, 512};
+  SampleSpec s2{SampleSpec::Method::kBernoulliRow, 0.5, 7, 512};
+  PlanPtr p = InjectSample(TestPlan(), "fact", s1).value();
+  p = InjectSample(p, "dim", s2).value();
+  EXPECT_NEAR(SampleScaleFactor(p), 20.0, 1e-12);
+}
+
+// The statistical claim behind sampler pushdown: Filter(Sample(T)) and
+// Sample(Filter(T)) give HT SUM estimates with the same distribution. We
+// verify mean agreement across seeds.
+TEST(RewriterTest, SamplerCommutesWithSelectionStatistically) {
+  Table t = testutil::ZipfGroupedTable(20000, 8, 0.7, 3);
+  ExprPtr pred = Gt(Col("x"), Lit(3.0));
+  double mean_sample_then_filter = 0.0;
+  double mean_filter_then_sample = 0.0;
+  const int kTrials = 60;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    // Order A: sample first, then filter inside the estimator.
+    Sample s = BernoulliRowSample(t, 0.05, 10 + trial).value();
+    mean_sample_then_filter +=
+        EstimateSum(s, Col("x"), pred).value().estimate / kTrials;
+
+    // Order B: filter the base table first, then sample.
+    std::vector<uint32_t> sel = EvalPredicate(*pred, t).value();
+    Table filtered = t.Take(sel);
+    Sample s2 = BernoulliRowSample(filtered, 0.05, 10 + trial).value();
+    mean_filter_then_sample +=
+        EstimateSum(s2, Col("x")).value().estimate / kTrials;
+  }
+  EXPECT_NEAR(mean_sample_then_filter, mean_filter_then_sample,
+              std::fabs(mean_filter_then_sample) * 0.05);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace aqp

@@ -1,0 +1,131 @@
+#include "core/sample_planner.h"
+
+#include <cmath>
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "sampling/bernoulli.h"
+#include "test_util.h"
+
+namespace aqp {
+namespace core {
+namespace {
+
+GroupedEstimates PilotFrom(const Table& t, double rate, uint64_t seed) {
+  Sample s = BernoulliRowSample(t, rate, seed).value();
+  return EstimateGroupedAggregates(s, {}, {{AggKind::kSum, Col("x"), "s"}})
+      .value();
+}
+
+TEST(PlannerTest, LooseTargetGivesLowRate) {
+  Table t = testutil::ZipfGroupedTable(50000, 10, 0.3, 3);
+  GroupedEstimates pilot = PilotFrom(t, 0.01, 5);
+  PlanningInputs inputs;
+  inputs.pilot = &pilot;
+  inputs.pilot_rate = 0.01;
+  inputs.target = {0.10, 0.95};
+  SamplingPlan plan = PlanSamplingRate(inputs);
+  ASSERT_TRUE(plan.feasible) << plan.reason;
+  EXPECT_LT(plan.rate, 0.05);
+}
+
+TEST(PlannerTest, TighterErrorNeedsHigherRate) {
+  Table t = testutil::ZipfGroupedTable(50000, 10, 0.3, 3);
+  GroupedEstimates pilot = PilotFrom(t, 0.01, 5);
+  PlanningInputs loose;
+  loose.pilot = &pilot;
+  loose.pilot_rate = 0.01;
+  loose.target = {0.10, 0.95};
+  loose.max_rate = 1.0;
+  PlanningInputs tight = loose;
+  tight.target = {0.005, 0.95};
+  double loose_rate = PlanSamplingRate(loose).rate;
+  double tight_rate = PlanSamplingRate(tight).rate;
+  EXPECT_GT(tight_rate, loose_rate);
+}
+
+TEST(PlannerTest, HigherConfidenceNeedsHigherRate) {
+  Table t = testutil::ZipfGroupedTable(50000, 10, 0.3, 3);
+  GroupedEstimates pilot = PilotFrom(t, 0.01, 5);
+  PlanningInputs low;
+  low.pilot = &pilot;
+  low.pilot_rate = 0.01;
+  low.target = {0.02, 0.80};
+  low.max_rate = 1.0;
+  PlanningInputs high = low;
+  high.target = {0.02, 0.999};
+  EXPECT_GT(PlanSamplingRate(high).rate, PlanSamplingRate(low).rate);
+}
+
+TEST(PlannerTest, InfeasibleWhenRateExceedsCap) {
+  Table t = testutil::ZipfGroupedTable(2000, 10, 0.3, 3);
+  GroupedEstimates pilot = PilotFrom(t, 0.05, 5);
+  PlanningInputs inputs;
+  inputs.pilot = &pilot;
+  inputs.pilot_rate = 0.05;
+  inputs.target = {0.0005, 0.99};  // Absurdly tight for 2k rows.
+  inputs.max_rate = 0.1;
+  SamplingPlan plan = PlanSamplingRate(inputs);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_NE(plan.reason.find("exceeds max feasible rate"), std::string::npos);
+}
+
+TEST(PlannerTest, AllZeroPilotIsInfeasible) {
+  Table t = testutil::DoubleTable(std::vector<double>(1000, 0.0));
+  GroupedEstimates pilot = PilotFrom(t, 0.1, 5);
+  PlanningInputs inputs;
+  inputs.pilot = &pilot;
+  inputs.pilot_rate = 0.1;
+  inputs.target = {0.05, 0.95};
+  SamplingPlan plan = PlanSamplingRate(inputs);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(PlannerTest, SafetyFactorScalesRate) {
+  Table t = testutil::ZipfGroupedTable(50000, 10, 0.3, 3);
+  GroupedEstimates pilot = PilotFrom(t, 0.01, 5);
+  PlanningInputs base;
+  base.pilot = &pilot;
+  base.pilot_rate = 0.01;
+  base.target = {0.05, 0.95};
+  base.max_rate = 1.0;
+  base.safety_factor = 1.0;
+  PlanningInputs padded = base;
+  padded.safety_factor = 3.0;
+  double r1 = PlanSamplingRate(base).rate;
+  double r3 = PlanSamplingRate(padded).rate;
+  EXPECT_NEAR(r3, std::min(1.0, r1 * 3.0), r1 * 0.01);
+}
+
+// End-to-end planner validity: plan a rate for a 5% error target, then
+// verify empirically that the achieved error at that rate stays within
+// target for the vast majority of runs.
+TEST(PlannerTest, PlannedRateAchievesTargetError) {
+  Table t = testutil::ZipfGroupedTable(60000, 10, 0.5, 11);
+  double truth = testutil::ExactSum(t, "x");
+  GroupedEstimates pilot = PilotFrom(t, 0.01, 21);
+  PlanningInputs inputs;
+  inputs.pilot = &pilot;
+  inputs.pilot_rate = 0.01;
+  inputs.target = {0.05, 0.95};
+  inputs.max_rate = 1.0;
+  SamplingPlan plan = PlanSamplingRate(inputs);
+  ASSERT_TRUE(plan.feasible) << plan.reason;
+  int within = 0;
+  const int kTrials = 60;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Sample s = BernoulliRowSample(t, plan.rate, 500 + trial).value();
+    GroupedEstimates est =
+        EstimateGroupedAggregates(s, {}, {{AggKind::kSum, Col("x"), "s"}})
+            .value();
+    double rel =
+        std::fabs(est.estimates[0][0].estimate - truth) / std::fabs(truth);
+    if (rel <= 0.05) ++within;
+  }
+  EXPECT_GE(within, static_cast<int>(kTrials * 0.93));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace aqp

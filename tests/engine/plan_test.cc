@@ -1,0 +1,73 @@
+#include "engine/plan.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace {
+
+TEST(SampleSpecTest, IsSampled) {
+  SampleSpec none;
+  EXPECT_FALSE(none.is_sampled());
+  SampleSpec bern{SampleSpec::Method::kBernoulliRow, 0.1, 1, 1024};
+  EXPECT_TRUE(bern.is_sampled());
+  SampleSpec full{SampleSpec::Method::kBernoulliRow, 1.0, 1, 1024};
+  EXPECT_FALSE(full.is_sampled());
+}
+
+TEST(PlanTest, ScanNode) {
+  PlanPtr p = PlanNode::Scan("orders");
+  EXPECT_EQ(p->kind(), PlanKind::kScan);
+  EXPECT_EQ(p->table_name(), "orders");
+  EXPECT_EQ(p->num_children(), 0u);
+}
+
+TEST(PlanTest, TreeStructure) {
+  PlanPtr p = PlanNode::Limit(
+      PlanNode::Sort(
+          PlanNode::Aggregate(
+              PlanNode::Filter(PlanNode::Scan("t"),
+                               Gt(Col("x"), Lit(int64_t{0}))),
+              {Col("g")}, {"g"}, {{AggKind::kSum, Col("x"), "s"}}),
+          {{"s", false}}),
+      10);
+  EXPECT_EQ(p->kind(), PlanKind::kLimit);
+  EXPECT_EQ(p->limit(), 10u);
+  EXPECT_EQ(p->child()->kind(), PlanKind::kSort);
+  EXPECT_EQ(p->child()->child()->kind(), PlanKind::kAggregate);
+  EXPECT_EQ(p->child()->child()->child()->kind(), PlanKind::kFilter);
+  EXPECT_EQ(p->child()->child()->child()->child()->kind(), PlanKind::kScan);
+}
+
+TEST(PlanTest, JoinNode) {
+  PlanPtr p = PlanNode::Join(PlanNode::Scan("fact"), PlanNode::Scan("dim"),
+                             JoinType::kInner, {"fact.k"}, {"dim.k"});
+  EXPECT_EQ(p->kind(), PlanKind::kJoin);
+  EXPECT_EQ(p->num_children(), 2u);
+  EXPECT_EQ(p->left_keys()[0], "fact.k");
+  EXPECT_EQ(p->right_keys()[0], "dim.k");
+}
+
+TEST(PlanTest, ToStringRendersTree) {
+  PlanPtr p = PlanNode::Aggregate(
+      PlanNode::Scan("t", {SampleSpec::Method::kSystemBlock, 0.01, 7, 512}),
+      {}, {}, {{AggKind::kAvg, Col("x"), "a"}});
+  std::string s = p->ToString();
+  EXPECT_NE(s.find("Aggregate"), std::string::npos);
+  EXPECT_NE(s.find("Scan(t SAMPLE SYSTEM 1%)"), std::string::npos);
+}
+
+TEST(PlanTest, ToStringShowsBernoulli) {
+  PlanPtr p =
+      PlanNode::Scan("t", {SampleSpec::Method::kBernoulliRow, 0.05, 7, 1024});
+  EXPECT_NE(p->ToString().find("SAMPLE BERNOULLI 5%"), std::string::npos);
+}
+
+TEST(PlanTest, UnionAll) {
+  PlanPtr p = PlanNode::UnionAll({PlanNode::Scan("a"), PlanNode::Scan("b"),
+                                  PlanNode::Scan("c")});
+  EXPECT_EQ(p->kind(), PlanKind::kUnionAll);
+  EXPECT_EQ(p->num_children(), 3u);
+}
+
+}  // namespace
+}  // namespace aqp

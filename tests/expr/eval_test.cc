@@ -1,0 +1,210 @@
+#include "expr/eval.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace {
+
+Table TestTable() {
+  Table t(Schema({{"id", DataType::kInt64},
+                  {"price", DataType::kDouble},
+                  {"name", DataType::kString},
+                  {"flag", DataType::kBool}}));
+  auto add = [&t](int64_t id, double price, const char* name, bool flag) {
+    Status s = t.AppendRow(
+        {Value(id), Value(price), Value(std::string(name)), Value(flag)});
+    ASSERT_TRUE(s.ok());
+  };
+  add(1, 10.0, "apple", true);
+  add(2, 20.0, "banana", false);
+  add(3, 30.0, "apricot", true);
+  add(4, 40.0, "cherry", false);
+  return t;
+}
+
+TEST(EvalTest, ColumnRefReturnsColumn) {
+  Table t = TestTable();
+  Result<Column> r = Eval(*Col("id"), t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Int64At(2), 3);
+}
+
+TEST(EvalTest, LiteralBroadcasts) {
+  Table t = TestTable();
+  Result<Column> r = Eval(*Lit(7.5), t);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 4u);
+  EXPECT_DOUBLE_EQ(r->DoubleAt(3), 7.5);
+}
+
+TEST(EvalTest, ArithmeticIntAndPromotion) {
+  Table t = TestTable();
+  Result<Column> sum = Eval(*Add(Col("id"), Lit(int64_t{10})), t);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->type(), DataType::kInt64);
+  EXPECT_EQ(sum->Int64At(0), 11);
+
+  Result<Column> mixed = Eval(*Mul(Col("id"), Col("price")), t);
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_EQ(mixed->type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(mixed->DoubleAt(1), 40.0);
+}
+
+TEST(EvalTest, DivisionIsDoubleAndDivZeroIsNull) {
+  Table t = TestTable();
+  Result<Column> r = Eval(*Div(Col("price"), Sub(Col("id"), Lit(int64_t{2}))), t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(r->DoubleAt(0), -10.0);  // 10 / (1-2)
+  EXPECT_TRUE(r->IsNull(1));                // 20 / 0 -> NULL
+  EXPECT_DOUBLE_EQ(r->DoubleAt(2), 30.0);
+}
+
+TEST(EvalTest, ModuloAndModZeroError) {
+  Table t = TestTable();
+  Result<Column> r = Eval(*Mod(Col("id"), Lit(int64_t{2})), t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Int64At(0), 1);
+  EXPECT_EQ(r->Int64At(1), 0);
+  EXPECT_FALSE(Eval(*Mod(Col("id"), Lit(int64_t{0})), t).ok());
+}
+
+TEST(EvalTest, NegNegates) {
+  Table t = TestTable();
+  Result<Column> r = Eval(*Neg(Col("price")), t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->DoubleAt(0), -10.0);
+}
+
+TEST(EvalTest, Comparisons) {
+  Table t = TestTable();
+  Result<Column> r = Eval(*Gt(Col("price"), Lit(25.0)), t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->BoolAt(0));
+  EXPECT_FALSE(r->BoolAt(1));
+  EXPECT_TRUE(r->BoolAt(2));
+  EXPECT_TRUE(r->BoolAt(3));
+
+  Result<Column> eq = Eval(*Eq(Col("name"), Lit("banana")), t);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(eq->BoolAt(1));
+  EXPECT_FALSE(eq->BoolAt(0));
+}
+
+TEST(EvalTest, CrossTypeNumericComparison) {
+  Table t = TestTable();
+  // id (int) vs price/10 (double).
+  Result<Column> r =
+      Eval(*Ge(Col("id"), Div(Col("price"), Lit(10.0))), t);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < 4; ++i) EXPECT_TRUE(r->BoolAt(i));
+}
+
+TEST(EvalTest, ThreeValuedLogic) {
+  Table t(Schema({{"a", DataType::kBool}, {"b", DataType::kBool}}));
+  ASSERT_TRUE(t.AppendRow({Value(true), Value::Null()}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(false), Value::Null()}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value::Null()}).ok());
+
+  Result<Column> andr = Eval(*And(Col("a"), Col("b")), t);
+  ASSERT_TRUE(andr.ok());
+  EXPECT_TRUE(andr->IsNull(0));    // true AND null = null
+  EXPECT_FALSE(andr->IsNull(1));   // false AND null = false
+  EXPECT_FALSE(andr->BoolAt(1));
+  EXPECT_TRUE(andr->IsNull(2));
+
+  Result<Column> orr = Eval(*Or(Col("a"), Col("b")), t);
+  ASSERT_TRUE(orr.ok());
+  EXPECT_FALSE(orr->IsNull(0));  // true OR null = true
+  EXPECT_TRUE(orr->BoolAt(0));
+  EXPECT_TRUE(orr->IsNull(1));   // false OR null = null
+  EXPECT_TRUE(orr->IsNull(2));
+}
+
+TEST(EvalTest, NullPropagationThroughArithmeticAndComparison) {
+  Table t(Schema({{"x", DataType::kDouble}}));
+  ASSERT_TRUE(t.AppendRow({Value(1.0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  Result<Column> r = Eval(*Gt(Add(Col("x"), Lit(1.0)), Lit(0.0)), t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->BoolAt(0));
+  EXPECT_TRUE(r->IsNull(1));
+}
+
+TEST(EvalTest, InListSemantics) {
+  Table t = TestTable();
+  Result<Column> r =
+      Eval(*In(Col("id"), {Value(int64_t{2}), Value(int64_t{4})}), t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->BoolAt(0));
+  EXPECT_TRUE(r->BoolAt(1));
+  EXPECT_TRUE(r->BoolAt(3));
+}
+
+TEST(EvalTest, InListWithNullYieldsNullOnMiss) {
+  Table t = TestTable();
+  Result<Column> r =
+      Eval(*In(Col("id"), {Value(int64_t{2}), Value::Null()}), t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->IsNull(0));   // Miss + NULL in list -> NULL.
+  EXPECT_TRUE(r->BoolAt(1));   // Hit -> TRUE regardless of NULL.
+}
+
+TEST(EvalTest, BetweenInclusive) {
+  Table t = TestTable();
+  Result<Column> r = Eval(*Between(Col("price"), Lit(20.0), Lit(30.0)), t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->BoolAt(0));
+  EXPECT_TRUE(r->BoolAt(1));
+  EXPECT_TRUE(r->BoolAt(2));
+  EXPECT_FALSE(r->BoolAt(3));
+}
+
+TEST(EvalTest, LikePatterns) {
+  Table t = TestTable();
+  Result<Column> r = Eval(*Like(Col("name"), "ap%"), t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->BoolAt(0));   // apple
+  EXPECT_FALSE(r->BoolAt(1));  // banana
+  EXPECT_TRUE(r->BoolAt(2));   // apricot
+}
+
+TEST(LikeMatchTest, Wildcards) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_TRUE(LikeMatch("hello", "h%o"));
+  EXPECT_TRUE(LikeMatch("hello", "%"));
+  EXPECT_TRUE(LikeMatch("hello", "h_llo"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_FALSE(LikeMatch("hello", "h_o"));
+  EXPECT_TRUE(LikeMatch("abcabc", "%abc"));
+  EXPECT_TRUE(LikeMatch("abcabc", "abc%abc"));
+  EXPECT_FALSE(LikeMatch("abc", "abcd%"));
+}
+
+TEST(EvalPredicateTest, SelectsTrueRowsOnly) {
+  Table t = TestTable();
+  Result<std::vector<uint32_t>> sel =
+      EvalPredicate(*And(Col("flag"), Lt(Col("id"), Lit(int64_t{3}))), t);
+  ASSERT_TRUE(sel.ok());
+  ASSERT_EQ(sel->size(), 1u);
+  EXPECT_EQ((*sel)[0], 0u);
+}
+
+TEST(EvalPredicateTest, NullRowsExcluded) {
+  Table t(Schema({{"x", DataType::kDouble}}));
+  ASSERT_TRUE(t.AppendRow({Value(5.0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  Result<std::vector<uint32_t>> sel =
+      EvalPredicate(*Gt(Col("x"), Lit(0.0)), t);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->size(), 1u);
+}
+
+TEST(EvalPredicateTest, NonBooleanRejected) {
+  Table t = TestTable();
+  EXPECT_FALSE(EvalPredicate(*Col("id"), t).ok());
+}
+
+}  // namespace
+}  // namespace aqp

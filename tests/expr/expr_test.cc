@@ -1,0 +1,101 @@
+#include "expr/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"price", DataType::kDouble},
+                 {"name", DataType::kString},
+                 {"flag", DataType::kBool}});
+}
+
+TEST(ExprTest, FactoryKinds) {
+  EXPECT_EQ(Col("x")->kind(), ExprKind::kColumnRef);
+  EXPECT_EQ(Lit(int64_t{1})->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(Add(Lit(int64_t{1}), Lit(int64_t{2}))->kind(), ExprKind::kBinary);
+  EXPECT_EQ(Not(Lit(true))->kind(), ExprKind::kUnary);
+  EXPECT_EQ(In(Col("x"), {Value(int64_t{1})})->kind(), ExprKind::kIn);
+}
+
+TEST(ExprTypeCheckTest, ColumnRefResolvesType) {
+  Schema s = TestSchema();
+  EXPECT_EQ(Col("price")->TypeCheck(s).value(), DataType::kDouble);
+  EXPECT_EQ(Col("flag")->TypeCheck(s).value(), DataType::kBool);
+  EXPECT_FALSE(Col("missing")->TypeCheck(s).ok());
+}
+
+TEST(ExprTypeCheckTest, ArithmeticPromotion) {
+  Schema s = TestSchema();
+  EXPECT_EQ(Add(Col("id"), Lit(int64_t{1}))->TypeCheck(s).value(),
+            DataType::kInt64);
+  EXPECT_EQ(Add(Col("id"), Col("price"))->TypeCheck(s).value(),
+            DataType::kDouble);
+  // Division always yields DOUBLE.
+  EXPECT_EQ(Div(Col("id"), Lit(int64_t{2}))->TypeCheck(s).value(),
+            DataType::kDouble);
+  // Modulo requires integers.
+  EXPECT_EQ(Mod(Col("id"), Lit(int64_t{3}))->TypeCheck(s).value(),
+            DataType::kInt64);
+  EXPECT_FALSE(Mod(Col("price"), Lit(int64_t{3}))->TypeCheck(s).ok());
+}
+
+TEST(ExprTypeCheckTest, ArithmeticRejectsNonNumeric) {
+  Schema s = TestSchema();
+  EXPECT_FALSE(Add(Col("name"), Lit(int64_t{1}))->TypeCheck(s).ok());
+  EXPECT_FALSE(Neg(Col("flag"))->TypeCheck(s).ok());
+}
+
+TEST(ExprTypeCheckTest, ComparisonsYieldBool) {
+  Schema s = TestSchema();
+  EXPECT_EQ(Lt(Col("price"), Lit(3.0))->TypeCheck(s).value(), DataType::kBool);
+  EXPECT_EQ(Eq(Col("name"), Lit("x"))->TypeCheck(s).value(), DataType::kBool);
+  // Numeric cross-type comparison allowed.
+  EXPECT_TRUE(Ge(Col("id"), Col("price"))->TypeCheck(s).ok());
+  // String vs int rejected.
+  EXPECT_FALSE(Eq(Col("name"), Lit(int64_t{1}))->TypeCheck(s).ok());
+}
+
+TEST(ExprTypeCheckTest, LogicalRequiresBool) {
+  Schema s = TestSchema();
+  EXPECT_TRUE(
+      And(Col("flag"), Gt(Col("id"), Lit(int64_t{0})))->TypeCheck(s).ok());
+  EXPECT_FALSE(And(Col("id"), Col("flag"))->TypeCheck(s).ok());
+  EXPECT_FALSE(Not(Col("id"))->TypeCheck(s).ok());
+}
+
+TEST(ExprTypeCheckTest, InBetweenLike) {
+  Schema s = TestSchema();
+  EXPECT_EQ(In(Col("id"), {Value(int64_t{1}), Value(int64_t{2})})
+                ->TypeCheck(s)
+                .value(),
+            DataType::kBool);
+  EXPECT_FALSE(
+      In(Col("id"), {Value(std::string("x"))})->TypeCheck(s).ok());
+  EXPECT_EQ(
+      Between(Col("price"), Lit(0.0), Lit(10.0))->TypeCheck(s).value(),
+      DataType::kBool);
+  EXPECT_EQ(Like(Col("name"), "a%")->TypeCheck(s).value(), DataType::kBool);
+  EXPECT_FALSE(Like(Col("id"), "a%")->TypeCheck(s).ok());
+}
+
+TEST(ExprTest, ReferencedColumnsDeduplicated) {
+  ExprPtr e = And(Gt(Col("price"), Lit(1.0)),
+                  Or(Eq(Col("name"), Lit("x")), Lt(Col("price"), Lit(9.0))));
+  auto cols = e->ReferencedColumns();
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], "name");
+  EXPECT_EQ(cols[1], "price");
+}
+
+TEST(ExprTest, ToStringReadable) {
+  ExprPtr e = And(Gt(Col("price"), Lit(1.5)), Eq(Col("name"), Lit("x")));
+  EXPECT_EQ(e->ToString(), "((price > 1.5) AND (name = 'x'))");
+  EXPECT_EQ(Between(Col("id"), Lit(int64_t{1}), Lit(int64_t{5}))->ToString(),
+            "id BETWEEN 1 AND 5");
+}
+
+}  // namespace
+}  // namespace aqp

@@ -1,0 +1,98 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "expr/eval.h"
+#include "expr/expr.h"
+
+namespace aqp {
+namespace {
+
+Table NumTable() {
+  Table t(Schema({{"i", DataType::kInt64}, {"d", DataType::kDouble}}));
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{-3}), Value(2.25)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{4}), Value(-1.5)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Null(), Value::Null()}).ok());
+  return t;
+}
+
+TEST(FunctionTest, AbsKeepsIntType) {
+  Table t = NumTable();
+  Column out = Eval(*Fn("abs", {Col("i")}), t).value();
+  EXPECT_EQ(out.type(), DataType::kInt64);
+  EXPECT_EQ(out.Int64At(0), 3);
+  EXPECT_EQ(out.Int64At(1), 4);
+  EXPECT_TRUE(out.IsNull(2));
+}
+
+TEST(FunctionTest, AbsDouble) {
+  Table t = NumTable();
+  Column out = Eval(*Fn("ABS", {Col("d")}), t).value();
+  EXPECT_EQ(out.type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(out.DoubleAt(1), 1.5);
+}
+
+TEST(FunctionTest, RoundFloorCeil) {
+  Table t = NumTable();
+  EXPECT_EQ(Eval(*Fn("ROUND", {Col("d")}), t)->Int64At(0), 2);
+  EXPECT_EQ(Eval(*Fn("FLOOR", {Col("d")}), t)->Int64At(0), 2);
+  EXPECT_EQ(Eval(*Fn("CEIL", {Col("d")}), t)->Int64At(0), 3);
+  EXPECT_EQ(Eval(*Fn("FLOOR", {Col("d")}), t)->Int64At(1), -2);
+  EXPECT_EQ(Eval(*Fn("CEIL", {Col("d")}), t)->Int64At(1), -1);
+}
+
+TEST(FunctionTest, SqrtLnExpDomains) {
+  Table t = NumTable();
+  Column sqrt_out = Eval(*Fn("SQRT", {Col("d")}), t).value();
+  EXPECT_DOUBLE_EQ(sqrt_out.DoubleAt(0), 1.5);
+  EXPECT_TRUE(sqrt_out.IsNull(1));  // sqrt(-1.5) -> NULL.
+  Column ln_out = Eval(*Fn("LN", {Col("d")}), t).value();
+  EXPECT_NEAR(ln_out.DoubleAt(0), std::log(2.25), 1e-12);
+  EXPECT_TRUE(ln_out.IsNull(1));  // ln(-1.5) -> NULL.
+  Column exp_out = Eval(*Fn("EXP", {Col("i")}), t).value();
+  EXPECT_NEAR(exp_out.DoubleAt(1), std::exp(4.0), 1e-9);
+}
+
+TEST(FunctionTest, PowerTwoArgs) {
+  Table t = NumTable();
+  Column out = Eval(*Fn("POWER", {Col("i"), Lit(2.0)}), t).value();
+  EXPECT_DOUBLE_EQ(out.DoubleAt(0), 9.0);
+  EXPECT_DOUBLE_EQ(out.DoubleAt(1), 16.0);
+  EXPECT_TRUE(out.IsNull(2));
+}
+
+TEST(FunctionTest, CoalesceFillsNulls) {
+  Table t = NumTable();
+  Column out = Eval(*Fn("COALESCE", {Col("d"), Lit(0.0)}), t).value();
+  EXPECT_DOUBLE_EQ(out.DoubleAt(0), 2.25);
+  EXPECT_DOUBLE_EQ(out.DoubleAt(2), 0.0);
+}
+
+TEST(FunctionTest, CoalesceWidensToDouble) {
+  Table t = NumTable();
+  Column out = Eval(*Fn("COALESCE", {Col("i"), Col("d")}), t).value();
+  EXPECT_EQ(out.type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(out.DoubleAt(0), -3.0);
+  EXPECT_TRUE(out.IsNull(2));  // Both NULL.
+}
+
+TEST(FunctionTest, TypeCheckValidation) {
+  Schema s({{"d", DataType::kDouble}, {"name", DataType::kString}});
+  EXPECT_EQ(Fn("SQRT", {Col("d")})->TypeCheck(s).value(), DataType::kDouble);
+  EXPECT_EQ(Fn("ROUND", {Col("d")})->TypeCheck(s).value(), DataType::kInt64);
+  EXPECT_FALSE(Fn("SQRT", {Col("name")})->TypeCheck(s).ok());
+  EXPECT_FALSE(Fn("SQRT", {Col("d"), Col("d")})->TypeCheck(s).ok());
+  EXPECT_FALSE(Fn("POWER", {Col("d")})->TypeCheck(s).ok());
+  EXPECT_FALSE(Fn("NO_SUCH_FN", {Col("d")})->TypeCheck(s).ok());
+  EXPECT_FALSE(Fn("COALESCE", {})->TypeCheck(s).ok());
+  EXPECT_FALSE(Fn("COALESCE", {Col("d"), Col("name")})->TypeCheck(s).ok());
+}
+
+TEST(FunctionTest, NameCanonicalizedAndPrinted) {
+  ExprPtr e = Fn("sqrt", {Col("x")});
+  EXPECT_EQ(e->function_name(), "SQRT");
+  EXPECT_EQ(e->ToString(), "SQRT(x)");
+}
+
+}  // namespace
+}  // namespace aqp

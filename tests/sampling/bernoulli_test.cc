@@ -1,0 +1,95 @@
+#include "sampling/bernoulli.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace aqp {
+namespace {
+
+Table BigTable(size_t n, uint64_t seed = 1) {
+  Pcg32 rng(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) values.push_back(rng.NextDouble() * 100.0);
+  return testutil::DoubleTable(values);
+}
+
+TEST(BernoulliSampleTest, RateValidated) {
+  Table t = BigTable(10);
+  EXPECT_FALSE(BernoulliRowSample(t, 0.0, 1).ok());
+  EXPECT_FALSE(BernoulliRowSample(t, -0.1, 1).ok());
+  EXPECT_FALSE(BernoulliRowSample(t, 1.5, 1).ok());
+  EXPECT_TRUE(BernoulliRowSample(t, 1.0, 1).ok());
+}
+
+TEST(BernoulliSampleTest, SampleSizeConcentratesAroundRate) {
+  Table t = BigTable(50000);
+  Sample s = BernoulliRowSample(t, 0.1, 7).value();
+  EXPECT_NEAR(static_cast<double>(s.num_rows()), 5000.0, 300.0);
+  EXPECT_EQ(s.population_rows, 50000u);
+  EXPECT_DOUBLE_EQ(s.nominal_rate, 0.1);
+}
+
+TEST(BernoulliSampleTest, WeightsAreInverseRate) {
+  Table t = BigTable(1000);
+  Sample s = BernoulliRowSample(t, 0.25, 3).value();
+  ASSERT_EQ(s.weights.size(), s.num_rows());
+  for (double w : s.weights) EXPECT_DOUBLE_EQ(w, 4.0);
+}
+
+TEST(BernoulliSampleTest, UnitsAreRows) {
+  Table t = BigTable(1000);
+  Sample s = BernoulliRowSample(t, 0.5, 3).value();
+  EXPECT_EQ(s.num_units_sampled, s.num_rows());
+  EXPECT_EQ(s.num_units_population, 1000u);
+  for (size_t i = 0; i < s.unit_ids.size(); ++i) {
+    EXPECT_EQ(s.unit_ids[i], i);
+  }
+}
+
+TEST(BernoulliSampleTest, DeterministicPerSeed) {
+  Table t = BigTable(2000);
+  Sample a = BernoulliRowSample(t, 0.2, 11).value();
+  Sample b = BernoulliRowSample(t, 0.2, 11).value();
+  Sample c = BernoulliRowSample(t, 0.2, 12).value();
+  EXPECT_EQ(a.num_rows(), b.num_rows());
+  EXPECT_NE(a.num_rows(), 0u);
+  // Different seed -> (almost surely) different sample size or contents.
+  bool differs = a.num_rows() != c.num_rows();
+  if (!differs) {
+    for (size_t i = 0; i < a.num_rows() && !differs; ++i) {
+      differs = a.table.column(0).DoubleAt(i) != c.table.column(0).DoubleAt(i);
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(BernoulliSampleTest, HtSumIsUnbiasedAcrossSeeds) {
+  Table t = BigTable(20000);
+  double truth = testutil::ExactSum(t, "x");
+  double mean_estimate = 0.0;
+  const int kTrials = 50;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Sample s = BernoulliRowSample(t, 0.05, 100 + trial).value();
+    double est = 0.0;
+    for (size_t i = 0; i < s.num_rows(); ++i) {
+      est += s.weights[i] * s.table.column(0).DoubleAt(i);
+    }
+    mean_estimate += est / kTrials;
+  }
+  EXPECT_NEAR(mean_estimate, truth, truth * 0.01);
+}
+
+TEST(BernoulliSampleTest, FullRateKeepsEverything) {
+  Table t = BigTable(500);
+  Sample s = BernoulliRowSample(t, 1.0, 1).value();
+  EXPECT_EQ(s.num_rows(), 500u);
+  for (double w : s.weights) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+}  // namespace
+}  // namespace aqp

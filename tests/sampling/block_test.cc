@@ -1,0 +1,105 @@
+#include "sampling/block.h"
+
+#include <cmath>
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqp {
+namespace {
+
+Table SequentialTable(size_t n) {
+  std::vector<double> values;
+  for (size_t i = 0; i < n; ++i) values.push_back(static_cast<double>(i));
+  return testutil::DoubleTable(values);
+}
+
+TEST(BlockSampleTest, Validation) {
+  Table t = SequentialTable(100);
+  EXPECT_FALSE(BlockSample(t, 0.0, 10, 1).ok());
+  EXPECT_FALSE(BlockSample(t, 0.5, 0, 1).ok());
+  EXPECT_TRUE(BlockSample(t, 0.5, 10, 1).ok());
+}
+
+TEST(BlockSampleTest, KeepsWholeBlocks) {
+  Table t = SequentialTable(1000);
+  Sample s = BlockSample(t, 0.3, 50, 5).value();
+  EXPECT_EQ(s.num_rows() % 50, 0u);
+  // Rows within a block are consecutive values.
+  for (size_t i = 0; i + 1 < s.num_rows(); ++i) {
+    if (s.unit_ids[i] == s.unit_ids[i + 1]) {
+      EXPECT_DOUBLE_EQ(s.table.column(0).DoubleAt(i + 1),
+                       s.table.column(0).DoubleAt(i) + 1.0);
+    }
+  }
+}
+
+TEST(BlockSampleTest, UnitIdsAreBlocks) {
+  Table t = SequentialTable(1000);
+  Sample s = BlockSample(t, 0.5, 100, 5).value();
+  std::set<uint32_t> units(s.unit_ids.begin(), s.unit_ids.end());
+  EXPECT_EQ(units.size(), s.num_units_sampled);
+  EXPECT_EQ(s.num_rows(), s.num_units_sampled * 100);
+  EXPECT_EQ(s.num_units_population, 10u);
+}
+
+TEST(BlockSampleTest, RaggedLastBlock) {
+  Table t = SequentialTable(250);
+  // 3 blocks of 100 (last has 50 rows). Rate 1 keeps all.
+  Sample s = BlockSample(t, 1.0, 100, 5).value();
+  EXPECT_EQ(s.num_rows(), 250u);
+  EXPECT_EQ(s.num_units_sampled, 3u);
+}
+
+TEST(BlockSampleTest, SampledBlockCountConcentrates) {
+  Table t = SequentialTable(100000);
+  Sample s = BlockSample(t, 0.2, 100, 9).value();
+  // 1000 blocks at rate 0.2 -> ~200 blocks.
+  EXPECT_NEAR(static_cast<double>(s.num_units_sampled), 200.0, 60.0);
+}
+
+TEST(BlockSampleTest, HtSumUnbiasedAcrossSeeds) {
+  Table t = testutil::ZipfGroupedTable(20000, 50, 1.0, 77);
+  double truth = testutil::ExactSum(t, "x");
+  double mean_estimate = 0.0;
+  const int kTrials = 60;
+  size_t xcol = t.ColumnIndex("x").value();
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Sample s = BlockSample(t, 0.1, 200, 500 + trial).value();
+    double est = 0.0;
+    for (size_t i = 0; i < s.num_rows(); ++i) {
+      est += s.weights[i] * s.table.column(xcol).NumericAt(i);
+    }
+    mean_estimate += est / kTrials;
+  }
+  EXPECT_NEAR(mean_estimate, truth, std::fabs(truth) * 0.05);
+}
+
+TEST(ShuffleRowsTest, PermutesAllRows) {
+  Table t = SequentialTable(1000);
+  Table shuffled = ShuffleRows(t, 3);
+  ASSERT_EQ(shuffled.num_rows(), 1000u);
+  double sum = testutil::ExactSum(shuffled, "x");
+  EXPECT_DOUBLE_EQ(sum, 999.0 * 1000.0 / 2.0);
+  // Not identity.
+  bool moved = false;
+  for (size_t i = 0; i < 100 && !moved; ++i) {
+    moved = shuffled.column(0).DoubleAt(i) != static_cast<double>(i);
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(ShuffleRowsTest, DeterministicPerSeed) {
+  Table t = SequentialTable(100);
+  Table a = ShuffleRows(t, 5);
+  Table b = ShuffleRows(t, 5);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.column(0).DoubleAt(i), b.column(0).DoubleAt(i));
+  }
+}
+
+}  // namespace
+}  // namespace aqp

@@ -1,0 +1,75 @@
+#include "sampling/congressional.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqp {
+namespace {
+
+TEST(CongressionalTest, Validation) {
+  Table t = testutil::GroupedTable({{1, 1.0}});
+  EXPECT_FALSE(CongressionalSample(t, "g", 0, 1).ok());
+  EXPECT_FALSE(CongressionalSample(t, "ghost", 10, 1).ok());
+}
+
+TEST(CongressionalTest, SmallGroupsAlwaysCovered) {
+  // One giant group, several tiny ones.
+  std::vector<std::pair<int64_t, double>> rows;
+  for (int i = 0; i < 50000; ++i) rows.push_back({0, 1.0});
+  for (int64_t g = 1; g <= 20; ++g) {
+    for (int i = 0; i < 5; ++i) rows.push_back({g, 1.0});
+  }
+  Table t = testutil::GroupedTable(rows);
+  auto result = CongressionalSample(t, "g", 400, 7).value();
+  ASSERT_EQ(result.strata.size(), 21u);
+  for (const StratumInfo& s : result.strata) {
+    EXPECT_GE(s.sampled_rows, 1u)
+        << "group " << s.key.ToString() << " missed";
+  }
+}
+
+TEST(CongressionalTest, LargeGroupsGetMoreThanSmall) {
+  std::vector<std::pair<int64_t, double>> rows;
+  for (int i = 0; i < 30000; ++i) rows.push_back({0, 1.0});
+  for (int i = 0; i < 100; ++i) rows.push_back({1, 1.0});
+  Table t = testutil::GroupedTable(rows);
+  auto result = CongressionalSample(t, "g", 600, 3).value();
+  uint64_t big = 0;
+  uint64_t small = 0;
+  for (const StratumInfo& s : result.strata) {
+    if (s.key == Value(int64_t{0})) big = s.sampled_rows;
+    if (s.key == Value(int64_t{1})) small = s.sampled_rows;
+  }
+  EXPECT_GT(big, small);
+  EXPECT_GE(small, 1u);
+}
+
+TEST(CongressionalTest, HtSumUnbiased) {
+  Table t = testutil::ZipfGroupedTable(20000, 30, 1.2, 17);
+  double truth = testutil::ExactSum(t, "x");
+  size_t xcol = t.ColumnIndex("x").value();
+  double mean_est = 0.0;
+  const int kTrials = 50;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto result = CongressionalSample(t, "g", 1000, 4000 + trial).value();
+    double est = 0.0;
+    for (size_t i = 0; i < result.sample.num_rows(); ++i) {
+      est += result.sample.weights[i] *
+             result.sample.table.column(xcol).NumericAt(i);
+    }
+    mean_est += est / kTrials;
+  }
+  EXPECT_NEAR(mean_est, truth, std::fabs(truth) * 0.05);
+}
+
+TEST(CongressionalTest, BudgetRoughlyRespected) {
+  Table t = testutil::ZipfGroupedTable(30000, 25, 1.0, 23);
+  auto result = CongressionalSample(t, "g", 1500, 3).value();
+  EXPECT_NEAR(static_cast<double>(result.sample.num_rows()), 1500.0, 150.0);
+}
+
+}  // namespace
+}  // namespace aqp

@@ -1,0 +1,161 @@
+#include "sampling/ht_estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sampling/bernoulli.h"
+#include "sampling/block.h"
+#include "test_util.h"
+
+namespace aqp {
+namespace {
+
+TEST(HtEstimatorTest, SumRequiresMeasure) {
+  Table t = testutil::DoubleTable({1.0});
+  Sample s = BernoulliRowSample(t, 1.0, 1).value();
+  EXPECT_FALSE(EstimateSum(s, nullptr).ok());
+  EXPECT_FALSE(EstimateAvg(s, nullptr).ok());
+}
+
+TEST(HtEstimatorTest, FullSampleIsExactWithZeroVariance) {
+  Table t = testutil::DoubleTable({1.0, 2.0, 3.0, 4.0});
+  Sample s = BernoulliRowSample(t, 1.0, 1).value();
+  PointEstimate sum = EstimateSum(s, Col("x")).value();
+  EXPECT_DOUBLE_EQ(sum.estimate, 10.0);
+  EXPECT_DOUBLE_EQ(sum.variance, 0.0);
+  PointEstimate count = EstimateCount(s).value();
+  EXPECT_DOUBLE_EQ(count.estimate, 4.0);
+  PointEstimate avg = EstimateAvg(s, Col("x")).value();
+  EXPECT_DOUBLE_EQ(avg.estimate, 2.5);
+}
+
+TEST(HtEstimatorTest, PredicateRestriction) {
+  Table t = testutil::GroupedTable(
+      {{0, 1.0}, {1, 10.0}, {0, 2.0}, {1, 20.0}, {0, 3.0}});
+  Sample s = BernoulliRowSample(t, 1.0, 1).value();
+  ExprPtr pred = Eq(Col("g"), Lit(int64_t{1}));
+  EXPECT_DOUBLE_EQ(EstimateSum(s, Col("x"), pred).value().estimate, 30.0);
+  EXPECT_DOUBLE_EQ(EstimateCount(s, pred).value().estimate, 2.0);
+  EXPECT_DOUBLE_EQ(EstimateAvg(s, Col("x"), pred).value().estimate, 15.0);
+}
+
+TEST(HtEstimatorTest, NonBooleanPredicateRejected) {
+  Table t = testutil::DoubleTable({1.0});
+  Sample s = BernoulliRowSample(t, 1.0, 1).value();
+  EXPECT_FALSE(EstimateSum(s, Col("x"), Col("x")).ok());
+}
+
+TEST(HtEstimatorTest, AvgWithNoQualifyingRowsFails) {
+  Table t = testutil::DoubleTable({1.0, 2.0});
+  Sample s = BernoulliRowSample(t, 1.0, 1).value();
+  ExprPtr never = Gt(Col("x"), Lit(1e9));
+  EXPECT_EQ(EstimateAvg(s, Col("x"), never).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(HtEstimatorTest, NullMeasuresSkippedInSum) {
+  Table t(Schema({{"x", DataType::kDouble}}));
+  ASSERT_TRUE(t.AppendRow({Value(5.0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(7.0)}).ok());
+  Sample s = BernoulliRowSample(t, 1.0, 1).value();
+  EXPECT_DOUBLE_EQ(EstimateSum(s, Col("x")).value().estimate, 12.0);
+  // COUNT(*) counts all rows regardless of NULL measure.
+  EXPECT_DOUBLE_EQ(EstimateCount(s).value().estimate, 3.0);
+}
+
+TEST(HtEstimatorTest, CiCoversTruthAtNominalRate) {
+  // Property test over seeds: 95% CI for the SUM should cover the exact sum
+  // in roughly 95% of repetitions.
+  Table t = testutil::ZipfGroupedTable(20000, 10, 0.5, 99);
+  double truth = testutil::ExactSum(t, "x");
+  int covered = 0;
+  const int kTrials = 200;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Sample s = BernoulliRowSample(t, 0.02, 5000 + trial).value();
+    PointEstimate est = EstimateSum(s, Col("x")).value();
+    if (est.Ci(0.95).Covers(truth)) ++covered;
+  }
+  double coverage = static_cast<double>(covered) / kTrials;
+  EXPECT_GE(coverage, 0.90);
+}
+
+TEST(HtEstimatorTest, BlockSampleCiAccountsForClustering) {
+  // Data laid out so blocks are internally homogeneous (values clustered by
+  // position): naive row-level variance would be far too small. The unit-
+  // aware estimator must still achieve near-nominal coverage.
+  const size_t kRows = 40000;
+  const uint32_t kBlock = 200;
+  Table t(Schema({{"x", DataType::kDouble}}));
+  Pcg32 rng(5);
+  for (size_t i = 0; i < kRows; ++i) {
+    double block_mean = static_cast<double>(i / kBlock);  // Clustered!
+    ASSERT_TRUE(t.AppendRow({Value(block_mean + 0.01 * rng.Gaussian())}).ok());
+  }
+  double truth = testutil::ExactSum(t, "x");
+  int covered = 0;
+  const int kTrials = 150;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Sample s = BlockSample(t, 0.05, kBlock, 8000 + trial).value();
+    PointEstimate est = EstimateSum(s, Col("x")).value();
+    if (est.Ci(0.95).Covers(truth)) ++covered;
+  }
+  double coverage = static_cast<double>(covered) / kTrials;
+  EXPECT_GE(coverage, 0.88);
+}
+
+TEST(HtEstimatorTest, RowLevelTreatmentOfBlockSampleUndercovers) {
+  // The failure mode motivating unit-aware estimation: pretend each row of a
+  // block sample is independent and the CI collapses, losing coverage.
+  const size_t kRows = 40000;
+  const uint32_t kBlock = 200;
+  Table t(Schema({{"x", DataType::kDouble}}));
+  Pcg32 rng(6);
+  for (size_t i = 0; i < kRows; ++i) {
+    double block_mean = static_cast<double>(i / kBlock);
+    ASSERT_TRUE(t.AppendRow({Value(block_mean + 0.01 * rng.Gaussian())}).ok());
+  }
+  double truth = testutil::ExactSum(t, "x");
+  int covered_naive = 0;
+  const int kTrials = 100;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Sample s = BlockSample(t, 0.05, kBlock, 9000 + trial).value();
+    // Sabotage: relabel every row as its own unit.
+    Sample naive = s;
+    naive.unit_ids.clear();
+    for (size_t i = 0; i < naive.num_rows(); ++i) {
+      naive.unit_ids.push_back(static_cast<uint32_t>(i));
+    }
+    naive.num_units_sampled = naive.num_rows();
+    PointEstimate est = EstimateSum(naive, Col("x")).value();
+    if (est.Ci(0.95).Covers(truth)) ++covered_naive;
+  }
+  // Naive CI coverage collapses well below nominal on clustered data.
+  EXPECT_LT(covered_naive, 80);
+}
+
+TEST(HtEstimatorTest, AvgRatioEstimatorConverges) {
+  Table t = testutil::ZipfGroupedTable(30000, 5, 0.3, 42);
+  double exact_sum = testutil::ExactSum(t, "x");
+  double exact_avg = exact_sum / 30000.0;
+  double mean_est = 0.0;
+  const int kTrials = 40;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Sample s = BernoulliRowSample(t, 0.03, 300 + trial).value();
+    mean_est += EstimateAvg(s, Col("x")).value().estimate / kTrials;
+  }
+  EXPECT_NEAR(mean_est, exact_avg, std::fabs(exact_avg) * 0.02);
+}
+
+TEST(HtEstimatorTest, VarianceShrinksWithRate) {
+  Table t = testutil::ZipfGroupedTable(20000, 10, 0.5, 17);
+  Sample small = BernoulliRowSample(t, 0.01, 3).value();
+  Sample large = BernoulliRowSample(t, 0.2, 3).value();
+  double var_small = EstimateSum(small, Col("x")).value().variance;
+  double var_large = EstimateSum(large, Col("x")).value().variance;
+  EXPECT_LT(var_large, var_small);
+}
+
+}  // namespace
+}  // namespace aqp

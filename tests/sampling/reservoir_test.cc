@@ -1,0 +1,105 @@
+#include "sampling/reservoir.h"
+
+#include <cmath>
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqp {
+namespace {
+
+TEST(ReservoirSamplerTest, FillPhaseTakesFirstK) {
+  ReservoirSampler s(5, 1);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(s.Offer(), i);
+}
+
+TEST(ReservoirSamplerTest, CountsItems) {
+  ReservoirSampler s(3, 1);
+  for (int i = 0; i < 100; ++i) s.Offer();
+  EXPECT_EQ(s.items_seen(), 100u);
+  EXPECT_EQ(s.capacity(), 3u);
+}
+
+TEST(ReservoirSampleTest, ZeroKRejected) {
+  Table t = testutil::DoubleTable({1.0});
+  EXPECT_FALSE(ReservoirSample(t, 0, 1).ok());
+}
+
+TEST(ReservoirSampleTest, KLargerThanNKeepsAll) {
+  Table t = testutil::DoubleTable({1.0, 2.0, 3.0});
+  Sample s = ReservoirSample(t, 10, 1).value();
+  EXPECT_EQ(s.num_rows(), 3u);
+  for (double w : s.weights) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(ReservoirSampleTest, ExactSizeK) {
+  std::vector<double> values(10000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i);
+  }
+  Table t = testutil::DoubleTable(values);
+  Sample s = ReservoirSample(t, 500, 7).value();
+  EXPECT_EQ(s.num_rows(), 500u);
+  EXPECT_DOUBLE_EQ(s.weights[0], 20.0);  // N/k = 10000/500.
+}
+
+TEST(ReservoirSampleTest, NoDuplicates) {
+  std::vector<double> values(5000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i);
+  }
+  Table t = testutil::DoubleTable(values);
+  Sample s = ReservoirSample(t, 300, 3).value();
+  std::set<double> seen;
+  for (size_t i = 0; i < s.num_rows(); ++i) {
+    seen.insert(s.table.column(0).DoubleAt(i));
+  }
+  EXPECT_EQ(seen.size(), 300u);
+}
+
+TEST(ReservoirSampleTest, UniformInclusionProbability) {
+  // Each of 1000 items should appear in a k=100 sample with p = 0.1.
+  // Run many trials and check per-decile inclusion counts.
+  std::vector<double> values(1000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i);
+  }
+  Table t = testutil::DoubleTable(values);
+  std::vector<int> inclusions(10, 0);  // Bucketed by value decile.
+  const int kTrials = 300;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Sample s = ReservoirSample(t, 100, 1000 + trial).value();
+    for (size_t i = 0; i < s.num_rows(); ++i) {
+      int bucket = static_cast<int>(s.table.column(0).DoubleAt(i) / 100.0);
+      inclusions[bucket]++;
+    }
+  }
+  // Each decile has 100 items * 300 trials * 0.1 = 3000 expected inclusions.
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_NEAR(inclusions[b], 3000, 350) << "decile " << b;
+  }
+}
+
+TEST(ReservoirSampleTest, HtSumUnbiased) {
+  Table t = testutil::ZipfGroupedTable(10000, 20, 0.8, 5);
+  double truth = testutil::ExactSum(t, "x");
+  size_t xcol = t.ColumnIndex("x").value();
+  double mean_est = 0.0;
+  const int kTrials = 60;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Sample s = ReservoirSample(t, 400, 2000 + trial).value();
+    double est = 0.0;
+    for (size_t i = 0; i < s.num_rows(); ++i) {
+      est += s.weights[i] * s.table.column(xcol).NumericAt(i);
+    }
+    mean_est += est / kTrials;
+  }
+  EXPECT_NEAR(mean_est, truth, std::fabs(truth) * 0.03);
+}
+
+}  // namespace
+}  // namespace aqp

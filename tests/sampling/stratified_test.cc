@@ -1,0 +1,118 @@
+#include "sampling/stratified.h"
+
+#include "engine/aggregate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqp {
+namespace {
+
+TEST(StratifiedTest, Validation) {
+  Table t = testutil::GroupedTable({{1, 1.0}});
+  EXPECT_FALSE(
+      StratifiedSample(t, "g", 0, Allocation::kProportional, 1).ok());
+  EXPECT_FALSE(StratifiedSample(t, "ghost", 10, Allocation::kProportional, 1)
+                   .ok());
+  EXPECT_FALSE(StratifiedSample(t, "g", 10, Allocation::kNeyman, 1).ok())
+      << "Neyman without measure column should fail";
+  Table empty(Schema({{"g", DataType::kInt64}}));
+  EXPECT_FALSE(
+      StratifiedSample(empty, "g", 10, Allocation::kProportional, 1).ok());
+}
+
+TEST(StratifiedTest, EveryStratumRepresented) {
+  // Heavily skewed groups; equal allocation must still hit tiny groups.
+  Table t = testutil::ZipfGroupedTable(20000, 40, 1.3, 3);
+  auto result = StratifiedSample(t, "g", 200, Allocation::kEqual, 9).value();
+  // Count actual strata in the table.
+  GroupIndex idx = BuildGroupIndex(t, {Col("g")}).value();
+  EXPECT_EQ(result.strata.size(), idx.num_groups);
+  for (const StratumInfo& s : result.strata) {
+    EXPECT_GE(s.sampled_rows, 1u);
+  }
+}
+
+TEST(StratifiedTest, ProportionalAllocationTracksSizes) {
+  std::vector<std::pair<int64_t, double>> rows;
+  for (int i = 0; i < 9000; ++i) rows.push_back({0, 1.0});
+  for (int i = 0; i < 1000; ++i) rows.push_back({1, 1.0});
+  Table t = testutil::GroupedTable(rows);
+  auto result =
+      StratifiedSample(t, "g", 1000, Allocation::kProportional, 5).value();
+  ASSERT_EQ(result.strata.size(), 2u);
+  // 90/10 split within rounding.
+  uint64_t big = std::max(result.strata[0].sampled_rows,
+                          result.strata[1].sampled_rows);
+  uint64_t small = std::min(result.strata[0].sampled_rows,
+                            result.strata[1].sampled_rows);
+  EXPECT_NEAR(static_cast<double>(big), 900.0, 5.0);
+  EXPECT_NEAR(static_cast<double>(small), 100.0, 5.0);
+}
+
+TEST(StratifiedTest, NeymanFavorsHighVarianceStrata) {
+  // Stratum 0: constant measure (stddev ~0). Stratum 1: wild variance.
+  std::vector<std::pair<int64_t, double>> rows;
+  Pcg32 rng(8);
+  for (int i = 0; i < 5000; ++i) rows.push_back({0, 10.0});
+  for (int i = 0; i < 5000; ++i) {
+    rows.push_back({1, 10.0 + 50.0 * rng.Gaussian()});
+  }
+  Table t = testutil::GroupedTable(rows);
+  auto result =
+      StratifiedSample(t, "g", 500, Allocation::kNeyman, 5, "x").value();
+  uint64_t alloc0 = 0;
+  uint64_t alloc1 = 0;
+  for (const StratumInfo& s : result.strata) {
+    if (s.key == Value(int64_t{0})) alloc0 = s.sampled_rows;
+    if (s.key == Value(int64_t{1})) alloc1 = s.sampled_rows;
+  }
+  EXPECT_GT(alloc1, alloc0 * 10);
+}
+
+TEST(StratifiedTest, WeightsAreNhOverNh) {
+  std::vector<std::pair<int64_t, double>> rows;
+  for (int i = 0; i < 100; ++i) rows.push_back({0, 1.0});
+  for (int i = 0; i < 300; ++i) rows.push_back({1, 1.0});
+  Table t = testutil::GroupedTable(rows);
+  auto result = StratifiedSample(t, "g", 40, Allocation::kEqual, 5).value();
+  // Equal alloc: 20 rows each => weights 100/20=5 and 300/20=15.
+  size_t gcol = result.sample.table.ColumnIndex("g").value();
+  for (size_t i = 0; i < result.sample.num_rows(); ++i) {
+    int64_t g = result.sample.table.column(gcol).Int64At(i);
+    EXPECT_DOUBLE_EQ(result.sample.weights[i], g == 0 ? 5.0 : 15.0);
+  }
+}
+
+TEST(StratifiedTest, HtSumUnbiasedAcrossSeeds) {
+  Table t = testutil::ZipfGroupedTable(10000, 10, 1.0, 21);
+  double truth = testutil::ExactSum(t, "x");
+  size_t xcol = t.ColumnIndex("x").value();
+  double mean_est = 0.0;
+  const int kTrials = 50;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto result = StratifiedSample(t, "g", 500, Allocation::kProportional,
+                                   3000 + trial)
+                      .value();
+    double est = 0.0;
+    for (size_t i = 0; i < result.sample.num_rows(); ++i) {
+      est += result.sample.weights[i] *
+             result.sample.table.column(xcol).NumericAt(i);
+    }
+    mean_est += est / kTrials;
+  }
+  EXPECT_NEAR(mean_est, truth, std::fabs(truth) * 0.03);
+}
+
+TEST(StratifiedTest, BudgetRoughlyRespected) {
+  Table t = testutil::ZipfGroupedTable(50000, 20, 0.8, 31);
+  auto result =
+      StratifiedSample(t, "g", 2000, Allocation::kProportional, 5).value();
+  EXPECT_NEAR(static_cast<double>(result.sample.num_rows()), 2000.0, 100.0);
+}
+
+}  // namespace
+}  // namespace aqp

@@ -1,0 +1,111 @@
+#include "sketch/ams_f2.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace aqp {
+namespace sketch {
+namespace {
+
+double ExactF2(const std::vector<uint64_t>& freqs) {
+  double f2 = 0.0;
+  for (uint64_t f : freqs) {
+    f2 += static_cast<double>(f) * static_cast<double>(f);
+  }
+  return f2;
+}
+
+TEST(AmsF2Test, SingleKeyExactSquare) {
+  AmsF2Sketch ams(5, 64);
+  ams.Add(42, 10);
+  // Only one key: every counter is ±10, so mean square is exactly 100.
+  EXPECT_NEAR(ams.Estimate(), 100.0, 1e-9);
+}
+
+TEST(AmsF2Test, UniformFrequencies) {
+  AmsF2Sketch ams(7, 512, 3);
+  std::vector<uint64_t> freqs(1000, 50);
+  for (uint64_t k = 0; k < 1000; ++k) ams.Add(k, 50);
+  double truth = ExactF2(freqs);
+  EXPECT_NEAR(ams.Estimate(), truth, truth * 0.25);
+}
+
+TEST(AmsF2Test, SkewedFrequencies) {
+  Pcg32 rng(5);
+  ZipfGenerator zipf(2000, 1.1);
+  std::vector<uint64_t> freqs(2000, 0);
+  AmsF2Sketch ams(9, 1024, 7);
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t k = zipf.Next(rng);
+    freqs[k]++;
+    ams.Add(k);
+  }
+  double truth = ExactF2(freqs);
+  EXPECT_NEAR(ams.Estimate(), truth, truth * 0.2);
+}
+
+TEST(AmsF2Test, SelfJoinSizeInterpretation) {
+  // F2 of a join column == size of the self-join.
+  AmsF2Sketch ams(7, 256, 9);
+  // 3 keys with frequencies 4, 2, 1 -> self-join size 16+4+1 = 21.
+  for (int i = 0; i < 4; ++i) ams.Add(100);
+  for (int i = 0; i < 2; ++i) ams.Add(200);
+  ams.Add(300);
+  EXPECT_NEAR(ams.Estimate(), 21.0, 10.0);
+}
+
+TEST(AmsF2Test, DeletionsSupported) {
+  AmsF2Sketch ams(5, 128, 11);
+  ams.Add(1, 10);
+  ams.Add(1, -10);
+  EXPECT_NEAR(ams.Estimate(), 0.0, 1e-9);
+}
+
+TEST(AmsF2Test, MergeMatchesCombinedStream) {
+  AmsF2Sketch a(7, 256, 13);
+  AmsF2Sketch b(7, 256, 13);
+  AmsF2Sketch whole(7, 256, 13);
+  for (uint64_t k = 0; k < 100; ++k) {
+    a.Add(k, 3);
+    whole.Add(k, 3);
+  }
+  for (uint64_t k = 50; k < 150; ++k) {
+    b.Add(k, 2);
+    whole.Add(k, 2);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_NEAR(a.Estimate(), whole.Estimate(), 1e-9);
+}
+
+TEST(AmsF2Test, MergeMismatchRejected) {
+  AmsF2Sketch a(7, 256, 13);
+  AmsF2Sketch b(7, 128, 13);
+  AmsF2Sketch c(7, 256, 14);
+  EXPECT_FALSE(a.Merge(b).ok());
+  EXPECT_FALSE(a.Merge(c).ok());
+}
+
+TEST(AmsF2Test, MoreColumnsTightens) {
+  Pcg32 rng(17);
+  std::vector<uint64_t> freqs(500, 0);
+  AmsF2Sketch narrow(5, 16, 19);
+  AmsF2Sketch wide(5, 2048, 19);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t k = rng.UniformUint32(500);
+    freqs[k]++;
+    narrow.Add(k);
+    wide.Add(k);
+  }
+  double truth = ExactF2(freqs);
+  double err_narrow = std::fabs(narrow.Estimate() - truth) / truth;
+  double err_wide = std::fabs(wide.Estimate() - truth) / truth;
+  EXPECT_LT(err_wide, err_narrow + 0.02);
+  EXPECT_LT(err_wide, 0.1);
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace aqp

@@ -1,0 +1,90 @@
+#include "sketch/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace aqp {
+namespace sketch {
+namespace {
+
+TEST(BloomFilterTest, CreateValidation) {
+  EXPECT_FALSE(BloomFilter::Create(0, 0.01).ok());
+  EXPECT_FALSE(BloomFilter::Create(100, 0.0).ok());
+  EXPECT_FALSE(BloomFilter::Create(100, 1.0).ok());
+  EXPECT_TRUE(BloomFilter::Create(100, 0.01).ok());
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter = BloomFilter::Create(10000, 0.01).value();
+  for (uint64_t k = 0; k < 10000; ++k) filter.Add(k * 2654435761ULL);
+  for (uint64_t k = 0; k < 10000; ++k) {
+    EXPECT_TRUE(filter.MayContain(k * 2654435761ULL));
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTarget) {
+  const double kTarget = 0.02;
+  BloomFilter filter = BloomFilter::Create(20000, kTarget).value();
+  for (uint64_t k = 0; k < 20000; ++k) filter.Add(k);
+  int false_positives = 0;
+  const int kProbes = 50000;
+  for (int i = 0; i < kProbes; ++i) {
+    uint64_t probe = 1000000ULL + static_cast<uint64_t>(i);
+    if (filter.MayContain(probe)) ++false_positives;
+  }
+  double fpr = static_cast<double>(false_positives) / kProbes;
+  EXPECT_LT(fpr, kTarget * 2.5);
+  EXPECT_GT(fpr, kTarget / 10.0);  // Sanity: not trivially zero-size.
+}
+
+TEST(BloomFilterTest, EmptyFilterContainsNothing) {
+  BloomFilter filter(1024, 3);
+  int hits = 0;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    if (filter.MayContain(k)) ++hits;
+  }
+  EXPECT_EQ(hits, 0);
+  EXPECT_DOUBLE_EQ(filter.FillRatio(), 0.0);
+}
+
+TEST(BloomFilterTest, MergeUnions) {
+  BloomFilter a(4096, 4);
+  BloomFilter b(4096, 4);
+  a.Add(1);
+  a.Add(2);
+  b.Add(3);
+  b.Add(4);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_TRUE(a.MayContain(1));
+  EXPECT_TRUE(a.MayContain(3));
+  EXPECT_TRUE(a.MayContain(4));
+}
+
+TEST(BloomFilterTest, MergeGeometryMismatchRejected) {
+  BloomFilter a(4096, 4);
+  BloomFilter b(2048, 4);
+  BloomFilter c(4096, 3);
+  EXPECT_FALSE(a.Merge(b).ok());
+  EXPECT_FALSE(a.Merge(c).ok());
+}
+
+TEST(BloomFilterTest, FillRatioGrows) {
+  BloomFilter filter(4096, 4);
+  filter.Add(1);
+  double f1 = filter.FillRatio();
+  for (uint64_t k = 2; k < 500; ++k) filter.Add(k);
+  EXPECT_GT(filter.FillRatio(), f1);
+  EXPECT_LT(filter.FillRatio(), 1.0);
+}
+
+TEST(BloomFilterTest, SizeScalesWithTightness) {
+  BloomFilter loose = BloomFilter::Create(10000, 0.1).value();
+  BloomFilter tight = BloomFilter::Create(10000, 0.001).value();
+  EXPECT_GT(tight.SizeBytes(), loose.SizeBytes());
+  EXPECT_GT(tight.num_hashes(), loose.num_hashes());
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace aqp

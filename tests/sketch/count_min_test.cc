@@ -1,0 +1,113 @@
+#include "sketch/count_min.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace aqp {
+namespace sketch {
+namespace {
+
+TEST(CountMinTest, CreateValidation) {
+  EXPECT_FALSE(CountMinSketch::Create(0.0, 0.01).ok());
+  EXPECT_FALSE(CountMinSketch::Create(0.01, 1.5).ok());
+  CountMinSketch cm = CountMinSketch::Create(0.01, 0.01).value();
+  EXPECT_GE(cm.width(), 272u);  // e / 0.01 ~ 271.8.
+  EXPECT_GE(cm.depth(), 5u);    // ln(100) ~ 4.6.
+}
+
+TEST(CountMinTest, NeverUnderestimates) {
+  CountMinSketch cm(4, 256);
+  Pcg32 rng(3);
+  std::vector<uint64_t> truth(200, 0);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t key = rng.UniformUint32(200);
+    cm.Add(key);
+    truth[key]++;
+  }
+  for (uint64_t k = 0; k < 200; ++k) {
+    EXPECT_GE(cm.Estimate(k), truth[k]) << "key " << k;
+  }
+}
+
+TEST(CountMinTest, ErrorBoundedByEpsN) {
+  const double kEps = 0.01;
+  CountMinSketch cm = CountMinSketch::Create(kEps, 0.01).value();
+  Pcg32 rng(5);
+  ZipfGenerator zipf(1000, 1.1);
+  std::vector<uint64_t> truth(1000, 0);
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    uint64_t key = zipf.Next(rng);
+    cm.Add(key);
+    truth[key]++;
+  }
+  int violations = 0;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    if (cm.Estimate(k) > truth[k] + static_cast<uint64_t>(kEps * kN)) {
+      ++violations;
+    }
+  }
+  // Guarantee holds per-key with prob 1-delta; allow a small count.
+  EXPECT_LE(violations, 20);
+}
+
+TEST(CountMinTest, ExactWhenNoCollisions) {
+  CountMinSketch cm(4, 1u << 16);
+  for (uint64_t k = 0; k < 10; ++k) cm.Add(k, k + 1);
+  for (uint64_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(cm.Estimate(k), k + 1);
+  }
+  EXPECT_EQ(cm.Estimate(99), 0u);
+}
+
+TEST(CountMinTest, ConservativeUpdateNoWorse) {
+  CountMinSketch plain(3, 64);
+  CountMinSketch conservative(3, 64);
+  Pcg32 rng(7);
+  std::vector<uint64_t> truth(500, 0);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t key = rng.UniformUint32(500);
+    plain.Add(key);
+    conservative.AddConservative(key);
+    truth[key]++;
+  }
+  uint64_t err_plain = 0;
+  uint64_t err_cons = 0;
+  for (uint64_t k = 0; k < 500; ++k) {
+    EXPECT_GE(conservative.Estimate(k), truth[k]);  // Still an upper bound.
+    err_plain += plain.Estimate(k) - truth[k];
+    err_cons += conservative.Estimate(k) - truth[k];
+  }
+  EXPECT_LE(err_cons, err_plain);
+}
+
+TEST(CountMinTest, MergeAddsCounts) {
+  CountMinSketch a(4, 128);
+  CountMinSketch b(4, 128);
+  a.Add(42, 10);
+  b.Add(42, 5);
+  b.Add(7, 3);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_GE(a.Estimate(42), 15u);
+  EXPECT_GE(a.Estimate(7), 3u);
+  EXPECT_EQ(a.total_count(), 18u);
+}
+
+TEST(CountMinTest, MergeGeometryMismatchRejected) {
+  CountMinSketch a(4, 128);
+  CountMinSketch b(4, 64);
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+TEST(CountMinTest, WeightedAdds) {
+  CountMinSketch cm(4, 1024);
+  cm.Add(5, 100);
+  cm.Add(5, 23);
+  EXPECT_GE(cm.Estimate(5), 123u);
+  EXPECT_EQ(cm.total_count(), 123u);
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace aqp

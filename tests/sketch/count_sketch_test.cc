@@ -1,0 +1,81 @@
+#include "sketch/count_sketch.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace aqp {
+namespace sketch {
+namespace {
+
+TEST(CountSketchTest, ExactWhenSparse) {
+  CountSketch cs(5, 1u << 14);
+  for (uint64_t k = 0; k < 8; ++k) cs.Add(k, static_cast<int64_t>(k) * 10);
+  for (uint64_t k = 1; k < 8; ++k) {
+    EXPECT_EQ(cs.Estimate(k), static_cast<int64_t>(k) * 10);
+  }
+}
+
+TEST(CountSketchTest, UnbiasedOnAverage) {
+  // Estimate of a fixed key, averaged over independent sketches (varying the
+  // unseen keys), should center on the truth.
+  Pcg32 rng(3);
+  double mean_err = 0.0;
+  const int kTrials = 40;
+  for (int t = 0; t < kTrials; ++t) {
+    CountSketch cs(1, 64);  // Single row: noisy but unbiased.
+    cs.Add(12345, 1000);
+    for (int i = 0; i < 3000; ++i) {
+      cs.Add(rng.NextUint64() | 1ULL << 60, 1);
+    }
+    mean_err += static_cast<double>(cs.Estimate(12345) - 1000) / kTrials;
+  }
+  EXPECT_NEAR(mean_err, 0.0, 60.0);
+}
+
+TEST(CountSketchTest, MedianTamesNoise) {
+  Pcg32 rng(5);
+  CountSketch deep(9, 256);
+  deep.Add(777, 5000);
+  for (int i = 0; i < 100000; ++i) {
+    deep.Add(rng.NextUint64() % 10000, 1);
+  }
+  // Noise per row ~ ||f||_2 / 16; the median over 9 rows should land close.
+  EXPECT_NEAR(static_cast<double>(deep.Estimate(777)), 5000.0, 1500.0);
+}
+
+TEST(CountSketchTest, SupportsDeletions) {
+  CountSketch cs(5, 1024);
+  cs.Add(1, 100);
+  cs.Add(1, -40);
+  EXPECT_EQ(cs.Estimate(1), 60);
+}
+
+TEST(CountSketchTest, MergeAdds) {
+  CountSketch a(5, 512);
+  CountSketch b(5, 512);
+  a.Add(9, 7);
+  b.Add(9, 3);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.Estimate(9), 10);
+}
+
+TEST(CountSketchTest, MergeGeometryMismatchRejected) {
+  CountSketch a(5, 512);
+  CountSketch b(4, 512);
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+TEST(CountSketchTest, UnseenKeyNearZero) {
+  Pcg32 rng(9);
+  CountSketch cs(7, 4096);
+  for (int i = 0; i < 10000; ++i) cs.Add(rng.NextUint64(), 1);
+  EXPECT_NEAR(static_cast<double>(cs.Estimate(0xdeadbeefULL << 32)), 0.0,
+              50.0);
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace aqp

@@ -1,0 +1,113 @@
+#include "sketch/dyadic_count_min.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace aqp {
+namespace sketch {
+namespace {
+
+TEST(DyadicCmsTest, Validation) {
+  EXPECT_FALSE(DyadicCountMin::Create(0, 0.01, 0.01).ok());
+  EXPECT_FALSE(DyadicCountMin::Create(40, 0.01, 0.01).ok());
+  EXPECT_TRUE(DyadicCountMin::Create(16, 0.01, 0.01).ok());
+}
+
+TEST(DyadicCmsTest, ValueOutsideUniverseRejected) {
+  DyadicCountMin sketch = DyadicCountMin::Create(8, 0.01, 0.01).value();
+  EXPECT_TRUE(sketch.Add(255).ok());
+  EXPECT_FALSE(sketch.Add(256).ok());
+}
+
+TEST(DyadicCmsTest, ExactOnSparseStream) {
+  DyadicCountMin sketch = DyadicCountMin::Create(16, 0.001, 0.01).value();
+  ASSERT_TRUE(sketch.Add(100, 5).ok());
+  ASSERT_TRUE(sketch.Add(200, 3).ok());
+  ASSERT_TRUE(sketch.Add(50000, 2).ok());
+  EXPECT_EQ(sketch.EstimateRange(100, 100), 5u);
+  EXPECT_EQ(sketch.EstimateRange(0, 99), 0u);
+  EXPECT_EQ(sketch.EstimateRange(100, 200), 8u);
+  EXPECT_EQ(sketch.EstimateRange(0, 65535), 10u);
+  EXPECT_EQ(sketch.total_count(), 10u);
+}
+
+TEST(DyadicCmsTest, RangeBoundsClampAndInvert) {
+  DyadicCountMin sketch = DyadicCountMin::Create(8, 0.01, 0.01).value();
+  ASSERT_TRUE(sketch.Add(10).ok());
+  EXPECT_EQ(sketch.EstimateRange(0, 100000), 1u);  // hi clamped.
+  EXPECT_EQ(sketch.EstimateRange(20, 10), 0u);     // inverted.
+}
+
+TEST(DyadicCmsTest, RangeCountsNearTruthOnDenseStream) {
+  DyadicCountMin sketch = DyadicCountMin::Create(16, 0.005, 0.01).value();
+  Pcg32 rng(3);
+  const int kN = 200000;
+  std::vector<uint32_t> histogram(1 << 16, 0);
+  for (int i = 0; i < kN; ++i) {
+    uint64_t v = rng.UniformUint32(1 << 16);
+    ASSERT_TRUE(sketch.Add(v).ok());
+    histogram[v]++;
+  }
+  // Probe several ranges; CMS error is one-sided (overcount <= eps*N per
+  // dyadic piece, <= 2*16 pieces).
+  struct Probe {
+    uint64_t lo, hi;
+  };
+  for (const Probe& p :
+       {Probe{0, 999}, Probe{1000, 9999}, Probe{30000, 65535}}) {
+    uint64_t truth = 0;
+    for (uint64_t v = p.lo; v <= p.hi; ++v) truth += histogram[v];
+    uint64_t est = sketch.EstimateRange(p.lo, p.hi);
+    EXPECT_GE(est + 5, truth);  // Never (meaningfully) undercounts.
+    EXPECT_LE(static_cast<double>(est),
+              static_cast<double>(truth) + 32.0 * 0.005 * kN);
+  }
+}
+
+TEST(DyadicCmsTest, QuantilesViaRankSearch) {
+  DyadicCountMin sketch = DyadicCountMin::Create(16, 0.002, 0.01).value();
+  Pcg32 rng(7);
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    // Triangular-ish distribution centered at 32768.
+    uint64_t v = (rng.UniformUint32(1 << 16) + rng.UniformUint32(1 << 16)) / 2;
+    ASSERT_TRUE(sketch.Add(v).ok());
+  }
+  uint64_t median = sketch.Quantile(0.5).value();
+  EXPECT_NEAR(static_cast<double>(median), 32768.0, 2500.0);
+  uint64_t p10 = sketch.Quantile(0.1).value();
+  uint64_t p90 = sketch.Quantile(0.9).value();
+  EXPECT_LT(p10, median);
+  EXPECT_GT(p90, median);
+}
+
+TEST(DyadicCmsTest, QuantileValidation) {
+  DyadicCountMin sketch = DyadicCountMin::Create(8, 0.01, 0.01).value();
+  EXPECT_FALSE(sketch.Quantile(0.5).ok());  // Empty.
+  ASSERT_TRUE(sketch.Add(1).ok());
+  EXPECT_FALSE(sketch.Quantile(-0.1).ok());
+  EXPECT_FALSE(sketch.Quantile(1.5).ok());
+}
+
+TEST(DyadicCmsTest, MergeMatchesCombined) {
+  DyadicCountMin a = DyadicCountMin::Create(12, 0.01, 0.01).value();
+  DyadicCountMin b = DyadicCountMin::Create(12, 0.01, 0.01).value();
+  for (uint64_t v = 0; v < 1000; ++v) {
+    ASSERT_TRUE(a.Add(v).ok());
+    ASSERT_TRUE(b.Add(v + 1000).ok());
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.total_count(), 2000u);
+  EXPECT_GE(a.EstimateRange(0, 4095), 2000u);
+}
+
+TEST(DyadicCmsTest, MergeMismatchRejected) {
+  DyadicCountMin a = DyadicCountMin::Create(12, 0.01, 0.01).value();
+  DyadicCountMin b = DyadicCountMin::Create(10, 0.01, 0.01).value();
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace aqp

@@ -1,0 +1,106 @@
+#include "sketch/histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace aqp {
+namespace sketch {
+namespace {
+
+TEST(HistogramTest, Validation) {
+  EXPECT_FALSE(Histogram::EquiWidth({}, 4).ok());
+  EXPECT_FALSE(Histogram::EquiWidth({1.0}, 0).ok());
+  EXPECT_FALSE(Histogram::EquiDepth({}, 4).ok());
+}
+
+TEST(HistogramTest, EquiWidthBucketBoundaries) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(static_cast<double>(i));
+  Histogram h = Histogram::EquiWidth(values, 10).value();
+  ASSERT_EQ(h.buckets().size(), 10u);
+  EXPECT_DOUBLE_EQ(h.buckets()[0].low, 0.0);
+  EXPECT_DOUBLE_EQ(h.buckets()[9].high, 99.0);
+  EXPECT_EQ(h.total_count(), 100u);
+  // Roughly 10 values per bucket.
+  for (const Bucket& b : h.buckets()) {
+    EXPECT_GE(b.count, 9u);
+    EXPECT_LE(b.count, 11u);
+  }
+}
+
+TEST(HistogramTest, EquiDepthBalancesCountsOnSkew) {
+  Pcg32 rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(rng.Exponential(1.0));
+  Histogram h = Histogram::EquiDepth(values, 20).value();
+  for (const Bucket& b : h.buckets()) {
+    EXPECT_NEAR(static_cast<double>(b.count), 500.0, 60.0);
+  }
+}
+
+TEST(HistogramTest, EquiWidthSkewConcentratesInFewBuckets) {
+  Pcg32 rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(rng.Exponential(1.0));
+  Histogram h = Histogram::EquiWidth(values, 20).value();
+  // First bucket of an exponential holds a big share; last is nearly empty.
+  EXPECT_GT(h.buckets()[0].count, 1000u);
+  EXPECT_LT(h.buckets()[19].count, 20u);
+}
+
+TEST(HistogramTest, RangeCountInterpolates) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(static_cast<double>(i));
+  Histogram h = Histogram::EquiWidth(values, 10).value();
+  EXPECT_NEAR(h.EstimateRangeCount(0.0, 999.0), 1000.0, 2.0);
+  EXPECT_NEAR(h.EstimateRangeCount(0.0, 499.0), 500.0, 10.0);
+  EXPECT_NEAR(h.EstimateRangeCount(250.0, 749.0), 500.0, 10.0);
+  EXPECT_DOUBLE_EQ(h.EstimateRangeCount(2000.0, 3000.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.EstimateRangeCount(10.0, 5.0), 0.0);
+}
+
+TEST(HistogramTest, RangeSumTracksTruth) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(static_cast<double>(i));
+  Histogram h = Histogram::EquiWidth(values, 50).value();
+  // Sum of 0..999 = 499500.
+  EXPECT_NEAR(h.EstimateRangeSum(0.0, 999.0), 499500.0, 600.0);
+  // Sum of 0..499 ~ 124750.
+  EXPECT_NEAR(h.EstimateRangeSum(0.0, 499.0), 124750.0, 3000.0);
+}
+
+TEST(HistogramTest, SelectivityEstimates) {
+  Pcg32 rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) values.push_back(rng.NextDouble());
+  Histogram h = Histogram::EquiDepth(values, 32).value();
+  EXPECT_NEAR(h.EstimateSelectivity(0.0, 0.25), 0.25, 0.02);
+  EXPECT_NEAR(h.EstimateSelectivity(0.4, 0.6), 0.2, 0.02);
+  EXPECT_NEAR(h.EstimateSelectivity(0.0, 1.0), 1.0, 0.01);
+}
+
+TEST(HistogramTest, ConstantColumnHandled) {
+  std::vector<double> values(100, 5.0);
+  Histogram h = Histogram::EquiWidth(values, 4).value();
+  EXPECT_EQ(h.total_count(), 100u);
+  EXPECT_NEAR(h.EstimateRangeCount(4.0, 6.0), 100.0, 1.0);
+}
+
+TEST(HistogramTest, EquiDepthTiesDoNotStraddle) {
+  // Heavy ties: 90% of values are 1.0.
+  std::vector<double> values;
+  for (int i = 0; i < 900; ++i) values.push_back(1.0);
+  for (int i = 0; i < 100; ++i) values.push_back(2.0 + i);
+  Histogram h = Histogram::EquiDepth(values, 10).value();
+  // Total count preserved despite tie-extension merging buckets.
+  uint64_t total = 0;
+  for (const Bucket& b : h.buckets()) total += b.count;
+  EXPECT_EQ(total, 1000u);
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace aqp

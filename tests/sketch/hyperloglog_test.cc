@@ -1,0 +1,102 @@
+#include "sketch/hyperloglog.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace aqp {
+namespace sketch {
+namespace {
+
+TEST(HllTest, PrecisionValidated) {
+  EXPECT_FALSE(HyperLogLog::Create(3).ok());
+  EXPECT_FALSE(HyperLogLog::Create(19).ok());
+  EXPECT_TRUE(HyperLogLog::Create(12).ok());
+}
+
+TEST(HllTest, EmptyEstimatesZero) {
+  HyperLogLog hll = HyperLogLog::Create(12).value();
+  EXPECT_NEAR(hll.Estimate(), 0.0, 1e-9);
+}
+
+TEST(HllTest, SmallCardinalityViaLinearCounting) {
+  HyperLogLog hll = HyperLogLog::Create(12).value();
+  for (uint64_t k = 0; k < 100; ++k) hll.Add(k);
+  EXPECT_NEAR(hll.Estimate(), 100.0, 5.0);
+}
+
+TEST(HllTest, DuplicatesDoNotInflate) {
+  HyperLogLog hll = HyperLogLog::Create(12).value();
+  for (int rep = 0; rep < 100; ++rep) {
+    for (uint64_t k = 0; k < 50; ++k) hll.Add(k);
+  }
+  EXPECT_NEAR(hll.Estimate(), 50.0, 3.0);
+}
+
+class HllAccuracyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HllAccuracyTest, WithinFewStandardErrors) {
+  const uint64_t kTruth = GetParam();
+  HyperLogLog hll = HyperLogLog::Create(14).value();
+  for (uint64_t k = 0; k < kTruth; ++k) {
+    hll.Add(k * 0x9e3779b97f4a7c15ULL + 12345);
+  }
+  double se = hll.StandardError();  // ~0.81% at p=14.
+  EXPECT_NEAR(hll.Estimate(), static_cast<double>(kTruth),
+              4.0 * se * static_cast<double>(kTruth) + 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, HllAccuracyTest,
+                         ::testing::Values(1000, 10000, 100000, 1000000));
+
+TEST(HllTest, PrecisionImprovesAccuracy) {
+  const uint64_t kTruth = 200000;
+  double err_low;
+  double err_high;
+  {
+    HyperLogLog hll = HyperLogLog::Create(6).value();
+    for (uint64_t k = 0; k < kTruth; ++k) hll.Add(k);
+    err_low = std::fabs(hll.Estimate() - kTruth) / kTruth;
+  }
+  {
+    HyperLogLog hll = HyperLogLog::Create(16).value();
+    for (uint64_t k = 0; k < kTruth; ++k) hll.Add(k);
+    err_high = std::fabs(hll.Estimate() - kTruth) / kTruth;
+  }
+  EXPECT_LT(err_high, err_low + 0.01);
+  EXPECT_LT(err_high, 0.02);
+}
+
+TEST(HllTest, MergeEqualsUnion) {
+  HyperLogLog a = HyperLogLog::Create(13).value();
+  HyperLogLog b = HyperLogLog::Create(13).value();
+  HyperLogLog whole = HyperLogLog::Create(13).value();
+  for (uint64_t k = 0; k < 50000; ++k) {
+    a.Add(k);
+    whole.Add(k);
+  }
+  for (uint64_t k = 25000; k < 75000; ++k) {
+    b.Add(k);
+    whole.Add(k);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_NEAR(a.Estimate(), whole.Estimate(), whole.Estimate() * 1e-9);
+}
+
+TEST(HllTest, MergePrecisionMismatchRejected) {
+  HyperLogLog a = HyperLogLog::Create(12).value();
+  HyperLogLog b = HyperLogLog::Create(13).value();
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+TEST(HllTest, TinyMemoryFootprint) {
+  HyperLogLog hll = HyperLogLog::Create(12).value();
+  for (uint64_t k = 0; k < 1000000; ++k) hll.Add(k);
+  EXPECT_EQ(hll.SizeBytes(), 4096u);  // 2^12 one-byte registers.
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace aqp

@@ -1,0 +1,138 @@
+#include "sketch/kll.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace aqp {
+namespace sketch {
+namespace {
+
+TEST(KllTest, EmptySketchQuantileFails) {
+  KllSketch kll;
+  EXPECT_FALSE(kll.Quantile(0.5).ok());
+  EXPECT_EQ(kll.count(), 0u);
+}
+
+TEST(KllTest, QRangeValidated) {
+  KllSketch kll;
+  kll.Add(1.0);
+  EXPECT_FALSE(kll.Quantile(-0.1).ok());
+  EXPECT_FALSE(kll.Quantile(1.1).ok());
+}
+
+TEST(KllTest, ExactForSmallStreams) {
+  KllSketch kll(200, 1);
+  for (int i = 1; i <= 99; ++i) kll.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(kll.Quantile(0.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(kll.Quantile(1.0).value(), 99.0);
+  EXPECT_NEAR(kll.Quantile(0.5).value(), 50.0, 1.0);
+  EXPECT_NEAR(kll.Quantile(0.25).value(), 25.0, 1.0);
+}
+
+TEST(KllTest, MinMaxAlwaysExact) {
+  KllSketch kll(64, 3);
+  Pcg32 rng(5);
+  double mn = 1e18;
+  double mx = -1e18;
+  for (int i = 0; i < 100000; ++i) {
+    double v = rng.Gaussian() * 100.0;
+    kll.Add(v);
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_DOUBLE_EQ(kll.min(), mn);
+  EXPECT_DOUBLE_EQ(kll.max(), mx);
+  EXPECT_DOUBLE_EQ(kll.Quantile(0.0).value(), mn);
+  EXPECT_DOUBLE_EQ(kll.Quantile(1.0).value(), mx);
+}
+
+class KllAccuracyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(KllAccuracyTest, UniformStreamQuantilesClose) {
+  const double q = GetParam();
+  KllSketch kll(200, 7);
+  const int kN = 200000;
+  Pcg32 rng(11);
+  for (int i = 0; i < kN; ++i) kll.Add(rng.NextDouble());
+  // True q-quantile of U(0,1) is q; rank error should be ~1% of n for k=200.
+  EXPECT_NEAR(kll.Quantile(q).value(), q, 0.02) << "q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, KllAccuracyTest,
+                         ::testing::Values(0.01, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           0.99));
+
+TEST(KllTest, SpaceSublinear) {
+  KllSketch kll(128, 9);
+  for (int i = 0; i < 1000000; ++i) kll.Add(static_cast<double>(i));
+  EXPECT_LT(kll.StoredItems(), 6000u);  // ~k log(n/k), far below 1e6.
+  EXPECT_EQ(kll.count(), 1000000u);
+}
+
+TEST(KllTest, RankMonotoneAndBounded) {
+  KllSketch kll(100, 13);
+  Pcg32 rng(17);
+  for (int i = 0; i < 50000; ++i) kll.Add(rng.Gaussian());
+  double prev = -1.0;
+  for (double x = -3.0; x <= 3.0; x += 0.5) {
+    double r = kll.Rank(x);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+  EXPECT_NEAR(kll.Cdf(0.0), 0.5, 0.03);
+  EXPECT_NEAR(kll.Cdf(100.0), 1.0, 1e-9);
+}
+
+TEST(KllTest, MergeMatchesCombinedStream) {
+  KllSketch a(150, 1);
+  KllSketch b(150, 2);
+  Pcg32 rng(23);
+  for (int i = 0; i < 40000; ++i) a.Add(rng.Exponential(1.0));
+  for (int i = 0; i < 60000; ++i) b.Add(rng.Exponential(1.0));
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100000u);
+  // Median of Exp(1) is ln 2.
+  EXPECT_NEAR(a.Quantile(0.5).value(), std::log(2.0), 0.05);
+}
+
+TEST(KllTest, MergeWithEmpty) {
+  KllSketch a(100, 1);
+  a.Add(5.0);
+  KllSketch empty(100, 2);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  KllSketch target(100, 3);
+  target.Merge(a);
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_DOUBLE_EQ(target.Quantile(0.5).value(), 5.0);
+}
+
+TEST(KllTest, SkewedStreamTailQuantile) {
+  KllSketch kll(250, 29);
+  Pcg32 rng(31);
+  const int kN = 100000;
+  std::vector<double> all;
+  all.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    double v = std::pow(rng.NextDouble() + 1e-12, -0.8);  // Heavy tail.
+    kll.Add(v);
+    all.push_back(v);
+  }
+  std::sort(all.begin(), all.end());
+  double true_p99 = all[static_cast<size_t>(0.99 * kN)];
+  double est_p99 = kll.Quantile(0.99).value();
+  // Value-space error can be large in a heavy tail; compare in rank space.
+  double rank_of_est =
+      static_cast<double>(std::lower_bound(all.begin(), all.end(), est_p99) -
+                          all.begin()) /
+      kN;
+  EXPECT_NEAR(rank_of_est, 0.99, 0.015) << "true p99 " << true_p99;
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace aqp

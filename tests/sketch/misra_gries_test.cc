@@ -1,0 +1,102 @@
+#include "sketch/misra_gries.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace aqp {
+namespace sketch {
+namespace {
+
+TEST(MisraGriesTest, ExactWhenUnderCapacity) {
+  MisraGries mg(10);
+  mg.Add(1, 5);
+  mg.Add(2, 3);
+  mg.Add(1, 2);
+  EXPECT_EQ(mg.Estimate(1), 7u);
+  EXPECT_EQ(mg.Estimate(2), 3u);
+  EXPECT_EQ(mg.Estimate(99), 0u);
+  EXPECT_EQ(mg.total_count(), 10u);
+}
+
+TEST(MisraGriesTest, GuaranteedHeavyHittersSurvive) {
+  // Key 7 takes 30% of a stream over many distinct keys; with k=9 any key
+  // above N/10 must be tracked.
+  MisraGries mg(9);
+  Pcg32 rng(3);
+  const int kN = 100000;
+  uint64_t truth7 = 0;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.NextDouble() < 0.3) {
+      mg.Add(7);
+      ++truth7;
+    } else {
+      mg.Add(100 + rng.UniformUint32(5000));
+    }
+  }
+  uint64_t est = mg.Estimate(7);
+  EXPECT_GT(est, 0u);
+  // Undercount bounded by N/(k+1).
+  EXPECT_GE(est + kN / 10, truth7);
+  EXPECT_LE(est, truth7);
+}
+
+TEST(MisraGriesTest, UndercountNeverExceedsDecrements) {
+  MisraGries mg(5);
+  Pcg32 rng(5);
+  std::vector<uint64_t> truth(50, 0);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t key = rng.UniformUint32(50);
+    mg.Add(key);
+    truth[key]++;
+  }
+  for (uint64_t k = 0; k < 50; ++k) {
+    uint64_t est = mg.Estimate(k);
+    EXPECT_LE(est, truth[k]);
+    EXPECT_LE(truth[k] - est, mg.MaxUndercount());
+  }
+}
+
+TEST(MisraGriesTest, HeavyHittersSortedDescending) {
+  MisraGries mg(10);
+  mg.Add(1, 100);
+  mg.Add(2, 300);
+  mg.Add(3, 200);
+  auto hh = mg.HeavyHitters(150);
+  ASSERT_EQ(hh.size(), 2u);
+  EXPECT_EQ(hh[0].first, 2u);
+  EXPECT_EQ(hh[1].first, 3u);
+}
+
+TEST(MisraGriesTest, MergePreservesHeavyKeys) {
+  MisraGries a(8);
+  MisraGries b(8);
+  Pcg32 rng(7);
+  for (int i = 0; i < 30000; ++i) {
+    MisraGries& target = (i % 2 == 0) ? a : b;
+    if (rng.NextDouble() < 0.4) {
+      target.Add(42);
+    } else {
+      target.Add(rng.NextUint64() % 2000 + 100);
+    }
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.total_count(), 30000u);
+  // 42 holds ~40% of the merged stream; must be present and large.
+  EXPECT_GT(a.Estimate(42), 30000u / 5);
+}
+
+TEST(MisraGriesTest, ZipfStreamTopKeysFound) {
+  MisraGries mg(20);
+  Pcg32 rng(9);
+  ZipfGenerator zipf(10000, 1.2);
+  for (int i = 0; i < 200000; ++i) mg.Add(zipf.Next(rng));
+  // The top 3 Zipf ranks are unambiguous heavy hitters.
+  EXPECT_GT(mg.Estimate(0), mg.Estimate(1));
+  EXPECT_GT(mg.Estimate(1), 0u);
+  EXPECT_GT(mg.Estimate(2), 0u);
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace aqp

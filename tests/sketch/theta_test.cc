@@ -1,0 +1,109 @@
+#include "sketch/theta.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace sketch {
+namespace {
+
+TEST(ThetaTest, Validation) {
+  EXPECT_FALSE(ThetaSketch::Create(8).ok());
+  EXPECT_TRUE(ThetaSketch::Create(16).ok());
+}
+
+TEST(ThetaTest, ExactBelowK) {
+  ThetaSketch sketch = ThetaSketch::Create(256).value();
+  for (uint64_t k = 0; k < 100; ++k) sketch.Add(k);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 100.0);
+  EXPECT_DOUBLE_EQ(sketch.theta(), 1.0);
+}
+
+TEST(ThetaTest, DuplicatesIgnored) {
+  ThetaSketch sketch = ThetaSketch::Create(64).value();
+  for (int rep = 0; rep < 100; ++rep) {
+    for (uint64_t k = 0; k < 40; ++k) sketch.Add(k);
+  }
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 40.0);
+}
+
+class ThetaAccuracyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ThetaAccuracyTest, WithinFewStandardErrors) {
+  const uint64_t truth = GetParam();
+  ThetaSketch sketch = ThetaSketch::Create(1024).value();
+  for (uint64_t k = 0; k < truth; ++k) {
+    sketch.Add(k * 0x9e3779b97f4a7c15ULL + 3);
+  }
+  double se = sketch.StandardError();
+  EXPECT_NEAR(sketch.Estimate(), static_cast<double>(truth),
+              5.0 * se * static_cast<double>(truth));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, ThetaAccuracyTest,
+                         ::testing::Values(10000, 100000, 1000000));
+
+TEST(ThetaTest, UnionEstimatesDistinctUnion) {
+  ThetaSketch a = ThetaSketch::Create(2048).value();
+  ThetaSketch b = ThetaSketch::Create(2048).value();
+  for (uint64_t k = 0; k < 60000; ++k) a.Add(k);
+  for (uint64_t k = 30000; k < 90000; ++k) b.Add(k);
+  ThetaSketch u = ThetaSketch::Union(a, b);
+  EXPECT_NEAR(u.Estimate(), 90000.0, 90000.0 * 0.1);
+}
+
+TEST(ThetaTest, IntersectEstimatesOverlap) {
+  ThetaSketch a = ThetaSketch::Create(4096).value();
+  ThetaSketch b = ThetaSketch::Create(4096).value();
+  for (uint64_t k = 0; k < 60000; ++k) a.Add(k);
+  for (uint64_t k = 30000; k < 90000; ++k) b.Add(k);
+  ThetaSketch i = ThetaSketch::Intersect(a, b);
+  EXPECT_NEAR(i.Estimate(), 30000.0, 30000.0 * 0.15);
+}
+
+TEST(ThetaTest, ANotBEstimatesDifference) {
+  ThetaSketch a = ThetaSketch::Create(4096).value();
+  ThetaSketch b = ThetaSketch::Create(4096).value();
+  for (uint64_t k = 0; k < 60000; ++k) a.Add(k);
+  for (uint64_t k = 30000; k < 90000; ++k) b.Add(k);
+  ThetaSketch d = ThetaSketch::ANotB(a, b);
+  EXPECT_NEAR(d.Estimate(), 30000.0, 30000.0 * 0.15);
+}
+
+TEST(ThetaTest, DisjointIntersectionNearZero) {
+  ThetaSketch a = ThetaSketch::Create(1024).value();
+  ThetaSketch b = ThetaSketch::Create(1024).value();
+  for (uint64_t k = 0; k < 50000; ++k) a.Add(k);
+  for (uint64_t k = 1000000; k < 1050000; ++k) b.Add(k);
+  ThetaSketch i = ThetaSketch::Intersect(a, b);
+  EXPECT_LT(i.Estimate(), 50000.0 * 0.01);
+}
+
+TEST(ThetaTest, InclusionExclusionConsistency) {
+  // |A| + |B| ~ |A u B| + |A n B| should hold approximately on sketches.
+  ThetaSketch a = ThetaSketch::Create(4096).value();
+  ThetaSketch b = ThetaSketch::Create(4096).value();
+  for (uint64_t k = 0; k < 40000; ++k) a.Add(k * 7);
+  for (uint64_t k = 0; k < 40000; ++k) b.Add(k * 7 + (k % 2 == 0 ? 0 : 1));
+  double lhs = a.Estimate() + b.Estimate();
+  double rhs = ThetaSketch::Union(a, b).Estimate() +
+               ThetaSketch::Intersect(a, b).Estimate();
+  EXPECT_NEAR(lhs, rhs, lhs * 0.05);
+}
+
+TEST(ThetaTest, MixedKOperandsUseSmallerK) {
+  ThetaSketch a = ThetaSketch::Create(1024).value();
+  ThetaSketch b = ThetaSketch::Create(64).value();
+  for (uint64_t k = 0; k < 10000; ++k) {
+    a.Add(k);
+    b.Add(k + 5000);
+  }
+  ThetaSketch u = ThetaSketch::Union(a, b);
+  EXPECT_EQ(u.k(), 64u);
+  EXPECT_NEAR(u.Estimate(), 15000.0, 15000.0 * 0.6);
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace aqp

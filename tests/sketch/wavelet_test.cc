@@ -1,0 +1,115 @@
+#include "sketch/wavelet.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace aqp {
+namespace sketch {
+namespace {
+
+TEST(HaarTest, TransformRoundTrips) {
+  std::vector<double> data = {4.0, 2.0, 5.0, 5.0, 1.0, 0.0, 3.0, 7.0};
+  std::vector<double> coeffs = WaveletSynopsis::HaarTransform(data);
+  std::vector<double> back = WaveletSynopsis::InverseHaarTransform(coeffs);
+  ASSERT_EQ(back.size(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(back[i], data[i], 1e-10);
+  }
+}
+
+TEST(HaarTest, EnergyPreserved) {
+  // Orthonormal transform preserves the L2 norm (Parseval).
+  Pcg32 rng(3);
+  std::vector<double> data(64);
+  for (double& v : data) v = rng.Gaussian();
+  double energy = 0.0;
+  for (double v : data) energy += v * v;
+  std::vector<double> coeffs = WaveletSynopsis::HaarTransform(data);
+  double coeff_energy = 0.0;
+  for (double c : coeffs) coeff_energy += c * c;
+  EXPECT_NEAR(coeff_energy, energy, 1e-8);
+}
+
+TEST(WaveletTest, Validation) {
+  EXPECT_FALSE(WaveletSynopsis::Build({}, 4).ok());
+  EXPECT_FALSE(WaveletSynopsis::Build({1.0}, 0).ok());
+}
+
+TEST(WaveletTest, AllCoefficientsIsExact) {
+  std::vector<double> data = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  WaveletSynopsis w = WaveletSynopsis::Build(data, 8).value();
+  std::vector<double> back = w.Reconstruct();
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(back[i], data[i], 1e-10);
+  }
+}
+
+TEST(WaveletTest, PiecewiseConstantCompressesPerfectly) {
+  // Two flat segments need only 2 Haar coefficients.
+  std::vector<double> data(64, 10.0);
+  for (size_t i = 32; i < 64; ++i) data[i] = 20.0;
+  WaveletSynopsis w = WaveletSynopsis::Build(data, 2).value();
+  std::vector<double> back = w.Reconstruct();
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(back[i], data[i], 1e-9) << "i=" << i;
+  }
+}
+
+TEST(WaveletTest, TopBIsBetterThanFewer) {
+  Pcg32 rng(5);
+  std::vector<double> data(256);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::sin(static_cast<double>(i) / 10.0) * 50.0 + rng.Gaussian();
+  }
+  auto l2_error = [&](uint32_t b) {
+    WaveletSynopsis w = WaveletSynopsis::Build(data, b).value();
+    std::vector<double> back = w.Reconstruct();
+    double err = 0.0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      err += (back[i] - data[i]) * (back[i] - data[i]);
+    }
+    return err;
+  };
+  EXPECT_LT(l2_error(64), l2_error(16));
+  EXPECT_LT(l2_error(16), l2_error(4));
+}
+
+TEST(WaveletTest, RangeSumApproximation) {
+  std::vector<double> data(128);
+  double total = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<double>(i % 16);
+    total += data[i];
+  }
+  WaveletSynopsis w = WaveletSynopsis::Build(data, 32).value();
+  EXPECT_NEAR(w.RangeSum(0, 127), total, total * 0.1);
+  double first_half = 0.0;
+  for (size_t i = 0; i < 64; ++i) first_half += data[i];
+  EXPECT_NEAR(w.RangeSum(0, 63), first_half, first_half * 0.15);
+}
+
+TEST(WaveletTest, NonPowerOfTwoPadded) {
+  std::vector<double> data(100, 7.0);
+  WaveletSynopsis w = WaveletSynopsis::Build(data, 128).value();
+  EXPECT_EQ(w.original_size(), 100u);
+  std::vector<double> back = w.Reconstruct();
+  ASSERT_EQ(back.size(), 100u);
+  for (double v : back) EXPECT_NEAR(v, 7.0, 1e-9);
+  // Range sum clamps to the original size.
+  EXPECT_NEAR(w.RangeSum(0, 1000), 700.0, 1e-6);
+}
+
+TEST(WaveletTest, CoefficientBudgetRespected) {
+  std::vector<double> data(512);
+  Pcg32 rng(9);
+  for (double& v : data) v = rng.NextDouble();
+  WaveletSynopsis w = WaveletSynopsis::Build(data, 20).value();
+  EXPECT_EQ(w.coefficients_kept(), 20u);
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace aqp

@@ -1,0 +1,79 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace sql {
+namespace {
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Lex("select FROM WhErE").value();
+  ASSERT_EQ(tokens.size(), 4u);  // 3 + end.
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens[1].IsKeyword("FROM"));
+  EXPECT_TRUE(tokens[2].IsKeyword("WHERE"));
+  EXPECT_EQ(tokens[3].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  auto tokens = Lex("MyTable _col2").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "MyTable");
+  EXPECT_EQ(tokens[1].text, "_col2");
+}
+
+TEST(LexerTest, NumberLiterals) {
+  auto tokens = Lex("42 3.5 1e3 2.5E-2 .5").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 3.5);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 0.025);
+  EXPECT_DOUBLE_EQ(tokens[4].double_value, 0.5);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapedQuote) {
+  auto tokens = Lex("'hello' 'it''s'").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("'oops").ok());
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = Lex("= <> != < <= > >= + - * / % ( ) , . ;").value();
+  std::vector<TokenKind> kinds;
+  for (const auto& t : tokens) kinds.push_back(t.kind);
+  std::vector<TokenKind> expected = {
+      TokenKind::kEq, TokenKind::kNe,      TokenKind::kNe,
+      TokenKind::kLt, TokenKind::kLe,      TokenKind::kGt,
+      TokenKind::kGe, TokenKind::kPlus,    TokenKind::kMinus,
+      TokenKind::kStar, TokenKind::kSlash, TokenKind::kPercent,
+      TokenKind::kLParen, TokenKind::kRParen, TokenKind::kComma,
+      TokenKind::kDot, TokenKind::kSemicolon, TokenKind::kEnd};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, StrayCharacterFails) {
+  EXPECT_FALSE(Lex("select @").ok());
+  EXPECT_FALSE(Lex("a ! b").ok());
+}
+
+TEST(LexerTest, PositionsTracked) {
+  auto tokens = Lex("ab  cd").value();
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 4u);
+}
+
+TEST(LexerTest, MalformedExponentFails) {
+  EXPECT_FALSE(Lex("1e").ok());
+  EXPECT_FALSE(Lex("1e+").ok());
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace aqp

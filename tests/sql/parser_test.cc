@@ -1,0 +1,184 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace sql {
+namespace {
+
+TEST(ParserTest, MinimalSelect) {
+  SelectStmt s = Parse("SELECT x FROM t").value();
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_EQ(s.items[0].expr->kind, SqlExpr::Kind::kColumn);
+  EXPECT_EQ(s.items[0].expr->column, "x");
+  EXPECT_EQ(s.from.table, "t");
+  EXPECT_FALSE(s.error_spec.has_value());
+}
+
+TEST(ParserTest, AliasesAndQualifiedNames) {
+  SelectStmt s = Parse("SELECT o.amount AS amt FROM orders AS o").value();
+  EXPECT_EQ(s.items[0].alias, "amt");
+  EXPECT_EQ(s.items[0].expr->column, "o.amount");
+  EXPECT_EQ(s.from.alias, "o");
+  // Implicit alias without AS.
+  SelectStmt s2 = Parse("SELECT x FROM orders o").value();
+  EXPECT_EQ(s2.from.alias, "o");
+}
+
+TEST(ParserTest, Aggregates) {
+  SelectStmt s = Parse("SELECT COUNT(*), SUM(x), AVG(y), COUNT(DISTINCT z), "
+                       "MIN(x), MAX(x), VAR(x), STDDEV(x) FROM t")
+                     .value();
+  ASSERT_EQ(s.items.size(), 8u);
+  EXPECT_EQ(s.items[0].expr->agg_kind, AggKind::kCountStar);
+  EXPECT_EQ(s.items[1].expr->agg_kind, AggKind::kSum);
+  EXPECT_EQ(s.items[2].expr->agg_kind, AggKind::kAvg);
+  EXPECT_EQ(s.items[3].expr->agg_kind, AggKind::kCountDistinct);
+  EXPECT_EQ(s.items[4].expr->agg_kind, AggKind::kMin);
+  EXPECT_EQ(s.items[7].expr->agg_kind, AggKind::kStddev);
+}
+
+TEST(ParserTest, CompositeAggregateExpression) {
+  SelectStmt s = Parse("SELECT SUM(price) / SUM(qty) AS unit FROM t").value();
+  EXPECT_EQ(s.items[0].expr->kind, SqlExpr::Kind::kBinary);
+  EXPECT_EQ(s.items[0].expr->op, OpKind::kDiv);
+  EXPECT_TRUE(s.items[0].expr->ContainsAggregate());
+}
+
+TEST(ParserTest, NestedAggregateRejected) {
+  EXPECT_FALSE(Parse("SELECT SUM(AVG(x)) FROM t").ok());
+}
+
+TEST(ParserTest, WhereGroupHavingOrderLimit) {
+  SelectStmt s = Parse(
+                     "SELECT region, SUM(amount) AS total FROM sales "
+                     "WHERE amount > 10 AND region <> 'x' "
+                     "GROUP BY region HAVING SUM(amount) > 100 "
+                     "ORDER BY total DESC, region LIMIT 5")
+                     .value();
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.where->op, OpKind::kAnd);
+  ASSERT_EQ(s.group_by.size(), 1u);
+  ASSERT_NE(s.having, nullptr);
+  EXPECT_TRUE(s.having->ContainsAggregate());
+  ASSERT_EQ(s.order_by.size(), 2u);
+  EXPECT_FALSE(s.order_by[0].ascending);
+  EXPECT_TRUE(s.order_by[1].ascending);
+  EXPECT_EQ(s.limit.value(), 5u);
+}
+
+TEST(ParserTest, Joins) {
+  SelectStmt s = Parse(
+                     "SELECT x FROM a JOIN b ON a.k = b.k "
+                     "LEFT JOIN c ON b.j = c.j AND b.i = c.i")
+                     .value();
+  ASSERT_EQ(s.joins.size(), 2u);
+  EXPECT_EQ(s.joins[0].type, JoinType::kInner);
+  EXPECT_EQ(s.joins[0].conditions.size(), 1u);
+  EXPECT_EQ(s.joins[0].conditions[0].first, "a.k");
+  EXPECT_EQ(s.joins[1].type, JoinType::kLeftOuter);
+  EXPECT_EQ(s.joins[1].conditions.size(), 2u);
+}
+
+TEST(ParserTest, TableSample) {
+  SelectStmt s =
+      Parse("SELECT x FROM t TABLESAMPLE SYSTEM (1)").value();
+  EXPECT_EQ(s.from.sample.method, SampleSpec::Method::kSystemBlock);
+  EXPECT_DOUBLE_EQ(s.from.sample.rate, 0.01);
+
+  SelectStmt s2 =
+      Parse("SELECT x FROM t TABLESAMPLE BERNOULLI (0.5)").value();
+  EXPECT_EQ(s2.from.sample.method, SampleSpec::Method::kBernoulliRow);
+  EXPECT_DOUBLE_EQ(s2.from.sample.rate, 0.005);
+}
+
+TEST(ParserTest, TableSampleOutOfRangeRejected) {
+  EXPECT_FALSE(Parse("SELECT x FROM t TABLESAMPLE SYSTEM (0)").ok());
+  EXPECT_FALSE(Parse("SELECT x FROM t TABLESAMPLE SYSTEM (101)").ok());
+}
+
+TEST(ParserTest, ErrorSpecPercentAndFraction) {
+  SelectStmt s =
+      Parse("SELECT AVG(x) FROM t WITH ERROR 5% CONFIDENCE 95%").value();
+  ASSERT_TRUE(s.error_spec.has_value());
+  EXPECT_DOUBLE_EQ(s.error_spec->relative_error, 0.05);
+  EXPECT_DOUBLE_EQ(s.error_spec->confidence, 0.95);
+
+  SelectStmt s2 =
+      Parse("SELECT AVG(x) FROM t WITH ERROR 0.01 CONFIDENCE 0.9").value();
+  EXPECT_DOUBLE_EQ(s2.error_spec->relative_error, 0.01);
+  EXPECT_DOUBLE_EQ(s2.error_spec->confidence, 0.9);
+}
+
+TEST(ParserTest, ErrorSpecOutOfRangeRejected) {
+  EXPECT_FALSE(Parse("SELECT AVG(x) FROM t WITH ERROR 0 CONFIDENCE 95%").ok());
+  EXPECT_FALSE(
+      Parse("SELECT AVG(x) FROM t WITH ERROR 5% CONFIDENCE 200%").ok());
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  SelectStmt s = Parse("SELECT a + b * c FROM t").value();
+  // Root is +, right child is *.
+  EXPECT_EQ(s.items[0].expr->op, OpKind::kAdd);
+  EXPECT_EQ(s.items[0].expr->children[1]->op, OpKind::kMul);
+
+  SelectStmt s2 = Parse("SELECT (a + b) * c FROM t").value();
+  EXPECT_EQ(s2.items[0].expr->op, OpKind::kMul);
+}
+
+TEST(ParserTest, BooleanPrecedenceOrAndNot) {
+  SelectStmt s = Parse("SELECT x FROM t WHERE NOT a = 1 AND b = 2 OR c = 3")
+                     .value();
+  // ((NOT (a=1)) AND (b=2)) OR (c=3).
+  EXPECT_EQ(s.where->op, OpKind::kOr);
+  EXPECT_EQ(s.where->children[0]->op, OpKind::kAnd);
+  EXPECT_EQ(s.where->children[0]->children[0]->op, OpKind::kNot);
+}
+
+TEST(ParserTest, InBetweenLikeAndNegations) {
+  SelectStmt s = Parse(
+                     "SELECT x FROM t WHERE a IN (1, 2, 3) AND b BETWEEN 0 "
+                     "AND 9 AND name LIKE 'a%' AND c NOT IN (4)")
+                     .value();
+  ASSERT_NE(s.where, nullptr);
+  // Drill to the NOT IN at the right end of the AND chain.
+  const SqlExprPtr& not_in = s.where->children[1];
+  EXPECT_EQ(not_in->kind, SqlExpr::Kind::kUnary);
+  EXPECT_EQ(not_in->op, OpKind::kNot);
+  EXPECT_EQ(not_in->children[0]->kind, SqlExpr::Kind::kIn);
+}
+
+TEST(ParserTest, NegativeLiteralsAndUnaryMinus) {
+  SelectStmt s = Parse("SELECT -x, -3.5 FROM t WHERE y IN (-1, -2)").value();
+  EXPECT_EQ(s.items[0].expr->kind, SqlExpr::Kind::kUnary);
+  EXPECT_EQ(s.where->in_list[0], Value(int64_t{-1}));
+}
+
+TEST(ParserTest, TrailingSemicolonOk) {
+  EXPECT_TRUE(Parse("SELECT x FROM t;").ok());
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(Parse("SELECT x FROM t garbage garbage").ok());
+}
+
+TEST(ParserTest, MissingFromRejected) {
+  EXPECT_FALSE(Parse("SELECT x").ok());
+}
+
+TEST(ParserTest, AggregateInWhereRejected) {
+  EXPECT_FALSE(Parse("SELECT x FROM t WHERE SUM(x) > 1").ok());
+}
+
+TEST(ParserTest, AggregateInGroupByRejected) {
+  EXPECT_FALSE(Parse("SELECT 1 FROM t GROUP BY SUM(x)").ok());
+}
+
+TEST(ParserTest, ToStringRoundTripish) {
+  SelectStmt s = Parse("SELECT SUM(price) / COUNT(*) FROM t").value();
+  EXPECT_EQ(s.items[0].expr->ToString(), "(SUM(price) / COUNT(*))");
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace aqp

@@ -1,0 +1,122 @@
+// Robustness: malformed SQL must produce clean errors, never crashes, and
+// valid-but-weird SQL must round-trip through the whole stack.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace aqp {
+namespace sql {
+namespace {
+
+TEST(RobustnessTest, MalformedInputsRejectedCleanly) {
+  const char* kBad[] = {
+      "",
+      ";",
+      "SELECT",
+      "SELECT FROM t",
+      "SELECT x FROM",
+      "SELECT x FROM t WHERE",
+      "SELECT x FROM t GROUP",
+      "SELECT x FROM t GROUP BY",
+      "SELECT x FROM t ORDER",
+      "SELECT x FROM t LIMIT",
+      "SELECT x FROM t LIMIT -1",
+      "SELECT x FROM t LIMIT abc",
+      "SELECT x, FROM t",
+      "SELECT (x FROM t",
+      "SELECT x) FROM t",
+      "SELECT x FROM t WITH",
+      "SELECT x FROM t WITH ERROR",
+      "SELECT x FROM t WITH ERROR 5%",
+      "SELECT x FROM t WITH ERROR 5% CONFIDENCE",
+      "SELECT x FROM t TABLESAMPLE",
+      "SELECT x FROM t TABLESAMPLE SYSTEM",
+      "SELECT x FROM t TABLESAMPLE SYSTEM ()",
+      "SELECT x FROM t JOIN",
+      "SELECT x FROM t JOIN u",
+      "SELECT x FROM t JOIN u ON",
+      "SELECT x FROM t JOIN u ON a",
+      "SELECT x FROM t JOIN u ON a =",
+      "SELECT COUNT( FROM t",
+      "SELECT SUM() FROM t",
+      "SELECT x FROM t WHERE a IN",
+      "SELECT x FROM t WHERE a IN ()",
+      "SELECT x FROM t WHERE a BETWEEN 1",
+      "SELECT x FROM t WHERE a LIKE 5",
+      "SELECT x FROM t WHERE NOT",
+      "SELECT 'unterminated FROM t",
+      "SELECT x..y FROM t",
+      "SELECT x FROM t; SELECT y FROM u",
+      "UPDATE t SET x = 1",
+  };
+  for (const char* sql : kBad) {
+    Result<SelectStmt> r = Parse(sql);
+    EXPECT_FALSE(r.ok()) << "accepted: " << sql;
+  }
+}
+
+TEST(RobustnessTest, RandomTokenSoupNeverCrashes) {
+  // Property: any byte soup either parses or returns an error Status —
+  // the parser must never abort or loop forever.
+  static const char* kTokens[] = {
+      "SELECT", "FROM",  "WHERE", "GROUP", "BY",   "SUM",   "(",
+      ")",      ",",     "x",     "t",     "1",    "2.5",   "'s'",
+      "+",      "-",     "*",     "/",     "=",    "<",     "AND",
+      "OR",     "NOT",   "AS",    "JOIN",  "ON",   "LIMIT", "%",
+      "IN",     "LIKE",  "NULL",  "BETWEEN",
+  };
+  Pcg32 rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string soup;
+    int len = 1 + static_cast<int>(rng.UniformUint32(15));
+    for (int i = 0; i < len; ++i) {
+      soup += kTokens[rng.UniformUint32(std::size(kTokens))];
+      soup += ' ';
+    }
+    (void)Parse(soup);  // Must simply return.
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessTest, DeeplyNestedParenthesesParse) {
+  std::string sql = "SELECT ";
+  for (int i = 0; i < 200; ++i) sql += "(";
+  sql += "x";
+  for (int i = 0; i < 200; ++i) sql += ")";
+  sql += " FROM t";
+  EXPECT_TRUE(Parse(sql).ok());
+}
+
+TEST(RobustnessTest, LongColumnAndTableNames) {
+  std::string name(5000, 'a');
+  std::string sql = "SELECT " + name + " FROM " + name;
+  SelectStmt stmt = Parse(sql).value();
+  EXPECT_EQ(stmt.from.table, name);
+}
+
+TEST(RobustnessTest, BinderErrorsAreStatusesNotCrashes) {
+  Catalog cat;
+  auto t = std::make_shared<Table>(Schema({{"x", DataType::kDouble}}));
+  ASSERT_TRUE(cat.Register("t", t).ok());
+  const char* kTypeErrors[] = {
+      "SELECT x + 'str' FROM t",
+      "SELECT NOT x FROM t",
+      "SELECT x FROM t WHERE x",
+      "SELECT SUM(x) FROM t ORDER BY y",
+      "SELECT y FROM t",
+      "SELECT x FROM missing",
+      "SELECT SUM(x), y FROM t",
+  };
+  for (const char* sql : kTypeErrors) {
+    Result<Table> r = ExecuteSql(sql, cat);
+    EXPECT_FALSE(r.ok()) << "accepted: " << sql;
+    EXPECT_FALSE(r.status().message().empty());
+  }
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace aqp

@@ -1,0 +1,126 @@
+#include "stats/confidence.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "stats/descriptive.h"
+
+namespace aqp {
+namespace stats {
+namespace {
+
+TEST(MeanCiTest, CenteredOnMeanAndSymmetric) {
+  ConfidenceInterval ci = MeanCi(10.0, 4.0, 100, 0.95);
+  EXPECT_DOUBLE_EQ(ci.estimate, 10.0);
+  EXPECT_NEAR((ci.low + ci.high) / 2.0, 10.0, 1e-12);
+  // t_{0.975,99} ~ 1.984; se = 2/10 = 0.2.
+  EXPECT_NEAR(ci.half_width(), 1.984 * 0.2, 1e-2);
+}
+
+TEST(MeanCiTest, TinySampleIsInfinite) {
+  ConfidenceInterval ci = MeanCi(10.0, 4.0, 1, 0.95);
+  EXPECT_TRUE(std::isinf(ci.low));
+  EXPECT_TRUE(std::isinf(ci.high));
+}
+
+TEST(MeanCiTest, HigherConfidenceIsWider) {
+  ConfidenceInterval c90 = MeanCi(10.0, 4.0, 100, 0.90);
+  ConfidenceInterval c99 = MeanCi(10.0, 4.0, 100, 0.99);
+  EXPECT_LT(c90.half_width(), c99.half_width());
+}
+
+TEST(MeanCiTest, MoreSamplesAreTighter) {
+  ConfidenceInterval small = MeanCi(10.0, 4.0, 50, 0.95);
+  ConfidenceInterval large = MeanCi(10.0, 4.0, 5000, 0.95);
+  EXPECT_LT(large.half_width(), small.half_width());
+}
+
+TEST(MeanCiTest, FpcShrinksInterval) {
+  ConfidenceInterval without = MeanCi(10.0, 4.0, 500, 0.95, 0);
+  ConfidenceInterval with_fpc = MeanCi(10.0, 4.0, 500, 0.95, 1000);
+  EXPECT_LT(with_fpc.half_width(), without.half_width());
+}
+
+TEST(MeanCiTest, FullSampleHasZeroWidth) {
+  ConfidenceInterval ci = MeanCi(10.0, 4.0, 1000, 0.95, 1000);
+  EXPECT_NEAR(ci.half_width(), 0.0, 1e-12);
+}
+
+TEST(SumCiTest, ScalesMeanCiByPopulation) {
+  ConfidenceInterval mean_ci = MeanCi(2.0, 1.0, 100, 0.95, 10000);
+  ConfidenceInterval sum_ci = SumCi(2.0, 1.0, 100, 10000, 0.95);
+  EXPECT_DOUBLE_EQ(sum_ci.estimate, 20000.0);
+  EXPECT_NEAR(sum_ci.half_width(), mean_ci.half_width() * 10000.0, 1e-6);
+}
+
+TEST(EstimatorCiTest, NormalApprox) {
+  ConfidenceInterval ci = EstimatorCi(100.0, 25.0, 0.95);
+  EXPECT_NEAR(ci.half_width(), 1.96 * 5.0, 1e-2);
+  EXPECT_TRUE(ci.Covers(100.0));
+  EXPECT_FALSE(ci.Covers(200.0));
+}
+
+TEST(RelativeHalfWidthTest, Basics) {
+  ConfidenceInterval ci;
+  ci.estimate = 100.0;
+  ci.low = 90.0;
+  ci.high = 110.0;
+  EXPECT_DOUBLE_EQ(ci.relative_half_width(), 0.1);
+  ci.estimate = 0.0;
+  EXPECT_TRUE(std::isinf(ci.relative_half_width()));
+}
+
+TEST(RequiredSampleSizeTest, ShrinksWithLooserError) {
+  uint64_t tight = RequiredSampleSizeForMean(10.0, 25.0, 0.01, 0.95);
+  uint64_t loose = RequiredSampleSizeForMean(10.0, 25.0, 0.10, 0.95);
+  EXPECT_GT(tight, loose);
+  // n = z^2 * var / (err*mean)^2 = 1.96^2 * 25 / 0.01 ~ 9604 for 1% error,
+  // and ~96 for 10% error.
+  EXPECT_NEAR(static_cast<double>(tight), 9604.0, 10.0);
+  EXPECT_NEAR(static_cast<double>(loose), 97.0, 2.0);
+}
+
+TEST(RequiredSampleSizeTest, MinimumTwo) {
+  EXPECT_EQ(RequiredSampleSizeForMean(10.0, 1e-9, 0.5, 0.95), 2u);
+}
+
+TEST(FpcTest, Values) {
+  EXPECT_DOUBLE_EQ(FinitePopulationCorrection(10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(FinitePopulationCorrection(1000, 1000), 0.0);
+  double fpc = FinitePopulationCorrection(100, 1000);
+  EXPECT_NEAR(fpc, std::sqrt(900.0 / 999.0), 1e-12);
+}
+
+// Property test: empirical coverage of the CLT mean CI should be close to the
+// nominal confidence across many repetitions.
+class CoverageTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoverageTest, EmpiricalCoverageMatchesNominal) {
+  const double confidence = GetParam();
+  const double kTrueMean = 5.0;
+  const int kTrials = 400;
+  const int kSampleSize = 200;
+  Pcg32 rng(1234 + static_cast<uint64_t>(confidence * 1000));
+  int covered = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    Accumulator acc;
+    for (int i = 0; i < kSampleSize; ++i) {
+      acc.Add(kTrueMean + 2.0 * rng.Gaussian());
+    }
+    ConfidenceInterval ci =
+        MeanCi(acc.mean(), acc.sample_variance(), acc.count(), confidence);
+    if (ci.Covers(kTrueMean)) ++covered;
+  }
+  double coverage = static_cast<double>(covered) / kTrials;
+  // Binomial std error ~ sqrt(c(1-c)/400) ~ 0.011..0.016; allow 4 sigma.
+  EXPECT_NEAR(coverage, confidence, 0.06) << "confidence=" << confidence;
+}
+
+INSTANTIATE_TEST_SUITE_P(Confidences, CoverageTest,
+                         ::testing::Values(0.80, 0.90, 0.95, 0.99));
+
+}  // namespace
+}  // namespace stats
+}  // namespace aqp

@@ -1,0 +1,100 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace aqp {
+namespace stats {
+namespace {
+
+TEST(AccumulatorTest, EmptyDefaults) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.sample_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 0.0);
+}
+
+TEST(AccumulatorTest, SimpleMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(acc.population_variance(), 4.0);
+  EXPECT_NEAR(acc.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(AccumulatorTest, SingleValue) {
+  Accumulator acc;
+  acc.Add(3.5);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.sample_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.5);
+}
+
+TEST(AccumulatorTest, MergeMatchesSequential) {
+  Pcg32 rng(42);
+  Accumulator whole;
+  Accumulator part1;
+  Accumulator part2;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Gaussian() * 3.0 + 1.0;
+    whole.Add(x);
+    (i < 400 ? part1 : part2).Add(x);
+  }
+  part1.Merge(part2);
+  EXPECT_EQ(part1.count(), whole.count());
+  EXPECT_NEAR(part1.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(part1.sample_variance(), whole.sample_variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(part1.min(), whole.min());
+  EXPECT_DOUBLE_EQ(part1.max(), whole.max());
+}
+
+TEST(AccumulatorTest, MergeWithEmpty) {
+  Accumulator a;
+  a.Add(1.0);
+  a.Add(2.0);
+  Accumulator empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  Accumulator b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(AccumulatorTest, NumericalStabilityLargeOffset) {
+  // Naive sum-of-squares would lose precision here; Welford must not.
+  Accumulator acc;
+  const double kOffset = 1e9;
+  for (double x : {kOffset + 1.0, kOffset + 2.0, kOffset + 3.0}) acc.Add(x);
+  EXPECT_NEAR(acc.sample_variance(), 1.0, 1e-6);
+}
+
+TEST(ExactQuantileTest, MedianAndExtremes) {
+  std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 1.0), 5.0);
+}
+
+TEST(ExactQuantileTest, Interpolates) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 0.5), 5.0);
+}
+
+TEST(ExactQuantileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(ExactQuantile({7.0}, 0.9), 7.0);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace aqp

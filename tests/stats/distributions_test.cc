@@ -1,0 +1,106 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace stats {
+namespace {
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-6);
+  EXPECT_NEAR(NormalCdf(1.0), 0.841344746, 1e-8);
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963985, 1e-7);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959963985, 1e-7);
+  EXPECT_NEAR(NormalQuantile(0.995), 2.575829304, 1e-7);
+  EXPECT_NEAR(NormalQuantile(0.84134474), 1.0, 1e-6);
+}
+
+TEST(NormalTest, QuantileCdfRoundTrip) {
+  for (double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(LogGammaTest, KnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+}
+
+TEST(GammaTest, RegularizedGammaEdges) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-10);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 100.0), 1.0, 1e-12);
+}
+
+TEST(BetaTest, RegularizedBetaKnownValues) {
+  EXPECT_DOUBLE_EQ(RegularizedBeta(0.0, 2.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedBeta(1.0, 2.0, 3.0), 1.0);
+  // I_x(1,1) = x.
+  EXPECT_NEAR(RegularizedBeta(0.3, 1.0, 1.0), 0.3, 1e-10);
+  // I_0.5(a,a) = 0.5 by symmetry.
+  EXPECT_NEAR(RegularizedBeta(0.5, 4.0, 4.0), 0.5, 1e-10);
+}
+
+TEST(StudentTTest, CdfSymmetry) {
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0), 0.5, 1e-12);
+  EXPECT_NEAR(StudentTCdf(1.3, 7.0) + StudentTCdf(-1.3, 7.0), 1.0, 1e-10);
+}
+
+TEST(StudentTTest, QuantileKnownValues) {
+  // Classic t-table values.
+  EXPECT_NEAR(StudentTQuantile(0.975, 10.0), 2.228, 1e-3);
+  EXPECT_NEAR(StudentTQuantile(0.975, 30.0), 2.042, 1e-3);
+  EXPECT_NEAR(StudentTQuantile(0.95, 5.0), 2.015, 1e-3);
+  EXPECT_NEAR(StudentTQuantile(0.995, 20.0), 2.845, 1e-3);
+}
+
+TEST(StudentTTest, ApproachesNormalForLargeDf) {
+  EXPECT_NEAR(StudentTQuantile(0.975, 100000.0), NormalQuantile(0.975), 1e-3);
+  EXPECT_NEAR(StudentTQuantile(0.975, 1e7), NormalQuantile(0.975), 1e-9);
+}
+
+TEST(StudentTTest, QuantileCdfRoundTrip) {
+  for (double df : {1.0, 3.0, 12.0, 50.0}) {
+    for (double p : {0.05, 0.25, 0.5, 0.8, 0.99}) {
+      EXPECT_NEAR(StudentTCdf(StudentTQuantile(p, df), df), p, 1e-7)
+          << "df=" << df << " p=" << p;
+    }
+  }
+}
+
+TEST(ChiSquaredTest, CdfKnownValues) {
+  // Chi2(2) is Exponential(1/2): CDF(x) = 1 - exp(-x/2).
+  EXPECT_NEAR(ChiSquaredCdf(2.0, 2.0), 1.0 - std::exp(-1.0), 1e-10);
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(0.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(-1.0, 5.0), 0.0);
+}
+
+TEST(ChiSquaredTest, QuantileKnownValues) {
+  // Classic chi-squared table values.
+  EXPECT_NEAR(ChiSquaredQuantile(0.95, 10.0), 18.307, 1e-2);
+  EXPECT_NEAR(ChiSquaredQuantile(0.05, 10.0), 3.940, 1e-2);
+  EXPECT_NEAR(ChiSquaredQuantile(0.975, 1.0), 5.024, 1e-2);
+}
+
+TEST(ChiSquaredTest, QuantileCdfRoundTrip) {
+  for (double df : {1.0, 4.0, 25.0, 100.0}) {
+    for (double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+      EXPECT_NEAR(ChiSquaredCdf(ChiSquaredQuantile(p, df), df), p, 1e-8)
+          << "df=" << df << " p=" << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace aqp

@@ -1,0 +1,107 @@
+#include "storage/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = testing::TempDir() + "/aqp_csv_test.csv";
+};
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"price", DataType::kDouble},
+                 {"name", DataType::kString},
+                 {"flag", DataType::kBool}});
+}
+
+TEST_F(CsvTest, RoundTrip) {
+  Table t(TestSchema());
+  ASSERT_TRUE(
+      t.AppendRow({Value(int64_t{1}), Value(1.5), Value(std::string("alpha")),
+                   Value(true)})
+          .ok());
+  ASSERT_TRUE(
+      t.AppendRow({Value(int64_t{2}), Value(-0.25), Value(std::string("beta")),
+                   Value(false)})
+          .ok());
+  ASSERT_TRUE(WriteCsv(t, path_).ok());
+
+  Result<Table> r = ReadCsv(path_, TestSchema());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Table& back = r.value();
+  ASSERT_EQ(back.num_rows(), 2u);
+  EXPECT_EQ(back.column(0).Int64At(1), 2);
+  EXPECT_DOUBLE_EQ(back.column(1).DoubleAt(1), -0.25);
+  EXPECT_EQ(back.column(2).StringAt(0), "alpha");
+  EXPECT_TRUE(back.column(3).BoolAt(0));
+  EXPECT_FALSE(back.column(3).BoolAt(1));
+}
+
+TEST_F(CsvTest, NullsRoundTripAsEmptyFields) {
+  Table t(TestSchema());
+  ASSERT_TRUE(
+      t.AppendRow({Value::Null(), Value(1.0), Value::Null(), Value::Null()})
+          .ok());
+  ASSERT_TRUE(WriteCsv(t, path_).ok());
+  Result<Table> r = ReadCsv(path_, TestSchema());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->column(0).IsNull(0));
+  EXPECT_TRUE(r->column(2).IsNull(0));
+  EXPECT_TRUE(r->column(3).IsNull(0));
+  EXPECT_DOUBLE_EQ(r->column(1).DoubleAt(0), 1.0);
+}
+
+TEST_F(CsvTest, QuotedFieldsWithDelimitersAndQuotes) {
+  Table t(Schema({{"s", DataType::kString}}));
+  ASSERT_TRUE(t.AppendRow({Value(std::string("a,b"))}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(std::string("say \"hi\""))}).ok());
+  ASSERT_TRUE(WriteCsv(t, path_).ok());
+  Result<Table> r = ReadCsv(path_, Schema({{"s", DataType::kString}}));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->column(0).StringAt(0), "a,b");
+  EXPECT_EQ(r->column(0).StringAt(1), "say \"hi\"");
+}
+
+TEST_F(CsvTest, HeaderMismatchRejected) {
+  Table t(Schema({{"x", DataType::kInt64}}));
+  ASSERT_TRUE(WriteCsv(t, path_).ok());
+  Result<Table> r = ReadCsv(path_, Schema({{"y", DataType::kInt64}}));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(CsvTest, ArityMismatchRejected) {
+  {
+    FILE* f = fopen(path_.c_str(), "w");
+    fputs("id,price\n1,2.0,EXTRA\n", f);
+    fclose(f);
+  }
+  Result<Table> r = ReadCsv(
+      path_, Schema({{"id", DataType::kInt64}, {"price", DataType::kDouble}}));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(CsvTest, BadLiteralRejected) {
+  {
+    FILE* f = fopen(path_.c_str(), "w");
+    fputs("id\nnot_a_number\n", f);
+    fclose(f);
+  }
+  Result<Table> r = ReadCsv(path_, Schema({{"id", DataType::kInt64}}));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(CsvTest, MissingFileIsNotFound) {
+  Result<Table> r =
+      ReadCsv("/nonexistent/nope.csv", Schema({{"id", DataType::kInt64}}));
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace aqp

@@ -1,0 +1,63 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"price", DataType::kDouble},
+                 {"name", DataType::kString}});
+}
+
+TEST(SchemaTest, FieldAccess) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.num_fields(), 3u);
+  EXPECT_EQ(s.field(1).name, "price");
+  EXPECT_EQ(s.field(1).type, DataType::kDouble);
+}
+
+TEST(SchemaTest, FieldIndexExact) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.FieldIndex("id").value(), 0u);
+  EXPECT_EQ(s.FieldIndex("name").value(), 2u);
+  EXPECT_EQ(s.FieldIndex("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, QualifiedSuffixMatch) {
+  Schema s({{"l.id", DataType::kInt64}, {"o.total", DataType::kDouble}});
+  EXPECT_EQ(s.FieldIndex("id").value(), 0u);
+  EXPECT_EQ(s.FieldIndex("total").value(), 1u);
+  EXPECT_EQ(s.FieldIndex("l.id").value(), 0u);
+}
+
+TEST(SchemaTest, AmbiguousUnqualifiedIsError) {
+  Schema s({{"l.id", DataType::kInt64}, {"o.id", DataType::kInt64}});
+  Result<size_t> r = s.FieldIndex("id");
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Qualified lookups still work.
+  EXPECT_EQ(s.FieldIndex("o.id").value(), 1u);
+}
+
+TEST(SchemaTest, HasField) {
+  Schema s = MakeSchema();
+  EXPECT_TRUE(s.HasField("price"));
+  EXPECT_FALSE(s.HasField("qty"));
+}
+
+TEST(SchemaTest, AddFieldAndEquality) {
+  Schema s = MakeSchema();
+  Schema t = MakeSchema();
+  EXPECT_EQ(s, t);
+  t.AddField({"extra", DataType::kBool});
+  EXPECT_FALSE(s == t);
+}
+
+TEST(SchemaTest, ToStringRendersTypes) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kBool}});
+  EXPECT_EQ(s.ToString(), "a:INT64, b:BOOL");
+}
+
+}  // namespace
+}  // namespace aqp

@@ -1,0 +1,64 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "NULL");
+  EXPECT_EQ(v, Value::Null());
+}
+
+TEST(ValueTest, TypedValues) {
+  Value i(int64_t{42});
+  EXPECT_TRUE(i.is_int64());
+  EXPECT_EQ(i.int64(), 42);
+  EXPECT_EQ(i.type(), DataType::kInt64);
+  EXPECT_EQ(i.ToString(), "42");
+
+  Value d(2.5);
+  EXPECT_TRUE(d.is_double());
+  EXPECT_DOUBLE_EQ(d.dbl(), 2.5);
+  EXPECT_EQ(d.type(), DataType::kDouble);
+
+  Value s(std::string("hi"));
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(s.str(), "hi");
+  EXPECT_EQ(s.ToString(), "hi");
+
+  Value b(true);
+  EXPECT_TRUE(b.is_bool());
+  EXPECT_TRUE(b.boolean());
+  EXPECT_EQ(b.ToString(), "true");
+}
+
+TEST(ValueTest, AsDoubleWidensInt) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{7}).AsDouble(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(1.5).AsDouble(), 1.5);
+}
+
+TEST(ValueTest, EqualityIsTypeAware) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_FALSE(Value(int64_t{1}) == Value(1.0));  // Different alternatives.
+  EXPECT_FALSE(Value(int64_t{1}) == Value::Null());
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_EQ(DataTypeName(DataType::kInt64), "INT64");
+  EXPECT_EQ(DataTypeName(DataType::kDouble), "DOUBLE");
+  EXPECT_EQ(DataTypeName(DataType::kString), "STRING");
+  EXPECT_EQ(DataTypeName(DataType::kBool), "BOOL");
+}
+
+TEST(DataTypeTest, IsNumeric) {
+  EXPECT_TRUE(IsNumeric(DataType::kInt64));
+  EXPECT_TRUE(IsNumeric(DataType::kDouble));
+  EXPECT_FALSE(IsNumeric(DataType::kString));
+  EXPECT_FALSE(IsNumeric(DataType::kBool));
+}
+
+}  // namespace
+}  // namespace aqp

@@ -1,0 +1,63 @@
+#ifndef AQP_TESTS_TEST_UTIL_H_
+#define AQP_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/table.h"
+
+namespace aqp {
+namespace testutil {
+
+/// Table with a single DOUBLE column "x" holding `values`.
+inline Table DoubleTable(const std::vector<double>& values) {
+  Table t(Schema({{"x", DataType::kDouble}}));
+  for (double v : values) {
+    Status s = t.AppendRow({Value(v)});
+    AQP_CHECK(s.ok());
+  }
+  return t;
+}
+
+/// Table with columns g (INT64 group) and x (DOUBLE measure).
+inline Table GroupedTable(const std::vector<std::pair<int64_t, double>>& rows) {
+  Table t(Schema({{"g", DataType::kInt64}, {"x", DataType::kDouble}}));
+  for (const auto& [g, x] : rows) {
+    Status s = t.AppendRow({Value(g), Value(x)});
+    AQP_CHECK(s.ok());
+  }
+  return t;
+}
+
+/// n rows: g ~ Zipf(skew) over num_groups ranks, x ~ N(mu(g), 1) where
+/// mu(g) = g + 1. Deterministic for a seed.
+inline Table ZipfGroupedTable(size_t n, uint64_t num_groups, double skew,
+                              uint64_t seed) {
+  Pcg32 rng(seed);
+  ZipfGenerator zipf(num_groups, skew);
+  Table t(Schema({{"g", DataType::kInt64}, {"x", DataType::kDouble}}));
+  for (size_t i = 0; i < n; ++i) {
+    int64_t g = static_cast<int64_t>(zipf.Next(rng));
+    double x = static_cast<double>(g + 1) + rng.Gaussian();
+    Status s = t.AppendRow({Value(g), Value(x)});
+    AQP_CHECK(s.ok());
+  }
+  return t;
+}
+
+/// Exact SUM of column `col` (non-null numeric slots).
+inline double ExactSum(const Table& t, const std::string& col) {
+  size_t idx = t.ColumnIndex(col).value();
+  double sum = 0.0;
+  const Column& c = t.column(idx);
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    if (!c.IsNull(i)) sum += c.NumericAt(i);
+  }
+  return sum;
+}
+
+}  // namespace testutil
+}  // namespace aqp
+
+#endif  // AQP_TESTS_TEST_UTIL_H_
