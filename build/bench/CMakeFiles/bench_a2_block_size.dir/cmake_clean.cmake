@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_block_size.dir/bench_a2_block_size.cc.o"
+  "CMakeFiles/bench_a2_block_size.dir/bench_a2_block_size.cc.o.d"
+  "bench_a2_block_size"
+  "bench_a2_block_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_block_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

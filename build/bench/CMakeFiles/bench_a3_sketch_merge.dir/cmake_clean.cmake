@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_sketch_merge.dir/bench_a3_sketch_merge.cc.o"
+  "CMakeFiles/bench_a3_sketch_merge.dir/bench_a3_sketch_merge.cc.o.d"
+  "bench_a3_sketch_merge"
+  "bench_a3_sketch_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_sketch_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_contracts.dir/bench_e10_contracts.cc.o"
+  "CMakeFiles/bench_e10_contracts.dir/bench_e10_contracts.cc.o.d"
+  "bench_e10_contracts"
+  "bench_e10_contracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

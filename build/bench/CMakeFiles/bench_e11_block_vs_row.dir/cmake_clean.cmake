@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_block_vs_row.dir/bench_e11_block_vs_row.cc.o"
+  "CMakeFiles/bench_e11_block_vs_row.dir/bench_e11_block_vs_row.cc.o.d"
+  "bench_e11_block_vs_row"
+  "bench_e11_block_vs_row.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_block_vs_row.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

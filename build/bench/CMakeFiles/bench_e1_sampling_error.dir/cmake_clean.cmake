@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_sampling_error.dir/bench_e1_sampling_error.cc.o"
+  "CMakeFiles/bench_e1_sampling_error.dir/bench_e1_sampling_error.cc.o.d"
+  "bench_e1_sampling_error"
+  "bench_e1_sampling_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_sampling_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_selectivity.dir/bench_e2_selectivity.cc.o"
+  "CMakeFiles/bench_e2_selectivity.dir/bench_e2_selectivity.cc.o.d"
+  "bench_e2_selectivity"
+  "bench_e2_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_groupby_coverage.dir/bench_e3_groupby_coverage.cc.o"
+  "CMakeFiles/bench_e3_groupby_coverage.dir/bench_e3_groupby_coverage.cc.o.d"
+  "bench_e3_groupby_coverage"
+  "bench_e3_groupby_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_groupby_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

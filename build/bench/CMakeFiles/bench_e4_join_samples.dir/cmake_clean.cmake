@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_join_samples.dir/bench_e4_join_samples.cc.o"
+  "CMakeFiles/bench_e4_join_samples.dir/bench_e4_join_samples.cc.o.d"
+  "bench_e4_join_samples"
+  "bench_e4_join_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_join_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_sketches.dir/bench_e5_sketches.cc.o"
+  "CMakeFiles/bench_e5_sketches.dir/bench_e5_sketches.cc.o.d"
+  "bench_e5_sketches"
+  "bench_e5_sketches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_sketches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5b_histograms.dir/bench_e5b_histograms.cc.o"
+  "CMakeFiles/bench_e5b_histograms.dir/bench_e5b_histograms.cc.o.d"
+  "bench_e5b_histograms"
+  "bench_e5b_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5b_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_latency_crossover.dir/bench_e6_latency_crossover.cc.o"
+  "CMakeFiles/bench_e6_latency_crossover.dir/bench_e6_latency_crossover.cc.o.d"
+  "bench_e6_latency_crossover"
+  "bench_e6_latency_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_latency_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_maintenance.dir/bench_e7_maintenance.cc.o"
+  "CMakeFiles/bench_e7_maintenance.dir/bench_e7_maintenance.cc.o.d"
+  "bench_e7_maintenance"
+  "bench_e7_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e8_drift.cc" "bench/CMakeFiles/bench_e8_drift.dir/bench_e8_drift.cc.o" "gcc" "bench/CMakeFiles/bench_e8_drift.dir/bench_e8_drift.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aqp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_drift.dir/bench_e8_drift.cc.o"
+  "CMakeFiles/bench_e8_drift.dir/bench_e8_drift.cc.o.d"
+  "bench_e8_drift"
+  "bench_e8_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_ola_convergence.dir/bench_e9_ola_convergence.cc.o"
+  "CMakeFiles/bench_e9_ola_convergence.dir/bench_e9_ola_convergence.cc.o.d"
+  "bench_e9_ola_convergence"
+  "bench_e9_ola_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_ola_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashboard.dir/dashboard.cpp.o"
+  "CMakeFiles/dashboard.dir/dashboard.cpp.o.d"
+  "dashboard"
+  "dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

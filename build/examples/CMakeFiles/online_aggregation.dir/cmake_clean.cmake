@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_aggregation.dir/online_aggregation.cpp.o"
+  "CMakeFiles/online_aggregation.dir/online_aggregation.cpp.o.d"
+  "online_aggregation"
+  "online_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

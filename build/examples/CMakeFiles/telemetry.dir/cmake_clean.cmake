@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry.dir/telemetry.cpp.o"
+  "CMakeFiles/telemetry.dir/telemetry.cpp.o.d"
+  "telemetry"
+  "telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_common.dir/common/hash.cc.o"
+  "CMakeFiles/aqp_common.dir/common/hash.cc.o.d"
+  "CMakeFiles/aqp_common.dir/common/random.cc.o"
+  "CMakeFiles/aqp_common.dir/common/random.cc.o.d"
+  "CMakeFiles/aqp_common.dir/common/status.cc.o"
+  "CMakeFiles/aqp_common.dir/common/status.cc.o.d"
+  "CMakeFiles/aqp_common.dir/common/str_util.cc.o"
+  "CMakeFiles/aqp_common.dir/common/str_util.cc.o.d"
+  "libaqp_common.a"
+  "libaqp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/approx_executor.cc" "src/CMakeFiles/aqp_core.dir/core/approx_executor.cc.o" "gcc" "src/CMakeFiles/aqp_core.dir/core/approx_executor.cc.o.d"
+  "/root/repo/src/core/contract.cc" "src/CMakeFiles/aqp_core.dir/core/contract.cc.o" "gcc" "src/CMakeFiles/aqp_core.dir/core/contract.cc.o.d"
+  "/root/repo/src/core/estimate.cc" "src/CMakeFiles/aqp_core.dir/core/estimate.cc.o" "gcc" "src/CMakeFiles/aqp_core.dir/core/estimate.cc.o.d"
+  "/root/repo/src/core/missing_groups.cc" "src/CMakeFiles/aqp_core.dir/core/missing_groups.cc.o" "gcc" "src/CMakeFiles/aqp_core.dir/core/missing_groups.cc.o.d"
+  "/root/repo/src/core/offline_catalog.cc" "src/CMakeFiles/aqp_core.dir/core/offline_catalog.cc.o" "gcc" "src/CMakeFiles/aqp_core.dir/core/offline_catalog.cc.o.d"
+  "/root/repo/src/core/offline_executor.cc" "src/CMakeFiles/aqp_core.dir/core/offline_executor.cc.o" "gcc" "src/CMakeFiles/aqp_core.dir/core/offline_executor.cc.o.d"
+  "/root/repo/src/core/online_aggregation.cc" "src/CMakeFiles/aqp_core.dir/core/online_aggregation.cc.o" "gcc" "src/CMakeFiles/aqp_core.dir/core/online_aggregation.cc.o.d"
+  "/root/repo/src/core/result_assembly.cc" "src/CMakeFiles/aqp_core.dir/core/result_assembly.cc.o" "gcc" "src/CMakeFiles/aqp_core.dir/core/result_assembly.cc.o.d"
+  "/root/repo/src/core/rewriter.cc" "src/CMakeFiles/aqp_core.dir/core/rewriter.cc.o" "gcc" "src/CMakeFiles/aqp_core.dir/core/rewriter.cc.o.d"
+  "/root/repo/src/core/sample_planner.cc" "src/CMakeFiles/aqp_core.dir/core/sample_planner.cc.o" "gcc" "src/CMakeFiles/aqp_core.dir/core/sample_planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aqp_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

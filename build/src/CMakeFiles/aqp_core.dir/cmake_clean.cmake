@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_core.dir/core/approx_executor.cc.o"
+  "CMakeFiles/aqp_core.dir/core/approx_executor.cc.o.d"
+  "CMakeFiles/aqp_core.dir/core/contract.cc.o"
+  "CMakeFiles/aqp_core.dir/core/contract.cc.o.d"
+  "CMakeFiles/aqp_core.dir/core/estimate.cc.o"
+  "CMakeFiles/aqp_core.dir/core/estimate.cc.o.d"
+  "CMakeFiles/aqp_core.dir/core/missing_groups.cc.o"
+  "CMakeFiles/aqp_core.dir/core/missing_groups.cc.o.d"
+  "CMakeFiles/aqp_core.dir/core/offline_catalog.cc.o"
+  "CMakeFiles/aqp_core.dir/core/offline_catalog.cc.o.d"
+  "CMakeFiles/aqp_core.dir/core/offline_executor.cc.o"
+  "CMakeFiles/aqp_core.dir/core/offline_executor.cc.o.d"
+  "CMakeFiles/aqp_core.dir/core/online_aggregation.cc.o"
+  "CMakeFiles/aqp_core.dir/core/online_aggregation.cc.o.d"
+  "CMakeFiles/aqp_core.dir/core/result_assembly.cc.o"
+  "CMakeFiles/aqp_core.dir/core/result_assembly.cc.o.d"
+  "CMakeFiles/aqp_core.dir/core/rewriter.cc.o"
+  "CMakeFiles/aqp_core.dir/core/rewriter.cc.o.d"
+  "CMakeFiles/aqp_core.dir/core/sample_planner.cc.o"
+  "CMakeFiles/aqp_core.dir/core/sample_planner.cc.o.d"
+  "libaqp_core.a"
+  "libaqp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

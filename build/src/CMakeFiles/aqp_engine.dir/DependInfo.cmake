@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/aggregate.cc" "src/CMakeFiles/aqp_engine.dir/engine/aggregate.cc.o" "gcc" "src/CMakeFiles/aqp_engine.dir/engine/aggregate.cc.o.d"
+  "/root/repo/src/engine/catalog.cc" "src/CMakeFiles/aqp_engine.dir/engine/catalog.cc.o" "gcc" "src/CMakeFiles/aqp_engine.dir/engine/catalog.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/aqp_engine.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/aqp_engine.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/plan.cc" "src/CMakeFiles/aqp_engine.dir/engine/plan.cc.o" "gcc" "src/CMakeFiles/aqp_engine.dir/engine/plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aqp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_engine.dir/engine/aggregate.cc.o"
+  "CMakeFiles/aqp_engine.dir/engine/aggregate.cc.o.d"
+  "CMakeFiles/aqp_engine.dir/engine/catalog.cc.o"
+  "CMakeFiles/aqp_engine.dir/engine/catalog.cc.o.d"
+  "CMakeFiles/aqp_engine.dir/engine/executor.cc.o"
+  "CMakeFiles/aqp_engine.dir/engine/executor.cc.o.d"
+  "CMakeFiles/aqp_engine.dir/engine/plan.cc.o"
+  "CMakeFiles/aqp_engine.dir/engine/plan.cc.o.d"
+  "libaqp_engine.a"
+  "libaqp_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_expr.dir/expr/eval.cc.o"
+  "CMakeFiles/aqp_expr.dir/expr/eval.cc.o.d"
+  "CMakeFiles/aqp_expr.dir/expr/expr.cc.o"
+  "CMakeFiles/aqp_expr.dir/expr/expr.cc.o.d"
+  "libaqp_expr.a"
+  "libaqp_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

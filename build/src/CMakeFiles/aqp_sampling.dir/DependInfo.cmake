@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/bernoulli.cc" "src/CMakeFiles/aqp_sampling.dir/sampling/bernoulli.cc.o" "gcc" "src/CMakeFiles/aqp_sampling.dir/sampling/bernoulli.cc.o.d"
+  "/root/repo/src/sampling/block.cc" "src/CMakeFiles/aqp_sampling.dir/sampling/block.cc.o" "gcc" "src/CMakeFiles/aqp_sampling.dir/sampling/block.cc.o.d"
+  "/root/repo/src/sampling/congressional.cc" "src/CMakeFiles/aqp_sampling.dir/sampling/congressional.cc.o" "gcc" "src/CMakeFiles/aqp_sampling.dir/sampling/congressional.cc.o.d"
+  "/root/repo/src/sampling/ht_estimator.cc" "src/CMakeFiles/aqp_sampling.dir/sampling/ht_estimator.cc.o" "gcc" "src/CMakeFiles/aqp_sampling.dir/sampling/ht_estimator.cc.o.d"
+  "/root/repo/src/sampling/join_synopsis.cc" "src/CMakeFiles/aqp_sampling.dir/sampling/join_synopsis.cc.o" "gcc" "src/CMakeFiles/aqp_sampling.dir/sampling/join_synopsis.cc.o.d"
+  "/root/repo/src/sampling/outlier_index.cc" "src/CMakeFiles/aqp_sampling.dir/sampling/outlier_index.cc.o" "gcc" "src/CMakeFiles/aqp_sampling.dir/sampling/outlier_index.cc.o.d"
+  "/root/repo/src/sampling/reservoir.cc" "src/CMakeFiles/aqp_sampling.dir/sampling/reservoir.cc.o" "gcc" "src/CMakeFiles/aqp_sampling.dir/sampling/reservoir.cc.o.d"
+  "/root/repo/src/sampling/stratified.cc" "src/CMakeFiles/aqp_sampling.dir/sampling/stratified.cc.o" "gcc" "src/CMakeFiles/aqp_sampling.dir/sampling/stratified.cc.o.d"
+  "/root/repo/src/sampling/weighted.cc" "src/CMakeFiles/aqp_sampling.dir/sampling/weighted.cc.o" "gcc" "src/CMakeFiles/aqp_sampling.dir/sampling/weighted.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aqp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

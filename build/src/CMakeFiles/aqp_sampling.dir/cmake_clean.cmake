@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_sampling.dir/sampling/bernoulli.cc.o"
+  "CMakeFiles/aqp_sampling.dir/sampling/bernoulli.cc.o.d"
+  "CMakeFiles/aqp_sampling.dir/sampling/block.cc.o"
+  "CMakeFiles/aqp_sampling.dir/sampling/block.cc.o.d"
+  "CMakeFiles/aqp_sampling.dir/sampling/congressional.cc.o"
+  "CMakeFiles/aqp_sampling.dir/sampling/congressional.cc.o.d"
+  "CMakeFiles/aqp_sampling.dir/sampling/ht_estimator.cc.o"
+  "CMakeFiles/aqp_sampling.dir/sampling/ht_estimator.cc.o.d"
+  "CMakeFiles/aqp_sampling.dir/sampling/join_synopsis.cc.o"
+  "CMakeFiles/aqp_sampling.dir/sampling/join_synopsis.cc.o.d"
+  "CMakeFiles/aqp_sampling.dir/sampling/outlier_index.cc.o"
+  "CMakeFiles/aqp_sampling.dir/sampling/outlier_index.cc.o.d"
+  "CMakeFiles/aqp_sampling.dir/sampling/reservoir.cc.o"
+  "CMakeFiles/aqp_sampling.dir/sampling/reservoir.cc.o.d"
+  "CMakeFiles/aqp_sampling.dir/sampling/stratified.cc.o"
+  "CMakeFiles/aqp_sampling.dir/sampling/stratified.cc.o.d"
+  "CMakeFiles/aqp_sampling.dir/sampling/weighted.cc.o"
+  "CMakeFiles/aqp_sampling.dir/sampling/weighted.cc.o.d"
+  "libaqp_sampling.a"
+  "libaqp_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

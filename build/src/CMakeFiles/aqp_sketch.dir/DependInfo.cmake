@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/ams_f2.cc" "src/CMakeFiles/aqp_sketch.dir/sketch/ams_f2.cc.o" "gcc" "src/CMakeFiles/aqp_sketch.dir/sketch/ams_f2.cc.o.d"
+  "/root/repo/src/sketch/bloom_filter.cc" "src/CMakeFiles/aqp_sketch.dir/sketch/bloom_filter.cc.o" "gcc" "src/CMakeFiles/aqp_sketch.dir/sketch/bloom_filter.cc.o.d"
+  "/root/repo/src/sketch/count_min.cc" "src/CMakeFiles/aqp_sketch.dir/sketch/count_min.cc.o" "gcc" "src/CMakeFiles/aqp_sketch.dir/sketch/count_min.cc.o.d"
+  "/root/repo/src/sketch/count_sketch.cc" "src/CMakeFiles/aqp_sketch.dir/sketch/count_sketch.cc.o" "gcc" "src/CMakeFiles/aqp_sketch.dir/sketch/count_sketch.cc.o.d"
+  "/root/repo/src/sketch/distinct_sampler.cc" "src/CMakeFiles/aqp_sketch.dir/sketch/distinct_sampler.cc.o" "gcc" "src/CMakeFiles/aqp_sketch.dir/sketch/distinct_sampler.cc.o.d"
+  "/root/repo/src/sketch/dyadic_count_min.cc" "src/CMakeFiles/aqp_sketch.dir/sketch/dyadic_count_min.cc.o" "gcc" "src/CMakeFiles/aqp_sketch.dir/sketch/dyadic_count_min.cc.o.d"
+  "/root/repo/src/sketch/histogram.cc" "src/CMakeFiles/aqp_sketch.dir/sketch/histogram.cc.o" "gcc" "src/CMakeFiles/aqp_sketch.dir/sketch/histogram.cc.o.d"
+  "/root/repo/src/sketch/hyperloglog.cc" "src/CMakeFiles/aqp_sketch.dir/sketch/hyperloglog.cc.o" "gcc" "src/CMakeFiles/aqp_sketch.dir/sketch/hyperloglog.cc.o.d"
+  "/root/repo/src/sketch/kll.cc" "src/CMakeFiles/aqp_sketch.dir/sketch/kll.cc.o" "gcc" "src/CMakeFiles/aqp_sketch.dir/sketch/kll.cc.o.d"
+  "/root/repo/src/sketch/misra_gries.cc" "src/CMakeFiles/aqp_sketch.dir/sketch/misra_gries.cc.o" "gcc" "src/CMakeFiles/aqp_sketch.dir/sketch/misra_gries.cc.o.d"
+  "/root/repo/src/sketch/theta.cc" "src/CMakeFiles/aqp_sketch.dir/sketch/theta.cc.o" "gcc" "src/CMakeFiles/aqp_sketch.dir/sketch/theta.cc.o.d"
+  "/root/repo/src/sketch/wavelet.cc" "src/CMakeFiles/aqp_sketch.dir/sketch/wavelet.cc.o" "gcc" "src/CMakeFiles/aqp_sketch.dir/sketch/wavelet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_sketch.dir/sketch/ams_f2.cc.o"
+  "CMakeFiles/aqp_sketch.dir/sketch/ams_f2.cc.o.d"
+  "CMakeFiles/aqp_sketch.dir/sketch/bloom_filter.cc.o"
+  "CMakeFiles/aqp_sketch.dir/sketch/bloom_filter.cc.o.d"
+  "CMakeFiles/aqp_sketch.dir/sketch/count_min.cc.o"
+  "CMakeFiles/aqp_sketch.dir/sketch/count_min.cc.o.d"
+  "CMakeFiles/aqp_sketch.dir/sketch/count_sketch.cc.o"
+  "CMakeFiles/aqp_sketch.dir/sketch/count_sketch.cc.o.d"
+  "CMakeFiles/aqp_sketch.dir/sketch/distinct_sampler.cc.o"
+  "CMakeFiles/aqp_sketch.dir/sketch/distinct_sampler.cc.o.d"
+  "CMakeFiles/aqp_sketch.dir/sketch/dyadic_count_min.cc.o"
+  "CMakeFiles/aqp_sketch.dir/sketch/dyadic_count_min.cc.o.d"
+  "CMakeFiles/aqp_sketch.dir/sketch/histogram.cc.o"
+  "CMakeFiles/aqp_sketch.dir/sketch/histogram.cc.o.d"
+  "CMakeFiles/aqp_sketch.dir/sketch/hyperloglog.cc.o"
+  "CMakeFiles/aqp_sketch.dir/sketch/hyperloglog.cc.o.d"
+  "CMakeFiles/aqp_sketch.dir/sketch/kll.cc.o"
+  "CMakeFiles/aqp_sketch.dir/sketch/kll.cc.o.d"
+  "CMakeFiles/aqp_sketch.dir/sketch/misra_gries.cc.o"
+  "CMakeFiles/aqp_sketch.dir/sketch/misra_gries.cc.o.d"
+  "CMakeFiles/aqp_sketch.dir/sketch/theta.cc.o"
+  "CMakeFiles/aqp_sketch.dir/sketch/theta.cc.o.d"
+  "CMakeFiles/aqp_sketch.dir/sketch/wavelet.cc.o"
+  "CMakeFiles/aqp_sketch.dir/sketch/wavelet.cc.o.d"
+  "libaqp_sketch.a"
+  "libaqp_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

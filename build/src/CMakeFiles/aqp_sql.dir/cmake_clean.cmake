@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_sql.dir/sql/ast.cc.o"
+  "CMakeFiles/aqp_sql.dir/sql/ast.cc.o.d"
+  "CMakeFiles/aqp_sql.dir/sql/binder.cc.o"
+  "CMakeFiles/aqp_sql.dir/sql/binder.cc.o.d"
+  "CMakeFiles/aqp_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/aqp_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/aqp_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/aqp_sql.dir/sql/parser.cc.o.d"
+  "libaqp_sql.a"
+  "libaqp_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

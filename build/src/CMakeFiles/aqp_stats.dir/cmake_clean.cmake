@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_stats.dir/stats/bootstrap.cc.o"
+  "CMakeFiles/aqp_stats.dir/stats/bootstrap.cc.o.d"
+  "CMakeFiles/aqp_stats.dir/stats/bounds.cc.o"
+  "CMakeFiles/aqp_stats.dir/stats/bounds.cc.o.d"
+  "CMakeFiles/aqp_stats.dir/stats/confidence.cc.o"
+  "CMakeFiles/aqp_stats.dir/stats/confidence.cc.o.d"
+  "CMakeFiles/aqp_stats.dir/stats/descriptive.cc.o"
+  "CMakeFiles/aqp_stats.dir/stats/descriptive.cc.o.d"
+  "CMakeFiles/aqp_stats.dir/stats/distributions.cc.o"
+  "CMakeFiles/aqp_stats.dir/stats/distributions.cc.o.d"
+  "libaqp_stats.a"
+  "libaqp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/aqp_storage.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/aqp_storage.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/aqp_storage.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/aqp_storage.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/aqp_storage.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/aqp_storage.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/aqp_storage.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/aqp_storage.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/aqp_storage.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/aqp_storage.dir/storage/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

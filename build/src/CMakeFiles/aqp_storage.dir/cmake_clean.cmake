@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_storage.dir/storage/column.cc.o"
+  "CMakeFiles/aqp_storage.dir/storage/column.cc.o.d"
+  "CMakeFiles/aqp_storage.dir/storage/csv.cc.o"
+  "CMakeFiles/aqp_storage.dir/storage/csv.cc.o.d"
+  "CMakeFiles/aqp_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/aqp_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/aqp_storage.dir/storage/table.cc.o"
+  "CMakeFiles/aqp_storage.dir/storage/table.cc.o.d"
+  "CMakeFiles/aqp_storage.dir/storage/value.cc.o"
+  "CMakeFiles/aqp_storage.dir/storage/value.cc.o.d"
+  "libaqp_storage.a"
+  "libaqp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_workload.dir/workload/datagen.cc.o"
+  "CMakeFiles/aqp_workload.dir/workload/datagen.cc.o.d"
+  "CMakeFiles/aqp_workload.dir/workload/querygen.cc.o"
+  "CMakeFiles/aqp_workload.dir/workload/querygen.cc.o.d"
+  "libaqp_workload.a"
+  "libaqp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

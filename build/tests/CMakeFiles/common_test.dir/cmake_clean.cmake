@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test.dir/common/bytes_test.cc.o"
+  "CMakeFiles/common_test.dir/common/bytes_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/hash_test.cc.o"
+  "CMakeFiles/common_test.dir/common/hash_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/random_test.cc.o"
+  "CMakeFiles/common_test.dir/common/random_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/status_test.cc.o"
+  "CMakeFiles/common_test.dir/common/status_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/str_util_test.cc.o"
+  "CMakeFiles/common_test.dir/common/str_util_test.cc.o.d"
+  "common_test"
+  "common_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

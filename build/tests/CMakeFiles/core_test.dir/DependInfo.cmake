@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/approx_executor_test.cc" "tests/CMakeFiles/core_test.dir/core/approx_executor_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/approx_executor_test.cc.o.d"
+  "/root/repo/tests/core/contract_test.cc" "tests/CMakeFiles/core_test.dir/core/contract_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/contract_test.cc.o.d"
+  "/root/repo/tests/core/estimate_test.cc" "tests/CMakeFiles/core_test.dir/core/estimate_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/estimate_test.cc.o.d"
+  "/root/repo/tests/core/missing_groups_test.cc" "tests/CMakeFiles/core_test.dir/core/missing_groups_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/missing_groups_test.cc.o.d"
+  "/root/repo/tests/core/offline_catalog_test.cc" "tests/CMakeFiles/core_test.dir/core/offline_catalog_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/offline_catalog_test.cc.o.d"
+  "/root/repo/tests/core/offline_executor_test.cc" "tests/CMakeFiles/core_test.dir/core/offline_executor_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/offline_executor_test.cc.o.d"
+  "/root/repo/tests/core/online_aggregation_test.cc" "tests/CMakeFiles/core_test.dir/core/online_aggregation_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/online_aggregation_test.cc.o.d"
+  "/root/repo/tests/core/rewriter_test.cc" "tests/CMakeFiles/core_test.dir/core/rewriter_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/rewriter_test.cc.o.d"
+  "/root/repo/tests/core/sample_planner_test.cc" "tests/CMakeFiles/core_test.dir/core/sample_planner_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sample_planner_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aqp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

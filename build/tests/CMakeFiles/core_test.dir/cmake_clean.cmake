@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/approx_executor_test.cc.o"
+  "CMakeFiles/core_test.dir/core/approx_executor_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/contract_test.cc.o"
+  "CMakeFiles/core_test.dir/core/contract_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/estimate_test.cc.o"
+  "CMakeFiles/core_test.dir/core/estimate_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/missing_groups_test.cc.o"
+  "CMakeFiles/core_test.dir/core/missing_groups_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/offline_catalog_test.cc.o"
+  "CMakeFiles/core_test.dir/core/offline_catalog_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/offline_executor_test.cc.o"
+  "CMakeFiles/core_test.dir/core/offline_executor_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/online_aggregation_test.cc.o"
+  "CMakeFiles/core_test.dir/core/online_aggregation_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/rewriter_test.cc.o"
+  "CMakeFiles/core_test.dir/core/rewriter_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/sample_planner_test.cc.o"
+  "CMakeFiles/core_test.dir/core/sample_planner_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/aggregate_test.cc" "tests/CMakeFiles/engine_test.dir/engine/aggregate_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/aggregate_test.cc.o.d"
+  "/root/repo/tests/engine/catalog_test.cc" "tests/CMakeFiles/engine_test.dir/engine/catalog_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/catalog_test.cc.o.d"
+  "/root/repo/tests/engine/executor_test.cc" "tests/CMakeFiles/engine_test.dir/engine/executor_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/executor_test.cc.o.d"
+  "/root/repo/tests/engine/plan_test.cc" "tests/CMakeFiles/engine_test.dir/engine/plan_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/plan_test.cc.o.d"
+  "/root/repo/tests/engine/property_test.cc" "tests/CMakeFiles/engine_test.dir/engine/property_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aqp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

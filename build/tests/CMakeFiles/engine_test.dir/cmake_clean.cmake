@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_test.dir/engine/aggregate_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/aggregate_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/catalog_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/catalog_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/executor_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/executor_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/plan_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/plan_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/property_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/property_test.cc.o.d"
+  "engine_test"
+  "engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sampling/bernoulli_test.cc" "tests/CMakeFiles/sampling_test.dir/sampling/bernoulli_test.cc.o" "gcc" "tests/CMakeFiles/sampling_test.dir/sampling/bernoulli_test.cc.o.d"
+  "/root/repo/tests/sampling/block_test.cc" "tests/CMakeFiles/sampling_test.dir/sampling/block_test.cc.o" "gcc" "tests/CMakeFiles/sampling_test.dir/sampling/block_test.cc.o.d"
+  "/root/repo/tests/sampling/congressional_test.cc" "tests/CMakeFiles/sampling_test.dir/sampling/congressional_test.cc.o" "gcc" "tests/CMakeFiles/sampling_test.dir/sampling/congressional_test.cc.o.d"
+  "/root/repo/tests/sampling/design_coverage_test.cc" "tests/CMakeFiles/sampling_test.dir/sampling/design_coverage_test.cc.o" "gcc" "tests/CMakeFiles/sampling_test.dir/sampling/design_coverage_test.cc.o.d"
+  "/root/repo/tests/sampling/ht_estimator_test.cc" "tests/CMakeFiles/sampling_test.dir/sampling/ht_estimator_test.cc.o" "gcc" "tests/CMakeFiles/sampling_test.dir/sampling/ht_estimator_test.cc.o.d"
+  "/root/repo/tests/sampling/join_synopsis_test.cc" "tests/CMakeFiles/sampling_test.dir/sampling/join_synopsis_test.cc.o" "gcc" "tests/CMakeFiles/sampling_test.dir/sampling/join_synopsis_test.cc.o.d"
+  "/root/repo/tests/sampling/outlier_index_test.cc" "tests/CMakeFiles/sampling_test.dir/sampling/outlier_index_test.cc.o" "gcc" "tests/CMakeFiles/sampling_test.dir/sampling/outlier_index_test.cc.o.d"
+  "/root/repo/tests/sampling/reservoir_test.cc" "tests/CMakeFiles/sampling_test.dir/sampling/reservoir_test.cc.o" "gcc" "tests/CMakeFiles/sampling_test.dir/sampling/reservoir_test.cc.o.d"
+  "/root/repo/tests/sampling/stratified_test.cc" "tests/CMakeFiles/sampling_test.dir/sampling/stratified_test.cc.o" "gcc" "tests/CMakeFiles/sampling_test.dir/sampling/stratified_test.cc.o.d"
+  "/root/repo/tests/sampling/weighted_test.cc" "tests/CMakeFiles/sampling_test.dir/sampling/weighted_test.cc.o" "gcc" "tests/CMakeFiles/sampling_test.dir/sampling/weighted_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aqp_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_test.dir/sampling/bernoulli_test.cc.o"
+  "CMakeFiles/sampling_test.dir/sampling/bernoulli_test.cc.o.d"
+  "CMakeFiles/sampling_test.dir/sampling/block_test.cc.o"
+  "CMakeFiles/sampling_test.dir/sampling/block_test.cc.o.d"
+  "CMakeFiles/sampling_test.dir/sampling/congressional_test.cc.o"
+  "CMakeFiles/sampling_test.dir/sampling/congressional_test.cc.o.d"
+  "CMakeFiles/sampling_test.dir/sampling/design_coverage_test.cc.o"
+  "CMakeFiles/sampling_test.dir/sampling/design_coverage_test.cc.o.d"
+  "CMakeFiles/sampling_test.dir/sampling/ht_estimator_test.cc.o"
+  "CMakeFiles/sampling_test.dir/sampling/ht_estimator_test.cc.o.d"
+  "CMakeFiles/sampling_test.dir/sampling/join_synopsis_test.cc.o"
+  "CMakeFiles/sampling_test.dir/sampling/join_synopsis_test.cc.o.d"
+  "CMakeFiles/sampling_test.dir/sampling/outlier_index_test.cc.o"
+  "CMakeFiles/sampling_test.dir/sampling/outlier_index_test.cc.o.d"
+  "CMakeFiles/sampling_test.dir/sampling/reservoir_test.cc.o"
+  "CMakeFiles/sampling_test.dir/sampling/reservoir_test.cc.o.d"
+  "CMakeFiles/sampling_test.dir/sampling/stratified_test.cc.o"
+  "CMakeFiles/sampling_test.dir/sampling/stratified_test.cc.o.d"
+  "CMakeFiles/sampling_test.dir/sampling/weighted_test.cc.o"
+  "CMakeFiles/sampling_test.dir/sampling/weighted_test.cc.o.d"
+  "sampling_test"
+  "sampling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sketch/ams_f2_test.cc" "tests/CMakeFiles/sketch_test.dir/sketch/ams_f2_test.cc.o" "gcc" "tests/CMakeFiles/sketch_test.dir/sketch/ams_f2_test.cc.o.d"
+  "/root/repo/tests/sketch/bloom_filter_test.cc" "tests/CMakeFiles/sketch_test.dir/sketch/bloom_filter_test.cc.o" "gcc" "tests/CMakeFiles/sketch_test.dir/sketch/bloom_filter_test.cc.o.d"
+  "/root/repo/tests/sketch/count_min_test.cc" "tests/CMakeFiles/sketch_test.dir/sketch/count_min_test.cc.o" "gcc" "tests/CMakeFiles/sketch_test.dir/sketch/count_min_test.cc.o.d"
+  "/root/repo/tests/sketch/count_sketch_test.cc" "tests/CMakeFiles/sketch_test.dir/sketch/count_sketch_test.cc.o" "gcc" "tests/CMakeFiles/sketch_test.dir/sketch/count_sketch_test.cc.o.d"
+  "/root/repo/tests/sketch/distinct_sampler_test.cc" "tests/CMakeFiles/sketch_test.dir/sketch/distinct_sampler_test.cc.o" "gcc" "tests/CMakeFiles/sketch_test.dir/sketch/distinct_sampler_test.cc.o.d"
+  "/root/repo/tests/sketch/dyadic_count_min_test.cc" "tests/CMakeFiles/sketch_test.dir/sketch/dyadic_count_min_test.cc.o" "gcc" "tests/CMakeFiles/sketch_test.dir/sketch/dyadic_count_min_test.cc.o.d"
+  "/root/repo/tests/sketch/histogram_test.cc" "tests/CMakeFiles/sketch_test.dir/sketch/histogram_test.cc.o" "gcc" "tests/CMakeFiles/sketch_test.dir/sketch/histogram_test.cc.o.d"
+  "/root/repo/tests/sketch/hyperloglog_test.cc" "tests/CMakeFiles/sketch_test.dir/sketch/hyperloglog_test.cc.o" "gcc" "tests/CMakeFiles/sketch_test.dir/sketch/hyperloglog_test.cc.o.d"
+  "/root/repo/tests/sketch/kll_test.cc" "tests/CMakeFiles/sketch_test.dir/sketch/kll_test.cc.o" "gcc" "tests/CMakeFiles/sketch_test.dir/sketch/kll_test.cc.o.d"
+  "/root/repo/tests/sketch/misra_gries_test.cc" "tests/CMakeFiles/sketch_test.dir/sketch/misra_gries_test.cc.o" "gcc" "tests/CMakeFiles/sketch_test.dir/sketch/misra_gries_test.cc.o.d"
+  "/root/repo/tests/sketch/serialize_test.cc" "tests/CMakeFiles/sketch_test.dir/sketch/serialize_test.cc.o" "gcc" "tests/CMakeFiles/sketch_test.dir/sketch/serialize_test.cc.o.d"
+  "/root/repo/tests/sketch/theta_test.cc" "tests/CMakeFiles/sketch_test.dir/sketch/theta_test.cc.o" "gcc" "tests/CMakeFiles/sketch_test.dir/sketch/theta_test.cc.o.d"
+  "/root/repo/tests/sketch/wavelet_test.cc" "tests/CMakeFiles/sketch_test.dir/sketch/wavelet_test.cc.o" "gcc" "tests/CMakeFiles/sketch_test.dir/sketch/wavelet_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aqp_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_test.dir/sketch/ams_f2_test.cc.o"
+  "CMakeFiles/sketch_test.dir/sketch/ams_f2_test.cc.o.d"
+  "CMakeFiles/sketch_test.dir/sketch/bloom_filter_test.cc.o"
+  "CMakeFiles/sketch_test.dir/sketch/bloom_filter_test.cc.o.d"
+  "CMakeFiles/sketch_test.dir/sketch/count_min_test.cc.o"
+  "CMakeFiles/sketch_test.dir/sketch/count_min_test.cc.o.d"
+  "CMakeFiles/sketch_test.dir/sketch/count_sketch_test.cc.o"
+  "CMakeFiles/sketch_test.dir/sketch/count_sketch_test.cc.o.d"
+  "CMakeFiles/sketch_test.dir/sketch/distinct_sampler_test.cc.o"
+  "CMakeFiles/sketch_test.dir/sketch/distinct_sampler_test.cc.o.d"
+  "CMakeFiles/sketch_test.dir/sketch/dyadic_count_min_test.cc.o"
+  "CMakeFiles/sketch_test.dir/sketch/dyadic_count_min_test.cc.o.d"
+  "CMakeFiles/sketch_test.dir/sketch/histogram_test.cc.o"
+  "CMakeFiles/sketch_test.dir/sketch/histogram_test.cc.o.d"
+  "CMakeFiles/sketch_test.dir/sketch/hyperloglog_test.cc.o"
+  "CMakeFiles/sketch_test.dir/sketch/hyperloglog_test.cc.o.d"
+  "CMakeFiles/sketch_test.dir/sketch/kll_test.cc.o"
+  "CMakeFiles/sketch_test.dir/sketch/kll_test.cc.o.d"
+  "CMakeFiles/sketch_test.dir/sketch/misra_gries_test.cc.o"
+  "CMakeFiles/sketch_test.dir/sketch/misra_gries_test.cc.o.d"
+  "CMakeFiles/sketch_test.dir/sketch/serialize_test.cc.o"
+  "CMakeFiles/sketch_test.dir/sketch/serialize_test.cc.o.d"
+  "CMakeFiles/sketch_test.dir/sketch/theta_test.cc.o"
+  "CMakeFiles/sketch_test.dir/sketch/theta_test.cc.o.d"
+  "CMakeFiles/sketch_test.dir/sketch/wavelet_test.cc.o"
+  "CMakeFiles/sketch_test.dir/sketch/wavelet_test.cc.o.d"
+  "sketch_test"
+  "sketch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

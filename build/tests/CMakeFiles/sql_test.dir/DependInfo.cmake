@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sql/binder_test.cc" "tests/CMakeFiles/sql_test.dir/sql/binder_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/binder_test.cc.o.d"
+  "/root/repo/tests/sql/lexer_test.cc" "tests/CMakeFiles/sql_test.dir/sql/lexer_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/lexer_test.cc.o.d"
+  "/root/repo/tests/sql/parser_test.cc" "tests/CMakeFiles/sql_test.dir/sql/parser_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/parser_test.cc.o.d"
+  "/root/repo/tests/sql/robustness_test.cc" "tests/CMakeFiles/sql_test.dir/sql/robustness_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/robustness_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aqp_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

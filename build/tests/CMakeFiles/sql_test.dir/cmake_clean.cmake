@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_test.dir/sql/binder_test.cc.o"
+  "CMakeFiles/sql_test.dir/sql/binder_test.cc.o.d"
+  "CMakeFiles/sql_test.dir/sql/lexer_test.cc.o"
+  "CMakeFiles/sql_test.dir/sql/lexer_test.cc.o.d"
+  "CMakeFiles/sql_test.dir/sql/parser_test.cc.o"
+  "CMakeFiles/sql_test.dir/sql/parser_test.cc.o.d"
+  "CMakeFiles/sql_test.dir/sql/robustness_test.cc.o"
+  "CMakeFiles/sql_test.dir/sql/robustness_test.cc.o.d"
+  "sql_test"
+  "sql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

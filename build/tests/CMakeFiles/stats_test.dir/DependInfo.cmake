@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/bootstrap_test.cc" "tests/CMakeFiles/stats_test.dir/stats/bootstrap_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/bootstrap_test.cc.o.d"
+  "/root/repo/tests/stats/bounds_test.cc" "tests/CMakeFiles/stats_test.dir/stats/bounds_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/bounds_test.cc.o.d"
+  "/root/repo/tests/stats/confidence_test.cc" "tests/CMakeFiles/stats_test.dir/stats/confidence_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/confidence_test.cc.o.d"
+  "/root/repo/tests/stats/descriptive_test.cc" "tests/CMakeFiles/stats_test.dir/stats/descriptive_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/descriptive_test.cc.o.d"
+  "/root/repo/tests/stats/distributions_test.cc" "tests/CMakeFiles/stats_test.dir/stats/distributions_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/distributions_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aqp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_test.dir/stats/bootstrap_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/bootstrap_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/bounds_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/bounds_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/confidence_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/confidence_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/descriptive_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/descriptive_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/distributions_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/distributions_test.cc.o.d"
+  "stats_test"
+  "stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
