@@ -66,6 +66,7 @@ void Run() {
                 bench::Fmt(exact_ms / total_ms, 1) + "x"});
   }
   out.Print();
+  bench::WriteBenchJson("a1", out);
   std::printf(
       "\nShape check: pilot ms grows linearly with the pilot rate and "
       "dominates total latency at the top of the sweep; the middle of the "

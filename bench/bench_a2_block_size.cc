@@ -51,6 +51,7 @@ void Run() {
                 r.approximated ? "yes" : "no (fallback)"});
   }
   out.Print();
+  bench::WriteBenchJson("a2", out);
   std::printf(
       "\nShape check: the sampled fraction (and rows touched) grows with "
       "block size because the 30-unit floor and per-unit information both "

@@ -135,6 +135,7 @@ void Run() {
                 std::to_string(kPartitions)});
   }
   out.Print();
+  bench::WriteBenchJson("a3", out);
   std::printf(
       "\nShape check: register/minima/counter merges are lossless, so the "
       "first four rows deviate by ~0; KLL's randomized compaction gives a "

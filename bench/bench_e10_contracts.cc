@@ -89,6 +89,7 @@ void Run() {
                     : std::to_string(violations) + " violation(s)"});
   }
   out.Print();
+  bench::WriteBenchJson("e10", out);
   std::printf(
       "\nShape check: max achieved error <= target on approximated runs "
       "(the 95%% confidence leaves room for rare excursions); sampled "

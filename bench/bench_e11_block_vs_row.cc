@@ -85,6 +85,7 @@ void Run() {
     }
   }
   out.Print();
+  bench::WriteBenchJson("e11", out);
   std::printf(
       "\nShape check: SYSTEM reads ~rate of ~%zu blocks and scans faster; "
       "BERNOULLI reads all of them. On the clustered layout SYSTEM's error "

@@ -70,6 +70,7 @@ void Run() {
                 bench::FmtPct(std::sqrt(mse_out) / truth, 2)});
   }
   out.Print();
+  bench::WriteBenchJson("e12", out);
   std::printf(
       "\nShape check: as alpha drops (heavier tail, larger top-0.1%% "
       "share), uniform rmse degrades by orders of magnitude while PPS and "

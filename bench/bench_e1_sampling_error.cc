@@ -56,6 +56,7 @@ void Run() {
                 bench::Fmt(mean_rel * std::sqrt(n), 2)});
   }
   out.Print();
+  bench::WriteBenchJson("e1", out);
   std::printf(
       "\nShape check: the last column (err * sqrt(n)) should be roughly "
       "constant across rates — the 1/sqrt(n) law.\n");

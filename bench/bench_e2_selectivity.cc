@@ -101,6 +101,7 @@ void Run() {
                 bench::FmtPct(strat_rel, 2), bench::Fmt(qual_in_sample, 1)});
   }
   out.Print();
+  bench::WriteBenchJson("e2", out);
   std::printf(
       "\nShape check: uniform error should degrade sharply below ~1e-3 "
       "selectivity while stratified error grows much more slowly.\n");

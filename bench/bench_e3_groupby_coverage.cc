@@ -97,6 +97,7 @@ void Run() {
                 bench::FmtPct(uni_rel, 1), bench::FmtPct(con_rel, 1)});
   }
   out.Print();
+  bench::WriteBenchJson("e3", out);
   std::printf(
       "\nShape check: 'uniform missed' should rise with skew; "
       "'congress missed' should stay at 0.\n");

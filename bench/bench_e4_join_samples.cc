@@ -87,6 +87,7 @@ void Run() {
                 bench::Fmt(both_rel / std::max(syn_rel, 1e-12), 1) + "x"});
   }
   out.Print();
+  bench::WriteBenchJson("e4", out);
   std::printf(
       "\nShape check: both-sides rows ~ rate * synopsis rows (a rate^2 "
       "collapse), and its error stays several times larger.\n");

@@ -40,6 +40,7 @@ void Run() {
     freq[k]++;
   }
   double true_distinct = static_cast<double>(freq.size());
+  bench::BenchJson json("e5");
 
   // --- Distinct counting: HLL and KMV -----------------------------------
   {
@@ -70,6 +71,7 @@ void Run() {
     std::printf("COUNT DISTINCT (truth = %.0f over %zu rows):\n",
                 true_distinct, kN);
     out.Print();
+    json.AddTable("distinct", out);
   }
 
   // --- Quantiles: KLL ------------------------------------------------------
@@ -97,6 +99,7 @@ void Run() {
     }
     std::printf("\nQuantiles (KLL):\n");
     out.Print();
+    json.AddTable("quantiles", out);
   }
 
   // --- Heavy hitters: Misra-Gries + Count-Min ---------------------------
@@ -132,7 +135,9 @@ void Run() {
     }
     std::printf("\nHeavy hitters (Zipf 1.05 stream):\n");
     out.Print();
+    json.AddTable("heavy_hitters", out);
   }
+  json.Write();
   std::printf(
       "\nShape check: errors shrink with sketch size; every sketch is "
       "orders of magnitude smaller than the 32MB raw stream.\n");

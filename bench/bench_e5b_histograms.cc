@@ -83,6 +83,7 @@ void Run() {
                 bench::FmtPct(ProbeError(wv, truth), 2)});
   }
   out.Print();
+  bench::WriteBenchJson("e5b", out);
   std::printf(
       "\nShape check: equi-depth is ~100x more accurate than equi-width in "
       "the dense head (thin quantile buckets) but orders of magnitude worse "

@@ -93,6 +93,7 @@ void Run() {
     }
   }
   out.Print();
+  bench::WriteBenchJson("e6", out);
   std::printf(
       "\nShape check: exact latency grows ~16x across rows; offline stays "
       "flat; online grows but stays below exact at scale.\n");

@@ -85,6 +85,7 @@ void Run() {
                 std::to_string(samples.storage_rows())});
   }
   out.Print();
+  bench::WriteBenchJson("e7", out);
   std::printf(
       "\nShape check: rebuild scans ~%d full tables (millions of rows); "
       "incremental scans only the %d appended batches (%zu rows); the "

@@ -111,6 +111,7 @@ void Run() {
                 bench::FmtPct(total_err / queries.size(), 1)});
   }
   out.Print();
+  bench::WriteBenchJson("e8", out);
   std::printf(
       "\nShape check: the fraction of queries served by the stratified "
       "sample falls with drift and the offline error rises — the "

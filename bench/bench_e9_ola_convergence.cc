@@ -61,6 +61,7 @@ void Run() {
                 bench::Fmt(rel_hw * std::sqrt(p.fraction) * 100.0, 3)});
   }
   out.Print();
+  bench::WriteBenchJson("e9", out);
   std::printf(
       "\nShape check: 'hw*sqrt(frac)' roughly constant until the finite-"
       "population correction bends it toward zero near 100%%.\n");

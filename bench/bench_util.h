@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/json.h"
 
 namespace aqp {
 namespace bench {
@@ -59,10 +60,83 @@ class TablePrinter {
     for (const auto& row : rows_) print_row(row);
   }
 
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Machine-readable twin of the human tables: collects one or more named
+/// TablePrinters and writes `BENCH_<id>.json` next to wherever the bench
+/// ran, feeding the perf-trajectory loop. Schema (see README.md):
+///   {"bench": id, "schema_version": 1,
+///    "tables": [{"name", "headers": [...],
+///                "rows": [{header: cell, ...}, ...]}, ...]}
+/// Cells are the exact formatted strings printed in the human table.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_id) : bench_id_(std::move(bench_id)) {}
+
+  /// Copies the table, so scoped printers may be added and die before
+  /// Write().
+  void AddTable(const std::string& name, const TablePrinter& table) {
+    tables_.emplace_back(name, table);
+  }
+
+  /// Writes BENCH_<id>.json in the working directory; returns the filename
+  /// (empty on I/O failure, with a warning on stderr).
+  std::string Write() const {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").Value(bench_id_);
+    w.Key("schema_version").Value(uint64_t{1});
+    w.Key("tables").BeginArray();
+    for (const auto& [name, table] : tables_) {
+      w.BeginObject();
+      w.Key("name").Value(name);
+      w.Key("headers").BeginArray();
+      for (const std::string& h : table.headers()) w.Value(h);
+      w.EndArray();
+      w.Key("rows").BeginArray();
+      for (const auto& row : table.rows()) {
+        w.BeginObject();
+        for (size_t c = 0; c < row.size(); ++c) {
+          w.Key(table.headers()[c]).Value(row[c]);
+        }
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::string path = "BENCH_" + bench_id_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return "";
+    }
+    std::fwrite(w.str().data(), 1, w.str().size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\n[bench] wrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  std::string bench_id_;
+  std::vector<std::pair<std::string, TablePrinter>> tables_;
+};
+
+/// One-table shorthand: the common bench shape is a single table.
+inline void WriteBenchJson(const std::string& bench_id,
+                           const TablePrinter& table) {
+  BenchJson json(bench_id);
+  json.AddTable("main", table);
+  json.Write();
+}
 
 inline std::string Fmt(double v, int decimals = 3) {
   char buf[64];

@@ -9,6 +9,7 @@
 #include "core/estimate.h"
 #include "core/missing_groups.h"
 #include "core/result_assembly.h"
+#include "obs/metrics.h"
 #include "sampling/bernoulli.h"
 #include "sampling/block.h"
 #include "sql/parser.h"
@@ -127,6 +128,20 @@ Result<Sample> ReconstituteSample(Table result, const Sample& design) {
   return sample;
 }
 
+// Widest finite relative CI half-width across all output cells — the error
+// the system can attest a posteriori, reported against the contract.
+double MaxRelativeHalfWidth(
+    const std::vector<std::vector<stats::ConfidenceInterval>>& cis) {
+  double worst = 0.0;
+  for (const auto& row : cis) {
+    for (const stats::ConfidenceInterval& ci : row) {
+      double r = ci.relative_half_width();
+      if (std::isfinite(r)) worst = std::max(worst, r);
+    }
+  }
+  return worst;
+}
+
 }  // namespace
 
 ApproxExecutor::ApproxExecutor(const Catalog* catalog, AqpOptions options)
@@ -136,15 +151,77 @@ ApproxExecutor::ApproxExecutor(const Catalog* catalog, AqpOptions options)
 
 Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
   ++invocation_;
-  AQP_ASSIGN_OR_RETURN(sql::SelectStmt stmt, sql::Parse(sql));
-  AQP_ASSIGN_OR_RETURN(sql::BoundQuery bound, sql::Bind(stmt, *catalog_));
+  const Clock::time_point start = Clock::now();
+  const bool instrumented = obs::Enabled();
 
   ApproxResult result;
+  obs::ExecutionProfile& prof = result.profile;
+  prof.query = std::string(sql);
+  prof.executor = "online-two-stage";
+  obs::QueryTrace* tr = instrumented ? &prof.trace : nullptr;
+
+  obs::TraceSpan parse_span = obs::MaybeSpan(tr, "parse");
+  AQP_ASSIGN_OR_RETURN(sql::SelectStmt stmt, sql::Parse(sql));
+  parse_span.End();
+  obs::TraceSpan bind_span = obs::MaybeSpan(tr, "bind");
+  AQP_ASSIGN_OR_RETURN(sql::BoundQuery bound, sql::Bind(stmt, *catalog_));
+  bind_span.End();
+
+  if (stmt.error_spec.has_value()) {
+    obs::ContractReport contract;
+    contract.requested_error = stmt.error_spec->relative_error;
+    contract.requested_confidence = stmt.error_spec->confidence;
+    prof.contract = contract;
+  }
+
+  // Mirrors the scalar result fields into the profile and records the
+  // query-level metrics; every exit path funnels through here.
+  auto finish = [&]() {
+    prof.approximated = result.approximated;
+    prof.fallback_reason = result.fallback_reason;
+    prof.sampled_table = result.sampled_table;
+    prof.sampled_fraction = result.approximated ? result.final_rate : 1.0;
+    prof.rows_scanned = result.exec_stats.rows_scanned;
+    prof.blocks_read = result.exec_stats.blocks_read;
+    prof.rows_joined = result.exec_stats.rows_joined;
+    prof.pilot_seconds = result.pilot_seconds;
+    prof.planning_seconds = result.planning_seconds;
+    prof.final_seconds = result.final_seconds;
+    prof.total_seconds = Seconds(start);
+    if (prof.contract.has_value()) {
+      prof.contract->achieved_error = MaxRelativeHalfWidth(result.cis);
+    }
+    if (tr != nullptr) prof.trace.Finish();
+    if (instrumented) {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      static obs::Counter* queries = reg.GetCounter("aqp_queries_total");
+      static obs::Counter* approx =
+          reg.GetCounter("aqp_queries_approximated_total");
+      static obs::Counter* fallbacks =
+          reg.GetCounter("aqp_queries_fallback_total");
+      static obs::LatencyHistogram* latency =
+          reg.GetHistogram("aqp_query_seconds");
+      static obs::LatencyHistogram* pilot_latency =
+          reg.GetHistogram("aqp_pilot_seconds");
+      queries->Increment();
+      (result.approximated ? approx : fallbacks)->Increment();
+      latency->Observe(prof.total_seconds);
+      if (result.pilot_seconds > 0.0) {
+        pilot_latency->Observe(result.pilot_seconds);
+      }
+    }
+  };
+
   auto fallback = [&](std::string reason) -> Result<ApproxResult> {
     result.approximated = false;
     result.fallback_reason = std::move(reason);
-    AQP_ASSIGN_OR_RETURN(result.table, aqp::Execute(bound.plan, *catalog_,
-                                                    &result.exec_stats));
+    prof.executor = "exact";
+    obs::TraceSpan exact_span = obs::MaybeSpan(tr, "exact-execute");
+    AQP_ASSIGN_OR_RETURN(result.table,
+                         aqp::Execute(bound.plan, *catalog_,
+                                      &result.exec_stats, tr));
+    exact_span.End();
+    finish();
     return result;
   };
 
@@ -182,6 +259,11 @@ Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
   }
   AQP_ASSIGN_OR_RETURN(std::shared_ptr<const Table> base,
                        catalog_->Get(target_table));
+  prof.sampling_design =
+      options_.method == SampleSpec::Method::kSystemBlock
+          ? "system-block(block_size=" + std::to_string(options_.block_size) +
+                ")"
+          : "bernoulli-row";
 
   // Flattened (pre-aggregation) statement; aggregate-argument items need
   // their original ASTs.
@@ -221,8 +303,11 @@ Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
 
   // One stage = sample -> substitute -> run flattened query -> estimate.
   auto run_stage =
-      [&](double rate,
+      [&](const char* stage, double rate,
           uint64_t seed) -> Result<std::pair<GroupedEstimates, ExecStats>> {
+    obs::TraceSpan stage_span = obs::MaybeSpan(tr, stage);
+    stage_span.AddAttr("rate", rate);
+    obs::TraceSpan draw_span = obs::MaybeSpan(tr, "draw-sample");
     Sample sample;
     if (options_.method == SampleSpec::Method::kSystemBlock) {
       AQP_ASSIGN_OR_RETURN(
@@ -230,6 +315,9 @@ Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
     } else {
       AQP_ASSIGN_OR_RETURN(sample, BernoulliRowSample(*base, rate, seed));
     }
+    draw_span.AddAttr("rows", static_cast<uint64_t>(sample.num_rows()));
+    draw_span.AddAttr("units", static_cast<uint64_t>(sample.num_units_sampled));
+    draw_span.End();
     AQP_ASSIGN_OR_RETURN(Table design_table, WithDesignColumns(sample));
     Catalog staged = *catalog_;
     staged.RegisterOrReplace(target_table,
@@ -237,12 +325,15 @@ Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
     AQP_ASSIGN_OR_RETURN(sql::BoundQuery flat_bound, sql::Bind(flat, staged));
     ExecStats stats;
     AQP_ASSIGN_OR_RETURN(Table flat_out,
-                         aqp::Execute(flat_bound.plan, staged, &stats));
+                         aqp::Execute(flat_bound.plan, staged, &stats, tr));
+    obs::TraceSpan estimate_span = obs::MaybeSpan(tr, "estimate");
     AQP_ASSIGN_OR_RETURN(Sample joined,
                          ReconstituteSample(std::move(flat_out), sample));
     AQP_ASSIGN_OR_RETURN(GroupedEstimates estimates,
                          EstimateGroupedAggregates(joined, group_exprs,
                                                    agg_specs));
+    estimate_span.AddAttr("groups",
+                          static_cast<uint64_t>(estimates.num_groups));
     return std::make_pair(std::move(estimates), stats);
   };
 
@@ -271,13 +362,17 @@ Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
                                   /*delta=*/0.05));
     pilot_rate = std::min(pilot_rate, 0.5);
   }
-  AQP_ASSIGN_OR_RETURN(auto pilot,
-                       run_stage(pilot_rate, options_.seed + invocation_ * 2));
+  AQP_ASSIGN_OR_RETURN(
+      auto pilot,
+      run_stage("pilot", pilot_rate, options_.seed + invocation_ * 2));
   result.exec_stats = pilot.second;
   result.pilot_seconds = Seconds(t0);
+  prof.pilot_rate = pilot_rate;
+  prof.pilot_rows_scanned = pilot.second.rows_scanned;
 
   // ---- Stage 2: plan -----------------------------------------------------
   Clock::time_point t1 = Clock::now();
+  obs::TraceSpan plan_span = obs::MaybeSpan(tr, "plan");
   size_t pilot_groups = std::max<size_t>(pilot.first.num_groups, 1);
   size_t num_estimates = pilot_groups * bound.aggregates.size();
   // Composite items split the error budget across their factors.
@@ -304,6 +399,11 @@ Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
   inputs.population_units = population_units;
   SamplingPlan plan = PlanSamplingRate(inputs);
   result.planning_seconds = Seconds(t1);
+  prof.worst_required_rate = plan.worst_required_rate;
+  plan_span.AddAttr("estimates", static_cast<uint64_t>(num_estimates));
+  plan_span.AddAttr("planned_rate", plan.rate);
+  plan_span.AddAttr("feasible", plan.feasible ? "true" : "false");
+  plan_span.End();
   if (!plan.feasible) {
     return fallback("sampling plan infeasible: " + plan.reason);
   }
@@ -312,7 +412,7 @@ Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
   Clock::time_point t2 = Clock::now();
   AQP_ASSIGN_OR_RETURN(
       auto final_stage,
-      run_stage(plan.rate, options_.seed + invocation_ * 2 + 1));
+      run_stage("final", plan.rate, options_.seed + invocation_ * 2 + 1));
   const GroupedEstimates& estimates = final_stage.first;
   result.exec_stats.rows_scanned += final_stage.second.rows_scanned;
   result.exec_stats.blocks_read += final_stage.second.blocks_read;
@@ -320,9 +420,11 @@ Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
 
   // Materialize the estimates into the exact query's output shape with
   // per-cell confidence intervals.
+  obs::TraceSpan assemble_span = obs::MaybeSpan(tr, "assemble");
   AQP_ASSIGN_OR_RETURN(AssembledResult assembled,
                        AssembleOutput(stmt, bound, estimates, *catalog_,
                                       target.confidence));
+  assemble_span.End();
   result.table = std::move(assembled.table);
   result.cis = std::move(assembled.cis);
 
@@ -330,6 +432,7 @@ Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
   result.final_rate = plan.rate;
   result.sampled_table = target_table;
   result.final_seconds = Seconds(t2);
+  finish();
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include "core/sample_planner.h"
 #include "engine/catalog.h"
 #include "engine/executor.h"
+#include "obs/profile.h"
 #include "sql/binder.h"
 #include "stats/confidence.h"
 
@@ -62,6 +63,14 @@ struct ApproxResult {
   double final_seconds = 0.0;
 
   ExecStats exec_stats;
+
+  /// What the executor actually did: sampling design, rates, per-stage span
+  /// timings, contract requested vs. achieved. Render with
+  /// `profile.ToText()` (EXPLAIN ANALYZE tree) or `profile.ToJson()`.
+  /// Span collection is gated on the global observability flag
+  /// (`obs::MetricsRegistry::Global().set_enabled(...)` / env `AQP_OBS=0`);
+  /// the scalar fields are always filled.
+  obs::ExecutionProfile profile;
 };
 
 /// Two-stage online approximate SQL executor with a-priori error contracts:

@@ -1,9 +1,13 @@
 #include "core/offline_executor.h"
 
+#include <chrono>
+#include <cmath>
+
 #include "common/check.h"
 #include "core/contract.h"
 #include "core/result_assembly.h"
 #include "expr/eval.h"
+#include "obs/metrics.h"
 #include "sql/parser.h"
 
 namespace aqp {
@@ -48,8 +52,18 @@ OfflineExecutor::OfflineExecutor(const Catalog* catalog,
 
 Result<ApproxResult> OfflineExecutor::Execute(std::string_view sql,
                                               double confidence) {
+  const auto start = std::chrono::steady_clock::now();
+  const bool instrumented = obs::Enabled();
+  ApproxResult result;
+  obs::ExecutionProfile& prof = result.profile;
+  prof.query = std::string(sql);
+  prof.executor = "offline-sample";
+  obs::QueryTrace* tr = instrumented ? &prof.trace : nullptr;
+
+  obs::TraceSpan bind_span = obs::MaybeSpan(tr, "parse+bind");
   AQP_ASSIGN_OR_RETURN(sql::SelectStmt stmt, sql::Parse(sql));
   AQP_ASSIGN_OR_RETURN(sql::BoundQuery bound, sql::Bind(stmt, *catalog_));
+  bind_span.End();
   if (!bound.has_aggregates) {
     return Status::Unimplemented("offline AQP answers aggregate queries only");
   }
@@ -76,8 +90,17 @@ Result<ApproxResult> OfflineExecutor::Execute(std::string_view sql,
       stmt.group_by[0]->kind == sql::SqlExpr::Kind::kColumn) {
     preferred = BaseName(stmt.group_by[0]->column);
   }
+  obs::TraceSpan select_span = obs::MaybeSpan(tr, "select-sample");
   AQP_ASSIGN_OR_RETURN(const StoredSample* stored,
                        samples_->FindBest(stmt.from.table, preferred));
+  prof.sampling_design =
+      stored->strata_column.empty()
+          ? "stored-uniform(budget=" + std::to_string(stored->budget) + ")"
+          : "stored-stratified(" + stored->strata_column +
+                ", budget=" + std::to_string(stored->budget) + ")";
+  select_span.AddAttr("sample_rows",
+                      static_cast<uint64_t>(stored->sample.num_rows()));
+  select_span.End();
 
   // Qualify the stored sample's columns to the query's table alias so both
   // qualified and bare references resolve.
@@ -91,8 +114,11 @@ Result<ApproxResult> OfflineExecutor::Execute(std::string_view sql,
   }
 
   if (stmt.where != nullptr) {
+    obs::TraceSpan filter_span = obs::MaybeSpan(tr, "filter-sample");
     AQP_ASSIGN_OR_RETURN(ExprPtr predicate, sql::LowerSqlExpr(stmt.where));
     AQP_ASSIGN_OR_RETURN(sample, FilterSample(sample, predicate));
+    filter_span.AddAttr("rows_out",
+                        static_cast<uint64_t>(sample.num_rows()));
   }
 
   std::vector<ExprPtr> group_exprs;
@@ -104,19 +130,42 @@ Result<ApproxResult> OfflineExecutor::Execute(std::string_view sql,
   for (const sql::BoundAggregate& agg : bound.aggregates) {
     agg_specs.push_back({agg.kind, agg.arg, agg.internal_alias});
   }
+  obs::TraceSpan estimate_span = obs::MaybeSpan(tr, "estimate");
   AQP_ASSIGN_OR_RETURN(GroupedEstimates estimates,
                        EstimateGroupedAggregates(sample, group_exprs,
                                                  agg_specs));
+  estimate_span.End();
 
+  obs::TraceSpan assemble_span = obs::MaybeSpan(tr, "assemble");
   AQP_ASSIGN_OR_RETURN(
       AssembledResult assembled,
       AssembleOutput(stmt, bound, estimates, *catalog_, confidence));
-  ApproxResult result;
+  assemble_span.End();
   result.table = std::move(assembled.table);
   result.cis = std::move(assembled.cis);
   result.approximated = true;
   result.sampled_table = stmt.from.table;
   result.final_rate = stored->sample.nominal_rate;
+
+  prof.approximated = true;
+  prof.sampled_table = result.sampled_table;
+  prof.sampled_fraction = result.final_rate;
+  // Query-time cost of the offline path: only the stored sample is read.
+  prof.rows_scanned = stored->sample.num_rows();
+  result.final_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  prof.final_seconds = result.final_seconds;
+  prof.total_seconds = result.final_seconds;
+  if (tr != nullptr) prof.trace.Finish();
+  if (instrumented) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    static obs::Counter* queries = reg.GetCounter("aqp_offline_queries_total");
+    static obs::LatencyHistogram* latency =
+        reg.GetHistogram("aqp_offline_query_seconds");
+    queries->Increment();
+    latency->Observe(prof.total_seconds);
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "expr/eval.h"
+#include "obs/metrics.h"
 
 namespace aqp {
 namespace core {
@@ -16,6 +17,10 @@ Result<OnlineAggregator> OnlineAggregator::Create(const Table& table,
     return Status::InvalidArgument("OLA requires a measure expression");
   }
   OnlineAggregator ola;
+  ola.profile_.executor = "online-aggregation";
+  ola.profile_.approximated = true;
+  obs::QueryTrace* tr = obs::Enabled() ? &ola.profile_.trace : nullptr;
+  obs::TraceSpan init_span = obs::MaybeSpan(tr, "init(eval+shuffle)");
   ola.population_ = table.num_rows();
   AQP_ASSIGN_OR_RETURN(Column values, Eval(*measure, table));
   if (!IsNumeric(values.type())) {
@@ -46,10 +51,18 @@ Result<OnlineAggregator> OnlineAggregator::Create(const Table& table,
   }
   Pcg32 rng(seed);
   ola.order_ = rng.Permutation(static_cast<uint32_t>(table.num_rows()));
+  init_span.AddAttr("rows", static_cast<uint64_t>(table.num_rows()));
+  init_span.End();
   return ola;
 }
 
 OlaProgress OnlineAggregator::Step(size_t chunk_rows, double confidence) {
+  ++steps_;
+  if (obs::Enabled()) {
+    static obs::Counter* steps = obs::MetricsRegistry::Global().GetCounter(
+        "aqp_ola_steps_total");
+    steps->Increment();
+  }
   size_t end = std::min(consumed_ + chunk_rows, order_.size());
   for (; consumed_ < end; ++consumed_) {
     uint32_t row = order_[consumed_];
@@ -109,6 +122,22 @@ OlaProgress OnlineAggregator::Step(size_t chunk_rows, double confidence) {
     progress.avg_ci.low = progress.avg_ci.high = progress.avg_ci.estimate;
   }
   return progress;
+}
+
+obs::ExecutionProfile OnlineAggregator::Profile() const {
+  obs::ExecutionProfile profile = profile_;
+  profile.rows_scanned = consumed_;
+  profile.sampled_fraction =
+      population_ == 0
+          ? 1.0
+          : static_cast<double>(consumed_) / static_cast<double>(population_);
+  profile.approximated = consumed_ < order_.size();
+  profile.total_seconds = profile.trace.ElapsedSeconds();
+  obs::SpanRecord& root = profile.trace.mutable_root();
+  root.attrs.emplace_back("steps", std::to_string(steps_));
+  root.attrs.emplace_back("rows_seen", std::to_string(consumed_));
+  profile.trace.Finish();
+  return profile;
 }
 
 OlaProgress OnlineAggregator::RunToTarget(double target_relative_error,

@@ -7,6 +7,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "expr/expr.h"
+#include "obs/profile.h"
 #include "stats/confidence.h"
 #include "stats/descriptive.h"
 #include "storage/table.h"
@@ -52,6 +53,12 @@ class OnlineAggregator {
   bool done() const { return consumed_ >= order_.size(); }
   uint64_t rows_seen() const { return consumed_; }
 
+  /// Snapshot of what the aggregator has done so far: setup span (measure
+  /// eval + permutation), rows consumed, steps taken, and the fraction of
+  /// the table it cost. Callable mid-stream — OLA's profile is progressive
+  /// like its answer.
+  obs::ExecutionProfile Profile() const;
+
  private:
   OnlineAggregator() = default;
 
@@ -62,6 +69,8 @@ class OnlineAggregator {
   uint64_t population_ = 0;
   stats::Accumulator acc_;            // Over qualifying, non-null measures.
   uint64_t qualifying_seen_ = 0;
+  uint64_t steps_ = 0;
+  obs::ExecutionProfile profile_;
 };
 
 }  // namespace core

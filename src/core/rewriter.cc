@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace aqp {
 namespace core {
@@ -58,6 +59,11 @@ void Walk(const PlanPtr& plan,
 Result<PlanPtr> InjectSample(const PlanPtr& plan,
                              const std::string& table_name,
                              const SampleSpec& spec) {
+  if (obs::Enabled()) {
+    static obs::Counter* injects = obs::MetricsRegistry::Global().GetCounter(
+        "aqp_rewrites_sampler_injected_total");
+    injects->Increment();
+  }
   bool found = false;
   PlanPtr out = MapScans(
       plan, [&](const std::string& name, const SampleSpec& old) {
@@ -74,6 +80,11 @@ Result<PlanPtr> InjectSample(const PlanPtr& plan,
 }
 
 PlanPtr StripSamples(const PlanPtr& plan) {
+  if (obs::Enabled()) {
+    static obs::Counter* strips = obs::MetricsRegistry::Global().GetCounter(
+        "aqp_rewrites_sampler_stripped_total");
+    strips->Increment();
+  }
   return MapScans(plan, [](const std::string&, const SampleSpec&) {
     return SampleSpec{};
   });

@@ -4,10 +4,29 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 #include "stats/distributions.h"
 
 namespace aqp {
 namespace core {
+namespace {
+
+// Counts every planning decision so operators can watch the
+// feasible/infeasible ratio (the contract-decline rate) drift with the
+// workload.
+void RecordPlanOutcome(const SamplingPlan& plan) {
+  if (!obs::Enabled()) return;
+  static obs::Counter* feasible = obs::MetricsRegistry::Global().GetCounter(
+      "aqp_plans_feasible_total");
+  static obs::Counter* infeasible = obs::MetricsRegistry::Global().GetCounter(
+      "aqp_plans_infeasible_total");
+  static obs::Gauge* rate =
+      obs::MetricsRegistry::Global().GetGauge("aqp_last_planned_rate");
+  (plan.feasible ? feasible : infeasible)->Increment();
+  rate->Set(plan.rate);
+}
+
+}  // namespace
 
 SamplingPlan PlanSamplingRate(const PlanningInputs& inputs) {
   AQP_CHECK(inputs.pilot != nullptr);
@@ -23,6 +42,7 @@ SamplingPlan PlanSamplingRate(const PlanningInputs& inputs) {
   const double pilot_factor = (1.0 - p) / p;
   if (pilot_factor <= 0.0) {
     plan.reason = "degenerate pilot rate";
+    RecordPlanOutcome(plan);
     return plan;
   }
 
@@ -43,6 +63,7 @@ SamplingPlan PlanSamplingRate(const PlanningInputs& inputs) {
   }
   if (usable == 0) {
     plan.reason = "pilot produced no usable estimates (all-zero aggregates)";
+    RecordPlanOutcome(plan);
     return plan;
   }
 
@@ -62,10 +83,12 @@ SamplingPlan PlanSamplingRate(const PlanningInputs& inputs) {
                   std::to_string(inputs.max_rate) +
                   "; exact execution is cheaper";
     plan.rate = rate;
+    RecordPlanOutcome(plan);
     return plan;
   }
   plan.feasible = true;
   plan.rate = rate;
+  RecordPlanOutcome(plan);
   return plan;
 }
 

@@ -6,7 +6,9 @@
 #include "common/check.h"
 #include "common/hash.h"
 #include "common/random.h"
+#include "common/str_util.h"
 #include "expr/eval.h"
+#include "obs/metrics.h"
 
 namespace aqp {
 namespace {
@@ -41,10 +43,10 @@ int CompareForSort(const Column& a, size_t i, const Column& b, size_t j) {
 }
 
 Result<TablePtr> Exec(const PlanPtr& plan, const Catalog& catalog,
-                      ExecStats* stats);
+                      ExecStats* stats, obs::QueryTrace* trace);
 
 Result<TablePtr> ExecScan(const PlanNode& node, const Catalog& catalog,
-                          ExecStats* stats) {
+                          ExecStats* stats, obs::QueryTrace* /*trace*/) {
   AQP_ASSIGN_OR_RETURN(TablePtr table, catalog.Get(node.table_name()));
   const SampleSpec& spec = node.sample();
   if (!spec.is_sampled()) {
@@ -84,16 +86,16 @@ Result<TablePtr> ExecScan(const PlanNode& node, const Catalog& catalog,
 }
 
 Result<TablePtr> ExecFilter(const PlanNode& node, const Catalog& catalog,
-                            ExecStats* stats) {
-  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), catalog, stats));
+                            ExecStats* stats, obs::QueryTrace* trace) {
+  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), catalog, stats, trace));
   AQP_ASSIGN_OR_RETURN(std::vector<uint32_t> selected,
                        EvalPredicate(*node.predicate(), *input));
   return std::make_shared<const Table>(input->Take(selected));
 }
 
 Result<TablePtr> ExecProject(const PlanNode& node, const Catalog& catalog,
-                             ExecStats* stats) {
-  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), catalog, stats));
+                             ExecStats* stats, obs::QueryTrace* trace) {
+  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), catalog, stats, trace));
   Schema schema;
   std::vector<Column> columns;
   for (size_t i = 0; i < node.exprs().size(); ++i) {
@@ -107,9 +109,9 @@ Result<TablePtr> ExecProject(const PlanNode& node, const Catalog& catalog,
 }
 
 Result<TablePtr> ExecJoin(const PlanNode& node, const Catalog& catalog,
-                          ExecStats* stats) {
-  AQP_ASSIGN_OR_RETURN(TablePtr left, Exec(node.child(0), catalog, stats));
-  AQP_ASSIGN_OR_RETURN(TablePtr right, Exec(node.child(1), catalog, stats));
+                          ExecStats* stats, obs::QueryTrace* trace) {
+  AQP_ASSIGN_OR_RETURN(TablePtr left, Exec(node.child(0), catalog, stats, trace));
+  AQP_ASSIGN_OR_RETURN(TablePtr right, Exec(node.child(1), catalog, stats, trace));
 
   std::vector<size_t> lkeys;
   std::vector<size_t> rkeys;
@@ -216,8 +218,8 @@ Result<TablePtr> ExecJoin(const PlanNode& node, const Catalog& catalog,
 }
 
 Result<TablePtr> ExecAggregate(const PlanNode& node, const Catalog& catalog,
-                               ExecStats* stats) {
-  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), catalog, stats));
+                               ExecStats* stats, obs::QueryTrace* trace) {
+  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), catalog, stats, trace));
   AQP_ASSIGN_OR_RETURN(
       Table out, GroupByAggregate(*input, node.group_exprs(),
                                   node.group_names(), node.aggs()));
@@ -225,8 +227,8 @@ Result<TablePtr> ExecAggregate(const PlanNode& node, const Catalog& catalog,
 }
 
 Result<TablePtr> ExecSort(const PlanNode& node, const Catalog& catalog,
-                          ExecStats* stats) {
-  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), catalog, stats));
+                          ExecStats* stats, obs::QueryTrace* trace) {
+  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), catalog, stats, trace));
   std::vector<size_t> key_cols;
   for (const SortKey& k : node.sort_keys()) {
     AQP_ASSIGN_OR_RETURN(size_t idx, input->ColumnIndex(k.column));
@@ -250,51 +252,120 @@ Result<TablePtr> ExecSort(const PlanNode& node, const Catalog& catalog,
 }
 
 Result<TablePtr> ExecLimit(const PlanNode& node, const Catalog& catalog,
-                           ExecStats* stats) {
-  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), catalog, stats));
+                           ExecStats* stats, obs::QueryTrace* trace) {
+  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), catalog, stats, trace));
   return std::make_shared<const Table>(input->Slice(0, node.limit()));
 }
 
 Result<TablePtr> ExecUnionAll(const PlanNode& node, const Catalog& catalog,
-                              ExecStats* stats) {
-  AQP_ASSIGN_OR_RETURN(TablePtr first, Exec(node.child(0), catalog, stats));
+                              ExecStats* stats, obs::QueryTrace* trace) {
+  AQP_ASSIGN_OR_RETURN(TablePtr first, Exec(node.child(0), catalog, stats, trace));
   Table out = *first;  // Copy, then append the rest.
   for (size_t i = 1; i < node.num_children(); ++i) {
-    AQP_ASSIGN_OR_RETURN(TablePtr next, Exec(node.child(i), catalog, stats));
+    AQP_ASSIGN_OR_RETURN(TablePtr next, Exec(node.child(i), catalog, stats, trace));
     AQP_RETURN_IF_ERROR(out.Append(*next));
   }
   return std::make_shared<const Table>(std::move(out));
 }
 
-Result<TablePtr> Exec(const PlanPtr& plan, const Catalog& catalog,
-                      ExecStats* stats) {
-  AQP_CHECK(plan != nullptr);
+const char* OperatorName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kScan:
+      return "scan";
+    case PlanKind::kFilter:
+      return "filter";
+    case PlanKind::kProject:
+      return "project";
+    case PlanKind::kJoin:
+      return "join";
+    case PlanKind::kAggregate:
+      return "aggregate";
+    case PlanKind::kSort:
+      return "sort";
+    case PlanKind::kLimit:
+      return "limit";
+    case PlanKind::kUnionAll:
+      return "union_all";
+  }
+  return "unknown";
+}
+
+Result<TablePtr> ExecDispatch(const PlanPtr& plan, const Catalog& catalog,
+                              ExecStats* stats, obs::QueryTrace* trace) {
   switch (plan->kind()) {
     case PlanKind::kScan:
-      return ExecScan(*plan, catalog, stats);
+      return ExecScan(*plan, catalog, stats, trace);
     case PlanKind::kFilter:
-      return ExecFilter(*plan, catalog, stats);
+      return ExecFilter(*plan, catalog, stats, trace);
     case PlanKind::kProject:
-      return ExecProject(*plan, catalog, stats);
+      return ExecProject(*plan, catalog, stats, trace);
     case PlanKind::kJoin:
-      return ExecJoin(*plan, catalog, stats);
+      return ExecJoin(*plan, catalog, stats, trace);
     case PlanKind::kAggregate:
-      return ExecAggregate(*plan, catalog, stats);
+      return ExecAggregate(*plan, catalog, stats, trace);
     case PlanKind::kSort:
-      return ExecSort(*plan, catalog, stats);
+      return ExecSort(*plan, catalog, stats, trace);
     case PlanKind::kLimit:
-      return ExecLimit(*plan, catalog, stats);
+      return ExecLimit(*plan, catalog, stats, trace);
     case PlanKind::kUnionAll:
-      return ExecUnionAll(*plan, catalog, stats);
+      return ExecUnionAll(*plan, catalog, stats, trace);
   }
   return Status::Internal("unreachable plan kind");
+}
+
+Result<TablePtr> Exec(const PlanPtr& plan, const Catalog& catalog,
+                      ExecStats* stats, obs::QueryTrace* trace) {
+  AQP_CHECK(plan != nullptr);
+  if (trace == nullptr) {
+    // Untraced path: one branch, no clock reads, no allocations.
+    return ExecDispatch(plan, catalog, stats, trace);
+  }
+  obs::TraceSpan span = trace->Span(OperatorName(plan->kind()));
+  if (plan->kind() == PlanKind::kScan) {
+    span.AddAttr("table", plan->table_name());
+    const SampleSpec& spec = plan->sample();
+    if (spec.is_sampled()) {
+      span.AddAttr("sample_method",
+                   spec.method == SampleSpec::Method::kSystemBlock
+                       ? "system-block"
+                       : "bernoulli-row");
+      span.AddAttr("sample_rate", spec.rate);
+    }
+  }
+  Result<TablePtr> result = ExecDispatch(plan, catalog, stats, trace);
+  if (result.ok()) {
+    span.AddAttr("rows_out", uint64_t{result.value()->num_rows()});
+  }
+  return result;
 }
 
 }  // namespace
 
 Result<Table> Execute(const PlanPtr& plan, const Catalog& catalog,
-                      ExecStats* stats) {
-  AQP_ASSIGN_OR_RETURN(TablePtr result, Exec(plan, catalog, stats));
+                      ExecStats* stats, obs::QueryTrace* trace) {
+  const bool instrumented = obs::Enabled();
+  ExecStats local;
+  // Metrics need the deltas even when the caller didn't ask for stats.
+  ExecStats* effective = stats != nullptr ? stats : &local;
+  ExecStats before = instrumented ? *effective : ExecStats{};
+  AQP_ASSIGN_OR_RETURN(TablePtr result,
+                       Exec(plan, catalog,
+                            instrumented ? effective : stats, trace));
+  if (instrumented) {
+    // Handles cached across calls: one registry lock each, first call only.
+    static obs::Counter* plans = obs::MetricsRegistry::Global().GetCounter(
+        "aqp_engine_plans_executed_total");
+    static obs::Counter* rows = obs::MetricsRegistry::Global().GetCounter(
+        "aqp_engine_rows_scanned_total");
+    static obs::Counter* blocks = obs::MetricsRegistry::Global().GetCounter(
+        "aqp_engine_blocks_read_total");
+    static obs::Counter* joined = obs::MetricsRegistry::Global().GetCounter(
+        "aqp_engine_rows_joined_total");
+    plans->Increment();
+    rows->Increment(effective->rows_scanned - before.rows_scanned);
+    blocks->Increment(effective->blocks_read - before.blocks_read);
+    joined->Increment(effective->rows_joined - before.rows_joined);
+  }
   return *result;
 }
 

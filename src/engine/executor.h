@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "engine/catalog.h"
 #include "engine/plan.h"
+#include "obs/trace.h"
 
 namespace aqp {
 
@@ -20,8 +21,13 @@ struct ExecStats {
 
 /// Executes a plan against the catalog, materializing every operator.
 /// `stats`, when non-null, is incremented (not reset) by this execution.
+/// `trace`, when non-null, receives one nested span per operator with
+/// output row counts (and per-scan sampling decisions) — the engine half of
+/// EXPLAIN ANALYZE. A null trace costs a single predictable branch per
+/// operator, keeping instrumentation off the hot path.
 Result<Table> Execute(const PlanPtr& plan, const Catalog& catalog,
-                      ExecStats* stats = nullptr);
+                      ExecStats* stats = nullptr,
+                      obs::QueryTrace* trace = nullptr);
 
 }  // namespace aqp
 

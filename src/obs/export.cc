@@ -1,0 +1,87 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace aqp {
+namespace obs {
+namespace {
+
+const char* KindName(MetricSample::Kind kind) {
+  switch (kind) {
+    case MetricSample::Kind::kCounter:
+      return "counter";
+    case MetricSample::Kind::kGauge:
+      return "gauge";
+    case MetricSample::Kind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ExportJson(const MetricsRegistry& registry) {
+  JsonWriter w;
+  w.BeginObject().Key("metrics").BeginArray();
+  for (const MetricSample& s : registry.Snapshot()) {
+    w.BeginObject();
+    w.Key("name").Value(s.name);
+    w.Key("kind").Value(KindName(s.kind));
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        w.Key("value").Value(s.counter_value);
+        break;
+      case MetricSample::Kind::kGauge:
+        w.Key("value").Value(s.gauge_value);
+        break;
+      case MetricSample::Kind::kHistogram:
+        w.Key("count").Value(s.hist_count);
+        w.Key("sum").Value(s.hist_sum);
+        w.Key("min").Value(s.hist_min);
+        w.Key("max").Value(s.hist_max);
+        w.Key("p50").Value(s.p50);
+        w.Key("p90").Value(s.p90);
+        w.Key("p99").Value(s.p99);
+        break;
+    }
+    w.EndObject();
+  }
+  w.EndArray().EndObject();
+  return w.str();
+}
+
+std::string ExportPrometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const MetricSample& s : registry.Snapshot()) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        out += "# TYPE " + s.name + " counter\n";
+        out += s.name + " " + std::to_string(s.counter_value) + "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        out += "# TYPE " + s.name + " gauge\n";
+        out += s.name + " " + Num(s.gauge_value) + "\n";
+        break;
+      case MetricSample::Kind::kHistogram:
+        out += "# TYPE " + s.name + " summary\n";
+        out += s.name + "{quantile=\"0.5\"} " + Num(s.p50) + "\n";
+        out += s.name + "{quantile=\"0.9\"} " + Num(s.p90) + "\n";
+        out += s.name + "{quantile=\"0.99\"} " + Num(s.p99) + "\n";
+        out += s.name + "_sum " + Num(s.hist_sum) + "\n";
+        out += s.name + "_count " + std::to_string(s.hist_count) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace aqp

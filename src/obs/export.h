@@ -1,0 +1,24 @@
+#ifndef AQP_OBS_EXPORT_H_
+#define AQP_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace aqp {
+namespace obs {
+
+/// The registry as one JSON object: {"metrics":[{name,kind,...}, ...]}.
+/// Counters export {value}, gauges {value}, histograms
+/// {count,sum,min,max,p50,p90,p99} (quantiles from the KLL sketch).
+std::string ExportJson(const MetricsRegistry& registry);
+
+/// The registry in Prometheus text exposition format (v0.0.4): counters as
+/// `# TYPE <name> counter`, gauges as gauge, histograms as a summary with
+/// quantile-labelled samples plus _count/_sum.
+std::string ExportPrometheus(const MetricsRegistry& registry);
+
+}  // namespace obs
+}  // namespace aqp
+
+#endif  // AQP_OBS_EXPORT_H_

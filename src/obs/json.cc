@@ -1,0 +1,141 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace aqp {
+namespace obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::MaybeComma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!has_element_.empty() && has_element_.back()) out_ += ',';
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  MaybeComma();
+  if (!has_element_.empty()) has_element_.back() = true;
+  out_ += '{';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  has_element_.pop_back();
+  out_ += '}';
+  if (!has_element_.empty()) has_element_.back() = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  MaybeComma();
+  if (!has_element_.empty()) has_element_.back() = true;
+  out_ += '[';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  has_element_.pop_back();
+  out_ += ']';
+  if (!has_element_.empty()) has_element_.back() = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  MaybeComma();
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view s) {
+  MaybeComma();
+  if (!has_element_.empty()) has_element_.back() = true;
+  out_ += '"';
+  out_ += JsonEscape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const char* s) {
+  return Value(std::string_view(s));
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  if (!std::isfinite(v)) return Null();
+  MaybeComma();
+  if (!has_element_.empty()) has_element_.back() = true;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  MaybeComma();
+  if (!has_element_.empty()) has_element_.back() = true;
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  MaybeComma();
+  if (!has_element_.empty()) has_element_.back() = true;
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  MaybeComma();
+  if (!has_element_.empty()) has_element_.back() = true;
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  MaybeComma();
+  if (!has_element_.empty()) has_element_.back() = true;
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace obs
+}  // namespace aqp

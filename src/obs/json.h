@@ -1,0 +1,58 @@
+#ifndef AQP_OBS_JSON_H_
+#define AQP_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aqp {
+namespace obs {
+
+/// Minimal streaming JSON writer: objects/arrays with automatic comma
+/// placement and string escaping. Used by the metrics exporters, the
+/// EXPLAIN ANALYZE profile renderer, and the bench JSON emitter — no
+/// third-party JSON dependency.
+///
+///   JsonWriter w;
+///   w.BeginObject().Key("rows").Value(int64_t{42}).EndObject();
+///   w.str();  // {"rows":42}
+///
+/// Non-finite doubles are emitted as null (JSON has no NaN/Inf).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Writes an object key; must be followed by a value or Begin*.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view s);
+  JsonWriter& Value(const char* s);
+  JsonWriter& Value(double v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(bool v);
+  JsonWriter& Null();
+
+  /// The JSON text written so far.
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  // One entry per open container: true once the first element was written.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+/// Escapes `s` for inclusion in a JSON string literal (no quotes added).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace obs
+}  // namespace aqp
+
+#endif  // AQP_OBS_JSON_H_

@@ -1,0 +1,129 @@
+#include "obs/metrics.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace aqp {
+namespace obs {
+
+void LatencyHistogram::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sketch_.Add(value);
+  sum_ += value;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sketch_.count() == 0) return 0.0;
+  auto r = sketch_.Quantile(q);
+  return r.ok() ? r.value() : 0.0;
+}
+
+uint64_t LatencyHistogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sketch_.count();
+}
+
+double LatencyHistogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double LatencyHistogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sketch_.count() == 0 ? 0.0 : sketch_.min();
+}
+
+double LatencyHistogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sketch_.count() == 0 ? 0.0 : sketch_.max();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    const char* env = std::getenv("AQP_OBS");
+    if (env != nullptr &&
+        (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0)) {
+      r->set_enabled(false);
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = metrics_[name];
+  if (e.gauge != nullptr || e.histogram != nullptr) {
+    static Counter dummy;
+    return &dummy;
+  }
+  if (e.counter == nullptr) e.counter = std::make_unique<Counter>();
+  return e.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = metrics_[name];
+  if (e.counter != nullptr || e.histogram != nullptr) {
+    static Gauge dummy;
+    return &dummy;
+  }
+  if (e.gauge == nullptr) e.gauge = std::make_unique<Gauge>();
+  return e.gauge.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                                uint32_t k) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = metrics_[name];
+  if (e.counter != nullptr || e.gauge != nullptr) {
+    static LatencyHistogram dummy;
+    return &dummy;
+  }
+  if (e.histogram == nullptr) {
+    e.histogram = std::make_unique<LatencyHistogram>(k);
+  }
+  return e.histogram.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) {
+    MetricSample s;
+    s.name = name;
+    if (entry.counter != nullptr) {
+      s.kind = MetricSample::Kind::kCounter;
+      s.counter_value = entry.counter->value();
+    } else if (entry.gauge != nullptr) {
+      s.kind = MetricSample::Kind::kGauge;
+      s.gauge_value = entry.gauge->value();
+    } else if (entry.histogram != nullptr) {
+      s.kind = MetricSample::Kind::kHistogram;
+      s.hist_count = entry.histogram->count();
+      s.hist_sum = entry.histogram->sum();
+      s.p50 = entry.histogram->Quantile(0.5);
+      s.p90 = entry.histogram->Quantile(0.9);
+      s.p99 = entry.histogram->Quantile(0.99);
+      s.hist_min = entry.histogram->min();
+      s.hist_max = entry.histogram->max();
+    } else {
+      continue;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.clear();
+}
+
+bool Enabled() { return MetricsRegistry::Global().enabled(); }
+
+}  // namespace obs
+}  // namespace aqp

@@ -1,0 +1,137 @@
+#ifndef AQP_OBS_METRICS_H_
+#define AQP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sketch/kll.h"
+
+namespace aqp {
+namespace obs {
+
+/// Monotonically increasing event count. Thread-safe, lock-free.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written point-in-time value (e.g. the most recent planned sampling
+/// rate). Thread-safe.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Latency/size distribution whose quantiles are served by the repo's own
+/// KLL quantile sketch (src/sketch/kll.h) — the observability layer dogfoods
+/// the paper's sketch taxonomy instead of storing raw observations.
+/// Thread-safe via a mutex; Observe is off the per-row hot path (it is
+/// called once per query / stage, not per tuple).
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(uint32_t k = 200) : sketch_(k, /*seed=*/1) {}
+
+  void Observe(double value);
+
+  /// Estimated q-quantile of everything observed; 0 when empty.
+  double Quantile(double q) const;
+  uint64_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+
+ private:
+  mutable std::mutex mu_;
+  sketch::KllSketch sketch_;
+  double sum_ = 0.0;
+};
+
+/// One metric's exported state (see MetricsRegistry::Snapshot).
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string name;
+  uint64_t counter_value = 0;
+  double gauge_value = 0.0;
+  // Histogram summary: count/sum plus fixed quantiles.
+  uint64_t hist_count = 0;
+  double hist_sum = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double hist_min = 0.0;
+  double hist_max = 0.0;
+};
+
+/// Process-wide registry of named metrics. Handles returned by Get* are
+/// stable for the registry's lifetime, so hot call sites cache the pointer
+/// (typically in a function-local static) and pay only an atomic add per
+/// event.
+///
+/// The registry carries the observability enable flag: when disabled
+/// (`set_enabled(false)`, or environment `AQP_OBS=0` at startup), the
+/// executors skip span creation and metric updates entirely, keeping
+/// instrumentation off the hot path. Metric *handles* keep working either
+/// way — gating is the instrumented code's responsibility via `enabled()`.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by all built-in instrumentation.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates; never returns nullptr. A name registered as one kind
+  /// stays that kind (asking for the same name as another kind returns a
+  /// fresh unexported dummy rather than crashing).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name, uint32_t k = 200);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Point-in-time export of every registered metric, name-sorted.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Drops every registered metric (tests).
+  void Clear();
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;
+  std::atomic<bool> enabled_{true};
+};
+
+/// Shorthand for MetricsRegistry::Global().enabled() — the single branch
+/// every built-in instrumentation site checks first.
+bool Enabled();
+
+}  // namespace obs
+}  // namespace aqp
+
+#endif  // AQP_OBS_METRICS_H_

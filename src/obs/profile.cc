@@ -1,0 +1,122 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace aqp {
+namespace obs {
+namespace {
+
+std::string Pct(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f%%", v * 100.0);
+  return buf;
+}
+
+std::string Ms(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3fms", seconds * 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string ExecutionProfile::ToText() const {
+  std::string out;
+  out += "EXPLAIN ANALYZE\n";
+  out += "  query:      " + query + "\n";
+  out += "  executor:   " + executor +
+         (approximated ? " (approximate)" : " (exact)") + "\n";
+  if (!fallback_reason.empty()) {
+    out += "  fallback:   " + fallback_reason + "\n";
+  }
+  if (!sampling_design.empty()) {
+    out += "  sampling:   " + sampling_design;
+    if (!sampled_table.empty()) out += " over '" + sampled_table + "'";
+    out += ", final rate " + Pct(sampled_fraction);
+    if (pilot_rate > 0.0) out += ", pilot rate " + Pct(pilot_rate);
+    if (worst_required_rate > 0.0) {
+      out += ", required " + Pct(worst_required_rate);
+    }
+    out += "\n";
+  }
+  out += "  cost:       rows_scanned=" + std::to_string(rows_scanned) +
+         " blocks_read=" + std::to_string(blocks_read) +
+         " rows_joined=" + std::to_string(rows_joined);
+  if (pilot_rows_scanned > 0) {
+    out += " (pilot rows " + std::to_string(pilot_rows_scanned) + ")";
+  }
+  out += "\n";
+  if (pilot_seconds > 0.0 || final_seconds > 0.0) {
+    out += "  stages:     pilot " + Ms(pilot_seconds) + " + plan " +
+           Ms(planning_seconds) + " + final " + Ms(final_seconds) + "\n";
+  }
+  if (total_seconds > 0.0) {
+    out += "  total:      " + Ms(total_seconds) + "\n";
+  }
+  if (contract.has_value()) {
+    out += "  contract:   requested error " + Pct(contract->requested_error) +
+           " @ confidence " + Pct(contract->requested_confidence) +
+           "; achieved (a posteriori) " + Pct(contract->achieved_error) +
+           (contract->met() ? "  [MET]" : "  [EXCEEDED]") + "\n";
+  }
+  out += "  spans:\n";
+  std::string spans = trace.ToText();
+  // Indent the span tree under the header.
+  size_t pos = 0;
+  while (pos < spans.size()) {
+    size_t eol = spans.find('\n', pos);
+    if (eol == std::string::npos) eol = spans.size();
+    out += "    " + spans.substr(pos, eol - pos) + "\n";
+    pos = eol + 1;
+  }
+  return out;
+}
+
+std::string ExecutionProfile::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("query").Value(query);
+  w.Key("executor").Value(executor);
+  w.Key("approximated").Value(approximated);
+  if (!fallback_reason.empty()) {
+    w.Key("fallback_reason").Value(fallback_reason);
+  }
+  if (!sampling_design.empty()) {
+    w.Key("sampling_design").Value(sampling_design);
+  }
+  if (!sampled_table.empty()) w.Key("sampled_table").Value(sampled_table);
+  w.Key("sampled_fraction").Value(sampled_fraction);
+  if (pilot_rate > 0.0) w.Key("pilot_rate").Value(pilot_rate);
+  if (worst_required_rate > 0.0) {
+    w.Key("worst_required_rate").Value(worst_required_rate);
+  }
+  w.Key("rows_scanned").Value(rows_scanned);
+  w.Key("blocks_read").Value(blocks_read);
+  w.Key("rows_joined").Value(rows_joined);
+  if (pilot_rows_scanned > 0) {
+    w.Key("pilot_rows_scanned").Value(pilot_rows_scanned);
+  }
+  w.Key("pilot_seconds").Value(pilot_seconds);
+  w.Key("planning_seconds").Value(planning_seconds);
+  w.Key("final_seconds").Value(final_seconds);
+  w.Key("total_seconds").Value(total_seconds);
+  if (contract.has_value()) {
+    w.Key("contract").BeginObject();
+    w.Key("requested_error").Value(contract->requested_error);
+    w.Key("requested_confidence").Value(contract->requested_confidence);
+    w.Key("achieved_error").Value(contract->achieved_error);
+    w.Key("met").Value(contract->met());
+    w.EndObject();
+  }
+  w.EndObject();
+  // Splice the trace's own JSON rendering in as a raw sub-document.
+  std::string body = w.str();
+  body.pop_back();  // Drop the closing '}'.
+  body += ",\"trace\":" + trace.ToJson() + "}";
+  return body;
+}
+
+}  // namespace obs
+}  // namespace aqp

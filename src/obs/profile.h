@@ -1,0 +1,72 @@
+#ifndef AQP_OBS_PROFILE_H_
+#define AQP_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace aqp {
+namespace obs {
+
+/// The (requested, achieved) halves of an accuracy contract, attached to a
+/// profile when the query carried a WITH ERROR clause.
+struct ContractReport {
+  double requested_error = 0.0;       // Relative, e.g. 0.05.
+  double requested_confidence = 0.0;  // e.g. 0.95.
+  /// Widest relative CI half-width across all output cells — the error the
+  /// system can actually attest a posteriori. 0 for exact answers.
+  double achieved_error = 0.0;
+  bool met() const { return achieved_error <= requested_error; }
+};
+
+/// What the system actually did to answer one query — the paper's central
+/// adoption complaint ("users cannot see what the AQP system did") turned
+/// into a first-class result field. Every executor (two-stage online,
+/// offline-sample, online aggregation, exact fallback) fills one in; it
+/// renders as an EXPLAIN ANALYZE-style text tree or as JSON.
+struct ExecutionProfile {
+  std::string query;
+  /// Which execution strategy answered: "online-two-stage", "offline-sample",
+  /// "online-aggregation", or "exact".
+  std::string executor;
+
+  bool approximated = false;
+  std::string fallback_reason;  // Why exact execution was chosen, if it was.
+
+  /// Sampling decisions.
+  std::string sampling_design;   // e.g. "system-block(block_size=128)".
+  std::string sampled_table;     // Which table was substituted/sampled.
+  double sampled_fraction = 1.0;  // Final-stage rate; 1.0 = full scan.
+  double pilot_rate = 0.0;
+  double worst_required_rate = 0.0;  // Planner's uncapped requirement.
+
+  /// Cost actually paid.
+  uint64_t rows_scanned = 0;
+  uint64_t blocks_read = 0;
+  uint64_t rows_joined = 0;
+  uint64_t pilot_rows_scanned = 0;
+  double pilot_seconds = 0.0;
+  double planning_seconds = 0.0;
+  double final_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  std::optional<ContractReport> contract;
+
+  /// Nested span timings (parse -> bind -> pilot -> plan -> final -> ...),
+  /// with per-operator row counts when engine tracing was on.
+  QueryTrace trace{"query"};
+
+  /// EXPLAIN ANALYZE-style rendering: a header block of decisions/costs
+  /// followed by the span tree.
+  std::string ToText() const;
+
+  /// Everything above as one JSON object (spans under "trace").
+  std::string ToJson() const;
+};
+
+}  // namespace obs
+}  // namespace aqp
+
+#endif  // AQP_OBS_PROFILE_H_

@@ -345,9 +345,12 @@ Result<BoundQuery> BindSql(std::string_view sql, const Catalog& catalog) {
 Result<ExprPtr> LowerSqlExpr(const SqlExprPtr& e) { return Lower(e); }
 
 Result<Table> ExecuteSql(std::string_view sql, const Catalog& catalog,
-                         ExecStats* stats) {
+                         ExecStats* stats, obs::QueryTrace* trace) {
+  obs::TraceSpan bind_span = obs::MaybeSpan(trace, "parse+bind");
   AQP_ASSIGN_OR_RETURN(BoundQuery bound, BindSql(sql, catalog));
-  return Execute(bound.plan, catalog, stats);
+  bind_span.End();
+  obs::TraceSpan exec_span = obs::MaybeSpan(trace, "execute");
+  return Execute(bound.plan, catalog, stats, trace);
 }
 
 Result<PlanPtr> BindPostAggregation(const SelectStmt& stmt,

@@ -53,9 +53,11 @@ Result<BoundQuery> BindSql(std::string_view sql, const Catalog& catalog);
 Result<ExprPtr> LowerSqlExpr(const SqlExprPtr& e);
 
 /// Parse, bind, and execute exactly (ignores any WITH ERROR clause — that is
-/// the approximate executor's job in core/).
+/// the approximate executor's job in core/). `trace`, when non-null,
+/// receives parse/bind/execute lifecycle spans with per-operator detail.
 Result<Table> ExecuteSql(std::string_view sql, const Catalog& catalog,
-                         ExecStats* stats = nullptr);
+                         ExecStats* stats = nullptr,
+                         obs::QueryTrace* trace = nullptr);
 
 /// Builds the post-aggregation tail of `stmt` — SELECT-item projection, then
 /// ORDER BY / LIMIT — over a scan of `agg_table`, whose schema must be the

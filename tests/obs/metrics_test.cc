@@ -1,0 +1,143 @@
+#include "obs/metrics.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+
+namespace aqp {
+namespace obs {
+namespace {
+
+TEST(MetricsTest, CounterIncrements) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("events_total");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+  // Find-or-create: same name yields the same handle.
+  EXPECT_EQ(reg.GetCounter("events_total"), c);
+}
+
+TEST(MetricsTest, GaugeHoldsLastValue) {
+  MetricsRegistry reg;
+  Gauge* g = reg.GetGauge("last_rate");
+  g->Set(0.25);
+  g->Set(0.125);
+  EXPECT_DOUBLE_EQ(g->value(), 0.125);
+}
+
+TEST(MetricsTest, HistogramQuantilesServedByKll) {
+  MetricsRegistry reg;
+  LatencyHistogram* h = reg.GetHistogram("latency_seconds");
+  // Uniform 1..10000: the KLL-backed quantiles should land near the true
+  // ranks (KLL with k=200 has well under 2% rank error at this size).
+  double sum = 0.0;
+  for (int i = 1; i <= 10000; ++i) {
+    h->Observe(static_cast<double>(i));
+    sum += i;
+  }
+  EXPECT_EQ(h->count(), 10000u);
+  EXPECT_DOUBLE_EQ(h->sum(), sum);
+  EXPECT_DOUBLE_EQ(h->min(), 1.0);
+  EXPECT_DOUBLE_EQ(h->max(), 10000.0);
+  EXPECT_NEAR(h->Quantile(0.5), 5000.0, 500.0);
+  EXPECT_NEAR(h->Quantile(0.9), 9000.0, 500.0);
+  EXPECT_NEAR(h->Quantile(0.99), 9900.0, 500.0);
+}
+
+TEST(MetricsTest, EmptyHistogramQuantileIsZero) {
+  MetricsRegistry reg;
+  LatencyHistogram* h = reg.GetHistogram("nothing_observed");
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 0.0);
+}
+
+TEST(MetricsTest, KindMismatchReturnsDummyNotCrash) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("metric");
+  c->Increment(7);
+  // Asking for the same name as another kind yields a working dummy...
+  Gauge* g = reg.GetGauge("metric");
+  ASSERT_NE(g, nullptr);
+  g->Set(1.0);
+  // ...and the original registration is untouched.
+  EXPECT_EQ(reg.GetCounter("metric")->value(), 7u);
+}
+
+TEST(MetricsTest, SnapshotIsNameSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.GetCounter("zz_counter")->Increment(3);
+  reg.GetGauge("aa_gauge")->Set(0.5);
+  reg.GetHistogram("mm_hist")->Observe(2.0);
+  std::vector<MetricSample> snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "aa_gauge");
+  EXPECT_EQ(snap[1].name, "mm_hist");
+  EXPECT_EQ(snap[2].name, "zz_counter");
+  EXPECT_EQ(snap[0].kind, MetricSample::Kind::kGauge);
+  EXPECT_DOUBLE_EQ(snap[0].gauge_value, 0.5);
+  EXPECT_EQ(snap[1].kind, MetricSample::Kind::kHistogram);
+  EXPECT_EQ(snap[1].hist_count, 1u);
+  EXPECT_DOUBLE_EQ(snap[1].hist_sum, 2.0);
+  EXPECT_EQ(snap[2].kind, MetricSample::Kind::kCounter);
+  EXPECT_EQ(snap[2].counter_value, 3u);
+}
+
+TEST(MetricsTest, ClearDropsEverything) {
+  MetricsRegistry reg;
+  reg.GetCounter("gone")->Increment();
+  reg.Clear();
+  EXPECT_TRUE(reg.Snapshot().empty());
+  // Re-registration starts fresh.
+  EXPECT_EQ(reg.GetCounter("gone")->value(), 0u);
+}
+
+TEST(MetricsTest, EnableFlagGatesGlobalInstrumentation) {
+  MetricsRegistry& global = MetricsRegistry::Global();
+  const bool was_enabled = global.enabled();
+  global.set_enabled(false);
+  EXPECT_FALSE(Enabled());
+  global.set_enabled(true);
+  EXPECT_TRUE(Enabled());
+  global.set_enabled(was_enabled);
+}
+
+TEST(ExportTest, JsonCarriesEveryKind) {
+  MetricsRegistry reg;
+  reg.GetCounter("c_total")->Increment(5);
+  reg.GetGauge("g_rate")->Set(0.75);
+  LatencyHistogram* h = reg.GetHistogram("h_seconds");
+  h->Observe(1.0);
+  h->Observe(3.0);
+  std::string json = ExportJson(reg);
+  EXPECT_NE(json.find("\"name\":\"c_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"g_rate\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"h_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":4"), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusTextFormat) {
+  MetricsRegistry reg;
+  reg.GetCounter("c_total")->Increment(5);
+  LatencyHistogram* h = reg.GetHistogram("h_seconds");
+  for (int i = 0; i < 10; ++i) h->Observe(1.0);
+  std::string text = ExportPrometheus(reg);
+  EXPECT_NE(text.find("# TYPE c_total counter\nc_total 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE h_seconds summary\n"), std::string::npos);
+  EXPECT_NE(text.find("h_seconds{quantile=\"0.5\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("h_seconds_sum 10\n"), std::string::npos);
+  EXPECT_NE(text.find("h_seconds_count 10\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace aqp

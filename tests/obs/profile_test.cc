@@ -1,0 +1,126 @@
+// Integration: the ExecutionProfile attached to executor results reports
+// what actually happened — fallback reasons, sampling decisions, stage
+// spans, and the achieved half of an error contract.
+
+#include "obs/profile.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/approx_executor.h"
+#include "obs/metrics.h"
+#include "workload/datagen.h"
+
+namespace aqp {
+namespace obs {
+namespace {
+
+Catalog TestCatalog() {
+  workload::StarSchemaSpec spec;
+  spec.fact_rows = 60000;
+  spec.dim_sizes = {12};
+  spec.fk_skew = 0.25;
+  return workload::GenerateStarSchema(spec, 3).value();
+}
+
+core::AqpOptions FastOptions() {
+  core::AqpOptions opt;
+  opt.pilot_rate = 0.02;
+  opt.block_size = 64;
+  opt.min_table_rows = 1000;
+  opt.max_rate = 0.8;
+  return opt;
+}
+
+TEST(ProfileTest, FallbackQueryReportsReasonAndExactExecutor) {
+  Catalog cat = TestCatalog();
+  core::ApproxExecutor exec(&cat, FastOptions());
+  core::ApproxResult r =
+      exec.Execute("SELECT SUM(measure_0) AS s FROM fact").value();
+  const ExecutionProfile& prof = r.profile;
+  EXPECT_EQ(prof.executor, "exact");
+  EXPECT_FALSE(prof.approximated);
+  EXPECT_NE(prof.fallback_reason.find("no error contract"),
+            std::string::npos);
+  std::string text = prof.ToText();
+  EXPECT_NE(text.find("EXPLAIN ANALYZE"), std::string::npos);
+  EXPECT_NE(text.find("fallback:"), std::string::npos);
+  EXPECT_NE(text.find("(exact)"), std::string::npos);
+}
+
+TEST(ProfileTest, ContractQueryReportsAchievedError) {
+  Catalog cat = TestCatalog();
+  core::ApproxExecutor exec(&cat, FastOptions());
+  core::ApproxResult r = exec.Execute(
+                                 "SELECT SUM(measure_0) AS s FROM fact "
+                                 "WITH ERROR 10% CONFIDENCE 95%")
+                             .value();
+  const ExecutionProfile& prof = r.profile;
+  ASSERT_TRUE(prof.contract.has_value());
+  EXPECT_DOUBLE_EQ(prof.contract->requested_error, 0.10);
+  EXPECT_DOUBLE_EQ(prof.contract->requested_confidence, 0.95);
+  if (r.approximated) {
+    EXPECT_EQ(prof.executor, "online-two-stage");
+    EXPECT_TRUE(prof.approximated);
+    // A sampled answer has a nonzero a-posteriori error and a real design.
+    EXPECT_GT(prof.contract->achieved_error, 0.0);
+    EXPECT_GT(prof.sampled_fraction, 0.0);
+    EXPECT_LE(prof.sampled_fraction, 1.0);
+    EXPECT_NE(prof.sampling_design.find("block"), std::string::npos);
+    EXPECT_EQ(prof.sampled_table, "fact");
+    EXPECT_GT(prof.rows_scanned, 0u);
+    EXPECT_GT(prof.pilot_rows_scanned, 0u);
+  }
+  EXPECT_GT(prof.total_seconds, 0.0);
+}
+
+TEST(ProfileTest, TraceCarriesStageSpansWhenEnabled) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  Catalog cat = TestCatalog();
+  core::ApproxExecutor exec(&cat, FastOptions());
+  core::ApproxResult r = exec.Execute(
+                                 "SELECT SUM(measure_0) AS s FROM fact "
+                                 "WITH ERROR 10% CONFIDENCE 95%")
+                             .value();
+  reg.set_enabled(was_enabled);
+  ASSERT_TRUE(r.approximated);
+  std::string text = r.profile.ToText();
+  EXPECT_NE(text.find("pilot"), std::string::npos);
+  EXPECT_NE(text.find("final"), std::string::npos);
+  EXPECT_NE(text.find("plan"), std::string::npos);
+  // The span tree reached the engine: operator spans carry row counts.
+  EXPECT_NE(text.find("rows_out="), std::string::npos);
+  // JSON form splices the trace under "trace".
+  std::string json = r.profile.ToJson();
+  EXPECT_NE(json.find("\"trace\":{\"name\":\"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"contract\":{"), std::string::npos);
+}
+
+TEST(ProfileTest, DisabledObservabilityStillFillsResultFields) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(false);
+  Catalog cat = TestCatalog();
+  core::ApproxExecutor exec(&cat, FastOptions());
+  core::ApproxResult r = exec.Execute(
+                                 "SELECT SUM(measure_0) AS s FROM fact "
+                                 "WITH ERROR 10% CONFIDENCE 95%")
+                             .value();
+  reg.set_enabled(was_enabled);
+  ASSERT_TRUE(r.approximated);
+  const ExecutionProfile& prof = r.profile;
+  // The cheap summary fields survive with tracing off...
+  EXPECT_EQ(prof.executor, "online-two-stage");
+  ASSERT_TRUE(prof.contract.has_value());
+  EXPECT_GT(prof.contract->achieved_error, 0.0);
+  EXPECT_GT(prof.sampled_fraction, 0.0);
+  // ...but no stage spans were recorded.
+  EXPECT_TRUE(prof.trace.root().children.empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace aqp

@@ -1,0 +1,138 @@
+#include "obs/trace.h"
+
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace obs {
+namespace {
+
+TEST(TraceTest, SpansNestUnderInnermostOpenSpan) {
+  QueryTrace trace("query");
+  {
+    TraceSpan pilot = trace.Span("pilot");
+    TraceSpan scan = trace.Span("scan");  // Child of pilot.
+    scan.AddAttr("rows", uint64_t{1024});
+  }  // Both close (LIFO) at scope exit.
+  TraceSpan plan = trace.Span("plan");  // Sibling of pilot.
+  plan.End();
+  trace.Finish();
+
+  const SpanRecord& root = trace.root();
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0]->name, "pilot");
+  EXPECT_EQ(root.children[1]->name, "plan");
+  ASSERT_EQ(root.children[0]->children.size(), 1u);
+  const SpanRecord& scan = *root.children[0]->children[0];
+  EXPECT_EQ(scan.name, "scan");
+  ASSERT_EQ(scan.attrs.size(), 1u);
+  EXPECT_EQ(scan.attrs[0].first, "rows");
+  EXPECT_EQ(scan.attrs[0].second, "1024");
+}
+
+TEST(TraceTest, ClosingAParentClosesOpenDescendants) {
+  QueryTrace trace;
+  TraceSpan outer = trace.Span("outer");
+  TraceSpan inner = trace.Span("inner");
+  outer.End();  // Implicitly closes `inner` first.
+  trace.Finish();
+  EXPECT_FALSE(trace.root().children[0]->open);
+  EXPECT_FALSE(trace.root().children[0]->children[0]->open);
+  inner.End();  // Already closed: must be a safe no-op.
+}
+
+TEST(TraceTest, TimingIsMonotoneAndNested) {
+  QueryTrace trace;
+  TraceSpan outer = trace.Span("outer");
+  TraceSpan inner = trace.Span("inner");
+  inner.End();
+  outer.End();
+  trace.Finish();
+  const SpanRecord& o = *trace.root().children[0];
+  const SpanRecord& i = *o.children[0];
+  EXPECT_GE(o.start_seconds, 0.0);
+  EXPECT_GE(i.start_seconds, o.start_seconds);
+  EXPECT_GE(i.duration_seconds, 0.0);
+  // A child's interval fits inside its parent's.
+  EXPECT_LE(i.start_seconds + i.duration_seconds,
+            o.start_seconds + o.duration_seconds + 1e-9);
+  // The root covers everything.
+  EXPECT_GE(trace.root().duration_seconds,
+            o.start_seconds + o.duration_seconds - 1e-9);
+}
+
+TEST(TraceTest, DefaultConstructedSpanIsInert) {
+  TraceSpan inert;
+  EXPECT_FALSE(inert.active());
+  inert.AddAttr("k", "v");  // No-op, must not crash.
+  inert.End();
+}
+
+TEST(TraceTest, MaybeSpanOnNullTraceIsInert) {
+  TraceSpan span = MaybeSpan(nullptr, "stage");
+  EXPECT_FALSE(span.active());
+  QueryTrace trace;
+  TraceSpan real = MaybeSpan(&trace, "stage");
+  EXPECT_TRUE(real.active());
+}
+
+TEST(TraceTest, MoveTransfersOwnershipOfTheOpenSpan) {
+  QueryTrace trace;
+  TraceSpan a = trace.Span("stage");
+  TraceSpan b = std::move(a);
+  EXPECT_FALSE(a.active());
+  EXPECT_TRUE(b.active());
+  b.End();
+  trace.Finish();
+  EXPECT_FALSE(trace.root().children[0]->open);
+}
+
+TEST(TraceTest, TextRenderingShowsTreeAndAttrs) {
+  QueryTrace trace("query");
+  {
+    TraceSpan pilot = trace.Span("pilot");
+    pilot.AddAttr("rate", 0.01);
+  }
+  trace.Finish();
+  std::string text = trace.ToText();
+  EXPECT_NE(text.find("query"), std::string::npos);
+  EXPECT_NE(text.find("  pilot"), std::string::npos);  // Indented one level.
+  EXPECT_NE(text.find("[rate=0.01]"), std::string::npos);
+  EXPECT_NE(text.find("ms"), std::string::npos);
+}
+
+TEST(TraceTest, JsonRenderingNestsChildren) {
+  QueryTrace trace("query");
+  {
+    TraceSpan pilot = trace.Span("pilot");
+    TraceSpan scan = trace.Span("scan");
+  }
+  trace.Finish();
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"name\":\"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"children\":[{\"name\":\"pilot\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"scan\""), std::string::npos);
+  EXPECT_NE(json.find("\"duration_seconds\":"), std::string::npos);
+}
+
+TEST(TraceTest, CopyIsDeepAndIndependent) {
+  QueryTrace trace("query");
+  { TraceSpan s = trace.Span("stage"); }
+  trace.Finish();
+  QueryTrace copy = trace;
+  ASSERT_EQ(copy.root().children.size(), 1u);
+  EXPECT_NE(&copy.root(), &trace.root());
+  copy.mutable_root().name = "renamed";
+  EXPECT_EQ(trace.root().name, "query");
+  // The copy accepts new spans (its cursor reset to the root).
+  { TraceSpan extra = copy.Span("extra"); }
+  EXPECT_EQ(copy.root().children.size(), 2u);
+  EXPECT_EQ(trace.root().children.size(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace aqp
