@@ -50,6 +50,17 @@ class Pcg32 {
   double cached_gaussian_ = 0.0;
 };
 
+/// The canonical per-morsel generator: stream `morsel` of the query seed.
+/// Every randomized operator in the parallel executor derives one generator
+/// per morsel this way and never shares a generator across morsels, so the
+/// draws a morsel sees depend only on (seed, morsel id) — not on which
+/// worker ran it or how many threads participated. Morsel 0 is the default
+/// stream, so single-morsel inputs draw exactly what a plain Pcg32(seed)
+/// would.
+inline Pcg32 MorselRng(uint64_t seed, uint64_t morsel) {
+  return Pcg32(seed, /*stream=*/morsel);
+}
+
 /// Draws from a Zipf(s) distribution over ranks {0, 1, ..., n-1}: rank k has
 /// probability proportional to 1/(k+1)^s. s = 0 degenerates to uniform.
 /// Uses a precomputed CDF with binary search; construction is O(n), each draw

@@ -1,0 +1,224 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aqp {
+namespace {
+
+// True on threads currently executing pool work; nested ParallelFor calls
+// from such threads run inline to avoid the classic pool-within-pool
+// deadlock (every worker blocked waiting for helpers that can never run).
+thread_local bool t_inside_pool = false;
+
+}  // namespace
+
+void ParallelRunStats::MergeFrom(const ParallelRunStats& other) {
+  morsels += other.morsels;
+  steals += other.steals;
+  if (worker_items.size() < other.worker_items.size()) {
+    worker_items.resize(other.worker_items.size(), 0);
+  }
+  for (size_t i = 0; i < other.worker_items.size(); ++i) {
+    worker_items[i] += other.worker_items[i];
+  }
+}
+
+size_t HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+/// Shared state of one ParallelFor run. Each participant owns a contiguous
+/// run of morsel ids [lo, hi) and pops from it with a fetch_add cursor;
+/// thieves use the same cursor, so owner/thief races resolve to distinct
+/// morsels by construction.
+struct ThreadPool::Job {
+  size_t n = 0;
+  size_t morsel_items = 0;
+  size_t num_morsels = 0;
+  const MorselFn* body = nullptr;
+
+  struct alignas(64) Cursor {
+    std::atomic<size_t> next{0};
+    size_t hi = 0;
+  };
+  std::vector<Cursor> cursors;              // One per participant.
+  struct alignas(64) Slot {
+    uint64_t items = 0;
+    uint64_t steals = 0;
+  };
+  std::vector<Slot> slots;                  // One per participant.
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t helpers_done = 0;                  // Helpers that finished RunParticipant.
+};
+
+ThreadPool::ThreadPool(size_t num_workers) { EnsureWorkers(num_workers); }
+
+size_t ThreadPool::EnsureWorkers(size_t target) {
+  target = std::min(target, kMaxWorkers);
+  std::lock_guard<std::mutex> lock(mu_);
+  while (workers_.size() < target && !stop_) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return workers_.size();
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(HardwareThreads() - 1);
+  return *pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  t_inside_pool = true;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunParticipant(Job* job, size_t slot) {
+  Job::Cursor& own = job->cursors[slot];
+  Job::Slot& out = job->slots[slot];
+  auto run = [&](size_t m) {
+    size_t begin = m * job->morsel_items;
+    size_t end = std::min(job->n, begin + job->morsel_items);
+    (*job->body)(slot, m, begin, end);
+    out.items += end - begin;
+  };
+  // Drain the owned run first.
+  while (true) {
+    size_t m = own.next.fetch_add(1, std::memory_order_relaxed);
+    if (m >= own.hi) break;
+    run(m);
+  }
+  // Then steal from the most-loaded peer until nothing is left anywhere.
+  while (true) {
+    size_t victim = job->cursors.size();
+    size_t best_remaining = 0;
+    for (size_t p = 0; p < job->cursors.size(); ++p) {
+      if (p == slot) continue;
+      size_t next = job->cursors[p].next.load(std::memory_order_relaxed);
+      size_t remaining = next < job->cursors[p].hi
+                             ? job->cursors[p].hi - next
+                             : 0;
+      if (remaining > best_remaining) {
+        best_remaining = remaining;
+        victim = p;
+      }
+    }
+    if (victim == job->cursors.size()) break;  // Everything drained.
+    size_t m = job->cursors[victim].next.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    if (m >= job->cursors[victim].hi) continue;  // Lost the race; rescan.
+    ++out.steals;
+    run(m);
+  }
+}
+
+ParallelRunStats ThreadPool::ParallelFor(size_t n, size_t morsel_items,
+                                         size_t num_threads,
+                                         const MorselFn& body) {
+  AQP_CHECK(morsel_items > 0);
+  ParallelRunStats stats;
+  if (n == 0) return stats;
+  const size_t num_morsels = (n + morsel_items - 1) / morsel_items;
+
+  size_t participants = std::max<size_t>(num_threads, 1);
+  // An explicit request for P threads is honored with real threads even on
+  // machines with fewer cores: grow the pool on demand (the request conveys
+  // intent, and determinism never depends on the thread count anyway).
+  if (participants > 1) {
+    participants = std::min(participants, EnsureWorkers(participants - 1) + 1);
+  }
+  participants = std::min(participants, num_morsels);
+  if (t_inside_pool) participants = 1;  // Nested: run inline.
+
+  if (participants == 1) {
+    // Serial path: same morsels, same order — the determinism baseline.
+    uint64_t items = 0;
+    for (size_t m = 0; m < num_morsels; ++m) {
+      size_t begin = m * morsel_items;
+      size_t end = std::min(n, begin + morsel_items);
+      body(0, m, begin, end);
+      items += end - begin;
+    }
+    stats.morsels = num_morsels;
+    stats.worker_items.assign(1, items);
+    return stats;
+  }
+
+  Job job;
+  job.n = n;
+  job.morsel_items = morsel_items;
+  job.num_morsels = num_morsels;
+  job.body = &body;
+  job.cursors = std::vector<Job::Cursor>(participants);
+  job.slots = std::vector<Job::Slot>(participants);
+  // Contiguous morsel runs, remainder spread over the first participants.
+  size_t base = num_morsels / participants;
+  size_t extra = num_morsels % participants;
+  size_t lo = 0;
+  for (size_t p = 0; p < participants; ++p) {
+    size_t len = base + (p < extra ? 1 : 0);
+    job.cursors[p].next.store(lo, std::memory_order_relaxed);
+    job.cursors[p].hi = lo + len;
+    lo += len;
+  }
+
+  const size_t helpers = participants - 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t h = 0; h < helpers; ++h) {
+      size_t slot = h + 1;
+      queue_.emplace_back([&job, slot] {
+        RunParticipant(&job, slot);
+        std::lock_guard<std::mutex> jlock(job.mu);
+        ++job.helpers_done;
+        job.cv.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  t_inside_pool = true;  // Caller participates; block nesting underneath.
+  RunParticipant(&job, 0);
+  t_inside_pool = false;
+
+  // Wait for every helper to leave the job (a late-starting helper finds all
+  // cursors drained and exits immediately); only then is `job` safe to free
+  // and are all per-morsel outputs visible.
+  {
+    std::unique_lock<std::mutex> lock(job.mu);
+    job.cv.wait(lock, [&job, helpers] { return job.helpers_done == helpers; });
+  }
+
+  stats.morsels = num_morsels;
+  stats.worker_items.resize(participants);
+  for (size_t p = 0; p < participants; ++p) {
+    stats.worker_items[p] = job.slots[p].items;
+    stats.steals += job.slots[p].steals;
+  }
+  return stats;
+}
+
+}  // namespace aqp

@@ -1,0 +1,105 @@
+#ifndef AQP_COMMON_THREAD_POOL_H_
+#define AQP_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aqp {
+
+/// Number of hardware threads (>= 1).
+size_t HardwareThreads();
+
+/// What one ParallelFor run did, for observability: how many morsels ran,
+/// how many were executed by a thread that did not own them (steals), and
+/// how many items each worker slot processed. Slot 0 is always the calling
+/// thread; helper slots are 1..P-1.
+struct ParallelRunStats {
+  uint64_t morsels = 0;
+  uint64_t steals = 0;
+  std::vector<uint64_t> worker_items;  // Items processed per worker slot.
+
+  /// Accumulates another run's counters into this one (worker slots add
+  /// element-wise; the slot vector grows to the larger run). Lets one query
+  /// aggregate the stats of its several parallel regions.
+  void MergeFrom(const ParallelRunStats& other);
+};
+
+/// Work-stealing thread pool running morsel-driven parallel loops
+/// (Leis et al., "Morsel-Driven Parallelism", SIGMOD 2014 — adapted to this
+/// engine's materialized operators). The pool owns long-lived worker
+/// threads; each ParallelFor call partitions [0, n) into fixed-size morsels,
+/// assigns each participant a contiguous run of morsel ids, and lets idle
+/// participants steal morsels from the most-loaded peer. The caller always
+/// participates as worker slot 0, so a pool is useful even with zero
+/// workers (everything runs inline).
+///
+/// Determinism contract: which thread runs a morsel is scheduling-dependent,
+/// but the morsel decomposition itself depends only on (n, morsel_items).
+/// Callers that write per-morsel outputs into morsel-indexed slots and merge
+/// them in morsel order therefore produce results that are bit-identical
+/// for every thread count — the property the parallel executor builds on.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` helper threads (0 is valid: all loops run inline).
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return workers_.size();
+  }
+
+  /// Process-wide pool with HardwareThreads() - 1 helper threads, created on
+  /// first use. All engine executors share it. ParallelFor grows it on
+  /// demand when a caller explicitly requests more threads than the pool
+  /// holds (capped at kMaxWorkers), so num_threads=4 means four real
+  /// participants even on a machine reporting fewer cores — which is what
+  /// makes the parallel code paths testable everywhere.
+  static ThreadPool& Shared();
+
+  /// Hard ceiling on helper threads a pool will ever spawn.
+  static constexpr size_t kMaxWorkers = 64;
+
+  /// Morsel body: (worker slot, morsel id, item range [begin, end)).
+  using MorselFn =
+      std::function<void(size_t worker, size_t morsel, size_t begin,
+                         size_t end)>;
+
+  /// Runs `body` once per morsel over [0, n), using up to `num_threads`
+  /// participants (the caller plus at most num_workers() helpers). The call
+  /// returns only after every morsel has run and every helper has left the
+  /// loop, so per-morsel outputs are safe to read. With num_threads <= 1 (or
+  /// when called from inside a pool worker — nested parallelism degrades to
+  /// serial) the loop runs inline on the caller, still morsel by morsel in
+  /// morsel order.
+  ParallelRunStats ParallelFor(size_t n, size_t morsel_items,
+                               size_t num_threads, const MorselFn& body);
+
+ private:
+  struct Job;
+
+  void WorkerLoop();
+  static void RunParticipant(Job* job, size_t slot);
+  // Grows the pool to `target` helpers (bounded by kMaxWorkers); returns the
+  // resulting helper count.
+  size_t EnsureWorkers(size_t target);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_COMMON_THREAD_POOL_H_

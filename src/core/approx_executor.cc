@@ -188,6 +188,14 @@ Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
     prof.planning_seconds = result.planning_seconds;
     prof.final_seconds = result.final_seconds;
     prof.total_seconds = Seconds(start);
+    if (result.exec_stats.parallel.morsels > 0) {
+      obs::ParallelReport par;
+      par.num_threads = options_.exec.ResolvedThreads();
+      par.morsels = result.exec_stats.parallel.morsels;
+      par.steals = result.exec_stats.parallel.steals;
+      par.worker_rows = result.exec_stats.parallel.worker_items;
+      prof.parallel = std::move(par);
+    }
     if (prof.contract.has_value()) {
       prof.contract->achieved_error = MaxRelativeHalfWidth(result.cis);
     }
@@ -219,7 +227,7 @@ Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
     obs::TraceSpan exact_span = obs::MaybeSpan(tr, "exact-execute");
     AQP_ASSIGN_OR_RETURN(result.table,
                          aqp::Execute(bound.plan, *catalog_,
-                                      &result.exec_stats, tr));
+                                      &result.exec_stats, tr, options_.exec));
     exact_span.End();
     finish();
     return result;
@@ -309,11 +317,15 @@ Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
     stage_span.AddAttr("rate", rate);
     obs::TraceSpan draw_span = obs::MaybeSpan(tr, "draw-sample");
     Sample sample;
+    ParallelRunStats sampler_stats;
     if (options_.method == SampleSpec::Method::kSystemBlock) {
-      AQP_ASSIGN_OR_RETURN(
-          sample, BlockSample(*base, rate, options_.block_size, seed));
+      AQP_ASSIGN_OR_RETURN(sample,
+                           BlockSample(*base, rate, options_.block_size, seed,
+                                       options_.exec, &sampler_stats));
     } else {
-      AQP_ASSIGN_OR_RETURN(sample, BernoulliRowSample(*base, rate, seed));
+      AQP_ASSIGN_OR_RETURN(sample, BernoulliRowSample(*base, rate, seed,
+                                                      options_.exec,
+                                                      &sampler_stats));
     }
     draw_span.AddAttr("rows", static_cast<uint64_t>(sample.num_rows()));
     draw_span.AddAttr("units", static_cast<uint64_t>(sample.num_units_sampled));
@@ -324,8 +336,10 @@ Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
                              std::make_shared<Table>(std::move(design_table)));
     AQP_ASSIGN_OR_RETURN(sql::BoundQuery flat_bound, sql::Bind(flat, staged));
     ExecStats stats;
+    stats.parallel.MergeFrom(sampler_stats);
     AQP_ASSIGN_OR_RETURN(Table flat_out,
-                         aqp::Execute(flat_bound.plan, staged, &stats, tr));
+                         aqp::Execute(flat_bound.plan, staged, &stats, tr,
+                                      options_.exec));
     obs::TraceSpan estimate_span = obs::MaybeSpan(tr, "estimate");
     AQP_ASSIGN_OR_RETURN(Sample joined,
                          ReconstituteSample(std::move(flat_out), sample));
@@ -417,6 +431,7 @@ Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
   result.exec_stats.rows_scanned += final_stage.second.rows_scanned;
   result.exec_stats.blocks_read += final_stage.second.blocks_read;
   result.exec_stats.rows_joined += final_stage.second.rows_joined;
+  result.exec_stats.parallel.MergeFrom(final_stage.second.parallel);
 
   // Materialize the estimates into the exact query's output shape with
   // per-cell confidence intervals.

@@ -40,6 +40,12 @@ struct AqpOptions {
   uint64_t min_units = 30;
 
   uint64_t seed = 42;
+
+  /// Morsel-parallel execution knobs forwarded to the engine and the
+  /// samplers for every stage (pilot, final, exact fallback). The default
+  /// resolves to all hardware threads; set `exec.num_threads = 1` for
+  /// strictly serial execution. Results never depend on the thread count.
+  ExecOptions exec;
 };
 
 /// Result of an approximate execution. `table` always has the exact query's

@@ -22,11 +22,25 @@ std::string BaseName(const std::string& name) {
 
 // Restricts a sample to the rows matching `predicate`, keeping the design
 // metadata intact (units that lose all rows simply stop contributing).
-Result<Sample> FilterSample(const Sample& sample, const ExprPtr& predicate) {
-  AQP_ASSIGN_OR_RETURN(std::vector<uint32_t> selected,
-                       EvalPredicate(*predicate, sample.table));
+// Predicate evaluation and the gather run morsel-parallel when the sample is
+// big enough; either way the output is identical to the serial path.
+Result<Sample> FilterSample(const Sample& sample, const ExprPtr& predicate,
+                            const ExecOptions& exec,
+                            ParallelRunStats* run_stats) {
+  const bool use_morsels = exec.UseMorsels(sample.table.num_rows());
+  std::vector<uint32_t> selected;
+  if (use_morsels) {
+    AQP_ASSIGN_OR_RETURN(
+        selected, EvalPredicateMorsel(*predicate, sample.table,
+                                      exec.morsel_rows, exec.ResolvedThreads(),
+                                      run_stats));
+  } else {
+    AQP_ASSIGN_OR_RETURN(selected, EvalPredicate(*predicate, sample.table));
+  }
   Sample out;
-  out.table = sample.table.Take(selected);
+  out.table = use_morsels ? sample.table.Take(selected, exec.ResolvedThreads(),
+                                              run_stats)
+                          : sample.table.Take(selected);
   out.weights.reserve(selected.size());
   out.unit_ids.reserve(selected.size());
   for (uint32_t i : selected) {
@@ -44,8 +58,9 @@ Result<Sample> FilterSample(const Sample& sample, const ExprPtr& predicate) {
 }  // namespace
 
 OfflineExecutor::OfflineExecutor(const Catalog* catalog,
-                                 const SampleCatalog* samples)
-    : catalog_(catalog), samples_(samples) {
+                                 const SampleCatalog* samples,
+                                 ExecOptions exec)
+    : catalog_(catalog), samples_(samples), exec_(exec) {
   AQP_CHECK(catalog != nullptr);
   AQP_CHECK(samples != nullptr);
 }
@@ -116,7 +131,9 @@ Result<ApproxResult> OfflineExecutor::Execute(std::string_view sql,
   if (stmt.where != nullptr) {
     obs::TraceSpan filter_span = obs::MaybeSpan(tr, "filter-sample");
     AQP_ASSIGN_OR_RETURN(ExprPtr predicate, sql::LowerSqlExpr(stmt.where));
-    AQP_ASSIGN_OR_RETURN(sample, FilterSample(sample, predicate));
+    AQP_ASSIGN_OR_RETURN(
+        sample,
+        FilterSample(sample, predicate, exec_, &result.exec_stats.parallel));
     filter_span.AddAttr("rows_out",
                         static_cast<uint64_t>(sample.num_rows()));
   }
@@ -152,6 +169,14 @@ Result<ApproxResult> OfflineExecutor::Execute(std::string_view sql,
   prof.sampled_fraction = result.final_rate;
   // Query-time cost of the offline path: only the stored sample is read.
   prof.rows_scanned = stored->sample.num_rows();
+  if (result.exec_stats.parallel.morsels > 0) {
+    obs::ParallelReport par;
+    par.num_threads = exec_.ResolvedThreads();
+    par.morsels = result.exec_stats.parallel.morsels;
+    par.steals = result.exec_stats.parallel.steals;
+    par.worker_rows = result.exec_stats.parallel.worker_items;
+    prof.parallel = std::move(par);
+  }
   result.final_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

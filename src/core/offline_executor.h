@@ -25,8 +25,11 @@ namespace core {
 /// aggregates report Unimplemented, signalling the caller to fall back.
 class OfflineExecutor {
  public:
-  /// Both registries must outlive the executor.
-  OfflineExecutor(const Catalog* catalog, const SampleCatalog* samples);
+  /// Both registries must outlive the executor. `exec` controls
+  /// morsel-parallel sample filtering/gathering at query time (results are
+  /// identical for every thread count).
+  OfflineExecutor(const Catalog* catalog, const SampleCatalog* samples,
+                  ExecOptions exec = {});
 
   /// Executes `sql` against the best stored sample (preferring one
   /// stratified on the query's GROUP BY column). The result has the same
@@ -38,6 +41,7 @@ class OfflineExecutor {
  private:
   const Catalog* catalog_;
   const SampleCatalog* samples_;
+  ExecOptions exec_;
 };
 
 }  // namespace core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "expr/eval.h"
 #include "obs/metrics.h"
 
@@ -12,11 +13,13 @@ namespace core {
 Result<OnlineAggregator> OnlineAggregator::Create(const Table& table,
                                                   ExprPtr measure,
                                                   ExprPtr predicate,
-                                                  uint64_t seed) {
+                                                  uint64_t seed,
+                                                  ExecOptions exec) {
   if (measure == nullptr) {
     return Status::InvalidArgument("OLA requires a measure expression");
   }
   OnlineAggregator ola;
+  ola.exec_ = exec;
   ola.profile_.executor = "online-aggregation";
   ola.profile_.approximated = true;
   obs::QueryTrace* tr = obs::Enabled() ? &ola.profile_.trace : nullptr;
@@ -38,8 +41,14 @@ Result<OnlineAggregator> OnlineAggregator::Create(const Table& table,
   }
   ola.qualifies_.assign(table.num_rows(), 1);
   if (predicate != nullptr) {
-    AQP_ASSIGN_OR_RETURN(std::vector<uint32_t> sel,
-                         EvalPredicate(*predicate, table));
+    std::vector<uint32_t> sel;
+    if (exec.UseMorsels(table.num_rows())) {
+      AQP_ASSIGN_OR_RETURN(
+          sel, EvalPredicateMorsel(*predicate, table, exec.morsel_rows,
+                                   exec.ResolvedThreads()));
+    } else {
+      AQP_ASSIGN_OR_RETURN(sel, EvalPredicate(*predicate, table));
+    }
     std::fill(ola.qualifies_.begin(), ola.qualifies_.end(), 0);
     for (uint32_t i : sel) ola.qualifies_[i] = 1;
   }
@@ -63,12 +72,43 @@ OlaProgress OnlineAggregator::Step(size_t chunk_rows, double confidence) {
         "aqp_ola_steps_total");
     steps->Increment();
   }
-  size_t end = std::min(consumed_ + chunk_rows, order_.size());
-  for (; consumed_ < end; ++consumed_) {
-    uint32_t row = order_[consumed_];
-    double contribution = qualifies_[row] ? values_[row] : 0.0;
-    acc_.Add(contribution);
-    if (qualifies_[row]) ++qualifying_seen_;
+  const size_t end = std::min(consumed_ + chunk_rows, order_.size());
+  const size_t chunk = end - consumed_;
+  if (exec_.UseMorsels(chunk)) {
+    // Epoch fold: per-morsel partial accumulators over the chunk, merged in
+    // morsel order into the shared state once per Step. Algorithm choice is
+    // gated on chunk size only, so the estimates are identical for every
+    // thread count.
+    const size_t morsel_rows = exec_.morsel_rows;
+    const size_t num_morsels = (chunk + morsel_rows - 1) / morsel_rows;
+    struct Partial {
+      stats::Accumulator acc;
+      uint64_t qualifying = 0;
+    };
+    std::vector<Partial> partials(num_morsels);
+    const size_t base = consumed_;
+    ThreadPool::Shared().ParallelFor(
+        chunk, morsel_rows, exec_.ResolvedThreads(),
+        [&](size_t, size_t m, size_t begin, size_t mend) {
+          Partial& p = partials[m];
+          for (size_t k = begin; k < mend; ++k) {
+            uint32_t row = order_[base + k];
+            p.acc.Add(qualifies_[row] ? values_[row] : 0.0);
+            if (qualifies_[row]) ++p.qualifying;
+          }
+        });
+    for (const Partial& p : partials) {
+      acc_.Merge(p.acc);
+      qualifying_seen_ += p.qualifying;
+    }
+    consumed_ = end;
+  } else {
+    for (; consumed_ < end; ++consumed_) {
+      uint32_t row = order_[consumed_];
+      double contribution = qualifies_[row] ? values_[row] : 0.0;
+      acc_.Add(contribution);
+      if (qualifies_[row]) ++qualifying_seen_;
+    }
   }
 
   OlaProgress progress;

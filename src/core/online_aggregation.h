@@ -6,6 +6,7 @@
 
 #include "common/random.h"
 #include "common/result.h"
+#include "engine/exec_options.h"
 #include "expr/expr.h"
 #include "obs/profile.h"
 #include "stats/confidence.h"
@@ -38,11 +39,21 @@ class OnlineAggregator {
  public:
   /// Aggregates `measure` over rows of `table` matching `predicate`
   /// (nullptr = all rows). The random consumption order is fixed by `seed`.
+  /// `exec` controls morsel-parallel setup and stepping; the consumption
+  /// order, every estimate, and every interval are identical for every
+  /// thread count (epoch semantics below).
   static Result<OnlineAggregator> Create(const Table& table, ExprPtr measure,
-                                         ExprPtr predicate, uint64_t seed);
+                                         ExprPtr predicate, uint64_t seed,
+                                         ExecOptions exec = {});
 
   /// Consumes up to `chunk_rows` more rows and returns the refreshed
-  /// estimates at the given confidence.
+  /// estimates at the given confidence. Each Step is one epoch: the chunk is
+  /// folded morsel-parallel into per-morsel partial accumulators, which
+  /// merge in morsel order into the shared running accumulator once, at the
+  /// epoch boundary. Estimates therefore refresh per epoch (never
+  /// mid-chunk), and the CI half-width tightens monotonically in expectation
+  /// as epochs consume more rows — collapsing to zero at 100% via the
+  /// finite-population correction.
   OlaProgress Step(size_t chunk_rows, double confidence);
 
   /// Steps until the SUM interval's relative half-width drops to
@@ -70,6 +81,7 @@ class OnlineAggregator {
   stats::Accumulator acc_;            // Over qualifying, non-null measures.
   uint64_t qualifying_seen_ = 0;
   uint64_t steps_ = 0;
+  ExecOptions exec_;
   obs::ExecutionProfile profile_;
 };
 

@@ -114,19 +114,6 @@ Result<GroupIndex> BuildGroupIndex(const Table& input,
 
 namespace {
 
-// Per-group running state for one aggregate.
-struct AggState {
-  double weighted_sum = 0.0;   // sum of w * x
-  double weight_total = 0.0;   // sum of w over non-null args (or all rows).
-  uint64_t count = 0;          // raw (unweighted) non-null count.
-  double mean = 0.0;           // Welford (unweighted).
-  double m2 = 0.0;
-  bool has_value = false;
-  Value min_v;
-  Value max_v;
-  std::unordered_set<uint64_t> distinct;  // Hashes for COUNT DISTINCT.
-};
-
 // Compares boxed values of the same (or numeric-compatible) type.
 int CompareValues(const Value& a, const Value& b) {
   if (IsNumeric(a.type()) && IsNumeric(b.type())) {
@@ -146,7 +133,108 @@ int CompareValues(const Value& a, const Value& b) {
   }
 }
 
+// Folds row `i` into `st` for one aggregate. `arg` is null only for
+// COUNT(*). Shared by the classic streaming path and the morsel bodies so
+// both paths apply identical per-row arithmetic.
+void AccumulateRow(AggAccumulator& st, AggKind kind, const Column* arg,
+                   size_t i, double w) {
+  if (kind == AggKind::kCountStar) {
+    st.weight_total += w;
+    ++st.count;
+    return;
+  }
+  if (arg->IsNull(i)) return;
+  switch (kind) {
+    case AggKind::kCount:
+      st.weight_total += w;
+      ++st.count;
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg: {
+      double x = arg->NumericAt(i);
+      st.weighted_sum += w * x;
+      st.weight_total += w;
+      ++st.count;
+      break;
+    }
+    case AggKind::kVar:
+    case AggKind::kStddev: {
+      double x = arg->NumericAt(i);
+      ++st.count;
+      double delta = x - st.mean;
+      st.mean += delta / static_cast<double>(st.count);
+      st.m2 += delta * (x - st.mean);
+      break;
+    }
+    case AggKind::kMin:
+    case AggKind::kMax: {
+      Value v = arg->GetValue(i);
+      if (!st.has_value) {
+        st.min_v = v;
+        st.max_v = v;
+        st.has_value = true;
+      } else {
+        if (CompareValues(v, st.min_v) < 0) st.min_v = v;
+        if (CompareValues(v, st.max_v) > 0) st.max_v = std::move(v);
+      }
+      break;
+    }
+    case AggKind::kCountDistinct:
+      st.distinct.insert(arg->HashAt(i, /*seed=*/17));
+      break;
+    case AggKind::kCountStar:
+      break;  // Handled above.
+  }
+}
+
+// Hash of group-key row `i` across all key columns (same recipe as
+// BuildGroupIndex so serial and morsel paths bucket identically).
+uint64_t KeyRowHash(const std::vector<Column>& keys, size_t i) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Column& k : keys) h = HashCombine(h, k.HashAt(i));
+  return h;
+}
+
+// True when group-key rows `i` and `j` are equal across all key columns.
+bool KeyRowsEqual(const std::vector<Column>& keys, size_t i, size_t j) {
+  for (const Column& k : keys) {
+    if (!k.SlotEquals(i, k, j)) return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+void AggAccumulator::Merge(const AggAccumulator& other) {
+  weighted_sum += other.weighted_sum;
+  weight_total += other.weight_total;
+  if (other.count > 0) {
+    if (count == 0) {
+      mean = other.mean;
+      m2 = other.m2;
+    } else {
+      // Chan et al. (1979) pairwise combine of Welford states.
+      double na = static_cast<double>(count);
+      double nb = static_cast<double>(other.count);
+      double delta = other.mean - mean;
+      double nn = na + nb;
+      mean += delta * (nb / nn);
+      m2 += other.m2 + delta * delta * (na * nb / nn);
+    }
+  }
+  count += other.count;
+  if (other.has_value) {
+    if (!has_value) {
+      min_v = other.min_v;
+      max_v = other.max_v;
+      has_value = true;
+    } else {
+      if (CompareValues(other.min_v, min_v) < 0) min_v = other.min_v;
+      if (CompareValues(other.max_v, max_v) > 0) max_v = other.max_v;
+    }
+  }
+  distinct.insert(other.distinct.begin(), other.distinct.end());
+}
 
 Result<Table> GroupByAggregate(const Table& input,
                                const std::vector<ExprPtr>& group_exprs,
@@ -160,7 +248,6 @@ Result<Table> GroupByAggregate(const Table& input,
   if (options.weights != nullptr && options.weights->size() != n) {
     return Status::InvalidArgument("weight vector length mismatch");
   }
-  AQP_ASSIGN_OR_RETURN(GroupIndex index, BuildGroupIndex(input, group_exprs));
 
   // Evaluate aggregate arguments once, vectorized.
   std::vector<Column> arg_columns;
@@ -182,63 +269,147 @@ Result<Table> GroupByAggregate(const Table& input,
     arg_columns.push_back(std::move(c));
   }
 
-  // Accumulate.
-  std::vector<std::vector<AggState>> states(
-      aggs.size(), std::vector<AggState>(index.num_groups));
-  for (size_t i = 0; i < n; ++i) {
-    uint32_t g = index.group_ids[i];
-    double w = options.weights ? (*options.weights)[i] : 1.0;
-    for (size_t a = 0; a < aggs.size(); ++a) {
-      AggState& st = states[a][g];
-      const AggSpec& spec = aggs[a];
-      if (spec.kind == AggKind::kCountStar) {
-        st.weight_total += w;
-        ++st.count;
-        continue;
+  // Accumulate. Two equivalent algorithms, chosen by input size only (never
+  // thread count, so results are thread-count independent):
+  //   - classic: single streaming pass over rows;
+  //   - morsel: per-morsel AggAccumulator partials, merged in morsel order.
+  std::vector<std::vector<AggAccumulator>> states;  // [agg][group].
+  std::vector<Column> key_columns;                  // One per group expr.
+  size_t num_groups = 0;
+  const bool use_morsels =
+      options.exec != nullptr && options.exec->UseMorsels(n);
+  if (!use_morsels) {
+    AQP_ASSIGN_OR_RETURN(GroupIndex index, BuildGroupIndex(input, group_exprs));
+    states.assign(aggs.size(), std::vector<AggAccumulator>(index.num_groups));
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t g = index.group_ids[i];
+      double w = options.weights ? (*options.weights)[i] : 1.0;
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        AccumulateRow(states[a][g], aggs[a].kind,
+                      aggs[a].kind == AggKind::kCountStar ? nullptr
+                                                          : &arg_columns[a],
+                      i, w);
       }
-      const Column& arg = arg_columns[a];
-      if (arg.IsNull(i)) continue;
-      switch (spec.kind) {
-        case AggKind::kCount:
-          st.weight_total += w;
-          ++st.count;
-          break;
-        case AggKind::kSum:
-        case AggKind::kAvg: {
-          double x = arg.NumericAt(i);
-          st.weighted_sum += w * x;
-          st.weight_total += w;
-          ++st.count;
-          break;
+    }
+    key_columns = std::move(index.key_columns);
+    num_groups = index.num_groups;
+  } else {
+    ThreadPool& pool = ThreadPool::Shared();
+    const size_t num_threads = options.exec->ResolvedThreads();
+    const size_t morsel_rows = options.exec->morsel_rows;
+    const size_t num_morsels = (n + morsel_rows - 1) / morsel_rows;
+
+    if (group_exprs.empty()) {
+      // Global aggregates: one partial vector per morsel, merged in order.
+      std::vector<std::vector<AggAccumulator>> partials(
+          num_morsels, std::vector<AggAccumulator>(aggs.size()));
+      ParallelRunStats rs = pool.ParallelFor(
+          n, morsel_rows, num_threads,
+          [&](size_t, size_t m, size_t begin, size_t end) {
+            std::vector<AggAccumulator>& local = partials[m];
+            for (size_t i = begin; i < end; ++i) {
+              double w = options.weights ? (*options.weights)[i] : 1.0;
+              for (size_t a = 0; a < aggs.size(); ++a) {
+                AccumulateRow(local[a], aggs[a].kind,
+                              aggs[a].kind == AggKind::kCountStar
+                                  ? nullptr
+                                  : &arg_columns[a],
+                              i, w);
+              }
+            }
+          });
+      states.assign(aggs.size(), std::vector<AggAccumulator>(1));
+      for (size_t m = 0; m < num_morsels; ++m) {
+        for (size_t a = 0; a < aggs.size(); ++a) {
+          states[a][0].Merge(partials[m][a]);
         }
-        case AggKind::kVar:
-        case AggKind::kStddev: {
-          double x = arg.NumericAt(i);
-          ++st.count;
-          double delta = x - st.mean;
-          st.mean += delta / static_cast<double>(st.count);
-          st.m2 += delta * (x - st.mean);
-          break;
-        }
-        case AggKind::kMin:
-        case AggKind::kMax: {
-          Value v = arg.GetValue(i);
-          if (!st.has_value) {
-            st.min_v = v;
-            st.max_v = v;
-            st.has_value = true;
-          } else {
-            if (CompareValues(v, st.min_v) < 0) st.min_v = v;
-            if (CompareValues(v, st.max_v) > 0) st.max_v = std::move(v);
+      }
+      num_groups = 1;
+      if (options.run_stats != nullptr) options.run_stats->MergeFrom(rs);
+    } else {
+      // Grouped: evaluate the key columns once, then each morsel discovers
+      // its own local groups (rep row = first appearance in the morsel) and
+      // accumulates into local partials. Merging morsels in morsel order
+      // assigns global group ids in whole-input first-appearance order —
+      // exactly the serial ordering.
+      std::vector<Column> keys;
+      keys.reserve(group_exprs.size());
+      for (const ExprPtr& e : group_exprs) {
+        AQP_ASSIGN_OR_RETURN(Column c, Eval(*e, input));
+        keys.push_back(std::move(c));
+      }
+      struct MorselGroups {
+        std::vector<uint32_t> reps;  // Representative row per local group.
+        std::vector<std::vector<AggAccumulator>> states;  // [agg][local].
+      };
+      std::vector<MorselGroups> morsels(num_morsels);
+      ParallelRunStats rs = pool.ParallelFor(
+          n, morsel_rows, num_threads,
+          [&](size_t, size_t m, size_t begin, size_t end) {
+            MorselGroups& mg = morsels[m];
+            mg.states.assign(aggs.size(), {});
+            std::unordered_map<uint64_t, std::vector<uint32_t>> local;
+            for (size_t i = begin; i < end; ++i) {
+              uint64_t h = KeyRowHash(keys, i);
+              std::vector<uint32_t>& bucket = local[h];
+              uint32_t gid = UINT32_MAX;
+              for (uint32_t cand : bucket) {
+                if (KeyRowsEqual(keys, i, mg.reps[cand])) {
+                  gid = cand;
+                  break;
+                }
+              }
+              if (gid == UINT32_MAX) {
+                gid = static_cast<uint32_t>(mg.reps.size());
+                mg.reps.push_back(static_cast<uint32_t>(i));
+                bucket.push_back(gid);
+                for (std::vector<AggAccumulator>& s : mg.states) {
+                  s.emplace_back();
+                }
+              }
+              double w = options.weights ? (*options.weights)[i] : 1.0;
+              for (size_t a = 0; a < aggs.size(); ++a) {
+                AccumulateRow(mg.states[a][gid], aggs[a].kind,
+                              aggs[a].kind == AggKind::kCountStar
+                                  ? nullptr
+                                  : &arg_columns[a],
+                              i, w);
+              }
+            }
+          });
+      // Ordered merge into the global group table.
+      for (const Column& k : keys) key_columns.emplace_back(k.type());
+      states.assign(aggs.size(), {});
+      std::unordered_map<uint64_t, std::vector<uint32_t>> global;
+      std::vector<uint32_t> global_reps;
+      for (size_t m = 0; m < num_morsels; ++m) {
+        const MorselGroups& mg = morsels[m];
+        for (size_t l = 0; l < mg.reps.size(); ++l) {
+          uint32_t row = mg.reps[l];
+          uint64_t h = KeyRowHash(keys, row);
+          std::vector<uint32_t>& bucket = global[h];
+          uint32_t gid = UINT32_MAX;
+          for (uint32_t cand : bucket) {
+            if (KeyRowsEqual(keys, row, global_reps[cand])) {
+              gid = cand;
+              break;
+            }
           }
-          break;
+          if (gid == UINT32_MAX) {
+            gid = static_cast<uint32_t>(num_groups++);
+            global_reps.push_back(row);
+            bucket.push_back(gid);
+            for (size_t c = 0; c < keys.size(); ++c) {
+              key_columns[c].AppendFrom(keys[c], row);
+            }
+            for (std::vector<AggAccumulator>& s : states) s.emplace_back();
+          }
+          for (size_t a = 0; a < aggs.size(); ++a) {
+            states[a][gid].Merge(mg.states[a][l]);
+          }
         }
-        case AggKind::kCountDistinct:
-          st.distinct.insert(arg.HashAt(i, /*seed=*/17));
-          break;
-        case AggKind::kCountStar:
-          break;  // Handled above.
       }
+      if (options.run_stats != nullptr) options.run_stats->MergeFrom(rs);
     }
   }
 
@@ -246,15 +417,15 @@ Result<Table> GroupByAggregate(const Table& input,
   Schema out_schema;
   std::vector<Column> out_columns;
   for (size_t c = 0; c < group_exprs.size(); ++c) {
-    out_schema.AddField({group_names[c], index.key_columns[c].type()});
-    out_columns.push_back(index.key_columns[c]);
+    out_schema.AddField({group_names[c], key_columns[c].type()});
+    out_columns.push_back(key_columns[c]);
   }
   for (size_t a = 0; a < aggs.size(); ++a) {
     out_schema.AddField({aggs[a].alias, out_types[a]});
     Column col(out_types[a]);
-    col.Reserve(index.num_groups);
-    for (size_t g = 0; g < index.num_groups; ++g) {
-      const AggState& st = states[a][g];
+    col.Reserve(num_groups);
+    for (size_t g = 0; g < num_groups; ++g) {
+      const AggAccumulator& st = states[a][g];
       switch (aggs[a].kind) {
         case AggKind::kCountStar:
         case AggKind::kCount:

@@ -2,9 +2,12 @@
 #define AQP_ENGINE_AGGREGATE_H_
 
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
+#include "engine/exec_options.h"
 #include "expr/expr.h"
 #include "storage/table.h"
 
@@ -59,12 +62,48 @@ struct GroupIndex {
 Result<GroupIndex> BuildGroupIndex(const Table& input,
                                    const std::vector<ExprPtr>& group_exprs);
 
+/// Running state of one aggregate for one group. A worker-local partial:
+/// morsel workers each fold their rows into private accumulators (no locks,
+/// no sharing), and the coordinator folds the partials together with
+/// Merge() in morsel order — the merge-safe half of the morsel-parallel
+/// aggregation design.
+struct AggAccumulator {
+  double weighted_sum = 0.0;  // sum of w * x
+  double weight_total = 0.0;  // sum of w over non-null args (or all rows).
+  uint64_t count = 0;         // raw (unweighted) non-null count.
+  double mean = 0.0;          // Welford (unweighted), for VAR/STDDEV.
+  double m2 = 0.0;
+  bool has_value = false;
+  Value min_v;
+  Value max_v;
+  std::unordered_set<uint64_t> distinct;  // Hashes for COUNT DISTINCT.
+
+  /// Folds `other` into this accumulator. Valid for every AggKind: the sum
+  /// fields add, MIN/MAX compare, the distinct sets union, and the variance
+  /// state combines with the Chan et al. parallel-Welford formula. The
+  /// merge is deterministic, so folding morsel partials in morsel order
+  /// yields the same result for every thread count.
+  void Merge(const AggAccumulator& other);
+};
+
 /// Optional per-row weights for Horvitz–Thompson style estimation: COUNT
 /// becomes sum of weights, SUM becomes sum of w*x, AVG the weighted mean.
 /// MIN/MAX/COUNT DISTINCT/VAR ignore weights (they are not linearly
 /// estimable). Weight vector length must equal input rows.
 struct AggregateOptions {
   const std::vector<double>* weights = nullptr;
+
+  /// When non-null and the input clears exec->parallel_min_rows, aggregation
+  /// runs morsel-parallel: group-key and argument expressions are evaluated
+  /// once, every morsel builds its own local group table and AggAccumulator
+  /// partials, and partials merge in morsel order (group ids come out in
+  /// first-appearance row order, exactly like the serial path). Null keeps
+  /// the classic single-pass streaming path.
+  const ExecOptions* exec = nullptr;
+
+  /// When non-null, morsel/steal/per-worker counts of the parallel run are
+  /// accumulated here (untouched on the serial path).
+  ParallelRunStats* run_stats = nullptr;
 };
 
 /// Hash group-by aggregation: one output row per group, key columns first

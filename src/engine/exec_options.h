@@ -1,0 +1,59 @@
+#ifndef AQP_ENGINE_EXEC_OPTIONS_H_
+#define AQP_ENGINE_EXEC_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+
+#include "common/thread_pool.h"
+
+namespace aqp {
+
+/// Execution knobs shared by every executor (engine, approximate, offline,
+/// online aggregation). The defaults give morsel-driven parallel execution
+/// on all hardware threads; `num_threads = 1` preserves strictly
+/// single-threaded execution (no pool, no helper threads).
+///
+/// Determinism contract: for a fixed (query seed, morsel_rows,
+/// parallel_min_rows), results are identical for EVERY num_threads —
+/// bit-for-bit for exact queries, draw-for-draw for sampled ones. Two
+/// mechanisms deliver this:
+///   1. per-morsel RNG: randomized operators seed one generator per morsel
+///      from (seed, morsel id), never sharing a generator across morsels;
+///   2. ordered merge: worker-local partial results live in morsel-indexed
+///      slots and are merged in morsel order after the parallel region.
+/// Changing morsel_rows (or parallel_min_rows, which switches between the
+/// classic streaming path and the morsel path) legitimately changes
+/// last-ulp floating-point grouping and sampled draws; changing thread
+/// count never does.
+struct ExecOptions {
+  /// 0 = auto: the AQP_NUM_THREADS environment variable if set, else
+  /// HardwareThreads().
+  size_t num_threads = 0;
+
+  /// Fixed morsel size in rows. Part of the determinism contract above.
+  uint32_t morsel_rows = 4096;
+
+  /// Inputs with fewer rows than this run the classic single-pass serial
+  /// path (morsel bookkeeping does not pay for itself). The threshold is
+  /// compared against input size only — never thread count — so the chosen
+  /// algorithm, and hence the result, is thread-count independent.
+  size_t parallel_min_rows = 8192;
+
+  /// The thread count this option set resolves to (>= 1).
+  size_t ResolvedThreads() const {
+    if (num_threads > 0) return num_threads;
+    if (const char* env = std::getenv("AQP_NUM_THREADS")) {
+      long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<size_t>(v);
+    }
+    return HardwareThreads();
+  }
+
+  /// True when `n` rows is enough work for the morsel path.
+  bool UseMorsels(size_t n) const { return n >= parallel_min_rows; }
+};
+
+}  // namespace aqp
+
+#endif  // AQP_ENGINE_EXEC_OPTIONS_H_

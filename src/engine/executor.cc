@@ -42,32 +42,89 @@ int CompareForSort(const Column& a, size_t i, const Column& b, size_t j) {
   return 0;
 }
 
-Result<TablePtr> Exec(const PlanPtr& plan, const Catalog& catalog,
-                      ExecStats* stats, obs::QueryTrace* trace);
+// Bundles the per-query execution environment threaded through every
+// operator: where tables come from, where counters go, and the parallelism
+// knobs. Spans are created only on the coordinator thread (QueryTrace is not
+// thread-safe); workers never touch `trace`.
+struct ExecContext {
+  const Catalog& catalog;
+  ExecStats* stats;
+  obs::QueryTrace* trace;
+  const ExecOptions& options;
 
-Result<TablePtr> ExecScan(const PlanNode& node, const Catalog& catalog,
-                          ExecStats* stats, obs::QueryTrace* /*trace*/) {
-  AQP_ASSIGN_OR_RETURN(TablePtr table, catalog.Get(node.table_name()));
+  // Where parallel regions report their morsel/steal counters (null when the
+  // caller did not ask for stats).
+  ParallelRunStats* run_stats() const {
+    return stats != nullptr ? &stats->parallel : nullptr;
+  }
+};
+
+Result<TablePtr> Exec(const PlanPtr& plan, ExecContext& ctx);
+
+// Gathers `keep` out of `table`, in parallel when the morsel path is active
+// for this input size (the parallel gather is column-wise and produces the
+// identical table for every thread count).
+Table GatherRows(const Table& table, const std::vector<uint32_t>& keep,
+                 bool use_morsels, ExecContext& ctx) {
+  if (!use_morsels) return table.Take(keep);
+  return table.Take(keep, ctx.options.ResolvedThreads(), ctx.run_stats());
+}
+
+Result<TablePtr> ExecScan(const PlanNode& node, ExecContext& ctx) {
+  AQP_ASSIGN_OR_RETURN(TablePtr table, ctx.catalog.Get(node.table_name()));
   const SampleSpec& spec = node.sample();
   if (!spec.is_sampled()) {
-    if (stats != nullptr) {
-      stats->rows_scanned += table->num_rows();
-      stats->blocks_read += table->NumBlocks(spec.block_size);
+    if (ctx.stats != nullptr) {
+      ctx.stats->rows_scanned += table->num_rows();
+      ctx.stats->blocks_read += table->NumBlocks(spec.block_size);
     }
     return table;
   }
-  Pcg32 rng(spec.seed);
+  const size_t n = table->num_rows();
+  const bool use_morsels = ctx.options.UseMorsels(n);
   std::vector<uint32_t> keep;
   uint64_t blocks_read = 0;
   if (spec.method == SampleSpec::Method::kBernoulliRow) {
     // Row-level Bernoulli still scans every block — the system-efficiency
     // gap the paper highlights.
     blocks_read = table->NumBlocks(spec.block_size);
-    for (size_t i = 0; i < table->num_rows(); ++i) {
-      if (rng.Bernoulli(spec.rate)) keep.push_back(static_cast<uint32_t>(i));
+    if (use_morsels) {
+      // Per-morsel RNG: morsel m draws from stream m of the query seed, so
+      // the kept set depends only on (seed, morsel_rows) — never on which
+      // worker ran the morsel or how many threads participated.
+      const size_t morsel_rows = ctx.options.morsel_rows;
+      const size_t num_morsels = (n + morsel_rows - 1) / morsel_rows;
+      std::vector<std::vector<uint32_t>> local(num_morsels);
+      ParallelRunStats rs = ThreadPool::Shared().ParallelFor(
+          n, morsel_rows, ctx.options.ResolvedThreads(),
+          [&](size_t, size_t m, size_t begin, size_t end) {
+            Pcg32 rng = MorselRng(spec.seed, m);
+            for (size_t i = begin; i < end; ++i) {
+              if (rng.Bernoulli(spec.rate)) {
+                local[m].push_back(static_cast<uint32_t>(i));
+              }
+            }
+          });
+      size_t total = 0;
+      for (const std::vector<uint32_t>& v : local) total += v.size();
+      keep.reserve(total);
+      for (const std::vector<uint32_t>& v : local) {
+        keep.insert(keep.end(), v.begin(), v.end());
+      }
+      if (ctx.run_stats() != nullptr) ctx.run_stats()->MergeFrom(rs);
+    } else {
+      // Small input: one morsel, one stream — MorselRng(seed, 0) is the
+      // plain Pcg32(seed) the classic path always used.
+      Pcg32 rng = MorselRng(spec.seed, 0);
+      for (size_t i = 0; i < n; ++i) {
+        if (rng.Bernoulli(spec.rate)) keep.push_back(static_cast<uint32_t>(i));
+      }
     }
   } else {
-    // Block-level: sample whole blocks, skip the rest entirely.
+    // Block-level: sample whole blocks, skip the rest entirely. One
+    // Bernoulli draw per block from a single stream is cheap and trivially
+    // thread-count independent; only the gather below parallelizes.
+    Pcg32 rng(spec.seed);
     size_t num_blocks = table->NumBlocks(spec.block_size);
     for (size_t b = 0; b < num_blocks; ++b) {
       if (!rng.Bernoulli(spec.rate)) continue;
@@ -78,27 +135,61 @@ Result<TablePtr> ExecScan(const PlanNode& node, const Catalog& catalog,
       }
     }
   }
-  if (stats != nullptr) {
-    stats->rows_scanned += keep.size();
-    stats->blocks_read += blocks_read;
+  if (ctx.stats != nullptr) {
+    ctx.stats->rows_scanned += keep.size();
+    ctx.stats->blocks_read += blocks_read;
   }
-  return std::make_shared<const Table>(table->Take(keep));
+  return std::make_shared<const Table>(
+      GatherRows(*table, keep, use_morsels, ctx));
 }
 
-Result<TablePtr> ExecFilter(const PlanNode& node, const Catalog& catalog,
-                            ExecStats* stats, obs::QueryTrace* trace) {
-  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), catalog, stats, trace));
-  AQP_ASSIGN_OR_RETURN(std::vector<uint32_t> selected,
-                       EvalPredicate(*node.predicate(), *input));
-  return std::make_shared<const Table>(input->Take(selected));
+Result<TablePtr> ExecFilter(const PlanNode& node, ExecContext& ctx) {
+  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), ctx));
+  const bool use_morsels = ctx.options.UseMorsels(input->num_rows());
+  std::vector<uint32_t> selected;
+  if (use_morsels) {
+    AQP_ASSIGN_OR_RETURN(
+        selected, EvalPredicateMorsel(*node.predicate(), *input,
+                                      ctx.options.morsel_rows,
+                                      ctx.options.ResolvedThreads(),
+                                      ctx.run_stats()));
+  } else {
+    AQP_ASSIGN_OR_RETURN(selected, EvalPredicate(*node.predicate(), *input));
+  }
+  return std::make_shared<const Table>(
+      GatherRows(*input, selected, use_morsels, ctx));
 }
 
-Result<TablePtr> ExecProject(const PlanNode& node, const Catalog& catalog,
-                             ExecStats* stats, obs::QueryTrace* trace) {
-  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), catalog, stats, trace));
+Result<TablePtr> ExecProject(const PlanNode& node, ExecContext& ctx) {
+  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), ctx));
+  const size_t num_exprs = node.exprs().size();
+  if (ctx.options.UseMorsels(input->num_rows()) && num_exprs > 1) {
+    // Expression-parallel: each output column evaluates independently.
+    std::vector<Result<Column>> results(
+        num_exprs, Result<Column>(Column(DataType::kInt64)));
+    ParallelRunStats rs = ThreadPool::Shared().ParallelFor(
+        num_exprs, /*morsel_items=*/1, ctx.options.ResolvedThreads(),
+        [&](size_t, size_t, size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            results[i] = Eval(*node.exprs()[i], *input);
+          }
+        });
+    if (ctx.run_stats() != nullptr) ctx.run_stats()->MergeFrom(rs);
+    Schema schema;
+    std::vector<Column> columns;
+    columns.reserve(num_exprs);
+    for (size_t i = 0; i < num_exprs; ++i) {
+      AQP_ASSIGN_OR_RETURN(Column c, std::move(results[i]));
+      schema.AddField({node.names()[i], c.type()});
+      columns.push_back(std::move(c));
+    }
+    AQP_ASSIGN_OR_RETURN(Table out,
+                         Table::Make(std::move(schema), std::move(columns)));
+    return std::make_shared<const Table>(std::move(out));
+  }
   Schema schema;
   std::vector<Column> columns;
-  for (size_t i = 0; i < node.exprs().size(); ++i) {
+  for (size_t i = 0; i < num_exprs; ++i) {
     AQP_ASSIGN_OR_RETURN(Column c, Eval(*node.exprs()[i], *input));
     schema.AddField({node.names()[i], c.type()});
     columns.push_back(std::move(c));
@@ -108,10 +199,10 @@ Result<TablePtr> ExecProject(const PlanNode& node, const Catalog& catalog,
   return std::make_shared<const Table>(std::move(out));
 }
 
-Result<TablePtr> ExecJoin(const PlanNode& node, const Catalog& catalog,
-                          ExecStats* stats, obs::QueryTrace* trace) {
-  AQP_ASSIGN_OR_RETURN(TablePtr left, Exec(node.child(0), catalog, stats, trace));
-  AQP_ASSIGN_OR_RETURN(TablePtr right, Exec(node.child(1), catalog, stats, trace));
+Result<TablePtr> ExecJoin(const PlanNode& node, ExecContext& ctx) {
+  AQP_ASSIGN_OR_RETURN(TablePtr left, Exec(node.child(0), ctx));
+  AQP_ASSIGN_OR_RETURN(TablePtr right, Exec(node.child(1), ctx));
+  ExecStats* stats = ctx.stats;
 
   std::vector<size_t> lkeys;
   std::vector<size_t> rkeys;
@@ -217,18 +308,20 @@ Result<TablePtr> ExecJoin(const PlanNode& node, const Catalog& catalog,
   return std::make_shared<const Table>(std::move(fixed));
 }
 
-Result<TablePtr> ExecAggregate(const PlanNode& node, const Catalog& catalog,
-                               ExecStats* stats, obs::QueryTrace* trace) {
-  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), catalog, stats, trace));
+Result<TablePtr> ExecAggregate(const PlanNode& node, ExecContext& ctx) {
+  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), ctx));
+  AggregateOptions agg_options;
+  agg_options.exec = &ctx.options;
+  agg_options.run_stats = ctx.run_stats();
   AQP_ASSIGN_OR_RETURN(
       Table out, GroupByAggregate(*input, node.group_exprs(),
-                                  node.group_names(), node.aggs()));
+                                  node.group_names(), node.aggs(),
+                                  agg_options));
   return std::make_shared<const Table>(std::move(out));
 }
 
-Result<TablePtr> ExecSort(const PlanNode& node, const Catalog& catalog,
-                          ExecStats* stats, obs::QueryTrace* trace) {
-  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), catalog, stats, trace));
+Result<TablePtr> ExecSort(const PlanNode& node, ExecContext& ctx) {
+  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), ctx));
   std::vector<size_t> key_cols;
   for (const SortKey& k : node.sort_keys()) {
     AQP_ASSIGN_OR_RETURN(size_t idx, input->ColumnIndex(k.column));
@@ -248,21 +341,20 @@ Result<TablePtr> ExecSort(const PlanNode& node, const Catalog& catalog,
     }
     return false;
   });
-  return std::make_shared<const Table>(input->Take(order));
+  return std::make_shared<const Table>(
+      GatherRows(*input, order, ctx.options.UseMorsels(order.size()), ctx));
 }
 
-Result<TablePtr> ExecLimit(const PlanNode& node, const Catalog& catalog,
-                           ExecStats* stats, obs::QueryTrace* trace) {
-  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), catalog, stats, trace));
+Result<TablePtr> ExecLimit(const PlanNode& node, ExecContext& ctx) {
+  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), ctx));
   return std::make_shared<const Table>(input->Slice(0, node.limit()));
 }
 
-Result<TablePtr> ExecUnionAll(const PlanNode& node, const Catalog& catalog,
-                              ExecStats* stats, obs::QueryTrace* trace) {
-  AQP_ASSIGN_OR_RETURN(TablePtr first, Exec(node.child(0), catalog, stats, trace));
+Result<TablePtr> ExecUnionAll(const PlanNode& node, ExecContext& ctx) {
+  AQP_ASSIGN_OR_RETURN(TablePtr first, Exec(node.child(0), ctx));
   Table out = *first;  // Copy, then append the rest.
   for (size_t i = 1; i < node.num_children(); ++i) {
-    AQP_ASSIGN_OR_RETURN(TablePtr next, Exec(node.child(i), catalog, stats, trace));
+    AQP_ASSIGN_OR_RETURN(TablePtr next, Exec(node.child(i), ctx));
     AQP_RETURN_IF_ERROR(out.Append(*next));
   }
   return std::make_shared<const Table>(std::move(out));
@@ -290,37 +382,35 @@ const char* OperatorName(PlanKind kind) {
   return "unknown";
 }
 
-Result<TablePtr> ExecDispatch(const PlanPtr& plan, const Catalog& catalog,
-                              ExecStats* stats, obs::QueryTrace* trace) {
+Result<TablePtr> ExecDispatch(const PlanPtr& plan, ExecContext& ctx) {
   switch (plan->kind()) {
     case PlanKind::kScan:
-      return ExecScan(*plan, catalog, stats, trace);
+      return ExecScan(*plan, ctx);
     case PlanKind::kFilter:
-      return ExecFilter(*plan, catalog, stats, trace);
+      return ExecFilter(*plan, ctx);
     case PlanKind::kProject:
-      return ExecProject(*plan, catalog, stats, trace);
+      return ExecProject(*plan, ctx);
     case PlanKind::kJoin:
-      return ExecJoin(*plan, catalog, stats, trace);
+      return ExecJoin(*plan, ctx);
     case PlanKind::kAggregate:
-      return ExecAggregate(*plan, catalog, stats, trace);
+      return ExecAggregate(*plan, ctx);
     case PlanKind::kSort:
-      return ExecSort(*plan, catalog, stats, trace);
+      return ExecSort(*plan, ctx);
     case PlanKind::kLimit:
-      return ExecLimit(*plan, catalog, stats, trace);
+      return ExecLimit(*plan, ctx);
     case PlanKind::kUnionAll:
-      return ExecUnionAll(*plan, catalog, stats, trace);
+      return ExecUnionAll(*plan, ctx);
   }
   return Status::Internal("unreachable plan kind");
 }
 
-Result<TablePtr> Exec(const PlanPtr& plan, const Catalog& catalog,
-                      ExecStats* stats, obs::QueryTrace* trace) {
+Result<TablePtr> Exec(const PlanPtr& plan, ExecContext& ctx) {
   AQP_CHECK(plan != nullptr);
-  if (trace == nullptr) {
+  if (ctx.trace == nullptr) {
     // Untraced path: one branch, no clock reads, no allocations.
-    return ExecDispatch(plan, catalog, stats, trace);
+    return ExecDispatch(plan, ctx);
   }
-  obs::TraceSpan span = trace->Span(OperatorName(plan->kind()));
+  obs::TraceSpan span = ctx.trace->Span(OperatorName(plan->kind()));
   if (plan->kind() == PlanKind::kScan) {
     span.AddAttr("table", plan->table_name());
     const SampleSpec& spec = plan->sample();
@@ -332,9 +422,18 @@ Result<TablePtr> Exec(const PlanPtr& plan, const Catalog& catalog,
       span.AddAttr("sample_rate", spec.rate);
     }
   }
-  Result<TablePtr> result = ExecDispatch(plan, catalog, stats, trace);
+  // Parallel attribution: how many morsels/steals THIS operator (excluding
+  // children, whose spans carry their own deltas) contributed.
+  const ParallelRunStats* rs = ctx.run_stats();
+  uint64_t morsels_before = rs != nullptr ? rs->morsels : 0;
+  uint64_t steals_before = rs != nullptr ? rs->steals : 0;
+  Result<TablePtr> result = ExecDispatch(plan, ctx);
   if (result.ok()) {
     span.AddAttr("rows_out", uint64_t{result.value()->num_rows()});
+  }
+  if (rs != nullptr && rs->morsels > morsels_before) {
+    span.AddAttr("parallel_morsels", rs->morsels - morsels_before);
+    span.AddAttr("parallel_steals", rs->steals - steals_before);
   }
   return result;
 }
@@ -342,15 +441,15 @@ Result<TablePtr> Exec(const PlanPtr& plan, const Catalog& catalog,
 }  // namespace
 
 Result<Table> Execute(const PlanPtr& plan, const Catalog& catalog,
-                      ExecStats* stats, obs::QueryTrace* trace) {
+                      ExecStats* stats, obs::QueryTrace* trace,
+                      const ExecOptions& options) {
   const bool instrumented = obs::Enabled();
   ExecStats local;
   // Metrics need the deltas even when the caller didn't ask for stats.
   ExecStats* effective = stats != nullptr ? stats : &local;
   ExecStats before = instrumented ? *effective : ExecStats{};
-  AQP_ASSIGN_OR_RETURN(TablePtr result,
-                       Exec(plan, catalog,
-                            instrumented ? effective : stats, trace));
+  ExecContext ctx{catalog, instrumented ? effective : stats, trace, options};
+  AQP_ASSIGN_OR_RETURN(TablePtr result, Exec(plan, ctx));
   if (instrumented) {
     // Handles cached across calls: one registry lock each, first call only.
     static obs::Counter* plans = obs::MetricsRegistry::Global().GetCounter(
@@ -361,10 +460,16 @@ Result<Table> Execute(const PlanPtr& plan, const Catalog& catalog,
         "aqp_engine_blocks_read_total");
     static obs::Counter* joined = obs::MetricsRegistry::Global().GetCounter(
         "aqp_engine_rows_joined_total");
+    static obs::Counter* morsels = obs::MetricsRegistry::Global().GetCounter(
+        "aqp_engine_parallel_morsels_total");
+    static obs::Counter* steals = obs::MetricsRegistry::Global().GetCounter(
+        "aqp_engine_parallel_steals_total");
     plans->Increment();
     rows->Increment(effective->rows_scanned - before.rows_scanned);
     blocks->Increment(effective->blocks_read - before.blocks_read);
     joined->Increment(effective->rows_joined - before.rows_joined);
+    morsels->Increment(effective->parallel.morsels - before.parallel.morsels);
+    steals->Increment(effective->parallel.steals - before.parallel.steals);
   }
   return *result;
 }

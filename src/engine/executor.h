@@ -4,7 +4,9 @@
 #include <cstdint>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "engine/catalog.h"
+#include "engine/exec_options.h"
 #include "engine/plan.h"
 #include "obs/trace.h"
 
@@ -17,6 +19,8 @@ struct ExecStats {
   uint64_t blocks_read = 0;    // Blocks touched by scans (block sampling
                                // skips blocks; row sampling reads all).
   uint64_t rows_joined = 0;    // Join output rows.
+  ParallelRunStats parallel;   // Morsel/steal/per-worker counters summed over
+                               // every parallel region of the query.
 };
 
 /// Executes a plan against the catalog, materializing every operator.
@@ -25,9 +29,12 @@ struct ExecStats {
 /// output row counts (and per-scan sampling decisions) — the engine half of
 /// EXPLAIN ANALYZE. A null trace costs a single predictable branch per
 /// operator, keeping instrumentation off the hot path.
+/// `options` controls morsel-driven parallelism (see ExecOptions for the
+/// determinism contract: results never depend on the thread count).
 Result<Table> Execute(const PlanPtr& plan, const Catalog& catalog,
                       ExecStats* stats = nullptr,
-                      obs::QueryTrace* trace = nullptr);
+                      obs::QueryTrace* trace = nullptr,
+                      const ExecOptions& options = {});
 
 }  // namespace aqp
 

@@ -61,6 +61,20 @@ std::string ExecutionProfile::ToText() const {
            "; achieved (a posteriori) " + Pct(contract->achieved_error) +
            (contract->met() ? "  [MET]" : "  [EXCEEDED]") + "\n";
   }
+  if (parallel.has_value()) {
+    out += "  parallel:   threads=" + std::to_string(parallel->num_threads) +
+           " morsels=" + std::to_string(parallel->morsels) +
+           " steals=" + std::to_string(parallel->steals);
+    if (!parallel->worker_rows.empty()) {
+      out += " worker_rows=[";
+      for (size_t i = 0; i < parallel->worker_rows.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(parallel->worker_rows[i]);
+      }
+      out += "]";
+    }
+    out += "\n";
+  }
   out += "  spans:\n";
   std::string spans = trace.ToText();
   // Indent the span tree under the header.
@@ -108,6 +122,16 @@ std::string ExecutionProfile::ToJson() const {
     w.Key("requested_confidence").Value(contract->requested_confidence);
     w.Key("achieved_error").Value(contract->achieved_error);
     w.Key("met").Value(contract->met());
+    w.EndObject();
+  }
+  if (parallel.has_value()) {
+    w.Key("parallel").BeginObject();
+    w.Key("num_threads").Value(parallel->num_threads);
+    w.Key("morsels").Value(parallel->morsels);
+    w.Key("steals").Value(parallel->steals);
+    w.Key("worker_rows").BeginArray();
+    for (uint64_t rows : parallel->worker_rows) w.Value(rows);
+    w.EndArray();
     w.EndObject();
   }
   w.EndObject();

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "obs/trace.h"
 
@@ -19,6 +20,18 @@ struct ContractReport {
   /// system can actually attest a posteriori. 0 for exact answers.
   double achieved_error = 0.0;
   bool met() const { return achieved_error <= requested_error; }
+};
+
+/// Morsel-parallel execution summary for one query: how many threads were
+/// resolved, how many morsels ran, how many were stolen off their owner's
+/// run, and how many rows each worker slot processed (slot 0 is the
+/// coordinating thread). Filled by executors that ran parallel regions;
+/// absent means the query ran entirely serial.
+struct ParallelReport {
+  uint64_t num_threads = 0;
+  uint64_t morsels = 0;
+  uint64_t steals = 0;
+  std::vector<uint64_t> worker_rows;  // Rows per worker slot.
 };
 
 /// What the system actually did to answer one query — the paper's central
@@ -53,6 +66,9 @@ struct ExecutionProfile {
   double total_seconds = 0.0;
 
   std::optional<ContractReport> contract;
+
+  /// Morsel/steal/per-worker attribution when any stage ran parallel.
+  std::optional<ParallelReport> parallel;
 
   /// Nested span timings (parse -> bind -> pilot -> plan -> final -> ...),
   /// with per-operator row counts when engine tracing was on.

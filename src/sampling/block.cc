@@ -4,8 +4,14 @@
 
 namespace aqp {
 
-Result<Sample> BlockSample(const Table& table, double rate,
-                           uint32_t block_size, uint64_t seed) {
+namespace {
+
+// Shared selection + metadata half of both BlockSample overloads; the
+// caller-provided `gather` closure materializes the kept rows.
+template <typename GatherFn>
+Result<Sample> BlockSampleImpl(const Table& table, double rate,
+                               uint32_t block_size, uint64_t seed,
+                               GatherFn gather) {
   if (rate <= 0.0 || rate > 1.0) {
     return Status::InvalidArgument("sampling rate must be in (0, 1]");
   }
@@ -29,12 +35,32 @@ Result<Sample> BlockSample(const Table& table, double rate,
     sample.unit_sizes.push_back(static_cast<double>(last - first));
     ++sampled_blocks;
   }
-  sample.table = table.Take(keep);
+  sample.table = gather(keep);
   sample.num_units_sampled = sampled_blocks;
   sample.num_units_population = num_blocks;
   sample.nominal_rate = rate;
   sample.population_rows = table.num_rows();
   return sample;
+}
+
+}  // namespace
+
+Result<Sample> BlockSample(const Table& table, double rate,
+                           uint32_t block_size, uint64_t seed) {
+  return BlockSampleImpl(
+      table, rate, block_size, seed,
+      [&](const std::vector<uint32_t>& keep) { return table.Take(keep); });
+}
+
+Result<Sample> BlockSample(const Table& table, double rate,
+                           uint32_t block_size, uint64_t seed,
+                           const ExecOptions& exec,
+                           ParallelRunStats* run_stats) {
+  return BlockSampleImpl(
+      table, rate, block_size, seed, [&](const std::vector<uint32_t>& keep) {
+        if (!exec.UseMorsels(keep.size())) return table.Take(keep);
+        return table.Take(keep, exec.ResolvedThreads(), run_stats);
+      });
 }
 
 Table ShuffleRows(const Table& table, uint64_t seed) {

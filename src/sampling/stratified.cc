@@ -11,9 +11,15 @@
 
 namespace aqp {
 
-Result<StratifiedSampleResult> StratifiedSample(
+namespace {
+
+// Shared design half of both StratifiedSample overloads; the caller-provided
+// `gather` closure materializes the kept rows.
+template <typename GatherFn>
+Result<StratifiedSampleResult> StratifiedSampleImpl(
     const Table& table, const std::string& strata_column, uint64_t budget,
-    Allocation allocation, uint64_t seed, const std::string& measure_column) {
+    Allocation allocation, uint64_t seed, const std::string& measure_column,
+    GatherFn gather) {
   if (budget == 0) return Status::InvalidArgument("budget must be positive");
   if (table.num_rows() == 0) {
     return Status::InvalidArgument("cannot stratify an empty table");
@@ -104,13 +110,35 @@ Result<StratifiedSampleResult> StratifiedSample(
     info.sampled_rows = alloc[h];
     result.strata.push_back(std::move(info));
   }
-  result.sample.table = table.Take(keep);
+  result.sample.table = gather(keep);
   result.sample.num_units_sampled = keep.size();
   result.sample.num_units_population = table.num_rows();
   result.sample.nominal_rate =
       static_cast<double>(keep.size()) / static_cast<double>(table.num_rows());
   result.sample.population_rows = table.num_rows();
   return result;
+}
+
+}  // namespace
+
+Result<StratifiedSampleResult> StratifiedSample(
+    const Table& table, const std::string& strata_column, uint64_t budget,
+    Allocation allocation, uint64_t seed, const std::string& measure_column) {
+  return StratifiedSampleImpl(
+      table, strata_column, budget, allocation, seed, measure_column,
+      [&](const std::vector<uint32_t>& keep) { return table.Take(keep); });
+}
+
+Result<StratifiedSampleResult> StratifiedSample(
+    const Table& table, const std::string& strata_column, uint64_t budget,
+    Allocation allocation, uint64_t seed, const ExecOptions& exec,
+    ParallelRunStats* run_stats, const std::string& measure_column) {
+  return StratifiedSampleImpl(
+      table, strata_column, budget, allocation, seed, measure_column,
+      [&](const std::vector<uint32_t>& keep) {
+        if (!exec.UseMorsels(keep.size())) return table.Take(keep);
+        return table.Take(keep, exec.ResolvedThreads(), run_stats);
+      });
 }
 
 }  // namespace aqp

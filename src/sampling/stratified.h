@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
+#include "engine/exec_options.h"
 #include "sampling/sample.h"
 #include "storage/value.h"
 
@@ -41,6 +43,17 @@ struct StratifiedSampleResult {
 Result<StratifiedSampleResult> StratifiedSample(
     const Table& table, const std::string& strata_column, uint64_t budget,
     Allocation allocation, uint64_t seed,
+    const std::string& measure_column = "");
+
+/// Same design, parallel gather: stratification and the per-stratum draws
+/// are identical to the serial overload (single RNG stream, so the selected
+/// row set never depends on the thread count); only the final materialization
+/// of kept rows runs column-parallel when the sample clears the morsel gate.
+/// `run_stats`, when non-null, accumulates parallel-run counters.
+Result<StratifiedSampleResult> StratifiedSample(
+    const Table& table, const std::string& strata_column, uint64_t budget,
+    Allocation allocation, uint64_t seed, const ExecOptions& exec,
+    ParallelRunStats* run_stats = nullptr,
     const std::string& measure_column = "");
 
 }  // namespace aqp

@@ -45,6 +45,16 @@ double ThetaSketch::StandardError() const {
   return 1.0 / std::sqrt(static_cast<double>(k_) - 2.0);
 }
 
+void ThetaSketch::Merge(const ThetaSketch& other) {
+  theta_ = std::min(theta_, other.theta_);
+  // Our own retained hashes may now sit at or above the tightened theta.
+  hashes_.erase(hashes_.lower_bound(theta_), hashes_.end());
+  for (uint64_t h : other.hashes_) {
+    if (h < theta_) hashes_.insert(h);
+  }
+  Trim();
+}
+
 ThetaSketch ThetaSketch::Union(const ThetaSketch& a, const ThetaSketch& b) {
   ThetaSketch out(std::min(a.k_, b.k_));
   out.theta_ = std::min(a.theta_, b.theta_);

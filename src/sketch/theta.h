@@ -32,6 +32,13 @@ class ThetaSketch {
   /// Relative standard error for this k (saturated regime).
   double StandardError() const;
 
+  /// In-place union: folds `other`'s retained hashes into this sketch (the
+  /// member-function form of Union, matching the Merge() interface of the
+  /// other sketches so morsel-parallel partials can fold pairwise). The
+  /// result keeps this sketch's k; merge order does not affect the final
+  /// state, but parallel folds still merge in morsel order by convention.
+  void Merge(const ThetaSketch& other);
+
   /// Set-algebraic combinations (results carry min(k) of the operands).
   static ThetaSketch Union(const ThetaSketch& a, const ThetaSketch& b);
   static ThetaSketch Intersect(const ThetaSketch& a, const ThetaSketch& b);

@@ -79,6 +79,22 @@ Table Table::Take(const std::vector<uint32_t>& indices) const {
   return out;
 }
 
+Table Table::Take(const std::vector<uint32_t>& indices, size_t num_threads,
+                  ParallelRunStats* run_stats) const {
+  if (num_threads <= 1 || columns_.size() <= 1) return Take(indices);
+  Table out(schema_);
+  ParallelRunStats rs = ThreadPool::Shared().ParallelFor(
+      columns_.size(), /*morsel_items=*/1, num_threads,
+      [&](size_t, size_t, size_t begin, size_t end) {
+        for (size_t c = begin; c < end; ++c) {
+          out.columns_[c] = columns_[c].Take(indices);
+        }
+      });
+  out.num_rows_ = indices.size();
+  if (run_stats != nullptr) run_stats->MergeFrom(rs);
+  return out;
+}
+
 Table Table::Slice(size_t offset, size_t length) const {
   Table out(schema_);
   length = offset > num_rows_ ? 0 : std::min(length, num_rows_ - offset);

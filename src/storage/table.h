@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "storage/column.h"
 #include "storage/schema.h"
 
@@ -54,6 +55,13 @@ class Table {
 
   /// Gathers rows by index into a new table.
   Table Take(const std::vector<uint32_t>& indices) const;
+
+  /// Parallel gather: columns are distributed over up to `num_threads`
+  /// workers (each column is gathered whole, so the result is identical to
+  /// the serial Take for every thread count). `run_stats`, when non-null,
+  /// accumulates the parallel-run counters (items = columns here).
+  Table Take(const std::vector<uint32_t>& indices, size_t num_threads,
+             ParallelRunStats* run_stats = nullptr) const;
 
   /// Contiguous sub-range of rows.
   Table Slice(size_t offset, size_t length) const;

@@ -1,0 +1,207 @@
+// Thread-count determinism for the AQP entry points. The engine-level
+// contract (tests/engine/parallel_executor_test.cc) lifts to the three
+// executors: for a fixed seed and morsel size, estimates and confidence
+// intervals are identical for every thread count, because sampling draws
+// use per-morsel RNG streams and the morsel fold is gated on input size
+// only.
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "core/approx_executor.h"
+#include "core/offline_catalog.h"
+#include "core/offline_executor.h"
+#include "core/online_aggregation.h"
+#include "test_util.h"
+#include "workload/datagen.h"
+
+namespace aqp {
+namespace core {
+namespace {
+
+const size_t kThreadGrid[] = {1, 2, 4, 8};
+
+ExecOptions Threads(size_t n) {
+  ExecOptions opt;
+  opt.num_threads = n;
+  return opt;
+}
+
+Catalog StarCatalog(uint64_t seed = 3) {
+  workload::StarSchemaSpec spec;
+  spec.fact_rows = 60000;
+  spec.dim_sizes = {12};
+  spec.fk_skew = 0.25;
+  return workload::GenerateStarSchema(spec, seed).value();
+}
+
+AqpOptions BaseOptions() {
+  AqpOptions opt;
+  opt.pilot_rate = 0.2;  // Pilot sample of 12k rows: clears the morsel gate.
+  opt.block_size = 64;
+  opt.min_table_rows = 1000;
+  opt.max_rate = 0.8;
+  return opt;
+}
+
+void ExpectSameNumericCells(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    for (size_t i = 0; i < a.num_rows(); ++i) {
+      ASSERT_EQ(a.column(c).IsNull(i), b.column(c).IsNull(i));
+      if (a.column(c).IsNull(i)) continue;
+      if (IsNumeric(a.column(c).type())) {
+        EXPECT_EQ(a.column(c).NumericAt(i), b.column(c).NumericAt(i))
+            << "col " << c << " row " << i;
+      } else if (a.column(c).type() == DataType::kString) {
+        EXPECT_EQ(a.column(c).StringAt(i), b.column(c).StringAt(i));
+      }
+    }
+  }
+}
+
+TEST(ParallelApproxTest, ApproxExecutorIdenticalAcrossThreadCounts) {
+  Catalog cat = StarCatalog();
+  const char* kSql =
+      "SELECT SUM(measure_0) AS s, COUNT(*) AS n FROM fact "
+      "WHERE measure_1 > 90 WITH ERROR 5% CONFIDENCE 95%";
+  AqpOptions opt = BaseOptions();
+  opt.exec = Threads(1);
+  ApproxExecutor baseline_exec(&cat, opt);
+  ApproxResult baseline = baseline_exec.Execute(kSql).value();
+  ASSERT_TRUE(baseline.approximated) << baseline.fallback_reason;
+  for (size_t threads : kThreadGrid) {
+    AqpOptions topt = BaseOptions();
+    topt.exec = Threads(threads);
+    ApproxExecutor exec(&cat, topt);
+    ApproxResult r = exec.Execute(kSql).value();
+    ASSERT_TRUE(r.approximated) << r.fallback_reason;
+    ExpectSameNumericCells(baseline.table, r.table);
+    ASSERT_EQ(baseline.cis.size(), r.cis.size());
+    for (size_t i = 0; i < baseline.cis.size(); ++i) {
+      ASSERT_EQ(baseline.cis[i].size(), r.cis[i].size());
+      for (size_t j = 0; j < baseline.cis[i].size(); ++j) {
+        EXPECT_EQ(baseline.cis[i][j].low, r.cis[i][j].low);
+        EXPECT_EQ(baseline.cis[i][j].high, r.cis[i][j].high);
+      }
+    }
+    EXPECT_EQ(baseline.final_rate, r.final_rate);
+  }
+}
+
+TEST(ParallelApproxTest, ApproxExecutorGroupedIdenticalAcrossThreadCounts) {
+  Catalog cat = StarCatalog(11);
+  const char* kSql =
+      "SELECT fk_0, AVG(measure_1) AS m FROM fact GROUP BY fk_0 "
+      "ORDER BY fk_0 WITH ERROR 10% CONFIDENCE 90%";
+  AqpOptions opt = BaseOptions();
+  opt.exec = Threads(1);
+  ApproxResult baseline = ApproxExecutor(&cat, opt).Execute(kSql).value();
+  ASSERT_TRUE(baseline.approximated) << baseline.fallback_reason;
+  for (size_t threads : kThreadGrid) {
+    AqpOptions topt = BaseOptions();
+    topt.exec = Threads(threads);
+    ApproxResult r = ApproxExecutor(&cat, topt).Execute(kSql).value();
+    ASSERT_TRUE(r.approximated) << r.fallback_reason;
+    ExpectSameNumericCells(baseline.table, r.table);
+  }
+}
+
+TEST(ParallelApproxTest, ApproxExecutorProfileReportsParallelism) {
+  Catalog cat = StarCatalog();
+  AqpOptions opt = BaseOptions();
+  opt.exec = Threads(4);
+  ApproxExecutor exec(&cat, opt);
+  ApproxResult r = exec.Execute(
+                           "SELECT SUM(measure_0) AS s FROM fact "
+                           "WITH ERROR 5% CONFIDENCE 95%")
+                       .value();
+  ASSERT_TRUE(r.approximated) << r.fallback_reason;
+  EXPECT_GT(r.exec_stats.parallel.morsels, 0u);
+  ASSERT_TRUE(r.profile.parallel.has_value());
+  EXPECT_EQ(r.profile.parallel->num_threads, 4u);
+  EXPECT_EQ(r.profile.parallel->morsels, r.exec_stats.parallel.morsels);
+}
+
+TEST(ParallelApproxTest, OfflineExecutorIdenticalAcrossThreadCounts) {
+  Catalog cat = workload::GenerateLineitemLike(100000, 7).value();
+  SampleCatalog samples;
+  // 20k-row stored sample: big enough that filtering it is morselized.
+  ASSERT_TRUE(samples.BuildUniform(cat, "lineitem", 20000, 3).ok());
+  const char* kSql =
+      "SELECT SUM(extendedprice) AS s, COUNT(*) AS n FROM lineitem "
+      "WHERE quantity <= 25";
+  OfflineExecutor baseline_exec(&cat, &samples, Threads(1));
+  ApproxResult baseline = baseline_exec.Execute(kSql).value();
+  ASSERT_TRUE(baseline.approximated);
+  for (size_t threads : kThreadGrid) {
+    OfflineExecutor exec(&cat, &samples, Threads(threads));
+    ApproxResult r = exec.Execute(kSql).value();
+    ASSERT_TRUE(r.approximated);
+    ExpectSameNumericCells(baseline.table, r.table);
+    for (size_t i = 0; i < baseline.cis.size(); ++i) {
+      for (size_t j = 0; j < baseline.cis[i].size(); ++j) {
+        EXPECT_EQ(baseline.cis[i][j].low, r.cis[i][j].low);
+        EXPECT_EQ(baseline.cis[i][j].high, r.cis[i][j].high);
+      }
+    }
+  }
+  OfflineExecutor par_exec(&cat, &samples, Threads(4));
+  ApproxResult par = par_exec.Execute(kSql).value();
+  EXPECT_GT(par.exec_stats.parallel.morsels, 0u);
+  ASSERT_TRUE(par.profile.parallel.has_value());
+  EXPECT_EQ(par.profile.parallel->num_threads, 4u);
+}
+
+TEST(ParallelApproxTest, OnlineAggregatorIdenticalAcrossThreadCounts) {
+  Table t = testutil::ZipfGroupedTable(50000, 10, 0.5, 3);
+  auto run = [&](size_t threads) {
+    OnlineAggregator ola =
+        OnlineAggregator::Create(t, Col("x"), Gt(Col("x"), Lit(2.0)), 7,
+                                 Threads(threads))
+            .value();
+    // Two epochs, both above the morsel gate; estimates after each must be
+    // thread-count independent.
+    OlaProgress first = ola.Step(12000, 0.95);
+    OlaProgress second = ola.Step(12000, 0.95);
+    return std::make_pair(first, second);
+  };
+  auto [base_first, base_second] = run(1);
+  for (size_t threads : kThreadGrid) {
+    auto [first, second] = run(threads);
+    EXPECT_EQ(base_first.sum_ci.estimate, first.sum_ci.estimate);
+    EXPECT_EQ(base_first.sum_ci.low, first.sum_ci.low);
+    EXPECT_EQ(base_first.sum_ci.high, first.sum_ci.high);
+    EXPECT_EQ(base_first.count_ci.estimate, first.count_ci.estimate);
+    EXPECT_EQ(base_second.sum_ci.estimate, second.sum_ci.estimate);
+    EXPECT_EQ(base_second.avg_ci.estimate, second.avg_ci.estimate);
+    EXPECT_EQ(base_second.rows_seen, second.rows_seen);
+  }
+}
+
+TEST(ParallelApproxTest, OnlineAggregatorMorselFoldMatchesSerialPath) {
+  // The epoch fold reassociates the running mean/variance, so it only needs
+  // to agree with the pre-morsel serial loop to rounding error.
+  Table t = testutil::ZipfGroupedTable(50000, 10, 0.5, 3);
+  ExecOptions classic = Threads(1);
+  classic.parallel_min_rows = SIZE_MAX;
+  OnlineAggregator serial =
+      OnlineAggregator::Create(t, Col("x"), nullptr, 7, classic).value();
+  OnlineAggregator morsel =
+      OnlineAggregator::Create(t, Col("x"), nullptr, 7, Threads(4)).value();
+  OlaProgress sp = serial.Step(20000, 0.95);
+  OlaProgress mp = morsel.Step(20000, 0.95);
+  EXPECT_EQ(sp.rows_seen, mp.rows_seen);
+  EXPECT_NEAR(mp.sum_ci.estimate, sp.sum_ci.estimate,
+              std::fabs(sp.sum_ci.estimate) * 1e-12);
+  EXPECT_NEAR(mp.sum_ci.half_width(), sp.sum_ci.half_width(),
+              std::fabs(sp.sum_ci.half_width()) * 1e-9);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace aqp

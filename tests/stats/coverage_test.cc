@@ -1,0 +1,112 @@
+// Statistical coverage harness: parallel execution must not just be fast and
+// deterministic — the confidence intervals it produces must still be valid
+// statistics. 200 seeded Bernoulli-sampling trials of SUM/COUNT/AVG at 95%
+// confidence, run through both the serial single-stream sampler and the
+// morsel-parallel per-stream sampler, must each cover the exact answer in
+// roughly 95% of trials. With 200 trials the binomial standard error is
+// ~1.5%, so [90%, 99%] is a ±3-sigma acceptance band: loose enough to be
+// stable, tight enough to catch a broken variance estimate or a biased
+// per-morsel RNG scheme.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqp {
+namespace {
+
+constexpr int kTrials = 200;
+constexpr double kConfidence = 0.95;
+constexpr double kRate = 0.05;
+constexpr size_t kRows = 20000;
+
+// Right-skewed measure (shifted exponential) so the variance estimate has
+// to work for its coverage; no NULLs so the exact answers stay simple.
+Table SkewedTable() {
+  Pcg32 rng(29);
+  Table t(Schema({{"x", DataType::kDouble}}));
+  for (size_t i = 0; i < kRows; ++i) {
+    double x = 10.0 + rng.Exponential(0.25);
+    AQP_CHECK(t.AppendRow({Value(x)}).ok());
+  }
+  return t;
+}
+
+struct CoverageCounts {
+  int sum = 0;
+  int count = 0;
+  int avg = 0;
+};
+
+CoverageCounts RunTrials(const Table& t, const testutil::CoverageTruth& truth,
+                         const ExecOptions* exec) {
+  CoverageCounts hits;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    uint64_t seed = 1000 + static_cast<uint64_t>(trial) * 31;
+    testutil::CoverageTrial r =
+        testutil::RunCoverageTrial(t, "x", truth, kRate, seed, kConfidence,
+                                   exec)
+            .value();
+    hits.sum += r.sum_covered ? 1 : 0;
+    hits.count += r.count_covered ? 1 : 0;
+    hits.avg += r.avg_covered ? 1 : 0;
+  }
+  return hits;
+}
+
+void ExpectCoverageInBand(int hits, const char* what) {
+  double coverage = static_cast<double>(hits) / kTrials;
+  EXPECT_GE(coverage, 0.90) << what << ": " << hits << "/" << kTrials;
+  EXPECT_LE(coverage, 0.99) << what << ": " << hits << "/" << kTrials;
+}
+
+TEST(CoverageTest, SerialSamplerCoversAtNominalRate) {
+  Table t = SkewedTable();
+  testutil::CoverageTruth truth = testutil::ComputeCoverageTruth(t, "x", 14.0);
+  CoverageCounts hits = RunTrials(t, truth, /*exec=*/nullptr);
+  ExpectCoverageInBand(hits.sum, "serial SUM");
+  ExpectCoverageInBand(hits.count, "serial COUNT");
+  ExpectCoverageInBand(hits.avg, "serial AVG");
+}
+
+TEST(CoverageTest, ParallelSamplerCoversAtNominalRate) {
+  Table t = SkewedTable();
+  testutil::CoverageTruth truth = testutil::ComputeCoverageTruth(t, "x", 14.0);
+  ExecOptions exec;
+  exec.num_threads = 4;
+  CoverageCounts hits = RunTrials(t, truth, &exec);
+  ExpectCoverageInBand(hits.sum, "parallel SUM");
+  ExpectCoverageInBand(hits.count, "parallel COUNT");
+  ExpectCoverageInBand(hits.avg, "parallel AVG");
+}
+
+TEST(CoverageTest, ParallelTrialsAreThreadCountInvariant) {
+  // The coverage suites above would already catch a statistical regression;
+  // this pins the stronger property that each individual trial's CIs are
+  // identical for 1 and 8 threads (per-morsel streams are thread-agnostic).
+  Table t = SkewedTable();
+  testutil::CoverageTruth truth = testutil::ComputeCoverageTruth(t, "x", 14.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    uint64_t seed = 500 + static_cast<uint64_t>(trial) * 17;
+    ExecOptions one;
+    one.num_threads = 1;
+    ExecOptions eight;
+    eight.num_threads = 8;
+    testutil::CoverageTrial a =
+        testutil::RunCoverageTrial(t, "x", truth, kRate, seed, kConfidence,
+                                   &one)
+            .value();
+    testutil::CoverageTrial b =
+        testutil::RunCoverageTrial(t, "x", truth, kRate, seed, kConfidence,
+                                   &eight)
+            .value();
+    EXPECT_EQ(a.sum_covered, b.sum_covered) << "trial " << trial;
+    EXPECT_EQ(a.count_covered, b.count_covered) << "trial " << trial;
+    EXPECT_EQ(a.avg_covered, b.avg_covered) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace aqp

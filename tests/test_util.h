@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "common/random.h"
+#include "engine/exec_options.h"
+#include "sampling/bernoulli.h"
+#include "sampling/ht_estimator.h"
 #include "storage/table.h"
 
 namespace aqp {
@@ -55,6 +58,69 @@ inline double ExactSum(const Table& t, const std::string& col) {
     if (!c.IsNull(i)) sum += c.NumericAt(i);
   }
   return sum;
+}
+
+/// Exact answers that one coverage trial's confidence intervals are checked
+/// against. Assumes `col` has no NULLs (so AVG truth is sum / num_rows).
+/// COUNT is taken over rows with col > cutoff: an unconditional COUNT(*) is
+/// answered *exactly* by the ratio-to-size estimator (zero-width CI), which
+/// would make its coverage trivially 100% and the trial meaningless.
+struct CoverageTruth {
+  double sum = 0.0;
+  double count = 0.0;  // #{rows with col > count_cutoff}.
+  double avg = 0.0;
+  double count_cutoff = 0.0;
+};
+
+inline CoverageTruth ComputeCoverageTruth(const Table& t,
+                                          const std::string& col,
+                                          double count_cutoff) {
+  CoverageTruth truth;
+  truth.count_cutoff = count_cutoff;
+  truth.sum = ExactSum(t, col);
+  double n = static_cast<double>(t.num_rows());
+  truth.avg = n == 0.0 ? 0.0 : truth.sum / n;
+  size_t idx = t.ColumnIndex(col).value();
+  const Column& c = t.column(idx);
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    if (!c.IsNull(i) && c.NumericAt(i) > count_cutoff) truth.count += 1.0;
+  }
+  return truth;
+}
+
+/// Whether each aggregate's CI covered the exact answer in one trial.
+struct CoverageTrial {
+  bool sum_covered = false;
+  bool count_covered = false;
+  bool avg_covered = false;
+};
+
+/// One seeded coverage trial: draw a Bernoulli row sample of `table` at
+/// `rate` (serial single-stream when `exec` is null, morsel-parallel with
+/// per-morsel RNG streams otherwise), build Horvitz–Thompson CIs for
+/// SUM/COUNT/AVG of `col` at `confidence`, and record whether each interval
+/// covers the exact answer. Used by the statistical coverage harness to
+/// assert that parallel execution preserves CI validity.
+inline Result<CoverageTrial> RunCoverageTrial(const Table& table,
+                                              const std::string& col,
+                                              const CoverageTruth& truth,
+                                              double rate, uint64_t seed,
+                                              double confidence,
+                                              const ExecOptions* exec) {
+  AQP_ASSIGN_OR_RETURN(Sample sample,
+                       exec == nullptr
+                           ? BernoulliRowSample(table, rate, seed)
+                           : BernoulliRowSample(table, rate, seed, *exec));
+  AQP_ASSIGN_OR_RETURN(PointEstimate sum_est, EstimateSum(sample, Col(col)));
+  AQP_ASSIGN_OR_RETURN(
+      PointEstimate count_est,
+      EstimateCount(sample, Gt(Col(col), Lit(truth.count_cutoff))));
+  AQP_ASSIGN_OR_RETURN(PointEstimate avg_est, EstimateAvg(sample, Col(col)));
+  CoverageTrial out;
+  out.sum_covered = sum_est.Ci(confidence).Covers(truth.sum);
+  out.count_covered = count_est.Ci(confidence).Covers(truth.count);
+  out.avg_covered = avg_est.Ci(confidence).Covers(truth.avg);
+  return out;
 }
 
 }  // namespace testutil
