@@ -1,0 +1,89 @@
+#include "common/cancellation.h"
+
+namespace aqp {
+namespace {
+
+int64_t ToNs(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
+int64_t NowNs() { return ToNs(std::chrono::steady_clock::now()); }
+
+}  // namespace
+
+void CancellationSource::SetDeadline(
+    std::chrono::steady_clock::time_point deadline) {
+  deadline_ns_.store(ToNs(deadline), std::memory_order_relaxed);
+}
+
+void CancellationSource::SetDeadlineAfterMs(int64_t ms) {
+  if (ms < 0) return;  // Negative = no deadline.
+  SetDeadline(std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(ms));
+}
+
+void CancellationSource::RequestCancel(StopCause cause, std::string reason) {
+  uint8_t expected = 0;
+  if (cause_.compare_exchange_strong(expected, static_cast<uint8_t>(cause),
+                                     std::memory_order_acq_rel)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    message_ = std::move(reason);
+  }
+}
+
+StopCause CancellationSource::Resolve() const {
+  uint8_t c = cause_.load(std::memory_order_acquire);
+  if (c != 0) return static_cast<StopCause>(c);
+  if (NowNs() >= deadline_ns_.load(std::memory_order_relaxed)) {
+    // Lazy deadline arming: the first checker past the deadline records the
+    // cause; a concurrent explicit cancel may win the race instead, which is
+    // fine — some cause is set either way.
+    uint8_t expected = 0;
+    if (cause_.compare_exchange_strong(
+            expected, static_cast<uint8_t>(StopCause::kDeadline),
+            std::memory_order_acq_rel)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      message_ = "deadline exceeded";
+    }
+    return static_cast<StopCause>(cause_.load(std::memory_order_acquire));
+  }
+  return StopCause::kNone;
+}
+
+CancellationToken CancellationSource::token() const {
+  return CancellationToken(this);
+}
+
+bool CancellationSource::cancelled() const {
+  return Resolve() != StopCause::kNone;
+}
+
+StopCause CancellationSource::cause() const { return Resolve(); }
+
+Status CancellationToken::ToStatus() const {
+  if (source_ == nullptr) return Status::OK();
+  StopCause cause = source_->Resolve();
+  if (cause == StopCause::kNone) return Status::OK();
+  std::string message;
+  {
+    std::lock_guard<std::mutex> lock(source_->mu_);
+    message = source_->message_;
+  }
+  switch (cause) {
+    case StopCause::kUserCancel:
+      return Status::Cancelled(message);
+    case StopCause::kDeadline:
+      return Status::DeadlineExceeded(message);
+    case StopCause::kMemory:
+      return Status::ResourceExhausted(message);
+    case StopCause::kFault:
+      return Status::Internal(message);
+    case StopCause::kNone:
+      break;
+  }
+  return Status::OK();
+}
+
+}  // namespace aqp

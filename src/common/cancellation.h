@@ -1,0 +1,110 @@
+#ifndef AQP_COMMON_CANCELLATION_H_
+#define AQP_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace aqp {
+
+/// Why a governed operation was stopped early. Ordered by precedence only in
+/// the sense that the FIRST cause to fire wins; later requests are ignored.
+enum class StopCause : uint8_t {
+  kNone = 0,
+  kUserCancel,  // Explicit caller cancellation.
+  kDeadline,    // The deadline passed.
+  kMemory,      // A memory budget was exhausted.
+  kFault,       // An (injected or real) runtime fault tripped the governor.
+};
+
+class CancellationToken;
+
+/// The write side of cooperative cancellation: owns the shared stop state,
+/// hands out read-only tokens, and arms an optional deadline. One source
+/// governs one query; the source must outlive every token and every thread
+/// still checking one.
+///
+/// Thread-safety: RequestCancel / deadline expiry race freely from any
+/// thread; exactly one cause wins (compare-exchange) and only the winner
+/// writes the message. Checking a token is one relaxed atomic load plus — if
+/// a deadline is armed — one steady_clock read, cheap enough for morsel and
+/// batch boundaries (thousands of rows apart), deliberately not per-row.
+class CancellationSource {
+ public:
+  CancellationSource() = default;
+  CancellationSource(const CancellationSource&) = delete;
+  CancellationSource& operator=(const CancellationSource&) = delete;
+
+  /// Arms an absolute deadline; checks made after it report kDeadline.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline);
+  /// Arms a deadline `ms` milliseconds from now. 0 is legal and means
+  /// "already expired": every subsequent check fails, which is how the
+  /// degradation ladder is exercised end to end.
+  void SetDeadlineAfterMs(int64_t ms);
+
+  /// Requests cancellation with the given cause; the first request wins and
+  /// later ones are no-ops. `reason` becomes the Status message.
+  void RequestCancel(StopCause cause, std::string reason);
+
+  /// Read-only view for workers. Valid only while this source lives.
+  CancellationToken token() const;
+
+  bool cancelled() const;
+  StopCause cause() const;
+
+ private:
+  friend class CancellationToken;
+
+  // Returns the winning cause, arming kDeadline first if the deadline has
+  // passed and nothing else won yet.
+  StopCause Resolve() const;
+
+  mutable std::atomic<uint8_t> cause_{0};
+  std::atomic<int64_t> deadline_ns_{INT64_MAX};  // steady_clock since-epoch.
+  mutable std::mutex mu_;       // Guards message_ (written once, by winner).
+  mutable std::string message_;
+};
+
+/// The read side: a cheap, copyable handle workers poll at morsel / batch
+/// boundaries. A default-constructed token is never cancelled (the ungoverned
+/// case costs one null check).
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// True once any stop cause fired (including deadline expiry, which is
+  /// detected lazily by this very check).
+  bool IsCancelled() const {
+    return source_ != nullptr && source_->Resolve() != StopCause::kNone;
+  }
+
+  /// OK while running; after cancellation, the Status matching the cause
+  /// (Cancelled / DeadlineExceeded / ResourceExhausted / Internal).
+  Status ToStatus() const;
+
+  StopCause cause() const {
+    return source_ == nullptr ? StopCause::kNone : source_->Resolve();
+  }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(const CancellationSource* source)
+      : source_(source) {}
+
+  const CancellationSource* source_ = nullptr;
+};
+
+/// OK when `token` is null or not cancelled, else the token's Status — the
+/// one-liner every cooperative check site uses.
+inline Status CheckCancelled(const CancellationToken* token) {
+  if (token != nullptr && token->IsCancelled()) return token->ToStatus();
+  return Status::OK();
+}
+
+}  // namespace aqp
+
+#endif  // AQP_COMMON_CANCELLATION_H_

@@ -1,0 +1,42 @@
+#include "common/memory_tracker.h"
+
+#include <string>
+
+namespace aqp {
+
+Status MemoryTracker::TryCharge(uint64_t bytes, std::string_view what) {
+  uint64_t before = used_.fetch_add(bytes, std::memory_order_relaxed);
+  uint64_t now = before + bytes;
+  if (budget_ > 0 && now > budget_) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    exhausted_.fetch_add(1, std::memory_order_relaxed);
+    std::string reason = "memory budget exhausted charging " +
+                         std::string(what) + ": " + std::to_string(before) +
+                         " + " + std::to_string(bytes) + " > budget " +
+                         std::to_string(budget_) + " bytes";
+    if (source_ != nullptr) {
+      source_->RequestCancel(StopCause::kMemory, reason);
+    }
+    return Status::ResourceExhausted(std::move(reason));
+  }
+  // Peak tracking: monotone max via CAS (rare retries, off the hot path).
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+void MemoryTracker::Release(uint64_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+Result<ScopedMemoryCharge> ScopedMemoryCharge::Make(MemoryTracker* tracker,
+                                                    uint64_t bytes,
+                                                    std::string_view what) {
+  if (tracker == nullptr) return ScopedMemoryCharge();
+  AQP_RETURN_IF_ERROR(tracker->TryCharge(bytes, what));
+  return ScopedMemoryCharge(tracker, bytes);
+}
+
+}  // namespace aqp

@@ -17,6 +17,9 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  kCancelled,          // The caller (or a governor) stopped the operation.
+  kDeadlineExceeded,   // The operation's time budget ran out.
+  kResourceExhausted,  // A memory/resource budget ran out.
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -59,6 +62,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -1,8 +1,12 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
 
 #include "common/check.h"
+#include "common/str_util.h"
 
 namespace aqp {
 namespace {
@@ -12,7 +16,69 @@ namespace {
 // deadlock (every worker blocked waiting for helpers that can never run).
 thread_local bool t_inside_pool = false;
 
+// Dispatch fault hook (see SetDispatchFaultHook). The flag is the cheap
+// guard; the function itself is read under the mutex only when armed.
+std::atomic<bool> g_dispatch_hook_set{false};
+std::mutex g_dispatch_hook_mu;
+std::function<bool(size_t)> g_dispatch_hook;
+
+bool DispatchFaulted(size_t slot) {
+  if (!g_dispatch_hook_set.load(std::memory_order_acquire)) return false;
+  std::function<bool(size_t)> hook;
+  {
+    std::lock_guard<std::mutex> lock(g_dispatch_hook_mu);
+    hook = g_dispatch_hook;
+  }
+  return hook != nullptr && hook(slot);
+}
+
 }  // namespace
+
+Result<size_t> ParseThreadCount(std::string_view s) {
+  std::string_view trimmed = StripWhitespace(s);
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty thread count");
+  }
+  uint64_t value = 0;
+  for (char c : trimmed) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("thread count is not a positive integer: '" +
+                                     std::string(s) + "'");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    if (value > 4096) {
+      return Status::OutOfRange("thread count out of range (1..4096): '" +
+                                std::string(s) + "'");
+    }
+  }
+  if (value == 0) {
+    return Status::OutOfRange("thread count must be >= 1: '" + std::string(s) +
+                              "'");
+  }
+  return static_cast<size_t>(value);
+}
+
+size_t ThreadCountFromEnv(const char* env_var, size_t fallback) {
+  const char* raw = std::getenv(env_var);
+  if (raw == nullptr) return fallback;
+  Result<size_t> parsed = ParseThreadCount(raw);
+  if (parsed.ok()) return parsed.value();
+  // Warn once per process: a misconfigured knob should be loud but must not
+  // spam stderr from every query.
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr, "[aqp] ignoring invalid %s=%s (%s); using %zu\n",
+                 env_var, raw, parsed.status().ToString().c_str(), fallback);
+  }
+  return fallback;
+}
+
+void ThreadPool::SetDispatchFaultHook(std::function<bool(size_t)> hook) {
+  std::lock_guard<std::mutex> lock(g_dispatch_hook_mu);
+  g_dispatch_hook = std::move(hook);
+  g_dispatch_hook_set.store(g_dispatch_hook != nullptr,
+                            std::memory_order_release);
+}
 
 void ParallelRunStats::MergeFrom(const ParallelRunStats& other) {
   morsels += other.morsels;
@@ -39,6 +105,7 @@ struct ThreadPool::Job {
   size_t morsel_items = 0;
   size_t num_morsels = 0;
   const MorselFn* body = nullptr;
+  const CancellationToken* cancel = nullptr;
 
   struct alignas(64) Cursor {
     std::atomic<size_t> next{0};
@@ -48,12 +115,24 @@ struct ThreadPool::Job {
   struct alignas(64) Slot {
     uint64_t items = 0;
     uint64_t steals = 0;
+    uint64_t morsels = 0;
   };
   std::vector<Slot> slots;                  // One per participant.
+
+  // Set on the first body exception; every participant checks it before
+  // every morsel, so remaining work is skipped without any thread blocking.
+  std::atomic<bool> aborted{false};
 
   std::mutex mu;
   std::condition_variable cv;
   size_t helpers_done = 0;                  // Helpers that finished RunParticipant.
+  std::exception_ptr exception;             // First body exception (under mu).
+
+  // True once this run should stop issuing new morsels.
+  bool ShouldStop() const {
+    return aborted.load(std::memory_order_acquire) ||
+           (cancel != nullptr && cancel->IsCancelled());
+  }
 };
 
 ThreadPool::ThreadPool(size_t num_workers) { EnsureWorkers(num_workers); }
@@ -99,20 +178,31 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::RunParticipant(Job* job, size_t slot) {
   Job::Cursor& own = job->cursors[slot];
   Job::Slot& out = job->slots[slot];
+  // Runs one morsel; on a body exception records it (first wins) and trips
+  // the abort flag so every participant stops issuing morsels.
   auto run = [&](size_t m) {
     size_t begin = m * job->morsel_items;
     size_t end = std::min(job->n, begin + job->morsel_items);
-    (*job->body)(slot, m, begin, end);
-    out.items += end - begin;
+    try {
+      (*job->body)(slot, m, begin, end);
+      out.items += end - begin;
+      ++out.morsels;
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(job->mu);
+        if (!job->exception) job->exception = std::current_exception();
+      }
+      job->aborted.store(true, std::memory_order_release);
+    }
   };
   // Drain the owned run first.
-  while (true) {
+  while (!job->ShouldStop()) {
     size_t m = own.next.fetch_add(1, std::memory_order_relaxed);
     if (m >= own.hi) break;
     run(m);
   }
   // Then steal from the most-loaded peer until nothing is left anywhere.
-  while (true) {
+  while (!job->ShouldStop()) {
     size_t victim = job->cursors.size();
     size_t best_remaining = 0;
     for (size_t p = 0; p < job->cursors.size(); ++p) {
@@ -138,6 +228,13 @@ void ThreadPool::RunParticipant(Job* job, size_t slot) {
 ParallelRunStats ThreadPool::ParallelFor(size_t n, size_t morsel_items,
                                          size_t num_threads,
                                          const MorselFn& body) {
+  return ParallelFor(n, morsel_items, num_threads, ParallelForOptions{}, body);
+}
+
+ParallelRunStats ThreadPool::ParallelFor(size_t n, size_t morsel_items,
+                                         size_t num_threads,
+                                         const ParallelForOptions& options,
+                                         const MorselFn& body) {
   AQP_CHECK(morsel_items > 0);
   ParallelRunStats stats;
   if (n == 0) return stats;
@@ -154,15 +251,20 @@ ParallelRunStats ThreadPool::ParallelFor(size_t n, size_t morsel_items,
   if (t_inside_pool) participants = 1;  // Nested: run inline.
 
   if (participants == 1) {
-    // Serial path: same morsels, same order — the determinism baseline.
+    // Serial path: same morsels, same order — the determinism baseline. The
+    // token is checked at every morsel boundary; an exception from the body
+    // propagates directly (this IS the caller thread).
     uint64_t items = 0;
+    uint64_t executed = 0;
     for (size_t m = 0; m < num_morsels; ++m) {
+      if (options.cancel != nullptr && options.cancel->IsCancelled()) break;
       size_t begin = m * morsel_items;
       size_t end = std::min(n, begin + morsel_items);
       body(0, m, begin, end);
       items += end - begin;
+      ++executed;
     }
-    stats.morsels = num_morsels;
+    stats.morsels = executed;
     stats.worker_items.assign(1, items);
     return stats;
   }
@@ -172,6 +274,7 @@ ParallelRunStats ThreadPool::ParallelFor(size_t n, size_t morsel_items,
   job.morsel_items = morsel_items;
   job.num_morsels = num_morsels;
   job.body = &body;
+  job.cancel = options.cancel;
   job.cursors = std::vector<Job::Cursor>(participants);
   job.slots = std::vector<Job::Slot>(participants);
   // Contiguous morsel runs, remainder spread over the first participants.
@@ -185,11 +288,17 @@ ParallelRunStats ThreadPool::ParallelFor(size_t n, size_t morsel_items,
     lo += len;
   }
 
-  const size_t helpers = participants - 1;
+  const size_t max_helpers = participants - 1;
+  size_t helpers = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (size_t h = 0; h < helpers; ++h) {
+    for (size_t h = 0; h < max_helpers; ++h) {
       size_t slot = h + 1;
+      // A dispatch fault drops this helper entirely; its owned morsel range
+      // is drained by the surviving participants through work stealing, so
+      // the run still completes every morsel.
+      if (DispatchFaulted(slot)) continue;
+      ++helpers;
       queue_.emplace_back([&job, slot] {
         RunParticipant(&job, slot);
         std::lock_guard<std::mutex> jlock(job.mu);
@@ -205,19 +314,24 @@ ParallelRunStats ThreadPool::ParallelFor(size_t n, size_t morsel_items,
   t_inside_pool = false;
 
   // Wait for every helper to leave the job (a late-starting helper finds all
-  // cursors drained and exits immediately); only then is `job` safe to free
-  // and are all per-morsel outputs visible.
+  // cursors drained — or the run aborted — and exits immediately); only then
+  // is `job` safe to free and are all per-morsel outputs visible.
   {
     std::unique_lock<std::mutex> lock(job.mu);
     job.cv.wait(lock, [&job, helpers] { return job.helpers_done == helpers; });
   }
 
-  stats.morsels = num_morsels;
+  for (size_t p = 0; p < participants; ++p) {
+    stats.morsels += job.slots[p].morsels;
+    stats.steals += job.slots[p].steals;
+  }
   stats.worker_items.resize(participants);
   for (size_t p = 0; p < participants; ++p) {
     stats.worker_items[p] = job.slots[p].items;
-    stats.steals += job.slots[p].steals;
   }
+  // Rethrow the first body exception on the calling thread, after every
+  // helper has left the job — the no-std::terminate contract.
+  if (job.exception) std::rethrow_exception(job.exception);
   return stats;
 }
 

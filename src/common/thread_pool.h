@@ -7,13 +7,30 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
+
+#include "common/cancellation.h"
+#include "common/result.h"
 
 namespace aqp {
 
 /// Number of hardware threads (>= 1).
 size_t HardwareThreads();
+
+/// Strictly validates a thread-count string (as found in AQP_NUM_THREADS):
+/// optional surrounding whitespace, digits only, value in [1, 4096].
+/// Non-numeric text, signs, trailing garbage, zero, negatives, and overflow
+/// all return InvalidArgument/OutOfRange instead of being silently
+/// misparsed.
+Result<size_t> ParseThreadCount(std::string_view s);
+
+/// Resolves the named environment variable through ParseThreadCount. An
+/// unset variable returns `fallback`; a set-but-invalid value warns once per
+/// process on stderr (naming the variable and the reason) and also returns
+/// `fallback` — a bad knob must never become UB or a surprise thread count.
+size_t ThreadCountFromEnv(const char* env_var, size_t fallback);
 
 /// What one ParallelFor run did, for observability: how many morsels ran,
 /// how many were executed by a thread that did not own them (steals), and
@@ -74,6 +91,15 @@ class ThreadPool {
       std::function<void(size_t worker, size_t morsel, size_t begin,
                          size_t end)>;
 
+  /// Per-run governance knobs for ParallelFor.
+  struct ParallelForOptions {
+    /// Checked before every morsel (owned or stolen) by every participant;
+    /// once cancelled, remaining morsels are skipped and the call returns
+    /// with only the already-executed morsels counted in the stats. Null =
+    /// never cancelled.
+    const CancellationToken* cancel = nullptr;
+  };
+
   /// Runs `body` once per morsel over [0, n), using up to `num_threads`
   /// participants (the caller plus at most num_workers() helpers). The call
   /// returns only after every morsel has run and every helper has left the
@@ -81,8 +107,28 @@ class ThreadPool {
   /// when called from inside a pool worker — nested parallelism degrades to
   /// serial) the loop runs inline on the caller, still morsel by morsel in
   /// morsel order.
+  ///
+  /// Failure semantics: an exception thrown by `body` in ANY participant is
+  /// captured (first one wins), remaining morsels are skipped in every
+  /// participant, all helpers drain out of the run, and the exception is
+  /// rethrown on the calling thread — never std::terminate, never a
+  /// deadlocked worker. Under cancellation the call returns normally with
+  /// partial stats; checking the token afterwards is the caller's job.
   ParallelRunStats ParallelFor(size_t n, size_t morsel_items,
                                size_t num_threads, const MorselFn& body);
+  ParallelRunStats ParallelFor(size_t n, size_t morsel_items,
+                               size_t num_threads,
+                               const ParallelForOptions& options,
+                               const MorselFn& body);
+
+  /// Fault-injection seam: when set, the hook is consulted once per helper
+  /// dispatch of every parallel run; returning true for a slot simulates a
+  /// failed task dispatch — that helper never joins and its morsel range is
+  /// drained by the surviving participants (work stealing guarantees
+  /// completion, which is exactly what the fault tests assert). Installed by
+  /// the gov-layer FaultInjector; pass nullptr to clear. Costs one relaxed
+  /// atomic load per ParallelFor call when unset.
+  static void SetDispatchFaultHook(std::function<bool(size_t slot)> hook);
 
  private:
   struct Job;

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/cancellation.h"
 #include "common/check.h"
+#include "common/memory_tracker.h"
 #include "core/contract.h"
 #include "core/estimate.h"
 #include "core/missing_groups.h"
@@ -313,6 +315,9 @@ Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
   auto run_stage =
       [&](const char* stage, double rate,
           uint64_t seed) -> Result<std::pair<GroupedEstimates, ExecStats>> {
+    // Stage-boundary cancellation point: a deadline that fires between the
+    // pilot and the final pass stops the query before the expensive stage.
+    AQP_RETURN_IF_ERROR(CheckCancelled(options_.exec.cancel));
     obs::TraceSpan stage_span = obs::MaybeSpan(tr, stage);
     stage_span.AddAttr("rate", rate);
     obs::TraceSpan draw_span = obs::MaybeSpan(tr, "draw-sample");
@@ -331,6 +336,13 @@ Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
     draw_span.AddAttr("units", static_cast<uint64_t>(sample.num_units_sampled));
     draw_span.End();
     AQP_ASSIGN_OR_RETURN(Table design_table, WithDesignColumns(sample));
+    // The design-carrying sample copy is the stage's dominant allocation;
+    // charge it against the query budget for the stage's lifetime so a
+    // too-small budget trips here rather than in the OS allocator.
+    AQP_ASSIGN_OR_RETURN(
+        ScopedMemoryCharge stage_charge,
+        ScopedMemoryCharge::Make(options_.exec.memory,
+                                 design_table.ApproxBytes(), "stage sample"));
     Catalog staged = *catalog_;
     staged.RegisterOrReplace(target_table,
                              std::make_shared<Table>(std::move(design_table)));

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "common/cancellation.h"
 #include "common/check.h"
 #include "core/contract.h"
 #include "core/result_assembly.h"
@@ -33,10 +34,11 @@ Result<Sample> FilterSample(const Sample& sample, const ExprPtr& predicate,
     AQP_ASSIGN_OR_RETURN(
         selected, EvalPredicateMorsel(*predicate, sample.table,
                                       exec.morsel_rows, exec.ResolvedThreads(),
-                                      run_stats));
+                                      run_stats, exec.cancel));
   } else {
     AQP_ASSIGN_OR_RETURN(selected, EvalPredicate(*predicate, sample.table));
   }
+  AQP_RETURN_IF_ERROR(CheckCancelled(exec.cancel));
   Sample out;
   out.table = use_morsels ? sample.table.Take(selected, exec.ResolvedThreads(),
                                               run_stats)
@@ -68,6 +70,7 @@ OfflineExecutor::OfflineExecutor(const Catalog* catalog,
 Result<ApproxResult> OfflineExecutor::Execute(std::string_view sql,
                                               double confidence) {
   const auto start = std::chrono::steady_clock::now();
+  AQP_RETURN_IF_ERROR(CheckCancelled(exec_.cancel));
   const bool instrumented = obs::Enabled();
   ApproxResult result;
   obs::ExecutionProfile& prof = result.profile;

@@ -5,6 +5,7 @@
 
 #include "common/thread_pool.h"
 #include "expr/eval.h"
+#include "gov/fault_injector.h"
 #include "obs/metrics.h"
 
 namespace aqp {
@@ -18,6 +19,8 @@ Result<OnlineAggregator> OnlineAggregator::Create(const Table& table,
   if (measure == nullptr) {
     return Status::InvalidArgument("OLA requires a measure expression");
   }
+  AQP_RETURN_IF_ERROR(gov::FaultInjector::Global().MaybeFail("ola.create"));
+  AQP_RETURN_IF_ERROR(CheckCancelled(exec.cancel));
   OnlineAggregator ola;
   ola.exec_ = exec;
   ola.profile_.executor = "online-aggregation";
@@ -45,7 +48,8 @@ Result<OnlineAggregator> OnlineAggregator::Create(const Table& table,
     if (exec.UseMorsels(table.num_rows())) {
       AQP_ASSIGN_OR_RETURN(
           sel, EvalPredicateMorsel(*predicate, table, exec.morsel_rows,
-                                   exec.ResolvedThreads()));
+                                   exec.ResolvedThreads(),
+                                   /*run_stats=*/nullptr, exec.cancel));
     } else {
       AQP_ASSIGN_OR_RETURN(sel, EvalPredicate(*predicate, table));
     }
@@ -60,12 +64,27 @@ Result<OnlineAggregator> OnlineAggregator::Create(const Table& table,
   }
   Pcg32 rng(seed);
   ola.order_ = rng.Permutation(static_cast<uint32_t>(table.num_rows()));
+  // The aggregator's working set (permutation + measures + mask) lives for
+  // the whole OLA session; charge it against the query budget up front.
+  const uint64_t working_set =
+      ola.order_.capacity() * sizeof(uint32_t) +
+      ola.values_.capacity() * sizeof(double) + ola.qualifies_.capacity();
+  AQP_ASSIGN_OR_RETURN(
+      ola.memory_charge_,
+      ScopedMemoryCharge::Make(exec.memory, working_set, "ola working set"));
   init_span.AddAttr("rows", static_cast<uint64_t>(table.num_rows()));
   init_span.End();
   return ola;
 }
 
 OlaProgress OnlineAggregator::Step(size_t chunk_rows, double confidence) {
+  // Batch-boundary cancellation point: a tripped token freezes the
+  // aggregator — this Step consumes nothing and the returned progress simply
+  // restates the current (still statistically valid) estimates. OLA's
+  // partial answer IS its answer, so cancellation needs no unwinding.
+  if (exec_.cancel != nullptr && exec_.cancel->IsCancelled()) {
+    chunk_rows = 0;
+  }
   ++steps_;
   if (obs::Enabled()) {
     static obs::Counter* steps = obs::MetricsRegistry::Global().GetCounter(
@@ -87,6 +106,9 @@ OlaProgress OnlineAggregator::Step(size_t chunk_rows, double confidence) {
     };
     std::vector<Partial> partials(num_morsels);
     const size_t base = consumed_;
+    // No in-flight cancellation inside an epoch: partials merged after a
+    // skipped morsel would undercount, so the epoch runs to completion (it
+    // is already bounded by chunk_rows) and the NEXT Step observes the token.
     ThreadPool::Shared().ParallelFor(
         chunk, morsel_rows, exec_.ResolvedThreads(),
         [&](size_t, size_t m, size_t begin, size_t mend) {
@@ -190,6 +212,8 @@ OlaProgress OnlineAggregator::RunToTarget(double target_relative_error,
         progress.sum_ci.relative_half_width() <= target_relative_error) {
       return progress;
     }
+    // A tripped token makes Step a no-op; looping further would spin.
+    if (exec_.cancel != nullptr && exec_.cancel->IsCancelled()) break;
   } while (!progress.complete);
   return progress;
 }

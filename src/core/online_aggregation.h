@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "engine/exec_options.h"
@@ -82,6 +83,8 @@ class OnlineAggregator {
   uint64_t qualifying_seen_ = 0;
   uint64_t steps_ = 0;
   ExecOptions exec_;
+  // Budget charge for order_/values_/qualifies_; released on destruction.
+  ScopedMemoryCharge memory_charge_;
   obs::ExecutionProfile profile_;
 };
 

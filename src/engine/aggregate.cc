@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/cancellation.h"
 #include "common/check.h"
 #include "common/hash.h"
 #include "expr/eval.h"
@@ -305,6 +306,7 @@ Result<Table> GroupByAggregate(const Table& input,
           num_morsels, std::vector<AggAccumulator>(aggs.size()));
       ParallelRunStats rs = pool.ParallelFor(
           n, morsel_rows, num_threads,
+          ThreadPool::ParallelForOptions{options.exec->cancel},
           [&](size_t, size_t m, size_t begin, size_t end) {
             std::vector<AggAccumulator>& local = partials[m];
             for (size_t i = begin; i < end; ++i) {
@@ -318,6 +320,9 @@ Result<Table> GroupByAggregate(const Table& input,
               }
             }
           });
+      // Partials from skipped morsels are empty, not wrong — but the merged
+      // total would silently undercount; surface the cancellation instead.
+      AQP_RETURN_IF_ERROR(CheckCancelled(options.exec->cancel));
       states.assign(aggs.size(), std::vector<AggAccumulator>(1));
       for (size_t m = 0; m < num_morsels; ++m) {
         for (size_t a = 0; a < aggs.size(); ++a) {
@@ -345,6 +350,7 @@ Result<Table> GroupByAggregate(const Table& input,
       std::vector<MorselGroups> morsels(num_morsels);
       ParallelRunStats rs = pool.ParallelFor(
           n, morsel_rows, num_threads,
+          ThreadPool::ParallelForOptions{options.exec->cancel},
           [&](size_t, size_t m, size_t begin, size_t end) {
             MorselGroups& mg = morsels[m];
             mg.states.assign(aggs.size(), {});
@@ -377,6 +383,7 @@ Result<Table> GroupByAggregate(const Table& input,
               }
             }
           });
+      AQP_RETURN_IF_ERROR(CheckCancelled(options.exec->cancel));
       // Ordered merge into the global group table.
       for (const Column& k : keys) key_columns.emplace_back(k.type());
       states.assign(aggs.size(), {});

@@ -3,8 +3,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <cstdlib>
 
+#include "common/cancellation.h"
+#include "common/memory_tracker.h"
 #include "common/thread_pool.h"
 
 namespace aqp {
@@ -40,14 +41,23 @@ struct ExecOptions {
   /// algorithm, and hence the result, is thread-count independent.
   size_t parallel_min_rows = 8192;
 
-  /// The thread count this option set resolves to (>= 1).
+  /// Resource governance (optional, both borrowed — typically owned by a
+  /// gov::QueryContext that outlives the query). `cancel` is polled at morsel
+  /// and batch boundaries: deadline expiry, user cancellation, and memory
+  /// exhaustion all surface through it. `memory` is charged for operator
+  /// OUTPUTS as they materialize (transient scratch is not accounted); when a
+  /// charge exceeds the budget the tracker trips `cancel` so in-flight
+  /// morsels stop too.
+  const CancellationToken* cancel = nullptr;
+  MemoryTracker* memory = nullptr;
+
+  /// The thread count this option set resolves to (>= 1). Invalid
+  /// AQP_NUM_THREADS values (non-numeric, zero/negative, overflow) warn once
+  /// and fall back to the hardware count instead of being silently
+  /// misparsed.
   size_t ResolvedThreads() const {
     if (num_threads > 0) return num_threads;
-    if (const char* env = std::getenv("AQP_NUM_THREADS")) {
-      long v = std::strtol(env, nullptr, 10);
-      if (v > 0) return static_cast<size_t>(v);
-    }
-    return HardwareThreads();
+    return ThreadCountFromEnv("AQP_NUM_THREADS", HardwareThreads());
   }
 
   /// True when `n` rows is enough work for the morsel path.

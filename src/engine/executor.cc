@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/cancellation.h"
 #include "common/check.h"
 #include "common/hash.h"
+#include "common/memory_tracker.h"
 #include "common/random.h"
 #include "common/str_util.h"
 #include "expr/eval.h"
+#include "gov/fault_injector.h"
 #include "obs/metrics.h"
 
 namespace aqp {
@@ -57,9 +60,34 @@ struct ExecContext {
   ParallelRunStats* run_stats() const {
     return stats != nullptr ? &stats->parallel : nullptr;
   }
+
+  // Cancellation forwarded into every ParallelFor so in-flight morsels stop
+  // at their next boundary, not just the next operator.
+  ThreadPool::ParallelForOptions pf_options() const {
+    return ThreadPool::ParallelForOptions{options.cancel};
+  }
 };
 
 Result<TablePtr> Exec(const PlanPtr& plan, ExecContext& ctx);
+
+// Materializes `t` behind a shared_ptr, charging the query's MemoryTracker
+// (when one is bound) for the table's footprint until the last reference
+// dies. Operator OUTPUTS go through here; catalog base tables do not (they
+// are shared storage, not query-owned memory).
+Result<TablePtr> TrackTable(Table&& t, ExecContext& ctx,
+                            std::string_view what) {
+  MemoryTracker* memory = ctx.options.memory;
+  if (memory == nullptr) {
+    return std::make_shared<const Table>(std::move(t));
+  }
+  auto owned = std::make_unique<const Table>(std::move(t));
+  const uint64_t bytes = owned->ApproxBytes();
+  AQP_RETURN_IF_ERROR(memory->TryCharge(bytes, what));
+  return TablePtr(owned.release(), [memory, bytes](const Table* p) {
+    delete p;
+    memory->Release(bytes);
+  });
+}
 
 // Gathers `keep` out of `table`, in parallel when the morsel path is active
 // for this input size (the parallel gather is column-wise and produces the
@@ -71,6 +99,7 @@ Table GatherRows(const Table& table, const std::vector<uint32_t>& keep,
 }
 
 Result<TablePtr> ExecScan(const PlanNode& node, ExecContext& ctx) {
+  AQP_RETURN_IF_ERROR(gov::FaultInjector::Global().MaybeFail("engine.scan"));
   AQP_ASSIGN_OR_RETURN(TablePtr table, ctx.catalog.Get(node.table_name()));
   const SampleSpec& spec = node.sample();
   if (!spec.is_sampled()) {
@@ -96,7 +125,7 @@ Result<TablePtr> ExecScan(const PlanNode& node, ExecContext& ctx) {
       const size_t num_morsels = (n + morsel_rows - 1) / morsel_rows;
       std::vector<std::vector<uint32_t>> local(num_morsels);
       ParallelRunStats rs = ThreadPool::Shared().ParallelFor(
-          n, morsel_rows, ctx.options.ResolvedThreads(),
+          n, morsel_rows, ctx.options.ResolvedThreads(), ctx.pf_options(),
           [&](size_t, size_t m, size_t begin, size_t end) {
             Pcg32 rng = MorselRng(spec.seed, m);
             for (size_t i = begin; i < end; ++i) {
@@ -105,6 +134,9 @@ Result<TablePtr> ExecScan(const PlanNode& node, ExecContext& ctx) {
               }
             }
           });
+      // A cancellation that landed mid-draw leaves `local` incomplete; the
+      // partial kept set must never masquerade as a valid sample.
+      AQP_RETURN_IF_ERROR(CheckCancelled(ctx.options.cancel));
       size_t total = 0;
       for (const std::vector<uint32_t>& v : local) total += v.size();
       keep.reserve(total);
@@ -139,8 +171,8 @@ Result<TablePtr> ExecScan(const PlanNode& node, ExecContext& ctx) {
     ctx.stats->rows_scanned += keep.size();
     ctx.stats->blocks_read += blocks_read;
   }
-  return std::make_shared<const Table>(
-      GatherRows(*table, keep, use_morsels, ctx));
+  return TrackTable(GatherRows(*table, keep, use_morsels, ctx), ctx,
+                    "scan output");
 }
 
 Result<TablePtr> ExecFilter(const PlanNode& node, ExecContext& ctx) {
@@ -152,12 +184,13 @@ Result<TablePtr> ExecFilter(const PlanNode& node, ExecContext& ctx) {
         selected, EvalPredicateMorsel(*node.predicate(), *input,
                                       ctx.options.morsel_rows,
                                       ctx.options.ResolvedThreads(),
-                                      ctx.run_stats()));
+                                      ctx.run_stats(), ctx.options.cancel));
   } else {
     AQP_ASSIGN_OR_RETURN(selected, EvalPredicate(*node.predicate(), *input));
   }
-  return std::make_shared<const Table>(
-      GatherRows(*input, selected, use_morsels, ctx));
+  AQP_RETURN_IF_ERROR(CheckCancelled(ctx.options.cancel));
+  return TrackTable(GatherRows(*input, selected, use_morsels, ctx), ctx,
+                    "filter output");
 }
 
 Result<TablePtr> ExecProject(const PlanNode& node, ExecContext& ctx) {
@@ -169,12 +202,15 @@ Result<TablePtr> ExecProject(const PlanNode& node, ExecContext& ctx) {
         num_exprs, Result<Column>(Column(DataType::kInt64)));
     ParallelRunStats rs = ThreadPool::Shared().ParallelFor(
         num_exprs, /*morsel_items=*/1, ctx.options.ResolvedThreads(),
-        [&](size_t, size_t, size_t begin, size_t end) {
+        ctx.pf_options(), [&](size_t, size_t, size_t begin, size_t end) {
           for (size_t i = begin; i < end; ++i) {
             results[i] = Eval(*node.exprs()[i], *input);
           }
         });
     if (ctx.run_stats() != nullptr) ctx.run_stats()->MergeFrom(rs);
+    // Skipped expressions under cancellation hold the dummy column; bail
+    // before reading them.
+    AQP_RETURN_IF_ERROR(CheckCancelled(ctx.options.cancel));
     Schema schema;
     std::vector<Column> columns;
     columns.reserve(num_exprs);
@@ -185,7 +221,7 @@ Result<TablePtr> ExecProject(const PlanNode& node, ExecContext& ctx) {
     }
     AQP_ASSIGN_OR_RETURN(Table out,
                          Table::Make(std::move(schema), std::move(columns)));
-    return std::make_shared<const Table>(std::move(out));
+    return TrackTable(std::move(out), ctx, "project output");
   }
   Schema schema;
   std::vector<Column> columns;
@@ -196,7 +232,7 @@ Result<TablePtr> ExecProject(const PlanNode& node, ExecContext& ctx) {
   }
   AQP_ASSIGN_OR_RETURN(Table out,
                        Table::Make(std::move(schema), std::move(columns)));
-  return std::make_shared<const Table>(std::move(out));
+  return TrackTable(std::move(out), ctx, "project output");
 }
 
 Result<TablePtr> ExecJoin(const PlanNode& node, ExecContext& ctx) {
@@ -305,7 +341,7 @@ Result<TablePtr> ExecJoin(const PlanNode& node, ExecContext& ctx) {
   for (size_t c = 0; c < out.num_columns(); ++c) cols.push_back(out.column(c));
   AQP_ASSIGN_OR_RETURN(Table fixed, Table::Make(out.schema(), std::move(cols)));
   if (stats != nullptr) stats->rows_joined += emitted;
-  return std::make_shared<const Table>(std::move(fixed));
+  return TrackTable(std::move(fixed), ctx, "join output");
 }
 
 Result<TablePtr> ExecAggregate(const PlanNode& node, ExecContext& ctx) {
@@ -317,7 +353,7 @@ Result<TablePtr> ExecAggregate(const PlanNode& node, ExecContext& ctx) {
       Table out, GroupByAggregate(*input, node.group_exprs(),
                                   node.group_names(), node.aggs(),
                                   agg_options));
-  return std::make_shared<const Table>(std::move(out));
+  return TrackTable(std::move(out), ctx, "aggregate output");
 }
 
 Result<TablePtr> ExecSort(const PlanNode& node, ExecContext& ctx) {
@@ -341,13 +377,14 @@ Result<TablePtr> ExecSort(const PlanNode& node, ExecContext& ctx) {
     }
     return false;
   });
-  return std::make_shared<const Table>(
-      GatherRows(*input, order, ctx.options.UseMorsels(order.size()), ctx));
+  return TrackTable(
+      GatherRows(*input, order, ctx.options.UseMorsels(order.size()), ctx),
+      ctx, "sort output");
 }
 
 Result<TablePtr> ExecLimit(const PlanNode& node, ExecContext& ctx) {
   AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), ctx));
-  return std::make_shared<const Table>(input->Slice(0, node.limit()));
+  return TrackTable(input->Slice(0, node.limit()), ctx, "limit output");
 }
 
 Result<TablePtr> ExecUnionAll(const PlanNode& node, ExecContext& ctx) {
@@ -357,7 +394,7 @@ Result<TablePtr> ExecUnionAll(const PlanNode& node, ExecContext& ctx) {
     AQP_ASSIGN_OR_RETURN(TablePtr next, Exec(node.child(i), ctx));
     AQP_RETURN_IF_ERROR(out.Append(*next));
   }
-  return std::make_shared<const Table>(std::move(out));
+  return TrackTable(std::move(out), ctx, "union output");
 }
 
 const char* OperatorName(PlanKind kind) {
@@ -406,6 +443,9 @@ Result<TablePtr> ExecDispatch(const PlanPtr& plan, ExecContext& ctx) {
 
 Result<TablePtr> Exec(const PlanPtr& plan, ExecContext& ctx) {
   AQP_CHECK(plan != nullptr);
+  // Operator-boundary cancellation point: deadline/user-cancel/memory trips
+  // stop the plan between operators even when no parallel region runs.
+  AQP_RETURN_IF_ERROR(CheckCancelled(ctx.options.cancel));
   if (ctx.trace == nullptr) {
     // Untraced path: one branch, no clock reads, no allocations.
     return ExecDispatch(plan, ctx);

@@ -455,11 +455,10 @@ Result<std::vector<uint32_t>> EvalPredicate(const Expr& expr,
   return selected;
 }
 
-Result<std::vector<uint32_t>> EvalPredicateMorsel(const Expr& expr,
-                                                  const Table& table,
-                                                  size_t morsel_rows,
-                                                  size_t num_threads,
-                                                  ParallelRunStats* run_stats) {
+Result<std::vector<uint32_t>> EvalPredicateMorsel(
+    const Expr& expr, const Table& table, size_t morsel_rows,
+    size_t num_threads, ParallelRunStats* run_stats,
+    const CancellationToken* cancel) {
   const size_t n = table.num_rows();
   if (morsel_rows == 0) morsel_rows = n == 0 ? 1 : n;
   // Each morsel slices only the columns the predicate actually reads; a
@@ -487,7 +486,7 @@ Result<std::vector<uint32_t>> EvalPredicateMorsel(const Expr& expr,
   std::vector<std::vector<uint32_t>> local(num_morsels);
   std::vector<Status> errors(num_morsels, Status::OK());
   ParallelRunStats rs = ThreadPool::Shared().ParallelFor(
-      n, morsel_rows, num_threads,
+      n, morsel_rows, num_threads, ThreadPool::ParallelForOptions{cancel},
       [&](size_t, size_t m, size_t begin, size_t end) {
         std::vector<Column> cols;
         cols.reserve(ref_idx.size());
@@ -511,6 +510,7 @@ Result<std::vector<uint32_t>> EvalPredicateMorsel(const Expr& expr,
           local[m].push_back(static_cast<uint32_t>(begin) + i);
         }
       });
+  AQP_RETURN_IF_ERROR(CheckCancelled(cancel));
   for (const Status& s : errors) {
     AQP_RETURN_IF_ERROR(s);
   }

@@ -1,0 +1,123 @@
+#include "gov/fault_injector.h"
+
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "common/str_util.h"
+#include "common/thread_pool.h"
+
+namespace aqp {
+namespace gov {
+namespace {
+
+// True iff hit `hit` at `site` under `seed` should fail with probability `p`.
+// Pure function of its arguments: the schedule is independent of thread
+// interleavings and of how many *other* sites fired in between.
+bool ScheduleFires(uint64_t seed, std::string_view site, uint64_t hit,
+                   double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  uint64_t h = HashString(site, seed);
+  h = Mix64(h ^ hit);
+  // Map the top 53 bits to [0, 1).
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < p;
+}
+
+// One-time environment arming so the CI fault matrix can drive unmodified
+// test binaries: AQP_FAULT_SEED=<u64> [AQP_FAULT_P=<prob, default 0.01>].
+void ArmFromEnvOnce(FaultInjector& inj) {
+  static bool done = [&inj]() {
+    const char* seed_env = std::getenv("AQP_FAULT_SEED");
+    if (seed_env == nullptr || *seed_env == '\0') return true;
+    auto seed = ParseInt64(seed_env);
+    if (!seed.ok() || *seed < 0) return true;
+    double p = 0.01;
+    const char* p_env = std::getenv("AQP_FAULT_P");
+    if (p_env != nullptr && *p_env != '\0') {
+      auto parsed = ParseDouble(p_env);
+      if (parsed.ok() && *parsed >= 0.0 && *parsed <= 1.0) p = *parsed;
+    }
+    inj.Arm(static_cast<uint64_t>(*seed), p);
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = []() {
+    auto* inj = new FaultInjector();
+    ArmFromEnvOnce(*inj);
+    return inj;
+  }();
+  return *instance;
+}
+
+void FaultInjector::Arm(uint64_t seed, double probability) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seed_ = seed;
+    probability_ = probability;
+  }
+  armed_.store(true, std::memory_order_release);
+  // Route pool-dispatch decisions through the same schedule. The hook takes
+  // the helper slot index but the schedule key is the per-site hit counter,
+  // so seeds replay identically whatever slots the pool picks.
+  ThreadPool::SetDispatchFaultHook(
+      [](size_t) { return !Global().MaybeFail("pool.dispatch").ok(); });
+}
+
+void FaultInjector::Disarm() {
+  armed_.store(false, std::memory_order_release);
+  ThreadPool::SetDispatchFaultHook(nullptr);
+}
+
+Status FaultInjector::MaybeFail(std::string_view site) {
+  if (!armed_.load(std::memory_order_acquire)) return Status::OK();
+  uint64_t seed;
+  double p;
+  uint64_t hit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seed = seed_;
+    p = probability_;
+    auto it = hits_.find(site);
+    if (it == hits_.end()) {
+      it = hits_.emplace(std::string(site), 0).first;
+    }
+    hit = it->second++;
+  }
+  evaluated_.fetch_add(1, std::memory_order_relaxed);
+  if (!ScheduleFires(seed, site, hit, p)) return Status::OK();
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Internal("injected fault at " + std::string(site) +
+                          " (seed=" + std::to_string(seed) +
+                          ", hit=" + std::to_string(hit) + ")");
+}
+
+void FaultInjector::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hits_.clear();
+  injected_.store(0, std::memory_order_relaxed);
+  evaluated_.store(0, std::memory_order_relaxed);
+}
+
+ScopedFaultInjection::ScopedFaultInjection(uint64_t seed, double probability) {
+  FaultInjector& inj = FaultInjector::Global();
+  inj.ResetCounters();
+  inj.Arm(seed, probability);
+}
+
+ScopedFaultInjection::ScopedFaultInjection() {
+  FaultInjector::Global().Disarm();
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  FaultInjector::Global().Disarm();
+  FaultInjector::Global().ResetCounters();
+}
+
+}  // namespace gov
+}  // namespace aqp

@@ -1,0 +1,96 @@
+#ifndef AQP_GOV_FAULT_INJECTOR_H_
+#define AQP_GOV_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace aqp {
+namespace gov {
+
+/// Deterministic, seeded fault injection for robustness tests. Production
+/// code paths with a meaningful failure mode call
+/// `FaultInjector::Global().MaybeFail("site.name")`; when the injector is
+/// armed, the call fails on a schedule that is a pure function of
+/// (seed, site, hit index) — so a failing CI seed reproduces locally with
+/// the same seed, bit for bit, regardless of thread interleaving (each
+/// site's hits are counted under a lock).
+///
+/// Registered sites (grep for MaybeFail to confirm):
+///   engine.scan       — table fetch at the head of every Scan operator
+///   sampler.bernoulli — Bernoulli row-sample draw
+///   sampler.block     — block-sample draw
+///   ola.create        — OnlineAggregator setup (measure eval + permutation)
+///   pool.dispatch     — helper-task dispatch in ThreadPool::ParallelFor
+///                       (wired through SetDispatchFaultHook when armed)
+///
+/// Disarmed cost: one relaxed atomic load per call. Arming is process-global
+/// and intended for tests / the CI fault matrix, not concurrent production
+/// queries; it can also be armed from the environment (AQP_FAULT_SEED,
+/// AQP_FAULT_P) at first use, which is how the CI matrix drives 10 seeds
+/// through the same binaries.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Arms injection: each MaybeFail hit fails independently with
+  /// `probability` under the deterministic schedule of `seed`. Also installs
+  /// the ThreadPool dispatch-fault hook for the pool.dispatch site.
+  void Arm(uint64_t seed, double probability);
+  /// Disarms injection and removes the dispatch hook. Hit counters survive
+  /// so a later Arm with the same seed continues the schedule; call
+  /// ResetCounters for a fresh schedule.
+  void Disarm();
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+  /// OK when disarmed or when this hit survives; an Internal status naming
+  /// the site when the schedule fires.
+  Status MaybeFail(std::string_view site);
+
+  /// Faults injected / hits evaluated since the last ResetCounters.
+  uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+  uint64_t evaluated() const {
+    return evaluated_.load(std::memory_order_relaxed);
+  }
+  /// Zeroes the per-site hit counters and the totals (fresh schedule).
+  void ResetCounters();
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> injected_{0};
+  std::atomic<uint64_t> evaluated_{0};
+  mutable std::mutex mu_;
+  uint64_t seed_ = 0;
+  double probability_ = 0.0;
+  std::map<std::string, uint64_t, std::less<>> hits_;  // Per-site hit counts.
+};
+
+/// RAII (dis)arming for tests: arms (or disarms) the global injector on
+/// construction; destruction always disarms and resets counters, so fault
+/// tests cannot leak an armed injector into later tests and deterministic
+/// tests can opt out of an environment-armed fault matrix for their scope.
+class ScopedFaultInjection {
+ public:
+  /// Arms with (seed, probability) on a fresh schedule (counters reset).
+  ScopedFaultInjection(uint64_t seed, double probability);
+  /// Disarms for this scope (deterministic-test mode).
+  ScopedFaultInjection();
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace gov
+}  // namespace aqp
+
+#endif  // AQP_GOV_FAULT_INJECTOR_H_

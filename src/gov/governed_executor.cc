@@ -1,0 +1,228 @@
+#include "gov/governed_executor.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/offline_executor.h"
+#include "core/online_aggregation.h"
+#include "obs/metrics.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace aqp {
+namespace gov {
+namespace {
+
+void BumpCounter(const char* name) {
+  if (!obs::Enabled()) return;
+  obs::MetricsRegistry::Global().GetCounter(name)->Increment();
+}
+
+// Widens `ci` about its point estimate by half-width factor `f` (>= 1).
+void WidenCi(stats::ConfidenceInterval* ci, double f) {
+  ci->low = ci->estimate - f * (ci->estimate - ci->low);
+  ci->high = ci->estimate + f * (ci->high - ci->estimate);
+}
+
+void WidenAllCis(core::ApproxResult* result, double f) {
+  for (auto& row : result->cis) {
+    for (auto& ci : row) WidenCi(&ci, f);
+  }
+}
+
+}  // namespace
+
+bool IsDegradable(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kInternal:  // Runtime faults, injected or real.
+      return true;
+    default:
+      return false;
+  }
+}
+
+GovernedExecutor::GovernedExecutor(const Catalog* catalog,
+                                   const core::SampleCatalog* samples,
+                                   GovernedOptions options)
+    : catalog_(catalog), samples_(samples), options_(std::move(options)) {}
+
+Result<core::ApproxResult> GovernedExecutor::Execute(std::string_view sql) {
+  QueryContext ctx(Limits{options_.deadline_ms, options_.memory_budget_bytes});
+  ctx.Start();
+  return ExecuteWithContext(sql, ctx);
+}
+
+Result<core::ApproxResult> GovernedExecutor::ExecuteWithContext(
+    std::string_view sql, QueryContext& ctx) {
+  BumpCounter("gov.queries");
+
+  core::AqpOptions governed = options_.aqp;
+  ctx.Bind(&governed.exec);
+  core::ApproxExecutor rung0(catalog_, governed);
+  Result<core::ApproxResult> preferred = rung0.Execute(sql);
+  if (preferred.ok()) {
+    core::ApproxResult result = std::move(preferred).value();
+    FinishProfile(&result, ctx, /*rung=*/0, /*degraded_reason=*/"");
+    return result;
+  }
+
+  Status failure = preferred.status();
+  if (failure.code() == StatusCode::kCancelled) {
+    // The caller asked the query to stop; a substitute answer would be
+    // exactly what they did not want.
+    BumpCounter("gov.cancelled");
+    return failure;
+  }
+  if (!IsDegradable(failure)) return failure;
+  return RunLadder(sql, ctx, std::move(failure));
+}
+
+Result<core::ApproxResult> GovernedExecutor::RunLadder(std::string_view sql,
+                                                       QueryContext& ctx,
+                                                       Status failure) {
+  // Rung 1: a pre-computed offline sample answers at cost proportional to
+  // the (small) stored sample, no base-table scan.
+  if (samples_ != nullptr) {
+    Result<core::ApproxResult> offline = RunOfflineRung(sql, ctx);
+    if (offline.ok()) {
+      core::ApproxResult result = std::move(offline).value();
+      WidenAllCis(&result, options_.degraded_ci_inflation);
+      FinishProfile(&result, ctx, /*rung=*/1,
+                    "degraded to stored offline sample: " + failure.message());
+      BumpCounter("gov.degraded_rung1");
+      return result;
+    }
+  }
+
+  // Rung 2: an online-aggregation early answer over one bounded grace chunk.
+  Result<core::ApproxResult> ola = RunOlaRung(sql, ctx);
+  if (ola.ok()) {
+    core::ApproxResult result = std::move(ola).value();
+    WidenAllCis(&result, options_.degraded_ci_inflation);
+    FinishProfile(&result, ctx, /*rung=*/2,
+                  "degraded to online-aggregation early answer: " +
+                      failure.message());
+    BumpCounter("gov.degraded_rung2");
+    return result;
+  }
+
+  BumpCounter("gov.exhausted");
+  return Status::ResourceExhausted(
+      "no rung of the degradation ladder could answer: " + failure.message());
+}
+
+Result<core::ApproxResult> GovernedExecutor::RunOfflineRung(
+    std::string_view sql, QueryContext& ctx) {
+  // The context's token has already tripped (that is why we are here);
+  // rung 1 runs without it but keeps the memory budget honest — the stored
+  // sample is small, and if even it does not fit the ladder descends.
+  ExecOptions exec = options_.aqp.exec;
+  exec.cancel = nullptr;
+  exec.memory = &ctx.memory();
+  core::OfflineExecutor offline(catalog_, samples_, exec);
+  return offline.Execute(sql, options_.confidence);
+}
+
+Result<core::ApproxResult> GovernedExecutor::RunOlaRung(std::string_view sql,
+                                                        QueryContext& ctx) {
+  AQP_ASSIGN_OR_RETURN(sql::SelectStmt stmt, sql::Parse(sql));
+  if (!stmt.joins.empty() || !stmt.group_by.empty() ||
+      stmt.having != nullptr || stmt.distinct || stmt.items.size() != 1) {
+    return Status::Unimplemented(
+        "online-aggregation rung answers single-aggregate single-table "
+        "queries only");
+  }
+  const sql::SelectItem& item = stmt.items[0];
+  if (item.expr == nullptr || item.expr->kind != sql::SqlExpr::Kind::kAggCall) {
+    return Status::Unimplemented("online-aggregation rung needs an aggregate");
+  }
+  AggKind kind = item.expr->agg_kind;
+  if (kind != AggKind::kSum && kind != AggKind::kAvg &&
+      kind != AggKind::kCountStar) {
+    return Status::Unimplemented(
+        "online-aggregation rung supports SUM/AVG/COUNT(*) only");
+  }
+
+  ExprPtr measure;
+  if (kind == AggKind::kCountStar) {
+    measure = Expr::MakeLiteral(Value(1.0));
+  } else {
+    AQP_ASSIGN_OR_RETURN(measure, sql::LowerSqlExpr(item.expr->children[0]));
+  }
+  ExprPtr predicate;
+  if (stmt.where != nullptr) {
+    AQP_ASSIGN_OR_RETURN(predicate, sql::LowerSqlExpr(stmt.where));
+  }
+  AQP_ASSIGN_OR_RETURN(std::shared_ptr<const Table> table,
+                       catalog_->Get(stmt.from.table));
+
+  // No token: the grace chunk is the bounded cost we accept after the
+  // deadline. The memory budget stays bound so the OLA working set (order,
+  // measures, mask) is still accounted.
+  ExecOptions exec = options_.aqp.exec;
+  exec.cancel = nullptr;
+  exec.memory = &ctx.memory();
+  AQP_ASSIGN_OR_RETURN(
+      core::OnlineAggregator agg,
+      core::OnlineAggregator::Create(*table, measure, predicate,
+                                     options_.aqp.seed, exec));
+  core::OlaProgress progress =
+      agg.Step(options_.ola_grace_rows, options_.confidence);
+
+  stats::ConfidenceInterval ci;
+  switch (kind) {
+    case AggKind::kSum:
+      ci = progress.sum_ci;
+      break;
+    case AggKind::kAvg:
+      ci = progress.avg_ci;
+      break;
+    default:
+      ci = progress.count_ci;
+      break;
+  }
+
+  std::string name =
+      item.alias.empty() ? item.expr->ToString() : item.alias;
+  core::ApproxResult result;
+  if (kind == AggKind::kCountStar) {
+    Column col(DataType::kInt64);
+    col.AppendInt64(static_cast<int64_t>(std::llround(ci.estimate)));
+    AQP_ASSIGN_OR_RETURN(
+        result.table,
+        Table::Make(Schema({Field{name, DataType::kInt64}}), {std::move(col)}));
+  } else {
+    Column col(DataType::kDouble);
+    col.AppendDouble(ci.estimate);
+    AQP_ASSIGN_OR_RETURN(
+        result.table,
+        Table::Make(Schema({Field{name, DataType::kDouble}}),
+                    {std::move(col)}));
+  }
+  result.approximated = true;
+  result.sampled_table = stmt.from.table;
+  result.final_rate = progress.fraction;
+  result.cis = {{ci}};
+  result.profile = agg.Profile();
+  result.profile.query = std::string(sql);
+  result.profile.executor = "online-aggregation";
+  result.profile.approximated = true;
+  result.profile.sampled_table = stmt.from.table;
+  result.profile.sampled_fraction = progress.fraction;
+  return result;
+}
+
+void GovernedExecutor::FinishProfile(core::ApproxResult* result,
+                                     const QueryContext& ctx, int rung,
+                                     std::string degraded_reason) const {
+  obs::ExecutionProfile& profile = result->profile;
+  profile.degradation_rung = rung;
+  profile.degraded_reason = std::move(degraded_reason);
+  profile.memory_peak_bytes = ctx.memory().peak();
+  profile.memory_leaked_bytes = ctx.memory().used();
+}
+
+}  // namespace gov
+}  // namespace aqp

@@ -1,0 +1,95 @@
+#ifndef AQP_GOV_GOVERNED_EXECUTOR_H_
+#define AQP_GOV_GOVERNED_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/approx_executor.h"
+#include "core/offline_catalog.h"
+#include "gov/query_context.h"
+
+namespace aqp {
+namespace gov {
+
+/// Knobs of the governed executor: the inner AQP configuration plus the
+/// resource limits and the degradation behaviour.
+struct GovernedOptions {
+  core::AqpOptions aqp;
+
+  /// Wall-clock deadline per query; < 0 = none. 0 is legal ("already
+  /// expired") and forces the ladder immediately — how the deadline-0
+  /// robustness suite exercises every rung.
+  int64_t deadline_ms = -1;
+  /// Live-set byte budget per query; 0 = unlimited.
+  uint64_t memory_budget_bytes = 0;
+
+  /// Confidence used for degraded answers (rungs 1 and 2).
+  double confidence = 0.95;
+  /// Rows the rung-2 online-aggregation answer may consume after the
+  /// deadline has already expired — the bounded "grace chunk" that buys an
+  /// honest early estimate instead of an error.
+  size_t ola_grace_rows = 4096;
+  /// Degraded confidence intervals are widened by this factor (half-width
+  /// multiplier) to reflect that the answer came from a rung the query did
+  /// not ask for.
+  double degraded_ci_inflation = 1.5;
+};
+
+/// Resource-governed query execution: wraps the two-stage ApproxExecutor in
+/// a QueryContext (deadline + memory budget + cancellation) and, when the
+/// preferred strategy cannot finish, walks a degradation ladder instead of
+/// failing:
+///
+///   rung 0  exact / two-stage approximate (ApproxExecutor), governed
+///   rung 1  pre-computed offline sample (SampleCatalog), cost ∝ sample size
+///   rung 2  online-aggregation early answer over one bounded grace chunk,
+///           CI widened by `degraded_ci_inflation`
+///   — else  Status::ResourceExhausted (nothing could answer)
+///
+/// Degraded answers carry `degraded_reason` / `degradation_rung` in their
+/// ExecutionProfile and keep the exact query's output shape. The ladder is
+/// taken for deadline expiry, memory exhaustion, and runtime faults
+/// (including injected ones); explicit user cancellation does NOT degrade —
+/// the caller asked the query to stop, so Cancelled comes straight back.
+class GovernedExecutor {
+ public:
+  /// `catalog` must outlive the executor; `samples` may be null (the ladder
+  /// then skips rung 1).
+  GovernedExecutor(const Catalog* catalog, const core::SampleCatalog* samples,
+                   GovernedOptions options);
+
+  /// Executes `sql` under this executor's limits.
+  Result<core::ApproxResult> Execute(std::string_view sql);
+
+  /// Executes `sql` under an externally owned context (e.g. one the caller
+  /// may Cancel() from another thread). The context must already be
+  /// Start()ed or be started by the caller.
+  Result<core::ApproxResult> ExecuteWithContext(std::string_view sql,
+                                                QueryContext& ctx);
+
+ private:
+  Result<core::ApproxResult> RunLadder(std::string_view sql, QueryContext& ctx,
+                                       Status failure);
+  Result<core::ApproxResult> RunOfflineRung(std::string_view sql,
+                                            QueryContext& ctx);
+  Result<core::ApproxResult> RunOlaRung(std::string_view sql,
+                                        QueryContext& ctx);
+  void FinishProfile(core::ApproxResult* result, const QueryContext& ctx,
+                     int rung, std::string degraded_reason) const;
+
+  const Catalog* catalog_;
+  const core::SampleCatalog* samples_;
+  GovernedOptions options_;
+};
+
+/// True iff `s` is a failure the degradation ladder absorbs (deadline,
+/// memory, fault) as opposed to one it must surface unchanged (user cancel,
+/// malformed query, ...).
+bool IsDegradable(const Status& s);
+
+}  // namespace gov
+}  // namespace aqp
+
+#endif  // AQP_GOV_GOVERNED_EXECUTOR_H_

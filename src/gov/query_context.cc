@@ -1,0 +1,26 @@
+#include "gov/query_context.h"
+
+namespace aqp {
+namespace gov {
+
+QueryContext::QueryContext(Limits limits)
+    : limits_(limits),
+      token_(source_.token()),
+      memory_(limits.memory_budget_bytes) {
+  // A blown budget must also stop in-flight morsels, not just the next
+  // TryCharge caller: route exhaustion into the cancellation source.
+  memory_.BindCancellation(&source_);
+}
+
+void QueryContext::Start() {
+  if (limits_.deadline_ms >= 0) {
+    source_.SetDeadlineAfterMs(limits_.deadline_ms);
+  }
+}
+
+void QueryContext::Cancel(std::string reason) {
+  source_.RequestCancel(StopCause::kUserCancel, std::move(reason));
+}
+
+}  // namespace gov
+}  // namespace aqp

@@ -1,0 +1,68 @@
+#ifndef AQP_GOV_QUERY_CONTEXT_H_
+#define AQP_GOV_QUERY_CONTEXT_H_
+
+#include <cstdint>
+
+#include "common/cancellation.h"
+#include "common/memory_tracker.h"
+#include "engine/exec_options.h"
+
+namespace aqp {
+namespace gov {
+
+/// Per-query resource limits. Zero/negative sentinels mean "unlimited" so a
+/// default-constructed Limits governs nothing.
+struct Limits {
+  /// Wall-clock deadline in milliseconds from Start(); < 0 = none. 0 is
+  /// legal and means "already expired" — the degradation ladder then answers
+  /// from whatever costs (almost) nothing.
+  int64_t deadline_ms = -1;
+  /// Byte budget for live query memory; 0 = unlimited.
+  uint64_t memory_budget_bytes = 0;
+};
+
+/// Bundles the per-query governance state: one CancellationSource (deadline +
+/// user cancel + memory/fault trips all funnel into it) and one MemoryTracker
+/// charged by the operators this query runs. Create one per query, call
+/// Start() when execution begins (arms the deadline), and Bind() it into the
+/// ExecOptions handed to any executor.
+///
+/// The context must outlive every executor borrowing its token/tracker —
+/// executors only hold pointers.
+class QueryContext {
+ public:
+  explicit QueryContext(Limits limits = {});
+
+  /// Arms the deadline relative to now. Idempotent re-arming is not
+  /// supported; call once per context.
+  void Start();
+
+  /// Requests user cancellation (first cause wins).
+  void Cancel(std::string reason = "cancelled by caller");
+
+  /// Points `opts` at this context's token and tracker.
+  void Bind(ExecOptions* opts) {
+    opts->cancel = &token_;
+    opts->memory = &memory_;
+  }
+
+  const Limits& limits() const { return limits_; }
+  const CancellationToken& token() const { return token_; }
+  CancellationSource& source() { return source_; }
+  MemoryTracker& memory() { return memory_; }
+  const MemoryTracker& memory() const { return memory_; }
+
+  bool cancelled() const { return token_.IsCancelled(); }
+  StopCause cause() const { return token_.cause(); }
+
+ private:
+  Limits limits_;
+  CancellationSource source_;
+  CancellationToken token_;
+  MemoryTracker memory_;
+};
+
+}  // namespace gov
+}  // namespace aqp
+
+#endif  // AQP_GOV_QUERY_CONTEXT_H_

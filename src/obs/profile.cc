@@ -31,6 +31,14 @@ std::string ExecutionProfile::ToText() const {
   if (!fallback_reason.empty()) {
     out += "  fallback:   " + fallback_reason + "\n";
   }
+  if (!degraded_reason.empty()) {
+    out += "  degraded:   rung " + std::to_string(degradation_rung) + " — " +
+           degraded_reason + "\n";
+  }
+  if (memory_peak_bytes > 0 || memory_leaked_bytes > 0) {
+    out += "  memory:     peak=" + std::to_string(memory_peak_bytes) +
+           "B leaked=" + std::to_string(memory_leaked_bytes) + "B\n";
+  }
   if (!sampling_design.empty()) {
     out += "  sampling:   " + sampling_design;
     if (!sampled_table.empty()) out += " over '" + sampled_table + "'";
@@ -96,6 +104,14 @@ std::string ExecutionProfile::ToJson() const {
   w.Key("approximated").Value(approximated);
   if (!fallback_reason.empty()) {
     w.Key("fallback_reason").Value(fallback_reason);
+  }
+  if (!degraded_reason.empty()) {
+    w.Key("degraded_reason").Value(degraded_reason);
+    w.Key("degradation_rung").Value(static_cast<int64_t>(degradation_rung));
+  }
+  if (memory_peak_bytes > 0 || memory_leaked_bytes > 0) {
+    w.Key("memory_peak_bytes").Value(memory_peak_bytes);
+    w.Key("memory_leaked_bytes").Value(memory_leaked_bytes);
   }
   if (!sampling_design.empty()) {
     w.Key("sampling_design").Value(sampling_design);

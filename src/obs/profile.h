@@ -48,6 +48,20 @@ struct ExecutionProfile {
   bool approximated = false;
   std::string fallback_reason;  // Why exact execution was chosen, if it was.
 
+  /// Resource governance. When a governed query could not run its preferred
+  /// strategy (deadline, memory budget, or a runtime fault), the governor
+  /// descends a degradation ladder and records here which rung answered and
+  /// why: rung 0 = preferred strategy, 1 = stored offline sample, 2 =
+  /// online-aggregation early answer (CI widened by the degradation
+  /// inflation). `degraded_reason` is empty for ungoverned / undegraded runs.
+  std::string degraded_reason;
+  int degradation_rung = 0;
+  /// Peak live bytes the query's MemoryTracker saw, and the bytes still
+  /// charged when the profile was taken (must be 0 — anything else is a
+  /// governance accounting leak).
+  uint64_t memory_peak_bytes = 0;
+  uint64_t memory_leaked_bytes = 0;
+
   /// Sampling decisions.
   std::string sampling_design;   // e.g. "system-block(block_size=128)".
   std::string sampled_table;     // Which table was substituted/sampled.

@@ -1,11 +1,15 @@
 #include "sampling/bernoulli.h"
 
+#include "common/cancellation.h"
 #include "common/random.h"
+#include "gov/fault_injector.h"
 
 namespace aqp {
 
 Result<Sample> BernoulliRowSample(const Table& table, double rate,
                                   uint64_t seed) {
+  AQP_RETURN_IF_ERROR(
+      gov::FaultInjector::Global().MaybeFail("sampler.bernoulli"));
   if (rate <= 0.0 || rate > 1.0) {
     return Status::InvalidArgument("sampling rate must be in (0, 1]");
   }
@@ -34,6 +38,8 @@ Result<Sample> BernoulliRowSample(const Table& table, double rate,
                                   ParallelRunStats* run_stats) {
   const size_t n = table.num_rows();
   if (!exec.UseMorsels(n)) return BernoulliRowSample(table, rate, seed);
+  AQP_RETURN_IF_ERROR(
+      gov::FaultInjector::Global().MaybeFail("sampler.bernoulli"));
   if (rate <= 0.0 || rate > 1.0) {
     return Status::InvalidArgument("sampling rate must be in (0, 1]");
   }
@@ -43,12 +49,15 @@ Result<Sample> BernoulliRowSample(const Table& table, double rate,
   std::vector<std::vector<uint32_t>> local(num_morsels);
   ParallelRunStats rs = ThreadPool::Shared().ParallelFor(
       n, morsel_rows, num_threads,
+      ThreadPool::ParallelForOptions{exec.cancel},
       [&](size_t, size_t m, size_t begin, size_t end) {
         Pcg32 rng = MorselRng(seed, m);
         for (size_t i = begin; i < end; ++i) {
           if (rng.Bernoulli(rate)) local[m].push_back(static_cast<uint32_t>(i));
         }
       });
+  // A partial kept set is not a Bernoulli sample; stop before gathering.
+  AQP_RETURN_IF_ERROR(CheckCancelled(exec.cancel));
   if (run_stats != nullptr) run_stats->MergeFrom(rs);
   size_t total = 0;
   for (const std::vector<uint32_t>& v : local) total += v.size();

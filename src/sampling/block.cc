@@ -1,6 +1,7 @@
 #include "sampling/block.h"
 
 #include "common/random.h"
+#include "gov/fault_injector.h"
 
 namespace aqp {
 
@@ -12,6 +13,7 @@ template <typename GatherFn>
 Result<Sample> BlockSampleImpl(const Table& table, double rate,
                                uint32_t block_size, uint64_t seed,
                                GatherFn gather) {
+  AQP_RETURN_IF_ERROR(gov::FaultInjector::Global().MaybeFail("sampler.block"));
   if (rate <= 0.0 || rate > 1.0) {
     return Status::InvalidArgument("sampling rate must be in (0, 1]");
   }

@@ -88,8 +88,25 @@ class Parser {
   Result<SqlExprPtr> ParsePrimary();
   Result<Value> ParseLiteralValue();
 
+  // Hard ceiling on expression recursion: hostile input (thousands of nested
+  // parens / NOTs / unary minuses) must come back as a parse error, not
+  // exhaust the stack. Guards sit on every self-recursive production.
+  static constexpr int kMaxExprDepth = 1000;
+  struct DepthGuard {
+    explicit DepthGuard(Parser* p) : parser(p) { ++parser->depth_; }
+    ~DepthGuard() { --parser->depth_; }
+    Parser* parser;
+  };
+  Status CheckDepth() const {
+    if (depth_ > kMaxExprDepth) {
+      return Status::InvalidArgument("expression nesting too deep");
+    }
+    return Status::OK();
+  }
+
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 Result<std::string> Parser::ParseIdentifier(std::string_view what) {
@@ -168,6 +185,8 @@ Result<TableRef> Parser::ParseTableRef() {
 }
 
 Result<Value> Parser::ParseLiteralValue() {
+  DepthGuard guard(this);
+  AQP_RETURN_IF_ERROR(CheckDepth());
   const Token& t = Peek();
   if (t.kind == TokenKind::kIntLiteral) {
     Advance();
@@ -223,6 +242,8 @@ Result<SqlExprPtr> Parser::ParseAnd() {
 }
 
 Result<SqlExprPtr> Parser::ParseNot() {
+  DepthGuard guard(this);
+  AQP_RETURN_IF_ERROR(CheckDepth());
   if (MatchKeyword("NOT")) {
     AQP_ASSIGN_OR_RETURN(SqlExprPtr inner, ParseNot());
     return MakeUnary(OpKind::kNot, std::move(inner));
@@ -347,6 +368,8 @@ Result<SqlExprPtr> Parser::ParseTerm() {
 }
 
 Result<SqlExprPtr> Parser::ParseUnary() {
+  DepthGuard guard(this);
+  AQP_RETURN_IF_ERROR(CheckDepth());
   if (Match(TokenKind::kMinus)) {
     AQP_ASSIGN_OR_RETURN(SqlExprPtr inner, ParseUnary());
     return MakeUnary(OpKind::kNeg, std::move(inner));

@@ -226,4 +226,18 @@ void Column::Reserve(size_t n) {
   }
 }
 
+uint64_t Column::ApproxBytes() const {
+  uint64_t bytes = valid_.capacity();
+  bytes += ints_.capacity() * sizeof(int64_t);
+  bytes += doubles_.capacity() * sizeof(double);
+  bytes += bools_.capacity();
+  bytes += strings_.capacity() * sizeof(std::string);
+  for (const std::string& s : strings_) {
+    // Heap payload only; short strings live inside the std::string footprint
+    // counted above.
+    if (s.capacity() > sizeof(std::string)) bytes += s.capacity();
+  }
+  return bytes;
+}
+
 }  // namespace aqp

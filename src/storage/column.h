@@ -76,6 +76,10 @@ class Column {
 
   void Reserve(size_t n);
 
+  /// Approximate heap footprint in bytes (buffer capacities plus string
+  /// payloads) — the unit the per-query MemoryTracker is charged in.
+  uint64_t ApproxBytes() const;
+
  private:
   DataType type_;
   std::vector<int64_t> ints_;

@@ -131,6 +131,12 @@ std::pair<size_t, size_t> Table::BlockRange(size_t b,
   return {first, last};
 }
 
+uint64_t Table::ApproxBytes() const {
+  uint64_t bytes = 0;
+  for (const Column& c : columns_) bytes += c.ApproxBytes();
+  return bytes;
+}
+
 std::string Table::ToString(size_t max_rows) const {
   std::ostringstream out;
   for (size_t c = 0; c < num_columns(); ++c) {

@@ -76,6 +76,10 @@ class Table {
   std::pair<size_t, size_t> BlockRange(
       size_t b, uint32_t block_size = kDefaultBlockSize) const;
 
+  /// Approximate heap footprint in bytes (sum over columns) — what a
+  /// governed query's MemoryTracker is charged when this table materializes.
+  uint64_t ApproxBytes() const;
+
   /// Pretty-prints up to `max_rows` rows with a header, for examples/tests.
   std::string ToString(size_t max_rows = 20) const;
 

@@ -1,0 +1,106 @@
+#include "common/cancellation.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace {
+
+TEST(CancellationTest, DefaultTokenNeverCancelled) {
+  CancellationToken token;
+  EXPECT_FALSE(token.IsCancelled());
+  EXPECT_EQ(token.cause(), StopCause::kNone);
+  EXPECT_TRUE(token.ToStatus().ok());
+}
+
+TEST(CancellationTest, CheckCancelledAcceptsNull) {
+  EXPECT_TRUE(CheckCancelled(nullptr).ok());
+  CancellationSource source;
+  CancellationToken token = source.token();
+  EXPECT_TRUE(CheckCancelled(&token).ok());
+}
+
+TEST(CancellationTest, UserCancelMapsToCancelled) {
+  CancellationSource source;
+  CancellationToken token = source.token();
+  source.RequestCancel(StopCause::kUserCancel, "stop it");
+  EXPECT_TRUE(token.IsCancelled());
+  EXPECT_EQ(token.cause(), StopCause::kUserCancel);
+  Status s = token.ToStatus();
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_NE(s.message().find("stop it"), std::string::npos);
+}
+
+TEST(CancellationTest, CauseToStatusCodeMapping) {
+  struct Case {
+    StopCause cause;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {StopCause::kUserCancel, StatusCode::kCancelled},
+      {StopCause::kDeadline, StatusCode::kDeadlineExceeded},
+      {StopCause::kMemory, StatusCode::kResourceExhausted},
+      {StopCause::kFault, StatusCode::kInternal},
+  };
+  for (const Case& c : cases) {
+    CancellationSource source;
+    source.RequestCancel(c.cause, "x");
+    EXPECT_EQ(source.token().ToStatus().code(), c.code);
+  }
+}
+
+TEST(CancellationTest, FirstCauseWins) {
+  CancellationSource source;
+  source.RequestCancel(StopCause::kDeadline, "first");
+  source.RequestCancel(StopCause::kUserCancel, "second");
+  EXPECT_EQ(source.cause(), StopCause::kDeadline);
+  EXPECT_NE(source.token().ToStatus().message().find("first"),
+            std::string::npos);
+}
+
+TEST(CancellationTest, ZeroDeadlineExpiresImmediately) {
+  CancellationSource source;
+  source.SetDeadlineAfterMs(0);
+  CancellationToken token = source.token();
+  EXPECT_TRUE(token.IsCancelled());
+  EXPECT_EQ(token.cause(), StopCause::kDeadline);
+  EXPECT_EQ(token.ToStatus().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancellationTest, FarDeadlineDoesNotFire) {
+  CancellationSource source;
+  source.SetDeadlineAfterMs(60 * 60 * 1000);
+  EXPECT_FALSE(source.token().IsCancelled());
+}
+
+TEST(CancellationTest, DeadlineLosesToEarlierExplicitCause) {
+  CancellationSource source;
+  source.RequestCancel(StopCause::kMemory, "budget");
+  source.SetDeadlineAfterMs(0);
+  EXPECT_EQ(source.token().cause(), StopCause::kMemory);
+}
+
+TEST(CancellationTest, ConcurrentRequestsResolveToExactlyOneCause) {
+  CancellationSource source;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&source, i] {
+      source.RequestCancel(i % 2 == 0 ? StopCause::kUserCancel
+                                      : StopCause::kMemory,
+                           "racer " + std::to_string(i));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  StopCause cause = source.cause();
+  EXPECT_TRUE(cause == StopCause::kUserCancel || cause == StopCause::kMemory);
+  // The message matches whichever cause won.
+  Status s = source.token().ToStatus();
+  EXPECT_EQ(s.code(), cause == StopCause::kUserCancel
+                          ? StatusCode::kCancelled
+                          : StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace aqp

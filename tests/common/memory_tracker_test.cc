@@ -1,0 +1,104 @@
+#include "common/memory_tracker.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace {
+
+TEST(MemoryTrackerTest, UnboundedBudgetStillAccounts) {
+  MemoryTracker tracker;  // budget 0 = unlimited.
+  EXPECT_TRUE(tracker.TryCharge(1 << 30, "big").ok());
+  EXPECT_EQ(tracker.used(), uint64_t{1} << 30);
+  EXPECT_EQ(tracker.peak(), uint64_t{1} << 30);
+  tracker.Release(1 << 30);
+  EXPECT_EQ(tracker.used(), 0u);
+  EXPECT_EQ(tracker.peak(), uint64_t{1} << 30);  // Peak is sticky.
+}
+
+TEST(MemoryTrackerTest, BudgetRefusesOverCharge) {
+  MemoryTracker tracker(1000);
+  EXPECT_TRUE(tracker.TryCharge(600, "a").ok());
+  Status s = tracker.TryCharge(600, "b");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  // Refused charge must not be accounted.
+  EXPECT_EQ(tracker.used(), 600u);
+  EXPECT_EQ(tracker.exhausted_count(), 1u);
+  // Releasing makes room again.
+  tracker.Release(600);
+  EXPECT_TRUE(tracker.TryCharge(1000, "c").ok());
+}
+
+TEST(MemoryTrackerTest, ExhaustionCancelsBoundSource) {
+  CancellationSource source;
+  MemoryTracker tracker(100);
+  tracker.BindCancellation(&source);
+  EXPECT_FALSE(source.cancelled());
+  EXPECT_FALSE(tracker.TryCharge(200, "too big").ok());
+  EXPECT_TRUE(source.cancelled());
+  EXPECT_EQ(source.cause(), StopCause::kMemory);
+  EXPECT_EQ(source.token().ToStatus().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(MemoryTrackerTest, ConcurrentChargesNeverExceedBudget) {
+  MemoryTracker tracker(1000);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&tracker] {
+      for (int k = 0; k < 1000; ++k) {
+        if (tracker.TryCharge(100, "slice").ok()) {
+          EXPECT_LE(tracker.used(), 1000u);
+          tracker.Release(100);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(tracker.used(), 0u);
+  EXPECT_LE(tracker.peak(), 1000u);
+}
+
+TEST(ScopedMemoryChargeTest, ReleasesOnDestruction) {
+  MemoryTracker tracker(1000);
+  {
+    Result<ScopedMemoryCharge> charge =
+        ScopedMemoryCharge::Make(&tracker, 400, "scoped");
+    ASSERT_TRUE(charge.ok());
+    EXPECT_EQ(charge->bytes(), 400u);
+    EXPECT_EQ(tracker.used(), 400u);
+  }
+  EXPECT_EQ(tracker.used(), 0u);
+}
+
+TEST(ScopedMemoryChargeTest, NullTrackerIsNoOp) {
+  Result<ScopedMemoryCharge> charge =
+      ScopedMemoryCharge::Make(nullptr, 1 << 20, "untracked");
+  ASSERT_TRUE(charge.ok());
+}
+
+TEST(ScopedMemoryChargeTest, MoveTransfersOwnership) {
+  MemoryTracker tracker(1000);
+  ScopedMemoryCharge outer;
+  {
+    ScopedMemoryCharge inner =
+        ScopedMemoryCharge::Make(&tracker, 300, "moved").value();
+    outer = std::move(inner);
+  }  // inner destructs empty; the charge must survive in outer.
+  EXPECT_EQ(tracker.used(), 300u);
+  outer.Reset();
+  EXPECT_EQ(tracker.used(), 0u);
+}
+
+TEST(ScopedMemoryChargeTest, FailedMakeChargesNothing) {
+  MemoryTracker tracker(100);
+  Result<ScopedMemoryCharge> charge =
+      ScopedMemoryCharge::Make(&tracker, 200, "too big");
+  EXPECT_EQ(charge.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(tracker.used(), 0u);
+}
+
+}  // namespace
+}  // namespace aqp

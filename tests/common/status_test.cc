@@ -30,6 +30,20 @@ TEST(StatusTest, AllCodesHaveNames) {
             "FailedPrecondition");
   EXPECT_EQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
   EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded), "DeadlineExceeded");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+}
+
+TEST(StatusTest, GovernanceFactories) {
+  EXPECT_EQ(Status::Cancelled("by caller").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("50ms").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("budget").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("50ms").ToString(),
+            "DeadlineExceeded: 50ms");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

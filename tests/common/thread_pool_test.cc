@@ -1,0 +1,161 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace {
+
+TEST(ParseThreadCountTest, AcceptsPlainAndPaddedDigits) {
+  EXPECT_EQ(ParseThreadCount("4").value(), 4u);
+  EXPECT_EQ(ParseThreadCount("1").value(), 1u);
+  EXPECT_EQ(ParseThreadCount("  8  ").value(), 8u);
+  EXPECT_EQ(ParseThreadCount("4096").value(), 4096u);
+}
+
+TEST(ParseThreadCountTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseThreadCount("").ok());
+  EXPECT_FALSE(ParseThreadCount("   ").ok());
+  EXPECT_FALSE(ParseThreadCount("abc").ok());
+  EXPECT_FALSE(ParseThreadCount("4x").ok());
+  EXPECT_FALSE(ParseThreadCount("x4").ok());
+  EXPECT_FALSE(ParseThreadCount("4 2").ok());
+  EXPECT_FALSE(ParseThreadCount("+4").ok());
+  EXPECT_FALSE(ParseThreadCount("-1").ok());
+  EXPECT_FALSE(ParseThreadCount("3.5").ok());
+}
+
+TEST(ParseThreadCountTest, RejectsZeroAndOverflow) {
+  EXPECT_FALSE(ParseThreadCount("0").ok());
+  EXPECT_FALSE(ParseThreadCount("4097").ok());
+  // Larger than uint64: must not wrap around into a plausible value.
+  EXPECT_FALSE(ParseThreadCount("99999999999999999999999999").ok());
+}
+
+TEST(ThreadCountFromEnvTest, UnsetUsesFallback) {
+  unsetenv("AQP_TEST_THREADS");
+  EXPECT_EQ(ThreadCountFromEnv("AQP_TEST_THREADS", 7), 7u);
+}
+
+TEST(ThreadCountFromEnvTest, ValidValueWins) {
+  setenv("AQP_TEST_THREADS", "3", 1);
+  EXPECT_EQ(ThreadCountFromEnv("AQP_TEST_THREADS", 7), 3u);
+  unsetenv("AQP_TEST_THREADS");
+}
+
+TEST(ThreadCountFromEnvTest, InvalidValueFallsBackInsteadOfUb) {
+  for (const char* bad : {"banana", "-2", "0", "1e3", "999999999999999999999"}) {
+    setenv("AQP_TEST_THREADS", bad, 1);
+    EXPECT_EQ(ThreadCountFromEnv("AQP_TEST_THREADS", 5), 5u) << bad;
+  }
+  unsetenv("AQP_TEST_THREADS");
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryItemOnce) {
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  ThreadPool::Shared().ParallelFor(
+      kN, 128, 4, [&](size_t, size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ExceptionRethrownOnCaller) {
+  EXPECT_THROW(
+      ThreadPool::Shared().ParallelFor(
+          1000, 10, 4,
+          [&](size_t, size_t morsel, size_t, size_t) {
+            if (morsel == 37) throw std::runtime_error("morsel 37 blew up");
+          }),
+      std::runtime_error);
+  // The pool must stay usable after a throwing run (no dead workers).
+  std::atomic<size_t> count{0};
+  ThreadPool::Shared().ParallelFor(
+      100, 10, 4,
+      [&](size_t, size_t, size_t begin, size_t end) {
+        count.fetch_add(end - begin);
+      });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPoolTest, ExceptionSkipsRemainingMorsels) {
+  // Serial path (1 thread) makes "remaining" deterministic: morsels run in
+  // order, so nothing after the throwing one may execute.
+  std::vector<int> ran(100, 0);
+  EXPECT_THROW(ThreadPool::Shared().ParallelFor(
+                   100, 1, 1,
+                   [&](size_t, size_t morsel, size_t, size_t) {
+                     ran[morsel] = 1;
+                     if (morsel == 10) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+  EXPECT_EQ(std::accumulate(ran.begin(), ran.end(), 0), 11);
+}
+
+TEST(ThreadPoolTest, PreCancelledTokenRunsNothing) {
+  CancellationSource source;
+  source.RequestCancel(StopCause::kUserCancel, "stop");
+  CancellationToken token = source.token();
+  std::atomic<size_t> ran{0};
+  ParallelRunStats stats = ThreadPool::Shared().ParallelFor(
+      1000, 10, 4, ThreadPool::ParallelForOptions{&token},
+      [&](size_t, size_t, size_t, size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 0u);
+  EXPECT_EQ(stats.morsels, 0u);
+}
+
+TEST(ThreadPoolTest, MidRunCancellationSkipsRemainingMorsels) {
+  CancellationSource source;
+  CancellationToken token = source.token();
+  std::atomic<size_t> ran{0};
+  ThreadPool::Shared().ParallelFor(
+      1000, 1, 4, ThreadPool::ParallelForOptions{&token},
+      [&](size_t, size_t, size_t, size_t) {
+        if (ran.fetch_add(1) == 20) {
+          source.RequestCancel(StopCause::kUserCancel, "enough");
+        }
+      });
+  // Some morsels ran before the trip; far from all 1000 afterwards.
+  EXPECT_GE(ran.load(), 21u);
+  EXPECT_LT(ran.load(), 1000u);
+}
+
+TEST(ThreadPoolTest, DispatchFaultStillCompletesAllWork) {
+  // Simulate every helper dispatch failing: the calling thread alone must
+  // drain all morsels (work stealing has no holes).
+  ThreadPool::SetDispatchFaultHook([](size_t) { return true; });
+  std::vector<std::atomic<int>> hits(5000);
+  ThreadPool::Shared().ParallelFor(
+      5000, 64, 4, [&](size_t, size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+  ThreadPool::SetDispatchFaultHook(nullptr);
+  for (size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, MorselDecompositionIndependentOfThreadCount) {
+  constexpr size_t kN = 9973;  // Prime: uneven last morsel.
+  auto run = [&](size_t threads) {
+    std::vector<uint64_t> sums((kN + 99) / 100, 0);
+    ThreadPool::Shared().ParallelFor(
+        kN, 100, threads, [&](size_t, size_t morsel, size_t begin, size_t end) {
+          uint64_t s = 0;
+          for (size_t i = begin; i < end; ++i) s += i * i;
+          sums[morsel] = s;
+        });
+    return sums;
+  };
+  std::vector<uint64_t> serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(4), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+}  // namespace
+}  // namespace aqp

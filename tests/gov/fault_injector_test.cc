@@ -1,0 +1,101 @@
+#include "gov/fault_injector.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace gov {
+namespace {
+
+// Runs `n` hits against one site and records which ones fired.
+std::vector<int> FirePattern(uint64_t seed, double p, int n) {
+  ScopedFaultInjection arm(seed, p);
+  std::vector<int> fired;
+  for (int i = 0; i < n; ++i) {
+    fired.push_back(FaultInjector::Global().MaybeFail("test.site").ok() ? 0
+                                                                        : 1);
+  }
+  return fired;
+}
+
+TEST(FaultInjectorTest, DisarmedNeverFails) {
+  ScopedFaultInjection quiet;  // Opt out of any env-armed (CI matrix) seed.
+  FaultInjector& inj = FaultInjector::Global();
+  ASSERT_FALSE(inj.armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(inj.MaybeFail("engine.scan").ok());
+  }
+}
+
+TEST(FaultInjectorTest, ScheduleIsDeterministicPerSeed) {
+  std::vector<int> a = FirePattern(42, 0.3, 200);
+  std::vector<int> b = FirePattern(42, 0.3, 200);
+  EXPECT_EQ(a, b);  // Same seed: bit-identical schedule.
+  std::vector<int> c = FirePattern(43, 0.3, 200);
+  EXPECT_NE(a, c);  // Different seed: different schedule.
+}
+
+TEST(FaultInjectorTest, SitesHaveIndependentSchedules) {
+  ScopedFaultInjection arm(7, 0.5);
+  std::vector<int> site_a;
+  std::vector<int> site_b;
+  for (int i = 0; i < 100; ++i) {
+    site_a.push_back(FaultInjector::Global().MaybeFail("a").ok() ? 0 : 1);
+    site_b.push_back(FaultInjector::Global().MaybeFail("b").ok() ? 0 : 1);
+  }
+  EXPECT_NE(site_a, site_b);
+}
+
+TEST(FaultInjectorTest, ProbabilityExtremes) {
+  {
+    ScopedFaultInjection arm(1, 0.0);
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_TRUE(FaultInjector::Global().MaybeFail("x").ok());
+    }
+  }
+  {
+    ScopedFaultInjection arm(1, 1.0);
+    for (int i = 0; i < 50; ++i) {
+      Status s = FaultInjector::Global().MaybeFail("x");
+      EXPECT_EQ(s.code(), StatusCode::kInternal);
+      EXPECT_NE(s.message().find("injected fault"), std::string::npos);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, FiringRateTracksProbability) {
+  ScopedFaultInjection arm(99, 0.2);
+  int fired = 0;
+  const int kHits = 2000;
+  for (int i = 0; i < kHits; ++i) {
+    if (!FaultInjector::Global().MaybeFail("rate").ok()) ++fired;
+  }
+  EXPECT_NEAR(static_cast<double>(fired) / kHits, 0.2, 0.05);
+  EXPECT_EQ(FaultInjector::Global().evaluated(), static_cast<uint64_t>(kHits));
+  EXPECT_EQ(FaultInjector::Global().injected(), static_cast<uint64_t>(fired));
+}
+
+TEST(FaultInjectorTest, ScopeDisarmsAndResetsOnExit) {
+  {
+    ScopedFaultInjection arm(5, 1.0);
+    EXPECT_TRUE(FaultInjector::Global().armed());
+    EXPECT_FALSE(FaultInjector::Global().MaybeFail("x").ok());
+  }
+  EXPECT_FALSE(FaultInjector::Global().armed());
+  EXPECT_EQ(FaultInjector::Global().injected(), 0u);
+  EXPECT_TRUE(FaultInjector::Global().MaybeFail("x").ok());
+}
+
+TEST(FaultInjectorTest, DefaultScopeForcesDisarmed) {
+  ScopedFaultInjection outer(5, 1.0);
+  {
+    ScopedFaultInjection quiet;  // Deterministic-test mode.
+    EXPECT_FALSE(FaultInjector::Global().armed());
+    EXPECT_TRUE(FaultInjector::Global().MaybeFail("x").ok());
+  }
+}
+
+}  // namespace
+}  // namespace gov
+}  // namespace aqp

@@ -1,0 +1,218 @@
+#include "gov/governed_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/offline_executor.h"
+#include "gov/fault_injector.h"
+#include "workload/datagen.h"
+
+namespace aqp {
+namespace gov {
+namespace {
+
+constexpr const char* kSumQuery =
+    "SELECT SUM(extendedprice) AS s FROM lineitem WITH ERROR 5% "
+    "CONFIDENCE 95%";
+constexpr const char* kGroupQuery =
+    "SELECT shipmode, AVG(quantity) AS q FROM lineitem GROUP BY shipmode "
+    "WITH ERROR 10% CONFIDENCE 90%";
+
+class GovernedExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = workload::GenerateLineitemLike(60000, 11).value();
+    ASSERT_TRUE(samples_.BuildUniform(catalog_, "lineitem", 5000, 3).ok());
+  }
+
+  GovernedOptions Options() const {
+    GovernedOptions o;
+    o.aqp.pilot_rate = 0.02;
+    o.aqp.block_size = 64;
+    o.aqp.min_table_rows = 1000;
+    o.aqp.max_rate = 0.8;
+    o.aqp.exec.num_threads = 2;
+    return o;
+  }
+
+  static void ExpectValidCi(const core::ApproxResult& r) {
+    ASSERT_FALSE(r.cis.empty());
+    for (const auto& row : r.cis) {
+      for (const stats::ConfidenceInterval& ci : row) {
+        EXPECT_LE(ci.low, ci.estimate);
+        EXPECT_GE(ci.high, ci.estimate);
+      }
+    }
+  }
+
+  Catalog catalog_;
+  core::SampleCatalog samples_;
+};
+
+TEST_F(GovernedExecutorTest, UngovernedQueryRunsRungZero) {
+  ScopedFaultInjection quiet;
+  GovernedExecutor exec(&catalog_, &samples_, Options());
+  core::ApproxResult r = exec.Execute(kSumQuery).value();
+  EXPECT_EQ(r.profile.degradation_rung, 0);
+  EXPECT_TRUE(r.profile.degraded_reason.empty());
+  EXPECT_EQ(r.profile.memory_leaked_bytes, 0u);
+  ExpectValidCi(r);
+}
+
+TEST_F(GovernedExecutorTest, ZeroDeadlineDegradesToStoredSample) {
+  ScopedFaultInjection quiet;
+  GovernedOptions opts = Options();
+  opts.deadline_ms = 0;
+  GovernedExecutor exec(&catalog_, &samples_, opts);
+  core::ApproxResult r = exec.Execute(kSumQuery).value();
+  EXPECT_EQ(r.profile.degradation_rung, 1);
+  EXPECT_NE(r.profile.degraded_reason.find("stored offline sample"),
+            std::string::npos);
+  EXPECT_TRUE(r.approximated);
+  EXPECT_EQ(r.profile.memory_leaked_bytes, 0u);
+  ExpectValidCi(r);
+}
+
+TEST_F(GovernedExecutorTest, ZeroDeadlineWithoutSamplesDegradesToOla) {
+  ScopedFaultInjection quiet;
+  GovernedOptions opts = Options();
+  opts.deadline_ms = 0;
+  GovernedExecutor exec(&catalog_, /*samples=*/nullptr, opts);
+  core::ApproxResult r = exec.Execute(kSumQuery).value();
+  EXPECT_EQ(r.profile.degradation_rung, 2);
+  EXPECT_NE(r.profile.degraded_reason.find("online-aggregation"),
+            std::string::npos);
+  EXPECT_TRUE(r.approximated);
+  EXPECT_EQ(r.table.num_rows(), 1u);
+  EXPECT_GT(r.table.column(0).DoubleAt(0), 0.0);
+  EXPECT_EQ(r.profile.memory_leaked_bytes, 0u);
+  ExpectValidCi(r);
+}
+
+TEST_F(GovernedExecutorTest, ZeroDeadlineGroupByWithoutSamplesExhausts) {
+  // GROUP BY is beyond the OLA rung and there is no stored sample: the
+  // ladder runs out honestly instead of inventing an answer.
+  ScopedFaultInjection quiet;
+  GovernedOptions opts = Options();
+  opts.deadline_ms = 0;
+  GovernedExecutor exec(&catalog_, /*samples=*/nullptr, opts);
+  Result<core::ApproxResult> r = exec.Execute(kGroupQuery);
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("degradation ladder"),
+            std::string::npos);
+}
+
+TEST_F(GovernedExecutorTest, ZeroDeadlineGroupByDegradesToStoredSample) {
+  ScopedFaultInjection quiet;
+  GovernedOptions opts = Options();
+  opts.deadline_ms = 0;
+  GovernedExecutor exec(&catalog_, &samples_, opts);
+  core::ApproxResult r = exec.Execute(kGroupQuery).value();
+  EXPECT_EQ(r.profile.degradation_rung, 1);
+  EXPECT_GT(r.table.num_rows(), 1u);  // Groups survive degradation.
+  ExpectValidCi(r);
+}
+
+TEST_F(GovernedExecutorTest, UserCancelDoesNotDegrade) {
+  ScopedFaultInjection quiet;
+  GovernedExecutor exec(&catalog_, &samples_, Options());
+  QueryContext ctx;
+  ctx.Start();
+  ctx.Cancel("user hit ctrl-c");
+  Result<core::ApproxResult> r = exec.ExecuteWithContext(kSumQuery, ctx);
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(ctx.memory().used(), 0u);  // Nothing leaked on the cancel path.
+}
+
+TEST_F(GovernedExecutorTest, TinyMemoryBudgetDegrades) {
+  ScopedFaultInjection quiet;
+  GovernedOptions opts = Options();
+  opts.memory_budget_bytes = 2048;  // Far below any stage sample.
+  GovernedExecutor exec(&catalog_, &samples_, opts);
+  core::ApproxResult r = exec.Execute(kSumQuery).value();
+  EXPECT_EQ(r.profile.degradation_rung, 1);
+  EXPECT_EQ(r.profile.memory_leaked_bytes, 0u);
+  ExpectValidCi(r);
+}
+
+TEST_F(GovernedExecutorTest, TinyMemoryBudgetWithoutSamplesExhausts) {
+  // Rung 2 needs its working set charged too; with a 2 KB budget over a
+  // 60k-row table nothing can answer.
+  ScopedFaultInjection quiet;
+  GovernedOptions opts = Options();
+  opts.memory_budget_bytes = 2048;
+  GovernedExecutor exec(&catalog_, /*samples=*/nullptr, opts);
+  Result<core::ApproxResult> r = exec.Execute(kSumQuery);
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(GovernedExecutorTest, InjectedFaultsDegrade) {
+  // With faults firing at 50% per site, rung 0 (many sites: sample draws,
+  // scans, dispatches) almost always dies while rung 1 (one tiny assembly
+  // scan) usually survives. Sweep seeds: every outcome must be well-formed,
+  // and the fault->ladder->stored-sample path must actually be observed.
+  int degraded = 0;
+  for (uint64_t seed = 1; seed <= 20 && degraded == 0; ++seed) {
+    ScopedFaultInjection arm(seed, 0.5);
+    GovernedExecutor exec(&catalog_, &samples_, Options());
+    Result<core::ApproxResult> r = exec.Execute(kSumQuery);
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+      continue;
+    }
+    EXPECT_EQ(r->profile.memory_leaked_bytes, 0u);
+    if (r->profile.degradation_rung == 1) {
+      EXPECT_NE(r->profile.degraded_reason.find("injected fault"),
+                std::string::npos);
+      ExpectValidCi(*r);
+      ++degraded;
+    }
+  }
+  EXPECT_GT(degraded, 0) << "no seed in 1..20 exercised the fault ladder";
+}
+
+TEST_F(GovernedExecutorTest, DegradedCiIsWidened) {
+  ScopedFaultInjection quiet;
+  GovernedOptions degraded_opts = Options();
+  degraded_opts.deadline_ms = 0;
+  GovernedExecutor degraded_exec(&catalog_, &samples_, degraded_opts);
+  core::ApproxResult degraded = degraded_exec.Execute(kSumQuery).value();
+
+  // The same rung-1 answer via the offline executor directly, unwidened.
+  core::OfflineExecutor offline(&catalog_, &samples_);
+  core::ApproxResult plain =
+      offline.Execute("SELECT SUM(extendedprice) AS s FROM lineitem").value();
+
+  const stats::ConfidenceInterval& wide = degraded.cis[0][0];
+  const stats::ConfidenceInterval& narrow = plain.cis[0][0];
+  EXPECT_DOUBLE_EQ(wide.estimate, narrow.estimate);
+  EXPECT_NEAR(wide.high - wide.low,
+              (narrow.high - narrow.low) * degraded_opts.degraded_ci_inflation,
+              (narrow.high - narrow.low) * 1e-9);
+}
+
+TEST_F(GovernedExecutorTest, MalformedSqlIsNotDegraded) {
+  ScopedFaultInjection quiet;
+  GovernedOptions opts = Options();
+  opts.deadline_ms = 0;  // Even with an expired deadline...
+  GovernedExecutor exec(&catalog_, &samples_, opts);
+  // ...a parse error must surface as a parse error, not a degraded answer.
+  Result<core::ApproxResult> r = exec.Execute("SELEC nonsense FROM nowhere");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(GovernedExecutorTest, GenerousLimitsStayOnRungZero) {
+  ScopedFaultInjection quiet;
+  GovernedOptions opts = Options();
+  opts.deadline_ms = 60 * 1000;
+  opts.memory_budget_bytes = uint64_t{1} << 30;
+  GovernedExecutor exec(&catalog_, &samples_, opts);
+  core::ApproxResult r = exec.Execute(kSumQuery).value();
+  EXPECT_EQ(r.profile.degradation_rung, 0);
+  EXPECT_GT(r.profile.memory_peak_bytes, 0u);  // Accounting actually ran.
+  EXPECT_EQ(r.profile.memory_leaked_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace gov
+}  // namespace aqp

@@ -97,6 +97,68 @@ TEST_F(CsvTest, BadLiteralRejected) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST_F(CsvTest, TruncatedRowRejectedWithLineNumber) {
+  {
+    FILE* f = fopen(path_.c_str(), "w");
+    // Row 2 is cut off mid-record (missing the price field).
+    fputs("id,price\n1,2.0\n2\n", f);
+    fclose(f);
+  }
+  Result<Table> r = ReadCsv(
+      path_, Schema({{"id", DataType::kInt64}, {"price", DataType::kDouble}}));
+  ASSERT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // The diagnostic names the offending line so the file can be fixed.
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(CsvTest, NonUtf8BytesInNumericColumnRejected) {
+  {
+    FILE* f = fopen(path_.c_str(), "w");
+    fputs("id\n", f);
+    const unsigned char junk[] = {0xff, 0xfe, 0x31, '\n'};  // Invalid UTF-8.
+    fwrite(junk, 1, sizeof(junk), f);
+    fclose(f);
+  }
+  Result<Table> r = ReadCsv(path_, Schema({{"id", DataType::kInt64}}));
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, NonUtf8BytesInStringColumnPreservedVerbatim) {
+  // String columns are byte strings: arbitrary bytes load without crashing
+  // and round-trip untouched.
+  {
+    FILE* f = fopen(path_.c_str(), "w");
+    fputs("s\n", f);
+    const unsigned char junk[] = {0xc3, 0x28, 0x80, '\n'};
+    fwrite(junk, 1, sizeof(junk), f);
+    fclose(f);
+  }
+  Result<Table> r = ReadCsv(path_, Schema({{"s", DataType::kString}}));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->column(0).StringAt(0), std::string("\xc3\x28\x80"));
+}
+
+TEST_F(CsvTest, IntegerOverflowIsOutOfRange) {
+  {
+    FILE* f = fopen(path_.c_str(), "w");
+    fputs("id\n99999999999999999999999999999999\n", f);
+    fclose(f);
+  }
+  Result<Table> r = ReadCsv(path_, Schema({{"id", DataType::kInt64}}));
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(CsvTest, DoubleOverflowIsOutOfRange) {
+  {
+    FILE* f = fopen(path_.c_str(), "w");
+    fputs("price\n1e999999\n", f);
+    fclose(f);
+  }
+  Result<Table> r = ReadCsv(path_, Schema({{"price", DataType::kDouble}}));
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
 TEST_F(CsvTest, MissingFileIsNotFound) {
   Result<Table> r =
       ReadCsv("/nonexistent/nope.csv", Schema({{"id", DataType::kInt64}}));
