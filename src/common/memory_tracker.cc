@@ -5,10 +5,23 @@
 namespace aqp {
 
 Status MemoryTracker::TryCharge(uint64_t bytes, std::string_view what) {
+  // The parent (e.g. a session-wide budget) is charged first; its refusal
+  // cancels THIS tracker's query, not the sibling queries sharing the parent.
+  if (parent_ != nullptr) {
+    Status up = parent_->TryCharge(bytes, what);
+    if (!up.ok()) {
+      exhausted_.fetch_add(1, std::memory_order_relaxed);
+      if (source_ != nullptr) {
+        source_->RequestCancel(StopCause::kMemory, up.message());
+      }
+      return up;
+    }
+  }
   uint64_t before = used_.fetch_add(bytes, std::memory_order_relaxed);
   uint64_t now = before + bytes;
   if (budget_ > 0 && now > budget_) {
     used_.fetch_sub(bytes, std::memory_order_relaxed);
+    if (parent_ != nullptr) parent_->Release(bytes);
     exhausted_.fetch_add(1, std::memory_order_relaxed);
     std::string reason = "memory budget exhausted charging " +
                          std::string(what) + ": " + std::to_string(before) +
@@ -29,6 +42,7 @@ Status MemoryTracker::TryCharge(uint64_t bytes, std::string_view what) {
 
 void MemoryTracker::Release(uint64_t bytes) {
   used_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (parent_ != nullptr) parent_->Release(bytes);
 }
 
 Result<ScopedMemoryCharge> ScopedMemoryCharge::Make(MemoryTracker* tracker,

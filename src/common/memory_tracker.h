@@ -28,9 +28,15 @@ namespace aqp {
 /// ResourceExhausted and — when a CancellationSource is bound — cancels the
 /// whole query with StopCause::kMemory so sibling parallel work stops at its
 /// next boundary check. Thread-safe; all counters are relaxed atomics.
+/// Trackers optionally nest: a tracker constructed with a parent forwards
+/// every charge/release to it, so a per-query tracker under a per-session
+/// tracker enforces BOTH budgets (a query may fail its own budget or its
+/// session's). The parent must outlive the child's last charge.
 class MemoryTracker {
  public:
-  explicit MemoryTracker(uint64_t budget_bytes = 0) : budget_(budget_bytes) {}
+  explicit MemoryTracker(uint64_t budget_bytes = 0,
+                         MemoryTracker* parent = nullptr)
+      : budget_(budget_bytes), parent_(parent) {}
   MemoryTracker(const MemoryTracker&) = delete;
   MemoryTracker& operator=(const MemoryTracker&) = delete;
 
@@ -54,6 +60,7 @@ class MemoryTracker {
 
  private:
   const uint64_t budget_;
+  MemoryTracker* parent_ = nullptr;
   CancellationSource* source_ = nullptr;
   std::atomic<uint64_t> used_{0};
   std::atomic<uint64_t> peak_{0};

@@ -146,6 +146,15 @@ size_t ThreadPool::EnsureWorkers(size_t target) {
   return workers_.size();
 }
 
+void ThreadPool::Post(std::function<void()> task) {
+  EnsureWorkers(1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);

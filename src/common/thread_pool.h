@@ -86,6 +86,21 @@ class ThreadPool {
   /// Hard ceiling on helper threads a pool will ever spawn.
   static constexpr size_t kMaxWorkers = 64;
 
+  /// Grows the pool to at least `workers` helper threads (bounded by
+  /// kMaxWorkers); returns the resulting helper count. The query service
+  /// calls this up front so inter-query concurrency does not depend on the
+  /// first burst happening to request enough ParallelFor participants.
+  size_t EnsureAtLeast(size_t workers) { return EnsureWorkers(workers); }
+
+  /// Enqueues a standalone task to run on some pool worker. Tasks posted
+  /// this way execute with the worker marked as inside-pool, so a
+  /// ParallelFor issued from within the task runs inline (serial) — the
+  /// service uses Post for inter-query concurrency and accepts intra-query
+  /// serialization on those workers. Tasks must not outlive the pool;
+  /// posting during/after destruction is undefined (the service drains its
+  /// outstanding tasks before letting the pool die).
+  void Post(std::function<void()> task);
+
   /// Morsel body: (worker slot, morsel id, item range [begin, end)).
   using MorselFn =
       std::function<void(size_t worker, size_t morsel, size_t begin,

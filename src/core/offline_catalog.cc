@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "common/random.h"
 #include "sampling/reservoir.h"
@@ -10,9 +11,18 @@
 namespace aqp {
 namespace core {
 
-Status SampleCatalog::BuildUniform(const Catalog& catalog,
-                                   const std::string& table, uint64_t budget,
-                                   uint64_t seed) {
+uint64_t StoredSample::ApproxBytes() const {
+  uint64_t bytes = sample.table.ApproxBytes();
+  bytes += sample.weights.capacity() * sizeof(double);
+  bytes += sample.unit_ids.capacity() * sizeof(uint32_t);
+  bytes += sample.unit_sizes.capacity() * sizeof(double);
+  bytes += base_table.size() + strata_column.size() + sizeof(StoredSample);
+  return bytes;
+}
+
+Result<StoredSample> BuildUniformStoredSample(const Catalog& catalog,
+                                              const std::string& table,
+                                              uint64_t budget, uint64_t seed) {
   AQP_ASSIGN_OR_RETURN(std::shared_ptr<const Table> base, catalog.Get(table));
   AQP_ASSIGN_OR_RETURN(Sample sample, ReservoirSample(*base, budget, seed));
   StoredSample stored;
@@ -20,15 +30,12 @@ Status SampleCatalog::BuildUniform(const Catalog& catalog,
   stored.budget = budget;
   stored.base_rows_at_build = base->num_rows();
   stored.sample = std::move(sample);
-  maintenance_rows_ += base->num_rows();  // Building scans the table once.
-  samples_[Key(table, "")] = std::move(stored);
-  return Status::OK();
+  return stored;
 }
 
-Status SampleCatalog::BuildStratified(const Catalog& catalog,
-                                      const std::string& table,
-                                      const std::string& strata_column,
-                                      uint64_t budget, uint64_t seed) {
+Result<StoredSample> BuildStratifiedStoredSample(
+    const Catalog& catalog, const std::string& table,
+    const std::string& strata_column, uint64_t budget, uint64_t seed) {
   if (strata_column.empty()) {
     return Status::InvalidArgument("strata column must be named");
   }
@@ -43,8 +50,40 @@ Status SampleCatalog::BuildStratified(const Catalog& catalog,
   stored.budget = budget;
   stored.base_rows_at_build = base->num_rows();
   stored.sample = std::move(result.sample);
-  maintenance_rows_ += base->num_rows();
-  samples_[Key(table, strata_column)] = std::move(stored);
+  return stored;
+}
+
+Status SampleCatalog::BuildUniform(const Catalog& catalog,
+                                   const std::string& table, uint64_t budget,
+                                   uint64_t seed) {
+  AQP_ASSIGN_OR_RETURN(StoredSample stored,
+                       BuildUniformStoredSample(catalog, table, budget, seed));
+  maintenance_rows_ += stored.base_rows_at_build;  // Building scans the table.
+  samples_[Key(table, "")] =
+      std::make_shared<const StoredSample>(std::move(stored));
+  return Status::OK();
+}
+
+Status SampleCatalog::BuildStratified(const Catalog& catalog,
+                                      const std::string& table,
+                                      const std::string& strata_column,
+                                      uint64_t budget, uint64_t seed) {
+  AQP_ASSIGN_OR_RETURN(StoredSample stored,
+                       BuildStratifiedStoredSample(catalog, table,
+                                                   strata_column, budget,
+                                                   seed));
+  maintenance_rows_ += stored.base_rows_at_build;
+  samples_[Key(table, strata_column)] =
+      std::make_shared<const StoredSample>(std::move(stored));
+  return Status::OK();
+}
+
+Status SampleCatalog::Adopt(std::shared_ptr<const StoredSample> sample) {
+  if (sample == nullptr) {
+    return Status::InvalidArgument("cannot adopt a null sample");
+  }
+  std::string key = Key(sample->base_table, sample->strata_column);
+  samples_[key] = std::move(sample);
   return Status::OK();
 }
 
@@ -57,7 +96,7 @@ Result<const StoredSample*> SampleCatalog::Find(
                                  ? " (uniform)"
                                  : " stratified on " + strata_column));
   }
-  return &it->second;
+  return it->second.get();
 }
 
 Result<const StoredSample*> SampleCatalog::FindBest(
@@ -72,30 +111,33 @@ Result<const StoredSample*> SampleCatalog::FindBest(
 Status SampleCatalog::OnAppend(const Catalog& catalog,
                                const std::string& table, const Table& appended,
                                uint64_t seed) {
-  for (auto& [key, stored] : samples_) {
-    if (stored.base_table != table) continue;
+  for (auto& [key, stored_ptr] : samples_) {
+    if (stored_ptr->base_table != table) continue;
     bool can_increment =
         policy_ == MaintenancePolicy::kIncremental &&
-        stored.strata_column.empty();
+        stored_ptr->strata_column.empty();
     if (!can_increment) {
       // Full rebuild against the (already updated) base table.
-      if (stored.strata_column.empty()) {
+      if (stored_ptr->strata_column.empty()) {
         AQP_RETURN_IF_ERROR(
-            BuildUniform(catalog, table, stored.budget,
+            BuildUniform(catalog, table, stored_ptr->budget,
                          seed + (next_stream_++)));
       } else {
         AQP_RETURN_IF_ERROR(BuildStratified(catalog, table,
-                                            stored.strata_column,
-                                            stored.budget,
+                                            stored_ptr->strata_column,
+                                            stored_ptr->budget,
                                             seed + (next_stream_++)));
       }
       continue;
     }
     // Incremental reservoir continuation: each appended row (global ordinal
-    // N_old + j) replaces a uniform slot with probability k / ordinal.
+    // N_old + j) replaces a uniform slot with probability k / ordinal. The
+    // update runs on a private copy and swaps in at the end, so any
+    // cache-shared reader of the old sample stays consistent.
+    StoredSample updated = *stored_ptr;
     Pcg32 rng(seed + (next_stream_++));
-    Sample& sample = stored.sample;
-    uint64_t seen = stored.base_rows_at_build;
+    Sample& sample = updated.sample;
+    uint64_t seen = updated.base_rows_at_build;
     const uint64_t k = sample.table.num_rows();
     for (size_t j = 0; j < appended.num_rows(); ++j) {
       ++seen;
@@ -115,7 +157,7 @@ Status SampleCatalog::OnAppend(const Catalog& catalog,
         sample.table = std::move(patched);
       }
     }
-    stored.base_rows_at_build = seen;
+    updated.base_rows_at_build = seen;
     // Refresh design metadata: weights are N/k for all rows.
     double weight = k == 0 ? 1.0
                            : static_cast<double>(seen) /
@@ -132,6 +174,7 @@ Status SampleCatalog::OnAppend(const Catalog& catalog,
         seen == 0 ? 1.0
                   : static_cast<double>(k) / static_cast<double>(seen);
     maintenance_rows_ += appended.num_rows();  // Only the delta is scanned.
+    stored_ptr = std::make_shared<const StoredSample>(std::move(updated));
   }
   return Status::OK();
 }
@@ -139,7 +182,7 @@ Status SampleCatalog::OnAppend(const Catalog& catalog,
 uint64_t SampleCatalog::storage_rows() const {
   uint64_t total = 0;
   for (const auto& [key, stored] : samples_) {
-    total += stored.sample.table.num_rows();
+    total += stored->sample.table.num_rows();
   }
   return total;
 }

@@ -2,6 +2,7 @@
 #define AQP_CORE_OFFLINE_CATALOG_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,7 +23,24 @@ struct StoredSample {
   uint64_t budget = 0;
   uint64_t base_rows_at_build = 0;  // Table cardinality when (re)built.
   Sample sample;
+
+  /// Approximate heap footprint (sample table plus design vectors) — what a
+  /// synopsis cache charges per entry.
+  uint64_t ApproxBytes() const;
 };
+
+/// Builds a uniform reservoir StoredSample of `budget` rows of `table` —
+/// the build step shared by SampleCatalog and the cross-query SynopsisCache
+/// (which deduplicates builds and shares the artifact across sessions).
+Result<StoredSample> BuildUniformStoredSample(const Catalog& catalog,
+                                              const std::string& table,
+                                              uint64_t budget, uint64_t seed);
+
+/// Builds a stratified StoredSample on `strata_column` (equal allocation).
+Result<StoredSample> BuildStratifiedStoredSample(const Catalog& catalog,
+                                                 const std::string& table,
+                                                 const std::string& strata_column,
+                                                 uint64_t budget, uint64_t seed);
 
 /// Catalog of pre-computed (offline) samples with explicit maintenance
 /// accounting. Every build or refresh records how many base rows had to be
@@ -48,6 +66,13 @@ class SampleCatalog {
   Status BuildStratified(const Catalog& catalog, const std::string& table,
                          const std::string& strata_column, uint64_t budget,
                          uint64_t seed);
+
+  /// Adopts an externally built (typically cache-shared) sample under its
+  /// own (base_table, strata_column) key, replacing any existing entry. No
+  /// maintenance cost is charged: the build was paid for (once) wherever the
+  /// sample came from — this is how a per-query view of the SynopsisCache is
+  /// assembled without copying sample data.
+  Status Adopt(std::shared_ptr<const StoredSample> sample);
 
   /// The stored sample for (table, strata_column); with an empty
   /// strata_column returns the uniform sample; NotFound when absent.
@@ -84,7 +109,10 @@ class SampleCatalog {
   }
 
   MaintenancePolicy policy_;
-  std::map<std::string, StoredSample> samples_;
+  /// Samples are held by shared_ptr so a catalog view can alias artifacts
+  /// owned by a cross-query cache; in-place maintenance copies-then-swaps so
+  /// aliased readers never observe a mutation.
+  std::map<std::string, std::shared_ptr<const StoredSample>> samples_;
   uint64_t maintenance_rows_ = 0;
   uint64_t next_stream_ = 0;  // Distinct RNG streams per refresh.
 };

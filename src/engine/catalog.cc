@@ -10,12 +10,14 @@ Status Catalog::Register(const std::string& name,
     return Status::AlreadyExists("table already registered: " + name);
   }
   tables_[name] = std::move(table);
+  ++versions_[name];
   return Status::OK();
 }
 
 void Catalog::RegisterOrReplace(const std::string& name,
                                 std::shared_ptr<const Table> table) {
   tables_[name] = std::move(table);
+  ++versions_[name];
 }
 
 Result<std::shared_ptr<const Table>> Catalog::Get(
@@ -31,7 +33,16 @@ Status Catalog::Drop(const std::string& name) {
   if (tables_.erase(name) == 0) {
     return Status::NotFound("no table named " + name);
   }
+  ++versions_[name];
   return Status::OK();
+}
+
+Result<uint64_t> Catalog::Version(const std::string& name) const {
+  if (tables_.count(name) == 0) {
+    return Status::NotFound("no table named " + name);
+  }
+  auto it = versions_.find(name);
+  return it == versions_.end() ? uint64_t{0} : it->second;
 }
 
 Result<uint64_t> Catalog::Cardinality(const std::string& name) const {

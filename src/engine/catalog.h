@@ -36,11 +36,21 @@ class Catalog {
   /// model would read from the DBMS catalog.
   Result<uint64_t> Cardinality(const std::string& name) const;
 
+  /// Monotone data version of `name`: 1 on first Register, bumped by every
+  /// RegisterOrReplace and Drop. Versions survive Drop, so a re-registered
+  /// name never repeats an old version — which is what lets cross-query
+  /// caches key synopses and results on (table, version) and have every
+  /// staleness question answered by an equality check. NotFound when the
+  /// table is not currently registered.
+  Result<uint64_t> Version(const std::string& name) const;
+
   /// Registered table names, sorted.
   std::vector<std::string> TableNames() const;
 
  private:
   std::unordered_map<std::string, std::shared_ptr<const Table>> tables_;
+  /// Version per name ever registered (persists across Drop).
+  std::unordered_map<std::string, uint64_t> versions_;
 };
 
 }  // namespace aqp

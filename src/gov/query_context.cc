@@ -3,10 +3,10 @@
 namespace aqp {
 namespace gov {
 
-QueryContext::QueryContext(Limits limits)
+QueryContext::QueryContext(Limits limits, MemoryTracker* session_memory)
     : limits_(limits),
       token_(source_.token()),
-      memory_(limits.memory_budget_bytes) {
+      memory_(limits.memory_budget_bytes, session_memory) {
   // A blown budget must also stop in-flight morsels, not just the next
   // TryCharge caller: route exhaustion into the cancellation source.
   memory_.BindCancellation(&source_);

@@ -31,7 +31,13 @@ struct Limits {
 /// executors only hold pointers.
 class QueryContext {
  public:
-  explicit QueryContext(Limits limits = {});
+  /// `session_memory`, when given, is a session-wide tracker charged in
+  /// parallel with this query's own: a query then fails when EITHER its own
+  /// budget or its session's is exhausted, which is how the service tier
+  /// caps what one session can hold across concurrent queries. Must outlive
+  /// the context.
+  explicit QueryContext(Limits limits = {},
+                        MemoryTracker* session_memory = nullptr);
 
   /// Arms the deadline relative to now. Idempotent re-arming is not
   /// supported; call once per context.

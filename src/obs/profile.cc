@@ -39,6 +39,14 @@ std::string ExecutionProfile::ToText() const {
     out += "  memory:     peak=" + std::to_string(memory_peak_bytes) +
            "B leaked=" + std::to_string(memory_leaked_bytes) + "B\n";
   }
+  if (admission_wait_seconds > 0.0 || queue_depth_at_admission > 0) {
+    out += "  admission:  waited " + Ms(admission_wait_seconds) +
+           " behind " + std::to_string(queue_depth_at_admission) +
+           " queued\n";
+  }
+  if (!cache_source.empty()) {
+    out += "  cache:      " + cache_source + "\n";
+  }
   if (!sampling_design.empty()) {
     out += "  sampling:   " + sampling_design;
     if (!sampled_table.empty()) out += " over '" + sampled_table + "'";
@@ -113,6 +121,11 @@ std::string ExecutionProfile::ToJson() const {
     w.Key("memory_peak_bytes").Value(memory_peak_bytes);
     w.Key("memory_leaked_bytes").Value(memory_leaked_bytes);
   }
+  if (admission_wait_seconds > 0.0 || queue_depth_at_admission > 0) {
+    w.Key("admission_wait_seconds").Value(admission_wait_seconds);
+    w.Key("queue_depth_at_admission").Value(queue_depth_at_admission);
+  }
+  if (!cache_source.empty()) w.Key("cache_source").Value(cache_source);
   if (!sampling_design.empty()) {
     w.Key("sampling_design").Value(sampling_design);
   }

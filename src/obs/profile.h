@@ -62,6 +62,16 @@ struct ExecutionProfile {
   uint64_t memory_peak_bytes = 0;
   uint64_t memory_leaked_bytes = 0;
 
+  /// Service tier (filled only for queries that went through a
+  /// service::QueryService). How long the query waited for admission, how
+  /// many submissions were already queued when it arrived, and which
+  /// cross-query cache shaped the answer: "result-cache" (served without
+  /// executing), "synopsis-cache" (degraded rung answered from a shared
+  /// cached synopsis), or empty (no cache involvement).
+  double admission_wait_seconds = 0.0;
+  uint64_t queue_depth_at_admission = 0;
+  std::string cache_source;
+
   /// Sampling decisions.
   std::string sampling_design;   // e.g. "system-block(block_size=128)".
   std::string sampled_table;     // Which table was substituted/sampled.

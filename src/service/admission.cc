@@ -1,0 +1,69 @@
+#include "service/admission.h"
+
+#include <chrono>
+#include <string>
+
+namespace aqp {
+namespace service {
+
+Status AdmissionController::Acquire(uint64_t* queue_depth_seen) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (queue_depth_seen != nullptr) *queue_depth_seen = waiting_;
+  // Fast path only when nobody is queued ahead — a free slot goes to the
+  // oldest waiter first, keeping admission roughly arrival-ordered.
+  if (inflight_ < options_.max_inflight && waiting_ == 0) {
+    ++inflight_;
+    ++admitted_;
+    return Status::OK();
+  }
+  if (waiting_ >= options_.max_queue) {
+    ++rejected_queue_full_;
+    return Status::ResourceExhausted(
+        "admission queue full: " + std::to_string(inflight_) + " in flight, " +
+        std::to_string(waiting_) + " queued (max_queue=" +
+        std::to_string(options_.max_queue) + ")");
+  }
+  ++waiting_;
+  bool got_slot;
+  auto have_slot = [this] { return inflight_ < options_.max_inflight; };
+  if (options_.queue_timeout_ms < 0) {
+    cv_.wait(lock, have_slot);
+    got_slot = true;
+  } else {
+    got_slot = cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.queue_timeout_ms), have_slot);
+  }
+  --waiting_;
+  if (!got_slot) {
+    ++rejected_timeout_;
+    return Status::ResourceExhausted(
+        "admission timed out after " +
+        std::to_string(options_.queue_timeout_ms) + "ms (" +
+        std::to_string(inflight_) + " in flight)");
+  }
+  ++inflight_;
+  ++admitted_;
+  return Status::OK();
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (inflight_ > 0) --inflight_;
+  }
+  cv_.notify_one();
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdmissionStats s;
+  s.admitted = admitted_;
+  s.rejected_queue_full = rejected_queue_full_;
+  s.rejected_timeout = rejected_timeout_;
+  s.inflight = inflight_;
+  s.queue_depth = waiting_;
+  return s;
+}
+
+}  // namespace service
+}  // namespace aqp

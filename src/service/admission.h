@@ -1,0 +1,79 @@
+#ifndef AQP_SERVICE_ADMISSION_H_
+#define AQP_SERVICE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace aqp {
+namespace service {
+
+/// Admission limits of the query service front door.
+struct AdmissionOptions {
+  /// Queries running (or handed to the executor pool) at once.
+  size_t max_inflight = 8;
+  /// Submissions allowed to WAIT for a slot; arrivals beyond this are
+  /// rejected immediately — overload answers fast instead of piling up.
+  size_t max_queue = 16;
+  /// Longest a queued submission waits before being rejected; < 0 waits
+  /// forever (not recommended outside tests).
+  int64_t queue_timeout_ms = 1000;
+};
+
+/// Point-in-time admission counters (monotonic except the two depths).
+struct AdmissionStats {
+  uint64_t admitted = 0;
+  uint64_t rejected_queue_full = 0;
+  uint64_t rejected_timeout = 0;
+  size_t inflight = 0;     // Slots currently held.
+  size_t queue_depth = 0;  // Submissions currently waiting.
+};
+
+/// Bounded two-stage admission: up to `max_inflight` queries hold a slot,
+/// up to `max_queue` more wait (each at most `queue_timeout_ms`), everything
+/// beyond that is refused with ResourceExhausted *immediately*. This is the
+/// overload contract the service benchmarks assert: a saturated service
+/// answers "no" in bounded time rather than collapsing into an unbounded
+/// queue (the survey's interactivity requirement applied to the front door,
+/// not just the query internals).
+///
+/// Thread-safe. Acquire blocks the calling (session) thread — admission is
+/// backpressure to the submitter, by design.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options)
+      : options_(options) {}
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Acquires an in-flight slot, waiting at most queue_timeout_ms. On
+  /// success the caller MUST eventually call Release() exactly once. On
+  /// refusal (queue full, or timeout) returns ResourceExhausted and nothing
+  /// is held. `queue_depth_seen`, when non-null, receives the number of
+  /// submissions that were already waiting when this one arrived.
+  Status Acquire(uint64_t* queue_depth_seen = nullptr);
+
+  /// Returns a slot taken by a successful Acquire.
+  void Release();
+
+  AdmissionStats stats() const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t inflight_ = 0;
+  size_t waiting_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_queue_full_ = 0;
+  uint64_t rejected_timeout_ = 0;
+};
+
+}  // namespace service
+}  // namespace aqp
+
+#endif  // AQP_SERVICE_ADMISSION_H_

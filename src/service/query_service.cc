@@ -1,0 +1,285 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "sql/parser.h"
+
+namespace aqp {
+namespace service {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Stamps the service-tier fields onto a result's profile and prepends an
+/// "admission" span so EXPLAIN ANALYZE shows the time spent waiting at the
+/// front door next to the time spent executing.
+void StampProfile(core::ApproxResult* result, double wait_seconds,
+                  uint64_t queue_depth, std::string cache_source) {
+  obs::ExecutionProfile& profile = result->profile;
+  profile.admission_wait_seconds = wait_seconds;
+  profile.queue_depth_at_admission = queue_depth;
+  profile.cache_source = std::move(cache_source);
+  if (obs::Enabled()) {
+    auto span = std::make_unique<obs::SpanRecord>();
+    span->name = "admission";
+    span->start_seconds = 0.0;
+    span->duration_seconds = wait_seconds;
+    span->open = false;
+    span->attrs.emplace_back("queue_depth", std::to_string(queue_depth));
+    auto& children = profile.trace.mutable_root().children;
+    children.insert(children.begin(), std::move(span));
+  }
+}
+
+void RecordQueryMetrics(double wait_seconds, double exec_seconds,
+                        const char* outcome) {
+  if (!obs::Enabled()) return;
+  auto& reg = obs::MetricsRegistry::Global();
+  static obs::LatencyHistogram* wait_ms =
+      reg.GetHistogram("service.admission_wait_ms");
+  static obs::LatencyHistogram* query_ms =
+      reg.GetHistogram("service.query_ms");
+  wait_ms->Observe(wait_seconds * 1e3);
+  query_ms->Observe(exec_seconds * 1e3);
+  reg.GetCounter(std::string("service.queries.") + outcome)->Increment();
+}
+
+std::string StripQualifier(const std::string& column) {
+  auto dot = column.rfind('.');
+  return dot == std::string::npos ? column : column.substr(dot + 1);
+}
+
+}  // namespace
+
+QueryService::QueryService(const Catalog* catalog, ServiceOptions options)
+    : catalog_(catalog),
+      options_(std::move(options)),
+      admission_(options_.admission),
+      synopsis_cache_(options_.synopsis_cache_bytes, &cache_memory_),
+      result_cache_(options_.result_cache_bytes, &cache_memory_) {
+  // Without enough pool workers, admitted queries would queue behind each
+  // other inside the pool and the admission bound would be a fiction.
+  ThreadPool::Shared().EnsureAtLeast(options_.admission.max_inflight);
+}
+
+QueryService::~QueryService() {
+  std::unique_lock<std::mutex> lock(mu_);
+  closed_ = true;
+  drained_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+std::shared_ptr<Session> QueryService::OpenSession(SessionOptions options) {
+  return std::shared_ptr<Session>(
+      new Session(next_session_id_.fetch_add(1), options));
+}
+
+std::future<Result<core::ApproxResult>> QueryService::Submit(
+    std::shared_ptr<Session> session, Submission submission) {
+  auto promise =
+      std::make_shared<std::promise<Result<core::ApproxResult>>>();
+  std::future<Result<core::ApproxResult>> future = promise->get_future();
+  if (session == nullptr) {
+    promise->set_value(Status::InvalidArgument("Submit: null session"));
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      promise->set_value(
+          Status::FailedPrecondition("Submit: service is shutting down"));
+      return future;
+    }
+  }
+
+  // Admission blocks the SUBMITTING thread: overload is backpressure to the
+  // client, not an unbounded internal queue.
+  auto wait_start = std::chrono::steady_clock::now();
+  uint64_t queue_depth = 0;
+  Status admitted = admission_.Acquire(&queue_depth);
+  double wait_seconds = SecondsSince(wait_start);
+  if (!admitted.ok()) {
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("service.rejected")
+          ->Increment();
+    }
+    promise->set_value(std::move(admitted));
+    return future;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      admission_.Release();
+      promise->set_value(
+          Status::FailedPrecondition("Submit: service is shutting down"));
+      return future;
+    }
+    ++outstanding_;
+  }
+  ThreadPool::Shared().Post([this, promise, session = std::move(session),
+                             submission = std::move(submission), wait_seconds,
+                             queue_depth]() mutable {
+    Result<core::ApproxResult> result =
+        RunAdmitted(*session, submission, wait_seconds, queue_depth);
+    admission_.Release();
+    {
+      // Last member access: after outstanding_ hits 0 the destructor may
+      // return, so only the (self-contained) promise is touched below.
+      std::lock_guard<std::mutex> lock(mu_);
+      --outstanding_;
+      drained_cv_.notify_all();
+    }
+    promise->set_value(std::move(result));
+  });
+  return future;
+}
+
+Result<core::ApproxResult> QueryService::Execute(
+    std::shared_ptr<Session> session, Submission submission) {
+  return Submit(std::move(session), std::move(submission)).get();
+}
+
+Result<core::ApproxResult> QueryService::RunAdmitted(
+    Session& session, const Submission& submission, double wait_seconds,
+    uint64_t queue_depth) {
+  auto exec_start = std::chrono::steady_clock::now();
+
+  gov::GovernedOptions gopts = options_.gov;
+  if (submission.deadline_ms.has_value()) {
+    gopts.deadline_ms = *submission.deadline_ms;
+  }
+  if (submission.memory_budget_bytes.has_value()) {
+    gopts.memory_budget_bytes = *submission.memory_budget_bytes;
+  }
+
+  // A best-effort parse extracts the referenced tables (cache keys) and the
+  // GROUP BY column (stratified synopsis choice). Malformed SQL skips the
+  // caches and lets the executor produce the real error.
+  std::vector<std::string> tables;
+  std::string strata_column;
+  bool parsed = false;
+  if (Result<sql::SelectStmt> stmt = sql::Parse(submission.sql); stmt.ok()) {
+    parsed = true;
+    const sql::SelectStmt& s = stmt.value();
+    tables.push_back(s.from.table);
+    for (const auto& join : s.joins) {
+      if (std::find(tables.begin(), tables.end(), join.table.table) ==
+          tables.end()) {
+        tables.push_back(join.table.table);
+      }
+    }
+    // Stratified synopses only for single-table GROUP BY on a plain column:
+    // that is the case where uniform samples lose small groups and the
+    // BlinkDB-style stratified sample is the fix.
+    if (s.joins.empty() && s.group_by.size() == 1 &&
+        s.group_by[0]->kind == sql::SqlExpr::Kind::kColumn) {
+      strata_column = StripQualifier(s.group_by[0]->column);
+    }
+  }
+
+  std::vector<std::pair<std::string, uint64_t>> versions;
+  bool versions_ok = parsed;
+  for (const std::string& table : tables) {
+    Result<uint64_t> version = catalog_->Version(table);
+    if (!version.ok()) {
+      versions_ok = false;
+      break;
+    }
+    versions.emplace_back(table, version.value());
+  }
+
+  // Result cache: identical (SQL, table versions, contract) → answer from
+  // memory. The fingerprint pins table versions, so appends/replaces
+  // invalidate by making old keys unreachable.
+  uint64_t fingerprint = 0;
+  const bool fingerprint_ok = versions_ok && options_.use_result_cache;
+  if (fingerprint_ok) {
+    ContractFingerprint contract;
+    contract.deadline_ms = gopts.deadline_ms;
+    contract.memory_budget_bytes = gopts.memory_budget_bytes;
+    contract.seed = gopts.aqp.seed;
+    contract.confidence = gopts.confidence;
+    fingerprint = FingerprintQuery(submission.sql, versions, contract);
+    if (std::shared_ptr<const core::ApproxResult> cached =
+            result_cache_.Lookup(fingerprint)) {
+      core::ApproxResult result = *cached;  // Deep copy; cache stays immutable.
+      StampProfile(&result, wait_seconds, queue_depth, "result-cache");
+      RecordQueryMetrics(wait_seconds, SecondsSince(exec_start),
+                         "result_cache_hit");
+      return result;
+    }
+  }
+
+  // Synopsis cache: adopt shared stored samples into this query's private
+  // offline-rung view. Build/lookup failures are non-fatal — the ladder
+  // simply has no rung 1 for that table.
+  core::SampleCatalog synopsis_view;
+  bool adopted = false;
+  if (options_.use_synopsis_cache && versions_ok) {
+    for (const auto& [table, version] : versions) {
+      (void)version;  // The cache re-reads the live version under its lock.
+      Result<uint64_t> rows = catalog_->Cardinality(table);
+      if (!rows.ok() || rows.value() < options_.synopsis_min_table_rows) {
+        continue;
+      }
+      SynopsisSpec uniform;
+      uniform.budget = options_.synopsis_rows;
+      uniform.seed = gopts.aqp.seed;
+      if (auto sample = synopsis_cache_.GetOrBuild(*catalog_, table, uniform);
+          sample.ok()) {
+        adopted |= synopsis_view.Adopt(sample.value()).ok();
+      }
+      if (!strata_column.empty()) {
+        SynopsisSpec stratified = uniform;
+        stratified.strata_column = strata_column;
+        if (auto sample =
+                synopsis_cache_.GetOrBuild(*catalog_, table, stratified);
+            sample.ok()) {
+          adopted |= synopsis_view.Adopt(sample.value()).ok();
+        }
+      }
+    }
+  }
+
+  // The query's own tracker chains to the session's: EITHER budget trips
+  // the memory stop.
+  gov::QueryContext ctx(
+      gov::Limits{gopts.deadline_ms, gopts.memory_budget_bytes},
+      &session.memory_);
+  ctx.Start();
+  gov::GovernedExecutor executor(catalog_, adopted ? &synopsis_view : nullptr,
+                                 gopts);
+  Result<core::ApproxResult> result =
+      executor.ExecuteWithContext(submission.sql, ctx);
+  if (!result.ok()) {
+    RecordQueryMetrics(wait_seconds, SecondsSince(exec_start), "failed");
+    return result;
+  }
+
+  core::ApproxResult& r = result.value();
+  std::string cache_source;
+  if (r.profile.degradation_rung == 1 && adopted) {
+    cache_source = "synopsis-cache";
+  }
+  StampProfile(&r, wait_seconds, queue_depth, std::move(cache_source));
+  // Only undegraded answers are worth replaying: a degraded answer encodes
+  // a transient resource situation, not the query's answer.
+  if (fingerprint_ok && r.profile.degradation_rung == 0) {
+    result_cache_.Insert(fingerprint, r);
+  }
+  RecordQueryMetrics(wait_seconds, SecondsSince(exec_start), "ok");
+  return result;
+}
+
+}  // namespace service
+}  // namespace aqp

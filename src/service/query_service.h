@@ -1,0 +1,159 @@
+#ifndef AQP_SERVICE_QUERY_SERVICE_H_
+#define AQP_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/memory_tracker.h"
+#include "common/result.h"
+#include "core/approx_executor.h"
+#include "engine/catalog.h"
+#include "gov/governed_executor.h"
+#include "service/admission.h"
+#include "service/result_cache.h"
+#include "service/synopsis_cache.h"
+
+namespace aqp {
+namespace service {
+
+/// Everything the service needs to run queries: the per-query governance
+/// defaults, the admission limits, and the cross-query cache budgets.
+struct ServiceOptions {
+  /// Defaults applied to every submission (deadline, memory budget, AQP
+  /// knobs, degradation behaviour). Submissions may override the deadline
+  /// and memory budget per query.
+  gov::GovernedOptions gov;
+
+  AdmissionOptions admission;
+
+  /// Byte budgets of the two cross-query caches (0 = unbounded).
+  uint64_t result_cache_bytes = 64ull << 20;
+  uint64_t synopsis_cache_bytes = 256ull << 20;
+
+  /// Rows per cached synopsis, and the smallest table worth a synopsis
+  /// (building a sample of a small table costs more than scanning it).
+  uint64_t synopsis_rows = 10000;
+  uint64_t synopsis_min_table_rows = 100000;
+
+  bool use_result_cache = true;
+  bool use_synopsis_cache = true;
+};
+
+/// Per-session limits.
+struct SessionOptions {
+  /// Byte cap across everything the session's queries hold live at once
+  /// (each query is additionally capped by its own budget); 0 = unlimited.
+  uint64_t memory_budget_bytes = 0;
+};
+
+/// One client connection. Sessions exist so that (a) concurrent queries of
+/// one client share a memory budget and (b) stats/limits have somewhere to
+/// live that outlives a single query. Obtain via QueryService::OpenSession;
+/// share freely across the session's own threads.
+class Session {
+ public:
+  uint64_t id() const { return id_; }
+  const MemoryTracker& memory() const { return memory_; }
+
+ private:
+  friend class QueryService;
+  Session(uint64_t id, const SessionOptions& options)
+      : id_(id), memory_(options.memory_budget_bytes) {}
+
+  const uint64_t id_;
+  MemoryTracker memory_;
+};
+
+/// One query submission: SQL plus the per-query slice of the contract.
+/// Unset optionals inherit the service's GovernedOptions defaults.
+struct Submission {
+  Submission(std::string query) : sql(std::move(query)) {}  // NOLINT(runtime/explicit)
+  std::string sql;
+  std::optional<int64_t> deadline_ms;          // < 0 = none.
+  std::optional<uint64_t> memory_budget_bytes;  // 0 = unlimited.
+};
+
+/// The serving tier: concurrent sessions submit governed approximate
+/// queries through a bounded admission controller onto the shared thread
+/// pool, and two cross-query caches amortize work across submissions:
+///
+///   submit ──► AdmissionController (bounded queue, fast ResourceExhausted
+///          │    on overload)
+///          ├─► ResultCache — identical (SQL, table versions, contract)
+///          │    answered from memory, no execution
+///          ├─► SynopsisCache — shared stored samples (single-flight build)
+///          │    adopted into the query's offline rung
+///          └─► GovernedExecutor under a QueryContext chained to the
+///               session's MemoryTracker
+///
+/// Admission wait, queue depth, and cache involvement are recorded on each
+/// result's ExecutionProfile; service-level counters/histograms go to the
+/// global MetricsRegistry when observability is enabled.
+///
+/// Thread-safe. Submit() blocks the calling thread for admission
+/// (backpressure to the submitter) and returns a future for the execution
+/// itself; Execute() is the blocking convenience wrapper. The destructor
+/// drains in-flight queries. `catalog` must outlive the service.
+class QueryService {
+ public:
+  explicit QueryService(const Catalog* catalog, ServiceOptions options = {});
+  ~QueryService();
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  std::shared_ptr<Session> OpenSession(SessionOptions options = {});
+
+  /// Admits (blocking, bounded by the admission queue timeout) and then
+  /// executes asynchronously on the shared pool. Overload and shutdown are
+  /// reported through the returned future, which is always valid.
+  std::future<Result<core::ApproxResult>> Submit(std::shared_ptr<Session> session,
+                                                 Submission submission);
+
+  /// Submit + wait.
+  Result<core::ApproxResult> Execute(std::shared_ptr<Session> session,
+                                     Submission submission);
+
+  AdmissionStats admission_stats() const { return admission_.stats(); }
+  SynopsisCacheStats synopsis_cache_stats() const {
+    return synopsis_cache_.stats();
+  }
+  ResultCacheStats result_cache_stats() const { return result_cache_.stats(); }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  /// Runs one admitted submission end to end (pool thread). `wait_seconds`
+  /// and `queue_depth` describe the admission the submission just went
+  /// through and are stamped onto the result's profile.
+  Result<core::ApproxResult> RunAdmitted(Session& session,
+                                         const Submission& submission,
+                                         double wait_seconds,
+                                         uint64_t queue_depth);
+
+  const Catalog* catalog_;
+  const ServiceOptions options_;
+
+  AdmissionController admission_;
+  /// Accounting-only parent for both caches: budget 0 (the caches enforce
+  /// their own byte budgets), but used_bytes() shows the combined footprint.
+  MemoryTracker cache_memory_;
+  SynopsisCache synopsis_cache_;
+  ResultCache result_cache_;
+
+  std::atomic<uint64_t> next_session_id_{1};
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  bool closed_ = false;
+  size_t outstanding_ = 0;
+};
+
+}  // namespace service
+}  // namespace aqp
+
+#endif  // AQP_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,160 @@
+#include "service/synopsis_cache.h"
+
+#include <utility>
+
+namespace aqp {
+namespace service {
+namespace {
+
+std::string CacheKey(const std::string& table, uint64_t version,
+                     const SynopsisSpec& spec) {
+  return table + "\x1f" + std::to_string(version) + "\x1f" +
+         spec.strata_column + "\x1f" + std::to_string(spec.budget) + "\x1f" +
+         std::to_string(spec.seed);
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const core::StoredSample>> SynopsisCache::GetOrBuild(
+    const Catalog& catalog, const std::string& table,
+    const SynopsisSpec& spec) {
+  AQP_ASSIGN_OR_RETURN(uint64_t version, catalog.Version(table));
+  const std::string key = CacheKey(table, version, spec);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  // Each call is classified as exactly one of hit / miss / single-flight
+  // wait; a caller that parked behind a build is a "wait" even though it
+  // also finds the published entry afterwards.
+  bool waited = false;
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) break;  // Cold: this caller becomes the builder.
+    if (it->second.building) {
+      // Single flight: somebody is already building this key; wait for the
+      // publish (or for the failed build's erase, after which we retry).
+      waited = true;
+      cv_.wait(lock, [this, &key] {
+        auto it2 = entries_.find(key);
+        return it2 == entries_.end() || !it2->second.building;
+      });
+      continue;
+    }
+    if (waited) {
+      ++single_flight_waits_;
+    } else {
+      ++hits_;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.sample;
+  }
+
+  ++misses_;
+  entries_.emplace(key, Entry{});  // building = true: the claim other
+                                   // threads wait on.
+  lock.unlock();
+
+  // The build runs outside the lock — this is the whole point: one table
+  // scan, with every concurrent requester parked on the cv, not rescanning.
+  Result<core::StoredSample> built =
+      spec.stratified()
+          ? core::BuildStratifiedStoredSample(catalog, table,
+                                              spec.strata_column, spec.budget,
+                                              spec.seed)
+          : core::BuildUniformStoredSample(catalog, table, spec.budget,
+                                           spec.seed);
+
+  lock.lock();
+  if (!built.ok()) {
+    // Failures are not cached: waiters observe the erase, loop, and retry
+    // (the next attempt may succeed, e.g. after the table reappears).
+    ++build_failures_;
+    entries_.erase(key);
+    cv_.notify_all();
+    return built.status();
+  }
+  auto sample =
+      std::make_shared<const core::StoredSample>(std::move(built).value());
+  ++builds_;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    // Clear() raced the build; hand the artifact back uncached.
+    cv_.notify_all();
+    return sample;
+  }
+  Entry& entry = it->second;
+  entry.building = false;
+  entry.build_status = Status::OK();
+  entry.sample = sample;
+  entry.bytes = sample->ApproxBytes();
+  bytes_used_ += entry.bytes;
+  if (tracker_ != nullptr) {
+    // The tracker is accounting (the cache enforces its own byte budget);
+    // a refusal from a budgeted tracker simply leaves this entry uncounted.
+    if (!tracker_->TryCharge(entry.bytes, "synopsis-cache entry").ok()) {
+      entry.bytes = 0;
+      bytes_used_ -= sample->ApproxBytes();
+    }
+  }
+  lru_.push_front(key);
+  entry.lru_it = lru_.begin();
+  EvictToBudget(key);
+  cv_.notify_all();
+  return sample;
+}
+
+void SynopsisCache::EvictToBudget(const std::string& keep) {
+  if (byte_budget_ == 0) return;
+  while (bytes_used_ > byte_budget_ && !lru_.empty()) {
+    // Victim: least recently used that is not the entry being protected.
+    auto victim = std::prev(lru_.end());
+    if (*victim == keep) {
+      if (lru_.size() == 1) return;  // Only the protected entry remains.
+      victim = std::prev(victim);
+    }
+    auto it = entries_.find(*victim);
+    if (it != entries_.end()) {
+      bytes_used_ -= it->second.bytes;
+      if (tracker_ != nullptr && it->second.bytes > 0) {
+        tracker_->Release(it->second.bytes);
+      }
+      entries_.erase(it);
+      ++evictions_;
+    }
+    lru_.erase(victim);
+  }
+}
+
+SynopsisCacheStats SynopsisCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SynopsisCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.builds = builds_;
+  s.build_failures = build_failures_;
+  s.single_flight_waits = single_flight_waits_;
+  s.evictions = evictions_;
+  s.bytes_used = bytes_used_;
+  s.entries = entries_.size();
+  return s;
+}
+
+void SynopsisCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Ready entries drop; in-flight builds keep their claim and publish into
+  // (what is now) an emptier cache.
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.building) {
+      ++it;
+      continue;
+    }
+    if (tracker_ != nullptr && it->second.bytes > 0) {
+      tracker_->Release(it->second.bytes);
+    }
+    bytes_used_ -= it->second.bytes;
+    lru_.erase(it->second.lru_it);
+    it = entries_.erase(it);
+  }
+}
+
+}  // namespace service
+}  // namespace aqp

@@ -1,0 +1,114 @@
+#ifndef AQP_SERVICE_SYNOPSIS_CACHE_H_
+#define AQP_SERVICE_SYNOPSIS_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/memory_tracker.h"
+#include "common/result.h"
+#include "core/offline_catalog.h"
+#include "engine/catalog.h"
+
+namespace aqp {
+namespace service {
+
+/// What synopsis to build/fetch for a table. An empty strata_column means a
+/// uniform reservoir sample; a named one means an equal-allocation
+/// stratified sample on that column.
+struct SynopsisSpec {
+  std::string strata_column;
+  uint64_t budget = 10000;
+  uint64_t seed = 42;
+
+  bool stratified() const { return !strata_column.empty(); }
+};
+
+/// Point-in-time cache counters.
+struct SynopsisCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t builds = 0;           // Misses that actually built (once per key).
+  uint64_t build_failures = 0;
+  uint64_t single_flight_waits = 0;  // Callers that waited on another build.
+  uint64_t evictions = 0;
+  uint64_t bytes_used = 0;
+  size_t entries = 0;
+};
+
+/// Cross-query cache of pre-computed synopses (stored samples), keyed by
+/// (table, table version, synopsis spec). The paper's economics for offline
+/// AQP only work when many queries amortize one build; this cache is where
+/// that amortization happens in the serving tier:
+///
+///   * version-keyed: a table replace/append bumps Catalog::Version, so
+///     stale synopses become unreachable (and age out via LRU) without any
+///     invalidation protocol;
+///   * single-flight: concurrent misses for one key build ONCE — the first
+///     caller builds, the rest block until the artifact is published (or the
+///     build's failure status is), never duplicating a table scan;
+///   * bounded: entries are LRU-evicted past `byte_budget` (0 = unbounded),
+///     with every insert/evict charged/released on the optional
+///     MemoryTracker so cache footprint shows up in the service's accounts.
+///
+/// Entries are shared_ptr-shared: eviction only drops the cache's
+/// reference — queries already holding the synopsis keep it alive.
+/// Thread-safe; builds run outside the lock.
+class SynopsisCache {
+ public:
+  explicit SynopsisCache(uint64_t byte_budget,
+                         MemoryTracker* tracker = nullptr)
+      : byte_budget_(byte_budget), tracker_(tracker) {}
+  SynopsisCache(const SynopsisCache&) = delete;
+  SynopsisCache& operator=(const SynopsisCache&) = delete;
+
+  /// Returns the synopsis for (table@current-version, spec), building it on
+  /// first use. Concurrent calls for the same cold key perform one build.
+  /// Build failures are returned to every waiter and NOT cached — the next
+  /// call retries.
+  Result<std::shared_ptr<const core::StoredSample>> GetOrBuild(
+      const Catalog& catalog, const std::string& table,
+      const SynopsisSpec& spec);
+
+  SynopsisCacheStats stats() const;
+
+  /// Drops every ready entry (in-flight builds publish into an empty cache).
+  void Clear();
+
+ private:
+  struct Entry {
+    bool building = true;
+    Status build_status;  // Meaningful once !building.
+    std::shared_ptr<const core::StoredSample> sample;
+    uint64_t bytes = 0;
+    std::list<std::string>::iterator lru_it;  // Valid when ready & cached.
+  };
+
+  /// Evicts LRU-tail entries until bytes_used_ fits the budget, sparing
+  /// `keep`. Caller holds mu_.
+  void EvictToBudget(const std::string& keep);
+
+  const uint64_t byte_budget_;
+  MemoryTracker* tracker_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // Front = most recently used.
+  uint64_t bytes_used_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t builds_ = 0;
+  uint64_t build_failures_ = 0;
+  uint64_t single_flight_waits_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace service
+}  // namespace aqp
+
+#endif  // AQP_SERVICE_SYNOPSIS_CACHE_H_

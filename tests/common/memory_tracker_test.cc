@@ -61,6 +61,67 @@ TEST(MemoryTrackerTest, ConcurrentChargesNeverExceedBudget) {
   EXPECT_LE(tracker.peak(), 1000u);
 }
 
+TEST(MemoryTrackerTest, ChildChargesPropagateToParent) {
+  MemoryTracker session(/*budget=*/1000);
+  MemoryTracker query(/*budget=*/0, &session);
+
+  ASSERT_TRUE(query.TryCharge(300, "op").ok());
+  EXPECT_EQ(query.used(), 300u);
+  EXPECT_EQ(session.used(), 300u);
+
+  query.Release(300);
+  EXPECT_EQ(query.used(), 0u);
+  EXPECT_EQ(session.used(), 0u);
+}
+
+TEST(MemoryTrackerTest, ParentRefusalFailsChildCleanly) {
+  MemoryTracker session(100);
+  MemoryTracker query(0, &session);  // Query itself is unlimited.
+
+  EXPECT_EQ(query.TryCharge(200, "op").code(), StatusCode::kResourceExhausted);
+  // Refusal charged nothing anywhere, and both trackers noticed.
+  EXPECT_EQ(query.used(), 0u);
+  EXPECT_EQ(session.used(), 0u);
+  EXPECT_GE(query.exhausted_count(), 1u);
+  EXPECT_GE(session.exhausted_count(), 1u);
+}
+
+TEST(MemoryTrackerTest, ParentRefusalCancelsOnlyTheChildsSource) {
+  MemoryTracker session(100);
+  CancellationSource source;
+  MemoryTracker query(0, &session);
+  query.BindCancellation(&source);
+
+  EXPECT_FALSE(query.TryCharge(200, "op").ok());
+  EXPECT_TRUE(source.token().IsCancelled());
+  EXPECT_EQ(source.token().cause(), StopCause::kMemory);
+}
+
+TEST(MemoryTrackerTest, ChildBudgetRefusalReleasesParentCharge) {
+  MemoryTracker session(1000);
+  MemoryTracker query(50, &session);  // Tighter than the session.
+
+  EXPECT_EQ(query.TryCharge(80, "op").code(), StatusCode::kResourceExhausted);
+  // The parent was charged first and must have been given the bytes back.
+  EXPECT_EQ(session.used(), 0u);
+  EXPECT_EQ(query.used(), 0u);
+}
+
+TEST(MemoryTrackerTest, SiblingsShareTheSessionBudget) {
+  MemoryTracker session(1000);
+  MemoryTracker q1(0, &session);
+  MemoryTracker q2(0, &session);
+
+  ASSERT_TRUE(q1.TryCharge(700, "op").ok());
+  // q2 alone is fine, but the shared session budget is nearly spent.
+  EXPECT_FALSE(q2.TryCharge(700, "op").ok());
+  ASSERT_TRUE(q2.TryCharge(200, "op").ok());
+  EXPECT_EQ(session.used(), 900u);
+  q1.Release(700);
+  q2.Release(200);
+  EXPECT_EQ(session.used(), 0u);
+}
+
 TEST(ScopedMemoryChargeTest, ReleasesOnDestruction) {
   MemoryTracker tracker(1000);
   {

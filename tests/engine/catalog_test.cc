@@ -50,6 +50,36 @@ TEST(CatalogTest, Drop) {
   EXPECT_EQ(cat.Drop("t").code(), StatusCode::kNotFound);
 }
 
+TEST(CatalogTest, VersionStartsAtOneAndBumpsOnReplace) {
+  Catalog cat;
+  EXPECT_EQ(cat.Version("t").status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(cat.Register("t", TinyTable(1)).ok());
+  EXPECT_EQ(cat.Version("t").value(), 1u);
+  cat.RegisterOrReplace("t", TinyTable(2));
+  EXPECT_EQ(cat.Version("t").value(), 2u);
+}
+
+TEST(CatalogTest, VersionSurvivesDrop) {
+  Catalog cat;
+  ASSERT_TRUE(cat.Register("t", TinyTable(1)).ok());
+  ASSERT_TRUE(cat.Drop("t").ok());
+  // Not currently registered: no version to report...
+  EXPECT_EQ(cat.Version("t").status().code(), StatusCode::kNotFound);
+  // ...but re-registering must NOT reuse version 1, or version-keyed caches
+  // would serve the dropped table's synopses for the new one.
+  ASSERT_TRUE(cat.Register("t", TinyTable(3)).ok());
+  EXPECT_EQ(cat.Version("t").value(), 3u);
+}
+
+TEST(CatalogTest, VersionsAreIndependentPerTable) {
+  Catalog cat;
+  ASSERT_TRUE(cat.Register("a", TinyTable(1)).ok());
+  cat.RegisterOrReplace("a", TinyTable(2));
+  ASSERT_TRUE(cat.Register("b", TinyTable(1)).ok());
+  EXPECT_EQ(cat.Version("a").value(), 2u);
+  EXPECT_EQ(cat.Version("b").value(), 1u);
+}
+
 TEST(CatalogTest, TableNamesSorted) {
   Catalog cat;
   ASSERT_TRUE(cat.Register("zeta", TinyTable(1)).ok());

@@ -1,0 +1,132 @@
+#include "service/admission.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace service {
+namespace {
+
+TEST(AdmissionTest, AdmitsUpToMaxInflight) {
+  AdmissionOptions opts;
+  opts.max_inflight = 2;
+  opts.max_queue = 0;
+  AdmissionController admission(opts);
+
+  ASSERT_TRUE(admission.Acquire().ok());
+  ASSERT_TRUE(admission.Acquire().ok());
+  AdmissionStats stats = admission.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.inflight, 2u);
+
+  admission.Release();
+  admission.Release();
+  EXPECT_EQ(admission.stats().inflight, 0u);
+}
+
+TEST(AdmissionTest, QueueFullRejectsImmediately) {
+  AdmissionOptions opts;
+  opts.max_inflight = 1;
+  opts.max_queue = 0;  // Nobody may wait.
+  opts.queue_timeout_ms = 60000;  // Irrelevant: rejection must not wait.
+  AdmissionController admission(opts);
+
+  ASSERT_TRUE(admission.Acquire().ok());
+  auto start = std::chrono::steady_clock::now();
+  Status refused = admission.Acquire();
+  double waited = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_LT(waited, 1.0);  // Fast refusal, not the 60s queue timeout.
+  EXPECT_EQ(admission.stats().rejected_queue_full, 1u);
+  admission.Release();
+}
+
+TEST(AdmissionTest, QueueTimeoutRejects) {
+  AdmissionOptions opts;
+  opts.max_inflight = 1;
+  opts.max_queue = 4;
+  opts.queue_timeout_ms = 50;
+  AdmissionController admission(opts);
+
+  ASSERT_TRUE(admission.Acquire().ok());
+  auto start = std::chrono::steady_clock::now();
+  Status refused = admission.Acquire();
+  double waited = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(waited, 0.045);  // Waited (about) the configured timeout...
+  EXPECT_LT(waited, 5.0);    // ...but certainly did not hang.
+  EXPECT_EQ(admission.stats().rejected_timeout, 1u);
+  admission.Release();
+}
+
+TEST(AdmissionTest, ReleaseWakesWaiter) {
+  AdmissionOptions opts;
+  opts.max_inflight = 1;
+  opts.max_queue = 4;
+  opts.queue_timeout_ms = 10000;
+  AdmissionController admission(opts);
+
+  ASSERT_TRUE(admission.Acquire().ok());
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    uint64_t depth = 0;
+    Status s = admission.Acquire(&depth);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    admitted.store(true);
+    admission.Release();
+  });
+  // Give the waiter time to park, then free the slot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(admitted.load());
+  admission.Release();
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(admission.stats().admitted, 2u);
+}
+
+TEST(AdmissionTest, StressNeverExceedsMaxInflight) {
+  AdmissionOptions opts;
+  opts.max_inflight = 3;
+  opts.max_queue = 64;
+  opts.queue_timeout_ms = 10000;
+  AdmissionController admission(opts);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_seen{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(admission.Acquire().ok());
+        int now = concurrent.fetch_add(1) + 1;
+        int prev = max_seen.load();
+        while (now > prev && !max_seen.compare_exchange_weak(prev, now)) {
+        }
+        concurrent.fetch_sub(1);
+        admission.Release();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_LE(max_seen.load(), 3);
+  AdmissionStats stats = admission.stats();
+  EXPECT_EQ(stats.admitted, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace aqp

@@ -1,0 +1,118 @@
+#include "service/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqp {
+namespace service {
+namespace {
+
+core::ApproxResult MakeResult(double value) {
+  core::ApproxResult r;
+  r.table = testutil::DoubleTable({value});
+  r.approximated = true;
+  r.profile.executor = "online-two-stage";
+  return r;
+}
+
+TEST(FingerprintTest, SensitiveToEveryKeyComponent) {
+  std::vector<std::pair<std::string, uint64_t>> v1 = {{"t", 1}};
+  std::vector<std::pair<std::string, uint64_t>> v2 = {{"t", 2}};
+  ContractFingerprint c;
+  c.deadline_ms = 100;
+
+  uint64_t base = FingerprintQuery("SELECT 1", v1, c);
+  EXPECT_EQ(base, FingerprintQuery("SELECT 1", v1, c));  // Deterministic.
+  EXPECT_NE(base, FingerprintQuery("SELECT 2", v1, c));  // SQL text.
+  EXPECT_NE(base, FingerprintQuery("SELECT 1", v2, c));  // Table version.
+
+  ContractFingerprint c2 = c;
+  c2.deadline_ms = 200;
+  EXPECT_NE(base, FingerprintQuery("SELECT 1", v1, c2));
+  c2 = c;
+  c2.memory_budget_bytes = 1 << 20;
+  EXPECT_NE(base, FingerprintQuery("SELECT 1", v1, c2));
+  c2 = c;
+  c2.seed = 7;
+  EXPECT_NE(base, FingerprintQuery("SELECT 1", v1, c2));
+  c2 = c;
+  c2.confidence = 0.99;
+  EXPECT_NE(base, FingerprintQuery("SELECT 1", v1, c2));
+}
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache(/*byte_budget=*/0);
+  EXPECT_EQ(cache.Lookup(42), nullptr);
+  cache.Insert(42, MakeResult(3.5));
+
+  auto hit = cache.Lookup(42);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->table.num_rows(), 1u);
+  EXPECT_EQ(hit->profile.executor, "online-two-stage");
+
+  ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes_used, 0u);
+}
+
+TEST(ResultCacheTest, ReinsertReplacesWithoutLeakingAccounting) {
+  MemoryTracker tracker;
+  ResultCache cache(0, &tracker);
+  cache.Insert(1, MakeResult(1.0));
+  uint64_t after_first = tracker.used();
+  cache.Insert(1, MakeResult(2.0));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  // Same-size entry re-inserted: accounting replaced, not accumulated.
+  EXPECT_EQ(tracker.used(), after_first);
+  EXPECT_EQ(cache.stats().bytes_used, after_first);
+}
+
+TEST(ResultCacheTest, EvictsLruPastByteBudget) {
+  uint64_t one = ApproxResultBytes(MakeResult(1.0));
+  MemoryTracker tracker;
+  ResultCache cache(2 * one + one / 2, &tracker);
+
+  cache.Insert(1, MakeResult(1.0));
+  cache.Insert(2, MakeResult(2.0));
+  ASSERT_NE(cache.Lookup(1), nullptr);  // Touch 1: entry 2 becomes LRU.
+  cache.Insert(3, MakeResult(3.0));
+
+  ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_NE(cache.Lookup(1), nullptr);
+  EXPECT_EQ(cache.Lookup(2), nullptr);  // The LRU entry was the victim.
+  EXPECT_NE(cache.Lookup(3), nullptr);
+  EXPECT_EQ(tracker.used(), cache.stats().bytes_used);
+}
+
+TEST(ResultCacheTest, OversizedEntryStillInsertedButBounded) {
+  uint64_t one = ApproxResultBytes(MakeResult(1.0));
+  ResultCache cache(one / 2);  // Budget below a single entry.
+  cache.Insert(1, MakeResult(1.0));
+  // The fresh entry is spared by its own insert's eviction pass...
+  EXPECT_NE(cache.Lookup(1), nullptr);
+  // ...but the next insert evicts it.
+  cache.Insert(2, MakeResult(2.0));
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+}
+
+TEST(ResultCacheTest, ClearReleasesTracker) {
+  MemoryTracker tracker;
+  ResultCache cache(0, &tracker);
+  cache.Insert(1, MakeResult(1.0));
+  cache.Insert(2, MakeResult(2.0));
+  EXPECT_GT(tracker.used(), 0u);
+  cache.Clear();
+  EXPECT_EQ(tracker.used(), 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace aqp

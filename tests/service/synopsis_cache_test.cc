@@ -1,0 +1,173 @@
+#include "service/synopsis_cache.h"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqp {
+namespace service {
+namespace {
+
+Catalog BaseCatalog(size_t rows, uint64_t seed) {
+  Catalog cat;
+  Table t = testutil::ZipfGroupedTable(rows, 12, 0.8, seed);
+  EXPECT_TRUE(cat.Register("t", std::make_shared<Table>(std::move(t))).ok());
+  return cat;
+}
+
+TEST(SynopsisCacheTest, BuildsOnceThenHits) {
+  Catalog cat = BaseCatalog(20000, 3);
+  SynopsisCache cache(/*byte_budget=*/0);
+  SynopsisSpec spec;
+  spec.budget = 500;
+
+  auto first = cache.GetOrBuild(cat, "t", spec);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.value()->sample.table.num_rows(), 500u);
+
+  auto second = cache.GetOrBuild(cat, "t", spec);
+  ASSERT_TRUE(second.ok());
+  // A hit is the SAME artifact, not an equal rebuild.
+  EXPECT_EQ(first.value().get(), second.value().get());
+
+  SynopsisCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.builds, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes_used, 0u);
+}
+
+TEST(SynopsisCacheTest, DistinctSpecsAreDistinctEntries) {
+  Catalog cat = BaseCatalog(20000, 3);
+  SynopsisCache cache(0);
+  SynopsisSpec uniform;
+  uniform.budget = 500;
+  SynopsisSpec stratified = uniform;
+  stratified.strata_column = "g";
+
+  ASSERT_TRUE(cache.GetOrBuild(cat, "t", uniform).ok());
+  ASSERT_TRUE(cache.GetOrBuild(cat, "t", stratified).ok());
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().builds, 2u);
+}
+
+TEST(SynopsisCacheTest, TableVersionBumpInvalidates) {
+  Catalog cat = BaseCatalog(20000, 3);
+  SynopsisCache cache(0);
+  SynopsisSpec spec;
+  spec.budget = 300;
+
+  auto before = cache.GetOrBuild(cat, "t", spec);
+  ASSERT_TRUE(before.ok());
+
+  // Replacing the table bumps its version: the old synopsis must become
+  // unreachable and a fresh one must be built.
+  Table t2 = testutil::ZipfGroupedTable(25000, 12, 0.8, 99);
+  cat.RegisterOrReplace("t", std::make_shared<Table>(std::move(t2)));
+
+  auto after = cache.GetOrBuild(cat, "t", spec);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(before.value().get(), after.value().get());
+  EXPECT_EQ(after.value()->base_rows_at_build, 25000u);
+  EXPECT_EQ(cache.stats().builds, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(SynopsisCacheTest, MissingTableFailsAndNothingIsCached) {
+  Catalog cat;
+  SynopsisCache cache(0);
+  SynopsisSpec spec;
+  EXPECT_EQ(cache.GetOrBuild(cat, "ghost", spec).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(SynopsisCacheTest, EvictsLeastRecentlyUsedPastBudget) {
+  Catalog cat = BaseCatalog(20000, 3);
+  SynopsisCache probe(0);
+  SynopsisSpec spec;
+  spec.budget = 400;
+  uint64_t one_entry_bytes =
+      probe.GetOrBuild(cat, "t", spec).value()->ApproxBytes();
+
+  // Budget for two entries; a third insert must evict the LRU one.
+  MemoryTracker tracker;
+  const uint64_t budget = 2 * one_entry_bytes + one_entry_bytes / 2;
+  SynopsisCache cache(budget, &tracker);
+  SynopsisSpec a = spec, b = spec, c = spec;
+  a.seed = 1;
+  b.seed = 2;
+  c.seed = 3;
+  ASSERT_TRUE(cache.GetOrBuild(cat, "t", a).ok());
+  ASSERT_TRUE(cache.GetOrBuild(cat, "t", b).ok());
+  ASSERT_TRUE(cache.GetOrBuild(cat, "t", a).ok());  // Touch a: b is now LRU.
+  ASSERT_TRUE(cache.GetOrBuild(cat, "t", c).ok());
+
+  SynopsisCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.bytes_used, budget);
+  // Tracker accounting mirrors the cache's own.
+  EXPECT_EQ(tracker.used(), stats.bytes_used);
+
+  // The touched entry survived; the untouched one rebuilt on demand.
+  uint64_t builds_before = cache.stats().builds;
+  ASSERT_TRUE(cache.GetOrBuild(cat, "t", a).ok());
+  EXPECT_EQ(cache.stats().builds, builds_before);  // a was still cached.
+  ASSERT_TRUE(cache.GetOrBuild(cat, "t", b).ok());
+  EXPECT_EQ(cache.stats().builds, builds_before + 1);  // b was evicted.
+}
+
+TEST(SynopsisCacheTest, ClearReleasesTrackerCharges) {
+  Catalog cat = BaseCatalog(20000, 3);
+  MemoryTracker tracker;
+  SynopsisCache cache(0, &tracker);
+  SynopsisSpec spec;
+  spec.budget = 300;
+  ASSERT_TRUE(cache.GetOrBuild(cat, "t", spec).ok());
+  EXPECT_GT(tracker.used(), 0u);
+  cache.Clear();
+  EXPECT_EQ(tracker.used(), 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// The single-flight contract under race: N threads ask for one cold key and
+// exactly ONE build happens; everyone gets the same artifact. Run under TSan
+// in CI (the thread-sanitizer job builds this test).
+TEST(SynopsisCacheTest, SingleFlightStress) {
+  Catalog cat = BaseCatalog(60000, 7);
+  SynopsisCache cache(0);
+  SynopsisSpec spec;
+  spec.budget = 2000;
+
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const core::StoredSample>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      auto r = cache.GetOrBuild(cat, "t", spec);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      seen[i] = r.value();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(seen[0].get(), seen[i].get());
+  }
+  SynopsisCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.builds, 1u) << "single-flight must collapse to one build";
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.single_flight_waits,
+            static_cast<uint64_t>(kThreads - 1));
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace aqp
