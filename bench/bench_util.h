@@ -3,11 +3,24 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <string>
 #include <vector>
 
 #include "common/check.h"
 #include "obs/json.h"
+
+// Build provenance, stamped into every BENCH_*.json so a result can be tied
+// to the exact source and configuration that produced it. The definitions
+// come from CMake (bench/CMakeLists.txt); the fallbacks keep the header
+// usable from targets built without them (examples, ad-hoc tools).
+#ifndef AQP_GIT_SHA
+#define AQP_GIT_SHA "unknown"
+#endif
+#ifndef AQP_BUILD_TYPE
+#define AQP_BUILD_TYPE "unknown"
+#endif
 
 namespace aqp {
 namespace bench {
@@ -92,6 +105,19 @@ class BenchJson {
     w.BeginObject();
     w.Key("bench").Value(bench_id_);
     w.Key("schema_version").Value(uint64_t{1});
+    w.Key("provenance").BeginObject();
+    w.Key("git_sha").Value(AQP_GIT_SHA);
+    w.Key("build_type").Value(AQP_BUILD_TYPE);
+    const char* threads = std::getenv("AQP_NUM_THREADS");
+    w.Key("aqp_num_threads").Value(threads != nullptr ? threads : "");
+    char stamp[32] = "";
+    std::time_t now = std::time(nullptr);
+    std::tm tm_utc;
+    if (gmtime_r(&now, &tm_utc) != nullptr) {
+      std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    }
+    w.Key("timestamp_utc").Value(stamp);
+    w.EndObject();
     w.Key("tables").BeginArray();
     for (const auto& [name, table] : tables_) {
       w.BeginObject();

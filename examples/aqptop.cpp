@@ -1,0 +1,221 @@
+// aqptop: a `top` for the AQP serving tier, fed entirely by the always-on
+// structured query log (JSONL sink). No service connection needed — point it
+// at the file the service writes (AQP_QUERY_LOG=...) and it shows:
+//
+//   - totals: queries seen, ok/failed/rejected, slow, cache-answered;
+//   - the top-N slowest queries (wall ms, rung, cache source, SQL);
+//   - the top-N degraded queries (which rung, why, what error was returned);
+//   - live audited coverage: what fraction of background accuracy audits
+//     found the exact answer inside the claimed confidence interval.
+//
+// Usage:
+//   aqptop <query_log.jsonl> [--top N] [--follow]
+//
+// --follow re-reads and redraws once a second (Ctrl-C to stop); the default
+// is one pass, which is what CI uses to validate the log end to end.
+//
+// Events are FLAT JSON objects, one per line (see obs/query_log.h), so a
+// small string scanner is all the parsing this needs — by design, the log
+// stays consumable by tools with no JSON library at hand.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+// --- Minimal flat-JSON field extraction (no nesting in query-log events). --
+
+// Returns the raw text after `"key":` (unquoted for strings), or "" if the
+// key is absent.
+std::string RawField(const std::string& line, const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  if (pos >= line.size()) return "";
+  if (line[pos] == '"') {  // String value: scan to the closing quote.
+    std::string out;
+    for (size_t i = pos + 1; i < line.size(); ++i) {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        out += line[++i];  // Good enough for SQL text; no \uXXXX in our logs.
+      } else if (line[i] == '"') {
+        return out;
+      } else {
+        out += line[i];
+      }
+    }
+    return out;
+  }
+  size_t end = line.find_first_of(",}", pos);
+  return line.substr(pos, end == std::string::npos ? std::string::npos
+                                                   : end - pos);
+}
+
+double NumField(const std::string& line, const std::string& key) {
+  std::string raw = RawField(line, key);
+  return raw.empty() ? 0.0 : std::atof(raw.c_str());
+}
+
+struct QueryRow {
+  double wall_ms = 0.0;
+  int rung = 0;
+  std::string reason;
+  std::string cache;
+  std::string status;
+  double est_error = 0.0;
+  std::string sql;
+};
+
+struct Totals {
+  uint64_t events = 0, queries = 0, ok = 0, failed = 0, rejected = 0;
+  uint64_t slow = 0, cached = 0, degraded = 0;
+  uint64_t audits = 0, audit_cells = 0, audit_covered = 0;
+  double worst_observed_error = 0.0;
+};
+
+std::string Ellipsize(std::string s, size_t n) {
+  if (s.size() > n) {
+    s.resize(n > 3 ? n - 3 : n);
+    if (n > 3) s += "...";
+  }
+  return s;
+}
+
+void Render(const std::string& path, const Totals& t,
+            std::vector<QueryRow> rows, size_t top_n) {
+  std::printf("aqptop — %s\n", path.c_str());
+  std::printf(
+      "%llu events: %llu queries (%llu ok, %llu failed, %llu rejected), "
+      "%llu slow, %llu cache-answered, %llu degraded\n\n",
+      (unsigned long long)t.events, (unsigned long long)t.queries,
+      (unsigned long long)t.ok, (unsigned long long)t.failed,
+      (unsigned long long)t.rejected, (unsigned long long)t.slow,
+      (unsigned long long)t.cached, (unsigned long long)t.degraded);
+
+  std::sort(rows.begin(), rows.end(),
+            [](const QueryRow& a, const QueryRow& b) {
+              return a.wall_ms > b.wall_ms;
+            });
+  aqp::bench::TablePrinter slow({"wall ms", "status", "rung", "cache",
+                                 "est err", "sql"});
+  for (size_t i = 0; i < rows.size() && i < top_n; ++i) {
+    const QueryRow& r = rows[i];
+    slow.AddRow({aqp::bench::Fmt(r.wall_ms, 2), r.status,
+                 std::to_string(r.rung), r.cache.empty() ? "-" : r.cache,
+                 aqp::bench::FmtPct(r.est_error), Ellipsize(r.sql, 48)});
+  }
+  std::printf("Top %zu by wall time:\n", std::min(top_n, rows.size()));
+  slow.Print();
+
+  std::vector<QueryRow> degraded;
+  for (const QueryRow& r : rows) {
+    if (r.rung > 0) degraded.push_back(r);
+  }
+  std::printf("\nTop %zu degraded (answered off the happy path):\n",
+              std::min(top_n, degraded.size()));
+  aqp::bench::TablePrinter deg(
+      {"wall ms", "rung", "reason", "est err", "sql"});
+  for (size_t i = 0; i < degraded.size() && i < top_n; ++i) {
+    const QueryRow& r = degraded[i];
+    deg.AddRow({aqp::bench::Fmt(r.wall_ms, 2), std::to_string(r.rung),
+                r.reason.empty() ? "-" : r.reason,
+                aqp::bench::FmtPct(r.est_error), Ellipsize(r.sql, 48)});
+  }
+  deg.Print();
+
+  std::printf("\nAccuracy audits: %llu verdicts, %llu/%llu CI cells covered",
+              (unsigned long long)t.audits,
+              (unsigned long long)t.audit_covered,
+              (unsigned long long)t.audit_cells);
+  if (t.audit_cells > 0) {
+    std::printf(" (empirical coverage %.2f%%, worst observed error %.3f%%)",
+                100.0 * (double)t.audit_covered / (double)t.audit_cells,
+                100.0 * t.worst_observed_error);
+  }
+  std::printf("\n");
+}
+
+// One full pass over the log file.
+bool Scan(const std::string& path, size_t top_n) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "aqptop: cannot open %s\n", path.c_str());
+    return false;
+  }
+  Totals t;
+  std::vector<QueryRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++t.events;
+    std::string kind = RawField(line, "kind");
+    if (kind == "audit") {
+      ++t.audits;
+      t.audit_cells += (uint64_t)NumField(line, "audit_cells");
+      t.audit_covered += (uint64_t)NumField(line, "audit_covered");
+      t.worst_observed_error =
+          std::max(t.worst_observed_error, NumField(line, "observed_error"));
+      continue;
+    }
+    ++t.queries;
+    QueryRow r;
+    r.wall_ms = NumField(line, "wall_ms");
+    r.rung = (int)NumField(line, "degradation_rung");
+    r.reason = RawField(line, "degraded_reason");
+    r.cache = RawField(line, "cache_source");
+    r.status = RawField(line, "status");
+    r.est_error = NumField(line, "estimated_error");
+    r.sql = RawField(line, "sql");
+    if (r.status == "ok") ++t.ok;
+    if (r.status == "failed") ++t.failed;
+    if (r.status == "rejected") ++t.rejected;
+    if (RawField(line, "slow") == "true") ++t.slow;
+    if (!r.cache.empty()) ++t.cached;
+    if (r.rung > 0) ++t.degraded;
+    rows.push_back(std::move(r));
+  }
+  Render(path, t, std::move(rows), top_n);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  size_t top_n = 10;
+  bool follow = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--follow") == 0) {
+      follow = true;
+    } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top_n = (size_t)std::atol(argv[++i]);
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) {
+    if (const char* env = std::getenv("AQP_QUERY_LOG")) path = env;
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: aqptop <query_log.jsonl> [--top N] [--follow]\n"
+                 "(or set AQP_QUERY_LOG)\n");
+    return 2;
+  }
+  if (!follow) return Scan(path, top_n) ? 0 : 1;
+  while (true) {
+    std::printf("\033[2J\033[H");  // Clear screen, home cursor.
+    Scan(path, top_n);
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+}

@@ -130,9 +130,9 @@ Result<Sample> ReconstituteSample(Table result, const Sample& design) {
   return sample;
 }
 
-// Widest finite relative CI half-width across all output cells — the error
-// the system can attest a posteriori, reported against the contract.
-double MaxRelativeHalfWidth(
+}  // namespace
+
+double MaxRelativeCiHalfWidth(
     const std::vector<std::vector<stats::ConfidenceInterval>>& cis) {
   double worst = 0.0;
   for (const auto& row : cis) {
@@ -144,14 +144,13 @@ double MaxRelativeHalfWidth(
   return worst;
 }
 
-}  // namespace
-
 ApproxExecutor::ApproxExecutor(const Catalog* catalog, AqpOptions options)
     : catalog_(catalog), options_(options) {
   AQP_CHECK(catalog != nullptr);
 }
 
-Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
+Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql,
+                                             obs::QueryTrace* parent_trace) {
   ++invocation_;
   const Clock::time_point start = Clock::now();
   const bool instrumented = obs::Enabled();
@@ -160,7 +159,12 @@ Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
   obs::ExecutionProfile& prof = result.profile;
   prof.query = std::string(sql);
   prof.executor = "online-two-stage";
-  obs::QueryTrace* tr = instrumented ? &prof.trace : nullptr;
+  // An externally owned parent trace (service tier) takes precedence over
+  // the profile's local trace so the submission gets one span tree; the
+  // parent's Finish() stays with its owner.
+  const bool external_trace = parent_trace != nullptr;
+  obs::QueryTrace* tr =
+      external_trace ? parent_trace : (instrumented ? &prof.trace : nullptr);
 
   obs::TraceSpan parse_span = obs::MaybeSpan(tr, "parse");
   AQP_ASSIGN_OR_RETURN(sql::SelectStmt stmt, sql::Parse(sql));
@@ -198,10 +202,11 @@ Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql) {
       par.worker_rows = result.exec_stats.parallel.worker_items;
       prof.parallel = std::move(par);
     }
+    prof.estimated_error = MaxRelativeCiHalfWidth(result.cis);
     if (prof.contract.has_value()) {
-      prof.contract->achieved_error = MaxRelativeHalfWidth(result.cis);
+      prof.contract->achieved_error = prof.estimated_error;
     }
-    if (tr != nullptr) prof.trace.Finish();
+    if (tr != nullptr && !external_trace) prof.trace.Finish();
     if (instrumented) {
       obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
       static obs::Counter* queries = reg.GetCounter("aqp_queries_total");

@@ -79,6 +79,13 @@ struct ApproxResult {
   obs::ExecutionProfile profile;
 };
 
+/// Widest finite relative CI half-width across all of `cis`' cells — the
+/// error the system can attest a posteriori (0 when every cell is exact).
+/// Shared by the contract report, the governed executor's degraded-answer
+/// accounting, and the service query log.
+double MaxRelativeCiHalfWidth(
+    const std::vector<std::vector<stats::ConfidenceInterval>>& cis);
+
 /// Two-stage online approximate SQL executor with a-priori error contracts:
 ///
 ///   1. PILOT: block-sample the largest scanned table at a small rate,
@@ -104,7 +111,17 @@ class ApproxExecutor {
   /// Executes `sql`. Queries without a WITH ERROR clause, without
   /// aggregates, with non-linear aggregates (MIN/MAX/COUNT DISTINCT/VAR),
   /// with HAVING, or whose planned rate is infeasible run exactly.
-  Result<ApproxResult> Execute(std::string_view sql);
+  ///
+  /// When `parent_trace` is non-null the executor's spans (parse, bind,
+  /// pilot, plan, final, per-operator) open under the parent's current
+  /// cursor instead of the result profile's own trace, so a caller that
+  /// already owns a submit-scoped trace (the service tier) gets ONE span
+  /// tree for the whole submission. The parent is never Finish()ed here —
+  /// the caller owns its lifecycle — and `result.profile.trace` is left
+  /// empty for the caller to fill (the service deep-copies the finished
+  /// parent in).
+  Result<ApproxResult> Execute(std::string_view sql,
+                               obs::QueryTrace* parent_trace = nullptr);
 
  private:
   const Catalog* catalog_;

@@ -68,7 +68,8 @@ OfflineExecutor::OfflineExecutor(const Catalog* catalog,
 }
 
 Result<ApproxResult> OfflineExecutor::Execute(std::string_view sql,
-                                              double confidence) {
+                                              double confidence,
+                                              obs::QueryTrace* parent_trace) {
   const auto start = std::chrono::steady_clock::now();
   AQP_RETURN_IF_ERROR(CheckCancelled(exec_.cancel));
   const bool instrumented = obs::Enabled();
@@ -76,7 +77,9 @@ Result<ApproxResult> OfflineExecutor::Execute(std::string_view sql,
   obs::ExecutionProfile& prof = result.profile;
   prof.query = std::string(sql);
   prof.executor = "offline-sample";
-  obs::QueryTrace* tr = instrumented ? &prof.trace : nullptr;
+  const bool external_trace = parent_trace != nullptr;
+  obs::QueryTrace* tr =
+      external_trace ? parent_trace : (instrumented ? &prof.trace : nullptr);
 
   obs::TraceSpan bind_span = obs::MaybeSpan(tr, "parse+bind");
   AQP_ASSIGN_OR_RETURN(sql::SelectStmt stmt, sql::Parse(sql));
@@ -170,6 +173,7 @@ Result<ApproxResult> OfflineExecutor::Execute(std::string_view sql,
   prof.approximated = true;
   prof.sampled_table = result.sampled_table;
   prof.sampled_fraction = result.final_rate;
+  prof.estimated_error = MaxRelativeCiHalfWidth(result.cis);
   // Query-time cost of the offline path: only the stored sample is read.
   prof.rows_scanned = stored->sample.num_rows();
   if (result.exec_stats.parallel.morsels > 0) {
@@ -185,7 +189,7 @@ Result<ApproxResult> OfflineExecutor::Execute(std::string_view sql,
           .count();
   prof.final_seconds = result.final_seconds;
   prof.total_seconds = result.final_seconds;
-  if (tr != nullptr) prof.trace.Finish();
+  if (tr != nullptr && !external_trace) prof.trace.Finish();
   if (instrumented) {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
     static obs::Counter* queries = reg.GetCounter("aqp_offline_queries_total");

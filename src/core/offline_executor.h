@@ -34,9 +34,11 @@ class OfflineExecutor {
   /// Executes `sql` against the best stored sample (preferring one
   /// stratified on the query's GROUP BY column). The result has the same
   /// shape as the exact query; `cis` carries a posteriori intervals at
-  /// `confidence`.
-  Result<ApproxResult> Execute(std::string_view sql,
-                               double confidence = 0.95);
+  /// `confidence`. A non-null `parent_trace` receives this executor's spans
+  /// in place of the profile's own trace (same ownership contract as
+  /// ApproxExecutor::Execute — the parent is never Finish()ed here).
+  Result<ApproxResult> Execute(std::string_view sql, double confidence = 0.95,
+                               obs::QueryTrace* parent_trace = nullptr);
 
  private:
   const Catalog* catalog_;

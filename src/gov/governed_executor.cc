@@ -55,13 +55,20 @@ Result<core::ApproxResult> GovernedExecutor::Execute(std::string_view sql) {
 }
 
 Result<core::ApproxResult> GovernedExecutor::ExecuteWithContext(
-    std::string_view sql, QueryContext& ctx) {
+    std::string_view sql, QueryContext& ctx, obs::QueryTrace* trace) {
   BumpCounter("gov.queries");
 
   core::AqpOptions governed = options_.aqp;
   ctx.Bind(&governed.exec);
   core::ApproxExecutor rung0(catalog_, governed);
-  Result<core::ApproxResult> preferred = rung0.Execute(sql);
+  Result<core::ApproxResult> preferred = [&] {
+    // The rung span's End() closes any spans the executor left open when it
+    // failed mid-stage, so a later rung's spans never nest under rung 0's.
+    obs::TraceSpan rung_span = obs::MaybeSpan(trace, "rung-0");
+    Result<core::ApproxResult> r = rung0.Execute(sql, trace);
+    rung_span.AddAttr("ok", r.ok() ? "true" : "false");
+    return r;
+  }();
   if (preferred.ok()) {
     core::ApproxResult result = std::move(preferred).value();
     FinishProfile(&result, ctx, /*rung=*/0, /*degraded_reason=*/"");
@@ -76,34 +83,49 @@ Result<core::ApproxResult> GovernedExecutor::ExecuteWithContext(
     return failure;
   }
   if (!IsDegradable(failure)) return failure;
-  return RunLadder(sql, ctx, std::move(failure));
+  return RunLadder(sql, ctx, std::move(failure), trace);
 }
 
 Result<core::ApproxResult> GovernedExecutor::RunLadder(std::string_view sql,
                                                        QueryContext& ctx,
-                                                       Status failure) {
+                                                       Status failure,
+                                                       obs::QueryTrace* trace) {
   // Rung 1: a pre-computed offline sample answers at cost proportional to
   // the (small) stored sample, no base-table scan.
   if (samples_ != nullptr) {
-    Result<core::ApproxResult> offline = RunOfflineRung(sql, ctx);
+    Result<core::ApproxResult> offline = [&] {
+      obs::TraceSpan rung_span = obs::MaybeSpan(trace, "rung-1");
+      Result<core::ApproxResult> r = RunOfflineRung(sql, ctx, trace);
+      rung_span.AddAttr("ok", r.ok() ? "true" : "false");
+      return r;
+    }();
     if (offline.ok()) {
       core::ApproxResult result = std::move(offline).value();
+      double raw_error = core::MaxRelativeCiHalfWidth(result.cis);
       WidenAllCis(&result, options_.degraded_ci_inflation);
       FinishProfile(&result, ctx, /*rung=*/1,
-                    "degraded to stored offline sample: " + failure.message());
+                    "degraded to stored offline sample: " + failure.message(),
+                    raw_error);
       BumpCounter("gov.degraded_rung1");
       return result;
     }
   }
 
   // Rung 2: an online-aggregation early answer over one bounded grace chunk.
-  Result<core::ApproxResult> ola = RunOlaRung(sql, ctx);
+  Result<core::ApproxResult> ola = [&] {
+    obs::TraceSpan rung_span = obs::MaybeSpan(trace, "rung-2");
+    Result<core::ApproxResult> r = RunOlaRung(sql, ctx);
+    rung_span.AddAttr("ok", r.ok() ? "true" : "false");
+    return r;
+  }();
   if (ola.ok()) {
     core::ApproxResult result = std::move(ola).value();
+    double raw_error = core::MaxRelativeCiHalfWidth(result.cis);
     WidenAllCis(&result, options_.degraded_ci_inflation);
     FinishProfile(&result, ctx, /*rung=*/2,
                   "degraded to online-aggregation early answer: " +
-                      failure.message());
+                      failure.message(),
+                  raw_error);
     BumpCounter("gov.degraded_rung2");
     return result;
   }
@@ -114,7 +136,7 @@ Result<core::ApproxResult> GovernedExecutor::RunLadder(std::string_view sql,
 }
 
 Result<core::ApproxResult> GovernedExecutor::RunOfflineRung(
-    std::string_view sql, QueryContext& ctx) {
+    std::string_view sql, QueryContext& ctx, obs::QueryTrace* trace) {
   // The context's token has already tripped (that is why we are here);
   // rung 1 runs without it but keeps the memory budget honest — the stored
   // sample is small, and if even it does not fit the ladder descends.
@@ -122,7 +144,7 @@ Result<core::ApproxResult> GovernedExecutor::RunOfflineRung(
   exec.cancel = nullptr;
   exec.memory = &ctx.memory();
   core::OfflineExecutor offline(catalog_, samples_, exec);
-  return offline.Execute(sql, options_.confidence);
+  return offline.Execute(sql, options_.confidence, trace);
 }
 
 Result<core::ApproxResult> GovernedExecutor::RunOlaRung(std::string_view sql,
@@ -216,10 +238,17 @@ Result<core::ApproxResult> GovernedExecutor::RunOlaRung(std::string_view sql,
 
 void GovernedExecutor::FinishProfile(core::ApproxResult* result,
                                      const QueryContext& ctx, int rung,
-                                     std::string degraded_reason) const {
+                                     std::string degraded_reason,
+                                     double pre_inflation_error) const {
   obs::ExecutionProfile& profile = result->profile;
   profile.degradation_rung = rung;
   profile.degraded_reason = std::move(degraded_reason);
+  // For degraded answers the CIs have already been widened; recompute so the
+  // profile reports the error the caller actually received, and keep the raw
+  // estimator half-width alongside it so coverage misses can be attributed
+  // to estimation error vs. insufficient inflation.
+  profile.estimated_error = core::MaxRelativeCiHalfWidth(result->cis);
+  profile.pre_inflation_error = pre_inflation_error;
   profile.memory_peak_bytes = ctx.memory().peak();
   profile.memory_leaked_bytes = ctx.memory().used();
 }

@@ -65,19 +65,26 @@ class GovernedExecutor {
 
   /// Executes `sql` under an externally owned context (e.g. one the caller
   /// may Cancel() from another thread). The context must already be
-  /// Start()ed or be started by the caller.
-  Result<core::ApproxResult> ExecuteWithContext(std::string_view sql,
-                                                QueryContext& ctx);
+  /// Start()ed or be started by the caller. A non-null `trace` becomes the
+  /// parent of every span the ladder produces — one "rung-N" span per rung
+  /// attempted, with the inner executor's spans nested beneath — so a
+  /// service-owned submit trace sees the whole descent; the trace's
+  /// Finish() stays with its owner.
+  Result<core::ApproxResult> ExecuteWithContext(
+      std::string_view sql, QueryContext& ctx,
+      obs::QueryTrace* trace = nullptr);
 
  private:
   Result<core::ApproxResult> RunLadder(std::string_view sql, QueryContext& ctx,
-                                       Status failure);
+                                       Status failure, obs::QueryTrace* trace);
   Result<core::ApproxResult> RunOfflineRung(std::string_view sql,
-                                            QueryContext& ctx);
+                                            QueryContext& ctx,
+                                            obs::QueryTrace* trace);
   Result<core::ApproxResult> RunOlaRung(std::string_view sql,
                                         QueryContext& ctx);
   void FinishProfile(core::ApproxResult* result, const QueryContext& ctx,
-                     int rung, std::string degraded_reason) const;
+                     int rung, std::string degraded_reason,
+                     double pre_inflation_error = 0.0) const;
 
   const Catalog* catalog_;
   const core::SampleCatalog* samples_;

@@ -35,6 +35,13 @@ std::string ExecutionProfile::ToText() const {
     out += "  degraded:   rung " + std::to_string(degradation_rung) + " — " +
            degraded_reason + "\n";
   }
+  if (estimated_error > 0.0) {
+    out += "  est. error: " + Pct(estimated_error);
+    if (pre_inflation_error > 0.0) {
+      out += " (pre-inflation " + Pct(pre_inflation_error) + ")";
+    }
+    out += "\n";
+  }
   if (memory_peak_bytes > 0 || memory_leaked_bytes > 0) {
     out += "  memory:     peak=" + std::to_string(memory_peak_bytes) +
            "B leaked=" + std::to_string(memory_leaked_bytes) + "B\n";
@@ -116,6 +123,12 @@ std::string ExecutionProfile::ToJson() const {
   if (!degraded_reason.empty()) {
     w.Key("degraded_reason").Value(degraded_reason);
     w.Key("degradation_rung").Value(static_cast<int64_t>(degradation_rung));
+  }
+  if (estimated_error > 0.0) {
+    w.Key("estimated_error").Value(estimated_error);
+  }
+  if (pre_inflation_error > 0.0) {
+    w.Key("pre_inflation_error").Value(pre_inflation_error);
   }
   if (memory_peak_bytes > 0 || memory_leaked_bytes > 0) {
     w.Key("memory_peak_bytes").Value(memory_peak_bytes);

@@ -56,6 +56,14 @@ struct ExecutionProfile {
   /// inflation). `degraded_reason` is empty for ungoverned / undegraded runs.
   std::string degraded_reason;
   int degradation_rung = 0;
+  /// Widest finite relative CI half-width across the answer's output cells —
+  /// the error the system ESTIMATES it returned (0 for exact answers). For
+  /// degraded answers this is measured AFTER the degradation CI inflation;
+  /// `pre_inflation_error` keeps the raw estimator half-width so the
+  /// accuracy auditor can attribute a coverage miss to estimation error
+  /// (pre-inflation CI already too narrow) vs. insufficient inflation.
+  double estimated_error = 0.0;
+  double pre_inflation_error = 0.0;  // 0 for undegraded answers.
   /// Peak live bytes the query's MemoryTracker saw, and the bytes still
   /// charged when the profile was taken (must be 0 — anything else is a
   /// governance accounting leak).

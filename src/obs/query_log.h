@@ -1,0 +1,158 @@
+#ifndef AQP_OBS_QUERY_LOG_H_
+#define AQP_OBS_QUERY_LOG_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace aqp {
+namespace obs {
+
+/// One structured record per query submission — the durable, queryable twin
+/// of the per-result ExecutionProfile. Events are FLAT (no nesting) so the
+/// JSONL sink stays trivially parseable by `jq`, awk, or the aqptop tailer;
+/// stage durations are flattened to per-stage milliseconds. Two kinds share
+/// the schema:
+///   kind="query": one per submission (answered, failed, or rejected);
+///   kind="audit": one per background accuracy-audit verdict (the auditor
+///                 re-executed a sampled answer exactly and compared CIs).
+struct QueryLogEvent {
+  std::string kind = "query";
+  /// Wall-clock seconds since the Unix epoch at event completion.
+  double unix_seconds = 0.0;
+  /// 64-bit hash of the SQL text — stable across restarts, join key between
+  /// query and audit records.
+  uint64_t sql_fingerprint = 0;
+  /// Leading `sql_prefix_chars` characters of the SQL (whole statement when
+  /// it fits) — enough to recognize the query without unbounded log growth.
+  std::string sql;
+  uint64_t session_id = 0;
+  /// "ok", "failed", or "rejected" (admission refused; nothing executed).
+  std::string status;
+  std::string cache_source;  // "result-cache", "synopsis-cache", or empty.
+  int degradation_rung = 0;
+  std::string degraded_reason;
+  /// Widest relative CI half-width of the returned answer (post-inflation),
+  /// and the pre-inflation width for degraded answers. 0 for exact answers.
+  double estimated_error = 0.0;
+  double pre_inflation_error = 0.0;
+  double admission_wait_ms = 0.0;
+  uint64_t queue_depth = 0;
+  uint64_t memory_peak_bytes = 0;
+  /// Submit-to-result wall time (admission wait included).
+  double wall_ms = 0.0;
+  /// Flattened stage durations (query kind; 0 when the stage did not run).
+  double pilot_ms = 0.0;
+  double plan_ms = 0.0;
+  double final_ms = 0.0;
+  bool slow = false;  // wall_ms >= the log's slow-query threshold.
+
+  /// Audit-kind payload (0/empty on query events): which table/rung the
+  /// audited answer came from, how many CI cells were checked, how many
+  /// contained the exact answer, and the worst observed relative error.
+  std::string audited_table;
+  uint64_t audit_cells = 0;
+  uint64_t audit_covered = 0;
+  double observed_error = 0.0;
+
+  /// The event as one flat JSON object (no trailing newline).
+  std::string ToJson() const;
+};
+
+/// Query-log knobs. `FromEnv` overlays the environment on a base config:
+///   AQP_QUERY_LOG            sink path ("" disables the file sink)
+///   AQP_QUERY_LOG_SLOW_MS    slow-query threshold in ms
+///   AQP_QUERY_LOG_MAX_BYTES  sink rotation size cap in bytes
+struct QueryLogOptions {
+  /// In-memory ring capacity in events (most recent kept). Must be >= 1.
+  size_t capacity = 1024;
+  /// JSONL sink path; empty = in-memory ring only.
+  std::string sink_path;
+  /// Events with wall_ms at or above this are flagged slow. <= 0 disables.
+  double slow_query_ms = 500.0;
+  /// When the sink file exceeds this many bytes it is rotated to
+  /// "<path>.1" (replacing any previous rotation) and restarted. 0 = never.
+  uint64_t max_file_bytes = 64ull << 20;
+  /// SQL text stored per event (prefix); the fingerprint always hashes the
+  /// full statement.
+  size_t sql_prefix_chars = 192;
+
+  static QueryLogOptions FromEnv(QueryLogOptions base);
+  static QueryLogOptions FromEnv() { return FromEnv(QueryLogOptions()); }
+};
+
+/// Point-in-time log counters.
+struct QueryLogStats {
+  uint64_t appended = 0;      // Events accepted into the ring.
+  uint64_t slow = 0;          // Events flagged slow.
+  uint64_t sink_written = 0;  // Events flushed to the JSONL sink.
+  uint64_t sink_dropped = 0;  // Events dropped because the flusher lagged.
+  uint64_t rotations = 0;     // Sink file rotations performed.
+};
+
+/// Always-on, bounded, lock-light query log: a fixed-capacity in-memory
+/// ring of the most recent events plus an optional JSONL file sink drained
+/// by a background flusher thread. Append() does no I/O and no JSON
+/// serialization — it stamps the slow flag, copies the event into the ring,
+/// and (when a sink is configured) enqueues it for the flusher — so logging
+/// stays off the foreground latency path by construction. The flusher
+/// queue is bounded at 4x the ring capacity; if the flusher cannot keep up
+/// the OLDEST pending events are dropped and counted (`sink_dropped`)
+/// rather than ever back-pressuring query threads. Thread-safe.
+class QueryLog {
+ public:
+  explicit QueryLog(QueryLogOptions options = {});
+  ~QueryLog();
+  QueryLog(const QueryLog&) = delete;
+  QueryLog& operator=(const QueryLog&) = delete;
+
+  /// Records one event (stamps `slow`; `unix_seconds` is stamped here when
+  /// the caller left it 0).
+  void Append(QueryLogEvent event);
+
+  /// The most recent `last_n` events, oldest first (0 = everything the ring
+  /// holds).
+  std::vector<QueryLogEvent> Snapshot(size_t last_n = 0) const;
+
+  /// Blocks until every event appended so far is on disk (no-op without a
+  /// sink). Tests and shutdown use this; production never needs to.
+  void Flush();
+
+  QueryLogStats stats() const;
+  const QueryLogOptions& options() const { return options_; }
+
+ private:
+  void FlusherLoop();
+  void WriteEvents(const std::vector<QueryLogEvent>& batch);
+  void RotateLocked();  // Called from the flusher with file_mu_ held.
+
+  const QueryLogOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<QueryLogEvent> ring_;  // Capacity-sized; seq_ % capacity slots.
+  uint64_t seq_ = 0;                 // Events ever appended.
+  uint64_t slow_ = 0;
+  std::deque<QueryLogEvent> pending_;  // Awaiting the flusher.
+  uint64_t sink_written_ = 0;
+  uint64_t sink_dropped_ = 0;
+  uint64_t rotations_ = 0;
+  bool stop_ = false;
+  std::condition_variable flusher_cv_;  // Wakes the flusher.
+  std::condition_variable flushed_cv_;  // Wakes Flush() waiters.
+  bool flusher_idle_ = true;
+
+  std::mutex file_mu_;
+  std::FILE* file_ = nullptr;
+  uint64_t file_bytes_ = 0;
+  std::thread flusher_;
+};
+
+}  // namespace obs
+}  // namespace aqp
+
+#endif  // AQP_OBS_QUERY_LOG_H_

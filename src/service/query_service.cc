@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "sql/parser.h"
@@ -19,25 +20,51 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// Stamps the service-tier fields onto a result's profile and prepends an
-/// "admission" span so EXPLAIN ANALYZE shows the time spent waiting at the
-/// front door next to the time spent executing.
+/// Stamps the service-tier fields onto a result's profile and installs the
+/// submit-scoped trace (admission → cache → rungs → morsels) as the
+/// profile's span tree, so EXPLAIN ANALYZE shows the time spent waiting at
+/// the front door next to the time spent executing. `trace` is finished
+/// here — the submission is over.
 void StampProfile(core::ApproxResult* result, double wait_seconds,
-                  uint64_t queue_depth, std::string cache_source) {
+                  uint64_t queue_depth, std::string cache_source,
+                  obs::QueryTrace* trace) {
   obs::ExecutionProfile& profile = result->profile;
   profile.admission_wait_seconds = wait_seconds;
   profile.queue_depth_at_admission = queue_depth;
   profile.cache_source = std::move(cache_source);
-  if (obs::Enabled()) {
-    auto span = std::make_unique<obs::SpanRecord>();
-    span->name = "admission";
-    span->start_seconds = 0.0;
-    span->duration_seconds = wait_seconds;
-    span->open = false;
-    span->attrs.emplace_back("queue_depth", std::to_string(queue_depth));
-    auto& children = profile.trace.mutable_root().children;
-    children.insert(children.begin(), std::move(span));
+  if (trace != nullptr) {
+    trace->Finish();
+    // Move, not copy: the submission is over and nobody reads the original
+    // again, so the span tree transfers without re-allocating every node.
+    profile.trace = std::move(*trace);
   }
+}
+
+/// One query-log event from a completed (or refused) submission.
+obs::QueryLogEvent MakeEvent(const std::string& sql, uint64_t session_id,
+                             const char* status, double wait_seconds,
+                             uint64_t queue_depth, double wall_seconds,
+                             const obs::ExecutionProfile* profile) {
+  obs::QueryLogEvent e;
+  e.sql = sql;
+  e.sql_fingerprint = HashString(sql);
+  e.session_id = session_id;
+  e.status = status;
+  e.admission_wait_ms = wait_seconds * 1e3;
+  e.queue_depth = queue_depth;
+  e.wall_ms = wall_seconds * 1e3;
+  if (profile != nullptr) {
+    e.cache_source = profile->cache_source;
+    e.degradation_rung = profile->degradation_rung;
+    e.degraded_reason = profile->degraded_reason;
+    e.estimated_error = profile->estimated_error;
+    e.pre_inflation_error = profile->pre_inflation_error;
+    e.memory_peak_bytes = profile->memory_peak_bytes;
+    e.pilot_ms = profile->pilot_seconds * 1e3;
+    e.plan_ms = profile->planning_seconds * 1e3;
+    e.final_ms = profile->final_seconds * 1e3;
+  }
+  return e;
 }
 
 void RecordQueryMetrics(double wait_seconds, double exec_seconds,
@@ -65,7 +92,9 @@ QueryService::QueryService(const Catalog* catalog, ServiceOptions options)
       options_(std::move(options)),
       admission_(options_.admission),
       synopsis_cache_(options_.synopsis_cache_bytes, &cache_memory_),
-      result_cache_(options_.result_cache_bytes, &cache_memory_) {
+      result_cache_(options_.result_cache_bytes, &cache_memory_),
+      query_log_(obs::QueryLogOptions::FromEnv(options_.query_log)),
+      auditor_(catalog, AuditOptions::FromEnv(options_.audit), &query_log_) {
   // Without enough pool workers, admitted queries would queue behind each
   // other inside the pool and the admission bound would be a fiction.
   ThreadPool::Shared().EnsureAtLeast(options_.admission.max_inflight);
@@ -99,19 +128,34 @@ std::future<Result<core::ApproxResult>> QueryService::Submit(
       return future;
     }
   }
+  session->submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  // The submission's one span tree starts here, so everything that happens
+  // to it — admission wait included — nests under a single root. The trace
+  // crosses the pool boundary by shared_ptr (Post needs copyable tasks).
+  std::shared_ptr<obs::QueryTrace> trace;
+  if (obs::Enabled()) trace = std::make_shared<obs::QueryTrace>("submit");
 
   // Admission blocks the SUBMITTING thread: overload is backpressure to the
   // client, not an unbounded internal queue.
   auto wait_start = std::chrono::steady_clock::now();
+  obs::TraceSpan admission_span = obs::MaybeSpan(trace.get(), "admission");
   uint64_t queue_depth = 0;
   Status admitted = admission_.Acquire(&queue_depth);
   double wait_seconds = SecondsSince(wait_start);
+  admission_span.AddAttr("queue_depth", queue_depth);
+  admission_span.End();
   if (!admitted.ok()) {
     if (obs::Enabled()) {
       obs::MetricsRegistry::Global()
           .GetCounter("service.rejected")
           ->Increment();
     }
+    session->rejected_.fetch_add(1, std::memory_order_relaxed);
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    query_log_.Append(MakeEvent(submission.sql, session->id(), "rejected",
+                                wait_seconds, queue_depth, wait_seconds,
+                                /*profile=*/nullptr));
     promise->set_value(std::move(admitted));
     return future;
   }
@@ -128,9 +172,13 @@ std::future<Result<core::ApproxResult>> QueryService::Submit(
   }
   ThreadPool::Shared().Post([this, promise, session = std::move(session),
                              submission = std::move(submission), wait_seconds,
-                             queue_depth]() mutable {
-    Result<core::ApproxResult> result =
-        RunAdmitted(*session, submission, wait_seconds, queue_depth);
+                             queue_depth, trace = std::move(trace)]() mutable {
+    Result<core::ApproxResult> result = RunAdmitted(
+        *session, submission, wait_seconds, queue_depth, trace.get());
+    (result.ok() ? session->ok_ : session->failed_)
+        .fetch_add(1, std::memory_order_relaxed);
+    (result.ok() ? queries_ok_ : queries_failed_)
+        .fetch_add(1, std::memory_order_relaxed);
     admission_.Release();
     {
       // Last member access: after outstanding_ hits 0 the destructor may
@@ -151,7 +199,7 @@ Result<core::ApproxResult> QueryService::Execute(
 
 Result<core::ApproxResult> QueryService::RunAdmitted(
     Session& session, const Submission& submission, double wait_seconds,
-    uint64_t queue_depth) {
+    uint64_t queue_depth, obs::QueryTrace* trace) {
   auto exec_start = std::chrono::steady_clock::now();
 
   gov::GovernedOptions gopts = options_.gov;
@@ -204,6 +252,7 @@ Result<core::ApproxResult> QueryService::RunAdmitted(
   uint64_t fingerprint = 0;
   const bool fingerprint_ok = versions_ok && options_.use_result_cache;
   if (fingerprint_ok) {
+    obs::TraceSpan probe_span = obs::MaybeSpan(trace, "result-cache");
     ContractFingerprint contract;
     contract.deadline_ms = gopts.deadline_ms;
     contract.memory_budget_bytes = gopts.memory_budget_bytes;
@@ -212,12 +261,19 @@ Result<core::ApproxResult> QueryService::RunAdmitted(
     fingerprint = FingerprintQuery(submission.sql, versions, contract);
     if (std::shared_ptr<const core::ApproxResult> cached =
             result_cache_.Lookup(fingerprint)) {
+      probe_span.AddAttr("hit", "true");
+      probe_span.End();
       core::ApproxResult result = *cached;  // Deep copy; cache stays immutable.
-      StampProfile(&result, wait_seconds, queue_depth, "result-cache");
+      StampProfile(&result, wait_seconds, queue_depth, "result-cache", trace);
+      double wall_seconds = wait_seconds + SecondsSince(exec_start);
+      query_log_.Append(MakeEvent(submission.sql, session.id(), "ok",
+                                  wait_seconds, queue_depth, wall_seconds,
+                                  &result.profile));
       RecordQueryMetrics(wait_seconds, SecondsSince(exec_start),
                          "result_cache_hit");
       return result;
     }
+    probe_span.AddAttr("hit", "false");
   }
 
   // Synopsis cache: adopt shared stored samples into this query's private
@@ -226,6 +282,7 @@ Result<core::ApproxResult> QueryService::RunAdmitted(
   core::SampleCatalog synopsis_view;
   bool adopted = false;
   if (options_.use_synopsis_cache && versions_ok) {
+    obs::TraceSpan synopsis_span = obs::MaybeSpan(trace, "synopsis-cache");
     for (const auto& [table, version] : versions) {
       (void)version;  // The cache re-reads the live version under its lock.
       Result<uint64_t> rows = catalog_->Cardinality(table);
@@ -249,6 +306,7 @@ Result<core::ApproxResult> QueryService::RunAdmitted(
         }
       }
     }
+    synopsis_span.AddAttr("adopted", adopted ? "true" : "false");
   }
 
   // The query's own tracker chains to the session's: EITHER budget trips
@@ -260,8 +318,12 @@ Result<core::ApproxResult> QueryService::RunAdmitted(
   gov::GovernedExecutor executor(catalog_, adopted ? &synopsis_view : nullptr,
                                  gopts);
   Result<core::ApproxResult> result =
-      executor.ExecuteWithContext(submission.sql, ctx);
+      executor.ExecuteWithContext(submission.sql, ctx, trace);
+  double wall_seconds = wait_seconds + SecondsSince(exec_start);
   if (!result.ok()) {
+    query_log_.Append(MakeEvent(submission.sql, session.id(), "failed",
+                                wait_seconds, queue_depth, wall_seconds,
+                                /*profile=*/nullptr));
     RecordQueryMetrics(wait_seconds, SecondsSince(exec_start), "failed");
     return result;
   }
@@ -271,14 +333,77 @@ Result<core::ApproxResult> QueryService::RunAdmitted(
   if (r.profile.degradation_rung == 1 && adopted) {
     cache_source = "synopsis-cache";
   }
-  StampProfile(&r, wait_seconds, queue_depth, std::move(cache_source));
   // Only undegraded answers are worth replaying: a degraded answer encodes
-  // a transient resource situation, not the query's answer.
+  // a transient resource situation, not the query's answer. Inserted BEFORE
+  // stamping so the cached entry carries no per-submission admission fields
+  // and no span tree (hits would otherwise deep-copy a dead trace).
   if (fingerprint_ok && r.profile.degradation_rung == 0) {
     result_cache_.Insert(fingerprint, r);
   }
+  StampProfile(&r, wait_seconds, queue_depth, std::move(cache_source), trace);
+  query_log_.Append(MakeEvent(submission.sql, session.id(), "ok", wait_seconds,
+                              queue_depth, wall_seconds, &r.profile));
+  // Offer the completed approximate answer to the background accuracy
+  // auditor (result-cache hits returned above — the original execution was
+  // already offered; re-auditing an identical answer adds no information).
+  auditor_.MaybeEnqueue(submission.sql, r);
   RecordQueryMetrics(wait_seconds, SecondsSince(exec_start), "ok");
   return result;
+}
+
+ServiceStatsSnapshot QueryService::StatsSnapshot() const {
+  ServiceStatsSnapshot s;
+  s.admission = admission_.stats();
+  s.result_cache = result_cache_.stats();
+  s.synopsis_cache = synopsis_cache_.stats();
+  s.cache_bytes = cache_memory_.used();
+  s.sessions_opened = next_session_id_.load(std::memory_order_relaxed) - 1;
+  s.queries_ok = queries_ok_.load(std::memory_order_relaxed);
+  s.queries_failed = queries_failed_.load(std::memory_order_relaxed);
+  s.queries_rejected = queries_rejected_.load(std::memory_order_relaxed);
+  s.query_log = query_log_.stats();
+  s.audit = auditor_.stats();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.outstanding = outstanding_;
+  }
+  return s;
+}
+
+void QueryService::PublishStats() const {
+  ServiceStatsSnapshot s = StatsSnapshot();
+  auto& reg = obs::MetricsRegistry::Global();
+  auto set = [&reg](const char* name, double v) {
+    reg.GetGauge(name)->Set(v);
+  };
+  set("service.outstanding", static_cast<double>(s.outstanding));
+  set("service.sessions_opened", static_cast<double>(s.sessions_opened));
+  set("service.queries_ok", static_cast<double>(s.queries_ok));
+  set("service.queries_failed", static_cast<double>(s.queries_failed));
+  set("service.queries_rejected", static_cast<double>(s.queries_rejected));
+  set("service.admission.inflight", static_cast<double>(s.admission.inflight));
+  set("service.admission.queue_depth",
+      static_cast<double>(s.admission.queue_depth));
+  set("service.admission.admitted", static_cast<double>(s.admission.admitted));
+  set("service.cache.bytes", static_cast<double>(s.cache_bytes));
+  set("service.result_cache.hits", static_cast<double>(s.result_cache.hits));
+  set("service.result_cache.misses",
+      static_cast<double>(s.result_cache.misses));
+  set("service.result_cache.entries",
+      static_cast<double>(s.result_cache.entries));
+  set("service.synopsis_cache.hits",
+      static_cast<double>(s.synopsis_cache.hits));
+  set("service.synopsis_cache.builds",
+      static_cast<double>(s.synopsis_cache.builds));
+  set("service.synopsis_cache.entries",
+      static_cast<double>(s.synopsis_cache.entries));
+  set("service.query_log.appended", static_cast<double>(s.query_log.appended));
+  set("service.query_log.slow", static_cast<double>(s.query_log.slow));
+  set("service.query_log.sink_dropped",
+      static_cast<double>(s.query_log.sink_dropped));
+  set("service.audit.audited", static_cast<double>(s.audit.audited));
+  set("service.audit.dropped", static_cast<double>(s.audit.dropped));
+  set("service.audit.coverage_all_time", s.audit.coverage());
 }
 
 }  // namespace service

@@ -15,6 +15,8 @@
 #include "core/approx_executor.h"
 #include "engine/catalog.h"
 #include "gov/governed_executor.h"
+#include "obs/query_log.h"
+#include "service/accuracy_auditor.h"
 #include "service/admission.h"
 #include "service/result_cache.h"
 #include "service/synopsis_cache.h"
@@ -43,6 +45,14 @@ struct ServiceOptions {
 
   bool use_result_cache = true;
   bool use_synopsis_cache = true;
+
+  /// Always-on structured query log (one event per submission) and the
+  /// background accuracy auditor. The environment overlays both at service
+  /// construction (AQP_QUERY_LOG*, AQP_AUDIT_*; see the option structs), so
+  /// an operator can point the log at a file or turn auditing on without a
+  /// rebuild.
+  obs::QueryLogOptions query_log;
+  AuditOptions audit;
 };
 
 /// Per-session limits.
@@ -50,6 +60,14 @@ struct SessionOptions {
   /// Byte cap across everything the session's queries hold live at once
   /// (each query is additionally capped by its own budget); 0 = unlimited.
   uint64_t memory_budget_bytes = 0;
+};
+
+/// Per-session query counters (point-in-time copies of live atomics).
+struct SessionStats {
+  uint64_t submitted = 0;  // Submissions that reached admission.
+  uint64_t ok = 0;
+  uint64_t failed = 0;    // Admitted but execution returned a status.
+  uint64_t rejected = 0;  // Refused at admission (overload/shutdown).
 };
 
 /// One client connection. Sessions exist so that (a) concurrent queries of
@@ -60,6 +78,14 @@ class Session {
  public:
   uint64_t id() const { return id_; }
   const MemoryTracker& memory() const { return memory_; }
+  SessionStats stats() const {
+    SessionStats s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.ok = ok_.load(std::memory_order_relaxed);
+    s.failed = failed_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    return s;
+  }
 
  private:
   friend class QueryService;
@@ -68,6 +94,10 @@ class Session {
 
   const uint64_t id_;
   MemoryTracker memory_;
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> ok_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> rejected_{0};
 };
 
 /// One query submission: SQL plus the per-query slice of the contract.
@@ -100,6 +130,24 @@ struct Submission {
 /// (backpressure to the submitter) and returns a future for the execution
 /// itself; Execute() is the blocking convenience wrapper. The destructor
 /// drains in-flight queries. `catalog` must outlive the service.
+/// Everything the service can report about itself, in one coherent grab:
+/// admission, both caches, in-flight work, service-wide query outcomes, the
+/// query log, and the accuracy auditor. PublishStats() mirrors it into the
+/// global MetricsRegistry for Prometheus export.
+struct ServiceStatsSnapshot {
+  AdmissionStats admission;
+  ResultCacheStats result_cache;
+  SynopsisCacheStats synopsis_cache;
+  uint64_t cache_bytes = 0;  // Combined live footprint of both caches.
+  size_t outstanding = 0;    // Admitted submissions not yet completed.
+  uint64_t sessions_opened = 0;
+  uint64_t queries_ok = 0;
+  uint64_t queries_failed = 0;
+  uint64_t queries_rejected = 0;
+  obs::QueryLogStats query_log;
+  AuditorStats audit;
+};
+
 class QueryService {
  public:
   explicit QueryService(const Catalog* catalog, ServiceOptions options = {});
@@ -124,16 +172,30 @@ class QueryService {
     return synopsis_cache_.stats();
   }
   ResultCacheStats result_cache_stats() const { return result_cache_.stats(); }
+
+  /// One coherent snapshot of everything above plus outstanding work,
+  /// session/query counters, the query log, and the auditor.
+  ServiceStatsSnapshot StatsSnapshot() const;
+  /// Mirrors StatsSnapshot() into `service.*` gauges in the global
+  /// MetricsRegistry so obs::ExportPrometheus carries the service state.
+  void PublishStats() const;
+
+  const obs::QueryLog& query_log() const { return query_log_; }
+  const AccuracyAuditor& auditor() const { return auditor_; }
+  AccuracyAuditor& auditor() { return auditor_; }
   const ServiceOptions& options() const { return options_; }
 
  private:
   /// Runs one admitted submission end to end (pool thread). `wait_seconds`
   /// and `queue_depth` describe the admission the submission just went
-  /// through and are stamped onto the result's profile.
+  /// through and are stamped onto the result's profile; `trace` (null when
+  /// observability is off) is the submit-scoped span tree the admission
+  /// span already lives in.
   Result<core::ApproxResult> RunAdmitted(Session& session,
                                          const Submission& submission,
                                          double wait_seconds,
-                                         uint64_t queue_depth);
+                                         uint64_t queue_depth,
+                                         obs::QueryTrace* trace);
 
   const Catalog* catalog_;
   const ServiceOptions options_;
@@ -144,8 +206,15 @@ class QueryService {
   MemoryTracker cache_memory_;
   SynopsisCache synopsis_cache_;
   ResultCache result_cache_;
+  /// Declared before the auditor: the auditor's worker appends verdicts to
+  /// the log, so it must be destroyed first (reverse declaration order).
+  obs::QueryLog query_log_;
+  AccuracyAuditor auditor_;
 
   std::atomic<uint64_t> next_session_id_{1};
+  std::atomic<uint64_t> queries_ok_{0};
+  std::atomic<uint64_t> queries_failed_{0};
+  std::atomic<uint64_t> queries_rejected_{0};
 
   mutable std::mutex mu_;
   std::condition_variable drained_cv_;

@@ -1,0 +1,248 @@
+#include "obs/query_log.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace obs {
+namespace {
+
+QueryLogEvent Event(uint64_t session, double wall_ms,
+                    const std::string& sql = "SELECT 1") {
+  QueryLogEvent e;
+  e.sql = sql;
+  e.sql_fingerprint = session * 1000 + static_cast<uint64_t>(wall_ms);
+  e.session_id = session;
+  e.status = "ok";
+  e.wall_ms = wall_ms;
+  return e;
+}
+
+std::string TempPath(const std::string& tag) {
+  return ::testing::TempDir() + "query_log_test_" + tag + ".jsonl";
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(QueryLogTest, RingKeepsTheMostRecentEventsInOrder) {
+  QueryLogOptions opts;
+  opts.capacity = 4;
+  QueryLog log(opts);
+  for (int i = 0; i < 10; ++i) log.Append(Event(/*session=*/i, /*wall_ms=*/i));
+
+  std::vector<QueryLogEvent> all = log.Snapshot();
+  ASSERT_EQ(all.size(), 4u);  // Ring capacity, not everything appended.
+  EXPECT_EQ(all.front().session_id, 6u);  // Oldest survivor first.
+  EXPECT_EQ(all.back().session_id, 9u);
+
+  std::vector<QueryLogEvent> last2 = log.Snapshot(2);
+  ASSERT_EQ(last2.size(), 2u);
+  EXPECT_EQ(last2[0].session_id, 8u);
+  EXPECT_EQ(last2[1].session_id, 9u);
+
+  EXPECT_EQ(log.stats().appended, 10u);
+}
+
+TEST(QueryLogTest, SnapshotBeforeTheRingFillsReturnsOnlyRealEvents) {
+  QueryLog log;
+  log.Append(Event(1, 1.0));
+  log.Append(Event(2, 2.0));
+  std::vector<QueryLogEvent> all = log.Snapshot();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].session_id, 1u);
+  EXPECT_EQ(all[1].session_id, 2u);
+}
+
+TEST(QueryLogTest, SlowFlagFollowsTheThreshold) {
+  QueryLogOptions opts;
+  opts.slow_query_ms = 100.0;
+  QueryLog log(opts);
+  log.Append(Event(1, 99.0));
+  log.Append(Event(2, 100.0));
+  log.Append(Event(3, 250.0));
+  std::vector<QueryLogEvent> all = log.Snapshot();
+  EXPECT_FALSE(all[0].slow);
+  EXPECT_TRUE(all[1].slow);
+  EXPECT_TRUE(all[2].slow);
+  EXPECT_EQ(log.stats().slow, 2u);
+}
+
+TEST(QueryLogTest, AppendStampsTimeAndTruncatesSqlButKeepsFingerprint) {
+  QueryLogOptions opts;
+  opts.sql_prefix_chars = 8;
+  QueryLog log(opts);
+  QueryLogEvent e = Event(1, 1.0, "SELECT SUM(x) FROM a_rather_long_table");
+  e.sql_fingerprint = 777;
+  log.Append(e);
+  QueryLogEvent back = log.Snapshot()[0];
+  EXPECT_EQ(back.sql, "SELECT S");      // Prefix only...
+  EXPECT_EQ(back.sql_fingerprint, 777u);  // ...full-statement fingerprint.
+  EXPECT_GT(back.unix_seconds, 0.0);    // Stamped at append.
+}
+
+TEST(QueryLogTest, JsonlSinkWritesOneFlatObjectPerEvent) {
+  std::string path = TempPath("sink");
+  std::remove(path.c_str());
+  {
+    QueryLogOptions opts;
+    opts.sink_path = path;
+    QueryLog log(opts);
+    QueryLogEvent e = Event(7, 12.5, "SELECT COUNT(*) FROM t");
+    e.cache_source = "result-cache";
+    e.estimated_error = 0.0125;
+    log.Append(e);
+    log.Flush();
+    EXPECT_EQ(log.stats().sink_written, 1u);
+  }  // Destructor joins the flusher.
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  EXPECT_NE(line.find("\"kind\":\"query\""), std::string::npos);
+  EXPECT_NE(line.find("\"session_id\":7"), std::string::npos);
+  EXPECT_NE(line.find("\"cache_source\":\"result-cache\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"wall_ms\":12.5"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // One line per event.
+  std::remove(path.c_str());
+}
+
+TEST(QueryLogTest, AuditEventsCarryTheAuditPayload) {
+  QueryLogEvent e;
+  e.kind = "audit";
+  e.audited_table = "t";
+  e.audit_cells = 3;
+  e.audit_covered = 2;
+  e.observed_error = 0.04;
+  std::string json = e.ToJson();
+  EXPECT_NE(json.find("\"kind\":\"audit\""), std::string::npos);
+  EXPECT_NE(json.find("\"audited_table\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"audit_cells\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"audit_covered\":2"), std::string::npos);
+  // Query events omit the audit payload entirely.
+  EXPECT_EQ(Event(1, 1.0).ToJson().find("audit_cells"), std::string::npos);
+}
+
+TEST(QueryLogTest, SinkRotatesAtTheSizeCapAndKeepsOneOldFile) {
+  std::string path = TempPath("rotate");
+  std::string rotated = path + ".1";
+  std::remove(path.c_str());
+  std::remove(rotated.c_str());
+  {
+    QueryLogOptions opts;
+    opts.sink_path = path;
+    opts.max_file_bytes = 2048;  // A handful of events per file.
+    QueryLog log(opts);
+    for (int i = 0; i < 64; ++i) {
+      log.Append(Event(i, 1.0, "SELECT SUM(x) FROM t WHERE k < 10"));
+    }
+    log.Flush();
+    EXPECT_GT(log.stats().rotations, 0u);
+    EXPECT_EQ(log.stats().sink_written, 64u);
+  }
+  // Every surviving line is valid (starts a flat JSON object) and the live
+  // file respects the cap; the previous generation exists.
+  std::vector<std::string> live = ReadLines(path);
+  std::vector<std::string> old = ReadLines(rotated);
+  EXPECT_FALSE(live.empty());
+  EXPECT_FALSE(old.empty());
+  for (const std::string& l : live) EXPECT_EQ(l.front(), '{');
+  std::remove(path.c_str());
+  std::remove(rotated.c_str());
+}
+
+TEST(QueryLogTest, TwoLogsOnOneSinkPathKeepEveryLineValid) {
+  // Two services in one process can legitimately point at the same sink
+  // (e.g. both constructed under AQP_QUERY_LOG). Their flushers append
+  // concurrently; lines may interleave but every line must stay whole.
+  std::string path = TempPath("shared");
+  std::remove(path.c_str());
+  {
+    QueryLogOptions opts;
+    opts.sink_path = path;
+    QueryLog a(opts);
+    QueryLog b(opts);
+    std::thread ta([&a] {
+      for (int i = 0; i < 200; ++i) a.Append(Event(1, i, "SELECT 'aaaa'"));
+    });
+    std::thread tb([&b] {
+      for (int i = 0; i < 200; ++i) b.Append(Event(2, i, "SELECT 'bbbb'"));
+    });
+    ta.join();
+    tb.join();
+    a.Flush();
+    b.Flush();
+  }
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 400u);
+  for (const std::string& l : lines) {
+    EXPECT_EQ(l.front(), '{') << l;
+    EXPECT_EQ(l.back(), '}') << l;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(QueryLogTest, ConcurrentAppendersLoseNothingInTheCounters) {
+  QueryLogOptions opts;
+  opts.capacity = 64;
+  QueryLog log(opts);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Append(Event(t, static_cast<double>(i)));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(log.stats().appended,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(log.Snapshot().size(), 64u);
+}
+
+TEST(QueryLogTest, FlushWithoutASinkIsANoOp) {
+  QueryLog log;
+  log.Append(Event(1, 1.0));
+  log.Flush();  // Must not hang or crash.
+  EXPECT_EQ(log.stats().sink_written, 0u);
+  EXPECT_EQ(log.stats().sink_dropped, 0u);
+}
+
+TEST(QueryLogOptionsTest, FromEnvOverlaysOnTheBase) {
+  QueryLogOptions base;
+  base.capacity = 7;
+  base.slow_query_ms = 123.0;
+  ::setenv("AQP_QUERY_LOG", "/tmp/ql.jsonl", 1);
+  ::setenv("AQP_QUERY_LOG_SLOW_MS", "250", 1);
+  ::setenv("AQP_QUERY_LOG_MAX_BYTES", "1024", 1);
+  QueryLogOptions opts = QueryLogOptions::FromEnv(base);
+  EXPECT_EQ(opts.capacity, 7u);  // Untouched by the env.
+  EXPECT_EQ(opts.sink_path, "/tmp/ql.jsonl");
+  EXPECT_EQ(opts.slow_query_ms, 250.0);
+  EXPECT_EQ(opts.max_file_bytes, 1024u);
+  ::unsetenv("AQP_QUERY_LOG");
+  ::unsetenv("AQP_QUERY_LOG_SLOW_MS");
+  ::unsetenv("AQP_QUERY_LOG_MAX_BYTES");
+  QueryLogOptions clean = QueryLogOptions::FromEnv(base);
+  EXPECT_EQ(clean.slow_query_ms, 123.0);
+  EXPECT_TRUE(clean.sink_path.empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace aqp

@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <string>
+#include <thread>
 #include <utility>
 
 #include <gtest/gtest.h>
@@ -131,6 +132,89 @@ TEST(TraceTest, CopyIsDeepAndIndependent) {
   { TraceSpan extra = copy.Span("extra"); }
   EXPECT_EQ(copy.root().children.size(), 2u);
   EXPECT_EQ(trace.root().children.size(), 1u);
+}
+
+TEST(TraceTest, CopyWhileSpansAreOpenResetsTheCursorToTheRoot) {
+  QueryTrace trace("query");
+  TraceSpan outer = trace.Span("outer");
+  TraceSpan inner = trace.Span("inner");  // Both still open.
+
+  QueryTrace copy = trace;
+  // The copy preserved the tree shape (open flags included)...
+  ASSERT_EQ(copy.root().children.size(), 1u);
+  EXPECT_TRUE(copy.root().children[0]->open);
+  EXPECT_TRUE(copy.root().children[0]->children[0]->open);
+  // ...but its cursor is at the root: a new span lands as a root child, NOT
+  // under the copied (open) "inner" span, whose TraceSpan handles still
+  // point into the ORIGINAL tree.
+  { TraceSpan fresh = copy.Span("fresh"); }
+  ASSERT_EQ(copy.root().children.size(), 2u);
+  EXPECT_EQ(copy.root().children[1]->name, "fresh");
+
+  // The original's cursor is untouched: its next span nests under "inner".
+  { TraceSpan nested = trace.Span("nested"); }
+  inner.End();
+  outer.End();
+  ASSERT_EQ(trace.root().children.size(), 1u);
+  const SpanRecord& orig_inner = *trace.root().children[0]->children[0];
+  ASSERT_EQ(orig_inner.children.size(), 1u);
+  EXPECT_EQ(orig_inner.children[0]->name, "nested");
+}
+
+TEST(TraceTest, CopyAssignmentReplacesTheTreeDeeply) {
+  QueryTrace a("a");
+  { TraceSpan s = a.Span("a-stage"); }
+  a.Finish();
+  QueryTrace b("b");
+  { TraceSpan s = b.Span("b-stage"); }
+  b = a;
+  ASSERT_EQ(b.root().children.size(), 1u);
+  EXPECT_EQ(b.root().name, "a");
+  EXPECT_EQ(b.root().children[0]->name, "a-stage");
+  b.mutable_root().children[0]->name = "mutated";
+  EXPECT_EQ(a.root().children[0]->name, "a-stage");
+}
+
+TEST(TraceTest, MoveTransfersTheTreeWithoutReallocation) {
+  QueryTrace trace("query");
+  { TraceSpan s = trace.Span("stage"); }
+  trace.Finish();
+  const SpanRecord* stable = &trace.root();
+  QueryTrace moved = std::move(trace);
+  // The span tree lives behind a stable pointer: moving the trace moves the
+  // tree itself, which is what lets the service hand a finished submit
+  // trace to the result profile without copying every node.
+  EXPECT_EQ(&moved.root(), stable);
+  ASSERT_EQ(moved.root().children.size(), 1u);
+  EXPECT_EQ(moved.root().children[0]->name, "stage");
+}
+
+TEST(TraceTest, MaybeSpanNestsAcrossThreads) {
+  // The service pattern: the submitting thread opens the trace and an
+  // admission span, then the pool thread continues the SAME trace. The
+  // trace is not thread-safe, but strictly sequential cross-thread use
+  // (with a happens-before edge, here thread join) must nest correctly.
+  QueryTrace trace("submit");
+  TraceSpan admission = MaybeSpan(&trace, "admission");
+  admission.End();
+
+  std::thread pool_thread([&trace] {
+    TraceSpan exec = MaybeSpan(&trace, "execute");
+    TraceSpan morsel = MaybeSpan(&trace, "morsel");  // Child of execute.
+    morsel.AddAttr("index", uint64_t{0});
+    morsel.End();
+    exec.End();
+  });
+  pool_thread.join();
+  trace.Finish();
+
+  ASSERT_EQ(trace.root().children.size(), 2u);
+  EXPECT_EQ(trace.root().children[0]->name, "admission");
+  const SpanRecord& exec = *trace.root().children[1];
+  EXPECT_EQ(exec.name, "execute");
+  ASSERT_EQ(exec.children.size(), 1u);
+  EXPECT_EQ(exec.children[0]->name, "morsel");
+  EXPECT_FALSE(exec.open);
 }
 
 }  // namespace

@@ -3,12 +3,14 @@
 #include <atomic>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "gov/fault_injector.h"
+#include "obs/metrics.h"
 #include "workload/datagen.h"
 
 namespace aqp {
@@ -268,6 +270,179 @@ TEST_F(QueryServiceTest, DestructorDrainsInflightQueries) {
   }  // Destructor must wait for the in-flight query.
   auto r = future.get();
   EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST_F(QueryServiceTest, StatsSnapshotAggregatesServiceAndSessionCounters) {
+  gov::ScopedFaultInjection quiet;
+  QueryService service(&catalog_, Options());
+  auto session = service.OpenSession();
+
+  ASSERT_TRUE(service.Execute(session, {kSumQuery}).ok());
+  ASSERT_TRUE(service.Execute(session, {kSumQuery}).ok());  // Cache hit.
+  ASSERT_FALSE(service.Execute(session, {"SELEKT oops"}).ok());
+
+  ServiceStatsSnapshot snap = service.StatsSnapshot();
+  EXPECT_EQ(snap.queries_ok, 2u);
+  EXPECT_EQ(snap.queries_failed, 1u);
+  EXPECT_EQ(snap.queries_rejected, 0u);
+  EXPECT_EQ(snap.outstanding, 0u);
+  EXPECT_EQ(snap.sessions_opened, 1u);
+  EXPECT_EQ(snap.admission.admitted, 3u);
+  EXPECT_EQ(snap.result_cache.hits, 1u);
+  EXPECT_GT(snap.cache_bytes, 0u);  // The cached first answer is resident.
+  EXPECT_EQ(snap.query_log.appended, 3u);  // One event per submission.
+
+  SessionStats ss = session->stats();
+  EXPECT_EQ(ss.submitted, 3u);
+  EXPECT_EQ(ss.ok, 2u);
+  EXPECT_EQ(ss.failed, 1u);
+  EXPECT_EQ(ss.rejected, 0u);
+}
+
+TEST_F(QueryServiceTest, PublishStatsMirrorsTheSnapshotIntoMetrics) {
+  gov::ScopedFaultInjection quiet;
+  bool was_enabled = obs::MetricsRegistry::Global().enabled();
+  obs::MetricsRegistry::Global().set_enabled(true);
+  QueryService service(&catalog_, Options());
+  auto session = service.OpenSession();
+  ASSERT_TRUE(service.Execute(session, {kSumQuery}).ok());
+
+  service.PublishStats();
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  EXPECT_EQ(reg.GetGauge("service.queries_ok")->value(), 1.0);
+  EXPECT_EQ(reg.GetGauge("service.sessions_opened")->value(), 1.0);
+  EXPECT_EQ(reg.GetGauge("service.outstanding")->value(), 0.0);
+  EXPECT_EQ(reg.GetGauge("service.query_log.appended")->value(), 1.0);
+  obs::MetricsRegistry::Global().set_enabled(was_enabled);
+}
+
+TEST_F(QueryServiceTest, QueryLogRecordsOneEventPerSubmission) {
+  gov::ScopedFaultInjection quiet;
+  QueryService service(&catalog_, Options());
+  auto session = service.OpenSession();
+
+  ASSERT_TRUE(service.Execute(session, {kSumQuery}).ok());
+  ASSERT_TRUE(service.Execute(session, {kSumQuery}).ok());
+  ASSERT_FALSE(service.Execute(session, {"SELEKT oops"}).ok());
+
+  std::vector<obs::QueryLogEvent> events = service.query_log().Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, "query");
+  EXPECT_EQ(events[0].status, "ok");
+  EXPECT_TRUE(events[0].cache_source.empty());
+  EXPECT_EQ(events[0].session_id, session->id());
+  EXPECT_GT(events[0].wall_ms, 0.0);
+  EXPECT_GE(events[0].admission_wait_ms, 0.0);
+  EXPECT_GT(events[0].estimated_error, 0.0);
+
+  EXPECT_EQ(events[1].status, "ok");
+  EXPECT_EQ(events[1].cache_source, "result-cache");
+  // Identical SQL fingerprints identically — the join key works.
+  EXPECT_EQ(events[0].sql_fingerprint, events[1].sql_fingerprint);
+
+  EXPECT_EQ(events[2].status, "failed");
+  EXPECT_NE(events[2].sql_fingerprint, events[0].sql_fingerprint);
+}
+
+TEST_F(QueryServiceTest, RejectedSubmissionsAreLoggedToo) {
+  gov::ScopedFaultInjection quiet;
+  ServiceOptions opts = Options();
+  opts.admission.max_inflight = 1;
+  opts.admission.max_queue = 1;
+  opts.admission.queue_timeout_ms = 50;
+  opts.use_result_cache = false;
+  QueryService service(&catalog_, opts);
+
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto session = service.OpenSession();
+      for (int i = 0; i < 4; ++i) {
+        (void)service.Execute(session, {kSumQuery});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ServiceStatsSnapshot snap = service.StatsSnapshot();
+  ASSERT_GT(snap.queries_rejected, 0u);
+  EXPECT_EQ(snap.query_log.appended,
+            snap.queries_ok + snap.queries_failed + snap.queries_rejected);
+  uint64_t rejected_events = 0;
+  for (const obs::QueryLogEvent& e : service.query_log().Snapshot()) {
+    if (e.status == "rejected") ++rejected_events;
+  }
+  EXPECT_EQ(rejected_events, snap.queries_rejected);
+}
+
+TEST_F(QueryServiceTest, DegradedAnswerRecordsPreAndPostInflationError) {
+  gov::ScopedFaultInjection quiet;
+  QueryService service(&catalog_, Options());
+  auto session = service.OpenSession();
+
+  Submission submission{kSumQuery};
+  submission.deadline_ms = 0;  // Forces a degraded (rung >= 1) answer.
+  auto r = service.Execute(session, submission);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const obs::ExecutionProfile& profile = r.value().profile;
+  ASSERT_GE(profile.degradation_rung, 1);
+  // The degraded answer's CIs were widened: both the error actually
+  // achieved by the rung (pre-inflation) and the error reported to the
+  // client (post-inflation) are on the profile, and inflation only widens.
+  EXPECT_GT(profile.pre_inflation_error, 0.0);
+  EXPECT_GT(profile.estimated_error, profile.pre_inflation_error);
+
+  // The query log carries both numbers.
+  std::vector<obs::QueryLogEvent> events = service.query_log().Snapshot();
+  ASSERT_FALSE(events.empty());
+  const obs::QueryLogEvent& e = events.back();
+  EXPECT_EQ(e.degradation_rung, profile.degradation_rung);
+  EXPECT_EQ(e.pre_inflation_error, profile.pre_inflation_error);
+  EXPECT_EQ(e.estimated_error, profile.estimated_error);
+}
+
+TEST_F(QueryServiceTest, AuditorSamplesCompletedAnswersThroughTheService) {
+  gov::ScopedFaultInjection quiet;
+  ServiceOptions opts = Options();
+  opts.audit.fraction = 1.0;
+  opts.use_result_cache = false;  // Every submission is a fresh answer.
+  QueryService service(&catalog_, opts);
+  auto session = service.OpenSession();
+
+  for (int i = 0; i < 3; ++i) {
+    std::string sql =
+        "SELECT SUM(extendedprice) AS s FROM lineitem WHERE quantity < " +
+        std::to_string(20 + i) + " WITH ERROR 5% CONFIDENCE 95%";
+    ASSERT_TRUE(service.Execute(session, {sql}).ok());
+  }
+  service.auditor().Drain();
+
+  AuditorStats s = service.auditor().stats();
+  EXPECT_EQ(s.eligible, 3u);
+  EXPECT_EQ(s.audited + s.failed, 3u);
+  EXPECT_GT(s.cells, 0u);
+
+  // Audit verdicts land in the same query log as the queries they audited,
+  // joinable by fingerprint.
+  uint64_t audit_events = 0;
+  for (const obs::QueryLogEvent& e : service.query_log().Snapshot()) {
+    if (e.kind == "audit") {
+      ++audit_events;
+      EXPECT_EQ(e.audited_table, "lineitem");
+    }
+  }
+  EXPECT_EQ(audit_events, s.audited + s.failed);
+}
+
+TEST_F(QueryServiceTest, AuditingDisabledByDefault) {
+  gov::ScopedFaultInjection quiet;
+  QueryService service(&catalog_, Options());
+  auto session = service.OpenSession();
+  ASSERT_TRUE(service.Execute(session, {kSumQuery}).ok());
+  EXPECT_FALSE(service.auditor().enabled());
+  EXPECT_EQ(service.auditor().stats().eligible, 0u);
 }
 
 }  // namespace
