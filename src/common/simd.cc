@@ -1,0 +1,184 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+#if defined(AQP_HAVE_AVX2)
+#include "common/simd_internal.h"
+#endif
+
+namespace aqp {
+namespace simd {
+namespace {
+
+// Portable kernels. Simple per-element loops over byte masks and dense
+// spans: the shapes GCC/Clang autovectorize at -O3 without any intrinsics,
+// and the reference the AVX2 TU must match bit for bit.
+
+template <typename T, typename Cmp>
+void CmpMaskImpl(const T* x, const uint8_t* valid, size_t n, uint8_t* out,
+                 Cmp cmp) {
+  if (valid == nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = cmp(x[i]) ? kMaskTrue : kMaskFalse;
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = valid[i] ? (cmp(x[i]) ? kMaskTrue : kMaskFalse) : kMaskNull;
+  }
+}
+
+// The comparison formulas mirror the row engine's three-way comparator
+// (x < c ? -1 : x > c ? 1 : 0), under which an unordered pair (NaN) compares
+// as "equal": Eq/Le/Ge hold, Ne/Lt/Gt do not. Hence Eq is !(x<c)&&!(x>c),
+// not x==c.
+template <typename T, typename U>
+void CmpMaskDispatch(const T* x, const uint8_t* valid, size_t n, U c,
+                     CmpOp op, uint8_t* out) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpMaskImpl(x, valid, n, out,
+                         [c](T v) { return !(U(v) < c) && !(U(v) > c); });
+    case CmpOp::kNe:
+      return CmpMaskImpl(x, valid, n, out,
+                         [c](T v) { return U(v) < c || U(v) > c; });
+    case CmpOp::kLt:
+      return CmpMaskImpl(x, valid, n, out, [c](T v) { return U(v) < c; });
+    case CmpOp::kLe:
+      return CmpMaskImpl(x, valid, n, out, [c](T v) { return !(U(v) > c); });
+    case CmpOp::kGt:
+      return CmpMaskImpl(x, valid, n, out, [c](T v) { return U(v) > c; });
+    case CmpOp::kGe:
+      return CmpMaskImpl(x, valid, n, out, [c](T v) { return !(U(v) < c); });
+  }
+}
+
+Backend DetectBackend() {
+#if defined(AQP_HAVE_AVX2)
+  const char* env = std::getenv("AQP_SIMD");
+  if (env != nullptr && std::string_view(env) == "scalar") {
+    return Backend::kScalar;
+  }
+  if (__builtin_cpu_supports("avx2")) return Backend::kAvx2;
+#endif
+  return Backend::kScalar;
+}
+
+std::atomic<Backend>& BackendSlot() {
+  static std::atomic<Backend> backend{DetectBackend()};
+  return backend;
+}
+
+}  // namespace
+
+Backend ActiveBackend() {
+  return BackendSlot().load(std::memory_order_relaxed);
+}
+
+bool Avx2Available() {
+#if defined(AQP_HAVE_AVX2)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+void SetBackendForTest(Backend backend) {
+  if (backend == Backend::kAvx2 && !Avx2Available()) {
+    backend = Backend::kScalar;
+  }
+  BackendSlot().store(backend, std::memory_order_relaxed);
+}
+
+void CmpMaskF64(const double* x, const uint8_t* valid, size_t n, double c,
+                CmpOp op, uint8_t* out) {
+#if defined(AQP_HAVE_AVX2)
+  if (ActiveBackend() == Backend::kAvx2) {
+    return avx2::CmpMaskF64(x, valid, n, c, op, out);
+  }
+#endif
+  CmpMaskDispatch<double, double>(x, valid, n, c, op, out);
+}
+
+void CmpMaskI64AsF64(const int64_t* x, const uint8_t* valid, size_t n,
+                     double c, CmpOp op, uint8_t* out) {
+#if defined(AQP_HAVE_AVX2)
+  if (ActiveBackend() == Backend::kAvx2) {
+    return avx2::CmpMaskI64AsF64(x, valid, n, c, op, out);
+  }
+#endif
+  CmpMaskDispatch<int64_t, double>(x, valid, n, c, op, out);
+}
+
+void CmpMaskI64(const int64_t* x, const uint8_t* valid, size_t n, int64_t c,
+                CmpOp op, uint8_t* out) {
+#if defined(AQP_HAVE_AVX2)
+  if (ActiveBackend() == Backend::kAvx2) {
+    return avx2::CmpMaskI64(x, valid, n, c, op, out);
+  }
+#endif
+  CmpMaskDispatch<int64_t, int64_t>(x, valid, n, c, op, out);
+}
+
+void And3(uint8_t* a, const uint8_t* b, size_t n) {
+#if defined(AQP_HAVE_AVX2)
+  if (ActiveBackend() == Backend::kAvx2) return avx2::And3(a, b, n);
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    // false dominates; otherwise null if either side is null.
+    uint8_t lo = a[i] < b[i] ? a[i] : b[i];
+    uint8_t hi = a[i] < b[i] ? b[i] : a[i];
+    a[i] = lo == kMaskFalse ? kMaskFalse
+                            : (hi == kMaskNull ? kMaskNull : kMaskTrue);
+  }
+}
+
+void Or3(uint8_t* a, const uint8_t* b, size_t n) {
+#if defined(AQP_HAVE_AVX2)
+  if (ActiveBackend() == Backend::kAvx2) return avx2::Or3(a, b, n);
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    // true dominates; otherwise null if either side is null.
+    bool any_true = a[i] == kMaskTrue || b[i] == kMaskTrue;
+    bool any_null = a[i] == kMaskNull || b[i] == kMaskNull;
+    a[i] = any_true ? kMaskTrue : (any_null ? kMaskNull : kMaskFalse);
+  }
+}
+
+void Not3(uint8_t* a, size_t n) {
+#if defined(AQP_HAVE_AVX2)
+  if (ActiveBackend() == Backend::kAvx2) return avx2::Not3(a, n);
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = a[i] == kMaskNull ? kMaskNull
+                             : (a[i] == kMaskTrue ? kMaskFalse : kMaskTrue);
+  }
+}
+
+void FillMask(uint8_t* out, size_t n, uint8_t value) {
+  for (size_t i = 0; i < n; ++i) out[i] = value;
+}
+
+void SelectTrue(const uint8_t* mask, size_t n, uint32_t base,
+                std::vector<uint32_t>* sel) {
+  // Branchless append: write unconditionally, advance only on TRUE. The
+  // ascending output order is what keeps batch selections bit-identical to
+  // the scalar row scan.
+  size_t k = sel->size();
+  sel->resize(k + n);
+  uint32_t* out = sel->data();
+  for (size_t i = 0; i < n; ++i) {
+    out[k] = base + static_cast<uint32_t>(i);
+    k += mask[i] == kMaskTrue ? 1 : 0;
+  }
+  sel->resize(k);
+}
+
+size_t CountTrue(const uint8_t* mask, size_t n) {
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) k += mask[i] == kMaskTrue ? 1 : 0;
+  return k;
+}
+
+}  // namespace simd
+}  // namespace aqp

@@ -1,0 +1,82 @@
+#ifndef AQP_COMMON_SIMD_H_
+#define AQP_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aqp {
+namespace simd {
+
+/// Three-valued byte mask element: SQL FALSE / TRUE / NULL. The batch
+/// predicate kernels produce one mask byte per row; 2 (null) participates in
+/// Kleene AND/OR exactly like the row-at-a-time evaluator's three-valued
+/// logic, so mask pipelines are bit-identical to the scalar path.
+inline constexpr uint8_t kMaskFalse = 0;
+inline constexpr uint8_t kMaskTrue = 1;
+inline constexpr uint8_t kMaskNull = 2;
+
+/// Comparison operator for the compare-mask kernels. Values mirror the
+/// engine's OpKind comparison subset.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Kernel backend selected at runtime. kAvx2 exists only when the build
+/// compiled the AVX2 translation unit (AQP_ENABLE_AVX2) AND the CPU reports
+/// AVX2; otherwise every call runs the portable autovectorized loops.
+enum class Backend : uint8_t { kScalar = 0, kAvx2 = 1 };
+
+/// The backend every kernel dispatches to. Resolved once per process:
+/// AVX2 when compiled in and the CPU supports it, unless AQP_SIMD=scalar
+/// forces the portable loops (the kill switch the fallback CI leg flips).
+Backend ActiveBackend();
+
+/// True when the AVX2 backend is compiled in and usable on this CPU.
+bool Avx2Available();
+
+/// Overrides the dispatch decision (clamped to Avx2Available()). Test/bench
+/// seam only: lets one process measure both backends side by side.
+void SetBackendForTest(Backend backend);
+
+/// out[i] = kMaskNull where !valid[i], else cmp(x[i], c). `valid` may be
+/// null (no NULL slots). Comparisons are exact and follow the row engine's
+/// three-way comparator, under which an unordered pair (NaN operand)
+/// compares as "equal" — Eq/Le/Ge hold, Ne/Lt/Gt do not. Bit-identical
+/// across backends.
+void CmpMaskF64(const double* x, const uint8_t* valid, size_t n, double c,
+                CmpOp op, uint8_t* out);
+
+/// Same, for an INT64 column compared against a numeric literal. Mirrors the
+/// scalar evaluator's promotion rule for column-vs-literal comparisons: each
+/// element is widened to double and compared in double space.
+void CmpMaskI64AsF64(const int64_t* x, const uint8_t* valid, size_t n,
+                     double c, CmpOp op, uint8_t* out);
+
+/// INT64 column vs INT64 literal compared in int64 space (the promotion the
+/// scalar evaluator applies to BETWEEN bounds materialized as INT64
+/// columns).
+void CmpMaskI64(const int64_t* x, const uint8_t* valid, size_t n, int64_t c,
+                CmpOp op, uint8_t* out);
+
+/// Kleene combiners over three-valued masks, in place into `a`:
+///   AND: false dominates, then null;  OR: true dominates, then null.
+void And3(uint8_t* a, const uint8_t* b, size_t n);
+void Or3(uint8_t* a, const uint8_t* b, size_t n);
+/// NOT: true<->false, null stays null.
+void Not3(uint8_t* a, size_t n);
+
+/// Fills the mask with one value (constant predicates).
+void FillMask(uint8_t* out, size_t n, uint8_t value);
+
+/// Appends `base + i` to `*sel` for every i in [0, n) with mask[i] ==
+/// kMaskTrue, in ascending order — the selection-vector contract SQL WHERE
+/// needs (NULL and FALSE rows drop out).
+void SelectTrue(const uint8_t* mask, size_t n, uint32_t base,
+                std::vector<uint32_t>* sel);
+
+/// Number of kMaskTrue bytes in mask[0, n).
+size_t CountTrue(const uint8_t* mask, size_t n);
+
+}  // namespace simd
+}  // namespace aqp
+
+#endif  // AQP_COMMON_SIMD_H_

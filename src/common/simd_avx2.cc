@@ -1,0 +1,283 @@
+// AVX2 backend for the batch mask kernels. Compiled with -mavx2 in its own
+// translation unit; every entry point is reached only through the runtime
+// dispatch in common/simd.cc (ActiveBackend() == kAvx2). Each kernel must be
+// bit-identical to the portable loops in simd.cc — comparisons are exact and
+// the int64->double widening uses an exact conversion (magic-number trick
+// inside the exact range, scalar conversion outside it), so SIMD here never
+// changes results, only throughput.
+
+#include "common/simd_internal.h"
+
+#if defined(AQP_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace aqp {
+namespace simd {
+namespace avx2 {
+namespace {
+
+// Writes 4 mask bytes from the low 4 bits of `bits`, honoring validity.
+inline void WriteMask4(uint8_t* out, const uint8_t* valid, int bits) {
+  for (int j = 0; j < 4; ++j) {
+    uint8_t hit = (bits >> j) & 1;
+    out[j] = (valid == nullptr || valid[j]) ? hit : kMaskNull;
+  }
+}
+
+// Matches the engine's three-way comparator semantics (NaN compares as
+// "equal"): Eq is EQ_UQ (unordered => true), Ne is NEQ_OQ, Le/Ge are the
+// not-greater / not-less unordered-true predicates.
+inline bool ScalarHit(double x, double c, int pred) {
+  switch (pred) {
+    case _CMP_EQ_UQ:
+      return !(x < c) && !(x > c);
+    case _CMP_NEQ_OQ:
+      return x < c || x > c;
+    case _CMP_LT_OQ:
+      return x < c;
+    case _CMP_NGT_UQ:
+      return !(x > c);
+    case _CMP_GT_OQ:
+      return x > c;
+    default:  // _CMP_NLT_UQ
+      return !(x < c);
+  }
+}
+
+template <int kPred>
+void CmpMaskF64Imm(const double* x, const uint8_t* valid, size_t n, double c,
+                   uint8_t* out) {
+  const __m256d vc = _mm256_set1_pd(c);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d vx = _mm256_loadu_pd(x + i);
+    int bits = _mm256_movemask_pd(_mm256_cmp_pd(vx, vc, kPred));
+    WriteMask4(out + i, valid == nullptr ? nullptr : valid + i, bits);
+  }
+  for (; i < n; ++i) {
+    bool hit = ScalarHit(x[i], c, kPred);
+    out[i] = (valid == nullptr || valid[i]) ? (hit ? kMaskTrue : kMaskFalse)
+                                            : kMaskNull;
+  }
+}
+
+// Exact int64 -> double conversion for |v| < 2^51 via the 1.5*2^52
+// magic-number bias; lanes outside that range fall back to scalar cvt so the
+// widening (and hence the comparison) matches `(double)v` exactly.
+constexpr int64_t kExactLo = -(int64_t{1} << 51);
+constexpr int64_t kExactHi = (int64_t{1} << 51) - 1;
+
+inline bool LoadI64AsF64(const int64_t* x, __m256d* out) {
+  const __m256i vx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x));
+  const __m256i too_hi = _mm256_cmpgt_epi64(vx, _mm256_set1_epi64x(kExactHi));
+  const __m256i too_lo = _mm256_cmpgt_epi64(_mm256_set1_epi64x(kExactLo), vx);
+  if (_mm256_movemask_epi8(_mm256_or_si256(too_hi, too_lo)) != 0) return false;
+  // BIT PATTERN of the double 1.5*2^52 (not its integer value): adding the
+  // int64 into the mantissa of that pattern, reinterpreting as double, and
+  // subtracting 1.5*2^52 recovers the exact value for |v| < 2^51.
+  const __m256i magic = _mm256_set1_epi64x(0x4338000000000000LL);
+  const __m256i biased = _mm256_add_epi64(vx, magic);
+  *out = _mm256_sub_pd(_mm256_castsi256_pd(biased),
+                       _mm256_set1_pd(6755399441055744.0));  // 1.5*2^52
+  return true;
+}
+
+template <int kPred>
+void CmpMaskI64AsF64Imm(const int64_t* x, const uint8_t* valid, size_t n,
+                        double c, uint8_t* out) {
+  const __m256d vc = _mm256_set1_pd(c);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d vx;
+    int bits;
+    if (LoadI64AsF64(x + i, &vx)) {
+      bits = _mm256_movemask_pd(_mm256_cmp_pd(vx, vc, kPred));
+    } else {
+      __m256d sx = _mm256_set_pd(
+          static_cast<double>(x[i + 3]), static_cast<double>(x[i + 2]),
+          static_cast<double>(x[i + 1]), static_cast<double>(x[i]));
+      bits = _mm256_movemask_pd(_mm256_cmp_pd(sx, vc, kPred));
+    }
+    WriteMask4(out + i, valid == nullptr ? nullptr : valid + i, bits);
+  }
+  for (; i < n; ++i) {
+    bool hit = ScalarHit(static_cast<double>(x[i]), c, kPred);
+    out[i] = (valid == nullptr || valid[i]) ? (hit ? kMaskTrue : kMaskFalse)
+                                            : kMaskNull;
+  }
+}
+
+}  // namespace
+
+void CmpMaskF64(const double* x, const uint8_t* valid, size_t n, double c,
+                CmpOp op, uint8_t* out) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpMaskF64Imm<_CMP_EQ_UQ>(x, valid, n, c, out);
+    case CmpOp::kNe:
+      return CmpMaskF64Imm<_CMP_NEQ_OQ>(x, valid, n, c, out);
+    case CmpOp::kLt:
+      return CmpMaskF64Imm<_CMP_LT_OQ>(x, valid, n, c, out);
+    case CmpOp::kLe:
+      return CmpMaskF64Imm<_CMP_NGT_UQ>(x, valid, n, c, out);
+    case CmpOp::kGt:
+      return CmpMaskF64Imm<_CMP_GT_OQ>(x, valid, n, c, out);
+    case CmpOp::kGe:
+      return CmpMaskF64Imm<_CMP_NLT_UQ>(x, valid, n, c, out);
+  }
+}
+
+void CmpMaskI64AsF64(const int64_t* x, const uint8_t* valid, size_t n,
+                     double c, CmpOp op, uint8_t* out) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpMaskI64AsF64Imm<_CMP_EQ_UQ>(x, valid, n, c, out);
+    case CmpOp::kNe:
+      return CmpMaskI64AsF64Imm<_CMP_NEQ_OQ>(x, valid, n, c, out);
+    case CmpOp::kLt:
+      return CmpMaskI64AsF64Imm<_CMP_LT_OQ>(x, valid, n, c, out);
+    case CmpOp::kLe:
+      return CmpMaskI64AsF64Imm<_CMP_NGT_UQ>(x, valid, n, c, out);
+    case CmpOp::kGt:
+      return CmpMaskI64AsF64Imm<_CMP_GT_OQ>(x, valid, n, c, out);
+    case CmpOp::kGe:
+      return CmpMaskI64AsF64Imm<_CMP_NLT_UQ>(x, valid, n, c, out);
+  }
+}
+
+void CmpMaskI64(const int64_t* x, const uint8_t* valid, size_t n, int64_t c,
+                CmpOp op, uint8_t* out) {
+  const __m256i vc = _mm256_set1_epi64x(c);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i eq = _mm256_cmpeq_epi64(vx, vc);
+    const __m256i gt = _mm256_cmpgt_epi64(vx, vc);
+    __m256i hit;
+    switch (op) {
+      case CmpOp::kEq:
+        hit = eq;
+        break;
+      case CmpOp::kNe:
+        hit = _mm256_xor_si256(eq, _mm256_set1_epi64x(-1));
+        break;
+      case CmpOp::kLt:
+        hit = _mm256_xor_si256(_mm256_or_si256(eq, gt),
+                               _mm256_set1_epi64x(-1));
+        break;
+      case CmpOp::kLe:
+        hit = _mm256_xor_si256(gt, _mm256_set1_epi64x(-1));
+        break;
+      case CmpOp::kGt:
+        hit = gt;
+        break;
+      case CmpOp::kGe:
+        hit = _mm256_or_si256(eq, gt);
+        break;
+    }
+    int bits = _mm256_movemask_pd(_mm256_castsi256_pd(hit));
+    WriteMask4(out + i, valid == nullptr ? nullptr : valid + i, bits);
+  }
+  for (; i < n; ++i) {
+    bool hit;
+    switch (op) {
+      case CmpOp::kEq:
+        hit = x[i] == c;
+        break;
+      case CmpOp::kNe:
+        hit = x[i] != c;
+        break;
+      case CmpOp::kLt:
+        hit = x[i] < c;
+        break;
+      case CmpOp::kLe:
+        hit = x[i] <= c;
+        break;
+      case CmpOp::kGt:
+        hit = x[i] > c;
+        break;
+      default:
+        hit = x[i] >= c;
+        break;
+    }
+    out[i] = (valid == nullptr || valid[i]) ? (hit ? kMaskTrue : kMaskFalse)
+                                            : kMaskNull;
+  }
+}
+
+void And3(uint8_t* a, const uint8_t* b, size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i one = _mm256_set1_epi8(1);
+  const __m256i two = _mm256_set1_epi8(2);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i lo = _mm256_min_epu8(va, vb);
+    const __m256i hi = _mm256_max_epu8(va, vb);
+    const __m256i is_false = _mm256_cmpeq_epi8(lo, zero);
+    const __m256i is_null = _mm256_cmpeq_epi8(hi, two);
+    __m256i r = _mm256_blendv_epi8(one, two, is_null);
+    r = _mm256_andnot_si256(is_false, r);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i), r);
+  }
+  for (; i < n; ++i) {
+    uint8_t lo = a[i] < b[i] ? a[i] : b[i];
+    uint8_t hi = a[i] < b[i] ? b[i] : a[i];
+    a[i] = lo == kMaskFalse ? kMaskFalse
+                            : (hi == kMaskNull ? kMaskNull : kMaskTrue);
+  }
+}
+
+void Or3(uint8_t* a, const uint8_t* b, size_t n) {
+  const __m256i one = _mm256_set1_epi8(1);
+  const __m256i two = _mm256_set1_epi8(2);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i has_true = _mm256_or_si256(_mm256_cmpeq_epi8(va, one),
+                                             _mm256_cmpeq_epi8(vb, one));
+    const __m256i has_null = _mm256_or_si256(_mm256_cmpeq_epi8(va, two),
+                                             _mm256_cmpeq_epi8(vb, two));
+    __m256i r = _mm256_and_si256(has_null, two);
+    r = _mm256_blendv_epi8(r, one, has_true);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i), r);
+  }
+  for (; i < n; ++i) {
+    bool any_true = a[i] == kMaskTrue || b[i] == kMaskTrue;
+    bool any_null = a[i] == kMaskNull || b[i] == kMaskNull;
+    a[i] = any_true ? kMaskTrue : (any_null ? kMaskNull : kMaskFalse);
+  }
+}
+
+void Not3(uint8_t* a, size_t n) {
+  const __m256i one = _mm256_set1_epi8(1);
+  const __m256i two = _mm256_set1_epi8(2);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i is_null = _mm256_cmpeq_epi8(va, two);
+    // 0^1=1, 1^1=0; null lanes overwritten by the blend.
+    const __m256i flipped = _mm256_xor_si256(va, one);
+    const __m256i r = _mm256_blendv_epi8(flipped, two, is_null);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i), r);
+  }
+  for (; i < n; ++i) {
+    a[i] = a[i] == kMaskNull ? kMaskNull
+                             : (a[i] == kMaskTrue ? kMaskFalse : kMaskTrue);
+  }
+}
+
+}  // namespace avx2
+}  // namespace simd
+}  // namespace aqp
+
+#endif  // AQP_HAVE_AVX2

@@ -1,0 +1,32 @@
+#ifndef AQP_COMMON_SIMD_INTERNAL_H_
+#define AQP_COMMON_SIMD_INTERNAL_H_
+
+// AVX2 kernel entry points, compiled in a separate -mavx2 translation unit
+// (common/simd_avx2.cc) and linked only when the build enables
+// AQP_ENABLE_AVX2. Callers must gate on simd::ActiveBackend() — these
+// symbols execute AVX2 instructions unconditionally.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simd.h"
+
+namespace aqp {
+namespace simd {
+namespace avx2 {
+
+void CmpMaskF64(const double* x, const uint8_t* valid, size_t n, double c,
+                CmpOp op, uint8_t* out);
+void CmpMaskI64AsF64(const int64_t* x, const uint8_t* valid, size_t n,
+                     double c, CmpOp op, uint8_t* out);
+void CmpMaskI64(const int64_t* x, const uint8_t* valid, size_t n, int64_t c,
+                CmpOp op, uint8_t* out);
+void And3(uint8_t* a, const uint8_t* b, size_t n);
+void Or3(uint8_t* a, const uint8_t* b, size_t n);
+void Not3(uint8_t* a, size_t n);
+
+}  // namespace avx2
+}  // namespace simd
+}  // namespace aqp
+
+#endif  // AQP_COMMON_SIMD_INTERNAL_H_

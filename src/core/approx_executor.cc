@@ -339,6 +339,13 @@ Result<ApproxResult> ApproxExecutor::Execute(std::string_view sql,
     }
     draw_span.AddAttr("rows", static_cast<uint64_t>(sample.num_rows()));
     draw_span.AddAttr("units", static_cast<uint64_t>(sample.num_units_sampled));
+    // The draw's gather is the stage's morselized row movement (the
+    // vectorized engine path defers everything else zero-copy), so its
+    // parallel attribution lives on this span.
+    if (sampler_stats.morsels > 0) {
+      draw_span.AddAttr("parallel_morsels", sampler_stats.morsels);
+      draw_span.AddAttr("parallel_steals", sampler_stats.steals);
+    }
     draw_span.End();
     AQP_ASSIGN_OR_RETURN(Table design_table, WithDesignColumns(sample));
     // The design-carrying sample copy is the stage's dominant allocation;

@@ -8,6 +8,7 @@
 #include "core/contract.h"
 #include "core/result_assembly.h"
 #include "expr/eval.h"
+#include "expr/vector_eval.h"
 #include "obs/metrics.h"
 #include "sql/parser.h"
 
@@ -29,8 +30,17 @@ Result<Sample> FilterSample(const Sample& sample, const ExprPtr& predicate,
                             const ExecOptions& exec,
                             ParallelRunStats* run_stats) {
   const bool use_morsels = exec.UseMorsels(sample.table.num_rows());
+  const bool vectorized = exec.ResolvedPath() == ExecPath::kVectorized;
   std::vector<uint32_t> selected;
-  if (use_morsels) {
+  if (vectorized) {
+    // Batch kernels over the sample's column spans; the selection is
+    // bit-identical to the scalar evaluators for every thread count.
+    AQP_ASSIGN_OR_RETURN(
+        selected,
+        EvalPredicateBatch(*predicate, sample.table, exec.morsel_rows,
+                           use_morsels ? exec.ResolvedThreads() : 1, run_stats,
+                           exec.cancel, exec.memory));
+  } else if (use_morsels) {
     AQP_ASSIGN_OR_RETURN(
         selected, EvalPredicateMorsel(*predicate, sample.table,
                                       exec.morsel_rows, exec.ResolvedThreads(),
@@ -40,9 +50,16 @@ Result<Sample> FilterSample(const Sample& sample, const ExprPtr& predicate,
   }
   AQP_RETURN_IF_ERROR(CheckCancelled(exec.cancel));
   Sample out;
-  out.table = use_morsels ? sample.table.Take(selected, exec.ResolvedThreads(),
-                                              run_stats)
-                          : sample.table.Take(selected);
+  if (vectorized) {
+    out.table = use_morsels ? sample.table.TakeBatch(
+                                  selected, exec.ResolvedThreads(), run_stats)
+                            : sample.table.TakeBatch(selected);
+  } else {
+    out.table = use_morsels ? sample.table.Take(selected,
+                                                exec.ResolvedThreads(),
+                                                run_stats)
+                            : sample.table.Take(selected);
+  }
   out.weights.reserve(selected.size());
   out.unit_ids.reserve(selected.size());
   for (uint32_t i : selected) {

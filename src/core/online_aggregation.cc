@@ -5,6 +5,7 @@
 
 #include "common/thread_pool.h"
 #include "expr/eval.h"
+#include "expr/vector_eval.h"
 #include "gov/fault_injector.h"
 #include "obs/metrics.h"
 
@@ -45,7 +46,14 @@ Result<OnlineAggregator> OnlineAggregator::Create(const Table& table,
   ola.qualifies_.assign(table.num_rows(), 1);
   if (predicate != nullptr) {
     std::vector<uint32_t> sel;
-    if (exec.UseMorsels(table.num_rows())) {
+    if (exec.ResolvedPath() == ExecPath::kVectorized) {
+      AQP_ASSIGN_OR_RETURN(
+          sel, EvalPredicateBatch(
+                   *predicate, table, exec.morsel_rows,
+                   exec.UseMorsels(table.num_rows()) ? exec.ResolvedThreads()
+                                                     : 1,
+                   /*run_stats=*/nullptr, exec.cancel, exec.memory));
+    } else if (exec.UseMorsels(table.num_rows())) {
       AQP_ASSIGN_OR_RETURN(
           sel, EvalPredicateMorsel(*predicate, table, exec.morsel_rows,
                                    exec.ResolvedThreads(),

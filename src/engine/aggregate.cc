@@ -1,6 +1,7 @@
 #include "engine/aggregate.h"
 
 #include <cmath>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -61,6 +62,21 @@ Result<DataType> AggResultType(AggKind kind, DataType arg_type) {
   }
   return Status::Internal("unreachable agg kind");
 }
+
+namespace {
+
+// NaN results carry whatever payload/sign the hardware propagated, and the
+// propagation order through commutative ops (MULSD/ADDSD pick the first
+// operand's NaN) is a compiler choice that can differ between the row loop
+// and the span loop even when the source-level op order is identical. A
+// fresh invalid-op QNaN on x86 is negative (0xFFF8...), a propagated input
+// NaN usually is not. Canonicalizing at finalization keeps aggregate output
+// bit-identical across paths without constraining codegen.
+double CanonicalNaN(double v) {
+  return std::isnan(v) ? std::numeric_limits<double>::quiet_NaN() : v;
+}
+
+}  // namespace
 
 Result<GroupIndex> BuildGroupIndex(const Table& input,
                                    const std::vector<ExprPtr>& group_exprs) {
@@ -188,6 +204,122 @@ void AccumulateRow(AggAccumulator& st, AggKind kind, const Column* arg,
   }
 }
 
+// Batch twin of AccumulateRow: folds rows [begin, end) of `arg` into `st`
+// with type-specialized tight loops over the column's contiguous storage —
+// no per-row Value boxing, no type re-dispatch. Every floating-point
+// operation runs in the same order with the same operands as the row loop,
+// so the resulting accumulator state is bit-identical to row-at-a-time
+// accumulation (the vectorized path's determinism contract). Non-numeric
+// MIN/MAX and COUNT DISTINCT keep the row loop: their cost is in string
+// compares and hashing, not dispatch.
+void AccumulateSpan(AggAccumulator& st, AggKind kind, const Column* arg,
+                    size_t begin, size_t end,
+                    const std::vector<double>* weights) {
+  if (kind == AggKind::kCountStar) {
+    if (weights == nullptr) {
+      // Integer-valued adds below 2^53 are exact, so one bulk add equals
+      // (end - begin) repeated += 1.0 bit for bit.
+      st.weight_total += static_cast<double>(end - begin);
+    } else {
+      for (size_t i = begin; i < end; ++i) st.weight_total += (*weights)[i];
+    }
+    st.count += end - begin;
+    return;
+  }
+  const uint8_t* valid = arg->has_nulls() ? arg->validity() : nullptr;
+  if (kind == AggKind::kCount) {
+    if (weights == nullptr) {
+      size_t c = end - begin;
+      if (valid != nullptr) {
+        c = 0;
+        for (size_t i = begin; i < end; ++i) c += valid[i];
+      }
+      st.weight_total += static_cast<double>(c);
+      st.count += c;
+    } else {
+      for (size_t i = begin; i < end; ++i) {
+        if (valid != nullptr && !valid[i]) continue;
+        st.weight_total += (*weights)[i];
+        ++st.count;
+      }
+    }
+    return;
+  }
+  const bool numeric = IsNumeric(arg->type());
+  if (!numeric || kind == AggKind::kCountDistinct) {
+    for (size_t i = begin; i < end; ++i) {
+      double w = weights != nullptr ? (*weights)[i] : 1.0;
+      AccumulateRow(st, kind, arg, i, w);
+    }
+    return;
+  }
+  const int64_t* ints =
+      arg->type() == DataType::kInt64 ? arg->int64_data() : nullptr;
+  const double* dbls =
+      arg->type() == DataType::kDouble ? arg->double_data() : nullptr;
+  auto x_at = [&](size_t i) {
+    return ints != nullptr ? static_cast<double>(ints[i]) : dbls[i];
+  };
+  switch (kind) {
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      for (size_t i = begin; i < end; ++i) {
+        if (valid != nullptr && !valid[i]) continue;
+        const double w = weights != nullptr ? (*weights)[i] : 1.0;
+        const double x = x_at(i);
+        st.weighted_sum += w * x;
+        st.weight_total += w;
+        ++st.count;
+      }
+      break;
+    case AggKind::kVar:
+    case AggKind::kStddev:
+      for (size_t i = begin; i < end; ++i) {
+        if (valid != nullptr && !valid[i]) continue;
+        const double x = x_at(i);
+        ++st.count;
+        double delta = x - st.mean;
+        st.mean += delta / static_cast<double>(st.count);
+        st.m2 += delta * (x - st.mean);
+      }
+      break;
+    case AggKind::kMin:
+    case AggKind::kMax: {
+      // Track winning row indices; box a Value only once at the end. The
+      // strict </> in double space keeps the FIRST row on ties and ignores
+      // unordered (NaN) candidates — exactly CompareValues' behavior.
+      size_t best_min = SIZE_MAX;
+      size_t best_max = SIZE_MAX;
+      for (size_t i = begin; i < end; ++i) {
+        if (valid != nullptr && !valid[i]) continue;
+        if (best_min == SIZE_MAX) {
+          best_min = i;
+          best_max = i;
+          continue;
+        }
+        const double x = x_at(i);
+        if (x < x_at(best_min)) best_min = i;
+        if (x > x_at(best_max)) best_max = i;
+      }
+      if (best_min != SIZE_MAX) {
+        Value vmin = arg->GetValue(best_min);
+        Value vmax = arg->GetValue(best_max);
+        if (!st.has_value) {
+          st.min_v = std::move(vmin);
+          st.max_v = std::move(vmax);
+          st.has_value = true;
+        } else {
+          if (CompareValues(vmin, st.min_v) < 0) st.min_v = std::move(vmin);
+          if (CompareValues(vmax, st.max_v) > 0) st.max_v = std::move(vmax);
+        }
+      }
+      break;
+    }
+    default:
+      break;  // Handled above.
+  }
+}
+
 // Hash of group-key row `i` across all key columns (same recipe as
 // BuildGroupIndex so serial and morsel paths bucket identically).
 uint64_t KeyRowHash(const std::vector<Column>& keys, size_t i) {
@@ -279,17 +411,31 @@ Result<Table> GroupByAggregate(const Table& input,
   size_t num_groups = 0;
   const bool use_morsels =
       options.exec != nullptr && options.exec->UseMorsels(n);
+  // Span accumulators produce bit-identical state to the row loop; the gate
+  // exists so the row path stays runnable for differential comparison.
+  const bool vectorized = options.exec != nullptr &&
+                          options.exec->ResolvedPath() == ExecPath::kVectorized;
   if (!use_morsels) {
     AQP_ASSIGN_OR_RETURN(GroupIndex index, BuildGroupIndex(input, group_exprs));
     states.assign(aggs.size(), std::vector<AggAccumulator>(index.num_groups));
-    for (size_t i = 0; i < n; ++i) {
-      uint32_t g = index.group_ids[i];
-      double w = options.weights ? (*options.weights)[i] : 1.0;
+    if (vectorized && group_exprs.empty()) {
+      // Global aggregates over a contiguous input: one span per aggregate.
       for (size_t a = 0; a < aggs.size(); ++a) {
-        AccumulateRow(states[a][g], aggs[a].kind,
-                      aggs[a].kind == AggKind::kCountStar ? nullptr
-                                                          : &arg_columns[a],
-                      i, w);
+        AccumulateSpan(states[a][0], aggs[a].kind,
+                       aggs[a].kind == AggKind::kCountStar ? nullptr
+                                                           : &arg_columns[a],
+                       0, n, options.weights);
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t g = index.group_ids[i];
+        double w = options.weights ? (*options.weights)[i] : 1.0;
+        for (size_t a = 0; a < aggs.size(); ++a) {
+          AccumulateRow(states[a][g], aggs[a].kind,
+                        aggs[a].kind == AggKind::kCountStar ? nullptr
+                                                            : &arg_columns[a],
+                        i, w);
+        }
       }
     }
     key_columns = std::move(index.key_columns);
@@ -309,6 +455,16 @@ Result<Table> GroupByAggregate(const Table& input,
           ThreadPool::ParallelForOptions{options.exec->cancel},
           [&](size_t, size_t m, size_t begin, size_t end) {
             std::vector<AggAccumulator>& local = partials[m];
+            if (vectorized) {
+              for (size_t a = 0; a < aggs.size(); ++a) {
+                AccumulateSpan(local[a], aggs[a].kind,
+                               aggs[a].kind == AggKind::kCountStar
+                                   ? nullptr
+                                   : &arg_columns[a],
+                               begin, end, options.weights);
+              }
+              return;
+            }
             for (size_t i = begin; i < end; ++i) {
               double w = options.weights ? (*options.weights)[i] : 1.0;
               for (size_t a = 0; a < aggs.size(); ++a) {
@@ -343,6 +499,21 @@ Result<Table> GroupByAggregate(const Table& input,
         AQP_ASSIGN_OR_RETURN(Column c, Eval(*e, input));
         keys.push_back(std::move(c));
       }
+      // Vectorized path: precompute key hashes column-at-a-time (one tight
+      // loop per key column) instead of re-dispatching per row inside the
+      // probe loop. Same HashCombine recipe, so bucketing is unchanged.
+      std::vector<uint64_t> hashes;
+      if (vectorized) {
+        hashes.assign(n, 0x9e3779b97f4a7c15ULL);
+        for (const Column& k : keys) {
+          for (size_t i = 0; i < n; ++i) {
+            hashes[i] = HashCombine(hashes[i], k.HashAt(i));
+          }
+        }
+      }
+      auto key_hash = [&](size_t i) {
+        return vectorized ? hashes[i] : KeyRowHash(keys, i);
+      };
       struct MorselGroups {
         std::vector<uint32_t> reps;  // Representative row per local group.
         std::vector<std::vector<AggAccumulator>> states;  // [agg][local].
@@ -356,7 +527,7 @@ Result<Table> GroupByAggregate(const Table& input,
             mg.states.assign(aggs.size(), {});
             std::unordered_map<uint64_t, std::vector<uint32_t>> local;
             for (size_t i = begin; i < end; ++i) {
-              uint64_t h = KeyRowHash(keys, i);
+              uint64_t h = key_hash(i);
               std::vector<uint32_t>& bucket = local[h];
               uint32_t gid = UINT32_MAX;
               for (uint32_t cand : bucket) {
@@ -393,7 +564,7 @@ Result<Table> GroupByAggregate(const Table& input,
         const MorselGroups& mg = morsels[m];
         for (size_t l = 0; l < mg.reps.size(); ++l) {
           uint32_t row = mg.reps[l];
-          uint64_t h = KeyRowHash(keys, row);
+          uint64_t h = key_hash(row);
           std::vector<uint32_t>& bucket = global[h];
           uint32_t gid = UINT32_MAX;
           for (uint32_t cand : bucket) {
@@ -444,29 +615,30 @@ Result<Table> GroupByAggregate(const Table& input,
           if (st.count == 0) {
             col.AppendNull();
           } else {
-            col.AppendDouble(st.weighted_sum);
+            col.AppendDouble(CanonicalNaN(st.weighted_sum));
           }
           break;
         case AggKind::kAvg:
           if (st.weight_total == 0.0) {
             col.AppendNull();
           } else {
-            col.AppendDouble(st.weighted_sum / st.weight_total);
+            col.AppendDouble(CanonicalNaN(st.weighted_sum / st.weight_total));
           }
           break;
         case AggKind::kVar:
           if (st.count < 2) {
             col.AppendNull();
           } else {
-            col.AppendDouble(st.m2 / static_cast<double>(st.count - 1));
+            col.AppendDouble(
+                CanonicalNaN(st.m2 / static_cast<double>(st.count - 1)));
           }
           break;
         case AggKind::kStddev:
           if (st.count < 2) {
             col.AppendNull();
           } else {
-            col.AppendDouble(
-                std::sqrt(st.m2 / static_cast<double>(st.count - 1)));
+            col.AppendDouble(CanonicalNaN(
+                std::sqrt(st.m2 / static_cast<double>(st.count - 1))));
           }
           break;
         case AggKind::kMin:

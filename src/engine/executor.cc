@@ -8,8 +8,10 @@
 #include "common/hash.h"
 #include "common/memory_tracker.h"
 #include "common/random.h"
+#include "common/simd.h"
 #include "common/str_util.h"
 #include "expr/eval.h"
+#include "expr/vector_eval.h"
 #include "gov/fault_injector.h"
 #include "obs/metrics.h"
 
@@ -70,6 +72,24 @@ struct ExecContext {
 
 Result<TablePtr> Exec(const PlanPtr& plan, ExecContext& ctx);
 
+// A late-materialized operator batch: rows of `base` viewed through an
+// optional selection vector (ascending base-row indices; null means "all
+// rows") and a column remap (view column i is base column col_idx[i], named
+// names[i]). Scan and filter produce views without copying a single cell;
+// the first table-valued operator (aggregate, join, sort, ...) — or the plan
+// root — gathers once. Selections always index BASE rows, so predicate
+// kernels run over contiguous column spans regardless of how many filters
+// stacked up.
+struct BatchView {
+  TablePtr base;
+  std::vector<size_t> col_idx;
+  std::vector<std::string> names;
+  std::shared_ptr<const std::vector<uint32_t>> sel;
+  size_t num_rows = 0;
+};
+
+Result<BatchView> ExecBatch(const PlanPtr& plan, ExecContext& ctx);
+
 // Materializes `t` behind a shared_ptr, charging the query's MemoryTracker
 // (when one is bound) for the table's footprint until the last reference
 // dies. Operator OUTPUTS go through here; catalog base tables do not (they
@@ -98,25 +118,124 @@ Table GatherRows(const Table& table, const std::vector<uint32_t>& keep,
   return table.Take(keep, ctx.options.ResolvedThreads(), ctx.run_stats());
 }
 
-Result<TablePtr> ExecScan(const PlanNode& node, ExecContext& ctx) {
-  AQP_RETURN_IF_ERROR(gov::FaultInjector::Global().MaybeFail("engine.scan"));
-  AQP_ASSIGN_OR_RETURN(TablePtr table, ctx.catalog.Get(node.table_name()));
-  const SampleSpec& spec = node.sample();
-  if (!spec.is_sampled()) {
-    if (ctx.stats != nullptr) {
-      ctx.stats->rows_scanned += table->num_rows();
-      ctx.stats->blocks_read += table->NumBlocks(spec.block_size);
-    }
-    return table;
+// Selection vectors are query-owned memory too: charge them like operator
+// outputs, released when the last view referencing them dies.
+Result<std::shared_ptr<const std::vector<uint32_t>>> TrackSel(
+    std::vector<uint32_t>&& sel, ExecContext& ctx, std::string_view what) {
+  MemoryTracker* memory = ctx.options.memory;
+  if (memory == nullptr) {
+    return std::make_shared<const std::vector<uint32_t>>(std::move(sel));
   }
-  const size_t n = table->num_rows();
-  const bool use_morsels = ctx.options.UseMorsels(n);
+  auto owned = std::make_unique<const std::vector<uint32_t>>(std::move(sel));
+  const uint64_t bytes = owned->capacity() * sizeof(uint32_t);
+  AQP_RETURN_IF_ERROR(memory->TryCharge(bytes, what));
+  return std::shared_ptr<const std::vector<uint32_t>>(
+      owned.release(), [memory, bytes](const std::vector<uint32_t>* p) {
+        delete p;
+        memory->Release(bytes);
+      });
+}
+
+// Wraps a table as the trivial view over itself.
+BatchView IdentityView(TablePtr t) {
+  BatchView v;
+  v.base = std::move(t);
+  const size_t n = v.base->num_columns();
+  v.col_idx.resize(n);
+  v.names.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    v.col_idx[i] = i;
+    v.names.push_back(v.base->schema().field(i).name);
+  }
+  v.num_rows = v.base->num_rows();
+  return v;
+}
+
+bool ViewIsIdentity(const BatchView& v) {
+  if (v.sel != nullptr) return false;
+  if (v.col_idx.size() != v.base->num_columns()) return false;
+  for (size_t i = 0; i < v.col_idx.size(); ++i) {
+    if (v.col_idx[i] != i) return false;
+    if (v.names[i] != v.base->schema().field(i).name) return false;
+  }
+  return true;
+}
+
+// Collapses a view into a real table: the one gather of the batch pipeline.
+// Identity views hand back the base table without copying (matching the
+// scalar scan's pass-through of catalog tables). The gather is
+// column-parallel — columns are independent, so the result is identical for
+// every thread count.
+Result<TablePtr> MaterializeView(const BatchView& v, ExecContext& ctx,
+                                 std::string_view what) {
+  if (ViewIsIdentity(v)) return v.base;
+  const Table& base = *v.base;
+  const size_t num_cols = v.col_idx.size();
+  Schema schema;
+  for (size_t i = 0; i < num_cols; ++i) {
+    schema.AddField({v.names[i], base.column(v.col_idx[i]).type()});
+  }
+  std::vector<Column> columns;
+  if (v.sel == nullptr) {
+    columns.reserve(num_cols);
+    for (size_t i = 0; i < num_cols; ++i) {
+      columns.push_back(base.column(v.col_idx[i]));
+    }
+  } else if (ctx.options.UseMorsels(v.sel->size())) {
+    // Column-parallel gather through the pool whenever the morsel path is
+    // active for this row count — single-column views included, so morsel
+    // attribution (run stats, trace attrs) reflects the gather uniformly.
+    const std::vector<uint32_t>& sel = *v.sel;
+    std::vector<Column> gathered(num_cols, Column(DataType::kInt64));
+    ParallelRunStats rs = ThreadPool::Shared().ParallelFor(
+        num_cols, /*morsel_items=*/1, ctx.options.ResolvedThreads(),
+        ctx.pf_options(), [&](size_t, size_t, size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            gathered[i] = base.column(v.col_idx[i]).TakeBatch(sel);
+          }
+        });
+    if (ctx.run_stats() != nullptr) ctx.run_stats()->MergeFrom(rs);
+    // A cancellation mid-gather leaves dummy columns behind; bail before
+    // Table::Make sees mismatched lengths.
+    AQP_RETURN_IF_ERROR(CheckCancelled(ctx.options.cancel));
+    columns = std::move(gathered);
+  } else {
+    columns.reserve(num_cols);
+    for (size_t i = 0; i < num_cols; ++i) {
+      columns.push_back(base.column(v.col_idx[i]).TakeBatch(*v.sel));
+    }
+  }
+  AQP_ASSIGN_OR_RETURN(Table out,
+                       Table::Make(std::move(schema), std::move(columns)));
+  return TrackTable(std::move(out), ctx, what);
+}
+
+// How table-valued operators (join/aggregate/sort/limit/union) obtain a
+// child table: the scalar path recurses through Exec; the vectorized path
+// runs the child as a batch view and gathers at this boundary.
+Result<TablePtr> ExecInput(const PlanPtr& plan, ExecContext& ctx) {
+  if (ctx.options.ResolvedPath() == ExecPath::kVectorized) {
+    AQP_ASSIGN_OR_RETURN(BatchView view, ExecBatch(plan, ctx));
+    return MaterializeView(view, ctx, "batch materialize");
+  }
+  return Exec(plan, ctx);
+}
+
+// Draws the kept-row set for a sampled scan. Shared verbatim by the scalar
+// and batch scans, so both paths keep exactly the same rows for a given
+// (seed, morsel_rows) regardless of thread count.
+Result<std::vector<uint32_t>> DrawSampleKeep(const Table& table,
+                                             const SampleSpec& spec,
+                                             bool use_morsels,
+                                             ExecContext& ctx,
+                                             uint64_t* blocks_read_out) {
+  const size_t n = table.num_rows();
   std::vector<uint32_t> keep;
   uint64_t blocks_read = 0;
   if (spec.method == SampleSpec::Method::kBernoulliRow) {
     // Row-level Bernoulli still scans every block — the system-efficiency
     // gap the paper highlights.
-    blocks_read = table->NumBlocks(spec.block_size);
+    blocks_read = table.NumBlocks(spec.block_size);
     if (use_morsels) {
       // Per-morsel RNG: morsel m draws from stream m of the query seed, so
       // the kept set depends only on (seed, morsel_rows) — never on which
@@ -157,16 +276,36 @@ Result<TablePtr> ExecScan(const PlanNode& node, ExecContext& ctx) {
     // Bernoulli draw per block from a single stream is cheap and trivially
     // thread-count independent; only the gather below parallelizes.
     Pcg32 rng(spec.seed);
-    size_t num_blocks = table->NumBlocks(spec.block_size);
+    size_t num_blocks = table.NumBlocks(spec.block_size);
     for (size_t b = 0; b < num_blocks; ++b) {
       if (!rng.Bernoulli(spec.rate)) continue;
       ++blocks_read;
-      auto [first, last] = table->BlockRange(b, spec.block_size);
+      auto [first, last] = table.BlockRange(b, spec.block_size);
       for (size_t i = first; i < last; ++i) {
         keep.push_back(static_cast<uint32_t>(i));
       }
     }
   }
+  *blocks_read_out = blocks_read;
+  return keep;
+}
+
+Result<TablePtr> ExecScan(const PlanNode& node, ExecContext& ctx) {
+  AQP_RETURN_IF_ERROR(gov::FaultInjector::Global().MaybeFail("engine.scan"));
+  AQP_ASSIGN_OR_RETURN(TablePtr table, ctx.catalog.Get(node.table_name()));
+  const SampleSpec& spec = node.sample();
+  if (!spec.is_sampled()) {
+    if (ctx.stats != nullptr) {
+      ctx.stats->rows_scanned += table->num_rows();
+      ctx.stats->blocks_read += table->NumBlocks(spec.block_size);
+    }
+    return table;
+  }
+  const bool use_morsels = ctx.options.UseMorsels(table->num_rows());
+  uint64_t blocks_read = 0;
+  AQP_ASSIGN_OR_RETURN(
+      std::vector<uint32_t> keep,
+      DrawSampleKeep(*table, spec, use_morsels, ctx, &blocks_read));
   if (ctx.stats != nullptr) {
     ctx.stats->rows_scanned += keep.size();
     ctx.stats->blocks_read += blocks_read;
@@ -236,8 +375,8 @@ Result<TablePtr> ExecProject(const PlanNode& node, ExecContext& ctx) {
 }
 
 Result<TablePtr> ExecJoin(const PlanNode& node, ExecContext& ctx) {
-  AQP_ASSIGN_OR_RETURN(TablePtr left, Exec(node.child(0), ctx));
-  AQP_ASSIGN_OR_RETURN(TablePtr right, Exec(node.child(1), ctx));
+  AQP_ASSIGN_OR_RETURN(TablePtr left, ExecInput(node.child(0), ctx));
+  AQP_ASSIGN_OR_RETURN(TablePtr right, ExecInput(node.child(1), ctx));
   ExecStats* stats = ctx.stats;
 
   std::vector<size_t> lkeys;
@@ -345,7 +484,7 @@ Result<TablePtr> ExecJoin(const PlanNode& node, ExecContext& ctx) {
 }
 
 Result<TablePtr> ExecAggregate(const PlanNode& node, ExecContext& ctx) {
-  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), ctx));
+  AQP_ASSIGN_OR_RETURN(TablePtr input, ExecInput(node.child(), ctx));
   AggregateOptions agg_options;
   agg_options.exec = &ctx.options;
   agg_options.run_stats = ctx.run_stats();
@@ -357,7 +496,7 @@ Result<TablePtr> ExecAggregate(const PlanNode& node, ExecContext& ctx) {
 }
 
 Result<TablePtr> ExecSort(const PlanNode& node, ExecContext& ctx) {
-  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), ctx));
+  AQP_ASSIGN_OR_RETURN(TablePtr input, ExecInput(node.child(), ctx));
   std::vector<size_t> key_cols;
   for (const SortKey& k : node.sort_keys()) {
     AQP_ASSIGN_OR_RETURN(size_t idx, input->ColumnIndex(k.column));
@@ -383,15 +522,15 @@ Result<TablePtr> ExecSort(const PlanNode& node, ExecContext& ctx) {
 }
 
 Result<TablePtr> ExecLimit(const PlanNode& node, ExecContext& ctx) {
-  AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), ctx));
+  AQP_ASSIGN_OR_RETURN(TablePtr input, ExecInput(node.child(), ctx));
   return TrackTable(input->Slice(0, node.limit()), ctx, "limit output");
 }
 
 Result<TablePtr> ExecUnionAll(const PlanNode& node, ExecContext& ctx) {
-  AQP_ASSIGN_OR_RETURN(TablePtr first, Exec(node.child(0), ctx));
+  AQP_ASSIGN_OR_RETURN(TablePtr first, ExecInput(node.child(0), ctx));
   Table out = *first;  // Copy, then append the rest.
   for (size_t i = 1; i < node.num_children(); ++i) {
-    AQP_ASSIGN_OR_RETURN(TablePtr next, Exec(node.child(i), ctx));
+    AQP_ASSIGN_OR_RETURN(TablePtr next, ExecInput(node.child(i), ctx));
     AQP_RETURN_IF_ERROR(out.Append(*next));
   }
   return TrackTable(std::move(out), ctx, "union output");
@@ -478,6 +617,291 @@ Result<TablePtr> Exec(const PlanPtr& plan, ExecContext& ctx) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Batch (vectorized) operator path. Scan and filter produce BatchViews —
+// selection vectors over the untouched base table — instead of gathered
+// tables; project over bare column references is a pure remap. Everything
+// else runs the scalar operator body over a materialized input (ExecInput
+// gathers exactly once at that boundary). Results are bit-identical to the
+// scalar path: sampling draws the same per-morsel RNG streams, predicate
+// masks are exact (so selection membership is independent of morsel
+// boundaries and thread count), and gathers preserve row order.
+// ---------------------------------------------------------------------------
+
+Result<BatchView> ExecScanBatch(const PlanNode& node, ExecContext& ctx) {
+  AQP_RETURN_IF_ERROR(gov::FaultInjector::Global().MaybeFail("engine.scan"));
+  AQP_ASSIGN_OR_RETURN(TablePtr table, ctx.catalog.Get(node.table_name()));
+  const SampleSpec& spec = node.sample();
+  if (!spec.is_sampled()) {
+    if (ctx.stats != nullptr) {
+      ctx.stats->rows_scanned += table->num_rows();
+      ctx.stats->blocks_read += table->NumBlocks(spec.block_size);
+    }
+    return IdentityView(std::move(table));
+  }
+  const bool use_morsels = ctx.options.UseMorsels(table->num_rows());
+  uint64_t blocks_read = 0;
+  AQP_ASSIGN_OR_RETURN(
+      std::vector<uint32_t> keep,
+      DrawSampleKeep(*table, spec, use_morsels, ctx, &blocks_read));
+  if (ctx.stats != nullptr) {
+    ctx.stats->rows_scanned += keep.size();
+    ctx.stats->blocks_read += blocks_read;
+  }
+  // No gather: the sample IS the selection vector.
+  BatchView v = IdentityView(std::move(table));
+  v.num_rows = keep.size();
+  AQP_ASSIGN_OR_RETURN(v.sel, TrackSel(std::move(keep), ctx, "scan selection"));
+  return v;
+}
+
+// Filters a view without materializing it: the predicate compiles against
+// the BASE columns (addressed by the view's names), masks evaluate over
+// contiguous base-row spans, and the incoming selection — when present — is
+// intersected morsel by morsel. Morselizing BASE row ranges keeps the
+// per-morsel work at O(span + selected-in-span) and, because masks are
+// exact, makes the output selection independent of morsel boundaries and
+// thread count.
+Result<BatchView> ExecFilterBatch(const PlanNode& node, ExecContext& ctx) {
+  AQP_ASSIGN_OR_RETURN(BatchView child, ExecBatch(node.child(), ctx));
+  const Expr& pred_expr = *node.predicate();
+  // Degenerate inputs (empty, constant predicate) run the scalar evaluator
+  // over the materialized child — the same code the row path runs, so
+  // results and errors match exactly.
+  if (child.num_rows == 0 || pred_expr.ReferencedColumns().empty()) {
+    AQP_ASSIGN_OR_RETURN(TablePtr input,
+                         MaterializeView(child, ctx, "filter input"));
+    AQP_ASSIGN_OR_RETURN(std::vector<uint32_t> selected,
+                         EvalPredicate(pred_expr, *input));
+    BatchView out = IdentityView(std::move(input));
+    out.num_rows = selected.size();
+    AQP_ASSIGN_OR_RETURN(
+        out.sel, TrackSel(std::move(selected), ctx, "filter selection"));
+    return out;
+  }
+  std::vector<const Column*> cols;
+  cols.reserve(child.col_idx.size());
+  for (size_t idx : child.col_idx) cols.push_back(&child.base->column(idx));
+  AQP_ASSIGN_OR_RETURN(BatchPredicate pred,
+                       BatchPredicate::Compile(pred_expr, child.names, cols));
+  if (pred.HasFallback() && child.sel != nullptr) {
+    // Scalar-fallback nodes evaluate every row of a span; over a selection
+    // view that would touch non-selected base rows and could raise errors
+    // (e.g. x % y with y = 0 on a filtered-out row) the row engine never
+    // sees. Materialize first so the fallback evaluates exactly the
+    // selected rows.
+    AQP_ASSIGN_OR_RETURN(TablePtr input,
+                         MaterializeView(child, ctx, "filter input"));
+    child = IdentityView(std::move(input));
+    cols.clear();
+    for (size_t idx : child.col_idx) cols.push_back(&child.base->column(idx));
+    AQP_ASSIGN_OR_RETURN(
+        pred, BatchPredicate::Compile(pred_expr, child.names, cols));
+  }
+  const size_t base_n = child.base->num_rows();
+  const std::vector<uint32_t>* in_sel = child.sel.get();
+  size_t morsel_rows = ctx.options.morsel_rows;
+  if (morsel_rows == 0) morsel_rows = base_n;
+  const size_t num_threads = ctx.options.ResolvedThreads();
+  // Same parallelize-or-not decision as the scalar filter: based on the
+  // operator's logical input size, not the base span.
+  const bool use_morsels = ctx.options.UseMorsels(child.num_rows);
+  const size_t num_morsels = (base_n + morsel_rows - 1) / morsel_rows;
+  // Charge lookup structures (dictionary pages, IN/LIKE bitmaps) plus mask
+  // scratch for the evaluation's lifetime; a refused charge surfaces as
+  // ResourceExhausted and trips the governor's degradation ladder exactly
+  // like an operator-output charge.
+  const uint64_t scratch =
+      pred.ScratchBytesPerRow() *
+      std::min<uint64_t>(base_n,
+                         morsel_rows * std::max<size_t>(num_threads, 1));
+  ScopedMemoryCharge charge;
+  AQP_ASSIGN_OR_RETURN(
+      charge, ScopedMemoryCharge::Make(ctx.options.memory,
+                                       pred.AuxBytes() + scratch,
+                                       "predicate batch buffers"));
+  // Evaluates base rows [begin, end) and appends surviving selection
+  // entries (ascending) to *dst.
+  auto run_span = [&](size_t begin, size_t end, uint8_t* mask,
+                      std::vector<uint32_t>* dst) -> Status {
+    if (in_sel != nullptr) {
+      auto lo = std::lower_bound(in_sel->begin(), in_sel->end(),
+                                 static_cast<uint32_t>(begin));
+      auto hi = std::lower_bound(lo, in_sel->end(),
+                                 static_cast<uint32_t>(end));
+      if (lo == hi) return Status::OK();  // No selected rows in this span.
+      AQP_RETURN_IF_ERROR(pred.EvalSpan(begin, end - begin, mask));
+      for (auto it = lo; it != hi; ++it) {
+        if (mask[*it - begin] == simd::kMaskTrue) dst->push_back(*it);
+      }
+      return Status::OK();
+    }
+    AQP_RETURN_IF_ERROR(pred.EvalSpan(begin, end - begin, mask));
+    simd::SelectTrue(mask, end - begin, static_cast<uint32_t>(begin), dst);
+    return Status::OK();
+  };
+  std::vector<uint32_t> out_sel;
+  if (!use_morsels || num_threads <= 1 || num_morsels <= 1) {
+    std::vector<uint8_t> mask(std::min<size_t>(base_n, morsel_rows));
+    for (size_t begin = 0; begin < base_n; begin += morsel_rows) {
+      AQP_RETURN_IF_ERROR(CheckCancelled(ctx.options.cancel));
+      const size_t end = std::min(base_n, begin + morsel_rows);
+      AQP_RETURN_IF_ERROR(run_span(begin, end, mask.data(), &out_sel));
+    }
+  } else {
+    std::vector<std::vector<uint32_t>> local(num_morsels);
+    std::vector<Status> errors(num_morsels, Status::OK());
+    ParallelRunStats rs = ThreadPool::Shared().ParallelFor(
+        base_n, morsel_rows, num_threads, ctx.pf_options(),
+        [&](size_t, size_t m, size_t begin, size_t end) {
+          std::vector<uint8_t> mask(end - begin);
+          errors[m] = run_span(begin, end, mask.data(), &local[m]);
+        });
+    AQP_RETURN_IF_ERROR(CheckCancelled(ctx.options.cancel));
+    for (const Status& s : errors) {
+      AQP_RETURN_IF_ERROR(s);
+    }
+    size_t total = 0;
+    for (const std::vector<uint32_t>& v : local) total += v.size();
+    out_sel.reserve(total);
+    // Ordered merge: morsel index order IS base-row order.
+    for (const std::vector<uint32_t>& v : local) {
+      out_sel.insert(out_sel.end(), v.begin(), v.end());
+    }
+    if (ctx.run_stats() != nullptr) ctx.run_stats()->MergeFrom(rs);
+  }
+  BatchView out;
+  out.base = child.base;
+  out.col_idx = child.col_idx;
+  out.names = child.names;
+  out.num_rows = out_sel.size();
+  AQP_ASSIGN_OR_RETURN(
+      out.sel, TrackSel(std::move(out_sel), ctx, "filter selection"));
+  return out;
+}
+
+// Project over bare column references is a zero-copy column remap; anything
+// computed materializes the child and reuses the scalar projection.
+Result<BatchView> ExecProjectBatch(const PlanNode& node, ExecContext& ctx) {
+  AQP_ASSIGN_OR_RETURN(BatchView child, ExecBatch(node.child(), ctx));
+  bool all_colrefs = true;
+  for (const ExprPtr& e : node.exprs()) {
+    if (e->kind() != ExprKind::kColumnRef) {
+      all_colrefs = false;
+      break;
+    }
+  }
+  if (all_colrefs) {
+    BatchView out;
+    out.base = child.base;
+    out.sel = child.sel;
+    out.num_rows = child.num_rows;
+    out.col_idx.reserve(node.exprs().size());
+    out.names.reserve(node.exprs().size());
+    for (size_t i = 0; i < node.exprs().size(); ++i) {
+      const std::string& ref = node.exprs()[i]->column_name();
+      // Same two-pass resolution as Schema::FieldIndex: exact match, then a
+      // unique unqualified-vs-qualified suffix match.
+      size_t found = child.names.size();
+      for (size_t j = 0; j < child.names.size(); ++j) {
+        if (child.names[j] == ref) {
+          found = j;
+          break;
+        }
+      }
+      if (found == child.names.size() &&
+          ref.find('.') == std::string::npos) {
+        const std::string suffix = "." + ref;
+        int matches = 0;
+        for (size_t j = 0; j < child.names.size(); ++j) {
+          const std::string& f = child.names[j];
+          if (f.size() > suffix.size() &&
+              f.compare(f.size() - suffix.size(), suffix.size(), suffix) ==
+                  0) {
+            found = j;
+            ++matches;
+          }
+        }
+        if (matches != 1) found = child.names.size();
+      }
+      if (found == child.names.size()) {
+        return Status::InvalidArgument("unknown column: " + ref);
+      }
+      out.col_idx.push_back(child.col_idx[found]);
+      out.names.push_back(node.names()[i]);
+    }
+    return out;
+  }
+  AQP_ASSIGN_OR_RETURN(TablePtr input,
+                       MaterializeView(child, ctx, "project input"));
+  const size_t num_exprs = node.exprs().size();
+  Schema schema;
+  std::vector<Column> columns;
+  for (size_t i = 0; i < num_exprs; ++i) {
+    AQP_ASSIGN_OR_RETURN(Column c, Eval(*node.exprs()[i], *input));
+    schema.AddField({node.names()[i], c.type()});
+    columns.push_back(std::move(c));
+  }
+  AQP_ASSIGN_OR_RETURN(Table out,
+                       Table::Make(std::move(schema), std::move(columns)));
+  AQP_ASSIGN_OR_RETURN(TablePtr tracked,
+                       TrackTable(std::move(out), ctx, "project output"));
+  return IdentityView(std::move(tracked));
+}
+
+Result<BatchView> ExecDispatchBatch(const PlanPtr& plan, ExecContext& ctx) {
+  switch (plan->kind()) {
+    case PlanKind::kScan:
+      return ExecScanBatch(*plan, ctx);
+    case PlanKind::kFilter:
+      return ExecFilterBatch(*plan, ctx);
+    case PlanKind::kProject:
+      return ExecProjectBatch(*plan, ctx);
+    default: {
+      // Table-valued operators run their scalar bodies; their children
+      // arrive through ExecInput, which stays on the batch path and
+      // gathers at this boundary.
+      AQP_ASSIGN_OR_RETURN(TablePtr t, ExecDispatch(plan, ctx));
+      return IdentityView(std::move(t));
+    }
+  }
+}
+
+// Batch twin of Exec: same cancellation point, same trace spans with the
+// same attribute set (rows_out counts view rows, so traces are comparable
+// across paths).
+Result<BatchView> ExecBatch(const PlanPtr& plan, ExecContext& ctx) {
+  AQP_CHECK(plan != nullptr);
+  AQP_RETURN_IF_ERROR(CheckCancelled(ctx.options.cancel));
+  if (ctx.trace == nullptr) {
+    return ExecDispatchBatch(plan, ctx);
+  }
+  obs::TraceSpan span = ctx.trace->Span(OperatorName(plan->kind()));
+  if (plan->kind() == PlanKind::kScan) {
+    span.AddAttr("table", plan->table_name());
+    const SampleSpec& spec = plan->sample();
+    if (spec.is_sampled()) {
+      span.AddAttr("sample_method",
+                   spec.method == SampleSpec::Method::kSystemBlock
+                       ? "system-block"
+                       : "bernoulli-row");
+      span.AddAttr("sample_rate", spec.rate);
+    }
+  }
+  const ParallelRunStats* rs = ctx.run_stats();
+  uint64_t morsels_before = rs != nullptr ? rs->morsels : 0;
+  uint64_t steals_before = rs != nullptr ? rs->steals : 0;
+  Result<BatchView> result = ExecDispatchBatch(plan, ctx);
+  if (result.ok()) {
+    span.AddAttr("rows_out", uint64_t{result.value().num_rows});
+  }
+  if (rs != nullptr && rs->morsels > morsels_before) {
+    span.AddAttr("parallel_morsels", rs->morsels - morsels_before);
+    span.AddAttr("parallel_steals", rs->steals - steals_before);
+  }
+  return result;
+}
+
 }  // namespace
 
 Result<Table> Execute(const PlanPtr& plan, const Catalog& catalog,
@@ -489,7 +913,32 @@ Result<Table> Execute(const PlanPtr& plan, const Catalog& catalog,
   ExecStats* effective = stats != nullptr ? stats : &local;
   ExecStats before = instrumented ? *effective : ExecStats{};
   ExecContext ctx{catalog, instrumented ? effective : stats, trace, options};
-  AQP_ASSIGN_OR_RETURN(TablePtr result, Exec(plan, ctx));
+  TablePtr result;
+  if (options.ResolvedPath() == ExecPath::kVectorized) {
+    // Vectorized root: run the plan as batch views, gather once at the top.
+    // The gather is the deferred row movement of the whole pipeline, so it
+    // gets its own span with the morsel attribution the scalar path records
+    // at its per-operator gathers.
+    AQP_ASSIGN_OR_RETURN(BatchView view, ExecBatch(plan, ctx));
+    if (trace == nullptr) {
+      AQP_ASSIGN_OR_RETURN(result,
+                           MaterializeView(view, ctx, "result materialize"));
+    } else {
+      obs::TraceSpan span = trace->Span("materialize");
+      const ParallelRunStats* rs = ctx.run_stats();
+      uint64_t morsels_before = rs != nullptr ? rs->morsels : 0;
+      uint64_t steals_before = rs != nullptr ? rs->steals : 0;
+      AQP_ASSIGN_OR_RETURN(result,
+                           MaterializeView(view, ctx, "result materialize"));
+      span.AddAttr("rows_out", uint64_t{result->num_rows()});
+      if (rs != nullptr && rs->morsels > morsels_before) {
+        span.AddAttr("parallel_morsels", rs->morsels - morsels_before);
+        span.AddAttr("parallel_steals", rs->steals - steals_before);
+      }
+    }
+  } else {
+    AQP_ASSIGN_OR_RETURN(result, Exec(plan, ctx));
+  }
   if (instrumented) {
     // Handles cached across calls: one registry lock each, first call only.
     static obs::Counter* plans = obs::MetricsRegistry::Global().GetCounter(

@@ -1,9 +1,112 @@
 #include "storage/column.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/hash.h"
 
 namespace aqp {
+
+std::shared_ptr<const StringDictionary> StringDictionary::Build(
+    const std::vector<std::string>& values,
+    const std::vector<uint8_t>& valid) {
+  auto dict = std::make_shared<StringDictionary>();
+  std::vector<std::string> distinct;
+  distinct.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (valid[i]) distinct.push_back(values[i]);
+  }
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  distinct.shrink_to_fit();
+  dict->sorted_ = std::move(distinct);
+  dict->codes_.resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!valid[i]) {
+      dict->codes_[i] = kNullCode;
+      continue;
+    }
+    auto it = std::lower_bound(dict->sorted_.begin(), dict->sorted_.end(),
+                               values[i]);
+    dict->codes_[i] = static_cast<uint32_t>(it - dict->sorted_.begin());
+  }
+  return dict;
+}
+
+bool StringDictionary::CodeOf(const std::string& s, uint32_t* code) const {
+  auto it = std::lower_bound(sorted_.begin(), sorted_.end(), s);
+  if (it == sorted_.end() || *it != s) return false;
+  *code = static_cast<uint32_t>(it - sorted_.begin());
+  return true;
+}
+
+uint32_t StringDictionary::LowerBound(const std::string& s) const {
+  return static_cast<uint32_t>(
+      std::lower_bound(sorted_.begin(), sorted_.end(), s) - sorted_.begin());
+}
+
+uint32_t StringDictionary::UpperBound(const std::string& s) const {
+  return static_cast<uint32_t>(
+      std::upper_bound(sorted_.begin(), sorted_.end(), s) - sorted_.begin());
+}
+
+uint64_t StringDictionary::ApproxBytes() const {
+  uint64_t bytes = codes_.capacity() * sizeof(uint32_t);
+  bytes += sorted_.capacity() * sizeof(std::string);
+  for (const std::string& s : sorted_) {
+    if (s.capacity() > sizeof(std::string)) bytes += s.capacity();
+  }
+  return bytes;
+}
+
+Column::Column(const Column& other)
+    : type_(other.type_),
+      ints_(other.ints_),
+      doubles_(other.doubles_),
+      strings_(other.strings_),
+      bools_(other.bools_),
+      valid_(other.valid_),
+      null_count_(other.null_count_),
+      dict_(other.dict_.load(std::memory_order_acquire)) {}
+
+Column& Column::operator=(const Column& other) {
+  if (this == &other) return *this;
+  type_ = other.type_;
+  ints_ = other.ints_;
+  doubles_ = other.doubles_;
+  strings_ = other.strings_;
+  bools_ = other.bools_;
+  valid_ = other.valid_;
+  null_count_ = other.null_count_;
+  dict_.store(other.dict_.load(std::memory_order_acquire),
+              std::memory_order_release);
+  return *this;
+}
+
+Column::Column(Column&& other) noexcept
+    : type_(other.type_),
+      ints_(std::move(other.ints_)),
+      doubles_(std::move(other.doubles_)),
+      strings_(std::move(other.strings_)),
+      bools_(std::move(other.bools_)),
+      valid_(std::move(other.valid_)),
+      null_count_(other.null_count_),
+      dict_(other.dict_.load(std::memory_order_acquire)) {}
+
+Column& Column::operator=(Column&& other) noexcept {
+  if (this == &other) return *this;
+  type_ = other.type_;
+  ints_ = std::move(other.ints_);
+  doubles_ = std::move(other.doubles_);
+  strings_ = std::move(other.strings_);
+  bools_ = std::move(other.bools_);
+  valid_ = std::move(other.valid_);
+  null_count_ = other.null_count_;
+  dict_.store(other.dict_.load(std::memory_order_acquire),
+              std::memory_order_release);
+  return *this;
+}
 
 Column Column::FromInt64(std::vector<int64_t> values) {
   Column c(DataType::kInt64);
@@ -173,6 +276,102 @@ Column Column::Slice(size_t offset, size_t length) const {
   out.Reserve(length);
   for (size_t i = offset; i < offset + length; ++i) out.AppendFrom(*this, i);
   return out;
+}
+
+Column Column::TakeBatch(const std::vector<uint32_t>& indices) const {
+  Column out(type_);
+  const size_t n = indices.size();
+  const uint32_t* idx = indices.data();
+  out.valid_.resize(n);
+  uint8_t* ov = out.valid_.data();
+  if (null_count_ == 0) {
+    std::fill(ov, ov + n, uint8_t{1});
+  } else {
+    const uint8_t* v = valid_.data();
+    size_t nulls = 0;
+    for (size_t i = 0; i < n; ++i) {
+      ov[i] = v[idx[i]];
+      nulls += ov[i] == 0 ? 1 : 0;
+    }
+    out.null_count_ = nulls;
+  }
+  switch (type_) {
+    case DataType::kInt64: {
+      out.ints_.resize(n);
+      const int64_t* src = ints_.data();
+      int64_t* dst = out.ints_.data();
+      for (size_t i = 0; i < n; ++i) dst[i] = src[idx[i]];
+      break;
+    }
+    case DataType::kDouble: {
+      out.doubles_.resize(n);
+      const double* src = doubles_.data();
+      double* dst = out.doubles_.data();
+      for (size_t i = 0; i < n; ++i) dst[i] = src[idx[i]];
+      break;
+    }
+    case DataType::kString: {
+      out.strings_.reserve(n);
+      for (size_t i = 0; i < n; ++i) out.strings_.push_back(strings_[idx[i]]);
+      break;
+    }
+    case DataType::kBool: {
+      out.bools_.resize(n);
+      const uint8_t* src = bools_.data();
+      uint8_t* dst = out.bools_.data();
+      for (size_t i = 0; i < n; ++i) dst[i] = src[idx[i]];
+      break;
+    }
+  }
+  return out;
+}
+
+Column Column::SliceBatch(size_t offset, size_t length) const {
+  AQP_CHECK(offset <= size());
+  length = std::min(length, size() - offset);
+  Column out(type_);
+  out.valid_.assign(valid_.begin() + offset, valid_.begin() + offset + length);
+  if (null_count_ != 0) {
+    size_t nulls = 0;
+    for (uint8_t v : out.valid_) nulls += v == 0 ? 1 : 0;
+    out.null_count_ = nulls;
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      out.ints_.assign(ints_.begin() + offset,
+                       ints_.begin() + offset + length);
+      break;
+    case DataType::kDouble:
+      out.doubles_.assign(doubles_.begin() + offset,
+                          doubles_.begin() + offset + length);
+      break;
+    case DataType::kString:
+      out.strings_.assign(strings_.begin() + offset,
+                          strings_.begin() + offset + length);
+      break;
+    case DataType::kBool:
+      out.bools_.assign(bools_.begin() + offset,
+                        bools_.begin() + offset + length);
+      break;
+  }
+  return out;
+}
+
+std::shared_ptr<const StringDictionary> Column::EnsureDictionary() const {
+  if (type_ != DataType::kString) return nullptr;
+  auto cached = dict_.load(std::memory_order_acquire);
+  if (cached != nullptr && cached->codes().size() == size()) return cached;
+  auto built = StringDictionary::Build(strings_, valid_);
+  // Concurrent builders race benignly: every build over the same rows yields
+  // identical content, so last-store-wins is fine.
+  dict_.store(built, std::memory_order_release);
+  return built;
+}
+
+std::shared_ptr<const StringDictionary> Column::dictionary_if_built() const {
+  auto cached = dict_.load(std::memory_order_acquire);
+  if (cached != nullptr && cached->codes().size() == size()) return cached;
+  return nullptr;
 }
 
 uint64_t Column::HashAt(size_t i, uint64_t seed) const {

@@ -63,8 +63,18 @@ class Table {
   Table Take(const std::vector<uint32_t>& indices, size_t num_threads,
              ParallelRunStats* run_stats = nullptr) const;
 
+  /// Typed bulk gather — same result as Take without per-row type dispatch
+  /// (vectorized path). The parallel overload distributes whole columns over
+  /// workers, so the result is identical for every thread count.
+  Table TakeBatch(const std::vector<uint32_t>& indices) const;
+  Table TakeBatch(const std::vector<uint32_t>& indices, size_t num_threads,
+                  ParallelRunStats* run_stats = nullptr) const;
+
   /// Contiguous sub-range of rows.
   Table Slice(size_t offset, size_t length) const;
+
+  /// Same sub-range via typed bulk copies (vectorized path).
+  Table SliceBatch(size_t offset, size_t length) const;
 
   /// Renames columns in-place (size must equal num_columns).
   Status RenameColumns(const std::vector<std::string>& names);

@@ -1,0 +1,225 @@
+// Mask-kernel unit tests: three-valued compare masks (including the NaN-as-
+// equal comparator contract and the int64->double promotion boundaries),
+// Kleene combiners, selection building — and bit-for-bit parity between the
+// portable loops and the AVX2 backend on every size class that stresses the
+// vector tail handling.
+#include "common/simd.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace aqp {
+namespace simd {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class BackendRestorer {
+ public:
+  BackendRestorer() : saved_(ActiveBackend()) {}
+  ~BackendRestorer() { SetBackendForTest(saved_); }
+
+ private:
+  Backend saved_;
+};
+
+TEST(SimdMaskTest, CmpMaskF64BasicAndNulls) {
+  const double x[] = {1.0, 2.0, 3.0, 4.0};
+  const uint8_t valid[] = {1, 0, 1, 1};
+  uint8_t out[4];
+  CmpMaskF64(x, valid, 4, 2.5, CmpOp::kLt, out);
+  EXPECT_EQ(out[0], kMaskTrue);
+  EXPECT_EQ(out[1], kMaskNull);
+  EXPECT_EQ(out[2], kMaskFalse);
+  EXPECT_EQ(out[3], kMaskFalse);
+  // Null `valid` pointer means no NULL slots.
+  CmpMaskF64(x, nullptr, 4, 3.0, CmpOp::kGe, out);
+  EXPECT_EQ(out[0], kMaskFalse);
+  EXPECT_EQ(out[1], kMaskFalse);
+  EXPECT_EQ(out[2], kMaskTrue);
+  EXPECT_EQ(out[3], kMaskTrue);
+}
+
+// The row engine's three-way comparator treats an unordered pair (NaN on
+// either side) as EQUAL: Eq/Le/Ge hold, Ne/Lt/Gt do not. The batch kernels
+// must reproduce that exactly.
+TEST(SimdMaskTest, CmpMaskF64NanComparesAsEqual) {
+  const double x[] = {kNan, 1.0, kInf, -kInf};
+  uint8_t out[4];
+  CmpMaskF64(x, nullptr, 4, 5.0, CmpOp::kEq, out);
+  EXPECT_EQ(out[0], kMaskTrue);   // NaN vs 5: unordered => "equal".
+  EXPECT_EQ(out[1], kMaskFalse);
+  EXPECT_EQ(out[2], kMaskFalse);
+  EXPECT_EQ(out[3], kMaskFalse);
+  CmpMaskF64(x, nullptr, 4, 5.0, CmpOp::kNe, out);
+  EXPECT_EQ(out[0], kMaskFalse);
+  EXPECT_EQ(out[1], kMaskTrue);
+  CmpMaskF64(x, nullptr, 4, 5.0, CmpOp::kLt, out);
+  EXPECT_EQ(out[0], kMaskFalse);  // unordered is not less.
+  EXPECT_EQ(out[1], kMaskTrue);
+  CmpMaskF64(x, nullptr, 4, 5.0, CmpOp::kLe, out);
+  EXPECT_EQ(out[0], kMaskTrue);   // unordered counts as equal => <= holds.
+  CmpMaskF64(x, nullptr, 4, 5.0, CmpOp::kGe, out);
+  EXPECT_EQ(out[0], kMaskTrue);
+  EXPECT_EQ(out[2], kMaskTrue);   // +inf >= 5.
+  CmpMaskF64(x, nullptr, 4, 5.0, CmpOp::kGt, out);
+  EXPECT_EQ(out[0], kMaskFalse);
+  // NaN literal on the comparison's right-hand side behaves the same way.
+  const double y[] = {1.0, kNan};
+  CmpMaskF64(y, nullptr, 2, kNan, CmpOp::kEq, out);
+  EXPECT_EQ(out[0], kMaskTrue);
+  EXPECT_EQ(out[1], kMaskTrue);
+  CmpMaskF64(y, nullptr, 2, kNan, CmpOp::kLt, out);
+  EXPECT_EQ(out[0], kMaskFalse);
+  EXPECT_EQ(out[1], kMaskFalse);
+}
+
+// int64 compared against a double literal is widened to double per element —
+// around 2^53 distinct int64 values collapse to the same double, and the
+// kernel must reproduce the scalar evaluator's widening exactly.
+TEST(SimdMaskTest, CmpMaskI64AsF64BoundaryValues) {
+  const int64_t two53 = int64_t{1} << 53;
+  const int64_t x[] = {two53, two53 + 1, -two53, (int64_t{1} << 51) + 3,
+                       int64_t{1} << 62};
+  uint8_t out[5];
+  // 2^53 + 1 rounds to 2^53 as a double, so it compares EQUAL to 2^53.
+  CmpMaskI64AsF64(x, nullptr, 5, static_cast<double>(two53), CmpOp::kEq, out);
+  EXPECT_EQ(out[0], kMaskTrue);
+  EXPECT_EQ(out[1], kMaskTrue);
+  EXPECT_EQ(out[2], kMaskFalse);
+  EXPECT_EQ(out[3], kMaskFalse);
+  EXPECT_EQ(out[4], kMaskFalse);
+  CmpMaskI64AsF64(x, nullptr, 5, static_cast<double>(two53), CmpOp::kGt, out);
+  EXPECT_EQ(out[1], kMaskFalse);  // equal after widening, not greater.
+  EXPECT_EQ(out[4], kMaskTrue);
+  // In int64 space the same values are NOT equal.
+  CmpMaskI64(x, nullptr, 5, two53, CmpOp::kEq, out);
+  EXPECT_EQ(out[0], kMaskTrue);
+  EXPECT_EQ(out[1], kMaskFalse);
+  CmpMaskI64(x, nullptr, 5, two53, CmpOp::kGt, out);
+  EXPECT_EQ(out[1], kMaskTrue);
+}
+
+TEST(SimdMaskTest, KleeneTruthTables) {
+  // All 9 combinations for AND and OR; F=0 T=1 N=2.
+  const uint8_t av[] = {0, 0, 0, 1, 1, 1, 2, 2, 2};
+  const uint8_t bv[] = {0, 1, 2, 0, 1, 2, 0, 1, 2};
+  uint8_t a[9];
+  std::copy(std::begin(av), std::end(av), a);
+  And3(a, bv, 9);
+  const uint8_t and_expect[] = {0, 0, 0, 0, 1, 2, 0, 2, 2};
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(a[i], and_expect[i]) << i;
+  std::copy(std::begin(av), std::end(av), a);
+  Or3(a, bv, 9);
+  const uint8_t or_expect[] = {0, 1, 2, 1, 1, 1, 2, 1, 2};
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(a[i], or_expect[i]) << i;
+  uint8_t n[] = {0, 1, 2};
+  Not3(n, 3);
+  EXPECT_EQ(n[0], kMaskTrue);
+  EXPECT_EQ(n[1], kMaskFalse);
+  EXPECT_EQ(n[2], kMaskNull);
+}
+
+TEST(SimdMaskTest, SelectTrueAndCountTrue) {
+  const uint8_t mask[] = {1, 0, 2, 1, 1, 0, 2, 1};
+  std::vector<uint32_t> sel = {7};  // Appends, does not clear.
+  SelectTrue(mask, 8, 100, &sel);
+  ASSERT_EQ(sel.size(), 5u);
+  EXPECT_EQ(sel[0], 7u);
+  EXPECT_EQ(sel[1], 100u);
+  EXPECT_EQ(sel[2], 103u);
+  EXPECT_EQ(sel[3], 104u);
+  EXPECT_EQ(sel[4], 107u);
+  EXPECT_EQ(CountTrue(mask, 8), 4u);
+  EXPECT_EQ(CountTrue(mask, 0), 0u);
+}
+
+// Every kernel must be bit-identical between the scalar loops and the AVX2
+// backend, on sizes that cover empty, sub-vector, exact-vector, and ragged
+// tails. Skipped (scalar-vs-scalar, still a valid determinism check) when
+// the host lacks AVX2.
+TEST(SimdMaskTest, BackendsBitIdenticalOnRandomInputs) {
+  BackendRestorer restore;
+  Pcg32 rng(0x51D);
+  const size_t sizes[] = {0, 1, 3, 4, 5, 31, 32, 33, 1024, 4097};
+  for (size_t n : sizes) {
+    std::vector<double> xd(n);
+    std::vector<int64_t> xi(n);
+    std::vector<uint8_t> valid(n);
+    for (size_t i = 0; i < n; ++i) {
+      switch (rng.UniformUint32(8)) {
+        case 0: xd[i] = kNan; break;
+        case 1: xd[i] = kInf; break;
+        case 2: xd[i] = -0.0; break;
+        default: xd[i] = rng.Gaussian() * 10.0;
+      }
+      xi[i] = rng.UniformUint32(4) == 0
+                  ? (int64_t{1} << 53) + static_cast<int64_t>(i)
+                  : static_cast<int64_t>(rng.UniformUint32(201)) - 100;
+      valid[i] = rng.UniformUint32(4) != 0;
+    }
+    const double cs[] = {0.0, -3.5, kNan, kInf, 9.007199254740992e15};
+    const CmpOp ops[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                         CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+    std::vector<uint8_t> a(n), b(n);
+    for (double c : cs) {
+      for (CmpOp op : ops) {
+        SetBackendForTest(Backend::kScalar);
+        CmpMaskF64(xd.data(), valid.data(), n, c, op, a.data());
+        SetBackendForTest(Backend::kAvx2);
+        CmpMaskF64(xd.data(), valid.data(), n, c, op, b.data());
+        EXPECT_EQ(a, b) << "CmpMaskF64 n=" << n << " c=" << c;
+        SetBackendForTest(Backend::kScalar);
+        CmpMaskI64AsF64(xi.data(), valid.data(), n, c, op, a.data());
+        SetBackendForTest(Backend::kAvx2);
+        CmpMaskI64AsF64(xi.data(), valid.data(), n, c, op, b.data());
+        EXPECT_EQ(a, b) << "CmpMaskI64AsF64 n=" << n << " c=" << c;
+        SetBackendForTest(Backend::kScalar);
+        CmpMaskI64(xi.data(), valid.data(), n, 7, op, a.data());
+        SetBackendForTest(Backend::kAvx2);
+        CmpMaskI64(xi.data(), valid.data(), n, 7, op, b.data());
+        EXPECT_EQ(a, b) << "CmpMaskI64 n=" << n;
+      }
+    }
+    // Combiners.
+    std::vector<uint8_t> m1(n), m2(n);
+    for (size_t i = 0; i < n; ++i) {
+      m1[i] = static_cast<uint8_t>(rng.UniformUint32(3));
+      m2[i] = static_cast<uint8_t>(rng.UniformUint32(3));
+    }
+    a = m1;
+    b = m1;
+    SetBackendForTest(Backend::kScalar);
+    And3(a.data(), m2.data(), n);
+    SetBackendForTest(Backend::kAvx2);
+    And3(b.data(), m2.data(), n);
+    EXPECT_EQ(a, b) << "And3 n=" << n;
+    a = m1;
+    b = m1;
+    SetBackendForTest(Backend::kScalar);
+    Or3(a.data(), m2.data(), n);
+    SetBackendForTest(Backend::kAvx2);
+    Or3(b.data(), m2.data(), n);
+    EXPECT_EQ(a, b) << "Or3 n=" << n;
+    std::vector<uint32_t> s1, s2;
+    SetBackendForTest(Backend::kScalar);
+    SelectTrue(m1.data(), n, 10, &s1);
+    size_t c1 = CountTrue(m1.data(), n);
+    SetBackendForTest(Backend::kAvx2);
+    SelectTrue(m1.data(), n, 10, &s2);
+    size_t c2 = CountTrue(m1.data(), n);
+    EXPECT_EQ(s1, s2) << "SelectTrue n=" << n;
+    EXPECT_EQ(c1, c2) << "CountTrue n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace simd
+}  // namespace aqp

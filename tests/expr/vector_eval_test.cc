@@ -1,0 +1,257 @@
+// BatchPredicate edge cases: every compiled kernel class (numeric compare,
+// dictionary string compare, IN/LIKE bitmaps, BETWEEN, Kleene combiners,
+// scalar fallback) checked cell-for-cell against the row-at-a-time
+// EvalPredicate at awkward batch sizes — 1 row, exactly one morsel,
+// non-power-of-two, larger than a morsel — plus all-null and no-null
+// columns, and identical error behavior on fallback failures.
+#include "expr/vector_eval.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/memory_tracker.h"
+#include "common/random.h"
+#include "expr/eval.h"
+#include "storage/table.h"
+
+namespace aqp {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// Random nullable 4-column table (i INT64, d DOUBLE, s STRING, b BOOL).
+Table MakeTable(size_t rows, uint64_t seed, bool with_nulls) {
+  Pcg32 rng(seed);
+  const char* vocab[] = {"alpha", "beta", "gamma", "delta", "", "a%b", "a_c"};
+  Table t(Schema({{"i", DataType::kInt64},
+                  {"d", DataType::kDouble},
+                  {"s", DataType::kString},
+                  {"b", DataType::kBool}}));
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    if (with_nulls && rng.UniformUint32(8) == 0) {
+      row.push_back(Value::Null());
+    } else {
+      row.push_back(Value(static_cast<int64_t>(rng.UniformUint32(41)) - 20));
+    }
+    if (with_nulls && rng.UniformUint32(8) == 0) {
+      row.push_back(Value::Null());
+    } else if (rng.UniformUint32(20) == 0) {
+      row.push_back(Value(kNan));
+    } else {
+      row.push_back(Value(rng.Gaussian() * 5.0));
+    }
+    if (with_nulls && rng.UniformUint32(8) == 0) {
+      row.push_back(Value::Null());
+    } else {
+      row.push_back(Value(std::string(vocab[rng.UniformUint32(7)])));
+    }
+    if (with_nulls && rng.UniformUint32(8) == 0) {
+      row.push_back(Value::Null());
+    } else {
+      row.push_back(Value(rng.UniformUint32(2) == 1));
+    }
+    Status s = t.AppendRow(row);
+    AQP_CHECK(s.ok());
+  }
+  return t;
+}
+
+// The full predicate zoo compiled per test.
+std::vector<ExprPtr> PredicateZoo() {
+  std::vector<ExprPtr> preds;
+  preds.push_back(Lt(Col("d"), Lit(1.5)));
+  preds.push_back(Eq(Col("i"), Lit(int64_t{7})));
+  preds.push_back(Ge(Col("i"), Lit(-3.5)));         // int col, double lit.
+  preds.push_back(Ne(Col("d"), Lit(kNan)));          // NaN literal.
+  preds.push_back(Eq(Col("s"), Lit("beta")));        // dict point.
+  preds.push_back(Ne(Col("s"), Lit("gamma")));
+  preds.push_back(Lt(Col("s"), Lit("c")));           // dict range.
+  preds.push_back(Le(Col("s"), Lit("beta")));
+  preds.push_back(Gt(Col("s"), Lit("alpha")));
+  preds.push_back(Ge(Col("s"), Lit("delta")));
+  preds.push_back(Eq(Col("s"), Lit("missing")));     // not in dictionary.
+  preds.push_back(Between(Col("i"), Lit(int64_t{-5}), Lit(int64_t{5})));
+  preds.push_back(Between(Col("d"), Lit(-2.0), Lit(2.0)));
+  preds.push_back(Between(Col("s"), Lit("b"), Lit("g")));
+  preds.push_back(In(Col("i"), {Value(int64_t{1}), Value(int64_t{4}),
+                                Value(7.0)}));
+  preds.push_back(In(Col("i"), {Value(int64_t{2}), Value::Null()}));
+  preds.push_back(In(Col("s"), {Value(std::string("alpha")),
+                                Value(std::string("delta"))}));
+  preds.push_back(In(Col("s"), {Value(std::string("beta")), Value::Null()}));
+  preds.push_back(Like(Col("s"), "%a"));
+  preds.push_back(Like(Col("s"), "a%"));
+  preds.push_back(Like(Col("s"), "_e%"));
+  preds.push_back(Like(Col("s"), "a\\%b"));          // escaped wildcard.
+  preds.push_back(Col("b"));
+  preds.push_back(Not(Col("b")));
+  preds.push_back(Eq(Col("b"), Lit(false)));
+  preds.push_back(Lt(Col("i"), Col("d")));           // col vs col.
+  preds.push_back(And(Gt(Col("d"), Lit(-1.0)), Lt(Col("i"), Lit(int64_t{10}))));
+  preds.push_back(Or(Eq(Col("s"), Lit("alpha")), Col("b")));
+  preds.push_back(Not(And(Col("b"), Gt(Col("d"), Lit(0.0)))));
+  preds.push_back(Gt(Add(Col("i"), Col("d")), Lit(2.0)));  // fallback.
+  preds.push_back(Gt(Col("d"), NullLit()));
+  preds.push_back(Lit(true));
+  preds.push_back(Lit(false));
+  return preds;
+}
+
+void ExpectParity(const Table& t, size_t morsel_rows, size_t threads) {
+  for (const ExprPtr& p : PredicateZoo()) {
+    Result<std::vector<uint32_t>> scalar = EvalPredicate(*p, t);
+    Result<std::vector<uint32_t>> batch = EvalPredicateBatch(
+        *p, t, morsel_rows, threads);
+    ASSERT_EQ(scalar.ok(), batch.ok()) << p->ToString();
+    if (!scalar.ok()) {
+      EXPECT_EQ(scalar.status().code(), batch.status().code());
+      continue;
+    }
+    EXPECT_EQ(scalar.value(), batch.value())
+        << p->ToString() << " rows=" << t.num_rows()
+        << " morsel=" << morsel_rows << " threads=" << threads;
+  }
+}
+
+TEST(VectorEvalTest, BatchSizeOne) {
+  ExpectParity(MakeTable(1, 11, true), 1024, 1);
+}
+
+TEST(VectorEvalTest, ExactlyOneMorsel) {
+  ExpectParity(MakeTable(1024, 12, true), 1024, 2);
+}
+
+TEST(VectorEvalTest, NonPowerOfTwo) {
+  ExpectParity(MakeTable(999, 13, true), 256, 4);
+}
+
+TEST(VectorEvalTest, LargerThanMorsel) {
+  ExpectParity(MakeTable(5000, 14, true), 512, 4);
+}
+
+TEST(VectorEvalTest, EmptyTable) {
+  ExpectParity(MakeTable(0, 15, true), 1024, 4);
+}
+
+TEST(VectorEvalTest, NoNullColumns) {
+  ExpectParity(MakeTable(777, 16, false), 128, 3);
+}
+
+TEST(VectorEvalTest, AllNullColumn) {
+  Table t(Schema({{"i", DataType::kInt64}, {"d", DataType::kDouble}}));
+  for (size_t r = 0; r < 300; ++r) {
+    Status s = t.AppendRow({Value::Null(), Value::Null()});
+    AQP_CHECK(s.ok());
+  }
+  for (const ExprPtr& p :
+       {Lt(Col("d"), Lit(0.0)), Eq(Col("i"), Lit(int64_t{1})),
+        In(Col("i"), {Value(int64_t{1})}),
+        Between(Col("d"), Lit(0.0), Lit(1.0)),
+        Or(Gt(Col("d"), Lit(0.0)), Le(Col("i"), Lit(int64_t{5})))}) {
+    std::vector<uint32_t> scalar = EvalPredicate(*p, t).value();
+    std::vector<uint32_t> batch = EvalPredicateBatch(*p, t, 128, 4).value();
+    EXPECT_TRUE(scalar.empty());
+    EXPECT_EQ(scalar, batch) << p->ToString();
+  }
+}
+
+// int64 values straddling the double-exactness boundary: the promotion to
+// double space must match the scalar evaluator bit for bit.
+TEST(VectorEvalTest, HugeInt64PromotionBoundary) {
+  const int64_t two53 = int64_t{1} << 53;
+  Table t(Schema({{"i", DataType::kInt64}}));
+  for (int64_t v : {two53, two53 + 1, two53 - 1, -two53, -two53 - 1,
+                    (int64_t{1} << 51) + 3, int64_t{1} << 62, int64_t{0}}) {
+    Status s = t.AppendRow({Value(v)});
+    AQP_CHECK(s.ok());
+  }
+  for (const ExprPtr& p :
+       {Eq(Col("i"), Lit(static_cast<double>(two53))),
+        Gt(Col("i"), Lit(static_cast<double>(two53))),
+        Le(Col("i"), Lit(9007199254740993.0)),
+        Between(Col("i"), Lit(two53 - 1), Lit(two53 + 1)),
+        In(Col("i"), {Value(static_cast<double>(two53)), Value(int64_t{0})})}) {
+    EXPECT_EQ(EvalPredicate(*p, t).value(),
+              EvalPredicateBatch(*p, t, 4, 2).value())
+        << p->ToString();
+  }
+}
+
+// Fallback nodes must fail exactly like the interpreter (modulo by zero),
+// serial and morsel-parallel alike.
+TEST(VectorEvalTest, FallbackErrorParity) {
+  Table t(Schema({{"i", DataType::kInt64}, {"k", DataType::kInt64}}));
+  for (size_t r = 0; r < 600; ++r) {
+    Status s = t.AppendRow(
+        {Value(static_cast<int64_t>(r)), Value(static_cast<int64_t>(r % 7))});
+    AQP_CHECK(s.ok());
+  }
+  ExprPtr p = Eq(Mod(Col("i"), Col("k")), Lit(int64_t{0}));  // k hits 0.
+  Result<std::vector<uint32_t>> scalar = EvalPredicate(*p, t);
+  ASSERT_FALSE(scalar.ok());
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    Result<std::vector<uint32_t>> batch =
+        EvalPredicateBatch(*p, t, 128, threads);
+    ASSERT_FALSE(batch.ok());
+    EXPECT_EQ(scalar.status().code(), batch.status().code());
+    EXPECT_EQ(scalar.status().message(), batch.status().message());
+  }
+  BatchPredicate compiled = BatchPredicate::Compile(*p, t).value();
+  EXPECT_TRUE(compiled.HasFallback());
+}
+
+TEST(VectorEvalTest, CompiledKernelsReportNoFallback) {
+  Table t = MakeTable(64, 17, true);
+  for (const ExprPtr& p :
+       {Lt(Col("d"), Lit(1.5)), Eq(Col("s"), Lit("beta")),
+        Between(Col("i"), Lit(int64_t{-5}), Lit(int64_t{5})),
+        Like(Col("s"), "a%"),
+        And(Col("b"), In(Col("i"), {Value(int64_t{1})}))}) {
+    BatchPredicate compiled = BatchPredicate::Compile(*p, t).value();
+    EXPECT_FALSE(compiled.HasFallback()) << p->ToString();
+  }
+}
+
+// Dictionary pages and IN/LIKE bitmaps are real, accounted bytes; a string
+// predicate must report non-zero AuxBytes and every predicate a sane
+// per-row scratch requirement.
+TEST(VectorEvalTest, AccountingSurface) {
+  Table t = MakeTable(256, 18, true);
+  BatchPredicate sp =
+      BatchPredicate::Compile(*Eq(Col("s"), Lit("beta")), t).value();
+  EXPECT_GT(sp.AuxBytes(), 0u);
+  BatchPredicate np =
+      BatchPredicate::Compile(*Lt(Col("d"), Lit(0.0)), t).value();
+  EXPECT_GE(np.ScratchBytesPerRow(), 1u);
+  // A refused memory charge surfaces as ResourceExhausted.
+  MemoryTracker tiny(/*budget_bytes=*/16);
+  Result<std::vector<uint32_t>> refused = EvalPredicateBatch(
+      *Eq(Col("s"), Lit("beta")), t, 128, 2, nullptr, nullptr, &tiny);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(tiny.used(), 0u) << "refused charge must not leak";
+}
+
+// Type errors must match the scalar evaluator's.
+TEST(VectorEvalTest, TypeErrorParity) {
+  Table t = MakeTable(8, 19, true);
+  for (const ExprPtr& p : {Lt(Col("d"), Lit("oops")), Col("i"),
+                           Eq(Col("nope"), Lit(int64_t{1}))}) {
+    Result<std::vector<uint32_t>> scalar = EvalPredicate(*p, t);
+    Result<BatchPredicate> compiled = BatchPredicate::Compile(*p, t);
+    Result<std::vector<uint32_t>> batch = EvalPredicateBatch(*p, t, 128, 1);
+    ASSERT_FALSE(scalar.ok()) << p->ToString();
+    EXPECT_FALSE(compiled.ok()) << p->ToString();
+    ASSERT_FALSE(batch.ok()) << p->ToString();
+    EXPECT_EQ(scalar.status().code(), batch.status().code()) << p->ToString();
+  }
+}
+
+}  // namespace
+}  // namespace aqp

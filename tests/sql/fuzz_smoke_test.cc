@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "engine/executor.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
+#include "test_util.h"
 #include "workload/datagen.h"
 
 namespace aqp {
@@ -75,6 +77,7 @@ TEST(FuzzSmokeTest, ThousandMutatedQueriesNeverCrash) {
   Pcg32 rng(20260807);
   size_t parsed = 0;
   size_t bound = 0;
+  size_t differential = 0;
   for (int i = 0; i < 1000; ++i) {
     std::string q = kSeedQueries[i % std::size(kSeedQueries)];
     const uint32_t rounds = 1 + rng.UniformUint32(4);
@@ -88,11 +91,33 @@ TEST(FuzzSmokeTest, ThousandMutatedQueriesNeverCrash) {
     ++bound;
     // Queries that survive binding must also execute without crashing.
     (void)ExecuteSql(q, catalog);
+    // Differential leg: the bound plan must behave identically on the
+    // scalar and vectorized paths — same success/failure, and on success a
+    // cell-for-cell bit-identical table at every thread count.
+    ExecOptions scalar;
+    scalar.path = ExecPath::kScalar;
+    scalar.num_threads = 1;
+    Result<Table> ref = Execute(b->plan, catalog, nullptr, nullptr, scalar);
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      ExecOptions vec;
+      vec.path = ExecPath::kVectorized;
+      vec.num_threads = threads;
+      Result<Table> got = Execute(b->plan, catalog, nullptr, nullptr, vec);
+      ASSERT_EQ(ref.ok(), got.ok()) << q;
+      if (ref.ok()) {
+        ++differential;
+        EXPECT_TRUE(testutil::TablesBitIdentical(ref.value(), got.value()))
+            << q;
+      } else {
+        EXPECT_EQ(ref.status().code(), got.status().code()) << q;
+      }
+    }
   }
   // The mutator must not be so destructive that the test stops exercising
   // the deeper layers: some mutants still parse and bind.
   EXPECT_GT(parsed, 50u);
   EXPECT_GT(bound, 10u);
+  EXPECT_GT(differential, 0u);
 }
 
 TEST(FuzzSmokeTest, PathologicalInputsReturnStatus) {

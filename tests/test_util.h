@@ -1,8 +1,13 @@
 #ifndef AQP_TESTS_TEST_UTIL_H_
 #define AQP_TESTS_TEST_UTIL_H_
 
+#include <bit>
+#include <cstdint>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include <gtest/gtest.h>
 
 #include "common/random.h"
 #include "engine/exec_options.h"
@@ -12,6 +17,87 @@
 
 namespace aqp {
 namespace testutil {
+
+/// Bit-identical cell comparison for the differential harness: NULL flags
+/// must match, and non-null values must be equal — doubles by BIT PATTERN
+/// (so +0.0 vs -0.0 and differently-produced NaNs fail), which is the
+/// determinism contract between the scalar and vectorized paths.
+inline ::testing::AssertionResult CellsBitIdentical(const Column& a,
+                                                    const Column& b,
+                                                    size_t row) {
+  const bool an = a.IsNull(row);
+  const bool bn = b.IsNull(row);
+  if (an != bn) {
+    return ::testing::AssertionFailure()
+           << "row " << row << ": null flag " << an << " vs " << bn;
+  }
+  if (an) return ::testing::AssertionSuccess();
+  switch (a.type()) {
+    case DataType::kInt64:
+      if (a.Int64At(row) != b.Int64At(row)) {
+        return ::testing::AssertionFailure()
+               << "row " << row << ": " << a.Int64At(row) << " vs "
+               << b.Int64At(row);
+      }
+      break;
+    case DataType::kDouble: {
+      const uint64_t ab = std::bit_cast<uint64_t>(a.DoubleAt(row));
+      const uint64_t bb = std::bit_cast<uint64_t>(b.DoubleAt(row));
+      if (ab != bb) {
+        return ::testing::AssertionFailure()
+               << "row " << row << ": " << a.DoubleAt(row) << " (0x"
+               << std::hex << ab << ") vs " << b.DoubleAt(row) << " (0x"
+               << bb << ")";
+      }
+      break;
+    }
+    case DataType::kString:
+      if (a.StringAt(row) != b.StringAt(row)) {
+        return ::testing::AssertionFailure()
+               << "row " << row << ": '" << a.StringAt(row) << "' vs '"
+               << b.StringAt(row) << "'";
+      }
+      break;
+    case DataType::kBool:
+      if (a.BoolAt(row) != b.BoolAt(row)) {
+        return ::testing::AssertionFailure()
+               << "row " << row << ": " << a.BoolAt(row) << " vs "
+               << b.BoolAt(row);
+      }
+      break;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Schema + every cell of `a` and `b` bit-identical (see CellsBitIdentical).
+inline ::testing::AssertionResult TablesBitIdentical(const Table& a,
+                                                     const Table& b) {
+  if (a.num_columns() != b.num_columns()) {
+    return ::testing::AssertionFailure()
+           << "column count " << a.num_columns() << " vs " << b.num_columns();
+  }
+  if (a.num_rows() != b.num_rows()) {
+    return ::testing::AssertionFailure()
+           << "row count " << a.num_rows() << " vs " << b.num_rows();
+  }
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    const Field& fa = a.schema().field(c);
+    const Field& fb = b.schema().field(c);
+    if (fa.name != fb.name || fa.type != fb.type) {
+      return ::testing::AssertionFailure()
+             << "column " << c << ": field " << fa.name << " vs " << fb.name;
+    }
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      ::testing::AssertionResult cell =
+          CellsBitIdentical(a.column(c), b.column(c), r);
+      if (!cell) {
+        return ::testing::AssertionFailure()
+               << "column '" << fa.name << "' " << cell.message();
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
 
 /// Table with a single DOUBLE column "x" holding `values`.
 inline Table DoubleTable(const std::vector<double>& values) {
