@@ -3,16 +3,22 @@
 // at the file the service writes (AQP_QUERY_LOG=...) and it shows:
 //
 //   - totals: queries seen, ok/failed/rejected, slow, cache-answered;
-//   - the top-N slowest queries (wall ms, rung, cache source, SQL);
+//   - the top-N slowest queries (wall ms, rung, cache source, SQL, and the
+//     drift score / age of the synopsis that answered, when one did);
 //   - the top-N degraded queries (which rung, why, what error was returned);
 //   - live audited coverage: what fraction of background accuracy audits
-//     found the exact answer inside the claimed confidence interval.
+//     found the exact answer inside the claimed confidence interval;
+//   - synopsis drift: the latest DriftMonitor verdict per table (score,
+//     staleness, action taken).
 //
 // Usage:
-//   aqptop <query_log.jsonl> [--top N] [--follow]
+//   aqptop <query_log.jsonl> [--top N] [--follow] [--drift]
 //
 // --follow re-reads and redraws once a second (Ctrl-C to stop); the default
 // is one pass, which is what CI uses to validate the log end to end.
+// --drift switches to the drift-detail view: per-table component
+// breakdown (KS / domain churn / heavy-hitter turnover / moment shift) of
+// the most recent verdict, plus verdict counts.
 //
 // Events are FLAT JSON objects, one per line (see obs/query_log.h), so a
 // small string scanner is all the parsing this needs — by design, the log
@@ -25,6 +31,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -73,7 +80,24 @@ struct QueryRow {
   std::string cache;
   std::string status;
   double est_error = 0.0;
+  double drift_score = 0.0;  // Drift of the synopsis that answered (0 = n/a).
+  double age_seconds = 0.0;  // Its age at answer time.
   std::string sql;
+};
+
+/// Latest DriftMonitor verdict per table, plus cumulative verdict counts.
+struct DriftRow {
+  double score = 0.0;
+  double ks = 0.0;
+  double churn = 0.0;
+  double hh = 0.0;
+  double moment = 0.0;
+  double staleness = 0.0;
+  std::string action = "none";
+  std::string worst_column;
+  uint64_t checks = 0;
+  uint64_t flags = 0;
+  uint64_t invalidations = 0;
 };
 
 struct Totals {
@@ -81,8 +105,11 @@ struct Totals {
   uint64_t slow = 0, cached = 0, degraded = 0;
   uint64_t audits = 0, audit_cells = 0, audit_covered = 0;
   double worst_observed_error = 0.0;
+  uint64_t drift_checks = 0, drift_flags = 0, drift_invalidations = 0;
 };
 
+// Truncation keeps every column bounded: n is the TOTAL budget, dots
+// included, so wide table names (or SQL) can never blow the layout apart.
 std::string Ellipsize(std::string s, size_t n) {
   if (s.size() > n) {
     s.resize(n > 3 ? n - 3 : n);
@@ -91,28 +118,98 @@ std::string Ellipsize(std::string s, size_t n) {
   return s;
 }
 
+// Column budget for table names in the drift views. Synthetic/partitioned
+// names ("events_ingest_2026_08_08_shard_0042") used to stretch the whole
+// table; now they ellipsize like SQL does.
+constexpr size_t kTableNameWidth = 28;
+
+std::string FmtScore(double score) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", score);
+  return buf;
+}
+
+std::string FmtAge(double seconds) {
+  char buf[32];
+  if (seconds <= 0.0) return "-";
+  if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+  } else if (seconds < 7200.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fm", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fh", seconds / 3600.0);
+  }
+  return buf;
+}
+
+void RenderDriftTable(const std::map<std::string, DriftRow>& drift,
+                      bool detailed) {
+  if (drift.empty()) {
+    std::printf("Synopsis drift: no monitor verdicts in this log\n");
+    return;
+  }
+  if (detailed) {
+    aqp::bench::TablePrinter t({"table", "score", "ks", "churn", "hh turn",
+                                "moment", "worst col", "action", "stale",
+                                "checks", "flag", "inval"});
+    for (const auto& [table, d] : drift) {
+      t.AddRow({Ellipsize(table, kTableNameWidth), FmtScore(d.score),
+                FmtScore(d.ks), FmtScore(d.churn), FmtScore(d.hh),
+                FmtScore(d.moment),
+                d.worst_column.empty()
+                    ? "-"
+                    : Ellipsize(d.worst_column, kTableNameWidth),
+                d.action, FmtAge(d.staleness), std::to_string(d.checks),
+                std::to_string(d.flags), std::to_string(d.invalidations)});
+    }
+    std::printf("Synopsis drift — latest verdict per table:\n");
+    t.Print();
+    return;
+  }
+  aqp::bench::TablePrinter t({"table", "drift", "stale", "action"});
+  for (const auto& [table, d] : drift) {
+    t.AddRow({Ellipsize(table, kTableNameWidth), FmtScore(d.score),
+              FmtAge(d.staleness), d.action});
+  }
+  std::printf("Synopsis drift:\n");
+  t.Print();
+}
+
 void Render(const std::string& path, const Totals& t,
-            std::vector<QueryRow> rows, size_t top_n) {
+            std::vector<QueryRow> rows,
+            const std::map<std::string, DriftRow>& drift, size_t top_n,
+            bool drift_view) {
   std::printf("aqptop — %s\n", path.c_str());
   std::printf(
       "%llu events: %llu queries (%llu ok, %llu failed, %llu rejected), "
-      "%llu slow, %llu cache-answered, %llu degraded\n\n",
+      "%llu slow, %llu cache-answered, %llu degraded\n",
       (unsigned long long)t.events, (unsigned long long)t.queries,
       (unsigned long long)t.ok, (unsigned long long)t.failed,
       (unsigned long long)t.rejected, (unsigned long long)t.slow,
       (unsigned long long)t.cached, (unsigned long long)t.degraded);
+  std::printf(
+      "drift: %llu checks, %llu flags, %llu invalidations\n\n",
+      (unsigned long long)t.drift_checks, (unsigned long long)t.drift_flags,
+      (unsigned long long)t.drift_invalidations);
+
+  if (drift_view) {
+    RenderDriftTable(drift, /*detailed=*/true);
+    return;
+  }
 
   std::sort(rows.begin(), rows.end(),
             [](const QueryRow& a, const QueryRow& b) {
               return a.wall_ms > b.wall_ms;
             });
   aqp::bench::TablePrinter slow({"wall ms", "status", "rung", "cache",
-                                 "est err", "sql"});
+                                 "est err", "drift", "age", "sql"});
   for (size_t i = 0; i < rows.size() && i < top_n; ++i) {
     const QueryRow& r = rows[i];
     slow.AddRow({aqp::bench::Fmt(r.wall_ms, 2), r.status,
                  std::to_string(r.rung), r.cache.empty() ? "-" : r.cache,
-                 aqp::bench::FmtPct(r.est_error), Ellipsize(r.sql, 48)});
+                 aqp::bench::FmtPct(r.est_error),
+                 r.drift_score > 0.0 ? FmtScore(r.drift_score) : "-",
+                 FmtAge(r.age_seconds), Ellipsize(r.sql, 48)});
   }
   std::printf("Top %zu by wall time:\n", std::min(top_n, rows.size()));
   slow.Print();
@@ -124,14 +221,19 @@ void Render(const std::string& path, const Totals& t,
   std::printf("\nTop %zu degraded (answered off the happy path):\n",
               std::min(top_n, degraded.size()));
   aqp::bench::TablePrinter deg(
-      {"wall ms", "rung", "reason", "est err", "sql"});
+      {"wall ms", "rung", "reason", "est err", "drift", "sql"});
   for (size_t i = 0; i < degraded.size() && i < top_n; ++i) {
     const QueryRow& r = degraded[i];
     deg.AddRow({aqp::bench::Fmt(r.wall_ms, 2), std::to_string(r.rung),
                 r.reason.empty() ? "-" : r.reason,
-                aqp::bench::FmtPct(r.est_error), Ellipsize(r.sql, 48)});
+                aqp::bench::FmtPct(r.est_error),
+                r.drift_score > 0.0 ? FmtScore(r.drift_score) : "-",
+                Ellipsize(r.sql, 48)});
   }
   deg.Print();
+
+  std::printf("\n");
+  RenderDriftTable(drift, /*detailed=*/false);
 
   std::printf("\nAccuracy audits: %llu verdicts, %llu/%llu CI cells covered",
               (unsigned long long)t.audits,
@@ -146,7 +248,7 @@ void Render(const std::string& path, const Totals& t,
 }
 
 // One full pass over the log file.
-bool Scan(const std::string& path, size_t top_n) {
+bool Scan(const std::string& path, size_t top_n, bool drift_view) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "aqptop: cannot open %s\n", path.c_str());
@@ -154,6 +256,7 @@ bool Scan(const std::string& path, size_t top_n) {
   }
   Totals t;
   std::vector<QueryRow> rows;
+  std::map<std::string, DriftRow> drift;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -167,6 +270,29 @@ bool Scan(const std::string& path, size_t top_n) {
           std::max(t.worst_observed_error, NumField(line, "observed_error"));
       continue;
     }
+    if (kind == "drift") {
+      ++t.drift_checks;
+      DriftRow& d = drift[RawField(line, "drift_table")];
+      ++d.checks;
+      d.score = NumField(line, "drift_score");
+      d.ks = NumField(line, "drift_ks");
+      d.churn = NumField(line, "drift_domain_churn");
+      d.hh = NumField(line, "drift_hh_turnover");
+      d.moment = NumField(line, "drift_moment_shift");
+      d.staleness = NumField(line, "staleness_seconds");
+      d.worst_column = RawField(line, "drift_worst_column");
+      d.action = RawField(line, "drift_action");
+      if (d.action.empty()) d.action = "none";
+      if (d.action == "flag") {
+        ++d.flags;
+        ++t.drift_flags;
+      }
+      if (d.action == "invalidate") {
+        ++d.invalidations;
+        ++t.drift_invalidations;
+      }
+      continue;
+    }
     ++t.queries;
     QueryRow r;
     r.wall_ms = NumField(line, "wall_ms");
@@ -175,6 +301,8 @@ bool Scan(const std::string& path, size_t top_n) {
     r.cache = RawField(line, "cache_source");
     r.status = RawField(line, "status");
     r.est_error = NumField(line, "estimated_error");
+    r.drift_score = NumField(line, "synopsis_drift_score");
+    r.age_seconds = NumField(line, "synopsis_age_seconds");
     r.sql = RawField(line, "sql");
     if (r.status == "ok") ++t.ok;
     if (r.status == "failed") ++t.failed;
@@ -184,7 +312,7 @@ bool Scan(const std::string& path, size_t top_n) {
     if (r.rung > 0) ++t.degraded;
     rows.push_back(std::move(r));
   }
-  Render(path, t, std::move(rows), top_n);
+  Render(path, t, std::move(rows), drift, top_n, drift_view);
   return true;
 }
 
@@ -194,9 +322,12 @@ int main(int argc, char** argv) {
   std::string path;
   size_t top_n = 10;
   bool follow = false;
+  bool drift_view = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--follow") == 0) {
       follow = true;
+    } else if (std::strcmp(argv[i], "--drift") == 0) {
+      drift_view = true;
     } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
       top_n = (size_t)std::atol(argv[++i]);
     } else {
@@ -208,14 +339,15 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) {
     std::fprintf(stderr,
-                 "usage: aqptop <query_log.jsonl> [--top N] [--follow]\n"
+                 "usage: aqptop <query_log.jsonl> [--top N] [--follow] "
+                 "[--drift]\n"
                  "(or set AQP_QUERY_LOG)\n");
     return 2;
   }
-  if (!follow) return Scan(path, top_n) ? 0 : 1;
+  if (!follow) return Scan(path, top_n, drift_view) ? 0 : 1;
   while (true) {
     std::printf("\033[2J\033[H");  // Clear screen, home cursor.
-    Scan(path, top_n);
+    Scan(path, top_n, drift_view);
     std::this_thread::sleep_for(std::chrono::seconds(1));
   }
 }

@@ -1,0 +1,80 @@
+#ifndef AQP_CORE_DRIFT_BASELINE_H_
+#define AQP_CORE_DRIFT_BASELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/memory_tracker.h"
+#include "common/result.h"
+#include "sketch/drift.h"
+#include "storage/table.h"
+
+namespace aqp {
+namespace core {
+
+/// Per-table drift signature: one ColumnDriftSketch per column, captured at
+/// synopsis build time (the baseline, cached next to the sample) and again
+/// later by the DriftMonitor (the current state). ScoreDrift compares a
+/// pair and rolls the per-column scores up to one staleness number.
+struct TableDriftBaseline {
+  std::string table;
+  uint64_t catalog_version = 0;
+  uint64_t rows = 0;
+  double built_unix_seconds = 0.0;  // Wall-clock capture time.
+  std::vector<std::pair<std::string, sketch::ColumnDriftSketch>> columns;
+
+  uint64_t ApproxBytes() const;
+};
+
+struct DriftBaselineOptions {
+  sketch::DriftSketchOptions sketch;
+  /// Scan at most this many leading rows (0 = all). The monitor uses this
+  /// to bound re-scan cost on huge tables; build-time baselines scan all.
+  uint64_t max_rows = 0;
+};
+
+/// Scans `table` once (typed column spans, morsel-sized cancellation
+/// checks) and builds the per-column drift sketches. The sketch footprint
+/// is charged to `tracker` for the duration of the build and released
+/// before returning — the caller re-charges ApproxBytes() if it retains
+/// the result (SynopsisCache folds it into the entry's byte accounting).
+Result<TableDriftBaseline> BuildDriftBaseline(
+    const Table& table, const std::string& name,
+    uint64_t catalog_version, const DriftBaselineOptions& opts = {},
+    MemoryTracker* tracker = nullptr,
+    const CancellationToken* cancel = nullptr);
+
+/// One column's contribution to a table-level drift report.
+struct ColumnDriftEntry {
+  std::string column;
+  sketch::ColumnDriftScore score;
+};
+
+/// Table-level drift roll-up: per-column decompositions plus the component
+/// maxima and the overall staleness score (max over columns — one badly
+/// drifted column is enough to make a synopsis lie).
+struct TableDriftReport {
+  std::string table;
+  double score = 0.0;
+  double ks = 0.0;
+  double domain_churn = 0.0;
+  double hh_turnover = 0.0;
+  double moment_shift = 0.0;
+  std::vector<ColumnDriftEntry> columns;
+  /// Name of the column with the highest score ("" when no columns).
+  std::string worst_column;
+};
+
+/// Scores `current` against `baseline`, matching columns by name; columns
+/// present in only one side score 1 (schema drift is total drift).
+TableDriftReport ScoreDrift(const TableDriftBaseline& baseline,
+                            const TableDriftBaseline& current);
+
+}  // namespace core
+}  // namespace aqp
+
+#endif  // AQP_CORE_DRIFT_BASELINE_H_

@@ -1,5 +1,6 @@
 #include "gov/governed_executor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -91,8 +92,15 @@ Result<core::ApproxResult> GovernedExecutor::RunLadder(std::string_view sql,
                                                        Status failure,
                                                        obs::QueryTrace* trace) {
   // Rung 1: a pre-computed offline sample answers at cost proportional to
-  // the (small) stored sample, no base-table scan.
-  if (samples_ != nullptr) {
+  // the (small) stored sample, no base-table scan. A synopsis the
+  // DriftMonitor scored past the decline threshold is refused outright —
+  // rung 2 reads current data, and a wrong-but-confident answer is worse
+  // than a wider honest one.
+  const bool drift_declined =
+      options_.synopsis_drift_score >= options_.drift_decline_threshold &&
+      options_.drift_decline_threshold > 0.0;
+  if (drift_declined) BumpCounter("gov.drift_declined");
+  if (samples_ != nullptr && !drift_declined) {
     Result<core::ApproxResult> offline = [&] {
       obs::TraceSpan rung_span = obs::MaybeSpan(trace, "rung-1");
       Result<core::ApproxResult> r = RunOfflineRung(sql, ctx, trace);
@@ -102,7 +110,12 @@ Result<core::ApproxResult> GovernedExecutor::RunLadder(std::string_view sql,
     if (offline.ok()) {
       core::ApproxResult result = std::move(offline).value();
       double raw_error = core::MaxRelativeCiHalfWidth(result.cis);
-      WidenAllCis(&result, options_.degraded_ci_inflation);
+      // Drift-dependent inflation: measured staleness buys wider intervals.
+      const double inflation =
+          options_.degraded_ci_inflation *
+          (1.0 + options_.drift_inflation_gain *
+                     std::max(0.0, options_.synopsis_drift_score));
+      WidenAllCis(&result, inflation);
       FinishProfile(&result, ctx, /*rung=*/1,
                     "degraded to stored offline sample: " + failure.message(),
                     raw_error);
@@ -251,6 +264,8 @@ void GovernedExecutor::FinishProfile(core::ApproxResult* result,
   profile.pre_inflation_error = pre_inflation_error;
   profile.memory_peak_bytes = ctx.memory().peak();
   profile.memory_leaked_bytes = ctx.memory().used();
+  profile.synopsis_drift_score = options_.synopsis_drift_score;
+  profile.synopsis_age_seconds = options_.synopsis_age_seconds;
 }
 
 }  // namespace gov

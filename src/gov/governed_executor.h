@@ -35,6 +35,21 @@ struct GovernedOptions {
   /// multiplier) to reflect that the answer came from a rung the query did
   /// not ask for.
   double degraded_ci_inflation = 1.5;
+
+  /// Drift context of the offline synopses rung 1 would answer from, set
+  /// per query by the service tier from the cache entries it adopted (the
+  /// DriftMonitor's latest score and the synopsis age). 0 = fresh/unknown.
+  double synopsis_drift_score = 0.0;
+  double synopsis_age_seconds = 0.0;
+  /// Rung-1 CI inflation grows with measured drift:
+  ///   inflation = degraded_ci_inflation * (1 + gain * drift_score)
+  /// so a synopsis known to be going stale answers with honestly wider
+  /// intervals instead of confidently-wrong ones.
+  double drift_inflation_gain = 1.0;
+  /// At or above this drift score rung 1 refuses to answer from the stored
+  /// synopsis at all (PilotDB-style decline-when-unsafe): the ladder falls
+  /// through to the online-aggregation rung, which reads CURRENT data.
+  double drift_decline_threshold = 0.5;
 };
 
 /// Resource-governed query execution: wraps the two-stage ApproxExecutor in

@@ -13,9 +13,14 @@ namespace obs {
 /// {count,sum,min,max,p50,p90,p99} (quantiles from the KLL sketch).
 std::string ExportJson(const MetricsRegistry& registry);
 
-/// The registry in Prometheus text exposition format (v0.0.4): counters as
-/// `# TYPE <name> counter`, gauges as gauge, histograms as a summary with
-/// quantile-labelled samples plus _count/_sum.
+/// The registry in Prometheus text exposition format (v0.0.4). Every family
+/// gets `# HELP` and `# TYPE` once; counters export as counter, gauges as
+/// gauge, histograms as a summary with quantile-labelled samples plus
+/// _count/_sum. Registry names are sanitized to the Prometheus charset
+/// (dots become underscores), and flat names that embed a label block
+/// ('family{table="x"}', the registry's labeling convention) are split so
+/// the family is sanitized while the labels survive as real Prometheus
+/// labels.
 std::string ExportPrometheus(const MetricsRegistry& registry);
 
 }  // namespace obs

@@ -54,6 +54,10 @@ std::string ExecutionProfile::ToText() const {
   if (!cache_source.empty()) {
     out += "  cache:      " + cache_source + "\n";
   }
+  if (synopsis_drift_score > 0.0 || synopsis_age_seconds > 0.0) {
+    out += "  synopsis:   drift_score=" + Pct(synopsis_drift_score) +
+           " age=" + std::to_string(synopsis_age_seconds) + "s\n";
+  }
   if (!sampling_design.empty()) {
     out += "  sampling:   " + sampling_design;
     if (!sampled_table.empty()) out += " over '" + sampled_table + "'";
@@ -139,6 +143,10 @@ std::string ExecutionProfile::ToJson() const {
     w.Key("queue_depth_at_admission").Value(queue_depth_at_admission);
   }
   if (!cache_source.empty()) w.Key("cache_source").Value(cache_source);
+  if (synopsis_drift_score > 0.0 || synopsis_age_seconds > 0.0) {
+    w.Key("synopsis_drift_score").Value(synopsis_drift_score);
+    w.Key("synopsis_age_seconds").Value(synopsis_age_seconds);
+  }
   if (!sampling_design.empty()) {
     w.Key("sampling_design").Value(sampling_design);
   }

@@ -79,6 +79,11 @@ struct ExecutionProfile {
   double admission_wait_seconds = 0.0;
   uint64_t queue_depth_at_admission = 0;
   std::string cache_source;
+  /// Drift context of the synopsis that served (or was available to) this
+  /// answer: the DriftMonitor's latest score for it and its age at answer
+  /// time. Both 0 when no cached synopsis was involved or never scored.
+  double synopsis_drift_score = 0.0;
+  double synopsis_age_seconds = 0.0;
 
   /// Sampling decisions.
   std::string sampling_design;   // e.g. "system-block(block_size=128)".

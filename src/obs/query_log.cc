@@ -39,11 +39,26 @@ std::string QueryLogEvent::ToJson() const {
   w.Key("plan_ms").Value(plan_ms);
   w.Key("final_ms").Value(final_ms);
   w.Key("slow").Value(slow);
+  if (synopsis_drift_score > 0.0 || synopsis_age_seconds > 0.0) {
+    w.Key("synopsis_drift_score").Value(synopsis_drift_score);
+    w.Key("synopsis_age_seconds").Value(synopsis_age_seconds);
+  }
   if (kind == "audit") {
     w.Key("audited_table").Value(audited_table);
     w.Key("audit_cells").Value(audit_cells);
     w.Key("audit_covered").Value(audit_covered);
     w.Key("observed_error").Value(observed_error);
+  }
+  if (kind == "drift") {
+    w.Key("drift_table").Value(drift_table);
+    w.Key("drift_score").Value(drift_score);
+    w.Key("drift_ks").Value(drift_ks);
+    w.Key("drift_domain_churn").Value(drift_domain_churn);
+    w.Key("drift_hh_turnover").Value(drift_hh_turnover);
+    w.Key("drift_moment_shift").Value(drift_moment_shift);
+    w.Key("drift_worst_column").Value(drift_worst_column);
+    w.Key("drift_action").Value(drift_action);
+    w.Key("staleness_seconds").Value(staleness_seconds);
   }
   w.EndObject();
   return w.str();

@@ -16,11 +16,13 @@ namespace obs {
 /// One structured record per query submission — the durable, queryable twin
 /// of the per-result ExecutionProfile. Events are FLAT (no nesting) so the
 /// JSONL sink stays trivially parseable by `jq`, awk, or the aqptop tailer;
-/// stage durations are flattened to per-stage milliseconds. Two kinds share
-/// the schema:
+/// stage durations are flattened to per-stage milliseconds. Three kinds
+/// share the schema:
 ///   kind="query": one per submission (answered, failed, or rejected);
 ///   kind="audit": one per background accuracy-audit verdict (the auditor
-///                 re-executed a sampled answer exactly and compared CIs).
+///                 re-executed a sampled answer exactly and compared CIs);
+///   kind="drift": one per DriftMonitor table verdict (a baseline/current
+///                 sketch comparison, with the action the monitor took).
 struct QueryLogEvent {
   std::string kind = "query";
   /// Wall-clock seconds since the Unix epoch at event completion.
@@ -52,6 +54,12 @@ struct QueryLogEvent {
   double final_ms = 0.0;
   bool slow = false;  // wall_ms >= the log's slow-query threshold.
 
+  /// Synopsis context of a query-kind answer (0 when the answer did not
+  /// come from a cached synopsis): the serving synopsis's latest drift
+  /// score and its age at answer time.
+  double synopsis_drift_score = 0.0;
+  double synopsis_age_seconds = 0.0;
+
   /// Audit-kind payload (0/empty on query events): which table/rung the
   /// audited answer came from, how many CI cells were checked, how many
   /// contained the exact answer, and the worst observed relative error.
@@ -59,6 +67,17 @@ struct QueryLogEvent {
   uint64_t audit_cells = 0;
   uint64_t audit_covered = 0;
   double observed_error = 0.0;
+
+  /// Drift-kind payload: per-table verdict from one DriftMonitor sweep.
+  std::string drift_table;
+  double drift_score = 0.0;
+  double drift_ks = 0.0;
+  double drift_domain_churn = 0.0;
+  double drift_hh_turnover = 0.0;
+  double drift_moment_shift = 0.0;
+  std::string drift_worst_column;
+  std::string drift_action;  // "none", "flag", or "invalidate".
+  double staleness_seconds = 0.0;
 
   /// The event as one flat JSON object (no trailing newline).
   std::string ToJson() const;

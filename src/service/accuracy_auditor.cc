@@ -93,7 +93,15 @@ bool AccuracyAuditor::MaybeEnqueue(const std::string& sql,
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) return false;
     ++eligible_;
-    if (eligible_ % interval_ != 0) return false;
+    bool prioritized = false;
+    if (!p.table.empty()) {
+      auto prio = priority_tables_.find(p.table);
+      if (prio != priority_tables_.end()) {
+        prioritized = true;
+        if (--prio->second == 0) priority_tables_.erase(prio);
+      }
+    }
+    if (!prioritized && eligible_ % interval_ != 0) return false;
     ++sampled_;
     if (queue_.size() >= options_.queue_capacity) {
       // Never back-pressure the foreground: the audit is best-effort.
@@ -105,6 +113,14 @@ bool AccuracyAuditor::MaybeEnqueue(const std::string& sql,
   }
   work_cv_.notify_one();
   return enqueued;
+}
+
+void AccuracyAuditor::PrioritizeTable(const std::string& table,
+                                      uint64_t budget) {
+  if (interval_ == 0 || table.empty() || budget == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t& remaining = priority_tables_[table];
+  remaining = std::max(remaining, budget);
 }
 
 void AccuracyAuditor::Drain() {

@@ -95,6 +95,12 @@ class AccuracyAuditor {
   /// non-blocking; call from the foreground result path.
   bool MaybeEnqueue(const std::string& sql, const core::ApproxResult& result);
 
+  /// Marks `table` as audit-priority: its next `budget` eligible answers
+  /// bypass the sampling interval (still bounded by the queue). The
+  /// DriftMonitor calls this when it flags a table, so ground-truth checks
+  /// concentrate where staleness is suspected.
+  void PrioritizeTable(const std::string& table, uint64_t budget = 8);
+
   /// Blocks until every enqueued audit has been processed (tests/bench).
   void Drain();
 
@@ -148,6 +154,8 @@ class AccuracyAuditor {
   uint64_t covered_ = 0;
   bool coverage_regression_ = false;
   std::map<std::string, Window> windows_;  // Keyed "<table>.rung<k>".
+  /// Remaining bypass-the-interval audits per prioritized table.
+  std::map<std::string, uint64_t> priority_tables_;
 
   std::thread worker_;
 };

@@ -63,6 +63,8 @@ obs::QueryLogEvent MakeEvent(const std::string& sql, uint64_t session_id,
     e.pilot_ms = profile->pilot_seconds * 1e3;
     e.plan_ms = profile->planning_seconds * 1e3;
     e.final_ms = profile->final_seconds * 1e3;
+    e.synopsis_drift_score = profile->synopsis_drift_score;
+    e.synopsis_age_seconds = profile->synopsis_age_seconds;
   }
   return e;
 }
@@ -85,16 +87,36 @@ std::string StripQualifier(const std::string& column) {
   return dot == std::string::npos ? column : column.substr(dot + 1);
 }
 
+/// Applies the environment overlays that other members read during
+/// construction (the drift options configure BOTH the monitor and the
+/// cache's baseline capture, so they resolve once, up front).
+ServiceOptions ResolveOptions(ServiceOptions options) {
+  options.drift = DriftMonitorOptions::FromEnv(options.drift);
+  return options;
+}
+
+/// Baseline capture mirrors the monitor switch: without a monitor nobody
+/// would read the baselines, so the extra build-time scan is skipped.
+SynopsisCache::Options CacheOptions(const ServiceOptions& options) {
+  SynopsisCache::Options o;
+  o.capture_baselines = options.drift.enabled;
+  o.baseline.sketch = options.drift.sketch;
+  return o;
+}
+
 }  // namespace
 
 QueryService::QueryService(const Catalog* catalog, ServiceOptions options)
     : catalog_(catalog),
-      options_(std::move(options)),
+      options_(ResolveOptions(std::move(options))),
       admission_(options_.admission),
-      synopsis_cache_(options_.synopsis_cache_bytes, &cache_memory_),
+      synopsis_cache_(options_.synopsis_cache_bytes, &cache_memory_,
+                      CacheOptions(options_)),
       result_cache_(options_.result_cache_bytes, &cache_memory_),
       query_log_(obs::QueryLogOptions::FromEnv(options_.query_log)),
-      auditor_(catalog, AuditOptions::FromEnv(options_.audit), &query_log_) {
+      auditor_(catalog, AuditOptions::FromEnv(options_.audit), &query_log_),
+      drift_monitor_(catalog, &synopsis_cache_, options_.drift, &query_log_,
+                     &auditor_) {
   // Without enough pool workers, admitted queries would queue behind each
   // other inside the pool and the admission bound would be a fiction.
   ThreadPool::Shared().EnsureAtLeast(options_.admission.max_inflight);
@@ -246,6 +268,23 @@ Result<core::ApproxResult> QueryService::RunAdmitted(
     versions.emplace_back(table, version.value());
   }
 
+  // Version movement since the last query that touched these tables nudges
+  // the drift monitor: a bump means the baseline's snapshot is known-old.
+  if (drift_monitor_.enabled() && versions_ok) {
+    bool moved = false;
+    {
+      std::lock_guard<std::mutex> lock(versions_mu_);
+      for (const auto& [table, version] : versions) {
+        auto [it, inserted] = seen_versions_.emplace(table, version);
+        if (!inserted && it->second != version) {
+          it->second = version;
+          moved = true;
+        }
+      }
+    }
+    if (moved) drift_monitor_.NotifyVersionActivity();
+  }
+
   // Result cache: identical (SQL, table versions, contract) → answer from
   // memory. The fingerprint pins table versions, so appends/replaces
   // invalidate by making old keys unreachable.
@@ -278,11 +317,31 @@ Result<core::ApproxResult> QueryService::RunAdmitted(
 
   // Synopsis cache: adopt shared stored samples into this query's private
   // offline-rung view. Build/lookup failures are non-fatal — the ladder
-  // simply has no rung 1 for that table.
+  // simply has no rung 1 for that table. The drift score/age of the
+  // adopted synopses travel into GovernedOptions so rung 1 can widen its
+  // CIs (or decline) proportionally to measured staleness.
   core::SampleCatalog synopsis_view;
   bool adopted = false;
+  double drift_score = 0.0;
+  double synopsis_age_seconds = 0.0;
   if (options_.use_synopsis_cache && versions_ok) {
     obs::TraceSpan synopsis_span = obs::MaybeSpan(trace, "synopsis-cache");
+    const double now_unix =
+        std::chrono::duration<double>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    auto adopt = [&](const std::string& table, const SynopsisSpec& spec) {
+      auto cached = synopsis_cache_.GetOrBuild(*catalog_, table, spec);
+      if (!cached.ok()) return;
+      if (!synopsis_view.Adopt(cached.value().sample).ok()) return;
+      adopted = true;
+      drift_score = std::max(drift_score, cached.value().drift_score);
+      if (cached.value().built_unix_seconds > 0.0) {
+        synopsis_age_seconds =
+            std::max(synopsis_age_seconds,
+                     now_unix - cached.value().built_unix_seconds);
+      }
+    };
     for (const auto& [table, version] : versions) {
       (void)version;  // The cache re-reads the live version under its lock.
       Result<uint64_t> rows = catalog_->Cardinality(table);
@@ -292,21 +351,29 @@ Result<core::ApproxResult> QueryService::RunAdmitted(
       SynopsisSpec uniform;
       uniform.budget = options_.synopsis_rows;
       uniform.seed = gopts.aqp.seed;
-      if (auto sample = synopsis_cache_.GetOrBuild(*catalog_, table, uniform);
-          sample.ok()) {
-        adopted |= synopsis_view.Adopt(sample.value()).ok();
-      }
+      adopt(table, uniform);
       if (!strata_column.empty()) {
         SynopsisSpec stratified = uniform;
         stratified.strata_column = strata_column;
-        if (auto sample =
-                synopsis_cache_.GetOrBuild(*catalog_, table, stratified);
-            sample.ok()) {
-          adopted |= synopsis_view.Adopt(sample.value()).ok();
-        }
+        adopt(table, stratified);
       }
     }
     synopsis_span.AddAttr("adopted", adopted ? "true" : "false");
+  }
+
+  // The drift consultation is its own span: what the serving path knew
+  // about synopsis staleness when it chose how to answer.
+  {
+    obs::TraceSpan drift_span = obs::MaybeSpan(trace, "drift_check");
+    gopts.synopsis_drift_score = drift_score;
+    gopts.synopsis_age_seconds = synopsis_age_seconds;
+    if (trace != nullptr && adopted) {
+      drift_span.AddAttr("drift_score", std::to_string(drift_score));
+      drift_span.AddAttr("flagged",
+                         drift_score >= drift_monitor_.options().flag_threshold
+                             ? "true"
+                             : "false");
+    }
   }
 
   // The query's own tracker chains to the session's: EITHER budget trips
@@ -363,6 +430,7 @@ ServiceStatsSnapshot QueryService::StatsSnapshot() const {
   s.queries_rejected = queries_rejected_.load(std::memory_order_relaxed);
   s.query_log = query_log_.stats();
   s.audit = auditor_.stats();
+  s.drift = drift_monitor_.stats();
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.outstanding = outstanding_;
@@ -404,6 +472,16 @@ void QueryService::PublishStats() const {
   set("service.audit.audited", static_cast<double>(s.audit.audited));
   set("service.audit.dropped", static_cast<double>(s.audit.dropped));
   set("service.audit.coverage_all_time", s.audit.coverage());
+  set("service.synopsis_cache.invalidations",
+      static_cast<double>(s.synopsis_cache.invalidations));
+  set("service.synopsis_cache.drift_flags",
+      static_cast<double>(s.synopsis_cache.drift_flags));
+  set("service.drift.sweeps", static_cast<double>(s.drift.sweeps));
+  set("service.drift.checks", static_cast<double>(s.drift.checks));
+  set("service.drift.failed", static_cast<double>(s.drift.failed));
+  set("service.drift.flagged", static_cast<double>(s.drift.flagged));
+  set("service.drift.invalidated", static_cast<double>(s.drift.invalidated));
+  set("service.drift.last_max_score_ratio", s.drift.last_max_score);
 }
 
 }  // namespace service

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "common/memory_tracker.h"
 #include "common/result.h"
@@ -18,6 +19,7 @@
 #include "obs/query_log.h"
 #include "service/accuracy_auditor.h"
 #include "service/admission.h"
+#include "service/drift_monitor.h"
 #include "service/result_cache.h"
 #include "service/synopsis_cache.h"
 
@@ -53,6 +55,11 @@ struct ServiceOptions {
   /// rebuild.
   obs::QueryLogOptions query_log;
   AuditOptions audit;
+
+  /// Background synopsis drift monitor (AQP_DRIFT_* env overlays at
+  /// construction). Off by default: the monitor costs periodic table
+  /// rescans, so operators opt in.
+  DriftMonitorOptions drift;
 };
 
 /// Per-session limits.
@@ -146,6 +153,7 @@ struct ServiceStatsSnapshot {
   uint64_t queries_rejected = 0;
   obs::QueryLogStats query_log;
   AuditorStats audit;
+  DriftMonitorStats drift;
 };
 
 class QueryService {
@@ -183,6 +191,9 @@ class QueryService {
   const obs::QueryLog& query_log() const { return query_log_; }
   const AccuracyAuditor& auditor() const { return auditor_; }
   AccuracyAuditor& auditor() { return auditor_; }
+  const DriftMonitor& drift_monitor() const { return drift_monitor_; }
+  DriftMonitor& drift_monitor() { return drift_monitor_; }
+  SynopsisCache& synopsis_cache() { return synopsis_cache_; }
   const ServiceOptions& options() const { return options_; }
 
  private:
@@ -210,6 +221,13 @@ class QueryService {
   /// the log, so it must be destroyed first (reverse declaration order).
   obs::QueryLog query_log_;
   AccuracyAuditor auditor_;
+  /// Declared after the cache/log/auditor it writes into: destroyed first.
+  DriftMonitor drift_monitor_;
+
+  /// Last-seen catalog version per table, used to nudge the drift monitor
+  /// when a query observes version movement.
+  std::mutex versions_mu_;
+  std::unordered_map<std::string, uint64_t> seen_versions_;
 
   std::atomic<uint64_t> next_session_id_{1};
   std::atomic<uint64_t> queries_ok_{0};

@@ -1,5 +1,6 @@
 #include "service/synopsis_cache.h"
 
+#include <chrono>
 #include <utility>
 
 namespace aqp {
@@ -13,11 +14,16 @@ std::string CacheKey(const std::string& table, uint64_t version,
          std::to_string(spec.seed);
 }
 
+double NowUnixSeconds() {
+  auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
 }  // namespace
 
-Result<std::shared_ptr<const core::StoredSample>> SynopsisCache::GetOrBuild(
-    const Catalog& catalog, const std::string& table,
-    const SynopsisSpec& spec) {
+Result<CachedSynopsis> SynopsisCache::GetOrBuild(const Catalog& catalog,
+                                                 const std::string& table,
+                                                 const SynopsisSpec& spec) {
   AQP_ASSIGN_OR_RETURN(uint64_t version, catalog.Version(table));
   const std::string key = CacheKey(table, version, spec);
 
@@ -45,7 +51,12 @@ Result<std::shared_ptr<const core::StoredSample>> SynopsisCache::GetOrBuild(
       ++hits_;
     }
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    return it->second.sample;
+    CachedSynopsis out;
+    out.sample = it->second.sample;
+    out.baseline = it->second.baseline;
+    out.drift_score = it->second.drift_score;
+    out.built_unix_seconds = it->second.built_unix_seconds;
+    return out;
   }
 
   ++misses_;
@@ -63,6 +74,20 @@ Result<std::shared_ptr<const core::StoredSample>> SynopsisCache::GetOrBuild(
           : core::BuildUniformStoredSample(catalog, table, spec.budget,
                                            spec.seed);
 
+  // Drift baseline from the same table snapshot; failures are non-fatal
+  // (the synopsis serves, just unmonitored).
+  std::shared_ptr<const core::TableDriftBaseline> baseline;
+  if (built.ok() && options_.capture_baselines) {
+    if (auto table_ptr = catalog.Get(table); table_ptr.ok()) {
+      auto b = core::BuildDriftBaseline(*table_ptr.value(), table, version,
+                                        options_.baseline, tracker_);
+      if (b.ok()) {
+        baseline = std::make_shared<const core::TableDriftBaseline>(
+            std::move(b).value());
+      }
+    }
+  }
+
   lock.lock();
   if (!built.ok()) {
     // Failures are not cached: waiters observe the erase, loop, and retry
@@ -75,31 +100,115 @@ Result<std::shared_ptr<const core::StoredSample>> SynopsisCache::GetOrBuild(
   auto sample =
       std::make_shared<const core::StoredSample>(std::move(built).value());
   ++builds_;
+  CachedSynopsis out;
+  out.sample = sample;
+  out.baseline = baseline;
+  out.built_unix_seconds =
+      baseline != nullptr ? baseline->built_unix_seconds : NowUnixSeconds();
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     // Clear() raced the build; hand the artifact back uncached.
     cv_.notify_all();
-    return sample;
+    return out;
   }
   Entry& entry = it->second;
+  if (entry.doomed) {
+    // InvalidateTable raced the build: the table is known-drifted, so the
+    // artifact (built from the pre-invalidation snapshot) must not be
+    // published. Hand it back uncached; waiters retry and rebuild fresh.
+    ++invalidations_;
+    entries_.erase(it);
+    cv_.notify_all();
+    return out;
+  }
   entry.building = false;
   entry.build_status = Status::OK();
   entry.sample = sample;
-  entry.bytes = sample->ApproxBytes();
+  entry.baseline = baseline;
+  entry.table = table;
+  entry.catalog_version = version;
+  entry.built_unix_seconds = out.built_unix_seconds;
+  entry.bytes = sample->ApproxBytes() +
+                (baseline != nullptr ? baseline->ApproxBytes() : 0);
   bytes_used_ += entry.bytes;
   if (tracker_ != nullptr) {
     // The tracker is accounting (the cache enforces its own byte budget);
     // a refusal from a budgeted tracker simply leaves this entry uncounted.
     if (!tracker_->TryCharge(entry.bytes, "synopsis-cache entry").ok()) {
+      bytes_used_ -= entry.bytes;
       entry.bytes = 0;
-      bytes_used_ -= sample->ApproxBytes();
     }
   }
   lru_.push_front(key);
   entry.lru_it = lru_.begin();
   EvictToBudget(key);
   cv_.notify_all();
-  return sample;
+  return out;
+}
+
+size_t SynopsisCache::MarkDrifted(const std::string& table, double score) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t flagged = 0;
+  for (auto& [key, entry] : entries_) {
+    if (entry.building || entry.table != table) continue;
+    entry.drift_score = score;
+    ++flagged;
+  }
+  if (flagged > 0) ++drift_flags_;
+  return flagged;
+}
+
+size_t SynopsisCache::InvalidateTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& entry = it->second;
+    if (entry.building) {
+      // The builder's Entry::table is only set at publish; match in-flight
+      // claims by key prefix ("table\x1f...") instead.
+      if (it->first.compare(0, table.size() + 1, table + "\x1f") == 0) {
+        entry.doomed = true;
+      }
+      ++it;
+      continue;
+    }
+    if (entry.table != table) {
+      ++it;
+      continue;
+    }
+    it = DropReadyEntry(it);
+    ++dropped;
+    ++invalidations_;
+  }
+  return dropped;
+}
+
+std::vector<SynopsisBaselineInfo> SynopsisCache::Baselines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SynopsisBaselineInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    if (entry.building || entry.baseline == nullptr) continue;
+    SynopsisBaselineInfo info;
+    info.table = entry.table;
+    info.catalog_version = entry.catalog_version;
+    info.baseline = entry.baseline;
+    info.drift_score = entry.drift_score;
+    info.built_unix_seconds = entry.built_unix_seconds;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::unordered_map<std::string, SynopsisCache::Entry>::iterator
+SynopsisCache::DropReadyEntry(
+    std::unordered_map<std::string, Entry>::iterator it) {
+  bytes_used_ -= it->second.bytes;
+  if (tracker_ != nullptr && it->second.bytes > 0) {
+    tracker_->Release(it->second.bytes);
+  }
+  lru_.erase(it->second.lru_it);
+  return entries_.erase(it);
 }
 
 void SynopsisCache::EvictToBudget(const std::string& keep) {
@@ -133,6 +242,8 @@ SynopsisCacheStats SynopsisCache::stats() const {
   s.build_failures = build_failures_;
   s.single_flight_waits = single_flight_waits_;
   s.evictions = evictions_;
+  s.invalidations = invalidations_;
+  s.drift_flags = drift_flags_;
   s.bytes_used = bytes_used_;
   s.entries = entries_.size();
   return s;
@@ -147,12 +258,7 @@ void SynopsisCache::Clear() {
       ++it;
       continue;
     }
-    if (tracker_ != nullptr && it->second.bytes > 0) {
-      tracker_->Release(it->second.bytes);
-    }
-    bytes_used_ -= it->second.bytes;
-    lru_.erase(it->second.lru_it);
-    it = entries_.erase(it);
+    it = DropReadyEntry(it);
   }
 }
 

@@ -8,9 +8,11 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/memory_tracker.h"
 #include "common/result.h"
+#include "core/drift_baseline.h"
 #include "core/offline_catalog.h"
 #include "engine/catalog.h"
 
@@ -36,8 +38,33 @@ struct SynopsisCacheStats {
   uint64_t build_failures = 0;
   uint64_t single_flight_waits = 0;  // Callers that waited on another build.
   uint64_t evictions = 0;
+  uint64_t invalidations = 0;    // Entries dropped by InvalidateTable.
+  uint64_t drift_flags = 0;      // MarkDrifted calls that flagged entries.
   uint64_t bytes_used = 0;
   size_t entries = 0;
+};
+
+/// What GetOrBuild hands back: the synopsis plus its drift/staleness
+/// context so the caller (QueryService / governed ladder) can widen CIs or
+/// decline to approximate from a flagged synopsis.
+struct CachedSynopsis {
+  std::shared_ptr<const core::StoredSample> sample;
+  /// Drift baseline captured at build time; null when capture is disabled
+  /// or the baseline build failed (the synopsis still serves).
+  std::shared_ptr<const core::TableDriftBaseline> baseline;
+  /// Latest DriftMonitor score for this entry (0 until a check ran).
+  double drift_score = 0.0;
+  /// Wall-clock time the synopsis was built (for staleness age).
+  double built_unix_seconds = 0.0;
+};
+
+/// One cached baseline, enumerated by the DriftMonitor.
+struct SynopsisBaselineInfo {
+  std::string table;
+  uint64_t catalog_version = 0;  // Version the entry was built against.
+  std::shared_ptr<const core::TableDriftBaseline> baseline;
+  double drift_score = 0.0;
+  double built_unix_seconds = 0.0;
 };
 
 /// Cross-query cache of pre-computed synopses (stored samples), keyed by
@@ -55,14 +82,35 @@ struct SynopsisCacheStats {
 ///     with every insert/evict charged/released on the optional
 ///     MemoryTracker so cache footprint shows up in the service's accounts.
 ///
+/// Version keying cannot see IN-PLACE mutation: a caller that kept a
+/// non-const handle to a registered table can append without a version
+/// bump, and the cache would keep serving a confidently-wrong synopsis
+/// forever. That hole is what the drift machinery closes: every build
+/// captures a TableDriftBaseline next to the sample, the background
+/// DriftMonitor re-sketches tables and calls MarkDrifted (soft: flag, the
+/// serving path widens CIs or declines) or InvalidateTable (hard: drop, the
+/// next query rebuilds from current data).
+///
 /// Entries are shared_ptr-shared: eviction only drops the cache's
 /// reference — queries already holding the synopsis keep it alive.
 /// Thread-safe; builds run outside the lock.
 class SynopsisCache {
  public:
+  struct Options {
+    /// Capture a drift baseline with every build (costs one extra scan of
+    /// the snapshot and ~40 KiB/column in the entry's byte accounting).
+    bool capture_baselines = true;
+    core::DriftBaselineOptions baseline;
+  };
+
+  explicit SynopsisCache(uint64_t byte_budget, MemoryTracker* tracker,
+                         Options options)
+      : byte_budget_(byte_budget),
+        tracker_(tracker),
+        options_(std::move(options)) {}
   explicit SynopsisCache(uint64_t byte_budget,
                          MemoryTracker* tracker = nullptr)
-      : byte_budget_(byte_budget), tracker_(tracker) {}
+      : SynopsisCache(byte_budget, tracker, Options()) {}
   SynopsisCache(const SynopsisCache&) = delete;
   SynopsisCache& operator=(const SynopsisCache&) = delete;
 
@@ -70,9 +118,23 @@ class SynopsisCache {
   /// first use. Concurrent calls for the same cold key perform one build.
   /// Build failures are returned to every waiter and NOT cached — the next
   /// call retries.
-  Result<std::shared_ptr<const core::StoredSample>> GetOrBuild(
-      const Catalog& catalog, const std::string& table,
-      const SynopsisSpec& spec);
+  Result<CachedSynopsis> GetOrBuild(const Catalog& catalog,
+                                    const std::string& table,
+                                    const SynopsisSpec& spec);
+
+  /// Flags every ready entry for `table` with the given drift score (soft
+  /// drift: entries keep serving, callers see the score and compensate).
+  /// Returns the number of entries flagged.
+  size_t MarkDrifted(const std::string& table, double score);
+
+  /// Drops every ready entry for `table` (hard drift). In-flight builds for
+  /// the table are doomed: they publish nothing and their waiters retry
+  /// against current data. Returns the number of ready entries dropped.
+  size_t InvalidateTable(const std::string& table);
+
+  /// Snapshot of every ready entry's baseline for the DriftMonitor (null
+  /// baselines are skipped). Does not touch LRU order.
+  std::vector<SynopsisBaselineInfo> Baselines() const;
 
   SynopsisCacheStats stats() const;
 
@@ -82,8 +144,14 @@ class SynopsisCache {
  private:
   struct Entry {
     bool building = true;
+    bool doomed = false;  // InvalidateTable hit a mid-flight build.
     Status build_status;  // Meaningful once !building.
     std::shared_ptr<const core::StoredSample> sample;
+    std::shared_ptr<const core::TableDriftBaseline> baseline;
+    std::string table;
+    uint64_t catalog_version = 0;
+    double drift_score = 0.0;
+    double built_unix_seconds = 0.0;
     uint64_t bytes = 0;
     std::list<std::string>::iterator lru_it;  // Valid when ready & cached.
   };
@@ -92,8 +160,14 @@ class SynopsisCache {
   /// `keep`. Caller holds mu_.
   void EvictToBudget(const std::string& keep);
 
+  /// Drops one ready entry (releases bytes, LRU node, map slot). Caller
+  /// holds mu_; returns the next iterator.
+  std::unordered_map<std::string, Entry>::iterator DropReadyEntry(
+      std::unordered_map<std::string, Entry>::iterator it);
+
   const uint64_t byte_budget_;
   MemoryTracker* tracker_;
+  const Options options_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -106,6 +180,8 @@ class SynopsisCache {
   uint64_t build_failures_ = 0;
   uint64_t single_flight_waits_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t invalidations_ = 0;
+  uint64_t drift_flags_ = 0;
 };
 
 }  // namespace service

@@ -1,0 +1,221 @@
+#include "sketch/drift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace aqp {
+namespace sketch {
+
+namespace {
+
+double Clamp01(double v) {
+  if (!(v > 0.0)) return 0.0;  // Also maps NaN to 0.
+  return v > 1.0 ? 1.0 : v;
+}
+
+/// KS statistic between two KLL sketches: evaluate both CDFs at the probe
+/// quantiles of each sketch and take the sup of the gap. Probing at both
+/// sketches' own quantiles (rather than a fixed grid) keeps the statistic
+/// scale-free and sensitive where either distribution has mass.
+double KsStatistic(const KllSketch& a, const KllSketch& b) {
+  if (a.count() == 0 && b.count() == 0) return 0.0;
+  if (a.count() == 0 || b.count() == 0) return 1.0;
+  constexpr int kProbes = 33;
+  double sup = 0.0;
+  for (const KllSketch* s : {&a, &b}) {
+    for (int i = 0; i <= kProbes; ++i) {
+      const double q = static_cast<double>(i) / kProbes;
+      auto v = s->Quantile(q);
+      if (!v.ok()) continue;
+      const double gap = std::fabs(a.Cdf(v.value()) - b.Cdf(v.value()));
+      sup = std::max(sup, gap);
+    }
+  }
+  return Clamp01(sup);
+}
+
+/// Fraction of the baseline's distinct domain that is no longer present,
+/// estimated from the k-minimum-value samples: among the union's k smallest
+/// hashes, how many of the baseline's survived into `current`? Under a pure
+/// append the current sketch retains every union-k hash the baseline had
+/// (its minima are over a superset), so containment is exactly 1 and growth
+/// alone never reads as churn — replacement/deletion does.
+double KmvContainment(const KmvSketch& baseline, const KmvSketch& current) {
+  const std::vector<uint64_t> base = baseline.MinHashes();
+  const std::vector<uint64_t> cur = current.MinHashes();
+  if (base.empty()) return 1.0;
+  if (cur.empty()) return 0.0;
+  std::set<uint64_t> unioned(base.begin(), base.end());
+  unioned.insert(cur.begin(), cur.end());
+  const size_t k = std::min(
+      unioned.size(),
+      static_cast<size_t>(std::min(baseline.k(), current.k())));
+  const std::set<uint64_t> cur_set(cur.begin(), cur.end());
+  const std::set<uint64_t> base_set(base.begin(), base.end());
+  size_t in_base = 0;
+  size_t survived = 0;
+  size_t seen = 0;
+  for (uint64_t h : unioned) {
+    if (seen++ >= k) break;
+    if (base_set.count(h) == 0) continue;
+    ++in_base;
+    if (cur_set.count(h) != 0) ++survived;
+  }
+  if (in_base == 0) return 1.0;
+  return static_cast<double>(survived) / static_cast<double>(in_base);
+}
+
+/// Lost frequency share of the baseline's guaranteed heavy hitters: for each
+/// key the baseline tracked above the N/(k+1) guarantee, compare its share
+/// of the stream then vs now and sum the shrinkage. 0 = every hitter kept
+/// its share, 1 = all of them vanished.
+double HeavyHitterTurnover(const MisraGries& baseline,
+                           const MisraGries& current) {
+  const uint64_t total_b = baseline.total_count();
+  const uint64_t total_c = current.total_count();
+  if (total_b == 0) return 0.0;
+  if (total_c == 0) return 1.0;
+  const uint64_t threshold =
+      std::max<uint64_t>(1, total_b / (baseline.capacity() + 1));
+  const auto hitters = baseline.HeavyHitters(threshold);
+  if (hitters.empty()) return 0.0;
+  double share_b_sum = 0.0;
+  double lost = 0.0;
+  for (const auto& [key, count_b] : hitters) {
+    const double share_b = static_cast<double>(count_b) / total_b;
+    const double share_c =
+        static_cast<double>(current.Estimate(key)) / total_c;
+    share_b_sum += share_b;
+    lost += std::max(0.0, share_b - share_c);
+  }
+  if (share_b_sum <= 0.0) return 0.0;
+  return Clamp01(lost / share_b_sum);
+}
+
+}  // namespace
+
+ColumnDriftSketch::ColumnDriftSketch(const DriftSketchOptions& opts)
+    : opts_(opts),
+      kll_(opts.kll_k, opts.seed),
+      kmv_(std::max<uint32_t>(3, opts.kmv_k)),
+      mg_(std::max<uint32_t>(1, opts.heavy_hitters)) {}
+
+void ColumnDriftSketch::AddNumeric(double value, uint64_t hash) {
+  ++count_;
+  ++numeric_count_;
+  kll_.Add(value);
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(numeric_count_);
+  m2_ += delta * (value - mean_);
+  kmv_.Add(hash);
+  mg_.Add(hash);
+}
+
+void ColumnDriftSketch::AddHashed(uint64_t hash) {
+  ++count_;
+  kmv_.Add(hash);
+  mg_.Add(hash);
+}
+
+void ColumnDriftSketch::Merge(const ColumnDriftSketch& other) {
+  kll_.Merge(other.kll_);
+  kmv_.Merge(other.kmv_);
+  mg_.Merge(other.mg_);
+  if (other.numeric_count_ > 0) {
+    const uint64_t n = numeric_count_ + other.numeric_count_;
+    const double delta = other.mean_ - mean_;
+    const double na = static_cast<double>(numeric_count_);
+    const double nb = static_cast<double>(other.numeric_count_);
+    m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+    mean_ += delta * nb / static_cast<double>(n);
+    numeric_count_ = n;
+  }
+  count_ += other.count_;
+  null_count_ += other.null_count_;
+}
+
+double ColumnDriftSketch::mean() const {
+  return numeric_count_ == 0 ? 0.0 : mean_;
+}
+
+double ColumnDriftSketch::variance() const {
+  return numeric_count_ == 0 ? 0.0
+                             : m2_ / static_cast<double>(numeric_count_);
+}
+
+uint64_t ColumnDriftSketch::ApproxBytes() const {
+  return sizeof(*this) + kll_.StoredItems() * sizeof(double) +
+         kmv_.MinHashes().size() * sizeof(uint64_t) * 2 +
+         static_cast<uint64_t>(mg_.capacity()) * 3 * sizeof(uint64_t);
+}
+
+ColumnDriftScore ScoreColumnDrift(const ColumnDriftSketch& baseline,
+                                  const ColumnDriftSketch& current) {
+  ColumnDriftScore out;
+  const uint64_t nb = baseline.count();
+  const uint64_t nc = current.count();
+  if (nb == 0 && nc == 0) return out;
+  if (nb == 0 || nc == 0) {
+    out.ks = out.domain_churn = out.hh_turnover = out.moment_shift = 1.0;
+    out.score = 1.0;
+    return out;
+  }
+
+  if (baseline.has_numeric() || current.has_numeric()) {
+    out.ks = KsStatistic(baseline.quantiles(), current.quantiles());
+  }
+
+  // Domain churn: the issue's Jaccard signal, corrected for growth. Pure
+  // appends shrink Jaccard (the domain legitimately grew) without any of
+  // the baseline's domain disappearing, so we take the better of symmetric
+  // resemblance and baseline-survival containment before inverting.
+  const double jaccard =
+      KmvSketch::EstimateJaccard(baseline.distincts(), current.distincts());
+  const double containment =
+      KmvContainment(baseline.distincts(), current.distincts());
+  out.domain_churn = Clamp01(1.0 - std::max(jaccard, containment));
+
+  out.hh_turnover = HeavyHitterTurnover(baseline.heavy(), current.heavy());
+
+  // Moment shift: max of four normalized deltas. Size matters because a
+  // stored sample scales totals by the population count frozen at build
+  // time — doubling the table halves every SUM's effective coverage even
+  // if the distribution is unchanged.
+  double shift = 0.0;
+  if (baseline.has_numeric() && current.has_numeric()) {
+    const double sd_b = std::sqrt(baseline.variance());
+    const double sd_c = std::sqrt(current.variance());
+    const double mean_denom =
+        sd_b > 0.0 ? sd_b
+                   : (std::fabs(baseline.mean()) > 0.0
+                          ? std::fabs(baseline.mean())
+                          : 1.0);
+    shift = std::max(
+        shift, Clamp01(std::fabs(current.mean() - baseline.mean()) /
+                       mean_denom));
+    if (sd_b > 0.0) {
+      shift = std::max(shift, Clamp01(std::fabs(sd_c - sd_b) / sd_b));
+    } else if (sd_c > 0.0) {
+      shift = 1.0;
+    }
+  }
+  const double size_shift =
+      Clamp01(std::fabs(static_cast<double>(nc) - static_cast<double>(nb)) /
+              static_cast<double>(std::max<uint64_t>(nb, 1)));
+  shift = std::max(shift, size_shift);
+  const double null_b =
+      static_cast<double>(baseline.null_count()) /
+      static_cast<double>(nb + baseline.null_count());
+  const double null_c = static_cast<double>(current.null_count()) /
+                        static_cast<double>(nc + current.null_count());
+  shift = std::max(shift, Clamp01(std::fabs(null_c - null_b)));
+  out.moment_shift = shift;
+
+  out.score = std::max({out.ks, out.domain_churn, out.hh_turnover,
+                        out.moment_shift});
+  return out;
+}
+
+}  // namespace sketch
+}  // namespace aqp

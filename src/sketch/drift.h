@@ -1,0 +1,95 @@
+#ifndef AQP_SKETCH_DRIFT_H_
+#define AQP_SKETCH_DRIFT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sketch/distinct_sampler.h"
+#include "sketch/kll.h"
+#include "sketch/misra_gries.h"
+
+namespace aqp {
+namespace sketch {
+
+/// Sizing for one column's drift signature. Defaults keep a column under
+/// ~40 KiB so a whole-table baseline rides along with its synopsis in the
+/// SynopsisCache byte budget.
+struct DriftSketchOptions {
+  uint32_t kll_k = 200;        // Quantile accuracy (rank error ~ 1/k).
+  uint32_t kmv_k = 256;        // Distinct/Jaccard accuracy (~1/sqrt(k-2)).
+  uint32_t heavy_hitters = 32; // Misra-Gries counters.
+  uint64_t seed = 1;           // KLL compaction seed (determinism).
+};
+
+/// One column's drift signature: a KLL quantile sketch over numeric values,
+/// a KMV distinct sketch + Misra-Gries heavy hitters over hashed values, and
+/// exact count/mean/variance moments (Welford). Built once at synopsis
+/// build time (the baseline) and again by the DriftMonitor (the current
+/// state); ScoreColumnDrift compares the pair.
+///
+/// Numeric columns feed both sides (values into KLL/moments, hashed values
+/// into KMV/MG); string/bool columns feed only the hashed side. Not
+/// thread-safe; build per-thread and Merge.
+class ColumnDriftSketch {
+ public:
+  explicit ColumnDriftSketch(const DriftSketchOptions& opts = {});
+
+  /// Numeric observation: value into KLL + moments, `hash` (of the
+  /// canonical value) into KMV + MG.
+  void AddNumeric(double value, uint64_t hash);
+
+  /// Non-numeric observation (string/bool): hash only.
+  void AddHashed(uint64_t hash);
+
+  void AddNull() { ++null_count_; }
+
+  /// Merges a sketch built with the same options (per-thread partials).
+  void Merge(const ColumnDriftSketch& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t null_count() const { return null_count_; }
+  bool has_numeric() const { return numeric_count_ > 0; }
+  double mean() const;
+  double variance() const;  // Population variance.
+  const KllSketch& quantiles() const { return kll_; }
+  const KmvSketch& distincts() const { return kmv_; }
+  const MisraGries& heavy() const { return mg_; }
+  const DriftSketchOptions& options() const { return opts_; }
+
+  /// Memory proxy for budget accounting.
+  uint64_t ApproxBytes() const;
+
+ private:
+  DriftSketchOptions opts_;
+  uint64_t count_ = 0;         // Non-null observations.
+  uint64_t null_count_ = 0;
+  uint64_t numeric_count_ = 0;
+  double mean_ = 0.0;          // Welford running mean over numeric values.
+  double m2_ = 0.0;            // Welford sum of squared deviations.
+  KllSketch kll_;
+  KmvSketch kmv_;
+  MisraGries mg_;
+};
+
+/// Per-column drift decomposition. Every component is normalized to [0, 1];
+/// `score` is the max of the components (any single failure mode is enough
+/// to invalidate a synopsis, so averaging would mask it).
+struct ColumnDriftScore {
+  double ks = 0.0;            // KS statistic: sup |CDF_base - CDF_now|.
+  double domain_churn = 0.0;  // 1 - Jaccard(distinct sets).
+  double hh_turnover = 0.0;   // Lost frequency share of baseline hitters.
+  double moment_shift = 0.0;  // Mean/scale/size/null-fraction shift.
+  double score = 0.0;         // max(ks, domain_churn, hh_turnover, moment_shift).
+};
+
+/// Scores how far `current` has drifted from `baseline`. Both sketches must
+/// describe the same column; an empty pair scores 0, an empty-vs-populated
+/// pair scores 1 (total drift). Deterministic given the sketch contents.
+ColumnDriftScore ScoreColumnDrift(const ColumnDriftSketch& baseline,
+                                  const ColumnDriftSketch& current);
+
+}  // namespace sketch
+}  // namespace aqp
+
+#endif  // AQP_SKETCH_DRIFT_H_

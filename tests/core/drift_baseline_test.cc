@@ -1,0 +1,125 @@
+#include "core/drift_baseline.h"
+
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/cancellation.h"
+#include "common/memory_tracker.h"
+#include "test_util.h"
+
+namespace aqp {
+namespace core {
+namespace {
+
+TEST(DriftBaselineTest, CapturesEveryColumn) {
+  Table t = testutil::ZipfGroupedTable(20000, 12, 0.8, 3);
+  auto r = BuildDriftBaseline(t, "t", /*catalog_version=*/7);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const TableDriftBaseline& b = r.value();
+  EXPECT_EQ(b.table, "t");
+  EXPECT_EQ(b.catalog_version, 7u);
+  EXPECT_EQ(b.rows, 20000u);
+  ASSERT_EQ(b.columns.size(), 2u);
+  EXPECT_EQ(b.columns[0].first, "g");
+  EXPECT_EQ(b.columns[1].first, "x");
+  EXPECT_EQ(b.columns[0].second.count(), 20000u);
+  EXPECT_GT(b.ApproxBytes(), 0u);
+  EXPECT_GT(b.built_unix_seconds, 0.0);
+}
+
+TEST(DriftBaselineTest, SelfComparisonScoresZero) {
+  Table t = testutil::ZipfGroupedTable(20000, 12, 0.8, 3);
+  auto base = BuildDriftBaseline(t, "t", 1);
+  auto again = BuildDriftBaseline(t, "t", 1);
+  ASSERT_TRUE(base.ok() && again.ok());
+  TableDriftReport report = ScoreDrift(base.value(), again.value());
+  // Deterministic sketches over identical data: exact zero, per column and
+  // rolled up — so the monitor's steady-state sweeps are guaranteed quiet.
+  EXPECT_EQ(report.score, 0.0);
+  ASSERT_EQ(report.columns.size(), 2u);
+  for (const ColumnDriftEntry& c : report.columns) {
+    EXPECT_EQ(c.score.score, 0.0) << c.column;
+  }
+}
+
+TEST(DriftBaselineTest, InPlaceAppendShiftIsDetected) {
+  Table t = testutil::ZipfGroupedTable(20000, 12, 0.8, 3);
+  auto base = BuildDriftBaseline(t, "t", 1);
+  ASSERT_TRUE(base.ok());
+
+  // The silent-staleness hazard: append rows with a shifted measure through
+  // a retained handle (no version bump anywhere).
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(
+        t.AppendRow({Value(static_cast<int64_t>(i % 12)), Value(500.0 + i)})
+            .ok());
+  }
+  auto cur = BuildDriftBaseline(t, "t", 1);
+  ASSERT_TRUE(cur.ok());
+  TableDriftReport report = ScoreDrift(base.value(), cur.value());
+  EXPECT_GT(report.score, 0.15) << "drift below the default flag threshold";
+  EXPECT_EQ(report.worst_column, "x");  // The shifted measure, not the group.
+  EXPECT_GT(report.moment_shift, 0.15);
+}
+
+TEST(DriftBaselineTest, SchemaDriftIsTotalDrift) {
+  Table a(Schema({{"x", DataType::kDouble}}));
+  Table b(Schema({{"y", DataType::kDouble}}));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(a.AppendRow({Value(1.0 * i)}).ok());
+    ASSERT_TRUE(b.AppendRow({Value(1.0 * i)}).ok());
+  }
+  auto ra = BuildDriftBaseline(a, "t", 1);
+  auto rb = BuildDriftBaseline(b, "t", 1);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  TableDriftReport report = ScoreDrift(ra.value(), rb.value());
+  // "x" vanished and "y" appeared: both score 1.
+  EXPECT_EQ(report.score, 1.0);
+  EXPECT_EQ(report.columns.size(), 2u);
+}
+
+TEST(DriftBaselineTest, MaxRowsBoundsTheScan) {
+  Table t = testutil::ZipfGroupedTable(20000, 12, 0.8, 3);
+  DriftBaselineOptions opts;
+  opts.max_rows = 500;
+  auto r = BuildDriftBaseline(t, "t", 1, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows, 500u);
+  EXPECT_EQ(r.value().columns[0].second.count(), 500u);
+}
+
+TEST(DriftBaselineTest, CancellationAborts) {
+  Table t = testutil::ZipfGroupedTable(100000, 12, 0.8, 3);
+  CancellationSource source;
+  source.RequestCancel(StopCause::kUserCancel, "test cancel");
+  CancellationToken token = source.token();
+  auto r = BuildDriftBaseline(t, "t", 1, {}, nullptr, &token);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+TEST(DriftBaselineTest, TrackerChargedDuringBuildReleasedAfter) {
+  Table t = testutil::ZipfGroupedTable(20000, 12, 0.8, 3);
+  MemoryTracker tracker;
+  auto r = BuildDriftBaseline(t, "t", 1, {}, &tracker);
+  ASSERT_TRUE(r.ok());
+  // The build's working set was charged (peak) and fully released (used):
+  // retention cost is the caller's decision, priced via ApproxBytes().
+  EXPECT_GT(tracker.peak(), 0u);
+  EXPECT_EQ(tracker.used(), 0u);
+}
+
+TEST(DriftBaselineTest, MemoryBudgetRefusalFailsTheBuild) {
+  Table t = testutil::ZipfGroupedTable(20000, 12, 0.8, 3);
+  MemoryTracker tracker(/*budget_bytes=*/1);  // Nothing fits.
+  auto r = BuildDriftBaseline(t, "t", 1, {}, &tracker);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(tracker.used(), 0u);  // Refused charges leak nothing.
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace aqp

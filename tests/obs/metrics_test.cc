@@ -138,6 +138,68 @@ TEST(ExportTest, PrometheusTextFormat) {
   EXPECT_NE(text.find("h_seconds_count 10\n"), std::string::npos);
 }
 
+TEST(ExportTest, PrometheusEmitsHelpAndTypeOncePerFamily) {
+  MetricsRegistry reg;
+  reg.GetCounter("c_total")->Increment();
+  reg.GetGauge("g_rate")->Set(1.0);
+  std::string text = ExportPrometheus(reg);
+  EXPECT_NE(text.find("# HELP c_total "), std::string::npos);
+  EXPECT_NE(text.find("# HELP g_rate "), std::string::npos);
+  // HELP precedes TYPE precedes the sample, each exactly once.
+  EXPECT_LT(text.find("# HELP c_total"), text.find("# TYPE c_total"));
+  EXPECT_EQ(text.find("# TYPE c_total"), text.rfind("# TYPE c_total"));
+}
+
+TEST(ExportTest, PrometheusSanitizesDottedNames) {
+  MetricsRegistry reg;
+  reg.GetCounter("service.queries.ok")->Increment(3);
+  std::string text = ExportPrometheus(reg);
+  EXPECT_NE(text.find("service_queries_ok 3\n"), std::string::npos);
+  EXPECT_EQ(text.find("service.queries.ok"), std::string::npos)
+      << "dots are not legal in Prometheus metric names";
+}
+
+TEST(ExportTest, PrometheusSplitsEmbeddedLabelBlocks) {
+  MetricsRegistry reg;
+  // The registry's labeling convention: labels ride inside the flat name.
+  reg.GetGauge("synopsis.drift.score_ratio{table=\"orders\"}")->Set(0.25);
+  reg.GetGauge("synopsis.drift.score_ratio{table=\"users\"}")->Set(0.5);
+  std::string text = ExportPrometheus(reg);
+  // One HELP/TYPE for the family; per-table samples with the family
+  // sanitized and the label block intact.
+  EXPECT_EQ(text.find("# TYPE synopsis_drift_score_ratio gauge"),
+            text.rfind("# TYPE synopsis_drift_score_ratio gauge"));
+  EXPECT_NE(
+      text.find("synopsis_drift_score_ratio{table=\"orders\"} 0.25\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("synopsis_drift_score_ratio{table=\"users\"} 0.5\n"),
+            std::string::npos);
+  // Drift families carry purpose-built HELP text, not the generic fallback.
+  EXPECT_NE(text.find("# HELP synopsis_drift_score_ratio Latest drift"),
+            std::string::npos);
+}
+
+TEST(ExportTest, PrometheusLabeledHistogramMergesQuantileLabel) {
+  MetricsRegistry reg;
+  LatencyHistogram* h = reg.GetHistogram("check.ms{table=\"t\"}");
+  for (int i = 0; i < 4; ++i) h->Observe(2.0);
+  std::string text = ExportPrometheus(reg);
+  EXPECT_NE(text.find("check_ms{table=\"t\",quantile=\"0.5\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("check_ms_sum{table=\"t\"} 8\n"), std::string::npos);
+  EXPECT_NE(text.find("check_ms_count{table=\"t\"} 4\n"), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusEscapedLabelValuesSurvive) {
+  MetricsRegistry reg;
+  // A table name with a quote, escaped by the producer's convention.
+  reg.GetGauge("synopsis.staleness_seconds{table=\"we\\\"ird\"}")->Set(3.0);
+  std::string text = ExportPrometheus(reg);
+  EXPECT_NE(
+      text.find("synopsis_staleness_seconds{table=\"we\\\"ird\"} 3\n"),
+      std::string::npos);
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace aqp

@@ -27,12 +27,12 @@ TEST(SynopsisCacheTest, BuildsOnceThenHits) {
 
   auto first = cache.GetOrBuild(cat, "t", spec);
   ASSERT_TRUE(first.ok()) << first.status().ToString();
-  EXPECT_EQ(first.value()->sample.table.num_rows(), 500u);
+  EXPECT_EQ(first.value().sample->sample.table.num_rows(), 500u);
 
   auto second = cache.GetOrBuild(cat, "t", spec);
   ASSERT_TRUE(second.ok());
   // A hit is the SAME artifact, not an equal rebuild.
-  EXPECT_EQ(first.value().get(), second.value().get());
+  EXPECT_EQ(first.value().sample.get(), second.value().sample.get());
 
   SynopsisCacheStats stats = cache.stats();
   EXPECT_EQ(stats.builds, 1u);
@@ -72,8 +72,8 @@ TEST(SynopsisCacheTest, TableVersionBumpInvalidates) {
 
   auto after = cache.GetOrBuild(cat, "t", spec);
   ASSERT_TRUE(after.ok());
-  EXPECT_NE(before.value().get(), after.value().get());
-  EXPECT_EQ(after.value()->base_rows_at_build, 25000u);
+  EXPECT_NE(before.value().sample.get(), after.value().sample.get());
+  EXPECT_EQ(after.value().sample->base_rows_at_build, 25000u);
   EXPECT_EQ(cache.stats().builds, 2u);
   EXPECT_EQ(cache.stats().hits, 0u);
 }
@@ -92,8 +92,10 @@ TEST(SynopsisCacheTest, EvictsLeastRecentlyUsedPastBudget) {
   SynopsisCache probe(0);
   SynopsisSpec spec;
   spec.budget = 400;
-  uint64_t one_entry_bytes =
-      probe.GetOrBuild(cat, "t", spec).value()->ApproxBytes();
+  // Measure the cache's own accounting (sample + drift baseline), not just
+  // the sample: the budget below must fit whole entries.
+  ASSERT_TRUE(probe.GetOrBuild(cat, "t", spec).ok());
+  uint64_t one_entry_bytes = probe.stats().bytes_used;
 
   // Budget for two entries; a third insert must evict the LRU one.
   MemoryTracker tracker;
@@ -153,7 +155,7 @@ TEST(SynopsisCacheTest, SingleFlightStress) {
     threads.emplace_back([&, i] {
       auto r = cache.GetOrBuild(cat, "t", spec);
       ASSERT_TRUE(r.ok()) << r.status().ToString();
-      seen[i] = r.value();
+      seen[i] = r.value().sample;
     });
   }
   for (std::thread& t : threads) t.join();
@@ -166,6 +168,147 @@ TEST(SynopsisCacheTest, SingleFlightStress) {
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.hits + stats.single_flight_waits,
             static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST(SynopsisCacheTest, MarkDriftedSurfacesScoreOnHits) {
+  Catalog cat = BaseCatalog(20000, 3);
+  SynopsisCache cache(0);
+  SynopsisSpec spec;
+  spec.budget = 300;
+  ASSERT_TRUE(cache.GetOrBuild(cat, "t", spec).ok());
+
+  EXPECT_EQ(cache.MarkDrifted("t", 0.25), 1u);
+  EXPECT_EQ(cache.MarkDrifted("ghost", 0.9), 0u);  // No entries for it.
+
+  auto hit = cache.GetOrBuild(cat, "t", spec);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.value().drift_score, 0.25);
+  EXPECT_EQ(cache.stats().drift_flags, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);  // Flagging never drops.
+}
+
+TEST(SynopsisCacheTest, InvalidateTableDropsOnlyThatTable) {
+  Catalog cat = BaseCatalog(20000, 3);
+  Table other = testutil::ZipfGroupedTable(20000, 12, 0.8, 11);
+  ASSERT_TRUE(cat.Register("u", std::make_shared<Table>(std::move(other))).ok());
+  SynopsisCache cache(0);
+  SynopsisSpec spec;
+  spec.budget = 300;
+  ASSERT_TRUE(cache.GetOrBuild(cat, "t", spec).ok());
+  ASSERT_TRUE(cache.GetOrBuild(cat, "u", spec).ok());
+
+  EXPECT_EQ(cache.InvalidateTable("t"), 1u);
+  SynopsisCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);  // "u" untouched.
+  EXPECT_EQ(stats.invalidations, 1u);
+
+  // "t" rebuilds; "u" still hits.
+  uint64_t builds = stats.builds;
+  ASSERT_TRUE(cache.GetOrBuild(cat, "t", spec).ok());
+  EXPECT_EQ(cache.stats().builds, builds + 1);
+  ASSERT_TRUE(cache.GetOrBuild(cat, "u", spec).ok());
+  EXPECT_EQ(cache.stats().builds, builds + 1);
+}
+
+TEST(SynopsisCacheTest, BaselinesEnumeratesReadyEntries) {
+  Catalog cat = BaseCatalog(20000, 3);
+  SynopsisCache cache(0);
+  SynopsisSpec a;
+  a.budget = 300;
+  SynopsisSpec b = a;
+  b.seed = 7;
+  ASSERT_TRUE(cache.GetOrBuild(cat, "t", a).ok());
+  ASSERT_TRUE(cache.GetOrBuild(cat, "t", b).ok());
+  std::vector<SynopsisBaselineInfo> infos = cache.Baselines();
+  ASSERT_EQ(infos.size(), 2u);
+  for (const SynopsisBaselineInfo& info : infos) {
+    EXPECT_EQ(info.table, "t");
+    ASSERT_NE(info.baseline, nullptr);
+    EXPECT_EQ(info.baseline->rows, 20000u);
+    EXPECT_GT(info.built_unix_seconds, 0.0);
+  }
+}
+
+TEST(SynopsisCacheTest, BaselineCaptureCanBeDisabled) {
+  Catalog cat = BaseCatalog(20000, 3);
+  SynopsisCache::Options opts;
+  opts.capture_baselines = false;
+  SynopsisCache cache(0, nullptr, opts);
+  SynopsisSpec spec;
+  spec.budget = 300;
+  auto r = cache.GetOrBuild(cat, "t", spec);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().baseline, nullptr);
+  EXPECT_TRUE(cache.Baselines().empty());
+}
+
+// The interleaving the DriftMonitor forces: InvalidateTable lands while a
+// cold build for the same table is mid-flight. The doomed build must publish
+// NOTHING (its snapshot predates the invalidation verdict) while its own
+// caller still gets a usable artifact; every waiter retries fresh. Whatever
+// side of the publish the invalidation lands on, the invariants are the
+// same — run under TSan in CI.
+TEST(SynopsisCacheTest, InvalidateDuringInFlightBuildPublishesNothing) {
+  Catalog cat = BaseCatalog(120000, 7);
+  SynopsisCache cache(0);
+  SynopsisSpec spec;
+  spec.budget = 4000;
+
+  std::thread builder([&] {
+    auto r = cache.GetOrBuild(cat, "t", spec);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_NE(r.value().sample, nullptr);  // Doomed or not, the caller eats.
+  });
+  // Wait for the builder's claim (miss recorded, nothing published yet),
+  // then invalidate while the build is most likely still scanning.
+  while (cache.stats().misses == 0) std::this_thread::yield();
+  cache.InvalidateTable("t");
+  builder.join();
+
+  // Either the doom landed mid-build (entry discarded at publish) or the
+  // invalidation dropped the published entry; in both cases nothing of the
+  // pre-invalidation snapshot survives and the drop was counted.
+  SynopsisCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_GE(stats.invalidations, 1u);
+
+  // The next call is a clean rebuild that caches normally.
+  uint64_t builds = stats.builds;
+  ASSERT_TRUE(cache.GetOrBuild(cat, "t", spec).ok());
+  EXPECT_EQ(cache.stats().builds, builds + 1);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+// Deterministic version of the doomed-build publish: the invalidation is
+// guaranteed to land inside the build window by issuing it from a second
+// thread that observes the in-flight claim, while the build is artificially
+// long (large table, large budget). Additionally checks single-flight
+// waiters survive the doom: they retry and share the SECOND build.
+TEST(SynopsisCacheTest, WaitersRetryAfterDoomedBuild) {
+  Catalog cat = BaseCatalog(120000, 7);
+  SynopsisCache cache(0);
+  SynopsisSpec spec;
+  spec.budget = 4000;
+
+  constexpr int kWaiters = 4;
+  std::vector<std::shared_ptr<const core::StoredSample>> seen(kWaiters);
+  std::vector<std::thread> threads;
+  threads.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    threads.emplace_back([&, i] {
+      auto r = cache.GetOrBuild(cat, "t", spec);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      seen[i] = r.value().sample;
+    });
+  }
+  while (cache.stats().misses == 0) std::this_thread::yield();
+  cache.InvalidateTable("t");
+  for (std::thread& t : threads) t.join();
+
+  // Every caller got a sample, and no stale artifact is left behind: at most
+  // the post-invalidation rebuild may be cached.
+  for (int i = 0; i < kWaiters; ++i) ASSERT_NE(seen[i], nullptr);
+  EXPECT_LE(cache.stats().entries, 1u);
 }
 
 }  // namespace

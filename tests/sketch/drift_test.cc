@@ -1,0 +1,153 @@
+#include "sketch/drift.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+
+namespace aqp {
+namespace sketch {
+namespace {
+
+// Feeds integers [lo, hi) as numeric observations (value + hash of value).
+void FillRange(ColumnDriftSketch* s, int64_t lo, int64_t hi) {
+  for (int64_t v = lo; v < hi; ++v) {
+    s->AddNumeric(static_cast<double>(v), HashInt64(v));
+  }
+}
+
+TEST(ColumnDriftSketchTest, IdenticalContentScoresZero) {
+  ColumnDriftSketch a, b;
+  FillRange(&a, 0, 2000);
+  FillRange(&b, 0, 2000);
+  ColumnDriftScore score = ScoreColumnDrift(a, b);
+  // Same data, same options, same seed: every sketch pair is identical, so
+  // every component is exactly zero — the determinism contract the
+  // DriftMonitor's no-drift path relies on.
+  EXPECT_EQ(score.ks, 0.0);
+  EXPECT_EQ(score.domain_churn, 0.0);
+  EXPECT_EQ(score.hh_turnover, 0.0);
+  EXPECT_EQ(score.moment_shift, 0.0);
+  EXPECT_EQ(score.score, 0.0);
+}
+
+TEST(ColumnDriftSketchTest, EmptyPairScoresZero) {
+  ColumnDriftSketch a, b;
+  EXPECT_EQ(ScoreColumnDrift(a, b).score, 0.0);
+}
+
+TEST(ColumnDriftSketchTest, EmptyVsPopulatedIsTotalDrift) {
+  ColumnDriftSketch empty, full;
+  FillRange(&full, 0, 100);
+  EXPECT_EQ(ScoreColumnDrift(empty, full).score, 1.0);
+  EXPECT_EQ(ScoreColumnDrift(full, empty).score, 1.0);
+}
+
+// The containment correction: under pure append the current sketch retains
+// the k smallest hashes of a superset, so every baseline min-hash small
+// enough to be in the union's k minima must still be present. Appending new
+// distinct values therefore reads as growth (moment shift), NOT as domain
+// churn — the signature of replacement.
+TEST(ColumnDriftSketchTest, PureAppendIsNotDomainChurn) {
+  ColumnDriftSketch base, cur;
+  FillRange(&base, 0, 1000);
+  FillRange(&cur, 0, 1000);
+  FillRange(&cur, 1000, 2000);  // 1000 brand-new distinct values.
+  ColumnDriftScore score = ScoreColumnDrift(base, cur);
+  EXPECT_EQ(score.domain_churn, 0.0) << "append misread as churn";
+  // The doubling IS drift (stored samples freeze population counts, so SUM
+  // scaling breaks) — it must show up, just in the right component.
+  EXPECT_GE(score.moment_shift, 0.9);
+}
+
+TEST(ColumnDriftSketchTest, DomainReplacementIsChurn) {
+  ColumnDriftSketch base, cur;
+  // Same row count, entirely disjoint hashed domains (string-like columns:
+  // hash side only, so churn is the only live signal).
+  for (int64_t v = 0; v < 1000; ++v) base.AddHashed(HashInt64(v));
+  for (int64_t v = 100000; v < 101000; ++v) cur.AddHashed(HashInt64(v));
+  ColumnDriftScore score = ScoreColumnDrift(base, cur);
+  EXPECT_GE(score.domain_churn, 0.9);
+  EXPECT_GE(score.score, 0.9);
+}
+
+TEST(ColumnDriftSketchTest, DistributionShiftRaisesKs) {
+  ColumnDriftSketch base, cur;
+  // Uniform on [0, 1) vs uniform on [5, 6): disjoint supports, KS -> 1.
+  for (int i = 0; i < 2000; ++i) {
+    double u = i / 2000.0;
+    base.AddNumeric(u, HashDouble(u));
+    cur.AddNumeric(5.0 + u, HashDouble(5.0 + u));
+  }
+  ColumnDriftScore score = ScoreColumnDrift(base, cur);
+  EXPECT_GE(score.ks, 0.9);
+}
+
+TEST(ColumnDriftSketchTest, HeavyHitterDisappearanceIsTurnover) {
+  ColumnDriftSketch base, cur;
+  // Baseline: one key holds half the mass over a uniform tail. Current:
+  // the dominant key vanished, tail unchanged.
+  const uint64_t hot = HashInt64(7777);
+  for (int i = 0; i < 1000; ++i) base.AddHashed(hot);
+  for (int64_t v = 0; v < 1000; ++v) {
+    base.AddHashed(HashInt64(v));
+    cur.AddHashed(HashInt64(v));
+  }
+  ColumnDriftScore score = ScoreColumnDrift(base, cur);
+  EXPECT_GE(score.hh_turnover, 0.8) << "lost hot key not detected";
+}
+
+TEST(ColumnDriftSketchTest, NullFractionShiftIsMomentShift) {
+  ColumnDriftSketch base, cur;
+  FillRange(&base, 0, 1000);
+  FillRange(&cur, 0, 1000);
+  for (int i = 0; i < 1000; ++i) cur.AddNull();  // 0% -> 50% nulls.
+  ColumnDriftScore score = ScoreColumnDrift(base, cur);
+  EXPECT_GE(score.moment_shift, 0.3);
+}
+
+TEST(ColumnDriftSketchTest, MergeApproximatesSingleBuild) {
+  ColumnDriftSketch whole, left, right;
+  FillRange(&whole, 0, 4000);
+  FillRange(&left, 0, 2000);
+  FillRange(&right, 2000, 4000);
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), whole.variance() * 1e-9);
+  // KLL compaction order differs between merged and sequential builds, so
+  // the comparison is approximate — but it must stay far below any
+  // actionable drift threshold.
+  ColumnDriftScore score = ScoreColumnDrift(whole, left);
+  EXPECT_LT(score.score, 0.05);
+}
+
+TEST(ColumnDriftSketchTest, ScoreIsMaxOfComponents) {
+  ColumnDriftSketch base, cur;
+  FillRange(&base, 0, 1000);
+  for (int64_t v = 100000; v < 101000; ++v) {
+    cur.AddNumeric(static_cast<double>(v), HashInt64(v));
+  }
+  ColumnDriftScore s = ScoreColumnDrift(base, cur);
+  EXPECT_EQ(s.score,
+            std::max({s.ks, s.domain_churn, s.hh_turnover, s.moment_shift}));
+  for (double c : {s.ks, s.domain_churn, s.hh_turnover, s.moment_shift}) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+TEST(ColumnDriftSketchTest, ApproxBytesIsBounded) {
+  ColumnDriftSketch s;
+  FillRange(&s, 0, 100000);
+  EXPECT_GT(s.ApproxBytes(), 0u);
+  // The options doc promises a column signature stays under ~40 KiB.
+  EXPECT_LT(s.ApproxBytes(), 64u * 1024);
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace aqp
