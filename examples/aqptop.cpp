@@ -9,16 +9,23 @@
 //   - live audited coverage: what fraction of background accuracy audits
 //     found the exact answer inside the claimed confidence interval;
 //   - synopsis drift: the latest DriftMonitor verdict per table (score,
-//     staleness, action taken).
+//     staleness, action taken);
+//   - resilience health: circuit-breaker states, watchdog incidents, and
+//     retry totals (--health).
 //
 // Usage:
-//   aqptop <query_log.jsonl> [--top N] [--follow] [--drift]
+//   aqptop <query_log.jsonl> [--top N] [--follow] [--drift] [--health]
 //
 // --follow re-reads and redraws once a second (Ctrl-C to stop); the default
 // is one pass, which is what CI uses to validate the log end to end.
 // --drift switches to the drift-detail view: per-table component
 // breakdown (KS / domain churn / heavy-hitter turnover / moment shift) of
 // the most recent verdict, plus verdict counts.
+// --health switches to the resilience view: per-(table, rung) breaker
+// state with the age of each open circuit (relative to the newest event in
+// the log, so a cold log reads the same as a live one), quarantined
+// fingerprints, hung-query incidents the watchdog reclaimed, and bounded-
+// retry totals (queries retried, attempts, backoff spent).
 //
 // Events are FLAT JSON objects, one per line (see obs/query_log.h), so a
 // small string scanner is all the parsing this needs — by design, the log
@@ -100,12 +107,34 @@ struct DriftRow {
   uint64_t invalidations = 0;
 };
 
+/// Latest state of one (table, rung) circuit, from its transition events.
+struct BreakerRow {
+  std::string state = "closed";
+  double since_unix = 0.0;  // When the latest transition happened.
+  uint64_t trips = 0;       // Transitions INTO open.
+  uint64_t probes = 0;      // Transitions into half-open.
+};
+
+/// One watchdog incident: a query declared hung and hard-cancelled.
+struct HungRow {
+  double age_ms = 0.0;  // Submission age when declared hung.
+  uint64_t session_id = 0;
+  std::string sql;
+};
+
 struct Totals {
   uint64_t events = 0, queries = 0, ok = 0, failed = 0, rejected = 0;
   uint64_t slow = 0, cached = 0, degraded = 0;
   uint64_t audits = 0, audit_cells = 0, audit_covered = 0;
   double worst_observed_error = 0.0;
   uint64_t drift_checks = 0, drift_flags = 0, drift_invalidations = 0;
+  // Resilience rollups (--health).
+  uint64_t retried_queries = 0, retry_attempts = 0;
+  double retry_wait_ms = 0.0;
+  uint64_t hinted_rejections = 0;
+  int64_t max_retry_after_ms = 0;
+  uint64_t quarantined = 0, released = 0;
+  double newest_unix = 0.0;  // "Now" for age math on a cold log.
 };
 
 // Truncation keeps every column bounded: n is the TOTAL budget, dots
@@ -175,10 +204,56 @@ void RenderDriftTable(const std::map<std::string, DriftRow>& drift,
   t.Print();
 }
 
+void RenderHealth(const Totals& t,
+                  const std::map<std::string, BreakerRow>& breakers,
+                  const std::vector<HungRow>& hung, size_t top_n) {
+  aqp::bench::TablePrinter circuits(
+      {"table:rung", "state", "age", "trips", "probes"});
+  uint64_t open_now = 0;
+  for (const auto& [key, b] : breakers) {
+    if (b.state == "open") ++open_now;
+    circuits.AddRow({Ellipsize(key, kTableNameWidth), b.state,
+                     b.since_unix > 0.0
+                         ? FmtAge(t.newest_unix - b.since_unix)
+                         : "-",
+                     std::to_string(b.trips), std::to_string(b.probes)});
+  }
+  std::printf("Circuits: %zu tracked, %llu open now, %llu quarantined "
+              "fingerprints (%llu released)\n",
+              breakers.size(), (unsigned long long)open_now,
+              (unsigned long long)t.quarantined,
+              (unsigned long long)t.released);
+  if (!breakers.empty()) circuits.Print();
+
+  std::printf("\nWatchdog: %zu hung-query incidents\n", hung.size());
+  if (!hung.empty()) {
+    aqp::bench::TablePrinter w({"age at declare", "session", "sql"});
+    size_t start = hung.size() > top_n ? hung.size() - top_n : 0;
+    for (size_t i = start; i < hung.size(); ++i) {  // Most recent last.
+      w.AddRow({aqp::bench::Fmt(hung[i].age_ms, 1) + "ms",
+                std::to_string(hung[i].session_id),
+                Ellipsize(hung[i].sql, 48)});
+    }
+    w.Print();
+  }
+
+  std::printf(
+      "\nRetries: %llu queries retried, %llu extra attempts, %.1fms spent "
+      "backing off\n",
+      (unsigned long long)t.retried_queries,
+      (unsigned long long)t.retry_attempts, t.retry_wait_ms);
+  std::printf(
+      "Backoff hints: %llu rejections carried retry-after (max %lldms)\n",
+      (unsigned long long)t.hinted_rejections,
+      (long long)t.max_retry_after_ms);
+}
+
 void Render(const std::string& path, const Totals& t,
             std::vector<QueryRow> rows,
-            const std::map<std::string, DriftRow>& drift, size_t top_n,
-            bool drift_view) {
+            const std::map<std::string, DriftRow>& drift,
+            const std::map<std::string, BreakerRow>& breakers,
+            const std::vector<HungRow>& hung, size_t top_n, bool drift_view,
+            bool health_view) {
   std::printf("aqptop — %s\n", path.c_str());
   std::printf(
       "%llu events: %llu queries (%llu ok, %llu failed, %llu rejected), "
@@ -192,6 +267,10 @@ void Render(const std::string& path, const Totals& t,
       (unsigned long long)t.drift_checks, (unsigned long long)t.drift_flags,
       (unsigned long long)t.drift_invalidations);
 
+  if (health_view) {
+    RenderHealth(t, breakers, hung, top_n);
+    return;
+  }
   if (drift_view) {
     RenderDriftTable(drift, /*detailed=*/true);
     return;
@@ -248,7 +327,8 @@ void Render(const std::string& path, const Totals& t,
 }
 
 // One full pass over the log file.
-bool Scan(const std::string& path, size_t top_n, bool drift_view) {
+bool Scan(const std::string& path, size_t top_n, bool drift_view,
+          bool health_view) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "aqptop: cannot open %s\n", path.c_str());
@@ -257,11 +337,39 @@ bool Scan(const std::string& path, size_t top_n, bool drift_view) {
   Totals t;
   std::vector<QueryRow> rows;
   std::map<std::string, DriftRow> drift;
+  std::map<std::string, BreakerRow> breakers;
+  std::vector<HungRow> hung;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     ++t.events;
+    t.newest_unix = std::max(t.newest_unix, NumField(line, "unix_seconds"));
     std::string kind = RawField(line, "kind");
+    if (kind == "watchdog") {
+      HungRow h;
+      h.age_ms = NumField(line, "wall_ms");
+      h.session_id = (uint64_t)NumField(line, "session_id");
+      h.sql = RawField(line, "sql");
+      hung.push_back(std::move(h));
+      continue;
+    }
+    if (kind == "breaker") {
+      std::string state = RawField(line, "breaker_state");
+      if (state == "quarantined") {
+        ++t.quarantined;
+      } else if (state == "released") {
+        ++t.released;
+      } else {  // A (table, rung) circuit transition.
+        std::string key = RawField(line, "breaker_table") + ":" +
+                          RawField(line, "breaker_rung");
+        BreakerRow& b = breakers[key];
+        b.state = state;
+        b.since_unix = NumField(line, "unix_seconds");
+        if (state == "open") ++b.trips;
+        if (state == "half-open") ++b.probes;
+      }
+      continue;
+    }
     if (kind == "audit") {
       ++t.audits;
       t.audit_cells += (uint64_t)NumField(line, "audit_cells");
@@ -310,9 +418,21 @@ bool Scan(const std::string& path, size_t top_n, bool drift_view) {
     if (RawField(line, "slow") == "true") ++t.slow;
     if (!r.cache.empty()) ++t.cached;
     if (r.rung > 0) ++t.degraded;
+    uint64_t retries = (uint64_t)NumField(line, "retry_count");
+    if (retries > 0) {
+      ++t.retried_queries;
+      t.retry_attempts += retries;
+      t.retry_wait_ms += NumField(line, "retry_wait_ms");
+    }
+    int64_t hint = (int64_t)NumField(line, "retry_after_ms");
+    if (hint > 0) {
+      ++t.hinted_rejections;
+      t.max_retry_after_ms = std::max(t.max_retry_after_ms, hint);
+    }
     rows.push_back(std::move(r));
   }
-  Render(path, t, std::move(rows), drift, top_n, drift_view);
+  Render(path, t, std::move(rows), drift, breakers, hung, top_n, drift_view,
+         health_view);
   return true;
 }
 
@@ -323,11 +443,14 @@ int main(int argc, char** argv) {
   size_t top_n = 10;
   bool follow = false;
   bool drift_view = false;
+  bool health_view = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--follow") == 0) {
       follow = true;
     } else if (std::strcmp(argv[i], "--drift") == 0) {
       drift_view = true;
+    } else if (std::strcmp(argv[i], "--health") == 0) {
+      health_view = true;
     } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
       top_n = (size_t)std::atol(argv[++i]);
     } else {
@@ -340,14 +463,14 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     std::fprintf(stderr,
                  "usage: aqptop <query_log.jsonl> [--top N] [--follow] "
-                 "[--drift]\n"
+                 "[--drift] [--health]\n"
                  "(or set AQP_QUERY_LOG)\n");
     return 2;
   }
-  if (!follow) return Scan(path, top_n, drift_view) ? 0 : 1;
+  if (!follow) return Scan(path, top_n, drift_view, health_view) ? 0 : 1;
   while (true) {
     std::printf("\033[2J\033[H");  // Clear screen, home cursor.
-    Scan(path, top_n, drift_view);
+    Scan(path, top_n, drift_view, health_view);
     std::this_thread::sleep_for(std::chrono::seconds(1));
   }
 }

@@ -24,6 +24,13 @@ void CancellationSource::SetDeadlineAfterMs(int64_t ms) {
               std::chrono::milliseconds(ms));
 }
 
+int64_t CancellationSource::RemainingDeadlineMs() const {
+  int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline == INT64_MAX) return -1;
+  int64_t remaining_ns = deadline - NowNs();
+  return remaining_ns <= 0 ? 0 : remaining_ns / 1000000;
+}
+
 void CancellationSource::RequestCancel(StopCause cause, std::string reason) {
   uint8_t expected = 0;
   if (cause_.compare_exchange_strong(expected, static_cast<uint8_t>(cause),

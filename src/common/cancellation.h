@@ -50,6 +50,11 @@ class CancellationSource {
   /// later ones are no-ops. `reason` becomes the Status message.
   void RequestCancel(StopCause cause, std::string reason);
 
+  /// Milliseconds until the armed deadline: -1 when no deadline is armed,
+  /// 0 when it already passed. Lets budget-aware callers (the governed
+  /// retry path) decide whether a backoff still fits the deadline.
+  int64_t RemainingDeadlineMs() const;
+
   /// Read-only view for workers. Valid only while this source lives.
   CancellationToken token() const;
 

@@ -1,6 +1,8 @@
 #include "gov/fault_injector.h"
 
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
 #include "common/hash.h"
 #include "common/str_util.h"
@@ -25,7 +27,8 @@ bool ScheduleFires(uint64_t seed, std::string_view site, uint64_t hit,
 }
 
 // One-time environment arming so the CI fault matrix can drive unmodified
-// test binaries: AQP_FAULT_SEED=<u64> [AQP_FAULT_P=<prob, default 0.01>].
+// test binaries: AQP_FAULT_SEED=<u64> [AQP_FAULT_P=<prob, default 0.01>]
+// [AQP_FAULT_SITES=site1,site2 — restricts the schedule to those sites].
 void ArmFromEnvOnce(FaultInjector& inj) {
   static bool done = [&inj]() {
     const char* seed_env = std::getenv("AQP_FAULT_SEED");
@@ -38,7 +41,15 @@ void ArmFromEnvOnce(FaultInjector& inj) {
       auto parsed = ParseDouble(p_env);
       if (parsed.ok() && *parsed >= 0.0 && *parsed <= 1.0) p = *parsed;
     }
-    inj.Arm(static_cast<uint64_t>(*seed), p);
+    std::vector<std::string> sites;
+    const char* sites_env = std::getenv("AQP_FAULT_SITES");
+    if (sites_env != nullptr && *sites_env != '\0') {
+      for (const std::string& part : Split(sites_env, ',')) {
+        std::string_view site = StripWhitespace(part);
+        if (!site.empty()) sites.emplace_back(site);
+      }
+    }
+    inj.ArmSites(static_cast<uint64_t>(*seed), p, sites);
     return true;
   }();
   (void)done;
@@ -56,38 +67,102 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Arm(uint64_t seed, double probability) {
+  ArmSites(seed, probability, {});
+}
+
+void FaultInjector::ArmSites(uint64_t seed, double probability,
+                             const std::vector<std::string>& sites) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     seed_ = seed;
     probability_ = probability;
+    site_filter_.clear();
+    for (const std::string& site : sites) site_filter_.insert(site);
   }
   armed_.store(true, std::memory_order_release);
-  // Route pool-dispatch decisions through the same schedule. The hook takes
-  // the helper slot index but the schedule key is the per-site hit counter,
-  // so seeds replay identically whatever slots the pool picks.
-  ThreadPool::SetDispatchFaultHook(
-      [](size_t) { return !Global().MaybeFail("pool.dispatch").ok(); });
+  InstallDispatchHook();
 }
 
 void FaultInjector::Disarm() {
   armed_.store(false, std::memory_order_release);
-  ThreadPool::SetDispatchFaultHook(nullptr);
+  ClearHangs();
+  MaybeRemoveDispatchHook();
+}
+
+void FaultInjector::ArmHang(std::string_view site, int64_t hang_ms,
+                            uint64_t count) {
+  if (hang_ms <= 0 || count == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) {
+      it = sites_.emplace(std::string(site), SiteState{}).first;
+    }
+    it->second.hangs_remaining = count;
+    it->second.hang_ms = hang_ms;
+  }
+  hang_armed_.store(true, std::memory_order_release);
+  InstallDispatchHook();
+}
+
+void FaultInjector::ClearHangs() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [site, state] : sites_) {
+      state.hangs_remaining = 0;
+      state.hang_ms = 0;
+    }
+  }
+  hang_armed_.store(false, std::memory_order_release);
+  MaybeRemoveDispatchHook();
 }
 
 Status FaultInjector::MaybeFail(std::string_view site) {
-  if (!armed_.load(std::memory_order_acquire)) return Status::OK();
+  const bool armed = armed_.load(std::memory_order_acquire);
+  const bool hang_armed = hang_armed_.load(std::memory_order_acquire);
+  if (!armed && !hang_armed) return Status::OK();
+
+  // Hung-morsel mode first: deterministic by hit count, not by schedule.
+  if (hang_armed) {
+    int64_t hang_ms = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = sites_.find(site);
+      if (it != sites_.end() && it->second.hangs_remaining > 0) {
+        --it->second.hangs_remaining;
+        ++it->second.hung;
+        hang_ms = it->second.hang_ms;
+      }
+    }
+    if (hang_ms > 0) {
+      hung_.fetch_add(1, std::memory_order_relaxed);
+      // Deliberately ignores every cancellation token: the point is a thread
+      // that stopped cooperating, so the watchdog has something to reclaim.
+      std::this_thread::sleep_for(std::chrono::milliseconds(hang_ms));
+      return Status::OK();
+    }
+  }
+
+  if (!armed) return Status::OK();
   uint64_t seed;
   double p;
   uint64_t hit;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Filtered-out sites return OK without advancing their schedule, so a
+    // site-targeted run replays identically to the same sites in a full run.
+    if (!site_filter_.empty() &&
+        site_filter_.find(site) == site_filter_.end()) {
+      return Status::OK();
+    }
     seed = seed_;
     p = probability_;
-    auto it = hits_.find(site);
-    if (it == hits_.end()) {
-      it = hits_.emplace(std::string(site), 0).first;
+    auto it = sites_.find(site);
+    if (it == sites_.end()) {
+      it = sites_.emplace(std::string(site), SiteState{}).first;
     }
-    hit = it->second++;
+    hit = it->second.hits++;
+    if (ScheduleFires(seed, site, hit, p)) ++it->second.injected;
   }
   evaluated_.fetch_add(1, std::memory_order_relaxed);
   if (!ScheduleFires(seed, site, hit, p)) return Status::OK();
@@ -97,17 +172,60 @@ Status FaultInjector::MaybeFail(std::string_view site) {
                           ", hit=" + std::to_string(hit) + ")");
 }
 
+std::map<std::string, FaultSiteCounters> FaultInjector::SiteCountersSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, FaultSiteCounters> out;
+  for (const auto& [site, state] : sites_) {
+    FaultSiteCounters c;
+    c.evaluated = state.hits;
+    c.injected = state.injected;
+    c.hung = state.hung;
+    out.emplace(site, c);
+  }
+  return out;
+}
+
 void FaultInjector::ResetCounters() {
   std::lock_guard<std::mutex> lock(mu_);
-  hits_.clear();
+  for (auto& [site, state] : sites_) {
+    // Hang budgets are configuration, not counters; they survive a reset so
+    // ArmHang-then-reset (fresh schedule) keeps the pending hang.
+    state.hits = 0;
+    state.injected = 0;
+    state.hung = 0;
+  }
   injected_.store(0, std::memory_order_relaxed);
   evaluated_.store(0, std::memory_order_relaxed);
+  hung_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::InstallDispatchHook() {
+  // Route pool-dispatch decisions through the same schedule. The hook takes
+  // the helper slot index but the schedule key is the per-site hit counter,
+  // so seeds replay identically whatever slots the pool picks.
+  ThreadPool::SetDispatchFaultHook(
+      [](size_t) { return !Global().MaybeFail("pool.dispatch").ok(); });
+}
+
+void FaultInjector::MaybeRemoveDispatchHook() {
+  if (!armed_.load(std::memory_order_acquire) &&
+      !hang_armed_.load(std::memory_order_acquire)) {
+    ThreadPool::SetDispatchFaultHook(nullptr);
+  }
 }
 
 ScopedFaultInjection::ScopedFaultInjection(uint64_t seed, double probability) {
   FaultInjector& inj = FaultInjector::Global();
   inj.ResetCounters();
   inj.Arm(seed, probability);
+}
+
+ScopedFaultInjection::ScopedFaultInjection(
+    uint64_t seed, double probability, const std::vector<std::string>& sites) {
+  FaultInjector& inj = FaultInjector::Global();
+  inj.ResetCounters();
+  inj.ArmSites(seed, probability, sites);
 }
 
 ScopedFaultInjection::ScopedFaultInjection() {

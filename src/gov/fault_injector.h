@@ -5,13 +5,22 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 
 namespace aqp {
 namespace gov {
+
+/// Per-site injection counters (see FaultInjector::SiteCountersSnapshot).
+struct FaultSiteCounters {
+  uint64_t evaluated = 0;  // Hits that consulted the schedule.
+  uint64_t injected = 0;   // Hits the schedule failed.
+  uint64_t hung = 0;       // Hits stalled by the hung-morsel mode.
+};
 
 /// Deterministic, seeded fault injection for robustness tests. Production
 /// code paths with a meaningful failure mode call
@@ -22,18 +31,31 @@ namespace gov {
 /// site's hits are counted under a lock).
 ///
 /// Registered sites (grep for MaybeFail to confirm):
-///   engine.scan       — table fetch at the head of every Scan operator
-///   sampler.bernoulli — Bernoulli row-sample draw
-///   sampler.block     — block-sample draw
-///   ola.create        — OnlineAggregator setup (measure eval + permutation)
-///   pool.dispatch     — helper-task dispatch in ThreadPool::ParallelFor
-///                       (wired through SetDispatchFaultHook when armed)
+///   engine.scan         — table fetch at the head of every Scan operator
+///   sampler.bernoulli   — Bernoulli row-sample draw
+///   sampler.block       — block-sample draw
+///   ola.create          — OnlineAggregator setup (measure eval + permutation)
+///   pool.dispatch       — helper-task dispatch in ThreadPool::ParallelFor
+///                         (wired through SetDispatchFaultHook when armed)
+///   synopsis.build      — SynopsisCache stored-sample build (single-flight)
+///   result_cache.insert — ResultCache::Insert (a failed insert skips caching)
+///   drift.sweep         — DriftMonitor per-table rescan
+///   audit.reexec        — AccuracyAuditor ground-truth re-execution
+///   service.admit       — AdmissionController::Acquire (fails as overload)
 ///
 /// Disarmed cost: one relaxed atomic load per call. Arming is process-global
 /// and intended for tests / the CI fault matrix, not concurrent production
 /// queries; it can also be armed from the environment (AQP_FAULT_SEED,
-/// AQP_FAULT_P) at first use, which is how the CI matrix drives 10 seeds
-/// through the same binaries.
+/// AQP_FAULT_P, and optionally AQP_FAULT_SITES=site1,site2 to restrict the
+/// schedule to a subset of sites) at first use, which is how the CI matrix
+/// drives seeds × site subsets through the same binaries.
+///
+/// Counter-continuation semantics: Disarm() stops injection but keeps the
+/// per-site hit counters, so a later Arm() with the same seed CONTINUES the
+/// schedule exactly where it left off — hit N+1 of a site fires iff it would
+/// have fired had the injector stayed armed (disarmed hits do not advance
+/// the counters). This is what makes pause/resume chaos tests reproducible.
+/// Call ResetCounters() for a fresh schedule instead.
 class FaultInjector {
  public:
   static FaultInjector& Global();
@@ -42,14 +64,29 @@ class FaultInjector {
   /// `probability` under the deterministic schedule of `seed`. Also installs
   /// the ThreadPool dispatch-fault hook for the pool.dispatch site.
   void Arm(uint64_t seed, double probability);
+  /// Arm restricted to `sites`: only the named sites are evaluated (others
+  /// return OK without advancing their hit counters). An empty list means
+  /// every site, i.e. plain Arm.
+  void ArmSites(uint64_t seed, double probability,
+                const std::vector<std::string>& sites);
   /// Disarms injection and removes the dispatch hook. Hit counters survive
   /// so a later Arm with the same seed continues the schedule; call
-  /// ResetCounters for a fresh schedule.
+  /// ResetCounters for a fresh schedule. Also clears any pending hangs.
   void Disarm();
   bool armed() const { return armed_.load(std::memory_order_acquire); }
 
+  /// Hung-morsel mode: the next `count` hits at `site` BLOCK the calling
+  /// thread for `hang_ms` (then return OK), simulating a morsel that stopped
+  /// checking CheckCancelled. Independent of the probability schedule —
+  /// deterministic by hit count — and usable with or without Arm; the
+  /// watchdog suite uses it to manufacture queries that hold their admission
+  /// slot past deadline + grace. Cleared by Disarm()/ClearHangs().
+  void ArmHang(std::string_view site, int64_t hang_ms, uint64_t count = 1);
+  void ClearHangs();
+
   /// OK when disarmed or when this hit survives; an Internal status naming
-  /// the site when the schedule fires.
+  /// the site when the schedule fires. In hung-morsel mode the call may
+  /// first stall for the configured hang before returning OK.
   Status MaybeFail(std::string_view site);
 
   /// Faults injected / hits evaluated since the last ResetCounters.
@@ -59,19 +96,38 @@ class FaultInjector {
   uint64_t evaluated() const {
     return evaluated_.load(std::memory_order_relaxed);
   }
+  uint64_t hung() const { return hung_.load(std::memory_order_relaxed); }
+  /// Per-site evaluated/injected/hung counters — the chaos bench asserts
+  /// from this that its schedule actually fired at every armed site, and the
+  /// service mirrors it into `fault.site.*` metrics.
+  std::map<std::string, FaultSiteCounters> SiteCountersSnapshot() const;
   /// Zeroes the per-site hit counters and the totals (fresh schedule).
   void ResetCounters();
 
  private:
   FaultInjector() = default;
 
+  void InstallDispatchHook();
+  void MaybeRemoveDispatchHook();
+
+  struct SiteState {
+    uint64_t hits = 0;  // Schedule position (evaluated hits).
+    uint64_t injected = 0;
+    uint64_t hung = 0;
+    uint64_t hangs_remaining = 0;  // Hung-morsel budget.
+    int64_t hang_ms = 0;
+  };
+
   std::atomic<bool> armed_{false};
+  std::atomic<bool> hang_armed_{false};
   std::atomic<uint64_t> injected_{0};
   std::atomic<uint64_t> evaluated_{0};
+  std::atomic<uint64_t> hung_{0};
   mutable std::mutex mu_;
   uint64_t seed_ = 0;
   double probability_ = 0.0;
-  std::map<std::string, uint64_t, std::less<>> hits_;  // Per-site hit counts.
+  std::set<std::string, std::less<>> site_filter_;  // Empty = all sites.
+  std::map<std::string, SiteState, std::less<>> sites_;
 };
 
 /// RAII (dis)arming for tests: arms (or disarms) the global injector on
@@ -82,6 +138,9 @@ class ScopedFaultInjection {
  public:
   /// Arms with (seed, probability) on a fresh schedule (counters reset).
   ScopedFaultInjection(uint64_t seed, double probability);
+  /// Arms a fresh schedule restricted to `sites` (empty = all).
+  ScopedFaultInjection(uint64_t seed, double probability,
+                       const std::vector<std::string>& sites);
   /// Disarms for this scope (deterministic-test mode).
   ScopedFaultInjection();
   ~ScopedFaultInjection();

@@ -13,6 +13,47 @@
 namespace aqp {
 namespace gov {
 
+/// Bounded retry for transient Internal failures (injected faults are the
+/// canonical case): a rung attempt that fails with kInternal is re-run after
+/// an exponential backoff with deterministic jitter, as long as attempts and
+/// deadline budget remain. The attempt budget is shared across the whole
+/// query (all rungs), so a retry storm cannot multiply down the ladder.
+/// `FromEnv` overlays AQP_RETRY_MAX / AQP_RETRY_BASE_MS /
+/// AQP_RETRY_MULTIPLIER / AQP_RETRY_MAX_BACKOFF_MS.
+struct RetryOptions {
+  /// Extra attempts beyond the first, per query; 0 disables retry.
+  int max_attempts = 2;
+  /// Backoff before retry k (0-based): base * multiplier^k, capped at
+  /// max_backoff_ms, scaled by a deterministic jitter in [0.5, 1.0) derived
+  /// from (query seed, k) — no wall-clock randomness, so a seeded run
+  /// replays with identical waits.
+  int64_t base_backoff_ms = 10;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_ms = 500;
+
+  static RetryOptions FromEnv(RetryOptions base);
+};
+
+/// Per-(table, rung) admission gate the ladder consults before attempting a
+/// rung, implemented by the service tier's CircuitBreaker. A denied rung is
+/// skipped exactly as if it had failed (the ladder descends); when every
+/// rung is denied the query fast-fails with the gate's retry-after hint.
+/// Implementations must be thread-safe — one gate serves every query.
+class RungGate {
+ public:
+  struct Decision {
+    bool allow = true;
+    int64_t retry_after_ms = 0;  // Advisory, set on denials.
+  };
+  virtual ~RungGate() = default;
+  virtual Decision Allow(const std::string& table, int rung) = 0;
+  /// Reports how an attempted rung concluded: `ok` false means the rung
+  /// conclusively failed with a fault (kInternal, post-retry) — deadline and
+  /// memory failures are resource signals, not rung health, and are not
+  /// reported.
+  virtual void RecordOutcome(const std::string& table, int rung, bool ok) = 0;
+};
+
 /// Knobs of the governed executor: the inner AQP configuration plus the
 /// resource limits and the degradation behaviour.
 struct GovernedOptions {
@@ -50,6 +91,15 @@ struct GovernedOptions {
   /// synopsis at all (PilotDB-style decline-when-unsafe): the ladder falls
   /// through to the online-aggregation rung, which reads CURRENT data.
   double drift_decline_threshold = 0.5;
+
+  /// Bounded retry with backoff for transient Internal rung failures.
+  RetryOptions retry;
+
+  /// Optional per-(table, rung) gate (the service's CircuitBreaker), not
+  /// owned, consulted for `gate_table` before each rung attempt; null or an
+  /// empty table disables gating. Must outlive the executor.
+  RungGate* rung_gate = nullptr;
+  std::string gate_table;
 };
 
 /// Resource-governed query execution: wraps the two-stage ApproxExecutor in
@@ -90,15 +140,33 @@ class GovernedExecutor {
       obs::QueryTrace* trace = nullptr);
 
  private:
+  /// Per-query retry accounting, shared by every rung attempt.
+  struct RetryState {
+    int attempts_left = 0;
+    uint64_t count = 0;          // Retries actually performed.
+    double wait_seconds = 0.0;   // Total backoff slept.
+    int64_t retry_after_ms = 0;  // Worst gate hint seen (for fast-fail).
+  };
+
   Result<core::ApproxResult> RunLadder(std::string_view sql, QueryContext& ctx,
-                                       Status failure, obs::QueryTrace* trace);
+                                       Status failure, RetryState& retry,
+                                       obs::QueryTrace* trace);
   Result<core::ApproxResult> RunOfflineRung(std::string_view sql,
                                             QueryContext& ctx,
                                             obs::QueryTrace* trace);
   Result<core::ApproxResult> RunOlaRung(std::string_view sql,
                                         QueryContext& ctx);
+  /// Runs `attempt`, retrying kInternal failures with backoff while the
+  /// shared attempt budget and the deadline allow. Reports the conclusive
+  /// outcome to the rung gate.
+  template <typename Fn>
+  Result<core::ApproxResult> AttemptWithRetry(int rung, QueryContext& ctx,
+                                              RetryState& retry, Fn&& attempt);
+  /// Gate consultation for one rung; {true, 0} when no gate is configured.
+  RungGate::Decision GateAllow(int rung, RetryState& retry) const;
   void FinishProfile(core::ApproxResult* result, const QueryContext& ctx,
-                     int rung, std::string degraded_reason,
+                     const RetryState& retry, int rung,
+                     std::string degraded_reason,
                      double pre_inflation_error = 0.0) const;
 
   const Catalog* catalog_;
@@ -110,6 +178,11 @@ class GovernedExecutor {
 /// memory, fault) as opposed to one it must surface unchanged (user cancel,
 /// malformed query, ...).
 bool IsDegradable(const Status& s);
+
+/// True iff `s` is the ladder's own "every rung failed" exhaustion status —
+/// the service's poison-query detection keys on it (a query no rung can
+/// answer is quarantine material, a plain deadline miss is not).
+bool IsLadderExhausted(const Status& s);
 
 }  // namespace gov
 }  // namespace aqp

@@ -61,6 +61,11 @@ class QueryContext {
   bool cancelled() const { return token_.IsCancelled(); }
   StopCause cause() const { return token_.cause(); }
 
+  /// Milliseconds of deadline budget left (-1 = no deadline, 0 = expired).
+  int64_t remaining_deadline_ms() const {
+    return source_.RemainingDeadlineMs();
+  }
+
  private:
   Limits limits_;
   CancellationSource source_;

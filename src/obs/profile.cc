@@ -58,6 +58,10 @@ std::string ExecutionProfile::ToText() const {
     out += "  synopsis:   drift_score=" + Pct(synopsis_drift_score) +
            " age=" + std::to_string(synopsis_age_seconds) + "s\n";
   }
+  if (retry_count > 0) {
+    out += "  retries:    " + std::to_string(retry_count) + " (backoff " +
+           Ms(retry_wait_seconds) + ")\n";
+  }
   if (!sampling_design.empty()) {
     out += "  sampling:   " + sampling_design;
     if (!sampled_table.empty()) out += " over '" + sampled_table + "'";
@@ -146,6 +150,10 @@ std::string ExecutionProfile::ToJson() const {
   if (synopsis_drift_score > 0.0 || synopsis_age_seconds > 0.0) {
     w.Key("synopsis_drift_score").Value(synopsis_drift_score);
     w.Key("synopsis_age_seconds").Value(synopsis_age_seconds);
+  }
+  if (retry_count > 0) {
+    w.Key("retry_count").Value(retry_count);
+    w.Key("retry_wait_seconds").Value(retry_wait_seconds);
   }
   if (!sampling_design.empty()) {
     w.Key("sampling_design").Value(sampling_design);

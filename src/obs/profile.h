@@ -84,6 +84,11 @@ struct ExecutionProfile {
   /// time. Both 0 when no cached synopsis was involved or never scored.
   double synopsis_drift_score = 0.0;
   double synopsis_age_seconds = 0.0;
+  /// Bounded-retry accounting: how many rung attempts were re-run after a
+  /// transient Internal failure, and the total backoff slept doing so. Both
+  /// 0 for queries that never retried.
+  uint64_t retry_count = 0;
+  double retry_wait_seconds = 0.0;
 
   /// Sampling decisions.
   std::string sampling_design;   // e.g. "system-block(block_size=128)".

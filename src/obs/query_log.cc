@@ -43,6 +43,16 @@ std::string QueryLogEvent::ToJson() const {
     w.Key("synopsis_drift_score").Value(synopsis_drift_score);
     w.Key("synopsis_age_seconds").Value(synopsis_age_seconds);
   }
+  if (retry_count > 0 || retry_wait_ms > 0.0) {
+    w.Key("retry_count").Value(retry_count);
+    w.Key("retry_wait_ms").Value(retry_wait_ms);
+  }
+  if (retry_after_ms > 0) w.Key("retry_after_ms").Value(retry_after_ms);
+  if (kind == "breaker" || !breaker_table.empty() || !breaker_state.empty()) {
+    w.Key("breaker_table").Value(breaker_table);
+    w.Key("breaker_rung").Value(static_cast<int64_t>(breaker_rung));
+    w.Key("breaker_state").Value(breaker_state);
+  }
   if (kind == "audit") {
     w.Key("audited_table").Value(audited_table);
     w.Key("audit_cells").Value(audit_cells);

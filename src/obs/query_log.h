@@ -22,7 +22,11 @@ namespace obs {
 ///   kind="audit": one per background accuracy-audit verdict (the auditor
 ///                 re-executed a sampled answer exactly and compared CIs);
 ///   kind="drift": one per DriftMonitor table verdict (a baseline/current
-///                 sketch comparison, with the action the monitor took).
+///                 sketch comparison, with the action the monitor took);
+///   kind="watchdog": one per hung-query incident (a query the Watchdog
+///                 hard-cancelled and whose admission slot it reclaimed);
+///   kind="breaker": one per CircuitBreaker state transition of a
+///                 (table, rung) circuit (or a quarantine verdict).
 struct QueryLogEvent {
   std::string kind = "query";
   /// Wall-clock seconds since the Unix epoch at event completion.
@@ -59,6 +63,21 @@ struct QueryLogEvent {
   /// score and its age at answer time.
   double synopsis_drift_score = 0.0;
   double synopsis_age_seconds = 0.0;
+
+  /// Bounded-retry accounting of a query-kind event (0 when none).
+  uint64_t retry_count = 0;
+  double retry_wait_ms = 0.0;
+  /// Client backoff hint attached to rejections and fast-fails, parsed from
+  /// the status message's "(retry_after_ms=N)" suffix. 0 = no hint.
+  int64_t retry_after_ms = 0;
+
+  /// Breaker-kind payload (also stamped on "quarantined" query events):
+  /// which (table, rung) circuit transitioned and into which state
+  /// ("closed", "open", "half-open"), or "quarantined" for a poisoned
+  /// fingerprint. rung -1 = not rung-specific (quarantine).
+  std::string breaker_table;
+  int breaker_rung = -1;
+  std::string breaker_state;
 
   /// Audit-kind payload (0/empty on query events): which table/rung the
   /// audited answer came from, how many CI cells were checked, how many

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/hash.h"
+#include "gov/fault_injector.h"
 #include "gov/query_context.h"
 #include "obs/metrics.h"
 #include "sql/parser.h"
@@ -199,6 +200,9 @@ void AccuracyAuditor::AuditOne(const Pending& p) {
 
 Result<std::pair<uint64_t, uint64_t>> AccuracyAuditor::CompareAgainstTruth(
     const Pending& p, double* worst_observed_error) {
+  // Chaos site: a failed re-execution is one dropped audit verdict (counted,
+  // logged status="failed"), never a foreground-visible error.
+  AQP_RETURN_IF_ERROR(gov::FaultInjector::Global().MaybeFail("audit.reexec"));
   // Ground truth: the same SQL with the error clause stripped, executed
   // exactly, single-threaded (stays off the shared morsel pool), under the
   // auditor's own deadline and memory budget.

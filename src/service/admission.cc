@@ -1,12 +1,60 @@
 #include "service/admission.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdlib>
 #include <string>
+
+#include "common/str_util.h"
+#include "gov/fault_injector.h"
 
 namespace aqp {
 namespace service {
+namespace {
+
+// Assumed per-query service time until the first release is measured: the
+// hint must be non-zero even when the very first arrivals are refused.
+constexpr double kDefaultServiceSeconds = 0.050;
+
+// EWMA smoothing for the observed service time; heavier on history so one
+// outlier query does not swing every client's backoff.
+constexpr double kEwmaAlpha = 0.2;
+
+std::string WithRetryAfter(std::string message, int64_t retry_after_ms) {
+  message += " (retry_after_ms=" + std::to_string(retry_after_ms) + ")";
+  return message;
+}
+
+}  // namespace
+
+int64_t AdmissionController::RetryAfterHintMsLocked() const {
+  const double service_seconds = ewma_service_seconds_ > 0.0
+                                     ? ewma_service_seconds_
+                                     : kDefaultServiceSeconds;
+  const size_t lanes = std::max<size_t>(1, options_.max_inflight);
+  // The submission behind `waiting_` others drains after roughly
+  // (waiting + 1) service times spread over the in-flight lanes.
+  const double eta_seconds =
+      static_cast<double>(waiting_ + 1) * service_seconds /
+      static_cast<double>(lanes);
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(eta_seconds * 1000.0)));
+}
 
 Status AdmissionController::Acquire(uint64_t* queue_depth_seen) {
+  // Chaos site: an injected admission fault presents as overload, so client
+  // retry/backoff paths can be exercised without real saturation.
+  if (Status fault = gov::FaultInjector::Global().MaybeFail("service.admit");
+      !fault.ok()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_depth_seen != nullptr) *queue_depth_seen = waiting_;
+    ++rejected_fault_;
+    return Status::ResourceExhausted(WithRetryAfter(
+        "injected admission fault: " + fault.message(),
+        RetryAfterHintMsLocked()));
+  }
+
   std::unique_lock<std::mutex> lock(mu_);
   if (queue_depth_seen != nullptr) *queue_depth_seen = waiting_;
   // Fast path only when nobody is queued ahead — a free slot goes to the
@@ -18,10 +66,11 @@ Status AdmissionController::Acquire(uint64_t* queue_depth_seen) {
   }
   if (waiting_ >= options_.max_queue) {
     ++rejected_queue_full_;
-    return Status::ResourceExhausted(
-        "admission queue full: " + std::to_string(inflight_) + " in flight, " +
-        std::to_string(waiting_) + " queued (max_queue=" +
-        std::to_string(options_.max_queue) + ")");
+    return Status::ResourceExhausted(WithRetryAfter(
+        "admission queue full: " + std::to_string(inflight_) +
+            " in flight, " + std::to_string(waiting_) + " queued (max_queue=" +
+            std::to_string(options_.max_queue) + ")",
+        RetryAfterHintMsLocked()));
   }
   ++waiting_;
   bool got_slot;
@@ -36,20 +85,28 @@ Status AdmissionController::Acquire(uint64_t* queue_depth_seen) {
   --waiting_;
   if (!got_slot) {
     ++rejected_timeout_;
-    return Status::ResourceExhausted(
+    return Status::ResourceExhausted(WithRetryAfter(
         "admission timed out after " +
-        std::to_string(options_.queue_timeout_ms) + "ms (" +
-        std::to_string(inflight_) + " in flight)");
+            std::to_string(options_.queue_timeout_ms) + "ms (" +
+            std::to_string(inflight_) + " in flight)",
+        RetryAfterHintMsLocked()));
   }
   ++inflight_;
   ++admitted_;
   return Status::OK();
 }
 
-void AdmissionController::Release() {
+void AdmissionController::Release(double service_seconds) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (inflight_ > 0) --inflight_;
+    if (service_seconds > 0.0) {
+      ewma_service_seconds_ =
+          ewma_service_seconds_ > 0.0
+              ? (1.0 - kEwmaAlpha) * ewma_service_seconds_ +
+                    kEwmaAlpha * service_seconds
+              : service_seconds;
+    }
   }
   cv_.notify_one();
 }
@@ -60,9 +117,25 @@ AdmissionStats AdmissionController::stats() const {
   s.admitted = admitted_;
   s.rejected_queue_full = rejected_queue_full_;
   s.rejected_timeout = rejected_timeout_;
+  s.rejected_fault = rejected_fault_;
   s.inflight = inflight_;
   s.queue_depth = waiting_;
+  s.ewma_service_seconds = ewma_service_seconds_;
   return s;
+}
+
+int64_t RetryAfterMsFromStatus(const Status& s) {
+  if (s.ok()) return 0;
+  static constexpr std::string_view kTag = "(retry_after_ms=";
+  const std::string& message = s.message();
+  size_t pos = message.rfind(kTag);
+  if (pos == std::string::npos) return 0;
+  size_t begin = pos + kTag.size();
+  size_t end = message.find(')', begin);
+  if (end == std::string::npos || end == begin) return 0;
+  auto parsed = ParseInt64(message.substr(begin, end - begin));
+  if (!parsed.ok() || *parsed < 0) return 0;
+  return *parsed;
 }
 
 }  // namespace service

@@ -27,8 +27,12 @@ struct AdmissionStats {
   uint64_t admitted = 0;
   uint64_t rejected_queue_full = 0;
   uint64_t rejected_timeout = 0;
+  uint64_t rejected_fault = 0;  // Injected service.admit faults (chaos only).
   size_t inflight = 0;     // Slots currently held.
   size_t queue_depth = 0;  // Submissions currently waiting.
+  /// EWMA of the per-query service time observed at Release, in seconds
+  /// (0 until the first measured release) — the basis of retry-after hints.
+  double ewma_service_seconds = 0.0;
 };
 
 /// Bounded two-stage admission: up to `max_inflight` queries hold a slot,
@@ -39,8 +43,17 @@ struct AdmissionStats {
 /// queue (the survey's interactivity requirement applied to the front door,
 /// not just the query internals).
 ///
+/// Every rejection carries a structured client backoff hint — the message
+/// ends with "(retry_after_ms=N)" where N estimates when a slot should free
+/// up: (waiters + 1) x EWMA service time / max_inflight. Clients parse it
+/// with RetryAfterMsFromStatus and back off instead of hammering a saturated
+/// front door.
+///
 /// Thread-safe. Acquire blocks the calling (session) thread — admission is
-/// backpressure to the submitter, by design.
+/// backpressure to the submitter, by design. Acquire is also the
+/// `service.admit` fault site: an injected fault rejects as overload
+/// (counted separately as `rejected_fault`), exercising client retry paths
+/// without real saturation.
 class AdmissionController {
  public:
   explicit AdmissionController(AdmissionOptions options)
@@ -50,19 +63,26 @@ class AdmissionController {
 
   /// Acquires an in-flight slot, waiting at most queue_timeout_ms. On
   /// success the caller MUST eventually call Release() exactly once. On
-  /// refusal (queue full, or timeout) returns ResourceExhausted and nothing
-  /// is held. `queue_depth_seen`, when non-null, receives the number of
-  /// submissions that were already waiting when this one arrived.
+  /// refusal (queue full, timeout, or injected fault) returns
+  /// ResourceExhausted — with a retry-after hint — and nothing is held.
+  /// `queue_depth_seen`, when non-null, receives the number of submissions
+  /// that were already waiting when this one arrived.
   Status Acquire(uint64_t* queue_depth_seen = nullptr);
 
-  /// Returns a slot taken by a successful Acquire.
-  void Release();
+  /// Returns a slot taken by a successful Acquire. `service_seconds` > 0
+  /// feeds the EWMA service-rate estimate behind retry-after hints (pass 0
+  /// when the holder did no representative work, e.g. a watchdog reclaim).
+  void Release(double service_seconds = 0.0);
 
   AdmissionStats stats() const;
 
   const AdmissionOptions& options() const { return options_; }
 
  private:
+  /// Estimated ms until a slot frees up, from queue pressure and the EWMA
+  /// service rate. Requires mu_ held. Always >= 1.
+  int64_t RetryAfterHintMsLocked() const;
+
   AdmissionOptions options_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -71,7 +91,14 @@ class AdmissionController {
   uint64_t admitted_ = 0;
   uint64_t rejected_queue_full_ = 0;
   uint64_t rejected_timeout_ = 0;
+  uint64_t rejected_fault_ = 0;
+  double ewma_service_seconds_ = 0.0;
 };
+
+/// Parses the "(retry_after_ms=N)" hint the service's rejection and
+/// fast-fail messages carry (admission, circuit breaker, quarantine, ladder
+/// fast-fail). 0 when `s` is OK or carries no hint.
+int64_t RetryAfterMsFromStatus(const Status& s);
 
 }  // namespace service
 }  // namespace aqp

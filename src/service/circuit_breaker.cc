@@ -1,0 +1,303 @@
+#include "service/circuit_breaker.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace aqp {
+namespace service {
+namespace {
+
+/// Same label composition the drift monitor uses: the registry is
+/// flat-name, labels ride inside the name, the Prometheus exporter splits
+/// them back out.
+std::string Labeled(const std::string& family, const std::string& table) {
+  std::string value;
+  value.reserve(table.size());
+  for (char c : table) {
+    if (c == '\\' || c == '"') value.push_back('\\');
+    value.push_back(c);
+  }
+  return family + "{table=\"" + value + "\"}";
+}
+
+int64_t ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+BreakerOptions BreakerOptions::FromEnv(BreakerOptions base) {
+  if (const char* e = std::getenv("AQP_BREAKER_ENABLED")) {
+    base.enabled = (e[0] == '1' || e[0] == 't' || e[0] == 'T' ||
+                    e[0] == 'y' || e[0] == 'Y');
+  }
+  auto load_i64 = [](const char* name, int64_t* out) {
+    if (const char* v = std::getenv(name)) {
+      char* end = nullptr;
+      long long parsed = std::strtoll(v, &end, 10);
+      if (end != v) *out = parsed;
+    }
+  };
+  auto load_size = [&load_i64](const char* name, size_t* out) {
+    int64_t v = static_cast<int64_t>(*out);
+    load_i64(name, &v);
+    if (v >= 0) *out = static_cast<size_t>(v);
+  };
+  load_size("AQP_BREAKER_WINDOW", &base.window);
+  load_size("AQP_BREAKER_MIN_SAMPLES", &base.min_samples);
+  if (const char* v = std::getenv("AQP_BREAKER_FAILURE_THRESHOLD")) {
+    char* end = nullptr;
+    double parsed = std::strtod(v, &end);
+    if (end != v) base.failure_threshold = parsed;
+  }
+  load_i64("AQP_BREAKER_OPEN_MS", &base.open_ms);
+  load_size("AQP_BREAKER_HALF_OPEN_PROBES", &base.half_open_probes);
+  load_size("AQP_BREAKER_POISON_THRESHOLD", &base.poison_threshold);
+  load_i64("AQP_BREAKER_QUARANTINE_MS", &base.quarantine_ms);
+  return base;
+}
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options, obs::QueryLog* log)
+    : options_(std::move(options)), log_(log) {}
+
+const char* CircuitBreaker::StateName(State s) {
+  switch (s) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    default:
+      return "half-open";
+  }
+}
+
+double CircuitBreaker::WindowFailureRateLocked(const Circuit& c) const {
+  if (c.window.empty()) return 0.0;
+  size_t failures = 0;
+  for (bool failed : c.window) failures += failed ? 1 : 0;
+  return static_cast<double>(failures) / static_cast<double>(c.window.size());
+}
+
+CircuitBreaker::Decision CircuitBreaker::Allow(const std::string& table,
+                                               int rung) {
+  if (!options_.enabled) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  Circuit& c = circuits_[{table, rung}];
+  switch (c.state) {
+    case State::kClosed:
+      return {};
+    case State::kOpen: {
+      const int64_t elapsed = ElapsedMs(c.opened_at);
+      if (elapsed < options_.open_ms) {
+        ++denials_;
+        return {false, std::max<int64_t>(1, options_.open_ms - elapsed)};
+      }
+      c.state = State::kHalfOpen;
+      c.probes_outstanding = 0;
+      PublishTransition(table, rung, c.state);
+      [[fallthrough]];
+    }
+    case State::kHalfOpen:
+    default:
+      if (c.probes_outstanding < std::max<size_t>(1,
+                                                  options_.half_open_probes)) {
+        ++c.probes_outstanding;
+        ++probes_;
+        return {};
+      }
+      // Probes already in flight: refuse until one of them concludes.
+      ++denials_;
+      return {false, std::max<int64_t>(1, options_.open_ms / 4)};
+  }
+}
+
+void CircuitBreaker::RecordOutcome(const std::string& table, int rung,
+                                   bool ok) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Circuit& c = circuits_[{table, rung}];
+  if (ok) {
+    ++c.successes;
+  } else {
+    ++c.failures;
+  }
+  switch (c.state) {
+    case State::kClosed: {
+      c.window.push_back(!ok);
+      while (c.window.size() > std::max<size_t>(1, options_.window)) {
+        c.window.pop_front();
+      }
+      if (c.window.size() >= std::max<size_t>(1, options_.min_samples) &&
+          WindowFailureRateLocked(c) >= options_.failure_threshold) {
+        c.state = State::kOpen;
+        c.opened_at = std::chrono::steady_clock::now();
+        c.window.clear();
+        ++c.trips;
+        ++trips_;
+        PublishTransition(table, rung, c.state);
+      }
+      break;
+    }
+    case State::kHalfOpen: {
+      if (c.probes_outstanding > 0) --c.probes_outstanding;
+      if (ok) {
+        c.state = State::kClosed;
+        c.window.clear();
+        c.probes_outstanding = 0;
+        ++closes_;
+      } else {
+        c.state = State::kOpen;
+        c.opened_at = std::chrono::steady_clock::now();
+        c.probes_outstanding = 0;
+        ++c.trips;
+        ++trips_;
+      }
+      PublishTransition(table, rung, c.state);
+      break;
+    }
+    case State::kOpen:
+      // A straggler that was admitted before the trip; the window restarts
+      // from the half-open probes, so its outcome is only counted above.
+      break;
+  }
+}
+
+Status CircuitBreaker::CheckQuarantine(uint64_t fingerprint) {
+  if (!options_.enabled) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = poison_.find(fingerprint);
+  if (it == poison_.end() || !it->second.quarantined) return Status::OK();
+  const int64_t elapsed = ElapsedMs(it->second.quarantined_at);
+  if (elapsed >= options_.quarantine_ms) {
+    // Probe: this submission runs; re-stamp so the ones racing right behind
+    // it keep waiting until the probe's outcome arrives.
+    it->second.quarantined_at = std::chrono::steady_clock::now();
+    return Status::OK();
+  }
+  ++quarantine_denials_;
+  const int64_t retry_after =
+      std::max<int64_t>(1, options_.quarantine_ms - elapsed);
+  return Status::ResourceExhausted(
+      "query quarantined as poison after " +
+      std::to_string(it->second.consecutive_failures) +
+      " consecutive failures (retry_after_ms=" + std::to_string(retry_after) +
+      ")");
+}
+
+void CircuitBreaker::RecordQueryOutcome(uint64_t fingerprint, bool poison) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!poison) {
+    auto it = poison_.find(fingerprint);
+    if (it != poison_.end()) {
+      if (it->second.quarantined) PublishQuarantine(fingerprint, false);
+      poison_.erase(it);
+    }
+    return;
+  }
+  PoisonEntry& entry = poison_[fingerprint];
+  ++entry.consecutive_failures;
+  if (!entry.quarantined &&
+      entry.consecutive_failures >= std::max<size_t>(1,
+                                                     options_.poison_threshold)) {
+    entry.quarantined = true;
+    entry.quarantined_at = std::chrono::steady_clock::now();
+    ++quarantined_;
+    PublishQuarantine(fingerprint, true);
+  } else if (entry.quarantined) {
+    // A failed probe: restart the quarantine clock.
+    entry.quarantined_at = std::chrono::steady_clock::now();
+  }
+}
+
+std::vector<BreakerRungInfo> CircuitBreaker::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BreakerRungInfo> out;
+  out.reserve(circuits_.size());
+  for (const auto& [key, c] : circuits_) {
+    BreakerRungInfo info;
+    info.table = key.first;
+    info.rung = key.second;
+    info.state = StateName(c.state);
+    info.open_age_seconds =
+        c.state == State::kClosed
+            ? 0.0
+            : static_cast<double>(ElapsedMs(c.opened_at)) / 1000.0;
+    info.failures = c.failures;
+    info.successes = c.successes;
+    info.trips = c.trips;
+    info.window_failure_rate = WindowFailureRateLocked(c);
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+BreakerStats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BreakerStats s;
+  s.trips = trips_;
+  s.closes = closes_;
+  s.denials = denials_;
+  s.probes = probes_;
+  s.quarantined = quarantined_;
+  s.quarantine_denials = quarantine_denials_;
+  for (const auto& [key, c] : circuits_) {
+    if (c.state != State::kClosed) ++s.open_circuits;
+  }
+  return s;
+}
+
+void CircuitBreaker::PublishTransition(const std::string& table, int rung,
+                                       State state) {
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    // 0 = closed, 1 = open, 2 = half-open, per rung per table.
+    const double value = state == State::kClosed
+                             ? 0.0
+                             : (state == State::kOpen ? 1.0 : 2.0);
+    reg.GetGauge(Labeled(
+                     "service.breaker.state.rung" + std::to_string(rung),
+                     table))
+        ->Set(value);
+    if (state == State::kOpen) {
+      reg.GetCounter("service.breaker.trips")->Increment();
+    }
+    if (state == State::kClosed) {
+      reg.GetCounter("service.breaker.closes")->Increment();
+    }
+  }
+  if (log_ != nullptr) {
+    obs::QueryLogEvent e;
+    e.kind = "breaker";
+    e.status = "transition";
+    e.breaker_table = table;
+    e.breaker_rung = rung;
+    e.breaker_state = StateName(state);
+    log_->Append(std::move(e));
+  }
+}
+
+void CircuitBreaker::PublishQuarantine(uint64_t fingerprint, bool on) {
+  if (obs::Enabled() && on) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("service.breaker.quarantined")
+        ->Increment();
+  }
+  if (log_ != nullptr) {
+    obs::QueryLogEvent e;
+    e.kind = "breaker";
+    e.status = on ? "quarantined" : "released";
+    e.sql_fingerprint = fingerprint;
+    e.breaker_rung = -1;
+    e.breaker_state = on ? "quarantined" : "released";
+    log_->Append(std::move(e));
+  }
+}
+
+}  // namespace service
+}  // namespace aqp

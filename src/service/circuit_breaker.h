@@ -1,0 +1,167 @@
+#ifndef AQP_SERVICE_CIRCUIT_BREAKER_H_
+#define AQP_SERVICE_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "gov/governed_executor.h"
+#include "obs/query_log.h"
+
+namespace aqp {
+namespace service {
+
+/// Circuit-breaker knobs. `FromEnv` overlays the environment:
+///   AQP_BREAKER_ENABLED           1/0 (master switch)
+///   AQP_BREAKER_WINDOW            rolling outcome window per circuit
+///   AQP_BREAKER_MIN_SAMPLES       outcomes required before a trip
+///   AQP_BREAKER_FAILURE_THRESHOLD failure rate in [0, 1] that trips
+///   AQP_BREAKER_OPEN_MS           how long an open circuit refuses
+///   AQP_BREAKER_HALF_OPEN_PROBES  concurrent probes while half-open
+///   AQP_BREAKER_POISON_THRESHOLD  consecutive poison failures to quarantine
+///   AQP_BREAKER_QUARANTINE_MS     how long a quarantined fingerprint waits
+struct BreakerOptions {
+  bool enabled = true;
+  /// Rolling window of conclusive outcomes per (table, rung) circuit.
+  size_t window = 16;
+  /// Outcomes the window must hold before the failure rate can trip it —
+  /// one unlucky first query must not open a circuit.
+  size_t min_samples = 8;
+  /// Window failure rate at or above which a closed circuit trips open.
+  double failure_threshold = 0.5;
+  /// An open circuit refuses its rung for this long, then turns half-open.
+  int64_t open_ms = 5000;
+  /// Probes admitted concurrently while half-open; the first conclusive
+  /// probe outcome closes (success) or re-opens (failure) the circuit.
+  size_t half_open_probes = 1;
+  /// Consecutive poison outcomes (kInternal or ladder exhaustion) of ONE
+  /// query fingerprint before that fingerprint is quarantined.
+  size_t poison_threshold = 3;
+  /// A quarantined fingerprint is refused for this long, then one probe
+  /// execution is let through; success lifts the quarantine.
+  int64_t quarantine_ms = 5000;
+
+  static BreakerOptions FromEnv(BreakerOptions base);
+  static BreakerOptions FromEnv() { return FromEnv(BreakerOptions()); }
+};
+
+/// Point-in-time breaker counters.
+struct BreakerStats {
+  uint64_t trips = 0;               // closed/half-open -> open transitions.
+  uint64_t closes = 0;              // half-open -> closed recoveries.
+  uint64_t denials = 0;             // Rung attempts refused by open circuits.
+  uint64_t probes = 0;              // Half-open attempts admitted.
+  uint64_t quarantined = 0;         // Fingerprints ever quarantined.
+  uint64_t quarantine_denials = 0;  // Submissions refused while quarantined.
+  size_t open_circuits = 0;         // Circuits currently open or half-open.
+};
+
+/// One (table, rung) circuit as seen by Snapshot() / `aqptop --health`.
+struct BreakerRungInfo {
+  std::string table;
+  int rung = 0;
+  std::string state;  // "closed", "open", or "half-open".
+  double open_age_seconds = 0.0;  // Time since the last trip; 0 when closed.
+  uint64_t failures = 0;          // Conclusive failures ever recorded.
+  uint64_t successes = 0;
+  uint64_t trips = 0;
+  double window_failure_rate = 0.0;
+};
+
+/// Per-(table, rung) circuit breaker over the degradation ladder, plus a
+/// poison-query quarantine keyed on the service's result-cache fingerprint.
+///
+/// Implements gov::RungGate: the GovernedExecutor consults Allow() before
+/// each rung attempt and reports conclusive outcomes back via
+/// RecordOutcome(). A circuit is closed (allowing) until the rolling outcome
+/// window holds >= min_samples outcomes with a failure rate >=
+/// failure_threshold; it then trips open and the rung is skipped — the
+/// ladder descends past it, exactly as if the rung had failed, but without
+/// paying the rung's (possibly retried) execution cost. After open_ms the
+/// circuit turns half-open and admits up to half_open_probes probe attempts;
+/// a successful probe closes the circuit, a failed one re-opens it.
+///
+/// The quarantine is orthogonal: a query fingerprint whose submissions
+/// conclusively fail poison_threshold times IN A ROW (kInternal, or the
+/// ladder exhausted every rung) is refused at submit for quarantine_ms with
+/// a retry-after hint — one repeatedly-crashing query must not keep eating
+/// every rung's retry budget. After quarantine_ms one probe submission runs;
+/// success lifts the quarantine.
+///
+/// State transitions emit kind="breaker" query-log events and set
+/// `service.breaker.*` metrics. Thread-safe; one instance serves the whole
+/// service.
+class CircuitBreaker : public gov::RungGate {
+ public:
+  explicit CircuitBreaker(BreakerOptions options,
+                          obs::QueryLog* log = nullptr);
+
+  // gov::RungGate:
+  Decision Allow(const std::string& table, int rung) override;
+  void RecordOutcome(const std::string& table, int rung, bool ok) override;
+
+  /// OK when `fingerprint` may execute; ResourceExhausted with a
+  /// "(retry_after_ms=N)" hint while it is quarantined.
+  Status CheckQuarantine(uint64_t fingerprint);
+  /// Reports how a submission of `fingerprint` concluded. `poison` means it
+  /// failed in a way that indicts the query itself (kInternal or full ladder
+  /// exhaustion); any non-poison outcome resets the consecutive count and
+  /// lifts an existing quarantine.
+  void RecordQueryOutcome(uint64_t fingerprint, bool poison);
+
+  /// Every circuit that has recorded at least one outcome or denial.
+  std::vector<BreakerRungInfo> Snapshot() const;
+
+  BreakerStats stats() const;
+  bool enabled() const { return options_.enabled; }
+  const BreakerOptions& options() const { return options_; }
+
+ private:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Circuit {
+    State state = State::kClosed;
+    std::deque<bool> window;  // true = failure; bounded at options_.window.
+    std::chrono::steady_clock::time_point opened_at{};
+    size_t probes_outstanding = 0;
+    uint64_t failures = 0;
+    uint64_t successes = 0;
+    uint64_t trips = 0;
+  };
+
+  struct PoisonEntry {
+    size_t consecutive_failures = 0;
+    bool quarantined = false;
+    std::chrono::steady_clock::time_point quarantined_at{};
+  };
+
+  static const char* StateName(State s);
+  double WindowFailureRateLocked(const Circuit& c) const;
+  /// Emits the transition log event + labeled state gauge. mu_ may be held.
+  void PublishTransition(const std::string& table, int rung, State state);
+  void PublishQuarantine(uint64_t fingerprint, bool on);
+
+  const BreakerOptions options_;
+  obs::QueryLog* log_;
+
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, int>, Circuit> circuits_;
+  std::unordered_map<uint64_t, PoisonEntry> poison_;
+  uint64_t trips_ = 0;
+  uint64_t closes_ = 0;
+  uint64_t denials_ = 0;
+  uint64_t probes_ = 0;
+  uint64_t quarantined_ = 0;
+  uint64_t quarantine_denials_ = 0;
+};
+
+}  // namespace service
+}  // namespace aqp
+
+#endif  // AQP_SERVICE_CIRCUIT_BREAKER_H_

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/hash.h"
+#include "gov/fault_injector.h"
 #include "gov/query_context.h"
 #include "obs/metrics.h"
 
@@ -183,6 +184,14 @@ void DriftMonitor::Sweep() {
 void DriftMonitor::CheckTable(const SynopsisBaselineInfo& info,
                               double now_unix_seconds) {
   const auto start = std::chrono::steady_clock::now();
+
+  // Chaos site: a failed rescan is abandoned like any governed-budget miss —
+  // counted, never retried before the next sweep, never foreground-visible.
+  if (!gov::FaultInjector::Global().MaybeFail("drift.sweep").ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++failed_;
+    return;
+  }
 
   auto table_ptr = catalog_->Get(info.table);
   if (!table_ptr.ok()) {

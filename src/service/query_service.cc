@@ -7,6 +7,7 @@
 
 #include "common/hash.h"
 #include "common/thread_pool.h"
+#include "gov/fault_injector.h"
 #include "obs/metrics.h"
 #include "sql/parser.h"
 
@@ -65,6 +66,8 @@ obs::QueryLogEvent MakeEvent(const std::string& sql, uint64_t session_id,
     e.final_ms = profile->final_seconds * 1e3;
     e.synopsis_drift_score = profile->synopsis_drift_score;
     e.synopsis_age_seconds = profile->synopsis_age_seconds;
+    e.retry_count = profile->retry_count;
+    e.retry_wait_ms = profile->retry_wait_seconds * 1e3;
   }
   return e;
 }
@@ -92,6 +95,9 @@ std::string StripQualifier(const std::string& column) {
 /// cache's baseline capture, so they resolve once, up front).
 ServiceOptions ResolveOptions(ServiceOptions options) {
   options.drift = DriftMonitorOptions::FromEnv(options.drift);
+  options.gov.retry = gov::RetryOptions::FromEnv(options.gov.retry);
+  options.watchdog = WatchdogOptions::FromEnv(options.watchdog);
+  options.breaker = BreakerOptions::FromEnv(options.breaker);
   return options;
 }
 
@@ -114,9 +120,11 @@ QueryService::QueryService(const Catalog* catalog, ServiceOptions options)
                       CacheOptions(options_)),
       result_cache_(options_.result_cache_bytes, &cache_memory_),
       query_log_(obs::QueryLogOptions::FromEnv(options_.query_log)),
+      breaker_(options_.breaker, &query_log_),
       auditor_(catalog, AuditOptions::FromEnv(options_.audit), &query_log_),
       drift_monitor_(catalog, &synopsis_cache_, options_.drift, &query_log_,
-                     &auditor_) {
+                     &auditor_),
+      watchdog_(&admission_, options_.watchdog, &query_log_) {
   // Without enough pool workers, admitted queries would queue behind each
   // other inside the pool and the admission bound would be a fiction.
   ThreadPool::Shared().EnsureAtLeast(options_.admission.max_inflight);
@@ -195,13 +203,22 @@ std::future<Result<core::ApproxResult>> QueryService::Submit(
   ThreadPool::Shared().Post([this, promise, session = std::move(session),
                              submission = std::move(submission), wait_seconds,
                              queue_depth, trace = std::move(trace)]() mutable {
-    Result<core::ApproxResult> result = RunAdmitted(
-        *session, submission, wait_seconds, queue_depth, trace.get());
+    auto exec_start = std::chrono::steady_clock::now();
+    std::shared_ptr<Watchdog::Ticket> ticket;
+    Result<core::ApproxResult> result =
+        RunAdmitted(*session, submission, wait_seconds, queue_depth,
+                    trace.get(), &ticket);
     (result.ok() ? session->ok_ : session->failed_)
         .fetch_add(1, std::memory_order_relaxed);
     (result.ok() ? queries_ok_ : queries_failed_)
         .fetch_add(1, std::memory_order_relaxed);
-    admission_.Release();
+    // The watchdog may have reclaimed this submission's admission slot
+    // already (hung-query incident); whoever flips the ticket's flag first
+    // owns the one Release. The service-time sample feeds the retry-after
+    // hint's EWMA.
+    if (ticket == nullptr || !ticket->slot_released.exchange(true)) {
+      admission_.Release(SecondsSince(exec_start));
+    }
     {
       // Last member access: after outstanding_ hits 0 the destructor may
       // return, so only the (self-contained) promise is touched below.
@@ -221,7 +238,8 @@ Result<core::ApproxResult> QueryService::Execute(
 
 Result<core::ApproxResult> QueryService::RunAdmitted(
     Session& session, const Submission& submission, double wait_seconds,
-    uint64_t queue_depth, obs::QueryTrace* trace) {
+    uint64_t queue_depth, obs::QueryTrace* trace,
+    std::shared_ptr<Watchdog::Ticket>* ticket_out) {
   auto exec_start = std::chrono::steady_clock::now();
 
   gov::GovernedOptions gopts = options_.gov;
@@ -315,6 +333,23 @@ Result<core::ApproxResult> QueryService::RunAdmitted(
     probe_span.AddAttr("hit", "false");
   }
 
+  // Poison-query quarantine: a fingerprint that keeps failing conclusively
+  // is fast-failed here, before it burns an execution, until its quarantine
+  // window lapses and one probe is let through.
+  if (fingerprint_ok) {
+    if (Status quarantined = breaker_.CheckQuarantine(fingerprint);
+        !quarantined.ok()) {
+      double wall_seconds = wait_seconds + SecondsSince(exec_start);
+      obs::QueryLogEvent e =
+          MakeEvent(submission.sql, session.id(), "quarantined", wait_seconds,
+                    queue_depth, wall_seconds, /*profile=*/nullptr);
+      e.retry_after_ms = RetryAfterMsFromStatus(quarantined);
+      query_log_.Append(std::move(e));
+      RecordQueryMetrics(wait_seconds, SecondsSince(exec_start), "quarantined");
+      return quarantined;
+    }
+  }
+
   // Synopsis cache: adopt shared stored samples into this query's private
   // offline-rung view. Build/lookup failures are non-fatal — the ladder
   // simply has no rung 1 for that table. The drift score/age of the
@@ -376,21 +411,53 @@ Result<core::ApproxResult> QueryService::RunAdmitted(
     }
   }
 
+  // Per-(table, rung) circuit breakers gate the ladder's rungs for the
+  // query's primary table: a rung with a tripped breaker is skipped (or the
+  // query fast-fails with a retry-after hint if no rung remains).
+  if (options_.breaker.enabled && !tables.empty()) {
+    gopts.rung_gate = &breaker_;
+    gopts.gate_table = tables[0];
+  }
+
   // The query's own tracker chains to the session's: EITHER budget trips
   // the memory stop.
   gov::QueryContext ctx(
       gov::Limits{gopts.deadline_ms, gopts.memory_budget_bytes},
       &session.memory_);
   ctx.Start();
+  // From here until Unregister the watchdog can see the context: a query
+  // that blows through deadline + grace gets a hard cancel and loses its
+  // admission slot to the reclaim path.
+  *ticket_out = watchdog_.Register(session.id(), submission.sql,
+                                   HashString(submission.sql), &ctx,
+                                   gopts.deadline_ms);
   gov::GovernedExecutor executor(catalog_, adopted ? &synopsis_view : nullptr,
                                  gopts);
   Result<core::ApproxResult> result =
       executor.ExecuteWithContext(submission.sql, ctx, trace);
+  // MUST precede ctx going out of scope (and every return below): detaches
+  // the context from the watchdog's view.
+  watchdog_.Unregister(*ticket_out);
   double wall_seconds = wait_seconds + SecondsSince(exec_start);
+
+  // Conclusive failures feed the poison tracker; successes clear it. A
+  // breaker-caused exhaustion carries a retry-after hint and is NOT poison —
+  // the query never got a fair chance to run.
+  if (fingerprint_ok) {
+    const bool poison =
+        !result.ok() &&
+        (result.status().code() == StatusCode::kInternal ||
+         (gov::IsLadderExhausted(result.status()) &&
+          RetryAfterMsFromStatus(result.status()) == 0));
+    breaker_.RecordQueryOutcome(fingerprint, poison);
+  }
+
   if (!result.ok()) {
-    query_log_.Append(MakeEvent(submission.sql, session.id(), "failed",
-                                wait_seconds, queue_depth, wall_seconds,
-                                /*profile=*/nullptr));
+    obs::QueryLogEvent e =
+        MakeEvent(submission.sql, session.id(), "failed", wait_seconds,
+                  queue_depth, wall_seconds, /*profile=*/nullptr);
+    e.retry_after_ms = RetryAfterMsFromStatus(result.status());
+    query_log_.Append(std::move(e));
     RecordQueryMetrics(wait_seconds, SecondsSince(exec_start), "failed");
     return result;
   }
@@ -431,6 +498,8 @@ ServiceStatsSnapshot QueryService::StatsSnapshot() const {
   s.query_log = query_log_.stats();
   s.audit = auditor_.stats();
   s.drift = drift_monitor_.stats();
+  s.watchdog = watchdog_.stats();
+  s.breaker = breaker_.stats();
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.outstanding = outstanding_;
@@ -482,6 +551,35 @@ void QueryService::PublishStats() const {
   set("service.drift.flagged", static_cast<double>(s.drift.flagged));
   set("service.drift.invalidated", static_cast<double>(s.drift.invalidated));
   set("service.drift.last_max_score_ratio", s.drift.last_max_score);
+  set("service.admission.rejected_fault",
+      static_cast<double>(s.admission.rejected_fault));
+  set("service.admission.ewma_service_seconds",
+      s.admission.ewma_service_seconds);
+  set("service.watchdog.tracked", static_cast<double>(s.watchdog.tracked));
+  set("service.watchdog.hung_total", static_cast<double>(s.watchdog.hung));
+  set("service.watchdog.reclaimed_total",
+      static_cast<double>(s.watchdog.reclaimed_slots));
+  set("service.watchdog.completed_late",
+      static_cast<double>(s.watchdog.completed_late));
+  set("service.breaker.open_circuits",
+      static_cast<double>(s.breaker.open_circuits));
+  set("service.breaker.denials", static_cast<double>(s.breaker.denials));
+  set("service.breaker.quarantine_denials",
+      static_cast<double>(s.breaker.quarantine_denials));
+  // Mirror the fault injector's per-site counters so a chaos run's coverage
+  // (which sites actually fired) is visible in the same scrape.
+  for (const auto& [site, counters] :
+       gov::FaultInjector::Global().SiteCountersSnapshot()) {
+    auto labeled = [&site](const char* family) {
+      return std::string(family) + "{site=\"" + site + "\"}";
+    };
+    reg.GetGauge(labeled("fault.site.evaluated"))
+        ->Set(static_cast<double>(counters.evaluated));
+    reg.GetGauge(labeled("fault.site.injected"))
+        ->Set(static_cast<double>(counters.injected));
+    reg.GetGauge(labeled("fault.site.hung"))
+        ->Set(static_cast<double>(counters.hung));
+  }
 }
 
 }  // namespace service

@@ -19,9 +19,11 @@
 #include "obs/query_log.h"
 #include "service/accuracy_auditor.h"
 #include "service/admission.h"
+#include "service/circuit_breaker.h"
 #include "service/drift_monitor.h"
 #include "service/result_cache.h"
 #include "service/synopsis_cache.h"
+#include "service/watchdog.h"
 
 namespace aqp {
 namespace service {
@@ -60,6 +62,16 @@ struct ServiceOptions {
   /// construction). Off by default: the monitor costs periodic table
   /// rescans, so operators opt in.
   DriftMonitorOptions drift;
+
+  /// Hung-query watchdog (AQP_WATCHDOG_* env overlays at construction). On
+  /// by default: it costs one mostly-idle thread and buys the guarantee
+  /// that a query which stops cooperating cannot leak its admission slot.
+  WatchdogOptions watchdog;
+
+  /// Per-(table, rung) circuit breakers + poison-query quarantine
+  /// (AQP_BREAKER_* env overlays at construction). On by default; breakers
+  /// only act once a rung actually accumulates conclusive failures.
+  BreakerOptions breaker;
 };
 
 /// Per-session limits.
@@ -154,6 +166,8 @@ struct ServiceStatsSnapshot {
   obs::QueryLogStats query_log;
   AuditorStats audit;
   DriftMonitorStats drift;
+  WatchdogStats watchdog;
+  BreakerStats breaker;
 };
 
 class QueryService {
@@ -193,6 +207,10 @@ class QueryService {
   AccuracyAuditor& auditor() { return auditor_; }
   const DriftMonitor& drift_monitor() const { return drift_monitor_; }
   DriftMonitor& drift_monitor() { return drift_monitor_; }
+  const Watchdog& watchdog() const { return watchdog_; }
+  Watchdog& watchdog() { return watchdog_; }
+  const CircuitBreaker& circuit_breaker() const { return breaker_; }
+  CircuitBreaker& circuit_breaker() { return breaker_; }
   SynopsisCache& synopsis_cache() { return synopsis_cache_; }
   const ServiceOptions& options() const { return options_; }
 
@@ -201,12 +219,13 @@ class QueryService {
   /// and `queue_depth` describe the admission the submission just went
   /// through and are stamped onto the result's profile; `trace` (null when
   /// observability is off) is the submit-scoped span tree the admission
-  /// span already lives in.
-  Result<core::ApproxResult> RunAdmitted(Session& session,
-                                         const Submission& submission,
-                                         double wait_seconds,
-                                         uint64_t queue_depth,
-                                         obs::QueryTrace* trace);
+  /// span already lives in. `ticket_out`, when non-null, receives the
+  /// watchdog ticket so the completion path can coordinate the admission
+  /// release with a possible watchdog reclaim.
+  Result<core::ApproxResult> RunAdmitted(
+      Session& session, const Submission& submission, double wait_seconds,
+      uint64_t queue_depth, obs::QueryTrace* trace,
+      std::shared_ptr<Watchdog::Ticket>* ticket_out);
 
   const Catalog* catalog_;
   const ServiceOptions options_;
@@ -220,9 +239,14 @@ class QueryService {
   /// Declared before the auditor: the auditor's worker appends verdicts to
   /// the log, so it must be destroyed first (reverse declaration order).
   obs::QueryLog query_log_;
+  /// Appends transition events to the log: declared after it.
+  CircuitBreaker breaker_;
   AccuracyAuditor auditor_;
   /// Declared after the cache/log/auditor it writes into: destroyed first.
   DriftMonitor drift_monitor_;
+  /// Declared LAST: its scanner touches the admission controller and live
+  /// tickets, so it must be destroyed before everything it watches.
+  Watchdog watchdog_;
 
   /// Last-seen catalog version per table, used to nudge the drift monitor
   /// when a query observes version movement.

@@ -1,6 +1,7 @@
 #include "service/result_cache.h"
 
 #include "common/hash.h"
+#include "gov/fault_injector.h"
 #include "stats/confidence.h"
 
 namespace aqp {
@@ -48,6 +49,11 @@ std::shared_ptr<const core::ApproxResult> ResultCache::Lookup(
 }
 
 void ResultCache::Insert(uint64_t fingerprint, core::ApproxResult result) {
+  if (!gov::FaultInjector::Global().MaybeFail("result_cache.insert").ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++insert_faults_;
+    return;
+  }
   uint64_t bytes = ApproxResultBytes(result);
   auto shared =
       std::make_shared<const core::ApproxResult>(std::move(result));
@@ -108,6 +114,7 @@ ResultCacheStats ResultCache::stats() const {
   s.hits = hits_;
   s.misses = misses_;
   s.insertions = insertions_;
+  s.insert_faults = insert_faults_;
   s.evictions = evictions_;
   s.bytes_used = bytes_used_;
   s.entries = entries_.size();

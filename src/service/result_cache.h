@@ -41,6 +41,7 @@ struct ResultCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t insertions = 0;
+  uint64_t insert_faults = 0;  // Inserts skipped by an injected fault.
   uint64_t evictions = 0;
   uint64_t bytes_used = 0;
   size_t entries = 0;
@@ -72,6 +73,9 @@ class ResultCache {
   /// Caches `result` under `fingerprint`, evicting LRU entries past the
   /// byte budget. An entry larger than the whole budget is still inserted
   /// and becomes the next eviction victim (bounded memory either way).
+  /// The `result_cache.insert` fault site lives here: an injected failure
+  /// skips caching (counted) — the answer already reached the client, only
+  /// reuse is lost.
   void Insert(uint64_t fingerprint, core::ApproxResult result);
 
   ResultCacheStats stats() const;
@@ -96,6 +100,7 @@ class ResultCache {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t insertions_ = 0;
+  uint64_t insert_faults_ = 0;
   uint64_t evictions_ = 0;
 };
 

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "gov/fault_injector.h"
+
 namespace aqp {
 namespace service {
 namespace {
@@ -66,13 +68,21 @@ Result<CachedSynopsis> SynopsisCache::GetOrBuild(const Catalog& catalog,
 
   // The build runs outside the lock — this is the whole point: one table
   // scan, with every concurrent requester parked on the cv, not rescanning.
-  Result<core::StoredSample> built =
-      spec.stratified()
-          ? core::BuildStratifiedStoredSample(catalog, table,
-                                              spec.strata_column, spec.budget,
-                                              spec.seed)
-          : core::BuildUniformStoredSample(catalog, table, spec.budget,
-                                           spec.seed);
+  // Also the `synopsis.build` chaos site: an injected failure takes the
+  // same path as a real one — not cached, waiters retry.
+  Result<core::StoredSample> built = [&]() -> Result<core::StoredSample> {
+    if (Status fault =
+            gov::FaultInjector::Global().MaybeFail("synopsis.build");
+        !fault.ok()) {
+      return fault;
+    }
+    return spec.stratified()
+               ? core::BuildStratifiedStoredSample(catalog, table,
+                                                   spec.strata_column,
+                                                   spec.budget, spec.seed)
+               : core::BuildUniformStoredSample(catalog, table, spec.budget,
+                                                spec.seed);
+  }();
 
   // Drift baseline from the same table snapshot; failures are non-fatal
   // (the synopsis serves, just unmonitored).

@@ -1,0 +1,180 @@
+#include "service/watchdog.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace aqp {
+namespace service {
+
+WatchdogOptions WatchdogOptions::FromEnv(WatchdogOptions base) {
+  if (const char* e = std::getenv("AQP_WATCHDOG_ENABLED")) {
+    base.enabled = (e[0] == '1' || e[0] == 't' || e[0] == 'T' ||
+                    e[0] == 'y' || e[0] == 'Y');
+  }
+  auto load_i64 = [](const char* name, int64_t* out) {
+    if (const char* v = std::getenv(name)) {
+      char* end = nullptr;
+      long long parsed = std::strtoll(v, &end, 10);
+      if (end != v) *out = parsed;
+    }
+  };
+  load_i64("AQP_WATCHDOG_PERIOD_MS", &base.period_ms);
+  load_i64("AQP_WATCHDOG_GRACE_MS", &base.grace_ms);
+  return base;
+}
+
+Watchdog::Watchdog(AdmissionController* admission, WatchdogOptions options,
+                   obs::QueryLog* log)
+    : admission_(admission), options_(std::move(options)), log_(log) {
+  if (options_.enabled && options_.period_ms > 0) {
+    worker_ = std::thread([this] { Loop(); });
+  }
+}
+
+Watchdog::~Watchdog() {
+  if (worker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    worker_.join();
+  }
+}
+
+std::shared_ptr<Watchdog::Ticket> Watchdog::Register(
+    uint64_t session_id, const std::string& sql, uint64_t sql_fingerprint,
+    gov::QueryContext* ctx, int64_t deadline_ms) {
+  if (!options_.enabled) return nullptr;
+  auto ticket = std::make_shared<Ticket>();
+  ticket->session_id = session_id;
+  ticket->sql = sql.substr(0, 192);
+  ticket->sql_fingerprint = sql_fingerprint;
+  ticket->ctx = ctx;
+  ticket->registered_at = std::chrono::steady_clock::now();
+  if (deadline_ms >= 0) {
+    ticket->has_deadline = true;
+    ticket->deadline =
+        ticket->registered_at + std::chrono::milliseconds(deadline_ms);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ticket->id = next_id_++;
+  ++registered_;
+  tickets_.emplace(ticket->id, ticket);
+  return ticket;
+}
+
+void Watchdog::Unregister(const std::shared_ptr<Ticket>& ticket) {
+  if (ticket == nullptr) return;
+  {
+    // Detach the context BEFORE the caller destroys it; a concurrent scan
+    // holding ticket->mu either sees the live context or a null.
+    std::lock_guard<std::mutex> ctx_lock(ticket->mu);
+    ticket->ctx = nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  tickets_.erase(ticket->id);
+  if (ticket->hung.load(std::memory_order_relaxed)) ++completed_late_;
+}
+
+void Watchdog::CheckNow() {
+  if (!options_.enabled) return;
+  Scan();
+}
+
+WatchdogStats Watchdog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WatchdogStats s;
+  s.registered = registered_;
+  s.tracked = tickets_.size();
+  s.hung = hung_;
+  s.reclaimed_slots = reclaimed_slots_;
+  s.completed_late = completed_late_;
+  return s;
+}
+
+void Watchdog::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait_for(lock, std::chrono::milliseconds(options_.period_ms),
+                      [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    Scan();
+    lock.lock();
+  }
+}
+
+void Watchdog::Scan() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto grace = std::chrono::milliseconds(options_.grace_ms);
+
+  std::vector<std::shared_ptr<Ticket>> overdue;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, ticket] : tickets_) {
+      if (ticket->has_deadline && now >= ticket->deadline + grace &&
+          !ticket->hung.load(std::memory_order_relaxed)) {
+        overdue.push_back(ticket);
+      }
+    }
+  }
+
+  for (const std::shared_ptr<Ticket>& ticket : overdue) {
+    if (ticket->hung.exchange(true)) continue;  // Another scan beat us.
+
+    // Hard cancellation: whatever the query is doing, its next cooperative
+    // check fails with DeadlineExceeded. (A morsel that never checks again
+    // is exactly why the slot below is reclaimed regardless.)
+    {
+      std::lock_guard<std::mutex> ctx_lock(ticket->mu);
+      if (ticket->ctx != nullptr) {
+        ticket->ctx->source().RequestCancel(
+            StopCause::kDeadline,
+            "watchdog: hard cancellation at deadline + grace");
+      }
+    }
+
+    // Reclaim the admission slot unless the completion path already released
+    // it (the exchange makes the release exactly-once either way). No
+    // service-time sample: a hung query is not representative work.
+    const bool reclaimed = !ticket->slot_released.exchange(true);
+    if (reclaimed) admission_->Release(0.0);
+
+    const double age_ms =
+        std::chrono::duration<double, std::milli>(now - ticket->registered_at)
+            .count();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++hung_;
+      if (reclaimed) ++reclaimed_slots_;
+    }
+    PublishIncident(*ticket, age_ms, reclaimed);
+  }
+}
+
+void Watchdog::PublishIncident(const Ticket& ticket, double age_ms,
+                               bool slot_reclaimed) {
+  if (obs::Enabled()) {
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("service.watchdog.hung")->Increment();
+    if (slot_reclaimed) {
+      reg.GetCounter("service.watchdog.reclaimed_slots")->Increment();
+    }
+  }
+  if (log_ != nullptr) {
+    obs::QueryLogEvent e;
+    e.kind = "watchdog";
+    e.status = "hung";
+    e.sql = ticket.sql;
+    e.sql_fingerprint = ticket.sql_fingerprint;
+    e.session_id = ticket.session_id;
+    e.wall_ms = age_ms;  // Age of the submission when declared hung.
+    log_->Append(std::move(e));
+  }
+}
+
+}  // namespace service
+}  // namespace aqp

@@ -1,0 +1,145 @@
+#ifndef AQP_SERVICE_WATCHDOG_H_
+#define AQP_SERVICE_WATCHDOG_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gov/query_context.h"
+#include "obs/query_log.h"
+#include "service/admission.h"
+
+namespace aqp {
+namespace service {
+
+/// Watchdog knobs. `FromEnv` overlays the environment:
+///   AQP_WATCHDOG_ENABLED    1/0 (master switch)
+///   AQP_WATCHDOG_PERIOD_MS  scan interval of the background thread
+///   AQP_WATCHDOG_GRACE_MS   slack past the deadline before a query is
+///                           declared hung and its slot reclaimed
+struct WatchdogOptions {
+  bool enabled = true;
+  /// Scan interval; <= 0 disables the thread (scans then only run via
+  /// CheckNow(), which is what the deterministic tests use).
+  int64_t period_ms = 50;
+  /// A query still holding its admission slot this long PAST its deadline
+  /// is declared hung: the watchdog fires a hard RequestCancel into its
+  /// context and reclaims the slot so admission capacity cannot leak.
+  int64_t grace_ms = 1000;
+
+  static WatchdogOptions FromEnv(WatchdogOptions base);
+  static WatchdogOptions FromEnv() { return FromEnv(WatchdogOptions()); }
+};
+
+/// Point-in-time watchdog counters.
+struct WatchdogStats {
+  uint64_t registered = 0;       // Submissions ever registered.
+  size_t tracked = 0;            // Currently in flight (registered, not done).
+  uint64_t hung = 0;             // Queries declared hung (deadline + grace).
+  uint64_t reclaimed_slots = 0;  // Admission slots the watchdog released.
+  uint64_t completed_late = 0;   // Hung queries that eventually returned.
+};
+
+/// Background watchdog over every in-flight admitted submission — the
+/// enforcement layer above cooperative cancellation. Deadlines normally stop
+/// a query because operators poll their CancellationToken; a morsel that
+/// stops polling (stuck I/O, a bug, an injected hang) would otherwise hold
+/// its admission slot forever and silently shrink service capacity. The
+/// watchdog scans its ticket table every `period_ms`; a query still running
+/// `grace_ms` past its deadline is declared hung:
+///
+///   * a hard RequestCancel(kDeadline) is fired into its QueryContext (so
+///     the query dies at its NEXT cooperative check, wherever that is);
+///   * its admission slot is reclaimed immediately — whoever of
+///     {watchdog, the query's own completion} flips the ticket's
+///     slot_released flag first performs the one admission Release;
+///   * the incident is surfaced: `service.watchdog.hung` metric, one
+///     kind="watchdog" query-log event, and the submit trace's outcome —
+///     a leaked slot becomes a visible incident instead of silent decay.
+///
+/// Queries without a deadline are tracked (visible in `tracked`) but never
+/// reclaimed — there is no contract to enforce. Thread-safe; one instance
+/// per service, destroyed before the admission controller it releases into.
+class Watchdog {
+ public:
+  /// One in-flight submission as the watchdog sees it. The service threads
+  /// the ticket from Register() through the completion path: `ctx` is valid
+  /// only under `mu` (Unregister nulls it before the context dies), and
+  /// `slot_released` serializes slot ownership between the watchdog and the
+  /// completion path (whoever exchanges false->true releases).
+  struct Ticket {
+    uint64_t id = 0;
+    uint64_t session_id = 0;
+    uint64_t sql_fingerprint = 0;
+    std::string sql;  // Leading prefix, for the incident log event.
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+    std::chrono::steady_clock::time_point registered_at{};
+
+    std::mutex mu;                     // Guards ctx.
+    gov::QueryContext* ctx = nullptr;  // Null once the query completed.
+    std::atomic<bool> slot_released{false};
+    std::atomic<bool> hung{false};
+  };
+
+  /// `admission` must outlive the watchdog; `log` may be null. Disabled
+  /// options make the watchdog inert (Register returns null).
+  Watchdog(AdmissionController* admission, WatchdogOptions options,
+           obs::QueryLog* log = nullptr);
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Tracks one admitted submission whose context just Start()ed.
+  /// `deadline_ms` < 0 means no deadline (tracked, never reclaimed).
+  /// Returns null when the watchdog is disabled.
+  std::shared_ptr<Ticket> Register(uint64_t session_id, const std::string& sql,
+                                   uint64_t sql_fingerprint,
+                                   gov::QueryContext* ctx,
+                                   int64_t deadline_ms);
+
+  /// Removes the ticket from the scan table and detaches the context (must
+  /// be called BEFORE the QueryContext is destroyed). Safe with null.
+  void Unregister(const std::shared_ptr<Ticket>& ticket);
+
+  /// One synchronous scan on the caller's thread (tests / benches).
+  void CheckNow();
+
+  WatchdogStats stats() const;
+  bool enabled() const { return options_.enabled; }
+  const WatchdogOptions& options() const { return options_; }
+
+ private:
+  void Loop();
+  void Scan();
+  void PublishIncident(const Ticket& ticket, double age_ms,
+                       bool slot_reclaimed);
+
+  AdmissionController* admission_;
+  const WatchdogOptions options_;
+  obs::QueryLog* log_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  bool stop_ = false;
+  std::map<uint64_t, std::shared_ptr<Ticket>> tickets_;
+  uint64_t next_id_ = 1;
+  uint64_t registered_ = 0;
+  uint64_t hung_ = 0;
+  uint64_t reclaimed_slots_ = 0;
+  uint64_t completed_late_ = 0;
+
+  std::thread worker_;
+};
+
+}  // namespace service
+}  // namespace aqp
+
+#endif  // AQP_SERVICE_WATCHDOG_H_

@@ -1,5 +1,7 @@
 #include "gov/fault_injector.h"
 
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -94,6 +96,118 @@ TEST(FaultInjectorTest, DefaultScopeForcesDisarmed) {
     EXPECT_FALSE(FaultInjector::Global().armed());
     EXPECT_TRUE(FaultInjector::Global().MaybeFail("x").ok());
   }
+}
+
+TEST(FaultInjectorTest, SiteFilterRestrictsInjection) {
+  ScopedFaultInjection arm(3, 1.0, {"armed.site"});
+  FaultInjector& inj = FaultInjector::Global();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(inj.MaybeFail("armed.site").ok());
+    EXPECT_TRUE(inj.MaybeFail("other.site").ok());
+  }
+  // Filtered-out sites are invisible to the schedule: no counters advance.
+  auto counters = inj.SiteCountersSnapshot();
+  EXPECT_EQ(counters["armed.site"].evaluated, 10u);
+  EXPECT_EQ(counters["armed.site"].injected, 10u);
+  EXPECT_EQ(counters.count("other.site"), 0u);
+}
+
+TEST(FaultInjectorTest, FilteredSitesReplayIdenticallyToFullRuns) {
+  // A site-targeted run must produce the SAME per-site pattern as a full
+  // run, because filtered-out hits do not advance any schedule.
+  std::vector<int> full;
+  {
+    ScopedFaultInjection arm(11, 0.4);
+    for (int i = 0; i < 60; ++i) {
+      full.push_back(FaultInjector::Global().MaybeFail("s1").ok() ? 0 : 1);
+      (void)FaultInjector::Global().MaybeFail("s2");  // Interleaved noise.
+    }
+  }
+  std::vector<int> targeted;
+  {
+    ScopedFaultInjection arm(11, 0.4, {"s1"});
+    for (int i = 0; i < 60; ++i) {
+      targeted.push_back(FaultInjector::Global().MaybeFail("s1").ok() ? 0 : 1);
+      (void)FaultInjector::Global().MaybeFail("s2");
+    }
+  }
+  EXPECT_EQ(full, targeted);
+}
+
+TEST(FaultInjectorTest, DisarmThenArmContinuesTheSchedule) {
+  std::vector<int> uninterrupted = FirePattern(21, 0.4, 100);
+
+  FaultInjector& inj = FaultInjector::Global();
+  inj.ResetCounters();
+  inj.Arm(21, 0.4);
+  std::vector<int> split;
+  for (int i = 0; i < 50; ++i) {
+    split.push_back(inj.MaybeFail("test.site").ok() ? 0 : 1);
+  }
+  inj.Disarm();
+  // Disarmed hits return OK and do NOT advance the schedule.
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_TRUE(inj.MaybeFail("test.site").ok());
+  }
+  inj.Arm(21, 0.4);  // No ResetCounters: hit 50 continues where 49 left off.
+  for (int i = 0; i < 50; ++i) {
+    split.push_back(inj.MaybeFail("test.site").ok() ? 0 : 1);
+  }
+  inj.Disarm();
+  inj.ResetCounters();
+  EXPECT_EQ(split, uninterrupted);
+}
+
+TEST(FaultInjectorTest, PerSiteCountersTrackEvaluatedAndInjected) {
+  ScopedFaultInjection arm(13, 0.5);
+  FaultInjector& inj = FaultInjector::Global();
+  for (int i = 0; i < 40; ++i) (void)inj.MaybeFail("site.a");
+  for (int i = 0; i < 15; ++i) (void)inj.MaybeFail("site.b");
+  auto counters = inj.SiteCountersSnapshot();
+  EXPECT_EQ(counters["site.a"].evaluated, 40u);
+  EXPECT_EQ(counters["site.b"].evaluated, 15u);
+  EXPECT_EQ(counters["site.a"].injected + counters["site.b"].injected,
+            inj.injected());
+  EXPECT_EQ(inj.evaluated(), 55u);
+}
+
+TEST(FaultInjectorTest, HangModeBlocksThenReturnsOk) {
+  ScopedFaultInjection quiet;
+  FaultInjector& inj = FaultInjector::Global();
+  inj.ArmHang("hang.site", /*hang_ms=*/60, /*count=*/2);
+
+  for (int round = 0; round < 2; ++round) {
+    auto start = std::chrono::steady_clock::now();
+    EXPECT_TRUE(inj.MaybeFail("hang.site").ok());  // Hangs, then OK.
+    double waited_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    EXPECT_GE(waited_ms, 55.0);
+  }
+  EXPECT_EQ(inj.hung(), 2u);
+  EXPECT_EQ(inj.SiteCountersSnapshot()["hang.site"].hung, 2u);
+
+  // Budget exhausted: the third hit neither hangs nor fails.
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(inj.MaybeFail("hang.site").ok());
+  double waited_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  EXPECT_LT(waited_ms, 30.0);
+  inj.ClearHangs();
+}
+
+TEST(FaultInjectorTest, ClearHangsCancelsPendingBudget) {
+  ScopedFaultInjection quiet;
+  FaultInjector& inj = FaultInjector::Global();
+  inj.ArmHang("hang.site", 60, 5);
+  inj.ClearHangs();
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(inj.MaybeFail("hang.site").ok());
+  double waited_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  EXPECT_LT(waited_ms, 30.0);
 }
 
 }  // namespace

@@ -1,5 +1,11 @@
 #include "gov/governed_executor.h"
 
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "core/offline_executor.h"
@@ -211,6 +217,180 @@ TEST_F(GovernedExecutorTest, GenerousLimitsStayOnRungZero) {
   EXPECT_EQ(r.profile.degradation_rung, 0);
   EXPECT_GT(r.profile.memory_peak_bytes, 0u);  // Accounting actually ran.
   EXPECT_EQ(r.profile.memory_leaked_bytes, 0u);
+}
+
+TEST_F(GovernedExecutorTest, RetryRecoversTransientFaultOnRungZero) {
+  // With faults on the scan site only and a generous retry budget, some
+  // seed must show rung 0 surviving THROUGH retries: the answer is
+  // undegraded and the profile records the backoff it paid.
+  GovernedOptions opts = Options();
+  opts.retry.max_attempts = 8;
+  opts.retry.base_backoff_ms = 1;
+  opts.retry.max_backoff_ms = 4;
+  int recovered = 0;
+  for (uint64_t seed = 1; seed <= 20 && recovered == 0; ++seed) {
+    ScopedFaultInjection arm(seed, 0.3, {"engine.scan"});
+    GovernedExecutor exec(&catalog_, &samples_, opts);
+    Result<core::ApproxResult> r = exec.Execute(kSumQuery);
+    if (!r.ok()) continue;
+    if (r->profile.degradation_rung == 0 && r->profile.retry_count > 0) {
+      EXPECT_GT(r->profile.retry_wait_seconds, 0.0);
+      ExpectValidCi(*r);
+      ++recovered;
+    }
+  }
+  EXPECT_GT(recovered, 0) << "no seed in 1..20 exercised retry recovery";
+}
+
+TEST_F(GovernedExecutorTest, RetryAccountingIsDeterministicPerSeed) {
+  GovernedOptions opts = Options();
+  opts.retry.max_attempts = 6;
+  opts.retry.base_backoff_ms = 1;
+  opts.retry.max_backoff_ms = 4;
+  auto run = [&]() -> std::pair<uint64_t, int> {
+    ScopedFaultInjection arm(17, 0.4, {"engine.scan"});
+    GovernedExecutor exec(&catalog_, &samples_, opts);
+    Result<core::ApproxResult> r = exec.Execute(kSumQuery);
+    if (!r.ok()) return {~uint64_t{0}, -1};
+    return {r->profile.retry_count, r->profile.degradation_rung};
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a, b);  // Same seed: same retries, same rung, bit for bit.
+}
+
+TEST_F(GovernedExecutorTest, RetryDisabledFailsStraightDownTheLadder) {
+  GovernedOptions opts = Options();
+  opts.retry.max_attempts = 0;
+  ScopedFaultInjection arm(17, 0.4, {"engine.scan"});
+  GovernedExecutor exec(&catalog_, &samples_, opts);
+  Result<core::ApproxResult> r = exec.Execute(kSumQuery);
+  if (r.ok()) {
+    EXPECT_EQ(r->profile.retry_count, 0u);
+    EXPECT_DOUBLE_EQ(r->profile.retry_wait_seconds, 0.0);
+  }
+}
+
+TEST_F(GovernedExecutorTest, RetryNeverSpendsMoreThanTheDeadline) {
+  // Backoffs larger than the remaining deadline are skipped entirely: with
+  // a 10-second base backoff and a 100 ms deadline, the whole query must
+  // conclude in far less time than one backoff.
+  GovernedOptions opts = Options();
+  opts.deadline_ms = 100;
+  opts.retry.max_attempts = 4;
+  opts.retry.base_backoff_ms = 10000;
+  ScopedFaultInjection arm(5, 1.0, {"engine.scan"});
+  GovernedExecutor exec(&catalog_, &samples_, opts);
+  auto start = std::chrono::steady_clock::now();
+  Result<core::ApproxResult> r = exec.Execute(kSumQuery);
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  EXPECT_LT(elapsed, 5.0) << "retry slept past the deadline budget";
+  // Every rung's scan fails at p=1.0, so the ladder concludes exhausted —
+  // without having paid a single 10 s backoff.
+  if (r.ok()) {
+    EXPECT_EQ(r->profile.retry_count, 0u);
+  } else {
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+/// Scripted gate: denies exactly the configured rungs, records every call.
+class FakeGate : public RungGate {
+ public:
+  explicit FakeGate(std::vector<int> denied) : denied_(std::move(denied)) {}
+  Decision Allow(const std::string& table, int rung) override {
+    tables_seen.push_back(table);
+    allow_calls.push_back(rung);
+    for (int d : denied_) {
+      if (d == rung) return {false, 250};
+    }
+    return {};
+  }
+  void RecordOutcome(const std::string& table, int rung, bool ok) override {
+    (void)table;
+    outcomes.emplace_back(rung, ok);
+  }
+
+  std::vector<std::string> tables_seen;
+  std::vector<int> allow_calls;
+  std::vector<std::pair<int, bool>> outcomes;
+
+ private:
+  std::vector<int> denied_;
+};
+
+TEST_F(GovernedExecutorTest, GateDeniedRungZeroDescendsTheLadder) {
+  ScopedFaultInjection quiet;
+  FakeGate gate({0});
+  GovernedOptions opts = Options();
+  opts.rung_gate = &gate;
+  opts.gate_table = "lineitem";
+  GovernedExecutor exec(&catalog_, &samples_, opts);
+  core::ApproxResult r = exec.Execute(kSumQuery).value();
+  EXPECT_EQ(r.profile.degradation_rung, 1);
+  EXPECT_NE(r.profile.degraded_reason.find("circuit open"), std::string::npos);
+  ASSERT_FALSE(gate.tables_seen.empty());
+  EXPECT_EQ(gate.tables_seen[0], "lineitem");
+  // The denied rung was never attempted, so no outcome may be reported for
+  // it — a denial feeding back as a failure would self-sustain the trip.
+  for (const auto& [rung, ok] : gate.outcomes) {
+    EXPECT_NE(rung, 0);
+  }
+}
+
+TEST_F(GovernedExecutorTest, AllRungsDeniedFastFailsWithRetryAfterHint) {
+  ScopedFaultInjection quiet;
+  FakeGate gate({0, 1, 2});
+  GovernedOptions opts = Options();
+  opts.rung_gate = &gate;
+  opts.gate_table = "lineitem";
+  GovernedExecutor exec(&catalog_, &samples_, opts);
+  Result<core::ApproxResult> r = exec.Execute(kSumQuery);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(IsLadderExhausted(r.status()));
+  EXPECT_NE(r.status().message().find("(retry_after_ms="), std::string::npos);
+  EXPECT_TRUE(gate.outcomes.empty());  // Nothing ran, nothing reported.
+}
+
+TEST_F(GovernedExecutorTest, SuccessfulRungZeroReportsOkToGate) {
+  ScopedFaultInjection quiet;
+  FakeGate gate({});
+  GovernedOptions opts = Options();
+  opts.rung_gate = &gate;
+  opts.gate_table = "lineitem";
+  GovernedExecutor exec(&catalog_, &samples_, opts);
+  core::ApproxResult r = exec.Execute(kSumQuery).value();
+  EXPECT_EQ(r.profile.degradation_rung, 0);
+  ASSERT_FALSE(gate.outcomes.empty());
+  EXPECT_EQ(gate.outcomes[0], (std::pair<int, bool>{0, true}));
+}
+
+TEST_F(GovernedExecutorTest, IsLadderExhaustedMatchesOnlyTheLadderStatus) {
+  EXPECT_FALSE(IsLadderExhausted(Status::OK()));
+  EXPECT_FALSE(IsLadderExhausted(Status::ResourceExhausted("queue full")));
+  EXPECT_FALSE(IsLadderExhausted(Status::Internal(
+      "no rung of the degradation ladder could answer: x")));
+  EXPECT_TRUE(IsLadderExhausted(Status::ResourceExhausted(
+      "no rung of the degradation ladder could answer: x")));
+}
+
+TEST(RetryOptionsTest, FromEnvOverlays) {
+  setenv("AQP_RETRY_MAX", "5", 1);
+  setenv("AQP_RETRY_BASE_MS", "20", 1);
+  setenv("AQP_RETRY_MULTIPLIER", "3.0", 1);
+  setenv("AQP_RETRY_MAX_BACKOFF_MS", "900", 1);
+  RetryOptions o = RetryOptions::FromEnv(RetryOptions());
+  EXPECT_EQ(o.max_attempts, 5);
+  EXPECT_EQ(o.base_backoff_ms, 20);
+  EXPECT_DOUBLE_EQ(o.backoff_multiplier, 3.0);
+  EXPECT_EQ(o.max_backoff_ms, 900);
+  unsetenv("AQP_RETRY_MAX");
+  unsetenv("AQP_RETRY_BASE_MS");
+  unsetenv("AQP_RETRY_MULTIPLIER");
+  unsetenv("AQP_RETRY_MAX_BACKOFF_MS");
 }
 
 }  // namespace

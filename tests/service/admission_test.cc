@@ -7,11 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include "gov/fault_injector.h"
+
 namespace aqp {
 namespace service {
 namespace {
 
 TEST(AdmissionTest, AdmitsUpToMaxInflight) {
+  gov::ScopedFaultInjection quiet;
   AdmissionOptions opts;
   opts.max_inflight = 2;
   opts.max_queue = 0;
@@ -29,6 +32,7 @@ TEST(AdmissionTest, AdmitsUpToMaxInflight) {
 }
 
 TEST(AdmissionTest, QueueFullRejectsImmediately) {
+  gov::ScopedFaultInjection quiet;
   AdmissionOptions opts;
   opts.max_inflight = 1;
   opts.max_queue = 0;  // Nobody may wait.
@@ -48,6 +52,7 @@ TEST(AdmissionTest, QueueFullRejectsImmediately) {
 }
 
 TEST(AdmissionTest, QueueTimeoutRejects) {
+  gov::ScopedFaultInjection quiet;
   AdmissionOptions opts;
   opts.max_inflight = 1;
   opts.max_queue = 4;
@@ -68,6 +73,7 @@ TEST(AdmissionTest, QueueTimeoutRejects) {
 }
 
 TEST(AdmissionTest, ReleaseWakesWaiter) {
+  gov::ScopedFaultInjection quiet;
   AdmissionOptions opts;
   opts.max_inflight = 1;
   opts.max_queue = 4;
@@ -93,6 +99,7 @@ TEST(AdmissionTest, ReleaseWakesWaiter) {
 }
 
 TEST(AdmissionTest, StressNeverExceedsMaxInflight) {
+  gov::ScopedFaultInjection quiet;
   AdmissionOptions opts;
   opts.max_inflight = 3;
   opts.max_queue = 64;
@@ -125,6 +132,72 @@ TEST(AdmissionTest, StressNeverExceedsMaxInflight) {
   EXPECT_EQ(stats.admitted, static_cast<uint64_t>(kThreads * kPerThread));
   EXPECT_EQ(stats.inflight, 0u);
   EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(AdmissionTest, RejectionsCarryParseableRetryAfterHint) {
+  gov::ScopedFaultInjection quiet;
+  AdmissionOptions opts;
+  opts.max_inflight = 1;
+  opts.max_queue = 0;
+  AdmissionController admission(opts);
+
+  ASSERT_TRUE(admission.Acquire().ok());
+  Status refused = admission.Acquire();
+  ASSERT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(refused.message().find("(retry_after_ms="), std::string::npos);
+  EXPECT_GT(RetryAfterMsFromStatus(refused), 0);
+  admission.Release();
+}
+
+TEST(AdmissionTest, RetryAfterHintScalesWithObservedServiceRate) {
+  gov::ScopedFaultInjection quiet;
+  AdmissionOptions opts;
+  opts.max_inflight = 1;
+  opts.max_queue = 0;
+  AdmissionController admission(opts);
+
+  // Ten measured 200 ms services converge the EWMA well above the 50 ms
+  // default, so the next rejection's hint must reflect the slower service.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(admission.Acquire().ok());
+    admission.Release(0.200);
+  }
+  EXPECT_GT(admission.stats().ewma_service_seconds, 0.1);
+
+  ASSERT_TRUE(admission.Acquire().ok());
+  int64_t slow_hint = RetryAfterMsFromStatus(admission.Acquire());
+  EXPECT_GE(slow_hint, 100);
+  admission.Release();
+
+  // Zero-second samples (watchdog reclaims) must not move the EWMA.
+  double before = admission.stats().ewma_service_seconds;
+  ASSERT_TRUE(admission.Acquire().ok());
+  admission.Release(0.0);
+  EXPECT_DOUBLE_EQ(admission.stats().ewma_service_seconds, before);
+}
+
+TEST(AdmissionTest, InjectedAdmitFaultRejectsAsOverload) {
+  gov::ScopedFaultInjection arm(9, 1.0, {"service.admit"});
+  AdmissionOptions opts;
+  AdmissionController admission(opts);
+  Status s = admission.Acquire();
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.message().find("injected admission fault"), std::string::npos);
+  EXPECT_GT(RetryAfterMsFromStatus(s), 0);
+  AdmissionStats stats = admission.stats();
+  EXPECT_EQ(stats.rejected_fault, 1u);
+  EXPECT_EQ(stats.inflight, 0u);  // Nothing was held.
+}
+
+TEST(RetryAfterMsFromStatusTest, ParsesOnlyWellFormedHints) {
+  EXPECT_EQ(RetryAfterMsFromStatus(Status::OK()), 0);
+  EXPECT_EQ(RetryAfterMsFromStatus(Status::ResourceExhausted("no hint")), 0);
+  EXPECT_EQ(RetryAfterMsFromStatus(
+                Status::ResourceExhausted("busy (retry_after_ms=250)")),
+            250);
+  EXPECT_EQ(RetryAfterMsFromStatus(
+                Status::ResourceExhausted("(retry_after_ms=bogus)")),
+            0);
 }
 
 }  // namespace

@@ -1,0 +1,184 @@
+#include "service/circuit_breaker.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/admission.h"
+
+namespace aqp {
+namespace service {
+namespace {
+
+BreakerOptions FastOptions() {
+  BreakerOptions o;
+  o.window = 8;
+  o.min_samples = 4;
+  o.failure_threshold = 0.5;
+  o.open_ms = 40;
+  o.half_open_probes = 1;
+  o.poison_threshold = 2;
+  o.quarantine_ms = 40;
+  return o;
+}
+
+TEST(CircuitBreakerTest, ClosedCircuitAllows) {
+  CircuitBreaker breaker(FastOptions());
+  EXPECT_TRUE(breaker.Allow("lineitem", 0).allow);
+  EXPECT_TRUE(breaker.Allow("lineitem", 2).allow);
+  EXPECT_EQ(breaker.stats().denials, 0u);
+}
+
+TEST(CircuitBreakerTest, TripsAfterMinSamplesOfFailures) {
+  CircuitBreaker breaker(FastOptions());
+  // Three failures: below min_samples, must not trip.
+  for (int i = 0; i < 3; ++i) breaker.RecordOutcome("t", 0, false);
+  EXPECT_TRUE(breaker.Allow("t", 0).allow);
+  EXPECT_EQ(breaker.stats().trips, 0u);
+  // The fourth failure reaches min_samples with a 100% failure rate.
+  breaker.RecordOutcome("t", 0, false);
+  CircuitBreaker::Decision d = breaker.Allow("t", 0);
+  EXPECT_FALSE(d.allow);
+  EXPECT_GT(d.retry_after_ms, 0);
+  EXPECT_EQ(breaker.stats().trips, 1u);
+  EXPECT_EQ(breaker.stats().open_circuits, 1u);
+}
+
+TEST(CircuitBreakerTest, MixedOutcomesBelowThresholdStayClosed) {
+  CircuitBreaker breaker(FastOptions());
+  // 1 failure in every 4 outcomes: 25% < the 50% threshold.
+  for (int round = 0; round < 4; ++round) {
+    breaker.RecordOutcome("t", 0, false);
+    for (int i = 0; i < 3; ++i) breaker.RecordOutcome("t", 0, true);
+  }
+  EXPECT_TRUE(breaker.Allow("t", 0).allow);
+  EXPECT_EQ(breaker.stats().trips, 0u);
+}
+
+TEST(CircuitBreakerTest, CircuitsAreIndependentPerTableAndRung) {
+  CircuitBreaker breaker(FastOptions());
+  for (int i = 0; i < 4; ++i) breaker.RecordOutcome("a", 0, false);
+  EXPECT_FALSE(breaker.Allow("a", 0).allow);
+  // Same table, different rung; different table, same rung: unaffected.
+  EXPECT_TRUE(breaker.Allow("a", 1).allow);
+  EXPECT_TRUE(breaker.Allow("b", 0).allow);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeClosesOnSuccess) {
+  CircuitBreaker breaker(FastOptions());
+  for (int i = 0; i < 4; ++i) breaker.RecordOutcome("t", 0, false);
+  ASSERT_FALSE(breaker.Allow("t", 0).allow);
+
+  // After open_ms the circuit admits exactly one probe; the second caller
+  // is refused until the probe concludes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_TRUE(breaker.Allow("t", 0).allow);
+  EXPECT_FALSE(breaker.Allow("t", 0).allow);
+  EXPECT_GE(breaker.stats().probes, 1u);
+
+  breaker.RecordOutcome("t", 0, true);
+  EXPECT_TRUE(breaker.Allow("t", 0).allow);
+  EXPECT_EQ(breaker.stats().closes, 1u);
+  EXPECT_EQ(breaker.stats().open_circuits, 0u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeReopensOnFailure) {
+  CircuitBreaker breaker(FastOptions());
+  for (int i = 0; i < 4; ++i) breaker.RecordOutcome("t", 0, false);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  ASSERT_TRUE(breaker.Allow("t", 0).allow);  // Probe admitted.
+  breaker.RecordOutcome("t", 0, false);      // Probe failed.
+  EXPECT_FALSE(breaker.Allow("t", 0).allow);
+  EXPECT_EQ(breaker.stats().trips, 2u);
+}
+
+TEST(CircuitBreakerTest, SnapshotReportsState) {
+  CircuitBreaker breaker(FastOptions());
+  for (int i = 0; i < 4; ++i) breaker.RecordOutcome("t", 1, false);
+  breaker.RecordOutcome("u", 0, true);
+  std::vector<BreakerRungInfo> snap = breaker.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  // std::map ordering: ("t", 1) before ("u", 0).
+  EXPECT_EQ(snap[0].table, "t");
+  EXPECT_EQ(snap[0].rung, 1);
+  EXPECT_EQ(snap[0].state, "open");
+  EXPECT_GE(snap[0].open_age_seconds, 0.0);
+  EXPECT_EQ(snap[0].failures, 4u);
+  EXPECT_EQ(snap[1].table, "u");
+  EXPECT_EQ(snap[1].state, "closed");
+  EXPECT_EQ(snap[1].successes, 1u);
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerIsInert) {
+  BreakerOptions o = FastOptions();
+  o.enabled = false;
+  CircuitBreaker breaker(o);
+  for (int i = 0; i < 16; ++i) breaker.RecordOutcome("t", 0, false);
+  EXPECT_TRUE(breaker.Allow("t", 0).allow);
+  EXPECT_TRUE(breaker.CheckQuarantine(7).ok());
+  EXPECT_EQ(breaker.stats().trips, 0u);
+}
+
+TEST(CircuitBreakerTest, QuarantineAfterConsecutivePoisonFailures) {
+  CircuitBreaker breaker(FastOptions());
+  const uint64_t fp = 0xfeedu;
+  breaker.RecordQueryOutcome(fp, /*poison=*/true);
+  EXPECT_TRUE(breaker.CheckQuarantine(fp).ok());  // threshold = 2.
+  breaker.RecordQueryOutcome(fp, /*poison=*/true);
+  Status s = breaker.CheckQuarantine(fp);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(RetryAfterMsFromStatus(s), 0);
+  EXPECT_EQ(breaker.stats().quarantined, 1u);
+  EXPECT_GE(breaker.stats().quarantine_denials, 1u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsPoisonStreak) {
+  CircuitBreaker breaker(FastOptions());
+  const uint64_t fp = 0xbeefu;
+  breaker.RecordQueryOutcome(fp, true);
+  breaker.RecordQueryOutcome(fp, false);  // Streak broken.
+  breaker.RecordQueryOutcome(fp, true);
+  EXPECT_TRUE(breaker.CheckQuarantine(fp).ok());
+  EXPECT_EQ(breaker.stats().quarantined, 0u);
+}
+
+TEST(CircuitBreakerTest, QuarantineProbeAfterWindowAndRelease) {
+  CircuitBreaker breaker(FastOptions());
+  const uint64_t fp = 0xabcu;
+  breaker.RecordQueryOutcome(fp, true);
+  breaker.RecordQueryOutcome(fp, true);
+  ASSERT_FALSE(breaker.CheckQuarantine(fp).ok());
+
+  // After quarantine_ms one probe is admitted; its success lifts the
+  // quarantine entirely.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_TRUE(breaker.CheckQuarantine(fp).ok());
+  // Racers right behind the probe keep waiting (clock re-stamped).
+  EXPECT_FALSE(breaker.CheckQuarantine(fp).ok());
+  breaker.RecordQueryOutcome(fp, /*poison=*/false);
+  EXPECT_TRUE(breaker.CheckQuarantine(fp).ok());
+}
+
+TEST(CircuitBreakerTest, FromEnvOverlays) {
+  setenv("AQP_BREAKER_ENABLED", "0", 1);
+  setenv("AQP_BREAKER_WINDOW", "32", 1);
+  setenv("AQP_BREAKER_FAILURE_THRESHOLD", "0.75", 1);
+  setenv("AQP_BREAKER_OPEN_MS", "1234", 1);
+  BreakerOptions o = BreakerOptions::FromEnv();
+  EXPECT_FALSE(o.enabled);
+  EXPECT_EQ(o.window, 32u);
+  EXPECT_DOUBLE_EQ(o.failure_threshold, 0.75);
+  EXPECT_EQ(o.open_ms, 1234);
+  unsetenv("AQP_BREAKER_ENABLED");
+  unsetenv("AQP_BREAKER_WINDOW");
+  unsetenv("AQP_BREAKER_FAILURE_THRESHOLD");
+  unsetenv("AQP_BREAKER_OPEN_MS");
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace aqp
