@@ -6,7 +6,7 @@ namespace aqp {
 
 Status Catalog::Register(const std::string& name,
                          std::shared_ptr<const Table> table) {
-  if (tables_.count(name) > 0) {
+  if (Contains(name)) {
     return Status::AlreadyExists("table already registered: " + name);
   }
   tables_[name] = std::move(table);
@@ -16,21 +16,44 @@ Status Catalog::Register(const std::string& name,
 
 void Catalog::RegisterOrReplace(const std::string& name,
                                 std::shared_ptr<const Table> table) {
+  extent_tables_.erase(name);
   tables_[name] = std::move(table);
   ++versions_[name];
+}
+
+void Catalog::RegisterExtentBacked(
+    const std::string& name,
+    std::shared_ptr<const extent::ExtentReader> reader) {
+  tables_.erase(name);
+  extent_tables_[name] = std::move(reader);
+  ++versions_[name];
+}
+
+Result<std::shared_ptr<const extent::ExtentReader>> Catalog::GetExtentReader(
+    const std::string& name) const {
+  auto it = extent_tables_.find(name);
+  if (it == extent_tables_.end()) {
+    return Status::NotFound("no extent-backed table named " + name);
+  }
+  return it->second;
 }
 
 Result<std::shared_ptr<const Table>> Catalog::Get(
     const std::string& name) const {
   auto it = tables_.find(name);
   if (it == tables_.end()) {
+    if (extent_tables_.count(name) > 0) {
+      return Status::FailedPrecondition(
+          "table " + name +
+          " is extent-backed; scan it through the engine instead of Get()");
+    }
     return Status::NotFound("no table named " + name);
   }
   return it->second;
 }
 
 Status Catalog::Drop(const std::string& name) {
-  if (tables_.erase(name) == 0) {
+  if (tables_.erase(name) == 0 && extent_tables_.erase(name) == 0) {
     return Status::NotFound("no table named " + name);
   }
   ++versions_[name];
@@ -38,7 +61,7 @@ Status Catalog::Drop(const std::string& name) {
 }
 
 Result<uint64_t> Catalog::Version(const std::string& name) const {
-  if (tables_.count(name) == 0) {
+  if (!Contains(name)) {
     return Status::NotFound("no table named " + name);
   }
   auto it = versions_.find(name);
@@ -46,14 +69,17 @@ Result<uint64_t> Catalog::Version(const std::string& name) const {
 }
 
 Result<uint64_t> Catalog::Cardinality(const std::string& name) const {
+  auto it = extent_tables_.find(name);
+  if (it != extent_tables_.end()) return it->second->num_rows();
   AQP_ASSIGN_OR_RETURN(std::shared_ptr<const Table> t, Get(name));
   return static_cast<uint64_t>(t->num_rows());
 }
 
 std::vector<std::string> Catalog::TableNames() const {
   std::vector<std::string> names;
-  names.reserve(tables_.size());
+  names.reserve(tables_.size() + extent_tables_.size());
   for (const auto& [name, _] : tables_) names.push_back(name);
+  for (const auto& [name, _] : extent_tables_) names.push_back(name);
   std::sort(names.begin(), names.end());
   return names;
 }

@@ -7,12 +7,21 @@
 #include <vector>
 
 #include "common/result.h"
+#include "storage/extent/extent_reader.h"
 #include "storage/table.h"
 
 namespace aqp {
 
 /// Name -> table registry, the executor's source of scan inputs. Tables are
 /// held by shared_ptr so samples and synopses can alias base data cheaply.
+///
+/// A table can alternatively be registered EXTENT-BACKED: instead of an
+/// in-memory Table, the name binds to an open extent file
+/// (docs/STORAGE.md), and scans stream morsels from disk with zone-map
+/// pruning (engine/extent_scan.h). Extent-backed names share the namespace,
+/// version counter, and Cardinality with in-memory tables, so synopsis and
+/// result caches key them identically; only Get() differs — it refuses to
+/// materialize the file behind the caller's back.
 class Catalog {
  public:
   /// Registers a table under `name`; fails if the name is taken.
@@ -22,14 +31,32 @@ class Catalog {
   void RegisterOrReplace(const std::string& name,
                          std::shared_ptr<const Table> table);
 
-  /// Looks up a table; NotFound if missing.
+  /// Registers `name` as extent-backed (replacing any previous binding,
+  /// in-memory or extent-backed; bumps the version either way).
+  void RegisterExtentBacked(
+      const std::string& name,
+      std::shared_ptr<const extent::ExtentReader> reader);
+
+  /// True iff `name` is currently bound to an extent file.
+  bool IsExtentBacked(const std::string& name) const {
+    return extent_tables_.count(name) > 0;
+  }
+
+  /// The extent reader behind an extent-backed name; NotFound otherwise.
+  Result<std::shared_ptr<const extent::ExtentReader>> GetExtentReader(
+      const std::string& name) const;
+
+  /// Looks up an in-memory table; NotFound if missing. FailedPrecondition
+  /// for extent-backed names: whole-file materialization must be an explicit
+  /// engine decision (a governed, charged scan), never a silent side effect
+  /// of a registry lookup.
   Result<std::shared_ptr<const Table>> Get(const std::string& name) const;
 
-  /// Removes a table; NotFound if missing.
+  /// Removes a table (either kind); NotFound if missing.
   Status Drop(const std::string& name);
 
   bool Contains(const std::string& name) const {
-    return tables_.count(name) > 0;
+    return tables_.count(name) > 0 || extent_tables_.count(name) > 0;
   }
 
   /// Estimated (here: exact) cardinality of a table — the statistic a cost
@@ -49,6 +76,9 @@ class Catalog {
 
  private:
   std::unordered_map<std::string, std::shared_ptr<const Table>> tables_;
+  /// Extent-backed bindings; disjoint from tables_ by construction.
+  std::unordered_map<std::string, std::shared_ptr<const extent::ExtentReader>>
+      extent_tables_;
   /// Version per name ever registered (persists across Drop).
   std::unordered_map<std::string, uint64_t> versions_;
 };

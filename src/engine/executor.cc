@@ -10,6 +10,7 @@
 #include "common/random.h"
 #include "common/simd.h"
 #include "common/str_util.h"
+#include "engine/extent_scan.h"
 #include "expr/eval.h"
 #include "expr/vector_eval.h"
 #include "gov/fault_injector.h"
@@ -290,9 +291,81 @@ Result<std::vector<uint32_t>> DrawSampleKeep(const Table& table,
   return keep;
 }
 
+ExtentScanOptions MakeExtentScanOptions(size_t num_rows, ExecContext& ctx) {
+  ExtentScanOptions o;
+  o.num_threads = ctx.options.UseMorsels(num_rows)
+                      ? ctx.options.ResolvedThreads()
+                      : 1;
+  o.cancel = ctx.options.cancel;
+  o.memory = ctx.options.memory;
+  o.run_stats = ctx.run_stats();
+  return o;
+}
+
+void MergeExtentStats(const ExtentScanStats& es, ExecContext& ctx) {
+  if (ctx.stats == nullptr) return;
+  ctx.stats->extents_total += es.extents_total;
+  ctx.stats->extents_pruned += es.extents_pruned;
+}
+
+// Resolves a scan's base table: in-memory tables come straight from the
+// catalog (shared storage, uncharged); extent-backed tables materialize here
+// as a governed parallel read — charged like any operator output, so a
+// beyond-budget full scan is refused instead of silently swapping.
+Result<TablePtr> ScanBaseTable(const PlanNode& node, ExecContext& ctx) {
+  if (!ctx.catalog.IsExtentBacked(node.table_name())) {
+    return ctx.catalog.Get(node.table_name());
+  }
+  AQP_ASSIGN_OR_RETURN(std::shared_ptr<const extent::ExtentReader> reader,
+                       ctx.catalog.GetExtentReader(node.table_name()));
+  ExtentScanStats es;
+  AQP_ASSIGN_OR_RETURN(
+      Table t, ReadAllExtents(*reader,
+                              MakeExtentScanOptions(reader->num_rows(), ctx),
+                              &es));
+  MergeExtentStats(es, ctx);
+  return TrackTable(std::move(t), ctx, "extent scan output");
+}
+
+// Fused filter+scan over an extent-backed base: prune extents with the
+// predicate's conjuncts, decode + filter the survivors morsel-parallel, and
+// emit only matching rows (engine/extent_scan.h). Applies when the filter
+// sits directly on an unsampled scan — the shape every pushed-down WHERE
+// clause takes.
+Result<TablePtr> ExecExtentFilterScan(const PlanNode& filter_node,
+                                      const PlanNode& scan_node,
+                                      ExecContext& ctx) {
+  AQP_RETURN_IF_ERROR(gov::FaultInjector::Global().MaybeFail("engine.scan"));
+  AQP_ASSIGN_OR_RETURN(std::shared_ptr<const extent::ExtentReader> reader,
+                       ctx.catalog.GetExtentReader(scan_node.table_name()));
+  ExtentScanStats es;
+  AQP_ASSIGN_OR_RETURN(
+      Table t, FusedExtentFilterScan(
+                   *reader, *filter_node.predicate(),
+                   MakeExtentScanOptions(reader->num_rows(), ctx), &es));
+  MergeExtentStats(es, ctx);
+  if (ctx.stats != nullptr) {
+    // Pruned extents are I/O the query never did; count only decoded rows
+    // and the blocks of extents actually read.
+    ctx.stats->rows_scanned += es.rows_read;
+    ctx.stats->blocks_read +=
+        (es.rows_read + scan_node.sample().block_size - 1) /
+        scan_node.sample().block_size;
+  }
+  return TrackTable(std::move(t), ctx, "filter output");
+}
+
+// True when a filter node directly over `child` should take the fused
+// extent path.
+bool UseFusedExtentFilter(const PlanNode& filter_node, ExecContext& ctx) {
+  const PlanPtr& child = filter_node.child();
+  return child->kind() == PlanKind::kScan && !child->sample().is_sampled() &&
+         ctx.catalog.IsExtentBacked(child->table_name());
+}
+
 Result<TablePtr> ExecScan(const PlanNode& node, ExecContext& ctx) {
   AQP_RETURN_IF_ERROR(gov::FaultInjector::Global().MaybeFail("engine.scan"));
-  AQP_ASSIGN_OR_RETURN(TablePtr table, ctx.catalog.Get(node.table_name()));
+  AQP_ASSIGN_OR_RETURN(TablePtr table, ScanBaseTable(node, ctx));
   const SampleSpec& spec = node.sample();
   if (!spec.is_sampled()) {
     if (ctx.stats != nullptr) {
@@ -315,6 +388,9 @@ Result<TablePtr> ExecScan(const PlanNode& node, ExecContext& ctx) {
 }
 
 Result<TablePtr> ExecFilter(const PlanNode& node, ExecContext& ctx) {
+  if (UseFusedExtentFilter(node, ctx)) {
+    return ExecExtentFilterScan(node, *node.child(), ctx);
+  }
   AQP_ASSIGN_OR_RETURN(TablePtr input, Exec(node.child(), ctx));
   const bool use_morsels = ctx.options.UseMorsels(input->num_rows());
   std::vector<uint32_t> selected;
@@ -606,6 +682,8 @@ Result<TablePtr> Exec(const PlanPtr& plan, ExecContext& ctx) {
   const ParallelRunStats* rs = ctx.run_stats();
   uint64_t morsels_before = rs != nullptr ? rs->morsels : 0;
   uint64_t steals_before = rs != nullptr ? rs->steals : 0;
+  uint64_t extents_before = ctx.stats != nullptr ? ctx.stats->extents_total : 0;
+  uint64_t pruned_before = ctx.stats != nullptr ? ctx.stats->extents_pruned : 0;
   Result<TablePtr> result = ExecDispatch(plan, ctx);
   if (result.ok()) {
     span.AddAttr("rows_out", uint64_t{result.value()->num_rows()});
@@ -613,6 +691,10 @@ Result<TablePtr> Exec(const PlanPtr& plan, ExecContext& ctx) {
   if (rs != nullptr && rs->morsels > morsels_before) {
     span.AddAttr("parallel_morsels", rs->morsels - morsels_before);
     span.AddAttr("parallel_steals", rs->steals - steals_before);
+  }
+  if (ctx.stats != nullptr && ctx.stats->extents_total > extents_before) {
+    span.AddAttr("extents_total", ctx.stats->extents_total - extents_before);
+    span.AddAttr("extents_pruned", ctx.stats->extents_pruned - pruned_before);
   }
   return result;
 }
@@ -630,7 +712,7 @@ Result<TablePtr> Exec(const PlanPtr& plan, ExecContext& ctx) {
 
 Result<BatchView> ExecScanBatch(const PlanNode& node, ExecContext& ctx) {
   AQP_RETURN_IF_ERROR(gov::FaultInjector::Global().MaybeFail("engine.scan"));
-  AQP_ASSIGN_OR_RETURN(TablePtr table, ctx.catalog.Get(node.table_name()));
+  AQP_ASSIGN_OR_RETURN(TablePtr table, ScanBaseTable(node, ctx));
   const SampleSpec& spec = node.sample();
   if (!spec.is_sampled()) {
     if (ctx.stats != nullptr) {
@@ -663,6 +745,14 @@ Result<BatchView> ExecScanBatch(const PlanNode& node, ExecContext& ctx) {
 // exact, makes the output selection independent of morsel boundaries and
 // thread count.
 Result<BatchView> ExecFilterBatch(const PlanNode& node, ExecContext& ctx) {
+  if (UseFusedExtentFilter(node, ctx)) {
+    // The fused path already gathered exactly the matching rows; the result
+    // enters the batch pipeline as an identity view (same as any
+    // table-valued operator's output).
+    AQP_ASSIGN_OR_RETURN(TablePtr t,
+                         ExecExtentFilterScan(node, *node.child(), ctx));
+    return IdentityView(std::move(t));
+  }
   AQP_ASSIGN_OR_RETURN(BatchView child, ExecBatch(node.child(), ctx));
   const Expr& pred_expr = *node.predicate();
   // Degenerate inputs (empty, constant predicate) run the scalar evaluator
@@ -891,6 +981,8 @@ Result<BatchView> ExecBatch(const PlanPtr& plan, ExecContext& ctx) {
   const ParallelRunStats* rs = ctx.run_stats();
   uint64_t morsels_before = rs != nullptr ? rs->morsels : 0;
   uint64_t steals_before = rs != nullptr ? rs->steals : 0;
+  uint64_t extents_before = ctx.stats != nullptr ? ctx.stats->extents_total : 0;
+  uint64_t pruned_before = ctx.stats != nullptr ? ctx.stats->extents_pruned : 0;
   Result<BatchView> result = ExecDispatchBatch(plan, ctx);
   if (result.ok()) {
     span.AddAttr("rows_out", uint64_t{result.value().num_rows});
@@ -898,6 +990,10 @@ Result<BatchView> ExecBatch(const PlanPtr& plan, ExecContext& ctx) {
   if (rs != nullptr && rs->morsels > morsels_before) {
     span.AddAttr("parallel_morsels", rs->morsels - morsels_before);
     span.AddAttr("parallel_steals", rs->steals - steals_before);
+  }
+  if (ctx.stats != nullptr && ctx.stats->extents_total > extents_before) {
+    span.AddAttr("extents_total", ctx.stats->extents_total - extents_before);
+    span.AddAttr("extents_pruned", ctx.stats->extents_pruned - pruned_before);
   }
   return result;
 }
@@ -953,12 +1049,18 @@ Result<Table> Execute(const PlanPtr& plan, const Catalog& catalog,
         "aqp_engine_parallel_morsels_total");
     static obs::Counter* steals = obs::MetricsRegistry::Global().GetCounter(
         "aqp_engine_parallel_steals_total");
+    static obs::Counter* extents = obs::MetricsRegistry::Global().GetCounter(
+        "aqp_engine_extents_scanned_total");
+    static obs::Counter* pruned = obs::MetricsRegistry::Global().GetCounter(
+        "aqp_engine_extents_pruned_total");
     plans->Increment();
     rows->Increment(effective->rows_scanned - before.rows_scanned);
     blocks->Increment(effective->blocks_read - before.blocks_read);
     joined->Increment(effective->rows_joined - before.rows_joined);
     morsels->Increment(effective->parallel.morsels - before.parallel.morsels);
     steals->Increment(effective->parallel.steals - before.parallel.steals);
+    extents->Increment(effective->extents_total - before.extents_total);
+    pruned->Increment(effective->extents_pruned - before.extents_pruned);
   }
   return *result;
 }

@@ -19,6 +19,8 @@ struct ExecStats {
   uint64_t blocks_read = 0;    // Blocks touched by scans (block sampling
                                // skips blocks; row sampling reads all).
   uint64_t rows_joined = 0;    // Join output rows.
+  uint64_t extents_total = 0;  // Extents considered by extent-backed scans.
+  uint64_t extents_pruned = 0; // Extents skipped via zone maps (never read).
   ParallelRunStats parallel;   // Morsel/steal/per-worker counters summed over
                                // every parallel region of the query.
 };

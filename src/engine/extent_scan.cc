@@ -1,0 +1,294 @@
+#include "engine/extent_scan.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "expr/eval.h"
+#include "obs/metrics.h"
+
+namespace aqp {
+namespace {
+
+// Ordering between a zone bound and a conjunct literal. nullopt = the pair
+// is not comparable (type mismatch, NULL) — callers treat that as "cannot
+// prune". Mixed int64/double compares through long double so a 2^53+ int64
+// never collapses onto a neighboring double and flips an inequality.
+std::optional<int> CompareValues(const Value& x, const Value& y) {
+  if (x.is_null() || y.is_null()) return std::nullopt;
+  auto sign = [](long double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); };
+  if (x.is_int64() && y.is_int64()) {
+    return x.int64() < y.int64() ? -1 : (x.int64() > y.int64() ? 1 : 0);
+  }
+  if ((x.is_int64() || x.is_double()) && (y.is_int64() || y.is_double())) {
+    const long double xv =
+        x.is_int64() ? static_cast<long double>(x.int64()) : x.dbl();
+    const long double yv =
+        y.is_int64() ? static_cast<long double>(y.int64()) : y.dbl();
+    return sign(xv - yv);
+  }
+  if (x.is_string() && y.is_string()) {
+    const int c = x.str().compare(y.str());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (x.is_bool() && y.is_bool()) {
+    return static_cast<int>(x.boolean()) - static_cast<int>(y.boolean());
+  }
+  return std::nullopt;
+}
+
+// `lit` may lie within [min, max]? nullopt comparisons conservatively say
+// yes.
+bool LiteralInBounds(const Value& lit, const Value& min, const Value& max) {
+  std::optional<int> lo = CompareValues(lit, min);
+  std::optional<int> hi = CompareValues(lit, max);
+  if (!lo.has_value() || !hi.has_value()) return true;
+  return *lo >= 0 && *hi <= 0;
+}
+
+void Collect(const Expr& e, const Schema& schema,
+             std::vector<PruneConjunct>* out) {
+  if (e.kind() == ExprKind::kBinary && e.op() == OpKind::kAnd) {
+    Collect(*e.child(0), schema, out);
+    Collect(*e.child(1), schema, out);
+    return;
+  }
+  if (e.kind() == ExprKind::kBinary) {
+    OpKind op = e.op();
+    if (op != OpKind::kEq && op != OpKind::kLt && op != OpKind::kLe &&
+        op != OpKind::kGt && op != OpKind::kGe) {
+      return;
+    }
+    const Expr* lhs = e.child(0).get();
+    const Expr* rhs = e.child(1).get();
+    if (lhs->kind() == ExprKind::kLiteral &&
+        rhs->kind() == ExprKind::kColumnRef) {
+      // literal <op> col == col <flipped-op> literal.
+      std::swap(lhs, rhs);
+      switch (op) {
+        case OpKind::kLt: op = OpKind::kGt; break;
+        case OpKind::kLe: op = OpKind::kGe; break;
+        case OpKind::kGt: op = OpKind::kLt; break;
+        case OpKind::kGe: op = OpKind::kLe; break;
+        default: break;
+      }
+    }
+    if (lhs->kind() != ExprKind::kColumnRef ||
+        rhs->kind() != ExprKind::kLiteral || rhs->literal().is_null()) {
+      return;
+    }
+    Result<size_t> col = schema.FieldIndex(lhs->column_name());
+    if (!col.ok()) return;
+    PruneConjunct c;
+    c.col = col.value();
+    switch (op) {
+      case OpKind::kEq: c.kind = PruneConjunct::Kind::kEq; break;
+      case OpKind::kLt: c.kind = PruneConjunct::Kind::kLt; break;
+      case OpKind::kLe: c.kind = PruneConjunct::Kind::kLe; break;
+      case OpKind::kGt: c.kind = PruneConjunct::Kind::kGt; break;
+      case OpKind::kGe: c.kind = PruneConjunct::Kind::kGe; break;
+      default: return;
+    }
+    c.a = rhs->literal();
+    out->push_back(std::move(c));
+    return;
+  }
+  if (e.kind() == ExprKind::kBetween &&
+      e.child(0)->kind() == ExprKind::kColumnRef &&
+      e.child(1)->kind() == ExprKind::kLiteral &&
+      e.child(2)->kind() == ExprKind::kLiteral &&
+      !e.child(1)->literal().is_null() && !e.child(2)->literal().is_null()) {
+    Result<size_t> col = schema.FieldIndex(e.child(0)->column_name());
+    if (!col.ok()) return;
+    PruneConjunct c;
+    c.col = col.value();
+    c.kind = PruneConjunct::Kind::kBetween;
+    c.a = e.child(1)->literal();
+    c.b = e.child(2)->literal();
+    out->push_back(std::move(c));
+    return;
+  }
+  if (e.kind() == ExprKind::kIn &&
+      e.child(0)->kind() == ExprKind::kColumnRef) {
+    Result<size_t> col = schema.FieldIndex(e.child(0)->column_name());
+    if (!col.ok()) return;
+    PruneConjunct c;
+    c.col = col.value();
+    c.kind = PruneConjunct::Kind::kIn;
+    c.values = e.in_list();
+    out->push_back(std::move(c));
+  }
+}
+
+bool ConjunctMayMatch(const extent::ExtentMeta& meta,
+                      const PruneConjunct& c) {
+  if (c.col >= meta.chunks.size()) return true;
+  const extent::ZoneMap& z = meta.chunks[c.col].zone;
+  // Every comparison/IN/BETWEEN over an all-NULL chunk is never true.
+  if (z.null_count >= meta.row_count) return false;
+  if (!z.has_bounds) return true;
+  switch (c.kind) {
+    case PruneConjunct::Kind::kEq:
+      return LiteralInBounds(c.a, z.min, z.max);
+    case PruneConjunct::Kind::kLt: {
+      // Some row < lit requires min < lit.
+      std::optional<int> cmp = CompareValues(z.min, c.a);
+      return !cmp.has_value() || *cmp < 0;
+    }
+    case PruneConjunct::Kind::kLe: {
+      std::optional<int> cmp = CompareValues(z.min, c.a);
+      return !cmp.has_value() || *cmp <= 0;
+    }
+    case PruneConjunct::Kind::kGt: {
+      std::optional<int> cmp = CompareValues(z.max, c.a);
+      return !cmp.has_value() || *cmp > 0;
+    }
+    case PruneConjunct::Kind::kGe: {
+      std::optional<int> cmp = CompareValues(z.max, c.a);
+      return !cmp.has_value() || *cmp >= 0;
+    }
+    case PruneConjunct::Kind::kBetween: {
+      // Overlap test: max >= lo && min <= hi.
+      std::optional<int> lo = CompareValues(z.max, c.a);
+      std::optional<int> hi = CompareValues(z.min, c.b);
+      if (lo.has_value() && *lo < 0) return false;
+      if (hi.has_value() && *hi > 0) return false;
+      return true;
+    }
+    case PruneConjunct::Kind::kIn: {
+      if (c.values.empty()) return false;  // IN () matches nothing.
+      for (const Value& v : c.values) {
+        if (v.is_null()) continue;  // NULL list entries never equal a row.
+        if (LiteralInBounds(v, z.min, z.max)) return true;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+void CountPrunedExtents(uint64_t pruned) {
+  if (pruned == 0 || !obs::Enabled()) return;
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "engine.extent_scan.pruned");
+  counter->Increment(pruned);
+}
+
+}  // namespace
+
+std::vector<PruneConjunct> ExtractPruneConjuncts(const Expr& pred,
+                                                 const Schema& schema) {
+  std::vector<PruneConjunct> out;
+  Collect(pred, schema, &out);
+  return out;
+}
+
+bool ExtentMayMatch(const extent::ExtentMeta& meta,
+                    const std::vector<PruneConjunct>& conjuncts) {
+  for (const PruneConjunct& c : conjuncts) {
+    if (!ConjunctMayMatch(meta, c)) return false;
+  }
+  return true;
+}
+
+Result<Table> ReadAllExtents(const extent::ExtentReader& reader,
+                             const ExtentScanOptions& options,
+                             ExtentScanStats* stats) {
+  const size_t n = reader.num_extents();
+  stats->extents_total += n;
+  if (n == 0) return Table(reader.schema());
+  std::vector<Result<Table>> parts(
+      n, Result<Table>(Status::Internal("extent not read")));
+  const size_t threads = std::max<size_t>(options.num_threads, 1);
+  ParallelRunStats rs = ThreadPool::Shared().ParallelFor(
+      n, /*morsel_items=*/1, threads,
+      ThreadPool::ParallelForOptions{options.cancel},
+      [&](size_t, size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          parts[i] = reader.ReadExtent(i);
+        }
+      });
+  if (options.run_stats != nullptr) options.run_stats->MergeFrom(rs);
+  // A cancellation mid-read leaves unread placeholder errors behind; bail
+  // before the concat mistakes them for real failures.
+  AQP_RETURN_IF_ERROR(CheckCancelled(options.cancel));
+  Table out(reader.schema());
+  for (size_t i = 0; i < n; ++i) {
+    AQP_ASSIGN_OR_RETURN(Table part, std::move(parts[i]));
+    AQP_RETURN_IF_ERROR(out.Append(part));
+  }
+  stats->extents_read += n;
+  stats->rows_read += out.num_rows();
+  return out;
+}
+
+Result<Table> FusedExtentFilterScan(const extent::ExtentReader& reader,
+                                    const Expr& pred,
+                                    const ExtentScanOptions& options,
+                                    ExtentScanStats* stats) {
+  const std::vector<PruneConjunct> conjuncts =
+      ExtractPruneConjuncts(pred, reader.schema());
+  const size_t n = reader.num_extents();
+  stats->extents_total += n;
+  std::vector<size_t> survivors;
+  survivors.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (ExtentMayMatch(reader.extent(i), conjuncts)) survivors.push_back(i);
+  }
+  stats->extents_pruned += n - survivors.size();
+  CountPrunedExtents(n - survivors.size());
+  if (survivors.empty()) return Table(reader.schema());
+
+  // One slot per surviving extent; slot order == extent order, so the final
+  // concat is deterministic for every thread count.
+  std::vector<Result<Table>> parts(
+      survivors.size(), Result<Table>(Status::Internal("extent not read")));
+  std::vector<uint64_t> rows_read(survivors.size(), 0);
+  const size_t threads = std::max<size_t>(options.num_threads, 1);
+  ParallelRunStats rs = ThreadPool::Shared().ParallelFor(
+      survivors.size(), /*morsel_items=*/1, threads,
+      ThreadPool::ParallelForOptions{options.cancel},
+      [&](size_t, size_t, size_t begin, size_t end) {
+        for (size_t s = begin; s < end; ++s) {
+          const size_t e = survivors[s];
+          // The decoded extent is a transient, governed allocation: it is
+          // charged only while this iteration holds it, which is what keeps
+          // a beyond-budget table filterable (E19). A refused charge
+          // surfaces as ResourceExhausted through the part slot.
+          Result<ScopedMemoryCharge> charge = ScopedMemoryCharge::Make(
+              options.memory, reader.extent(e).raw_bytes, "extent decode");
+          if (!charge.ok()) {
+            parts[s] = charge.status();
+            continue;
+          }
+          Result<Table> t = reader.ReadExtent(e);
+          if (!t.ok()) {
+            parts[s] = std::move(t);
+            continue;
+          }
+          rows_read[s] = t.value().num_rows();
+          Result<std::vector<uint32_t>> sel = EvalPredicate(pred, t.value());
+          if (!sel.ok()) {
+            parts[s] = sel.status();
+            continue;
+          }
+          if (sel.value().size() == t.value().num_rows()) {
+            parts[s] = std::move(t);
+          } else {
+            parts[s] = t.value().Take(sel.value());
+          }
+        }
+      });
+  if (options.run_stats != nullptr) options.run_stats->MergeFrom(rs);
+  AQP_RETURN_IF_ERROR(CheckCancelled(options.cancel));
+  Table out(reader.schema());
+  for (size_t s = 0; s < parts.size(); ++s) {
+    AQP_ASSIGN_OR_RETURN(Table part, std::move(parts[s]));
+    AQP_RETURN_IF_ERROR(out.Append(part));
+    stats->rows_read += rows_read[s];
+  }
+  stats->extents_read += survivors.size();
+  return out;
+}
+
+}  // namespace aqp

@@ -1,0 +1,94 @@
+#ifndef AQP_ENGINE_EXTENT_SCAN_H_
+#define AQP_ENGINE_EXTENT_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/memory_tracker.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "expr/expr.h"
+#include "storage/extent/extent_reader.h"
+#include "storage/table.h"
+
+namespace aqp {
+
+/// Zone-map pruning and morsel-parallel scans over extent-backed tables
+/// (docs/STORAGE.md §5): the executor routes scans of tables registered via
+/// Catalog::RegisterExtentBacked through these entry points instead of
+/// materializing the file up front. The fused filter+scan decodes one extent
+/// at a time (a transient, governed allocation) and keeps only matching
+/// rows, so a table much larger than the query's memory budget can still be
+/// filtered — the property benchmarked by E19.
+
+/// A pruning conjunct: a NECESSARY condition of the query predicate of the
+/// shape `col <op> literal`, `col BETWEEN lo AND hi`, or `col IN (...)`.
+/// If a zone map proves no row of an extent can satisfy one conjunct, the
+/// whole extent is skipped without being read. Conjuncts are extracted only
+/// from top-level AND branches — anything under OR/NOT is ignored
+/// (conservative: pruning never changes results, only work).
+struct PruneConjunct {
+  enum class Kind : uint8_t { kEq, kLt, kLe, kGt, kGe, kBetween, kIn };
+
+  size_t col = 0;  // Field index in the extent file's schema.
+  Kind kind = Kind::kEq;
+  Value a;                    // The literal (lo for kBetween).
+  Value b;                    // hi for kBetween, unused otherwise.
+  std::vector<Value> values;  // kIn list.
+};
+
+/// Extracts pruning conjuncts from `pred` against `schema`. Unresolvable
+/// columns, non-literal operands, and unsupported shapes are skipped — an
+/// empty result just means nothing can be pruned.
+std::vector<PruneConjunct> ExtractPruneConjuncts(const Expr& pred,
+                                                 const Schema& schema);
+
+/// True unless a zone map PROVES extent `meta` cannot contain a matching
+/// row. Incomparable types and absent bounds answer true (read the extent);
+/// an all-NULL chunk answers false for every comparison conjunct (SQL
+/// comparisons with NULL are never true).
+bool ExtentMayMatch(const extent::ExtentMeta& meta,
+                    const std::vector<PruneConjunct>& conjuncts);
+
+/// Shared knobs for the extent scan paths; borrowed pointers follow
+/// ExecOptions semantics (null = ungoverned / unobserved).
+struct ExtentScanOptions {
+  size_t num_threads = 1;
+  const CancellationToken* cancel = nullptr;
+  MemoryTracker* memory = nullptr;
+  ParallelRunStats* run_stats = nullptr;
+};
+
+/// What an extent-backed scan did, for ExecStats / trace spans.
+struct ExtentScanStats {
+  uint64_t extents_total = 0;   // Extents in the file.
+  uint64_t extents_pruned = 0;  // Skipped via zone maps.
+  uint64_t extents_read = 0;    // Decoded.
+  uint64_t rows_read = 0;       // Rows decoded (pre-predicate).
+};
+
+/// Materializes the whole file as one Table, reading extents in parallel
+/// (deterministic: parts are concatenated in extent order). Used by bare and
+/// sampled scans — a sampled extent scan therefore draws from exactly the
+/// same per-morsel RNG streams as its in-memory twin and returns
+/// bit-identical samples. The caller charges the result to its
+/// MemoryTracker; an over-budget full materialization is how governance
+/// learns the query needed the fused path or a sample.
+Result<Table> ReadAllExtents(const extent::ExtentReader& reader,
+                             const ExtentScanOptions& options,
+                             ExtentScanStats* stats);
+
+/// Fused filter+scan: prunes extents against `pred`'s conjuncts, decodes
+/// surviving extents in parallel (each decode transiently charges the
+/// extent's raw_bytes), evaluates the FULL predicate per extent, and
+/// concatenates matching rows in extent order. Output equals
+/// filter(pred, ReadAllExtents(...)) bit for bit, for every thread count.
+Result<Table> FusedExtentFilterScan(const extent::ExtentReader& reader,
+                                    const Expr& pred,
+                                    const ExtentScanOptions& options,
+                                    ExtentScanStats* stats);
+
+}  // namespace aqp
+
+#endif  // AQP_ENGINE_EXTENT_SCAN_H_

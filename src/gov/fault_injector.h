@@ -42,6 +42,14 @@ struct FaultSiteCounters {
 ///   drift.sweep         — DriftMonitor per-table rescan
 ///   audit.reexec        — AccuracyAuditor ground-truth re-execution
 ///   service.admit       — AdmissionController::Acquire (fails as overload)
+///   extent.write        — extent flush, before the first byte is written
+///                         (a fault must leave no partial .aqpx file)
+///   extent.read         — extent pread (Open footer fetch and per-extent
+///                         reads both route through it)
+///   synopsis.save       — synopsis sidecar save (tmp file is removed; the
+///                         previous sidecar survives untouched)
+///   synopsis.load       — synopsis sidecar load at service startup (the
+///                         service boots cold and rebuilds on demand)
 ///
 /// Disarmed cost: one relaxed atomic load per call. Arming is process-global
 /// and intended for tests / the CI fault matrix, not concurrent production

@@ -1,6 +1,7 @@
 #include "service/query_service.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <chrono>
 #include <utility>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "gov/fault_injector.h"
 #include "obs/metrics.h"
+#include "service/synopsis_store.h"
 #include "sql/parser.h"
 
 namespace aqp {
@@ -98,6 +100,7 @@ ServiceOptions ResolveOptions(ServiceOptions options) {
   options.gov.retry = gov::RetryOptions::FromEnv(options.gov.retry);
   options.watchdog = WatchdogOptions::FromEnv(options.watchdog);
   options.breaker = BreakerOptions::FromEnv(options.breaker);
+  if (const char* v = std::getenv("AQP_DATA_DIR")) options.data_dir = v;
   return options;
 }
 
@@ -128,12 +131,73 @@ QueryService::QueryService(const Catalog* catalog, ServiceOptions options)
   // Without enough pool workers, admitted queries would queue behind each
   // other inside the pool and the admission bound would be a fiction.
   ThreadPool::Shared().EnsureAtLeast(options_.admission.max_inflight);
+  LoadPersistedSynopses();
 }
 
 QueryService::~QueryService() {
-  std::unique_lock<std::mutex> lock(mu_);
-  closed_ = true;
-  drained_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    closed_ = true;
+    drained_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+  // After drain: no builds are in flight, so the snapshot is complete.
+  SavePersistedSynopses();
+}
+
+static std::string SynopsisSidecarPath(const std::string& data_dir) {
+  return data_dir + "/synopses.aqps";
+}
+
+void QueryService::LoadPersistedSynopses() {
+  persistence_stats_.enabled =
+      !options_.data_dir.empty() && options_.use_synopsis_cache;
+  if (!persistence_stats_.enabled) return;
+  const std::string path = SynopsisSidecarPath(options_.data_dir);
+  SynopsisLoadStats load;
+  Result<std::vector<PersistedSynopsis>> entries = LoadSynopses(path, &load);
+  if (!entries.ok()) {
+    // First boot (no sidecar yet) is the normal cold path, not a failure.
+    // Anything else — torn header, version skew, unreadable file — leaves
+    // the cache cold and is surfaced via persistence_stats(); serving
+    // cannot proceed from questionable synopses (docs/STORAGE.md §10).
+    persistence_stats_.load_failed =
+        entries.status().code() != StatusCode::kNotFound;
+    if (obs::Enabled() && persistence_stats_.load_failed) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("service.synopsis_persistence.load_failures")
+          ->Increment();
+    }
+    return;
+  }
+  persistence_stats_.load_found = load.entries_in_file;
+  persistence_stats_.loaded = load.loaded;
+  persistence_stats_.skipped_corrupt = load.skipped_corrupt;
+  persistence_stats_.adopted =
+      synopsis_cache_.Preload(*catalog_, std::move(entries).value());
+  if (obs::Enabled()) {
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("service.synopsis_persistence.loaded")
+        ->Increment(persistence_stats_.loaded);
+    reg.GetCounter("service.synopsis_persistence.adopted")
+        ->Increment(persistence_stats_.adopted);
+    reg.GetCounter("service.synopsis_persistence.skipped_corrupt")
+        ->Increment(persistence_stats_.skipped_corrupt);
+  }
+}
+
+void QueryService::SavePersistedSynopses() {
+  if (options_.data_dir.empty() || !options_.use_synopsis_cache) return;
+  std::vector<PersistedSynopsis> snapshot =
+      synopsis_cache_.SnapshotForPersist();
+  if (snapshot.empty()) return;  // Keep whatever sidecar already exists.
+  Result<uint64_t> saved =
+      SaveSynopses(SynopsisSidecarPath(options_.data_dir), snapshot);
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter(saved.ok() ? "service.synopsis_persistence.saved"
+                               : "service.synopsis_persistence.save_failures")
+        ->Increment();
+  }
 }
 
 std::shared_ptr<Session> QueryService::OpenSession(SessionOptions options) {

@@ -50,6 +50,15 @@ struct ServiceOptions {
   bool use_result_cache = true;
   bool use_synopsis_cache = true;
 
+  /// Directory for durable state (currently the synopsis sidecar
+  /// `synopses.aqps`; see docs/STORAGE.md §8). Empty = in-memory only.
+  /// When set, the service loads persisted synopses at construction
+  /// (adopting only exact catalog-version matches) and saves the cache's
+  /// ready entries at shutdown, so a restart serves warm-cache answers
+  /// without rebuilding. AQP_DATA_DIR overlays this at construction; the
+  /// directory must already exist.
+  std::string data_dir;
+
   /// Always-on structured query log (one event per submission) and the
   /// background accuracy auditor. The environment overlays both at service
   /// construction (AQP_QUERY_LOG*, AQP_AUDIT_*; see the option structs), so
@@ -153,6 +162,19 @@ struct Submission {
 /// admission, both caches, in-flight work, service-wide query outcomes, the
 /// query log, and the accuracy auditor. PublishStats() mirrors it into the
 /// global MetricsRegistry for Prometheus export.
+/// What synopsis persistence did at startup (and, for `save_*`, at the
+/// previous snapshot of a shutdown-in-progress; normally read post-mortem
+/// through logs or the E19 bench, which constructs and destroys services).
+struct SynopsisPersistenceStats {
+  bool enabled = false;          // data_dir was set.
+  uint64_t load_found = 0;       // Entries in the sidecar file.
+  uint64_t loaded = 0;           // Entries that parsed intact.
+  uint64_t adopted = 0;          // Entries the cache accepted (version match).
+  uint64_t skipped_corrupt = 0;  // CRC/decode failures, skipped individually.
+  bool load_failed = false;      // Sidecar unreadable (missing file is NOT a
+                                 // failure — first boot has no sidecar).
+};
+
 struct ServiceStatsSnapshot {
   AdmissionStats admission;
   ResultCacheStats result_cache;
@@ -213,6 +235,9 @@ class QueryService {
   CircuitBreaker& circuit_breaker() { return breaker_; }
   SynopsisCache& synopsis_cache() { return synopsis_cache_; }
   const ServiceOptions& options() const { return options_; }
+  SynopsisPersistenceStats persistence_stats() const {
+    return persistence_stats_;
+  }
 
  private:
   /// Runs one admitted submission end to end (pool thread). `wait_seconds`
@@ -227,8 +252,15 @@ class QueryService {
       uint64_t queue_depth, obs::QueryTrace* trace,
       std::shared_ptr<Watchdog::Ticket>* ticket_out);
 
+  /// Loads the synopsis sidecar into the cache (constructor tail) / saves
+  /// the cache's ready entries (destructor, after drain). Both no-op when
+  /// data_dir is empty or the synopsis cache is off.
+  void LoadPersistedSynopses();
+  void SavePersistedSynopses();
+
   const Catalog* catalog_;
   const ServiceOptions options_;
+  SynopsisPersistenceStats persistence_stats_;
 
   AdmissionController admission_;
   /// Accounting-only parent for both caches: budget 0 (the caches enforce

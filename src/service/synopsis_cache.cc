@@ -137,6 +137,7 @@ Result<CachedSynopsis> SynopsisCache::GetOrBuild(const Catalog& catalog,
   entry.baseline = baseline;
   entry.table = table;
   entry.catalog_version = version;
+  entry.spec = spec;
   entry.built_unix_seconds = out.built_unix_seconds;
   entry.bytes = sample->ApproxBytes() +
                 (baseline != nullptr ? baseline->ApproxBytes() : 0);
@@ -208,6 +209,69 @@ std::vector<SynopsisBaselineInfo> SynopsisCache::Baselines() const {
     out.push_back(std::move(info));
   }
   return out;
+}
+
+std::vector<PersistedSynopsis> SynopsisCache::SnapshotForPersist() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PersistedSynopsis> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    if (entry.building || entry.sample == nullptr) continue;
+    PersistedSynopsis p;
+    p.table = entry.table;
+    p.catalog_version = entry.catalog_version;
+    p.spec = entry.spec;
+    p.built_unix_seconds = entry.built_unix_seconds;
+    p.drift_score = entry.drift_score;
+    p.sample = entry.sample;
+    p.baseline = entry.baseline;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+size_t SynopsisCache::Preload(const Catalog& catalog,
+                              std::vector<PersistedSynopsis> entries) {
+  size_t adopted = 0;
+  for (auto& p : entries) {
+    if (p.sample == nullptr) continue;
+    // Exact-version gate: a restored synopsis may only serve for the very
+    // catalog state it was built from. Version skew (table re-registered,
+    // replaced, or missing while the service was down) silently drops the
+    // entry — the first query rebuilds from current data instead.
+    Result<uint64_t> version = catalog.Version(p.table);
+    if (!version.ok() || version.value() != p.catalog_version) continue;
+    const std::string key = CacheKey(p.table, p.catalog_version, p.spec);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.count(key) > 0) continue;  // Live build/entry wins.
+    Entry entry;
+    entry.building = false;
+    entry.build_status = Status::OK();
+    entry.sample = p.sample;
+    entry.baseline = p.baseline;
+    entry.table = p.table;
+    entry.catalog_version = p.catalog_version;
+    entry.spec = p.spec;
+    entry.drift_score = p.drift_score;
+    entry.built_unix_seconds = p.built_unix_seconds;
+    entry.bytes = p.sample->ApproxBytes() +
+                  (p.baseline != nullptr ? p.baseline->ApproxBytes() : 0);
+    auto [it, inserted] = entries_.emplace(key, std::move(entry));
+    bytes_used_ += it->second.bytes;
+    if (tracker_ != nullptr) {
+      if (!tracker_->TryCharge(it->second.bytes, "synopsis-cache entry")
+               .ok()) {
+        bytes_used_ -= it->second.bytes;
+        it->second.bytes = 0;
+      }
+    }
+    lru_.push_front(key);
+    it->second.lru_it = lru_.begin();
+    EvictToBudget(key);
+    ++adopted;
+  }
+  return adopted;
 }
 
 std::unordered_map<std::string, SynopsisCache::Entry>::iterator

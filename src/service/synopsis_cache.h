@@ -58,6 +58,20 @@ struct CachedSynopsis {
   double built_unix_seconds = 0.0;
 };
 
+/// One cache entry in durable form: everything SaveSynopses writes to the
+/// synopsis sidecar (docs/STORAGE.md §8) and Preload adopts back after a
+/// restart. The sample/baseline pointers share the live artifacts — taking
+/// a snapshot copies no tables.
+struct PersistedSynopsis {
+  std::string table;
+  uint64_t catalog_version = 0;
+  SynopsisSpec spec;
+  double built_unix_seconds = 0.0;
+  double drift_score = 0.0;
+  std::shared_ptr<const core::StoredSample> sample;
+  std::shared_ptr<const core::TableDriftBaseline> baseline;  // May be null.
+};
+
 /// One cached baseline, enumerated by the DriftMonitor.
 struct SynopsisBaselineInfo {
   std::string table;
@@ -136,6 +150,20 @@ class SynopsisCache {
   /// baselines are skipped). Does not touch LRU order.
   std::vector<SynopsisBaselineInfo> Baselines() const;
 
+  /// Every ready entry in durable form, for SaveSynopses at shutdown.
+  /// Drifted entries are included (their score rides along, so a restarted
+  /// monitor keeps treating them as flagged); in-flight builds are not.
+  std::vector<PersistedSynopsis> SnapshotForPersist() const;
+
+  /// Adopts restored entries as ready cache entries — the warm-restart
+  /// path. An entry is adopted only when its recorded catalog version
+  /// exactly matches the live catalog's (anything else means the table
+  /// changed, or never reappeared, while the service was down; serving from
+  /// it would be silently wrong). Adoption counts as neither hit, miss, nor
+  /// build. Returns the number adopted.
+  size_t Preload(const Catalog& catalog,
+                 std::vector<PersistedSynopsis> entries);
+
   SynopsisCacheStats stats() const;
 
   /// Drops every ready entry (in-flight builds publish into an empty cache).
@@ -150,6 +178,7 @@ class SynopsisCache {
     std::shared_ptr<const core::TableDriftBaseline> baseline;
     std::string table;
     uint64_t catalog_version = 0;
+    SynopsisSpec spec;  // What was built, for persistence round-trips.
     double drift_score = 0.0;
     double built_unix_seconds = 0.0;
     uint64_t bytes = 0;

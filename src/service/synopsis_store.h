@@ -1,0 +1,41 @@
+#ifndef AQP_SERVICE_SYNOPSIS_STORE_H_
+#define AQP_SERVICE_SYNOPSIS_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "service/synopsis_cache.h"
+
+namespace aqp {
+namespace service {
+
+/// Outcome of one LoadSynopses call.
+struct SynopsisLoadStats {
+  size_t entries_in_file = 0;  // What the file header claimed.
+  size_t loaded = 0;           // Entries deserialized intact.
+  size_t skipped_corrupt = 0;  // Entries whose CRC or decode failed.
+};
+
+/// Writes the synopsis sidecar (docs/STORAGE.md §8): file header, then one
+/// length-prefixed, CRC32-guarded record per entry. The write goes to
+/// `path + ".tmp"` and renames into place, so a crash mid-save leaves the
+/// previous sidecar (or nothing) — never a torn file under `path`.
+/// Registered fault site: `synopsis.save`. Returns the file size in bytes.
+Result<uint64_t> SaveSynopses(const std::string& path,
+                              const std::vector<PersistedSynopsis>& entries);
+
+/// Reads a synopsis sidecar back. Integrity is per-record: an entry whose
+/// CRC or decode fails is skipped (counted in `stats`) without poisoning
+/// its neighbours; a bad header/magic/version fails the whole call, as does
+/// a missing file. Version gating against the live catalog is NOT done
+/// here — pass the result to SynopsisCache::Preload, which adopts only
+/// exact-version matches. Registered fault site: `synopsis.load`.
+Result<std::vector<PersistedSynopsis>> LoadSynopses(
+    const std::string& path, SynopsisLoadStats* stats = nullptr);
+
+}  // namespace service
+}  // namespace aqp
+
+#endif  // AQP_SERVICE_SYNOPSIS_STORE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/bytes.h"
 #include "common/check.h"
 #include "common/hash.h"
 
@@ -54,6 +55,45 @@ void KmvSketch::Merge(const KmvSketch& other) {
     minima_.insert(h);
     minima_.erase(std::prev(minima_.end()));
   }
+}
+
+namespace {
+constexpr uint32_t kKmvMagic = 0x4b4d5631;  // "KMV1".
+}  // namespace
+
+std::string KmvSketch::Serialize() const {
+  ByteWriter w;
+  w.PutU32(kKmvMagic);
+  w.PutU32(k_);
+  w.PutU64(minima_.size());
+  for (uint64_t h : minima_) w.PutU64(h);  // std::set: ascending, canonical.
+  return w.Take();
+}
+
+Result<KmvSketch> KmvSketch::Deserialize(std::string_view data) {
+  ByteReader r(data);
+  AQP_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kKmvMagic) {
+    return Status::InvalidArgument("not a serialized KMV sketch");
+  }
+  AQP_ASSIGN_OR_RETURN(uint32_t k, r.GetU32());
+  if (k < 3) return Status::InvalidArgument("KMV k must be >= 3");
+  KmvSketch s(k);
+  AQP_ASSIGN_OR_RETURN(uint64_t n, r.GetU64());
+  if (n > k || n * sizeof(uint64_t) > r.remaining()) {
+    return Status::InvalidArgument("KMV minima count out of range");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    AQP_ASSIGN_OR_RETURN(uint64_t h, r.GetU64());
+    s.minima_.insert(h);
+  }
+  if (s.minima_.size() != n) {
+    return Status::InvalidArgument("duplicate KMV minima");
+  }
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("trailing bytes after KMV sketch");
+  }
+  return s;
 }
 
 double KmvSketch::EstimateJaccard(const KmvSketch& a, const KmvSketch& b) {

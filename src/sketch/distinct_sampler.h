@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <set>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -40,6 +42,11 @@ class KmvSketch {
   static double EstimateJaccard(const KmvSketch& a, const KmvSketch& b);
 
   uint32_t k() const { return k_; }
+
+  /// Serializes k and the retained minima (the full sketch state).
+  std::string Serialize() const;
+  /// Inverse of Serialize; rejects corrupt or foreign buffers.
+  static Result<KmvSketch> Deserialize(std::string_view data);
 
  private:
   uint32_t k_;

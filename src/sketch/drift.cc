@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <string>
+
+#include "common/bytes.h"
 
 namespace aqp {
 namespace sketch {
@@ -148,6 +151,73 @@ uint64_t ColumnDriftSketch::ApproxBytes() const {
   return sizeof(*this) + kll_.StoredItems() * sizeof(double) +
          kmv_.MinHashes().size() * sizeof(uint64_t) * 2 +
          static_cast<uint64_t>(mg_.capacity()) * 3 * sizeof(uint64_t);
+}
+
+namespace {
+constexpr uint32_t kDriftMagic = 0x44524631;  // "DRF1".
+
+void PutBlob(ByteWriter& w, const std::string& blob) {
+  w.PutU64(blob.size());
+  w.PutBytes(blob.data(), blob.size());
+}
+
+Result<std::string> GetBlob(ByteReader& r) {
+  AQP_ASSIGN_OR_RETURN(uint64_t n, r.GetU64());
+  if (n > r.remaining()) {
+    return Status::InvalidArgument("nested sketch blob truncated");
+  }
+  std::string blob(n, '\0');
+  AQP_RETURN_IF_ERROR(r.GetBytes(blob.data(), n));
+  return blob;
+}
+}  // namespace
+
+std::string ColumnDriftSketch::Serialize() const {
+  ByteWriter w;
+  w.PutU32(kDriftMagic);
+  w.PutU32(opts_.kll_k);
+  w.PutU32(opts_.kmv_k);
+  w.PutU32(opts_.heavy_hitters);
+  w.PutU64(opts_.seed);
+  w.PutU64(count_);
+  w.PutU64(null_count_);
+  w.PutU64(numeric_count_);
+  w.PutDouble(mean_);
+  w.PutDouble(m2_);
+  PutBlob(w, kll_.Serialize());
+  PutBlob(w, kmv_.Serialize());
+  PutBlob(w, mg_.Serialize());
+  return w.Take();
+}
+
+Result<ColumnDriftSketch> ColumnDriftSketch::Deserialize(
+    std::string_view data) {
+  ByteReader r(data);
+  AQP_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kDriftMagic) {
+    return Status::InvalidArgument("not a serialized drift sketch");
+  }
+  DriftSketchOptions opts;
+  AQP_ASSIGN_OR_RETURN(opts.kll_k, r.GetU32());
+  AQP_ASSIGN_OR_RETURN(opts.kmv_k, r.GetU32());
+  AQP_ASSIGN_OR_RETURN(opts.heavy_hitters, r.GetU32());
+  AQP_ASSIGN_OR_RETURN(opts.seed, r.GetU64());
+  ColumnDriftSketch s(opts);
+  AQP_ASSIGN_OR_RETURN(s.count_, r.GetU64());
+  AQP_ASSIGN_OR_RETURN(s.null_count_, r.GetU64());
+  AQP_ASSIGN_OR_RETURN(s.numeric_count_, r.GetU64());
+  AQP_ASSIGN_OR_RETURN(s.mean_, r.GetDouble());
+  AQP_ASSIGN_OR_RETURN(s.m2_, r.GetDouble());
+  AQP_ASSIGN_OR_RETURN(std::string kll_blob, GetBlob(r));
+  AQP_ASSIGN_OR_RETURN(s.kll_, KllSketch::Deserialize(kll_blob));
+  AQP_ASSIGN_OR_RETURN(std::string kmv_blob, GetBlob(r));
+  AQP_ASSIGN_OR_RETURN(s.kmv_, KmvSketch::Deserialize(kmv_blob));
+  AQP_ASSIGN_OR_RETURN(std::string mg_blob, GetBlob(r));
+  AQP_ASSIGN_OR_RETURN(s.mg_, MisraGries::Deserialize(mg_blob));
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("trailing bytes after drift sketch");
+  }
+  return s;
 }
 
 ColumnDriftScore ScoreColumnDrift(const ColumnDriftSketch& baseline,

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sketch/distinct_sampler.h"
@@ -59,6 +60,14 @@ class ColumnDriftSketch {
 
   /// Memory proxy for budget accounting.
   uint64_t ApproxBytes() const;
+
+  /// Serializes options, moments, and the three nested sketches, so a
+  /// baseline survives a process restart (the DriftMonitor then compares
+  /// fresh observations against the durable baseline instead of silently
+  /// re-baselining on drifted data).
+  std::string Serialize() const;
+  /// Inverse of Serialize; rejects corrupt or foreign buffers.
+  static Result<ColumnDriftSketch> Deserialize(std::string_view data);
 
  private:
   DriftSketchOptions opts_;

@@ -1,0 +1,767 @@
+#include "storage/extent/codec.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "common/crc32.h"
+
+namespace aqp {
+namespace extent {
+
+std::string_view CodecName(Codec c) {
+  switch (c) {
+    case Codec::kPlain: return "plain";
+    case Codec::kRle: return "rle";
+    case Codec::kDelta: return "delta";
+    case Codec::kDict: return "dict";
+    case Codec::kBytes: return "lz";
+  }
+  return "?";
+}
+
+CodecChoice ParseCodecChoice(std::string_view name) {
+  if (name == "plain") return CodecChoice::kPlain;
+  if (name == "rle") return CodecChoice::kRle;
+  if (name == "delta") return CodecChoice::kDelta;
+  if (name == "dict") return CodecChoice::kDict;
+  if (name == "lz" || name == "bytes") return CodecChoice::kBytes;
+  return CodecChoice::kAuto;
+}
+
+// --- Primitives ------------------------------------------------------------
+
+void PutVarint(ByteWriter* w, uint64_t v) {
+  while (v >= 0x80) {
+    w->PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  w->PutU8(static_cast<uint8_t>(v));
+}
+
+Result<uint64_t> GetVarint(ByteReader* r) {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 70; shift += 7) {
+    AQP_ASSIGN_OR_RETURN(uint8_t byte, r->GetU8());
+    if (shift == 63 && (byte & 0xFE) != 0) {
+      return Status::OutOfRange("varint overflows 64 bits");
+    }
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  return Status::OutOfRange("varint longer than 10 bytes");
+}
+
+// --- Byte RLE --------------------------------------------------------------
+
+void RleEncode(const uint8_t* data, size_t n, ByteWriter* w) {
+  size_t i = 0;
+  size_t lit_start = 0;  // Pending literal range [lit_start, i).
+  auto flush_literals = [&](size_t end) {
+    size_t pos = lit_start;
+    while (pos < end) {
+      // Literal token lengths are unbounded in the format; chunking keeps
+      // any single memcpy modest.
+      size_t len = std::min<size_t>(end - pos, 1u << 20);
+      PutVarint(w, (static_cast<uint64_t>(len) << 1) | 0);
+      w->PutBytes(data + pos, len);
+      pos += len;
+    }
+  };
+  while (i < n) {
+    size_t run = 1;
+    while (i + run < n && data[i + run] == data[i]) ++run;
+    // A run token costs >= 2 bytes; only profitable for runs of 3+.
+    if (run >= 3) {
+      flush_literals(i);
+      PutVarint(w, (static_cast<uint64_t>(run) << 1) | 1);
+      w->PutU8(data[i]);
+      i += run;
+      lit_start = i;
+    } else {
+      i += run;
+    }
+  }
+  flush_literals(n);
+}
+
+Status RleDecode(ByteReader* r, size_t n, std::vector<uint8_t>* out) {
+  size_t produced = 0;
+  out->reserve(out->size() + n);
+  while (produced < n) {
+    AQP_ASSIGN_OR_RETURN(uint64_t token, GetVarint(r));
+    const bool is_run = (token & 1) != 0;
+    const uint64_t len = token >> 1;
+    if (len == 0 || len > n - produced) {
+      return Status::OutOfRange("RLE token overruns decoded length");
+    }
+    if (is_run) {
+      AQP_ASSIGN_OR_RETURN(uint8_t b, r->GetU8());
+      out->insert(out->end(), len, b);
+    } else {
+      size_t old = out->size();
+      out->resize(old + len);
+      AQP_RETURN_IF_ERROR(r->GetBytes(out->data() + old, len));
+    }
+    produced += len;
+  }
+  return Status::OK();
+}
+
+// --- LZ byte codec ---------------------------------------------------------
+
+namespace {
+
+inline uint32_t LzHash(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 17;  // 15-bit table index.
+}
+
+constexpr size_t kLzTableSize = 1u << 15;
+constexpr size_t kLzMaxOffset = 65535;
+constexpr size_t kLzMinMatch = 4;
+
+}  // namespace
+
+void LzEncode(const uint8_t* data, size_t n, std::string* out) {
+  ByteWriter w;
+  std::vector<uint32_t> table(kLzTableSize, 0xFFFFFFFFu);
+  size_t i = 0;
+  size_t lit_start = 0;
+  auto emit = [&](size_t lit_end, size_t match_len, size_t offset) {
+    const size_t lit_len = lit_end - lit_start;
+    const uint64_t lit_nib = lit_len < 15 ? lit_len : 15;
+    // match_len == 0 marks the terminal literal-only sequence.
+    const uint64_t match_code = match_len == 0 ? 0 : match_len - kLzMinMatch;
+    const uint64_t match_nib = match_code < 15 ? match_code : 15;
+    w.PutU8(static_cast<uint8_t>((lit_nib << 4) | match_nib));
+    if (lit_nib == 15) PutVarint(&w, lit_len - 15);
+    w.PutBytes(data + lit_start, lit_len);
+    if (match_len == 0) return;
+    w.PutU8(static_cast<uint8_t>(offset & 0xFF));
+    w.PutU8(static_cast<uint8_t>(offset >> 8));
+    if (match_nib == 15) PutVarint(&w, match_code - 15);
+  };
+  while (n >= kLzMinMatch + 1 && i + kLzMinMatch < n) {
+    const uint32_t h = LzHash(data + i);
+    const uint32_t cand = table[h];
+    table[h] = static_cast<uint32_t>(i);
+    if (cand != 0xFFFFFFFFu && i - cand <= kLzMaxOffset &&
+        std::memcmp(data + cand, data + i, kLzMinMatch) == 0) {
+      size_t len = kLzMinMatch;
+      while (i + len < n && data[cand + len] == data[i + len]) ++len;
+      emit(i, len, i - cand);
+      i += len;
+      lit_start = i;
+    } else {
+      ++i;
+    }
+  }
+  lit_start = std::min(lit_start, n);
+  // Terminal sequence: remaining literals, no match.
+  {
+    const size_t lit_len = n - lit_start;
+    const uint64_t lit_nib = lit_len < 15 ? lit_len : 15;
+    w.PutU8(static_cast<uint8_t>(lit_nib << 4));
+    if (lit_nib == 15) PutVarint(&w, lit_len - 15);
+    w.PutBytes(data + lit_start, lit_len);
+  }
+  out->append(w.buffer());
+}
+
+Status LzDecode(std::string_view in, size_t raw_len, std::string* out) {
+  ByteReader r(in);
+  const size_t base = out->size();
+  out->reserve(base + raw_len);
+  while (out->size() - base < raw_len) {
+    AQP_ASSIGN_OR_RETURN(uint8_t token, r.GetU8());
+    uint64_t lit_len = token >> 4;
+    if (lit_len == 15) {
+      AQP_ASSIGN_OR_RETURN(uint64_t ext, GetVarint(&r));
+      lit_len += ext;
+    }
+    if (lit_len > raw_len - (out->size() - base)) {
+      return Status::OutOfRange("LZ literals overrun decoded length");
+    }
+    if (lit_len > 0) {
+      size_t old = out->size();
+      out->resize(old + lit_len);
+      AQP_RETURN_IF_ERROR(r.GetBytes(out->data() + old, lit_len));
+    }
+    if (out->size() - base == raw_len) break;  // Terminal sequence.
+    AQP_ASSIGN_OR_RETURN(uint8_t off_lo, r.GetU8());
+    AQP_ASSIGN_OR_RETURN(uint8_t off_hi, r.GetU8());
+    const size_t offset = static_cast<size_t>(off_lo) |
+                          (static_cast<size_t>(off_hi) << 8);
+    uint64_t match_len = (token & 0xF);
+    if (match_len == 15) {
+      AQP_ASSIGN_OR_RETURN(uint64_t ext, GetVarint(&r));
+      match_len += ext;
+    }
+    match_len += kLzMinMatch;
+    if (offset == 0 || offset > out->size() - base) {
+      return Status::OutOfRange("LZ match offset before stream start");
+    }
+    if (match_len > raw_len - (out->size() - base)) {
+      return Status::OutOfRange("LZ match overruns decoded length");
+    }
+    // Byte-wise copy: overlapping matches (offset < match_len) replicate.
+    size_t src = out->size() - offset;
+    for (uint64_t k = 0; k < match_len; ++k) {
+      out->push_back((*out)[src + k]);
+    }
+  }
+  return Status::OK();
+}
+
+// --- Chunk encoding --------------------------------------------------------
+
+namespace {
+
+// Canonical §4.1 plain image of rows [begin, end): NULL slots encode as
+// zero/empty regardless of the in-memory residue, so encoding is a pure
+// function of (values, validity).
+std::string PlainImage(const Column& col, size_t begin, size_t end) {
+  ByteWriter w;
+  switch (col.type()) {
+    case DataType::kInt64:
+      for (size_t i = begin; i < end; ++i) {
+        w.PutI64(col.IsNull(i) ? 0 : col.Int64At(i));
+      }
+      break;
+    case DataType::kDouble:
+      for (size_t i = begin; i < end; ++i) {
+        w.PutDouble(col.IsNull(i) ? 0.0 : col.DoubleAt(i));
+      }
+      break;
+    case DataType::kBool:
+      for (size_t i = begin; i < end; ++i) {
+        w.PutU8(col.IsNull(i) ? 0 : (col.BoolAt(i) ? 1 : 0));
+      }
+      break;
+    case DataType::kString:
+      for (size_t i = begin; i < end; ++i) {
+        if (col.IsNull(i)) {
+          PutVarint(&w, 0);
+        } else {
+          const std::string& s = col.StringAt(i);
+          PutVarint(&w, s.size());
+          w.PutBytes(s.data(), s.size());
+        }
+      }
+      break;
+  }
+  return w.Take();
+}
+
+// §4.3 delta image (INT64): zigzag varint of the first value then of each
+// successive difference.
+std::string DeltaImage(const Column& col, size_t begin, size_t end) {
+  ByteWriter w;
+  int64_t prev = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const int64_t v = col.IsNull(i) ? 0 : col.Int64At(i);
+    // Wrapping subtraction: delta arithmetic is mod 2^64, decode re-adds.
+    const uint64_t delta =
+        static_cast<uint64_t>(v) - static_cast<uint64_t>(prev);
+    PutVarint(&w, ZigZagEncode(static_cast<int64_t>(delta)));
+    prev = v;
+  }
+  return w.Take();
+}
+
+// §4.4 dictionary image (STRING): sorted distinct non-null values, then one
+// varint rank per row (NULL rows write rank 0 and are masked by validity).
+std::string DictImage(const Column& col, size_t begin, size_t end) {
+  std::vector<std::string> uniques;
+  uniques.reserve(64);
+  for (size_t i = begin; i < end; ++i) {
+    if (!col.IsNull(i)) uniques.push_back(col.StringAt(i));
+  }
+  std::sort(uniques.begin(), uniques.end());
+  uniques.erase(std::unique(uniques.begin(), uniques.end()), uniques.end());
+  ByteWriter w;
+  PutVarint(&w, uniques.size());
+  for (const std::string& s : uniques) {
+    PutVarint(&w, s.size());
+    w.PutBytes(s.data(), s.size());
+  }
+  for (size_t i = begin; i < end; ++i) {
+    if (col.IsNull(i)) {
+      PutVarint(&w, 0);
+    } else {
+      const std::string& s = col.StringAt(i);
+      const size_t rank =
+          std::lower_bound(uniques.begin(), uniques.end(), s) -
+          uniques.begin();
+      PutVarint(&w, rank);
+    }
+  }
+  return w.Take();
+}
+
+// §4.2 as a data codec: byte-RLE over the plain image (fixed-width types).
+std::string RleImage(const std::string& plain) {
+  ByteWriter w;
+  RleEncode(reinterpret_cast<const uint8_t*>(plain.data()), plain.size(), &w);
+  return w.Take();
+}
+
+// §4.5: varint(raw_len) + LZ stream over the plain image.
+std::string BytesImage(const std::string& plain) {
+  ByteWriter w;
+  PutVarint(&w, plain.size());
+  std::string lz;
+  LzEncode(reinterpret_cast<const uint8_t*>(plain.data()), plain.size(), &lz);
+  w.PutBytes(lz.data(), lz.size());
+  return w.Take();
+}
+
+bool Eligible(Codec c, DataType type) {
+  switch (c) {
+    case Codec::kPlain:
+    case Codec::kBytes:
+      return true;
+    case Codec::kRle:
+      return type != DataType::kString;
+    case Codec::kDelta:
+      return type == DataType::kInt64;
+    case Codec::kDict:
+      return type == DataType::kString;
+  }
+  return false;
+}
+
+}  // namespace
+
+EncodedChunk EncodeChunk(const Column& col, size_t begin, size_t end,
+                         CodecChoice choice) {
+  const uint32_t rows = static_cast<uint32_t>(end - begin);
+  const DataType type = col.type();
+
+  // Validity subblock: present only when the range has NULLs.
+  bool has_nulls = false;
+  if (col.has_nulls()) {
+    for (size_t i = begin; i < end && !has_nulls; ++i) {
+      has_nulls = col.IsNull(i);
+    }
+  }
+  ByteWriter validity;
+  if (has_nulls) {
+    RleEncode(col.validity() + begin, rows, &validity);
+  }
+
+  // Candidate data sections. Auto keeps the smallest; ties prefer the lower
+  // codec id so the chosen encoding is deterministic (§4.6).
+  const std::string plain = PlainImage(col, begin, end);
+  std::vector<std::pair<Codec, std::string>> candidates;
+  auto want = [&](Codec c) {
+    if (!Eligible(c, type)) return false;
+    if (choice == CodecChoice::kAuto) return true;
+    return static_cast<uint8_t>(choice) == static_cast<uint8_t>(c);
+  };
+  if (want(Codec::kPlain)) candidates.emplace_back(Codec::kPlain, plain);
+  if (want(Codec::kRle)) candidates.emplace_back(Codec::kRle, RleImage(plain));
+  if (want(Codec::kDelta)) {
+    candidates.emplace_back(Codec::kDelta, DeltaImage(col, begin, end));
+  }
+  if (want(Codec::kDict)) {
+    candidates.emplace_back(Codec::kDict, DictImage(col, begin, end));
+  }
+  if (want(Codec::kBytes)) {
+    candidates.emplace_back(Codec::kBytes, BytesImage(plain));
+  }
+  if (candidates.empty()) {
+    // Forced codec ineligible for this type: fall back to plain (§4.6).
+    candidates.emplace_back(Codec::kPlain, plain);
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i].second.size() < candidates[best].second.size()) best = i;
+  }
+
+  // Assemble payload then the §3.1 header.
+  std::string payload = validity.Take();
+  payload += candidates[best].second;
+  ByteWriter out;
+  out.PutU8(static_cast<uint8_t>(candidates[best].first));
+  out.PutU8(has_nulls ? 1 : 0);
+  out.PutU8(static_cast<uint8_t>(type));
+  out.PutU8(0);
+  out.PutU32(rows);
+  out.PutU64(payload.size());
+  out.PutU32(Crc32(payload.data(), payload.size()));
+  out.PutBytes(payload.data(), payload.size());
+
+  EncodedChunk chunk;
+  chunk.bytes = out.Take();
+  chunk.codec = candidates[best].first;
+  chunk.raw_bytes = plain.size() + rows;  // Values + validity bytes.
+  return chunk;
+}
+
+namespace {
+
+Result<Column> DecodePlainData(ByteReader* r, DataType type, uint32_t rows,
+                               const std::vector<uint8_t>& valid) {
+  Column col(type);
+  col.Reserve(rows);
+  for (uint32_t i = 0; i < rows; ++i) {
+    switch (type) {
+      case DataType::kInt64: {
+        AQP_ASSIGN_OR_RETURN(int64_t v, r->GetI64());
+        if (valid[i]) {
+          col.AppendInt64(v);
+        } else {
+          col.AppendNull();
+        }
+        break;
+      }
+      case DataType::kDouble: {
+        AQP_ASSIGN_OR_RETURN(double v, r->GetDouble());
+        if (valid[i]) {
+          col.AppendDouble(v);
+        } else {
+          col.AppendNull();
+        }
+        break;
+      }
+      case DataType::kBool: {
+        AQP_ASSIGN_OR_RETURN(uint8_t v, r->GetU8());
+        if (valid[i]) {
+          col.AppendBool(v != 0);
+        } else {
+          col.AppendNull();
+        }
+        break;
+      }
+      case DataType::kString: {
+        AQP_ASSIGN_OR_RETURN(uint64_t len, GetVarint(r));
+        if (len > r->remaining()) {
+          return Status::OutOfRange("string length overruns chunk payload");
+        }
+        std::string s(len, '\0');
+        AQP_RETURN_IF_ERROR(r->GetBytes(s.data(), len));
+        if (valid[i]) {
+          col.AppendString(std::move(s));
+        } else {
+          col.AppendNull();
+        }
+        break;
+      }
+    }
+  }
+  return col;
+}
+
+Result<Column> DecodeDeltaData(ByteReader* r, uint32_t rows,
+                               const std::vector<uint8_t>& valid) {
+  Column col(DataType::kInt64);
+  col.Reserve(rows);
+  int64_t prev = 0;
+  for (uint32_t i = 0; i < rows; ++i) {
+    AQP_ASSIGN_OR_RETURN(uint64_t zz, GetVarint(r));
+    const int64_t v = static_cast<int64_t>(
+        static_cast<uint64_t>(prev) +
+        static_cast<uint64_t>(ZigZagDecode(zz)));
+    prev = v;
+    if (valid[i]) {
+      col.AppendInt64(v);
+    } else {
+      col.AppendNull();
+    }
+  }
+  return col;
+}
+
+Result<Column> DecodeDictData(ByteReader* r, uint32_t rows,
+                              const std::vector<uint8_t>& valid) {
+  AQP_ASSIGN_OR_RETURN(uint64_t num_unique, GetVarint(r));
+  if (num_unique > r->remaining()) {
+    return Status::OutOfRange("dictionary size overruns chunk payload");
+  }
+  std::vector<std::string> uniques;
+  uniques.reserve(num_unique);
+  for (uint64_t u = 0; u < num_unique; ++u) {
+    AQP_ASSIGN_OR_RETURN(uint64_t len, GetVarint(r));
+    if (len > r->remaining()) {
+      return Status::OutOfRange("dictionary entry overruns chunk payload");
+    }
+    std::string s(len, '\0');
+    AQP_RETURN_IF_ERROR(r->GetBytes(s.data(), len));
+    uniques.push_back(std::move(s));
+  }
+  Column col(DataType::kString);
+  col.Reserve(rows);
+  for (uint32_t i = 0; i < rows; ++i) {
+    AQP_ASSIGN_OR_RETURN(uint64_t rank, GetVarint(r));
+    if (!valid[i]) {
+      col.AppendNull();
+      continue;
+    }
+    if (rank >= uniques.size()) {
+      return Status::OutOfRange("dictionary rank out of range");
+    }
+    col.AppendString(uniques[rank]);
+  }
+  return col;
+}
+
+}  // namespace
+
+Result<Column> DecodeChunk(std::string_view chunk, DataType type,
+                           uint32_t expected_rows) {
+  ByteReader header(chunk);
+  AQP_ASSIGN_OR_RETURN(uint8_t codec_id, header.GetU8());
+  AQP_ASSIGN_OR_RETURN(uint8_t has_validity, header.GetU8());
+  AQP_ASSIGN_OR_RETURN(uint8_t phys_type, header.GetU8());
+  AQP_ASSIGN_OR_RETURN(uint8_t reserved, header.GetU8());
+  AQP_ASSIGN_OR_RETURN(uint32_t rows, header.GetU32());
+  AQP_ASSIGN_OR_RETURN(uint64_t payload_bytes, header.GetU64());
+  AQP_ASSIGN_OR_RETURN(uint32_t crc, header.GetU32());
+  if (codec_id > static_cast<uint8_t>(Codec::kBytes)) {
+    return Status::InvalidArgument("unknown chunk codec id " +
+                                   std::to_string(codec_id));
+  }
+  if (reserved != 0) {
+    return Status::InvalidArgument("nonzero reserved byte in chunk header");
+  }
+  if (phys_type != static_cast<uint8_t>(type)) {
+    return Status::InvalidArgument("chunk physical type does not match schema");
+  }
+  if (rows != expected_rows) {
+    return Status::InvalidArgument("chunk row count does not match footer");
+  }
+  if (payload_bytes != chunk.size() - kChunkHeaderBytes) {
+    return Status::OutOfRange("chunk payload length does not match header");
+  }
+  const std::string_view payload = chunk.substr(kChunkHeaderBytes);
+  if (Crc32(payload.data(), payload.size()) != crc) {
+    return Status::InvalidArgument("chunk CRC32 mismatch (corrupt payload)");
+  }
+
+  ByteReader r(payload);
+  std::vector<uint8_t> valid;
+  if (has_validity) {
+    AQP_RETURN_IF_ERROR(RleDecode(&r, rows, &valid));
+  } else {
+    valid.assign(rows, 1);
+  }
+
+  const Codec codec = static_cast<Codec>(codec_id);
+  switch (codec) {
+    case Codec::kPlain:
+      return DecodePlainData(&r, type, rows, valid);
+    case Codec::kRle: {
+      if (type == DataType::kString) {
+        return Status::InvalidArgument("RLE chunk on a STRING column");
+      }
+      const size_t width = type == DataType::kBool ? 1 : 8;
+      std::vector<uint8_t> image;
+      AQP_RETURN_IF_ERROR(RleDecode(&r, size_t{rows} * width, &image));
+      ByteReader ir(std::string_view(
+          reinterpret_cast<const char*>(image.data()), image.size()));
+      return DecodePlainData(&ir, type, rows, valid);
+    }
+    case Codec::kDelta:
+      if (type != DataType::kInt64) {
+        return Status::InvalidArgument("delta chunk on a non-INT64 column");
+      }
+      return DecodeDeltaData(&r, rows, valid);
+    case Codec::kDict:
+      if (type != DataType::kString) {
+        return Status::InvalidArgument("dict chunk on a non-STRING column");
+      }
+      return DecodeDictData(&r, rows, valid);
+    case Codec::kBytes: {
+      AQP_ASSIGN_OR_RETURN(uint64_t raw_len, GetVarint(&r));
+      std::string image;
+      std::string rest(r.remaining(), '\0');
+      AQP_RETURN_IF_ERROR(r.GetBytes(rest.data(), rest.size()));
+      AQP_RETURN_IF_ERROR(LzDecode(rest, raw_len, &image));
+      ByteReader ir(image);
+      return DecodePlainData(&ir, type, rows, valid);
+    }
+  }
+  return Status::Internal("unreachable codec dispatch");
+}
+
+// --- Zone maps -------------------------------------------------------------
+
+ZoneMap ComputeZoneMap(const Column& col, size_t begin, size_t end) {
+  ZoneMap zone;
+  bool seen = false;
+  bool string_too_long = false;
+  for (size_t i = begin; i < end; ++i) {
+    if (col.IsNull(i)) {
+      ++zone.null_count;
+      continue;
+    }
+    switch (col.type()) {
+      case DataType::kInt64: {
+        const int64_t v = col.Int64At(i);
+        if (!seen || v < zone.min.int64()) zone.min = Value(v);
+        if (!seen || v > zone.max.int64()) zone.max = Value(v);
+        break;
+      }
+      case DataType::kDouble: {
+        const double v = col.DoubleAt(i);
+        if (!seen || v < zone.min.dbl()) zone.min = Value(v);
+        if (!seen || v > zone.max.dbl()) zone.max = Value(v);
+        break;
+      }
+      case DataType::kBool: {
+        const bool v = col.BoolAt(i);
+        if (!seen || (!v && zone.min.boolean())) zone.min = Value(v);
+        if (!seen || (v && !zone.max.boolean())) zone.max = Value(v);
+        break;
+      }
+      case DataType::kString: {
+        const std::string& v = col.StringAt(i);
+        if (v.size() > kZoneMapMaxStringBytes) string_too_long = true;
+        if (!seen || v < zone.min.str()) zone.min = Value(v);
+        if (!seen || v > zone.max.str()) zone.max = Value(v);
+        break;
+      }
+    }
+    seen = true;
+  }
+  zone.has_bounds = seen && !string_too_long;
+  if (!zone.has_bounds) {
+    zone.min = Value::Null();
+    zone.max = Value::Null();
+  }
+  return zone;
+}
+
+// --- Zone-map value serialization ------------------------------------------
+
+void PutValue(ByteWriter* w, const Value& v) {
+  if (v.is_null()) {
+    w->PutU8(0);
+  } else if (v.is_int64()) {
+    w->PutU8(1);
+    w->PutI64(v.int64());
+  } else if (v.is_double()) {
+    w->PutU8(2);
+    w->PutDouble(v.dbl());
+  } else if (v.is_string()) {
+    w->PutU8(3);
+    PutVarint(w, v.str().size());
+    w->PutBytes(v.str().data(), v.str().size());
+  } else {
+    w->PutU8(4);
+    w->PutU8(v.boolean() ? 1 : 0);
+  }
+}
+
+Result<Value> GetValue(ByteReader* r) {
+  AQP_ASSIGN_OR_RETURN(uint8_t tag, r->GetU8());
+  switch (tag) {
+    case 0:
+      return Value::Null();
+    case 1: {
+      AQP_ASSIGN_OR_RETURN(int64_t v, r->GetI64());
+      return Value(v);
+    }
+    case 2: {
+      AQP_ASSIGN_OR_RETURN(double v, r->GetDouble());
+      return Value(v);
+    }
+    case 3: {
+      AQP_ASSIGN_OR_RETURN(uint64_t len, GetVarint(r));
+      if (len > r->remaining()) {
+        return Status::OutOfRange("serialized string value truncated");
+      }
+      std::string s(len, '\0');
+      AQP_RETURN_IF_ERROR(r->GetBytes(s.data(), len));
+      return Value(std::move(s));
+    }
+    case 4: {
+      AQP_ASSIGN_OR_RETURN(uint8_t v, r->GetU8());
+      return Value(v != 0);
+    }
+    default:
+      return Status::InvalidArgument("unknown serialized value tag");
+  }
+}
+
+// --- Whole-table blobs -----------------------------------------------------
+
+void WriteTableBlob(const Table& table, ByteWriter* w, CodecChoice choice) {
+  const Schema& schema = table.schema();
+  w->PutU32(static_cast<uint32_t>(schema.num_fields()));
+  for (size_t f = 0; f < schema.num_fields(); ++f) {
+    const Field& field = schema.field(f);
+    PutVarint(w, field.name.size());
+    w->PutBytes(field.name.data(), field.name.size());
+    w->PutU8(static_cast<uint8_t>(field.type));
+  }
+  w->PutU64(table.num_rows());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    // One chunk run per extent-sized row range, so arbitrarily large tables
+    // stay within the u32 chunk row count.
+    size_t begin = 0;
+    while (begin < table.num_rows() || (table.num_rows() == 0 && begin == 0)) {
+      const size_t end =
+          std::min<size_t>(begin + kDefaultExtentRows, table.num_rows());
+      EncodedChunk chunk = EncodeChunk(table.column(c), begin, end, choice);
+      PutVarint(w, chunk.bytes.size());
+      w->PutBytes(chunk.bytes.data(), chunk.bytes.size());
+      begin = end;
+      if (table.num_rows() == 0) break;
+    }
+  }
+}
+
+Result<Table> ReadTableBlob(ByteReader* r) {
+  AQP_ASSIGN_OR_RETURN(uint32_t num_fields, r->GetU32());
+  std::vector<Field> fields;
+  fields.reserve(num_fields);
+  for (uint32_t f = 0; f < num_fields; ++f) {
+    AQP_ASSIGN_OR_RETURN(uint64_t name_len, GetVarint(r));
+    if (name_len > r->remaining()) {
+      return Status::OutOfRange("field name overruns table blob");
+    }
+    std::string name(name_len, '\0');
+    AQP_RETURN_IF_ERROR(r->GetBytes(name.data(), name_len));
+    AQP_ASSIGN_OR_RETURN(uint8_t type, r->GetU8());
+    if (type > static_cast<uint8_t>(DataType::kBool)) {
+      return Status::InvalidArgument("unknown field type in table blob");
+    }
+    fields.push_back(Field{std::move(name), static_cast<DataType>(type)});
+  }
+  AQP_ASSIGN_OR_RETURN(uint64_t num_rows, r->GetU64());
+  std::vector<Column> columns;
+  columns.reserve(num_fields);
+  for (uint32_t c = 0; c < num_fields; ++c) {
+    Column col(fields[c].type);
+    size_t decoded = 0;
+    while (decoded < num_rows || (num_rows == 0 && decoded == 0)) {
+      const uint32_t rows = static_cast<uint32_t>(
+          std::min<uint64_t>(kDefaultExtentRows, num_rows - decoded));
+      AQP_ASSIGN_OR_RETURN(uint64_t chunk_len, GetVarint(r));
+      if (chunk_len > r->remaining() || chunk_len < kChunkHeaderBytes) {
+        return Status::OutOfRange("chunk overruns table blob");
+      }
+      std::string chunk(chunk_len, '\0');
+      AQP_RETURN_IF_ERROR(r->GetBytes(chunk.data(), chunk_len));
+      AQP_ASSIGN_OR_RETURN(Column part,
+                           DecodeChunk(chunk, fields[c].type, rows));
+      if (decoded == 0 && rows == num_rows) {
+        col = std::move(part);
+      } else {
+        for (size_t i = 0; i < part.size(); ++i) col.AppendFrom(part, i);
+      }
+      decoded += rows;
+      if (num_rows == 0) break;
+    }
+    columns.push_back(std::move(col));
+  }
+  return Table::Make(Schema(std::move(fields)), std::move(columns));
+}
+
+}  // namespace extent
+}  // namespace aqp

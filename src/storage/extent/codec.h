@@ -1,0 +1,102 @@
+#ifndef AQP_STORAGE_EXTENT_CODEC_H_
+#define AQP_STORAGE_EXTENT_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "storage/extent/format.h"
+#include "storage/table.h"
+
+/// Column-chunk encode/decode for the extent format (docs/STORAGE.md §3–§5).
+/// Pure functions over in-memory buffers: no I/O, no locking — the writer's
+/// flush thread and the reader's worker threads call these concurrently on
+/// disjoint data. Encoding is canonical (NULL slots encode as zero/empty), so
+/// encode(decode(chunk)) is byte-identical to chunk — the round-trip property
+/// the storage tests pin down.
+
+namespace aqp {
+namespace extent {
+
+// --- Primitives (docs/STORAGE.md §4.6) -------------------------------------
+
+/// LEB128 unsigned varint (1–10 bytes).
+void PutVarint(ByteWriter* w, uint64_t v);
+Result<uint64_t> GetVarint(ByteReader* r);
+
+/// ZigZag maps signed to unsigned so small-magnitude deltas varint-encode
+/// short: 0,-1,1,-2,... -> 0,1,2,3,...
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+// --- Byte-level RLE (docs/STORAGE.md §4.2) ---------------------------------
+
+/// Encodes `n` bytes as a token stream: varint(len<<1 | is_run); a run token
+/// is followed by 1 byte repeated `len` times, a literal token by `len`
+/// verbatim bytes. Self-framing given the decoded length.
+void RleEncode(const uint8_t* data, size_t n, ByteWriter* w);
+
+/// Decodes exactly `n` bytes from `r`, appending to `out`.
+Status RleDecode(ByteReader* r, size_t n, std::vector<uint8_t>* out);
+
+// --- General LZ byte codec (docs/STORAGE.md §4.5) --------------------------
+
+/// LZ77 with 16-bit offsets and greedy matching; sequence format in §4.5.
+/// Appends the compressed stream to `out`.
+void LzEncode(const uint8_t* data, size_t n, std::string* out);
+
+/// Decompresses `in` into exactly `raw_len` bytes appended to `out`; any
+/// malformed sequence (offset past start, overrun) is an error, never UB.
+Status LzDecode(std::string_view in, size_t raw_len, std::string* out);
+
+// --- Column chunks (docs/STORAGE.md §3) ------------------------------------
+
+/// Serialized chunk (header §3.1 + payload) and the codec that won.
+struct EncodedChunk {
+  std::string bytes;
+  Codec codec = Codec::kPlain;
+  uint64_t raw_bytes = 0;  // Decoded in-memory size estimate of the range.
+};
+
+/// Encodes rows [begin, end) of `col` as one chunk. `choice` forces a codec
+/// where eligible for the column's type; ineligible or kAuto choices fall
+/// back to smallest-wins selection among eligible codecs (§4.6).
+EncodedChunk EncodeChunk(const Column& col, size_t begin, size_t end,
+                         CodecChoice choice = CodecChoice::kAuto);
+
+/// Decodes one chunk back into a Column. Verifies the header's CRC32 over
+/// the payload, the physical type against `type`, and the row count against
+/// `expected_rows`; any mismatch is an error (§7, §10 — corrupt chunks are
+/// reported, never partially decoded).
+Result<Column> DecodeChunk(std::string_view chunk, DataType type,
+                           uint32_t expected_rows);
+
+/// Zone map over rows [begin, end) of `col` (§5). String bounds longer than
+/// kZoneMapMaxStringBytes suppress has_bounds rather than truncate.
+inline constexpr size_t kZoneMapMaxStringBytes = 64;
+ZoneMap ComputeZoneMap(const Column& col, size_t begin, size_t end);
+
+// --- Zone-map value serialization (docs/STORAGE.md §6.3) -------------------
+
+void PutValue(ByteWriter* w, const Value& v);
+Result<Value> GetValue(ByteReader* r);
+
+// --- Whole-table blobs (docs/STORAGE.md §8.2) ------------------------------
+// The synopsis sidecar embeds sample tables with the same chunk encoding the
+// extent files use: schema, row count, then per-column chunk runs.
+
+void WriteTableBlob(const Table& table, ByteWriter* w,
+                    CodecChoice choice = CodecChoice::kAuto);
+Result<Table> ReadTableBlob(ByteReader* r);
+
+}  // namespace extent
+}  // namespace aqp
+
+#endif  // AQP_STORAGE_EXTENT_CODEC_H_

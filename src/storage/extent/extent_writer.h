@@ -1,0 +1,128 @@
+#ifndef AQP_STORAGE_EXTENT_EXTENT_WRITER_H_
+#define AQP_STORAGE_EXTENT_EXTENT_WRITER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/extent/format.h"
+#include "storage/table.h"
+
+namespace aqp {
+namespace extent {
+
+/// Streams a table into an extent file (docs/STORAGE.md §2): the caller
+/// appends rows; whole extents are cut off and handed to a background flush
+/// thread that encodes (codec selection, §4), checksums (§7) and writes them
+/// — the DataSeries Sink pattern, so ingest overlaps compression and I/O.
+/// Finish() drains the queue and writes the footer catalog + trailer.
+///
+/// The queue is bounded by `flush_queue_bytes` of decoded table data;
+/// Append blocks when the flush thread falls behind (backpressure instead of
+/// unbounded buffering). The first flush error is sticky: later Append and
+/// Finish calls return it, and no footer is written — a reader then rejects
+/// the file at Open (§10 torn-write handling).
+///
+/// Not thread-safe for concurrent Append; one producer, one internal flusher.
+struct ExtentWriterOptions {
+  /// Rows per extent (§3). Must be a positive multiple of 1024 so extent
+  /// boundaries align with the engine's block view.
+  uint32_t extent_rows = kDefaultExtentRows;
+  /// Forced codec, or kAuto for smallest-wins per chunk (§4.6).
+  CodecChoice codec = CodecChoice::kAuto;
+  /// Backpressure bound on decoded bytes queued for flush.
+  uint64_t flush_queue_bytes = 64ull << 20;
+  /// When false, Append encodes and writes inline on the caller's thread
+  /// (deterministic single-thread mode for tests and tools).
+  bool background_flush = true;
+
+  /// Options with AQP_EXTENT_ROWS / AQP_EXTENT_CODEC /
+  /// AQP_EXTENT_FLUSH_BUFFER overlaid (docs/OPERATIONS.md, Storage knobs).
+  static ExtentWriterOptions FromEnv();
+};
+
+class ExtentWriter {
+ public:
+  using Options = ExtentWriterOptions;
+
+  /// Creates `path` (truncating any existing file) and writes the §2.1
+  /// header. The schema is fixed for the file's lifetime.
+  static Result<std::unique_ptr<ExtentWriter>> Create(
+      std::string path, Schema schema, Options options = Options());
+
+  /// Aborts (closes without a footer) if Finish was never called.
+  ~ExtentWriter();
+
+  ExtentWriter(const ExtentWriter&) = delete;
+  ExtentWriter& operator=(const ExtentWriter&) = delete;
+
+  /// Buffers `rows` (schema column types must match) and flushes every
+  /// completed extent. Blocks on queue backpressure.
+  Status Append(const Table& rows);
+
+  /// Flushes the ragged tail extent, drains the background queue, writes
+  /// footer + trailer (§6, §2.3) and fsyncs. Idempotent; the writer is
+  /// unusable for Append afterwards.
+  Status Finish();
+
+  uint64_t rows_appended() const { return rows_appended_; }
+  /// Total file bytes written so far (header + extents; + footer after
+  /// Finish).
+  uint64_t bytes_written() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  ExtentWriter(std::string path, Schema schema, Options options, int fd);
+
+  void FlushLoop();
+  /// Encodes and writes one extent table; updates extents_/offset. Called on
+  /// the flush thread (or inline when background_flush is off).
+  Status FlushExtent(const Table& rows);
+  /// Hands one extent table to the flusher (or flushes inline).
+  Status EmitExtent(Table rows);
+  Status WriteFully(const void* data, size_t len);
+  std::string SerializeFooter() const;
+
+  const std::string path_;
+  const Schema schema_;
+  const Options options_;
+  int fd_ = -1;
+
+  Table pending_;  // Buffered rows not yet forming a whole extent.
+  uint64_t rows_appended_ = 0;
+  bool finished_ = false;
+
+  // Flush-thread state. `extents_`/`file_offset_`/`status_` are owned by the
+  // flusher while it runs; the producer only touches them under mu_ after
+  // the drain in Finish (or inline when background_flush is off).
+  std::thread flusher_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_producer_;  // Queue has room / drained.
+  std::condition_variable cv_flusher_;   // Queue has work / stop.
+  std::deque<Table> queue_;
+  uint64_t queued_bytes_ = 0;
+  bool stop_ = false;
+  Status status_;  // First flush error, sticky.
+
+  std::vector<ExtentMeta> extents_;
+  uint64_t file_offset_ = kFileHeaderBytes;
+  uint64_t num_rows_flushed_ = 0;
+};
+
+/// Convenience one-shot: writes `table` to `path` atomically (via a
+/// temporary file renamed into place on success — §10) and returns the final
+/// file size in bytes.
+Result<uint64_t> WriteTableToExtents(
+    const std::string& path, const Table& table,
+    ExtentWriter::Options options = ExtentWriter::Options());
+
+}  // namespace extent
+}  // namespace aqp
+
+#endif  // AQP_STORAGE_EXTENT_EXTENT_WRITER_H_

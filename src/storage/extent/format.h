@@ -1,0 +1,104 @@
+#ifndef AQP_STORAGE_EXTENT_FORMAT_H_
+#define AQP_STORAGE_EXTENT_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+/// On-disk constants and structs for the extent columnar format. The
+/// authoritative specification is docs/STORAGE.md; every struct below cites
+/// the section it implements. Nothing in this header is written to disk via
+/// memcpy-of-struct — all fields go through ByteWriter/ByteReader so the
+/// layout is exactly what the spec says regardless of compiler padding.
+
+namespace aqp {
+namespace extent {
+
+/// docs/STORAGE.md §2 — file magics and the current format version.
+/// "AQPX" little-endian at offset 0; "AQPF" closes the trailer.
+inline constexpr uint32_t kFileMagic = 0x58505141u;     // "AQPX"
+inline constexpr uint32_t kTrailerMagic = 0x46505141u;  // "AQPF"
+/// docs/STORAGE.md §8 — synopsis sidecar magic ("AQPS").
+inline constexpr uint32_t kSynopsisMagic = 0x53505141u;  // "AQPS"
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// docs/STORAGE.md §2.1 — fixed-size file header (16 bytes).
+inline constexpr size_t kFileHeaderBytes = 16;
+/// docs/STORAGE.md §2.3 — fixed-size trailer (24 bytes) at end of file.
+inline constexpr size_t kTrailerBytes = 24;
+
+/// docs/STORAGE.md §3.1 — chunk header (20 bytes) preceding every column
+/// chunk payload.
+inline constexpr size_t kChunkHeaderBytes = 20;
+
+/// Default rows per extent. 65536 = 64 blocks of the engine's 1024-row
+/// block view, and a multiple of the default 4096-row morsel, so extent
+/// boundaries never split a morsel (docs/STORAGE.md §3).
+inline constexpr uint32_t kDefaultExtentRows = 65536;
+
+/// docs/STORAGE.md §4 — codec ids. Stored as u8 in every chunk header and in
+/// the footer's chunk index; unknown ids must be rejected at read time.
+enum class Codec : uint8_t {
+  kPlain = 0,  // §4.1 raw fixed-width / length-prefixed values
+  kRle = 1,    // §4.2 byte-level run-length encoding
+  kDelta = 2,  // §4.3 zigzag varint deltas (INT64 only)
+  kDict = 3,   // §4.4 order-preserving dictionary (STRING only)
+  kBytes = 4,  // §4.5 general LZ byte codec over the §4.1 image
+};
+
+/// Writer-side codec choice: a concrete codec forces it for every eligible
+/// chunk; kAuto encodes candidates and keeps the smallest (ties prefer the
+/// lower codec id, so output is deterministic — docs/STORAGE.md §4.6).
+enum class CodecChoice : uint8_t {
+  kAuto = 255,
+  kPlain = 0,
+  kRle = 1,
+  kDelta = 2,
+  kDict = 3,
+  kBytes = 4,
+};
+
+std::string_view CodecName(Codec c);
+
+/// Parses a codec-choice knob value ("auto", "plain", "rle", "delta",
+/// "dict", "lz"); returns kAuto for anything unrecognized.
+CodecChoice ParseCodecChoice(std::string_view name);
+
+/// docs/STORAGE.md §5 — per-(extent, column) zone map: null count plus
+/// min/max bounds over non-null values. `has_bounds` is false when the
+/// extent's column is all-NULL or when a STRING value exceeded the §5 bound
+/// length cap (bounds are stored exactly or not at all; no truncated-prefix
+/// bounds in format v1, which keeps pruning trivially sound).
+struct ZoneMap {
+  uint64_t null_count = 0;
+  bool has_bounds = false;
+  Value min;  // Non-null iff has_bounds.
+  Value max;  // Non-null iff has_bounds.
+};
+
+/// docs/STORAGE.md §6.2 — one column chunk's entry in the footer's extent
+/// index: where the chunk lives inside the extent, how it is coded, and its
+/// zone map.
+struct ChunkMeta {
+  uint64_t offset = 0;  // Relative to the extent's file offset.
+  uint64_t bytes = 0;   // Chunk header + payload.
+  Codec codec = Codec::kPlain;
+  ZoneMap zone;
+};
+
+/// docs/STORAGE.md §6.2 — one extent's entry in the footer index.
+struct ExtentMeta {
+  uint64_t file_offset = 0;   // Absolute offset of the extent's first chunk.
+  uint64_t byte_size = 0;     // Sum of chunk bytes.
+  uint64_t row_start = 0;     // First row covered (global row id).
+  uint32_t row_count = 0;
+  uint64_t raw_bytes = 0;     // Decoded (in-memory) size estimate.
+  std::vector<ChunkMeta> chunks;  // One per schema column, schema order.
+};
+
+}  // namespace extent
+}  // namespace aqp
+
+#endif  // AQP_STORAGE_EXTENT_FORMAT_H_

@@ -4,10 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include "common/hash.h"
 #include "common/random.h"
 #include "sketch/bloom_filter.h"
 #include "sketch/count_min.h"
+#include "sketch/distinct_sampler.h"
+#include "sketch/drift.h"
 #include "sketch/hyperloglog.h"
+#include "sketch/kll.h"
+#include "sketch/misra_gries.h"
 
 namespace aqp {
 namespace sketch {
@@ -104,6 +109,162 @@ TEST(SerializeTest, CrossTypeMagicMismatch) {
   EXPECT_FALSE(CountMinSketch::Deserialize(hll.Serialize()).ok());
   EXPECT_FALSE(HyperLogLog::Deserialize(bloom.Serialize()).ok());
   EXPECT_FALSE(BloomFilter::Deserialize(cms.Serialize()).ok());
+}
+
+TEST(SerializeTest, KllRoundTrip) {
+  KllSketch kll(128, /*seed=*/9);
+  Pcg32 rng(4);
+  for (int i = 0; i < 50000; ++i) kll.Add(rng.NextDouble() * 1000.0);
+  std::string bytes = kll.Serialize();
+  KllSketch back = KllSketch::Deserialize(bytes).value();
+  EXPECT_EQ(back.count(), kll.count());
+  EXPECT_DOUBLE_EQ(back.min(), kll.min());
+  EXPECT_DOUBLE_EQ(back.max(), kll.max());
+  EXPECT_EQ(back.StoredItems(), kll.StoredItems());
+  for (double q : {0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(back.Quantile(q).value(), kll.Quantile(q).value())
+        << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(back.Cdf(500.0), kll.Cdf(500.0));
+  // Re-serialization of the restored sketch is byte-identical (the RNG
+  // position is not part of the serialized state).
+  EXPECT_EQ(back.Serialize(), bytes);
+}
+
+TEST(SerializeTest, KllRejectsCorruption) {
+  KllSketch kll(64);
+  for (int i = 0; i < 1000; ++i) kll.Add(i);
+  std::string bytes = kll.Serialize();
+  EXPECT_FALSE(KllSketch::Deserialize("junk").ok());
+  EXPECT_FALSE(KllSketch::Deserialize("").ok());
+  EXPECT_FALSE(KllSketch::Deserialize(bytes.substr(0, bytes.size() - 3)).ok());
+  EXPECT_FALSE(KllSketch::Deserialize(bytes + "z").ok());
+  std::string bad_magic = bytes;
+  bad_magic[0] ^= 0x5a;
+  EXPECT_FALSE(KllSketch::Deserialize(bad_magic).ok());
+  // A level claiming more items than the buffer holds.
+  std::string huge_level = bytes;
+  uint64_t huge = 1ULL << 40;
+  std::memcpy(&huge_level[36], &huge, sizeof(huge));  // First level length.
+  EXPECT_FALSE(KllSketch::Deserialize(huge_level).ok());
+}
+
+TEST(SerializeTest, KmvRoundTrip) {
+  KmvSketch kmv(256);
+  for (uint64_t k = 0; k < 20000; ++k) kmv.Add(k * 31);
+  std::string bytes = kmv.Serialize();
+  KmvSketch back = KmvSketch::Deserialize(bytes).value();
+  EXPECT_EQ(back.k(), kmv.k());
+  EXPECT_DOUBLE_EQ(back.Estimate(), kmv.Estimate());
+  EXPECT_EQ(back.MinHashes(), kmv.MinHashes());
+  EXPECT_DOUBLE_EQ(KmvSketch::EstimateJaccard(back, kmv), 1.0);
+  // Updates continue identically after restore.
+  back.Add(777777);
+  kmv.Add(777777);
+  EXPECT_EQ(back.MinHashes(), kmv.MinHashes());
+}
+
+TEST(SerializeTest, KmvRejectsCorruption) {
+  KmvSketch kmv(16);
+  for (uint64_t k = 0; k < 100; ++k) kmv.Add(k);
+  std::string bytes = kmv.Serialize();
+  EXPECT_FALSE(KmvSketch::Deserialize("x").ok());
+  EXPECT_FALSE(KmvSketch::Deserialize(bytes.substr(0, 12)).ok());
+  EXPECT_FALSE(KmvSketch::Deserialize(bytes + "pad").ok());
+  // Minima count exceeding k.
+  std::string too_many = bytes;
+  uint64_t n = 99;
+  std::memcpy(&too_many[8], &n, sizeof(n));
+  EXPECT_FALSE(KmvSketch::Deserialize(too_many).ok());
+}
+
+TEST(SerializeTest, MisraGriesRoundTrip) {
+  MisraGries mg(8);
+  Pcg32 rng(11);
+  // Skewed stream: a few heavy keys over uniform noise.
+  for (int i = 0; i < 30000; ++i) {
+    mg.Add(i % 5 == 0 ? (i % 3) : rng.NextUint64());
+  }
+  std::string bytes = mg.Serialize();
+  MisraGries back = MisraGries::Deserialize(bytes).value();
+  EXPECT_EQ(back.total_count(), mg.total_count());
+  EXPECT_EQ(back.capacity(), mg.capacity());
+  EXPECT_EQ(back.MaxUndercount(), mg.MaxUndercount());
+  EXPECT_EQ(back.HeavyHitters(1), mg.HeavyHitters(1));
+  // Serialization is canonical (sorted counters): re-serialize matches.
+  EXPECT_EQ(back.Serialize(), bytes);
+}
+
+TEST(SerializeTest, MisraGriesRejectsCorruption) {
+  MisraGries mg(4);
+  mg.Add(1, 10);
+  mg.Add(2, 5);
+  std::string bytes = mg.Serialize();
+  EXPECT_FALSE(MisraGries::Deserialize("nope").ok());
+  EXPECT_FALSE(MisraGries::Deserialize(bytes.substr(0, 20)).ok());
+  EXPECT_FALSE(MisraGries::Deserialize(bytes + "!").ok());
+  // A zero-count counter is never serialized; reject it on read.
+  std::string zero_count = bytes;
+  uint64_t zero = 0;
+  std::memcpy(&zero_count[zero_count.size() - 8], &zero, sizeof(zero));
+  EXPECT_FALSE(MisraGries::Deserialize(zero_count).ok());
+}
+
+ColumnDriftSketch BuildDrift(int rows) {
+  DriftSketchOptions opts;
+  opts.kll_k = 64;
+  opts.kmv_k = 64;
+  opts.heavy_hitters = 16;
+  opts.seed = 3;
+  ColumnDriftSketch s(opts);
+  for (int i = 0; i < rows; ++i) {
+    if (i % 13 == 4) {
+      s.AddNull();
+    } else {
+      double v = (i % 997) * 0.25;
+      s.AddNumeric(v, Mix64(static_cast<uint64_t>(i % 997)));
+    }
+  }
+  return s;
+}
+
+TEST(SerializeTest, DriftSketchRoundTrip) {
+  ColumnDriftSketch drift = BuildDrift(20000);
+  std::string bytes = drift.Serialize();
+  ColumnDriftSketch back = ColumnDriftSketch::Deserialize(bytes).value();
+  EXPECT_EQ(back.count(), drift.count());
+  EXPECT_EQ(back.null_count(), drift.null_count());
+  EXPECT_EQ(back.has_numeric(), drift.has_numeric());
+  EXPECT_DOUBLE_EQ(back.mean(), drift.mean());
+  EXPECT_DOUBLE_EQ(back.variance(), drift.variance());
+  EXPECT_EQ(back.options().kll_k, drift.options().kll_k);
+  EXPECT_EQ(back.Serialize(), bytes);
+  // The restored baseline scores zero drift against its original...
+  ColumnDriftScore same = ScoreColumnDrift(back, drift);
+  EXPECT_DOUBLE_EQ(same.score, 0.0);
+  // ...and detects real drift exactly as the original would.
+  ColumnDriftSketch shifted = BuildDrift(20000);
+  for (int i = 0; i < 20000; ++i) {
+    shifted.AddNumeric(5000.0 + i, Mix64(static_cast<uint64_t>(1000000 + i)));
+  }
+  ColumnDriftScore via_back = ScoreColumnDrift(back, shifted);
+  ColumnDriftScore via_orig = ScoreColumnDrift(drift, shifted);
+  EXPECT_DOUBLE_EQ(via_back.score, via_orig.score);
+  EXPECT_GT(via_back.score, 0.1);
+}
+
+TEST(SerializeTest, DriftSketchRejectsCorruption) {
+  ColumnDriftSketch drift = BuildDrift(500);
+  std::string bytes = drift.Serialize();
+  EXPECT_FALSE(ColumnDriftSketch::Deserialize("bad").ok());
+  EXPECT_FALSE(
+      ColumnDriftSketch::Deserialize(bytes.substr(0, bytes.size() / 2)).ok());
+  EXPECT_FALSE(ColumnDriftSketch::Deserialize(bytes + "x").ok());
+  // Corrupt the nested KLL blob's magic (first nested blob after the
+  // 64-byte fixed header and its 8-byte length prefix).
+  std::string bad_nested = bytes;
+  bad_nested[72] ^= 0x40;
+  EXPECT_FALSE(ColumnDriftSketch::Deserialize(bad_nested).ok());
 }
 
 }  // namespace

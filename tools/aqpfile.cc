@@ -1,0 +1,155 @@
+// aqpfile — offline inspector for the on-disk artifacts this repo writes
+// (format spec: docs/STORAGE.md).
+//
+//   aqpfile info <file.aqpx>      header / footer / per-extent summary
+//   aqpfile validate <file.aqpx>  full decode of every chunk (CRC + structure)
+//   aqpfile synopses <sidecar>    list entries of a synopsis sidecar (§8)
+//
+// Exit status: 0 on success, 1 on any validation or I/O failure, 2 on usage
+// errors — so CI smoke jobs can assert on it directly.
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "service/synopsis_store.h"
+#include "storage/extent/extent_reader.h"
+#include "storage/extent/format.h"
+
+namespace aqp {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: aqpfile <info|validate|synopses> <file>\n"
+               "  info      print header, footer catalog and zone-map summary\n"
+               "  validate  decode every chunk, verifying all CRCs\n"
+               "  synopses  list the entries of a synopsis sidecar\n");
+  return 2;
+}
+
+std::string BoundsRepr(const extent::ZoneMap& z) {
+  if (!z.has_bounds) return "(no bounds)";
+  return "[" + z.min.ToString() + " .. " + z.max.ToString() + "]";
+}
+
+int RunInfo(const std::string& path) {
+  auto reader_or = extent::ExtentReader::Open(path);
+  if (!reader_or.ok()) {
+    std::fprintf(stderr, "aqpfile: %s: %s\n", path.c_str(),
+                 reader_or.status().ToString().c_str());
+    return 1;
+  }
+  auto reader = std::move(reader_or).value();
+  const Schema& schema = reader->schema();
+
+  std::printf("file:        %s\n", path.c_str());
+  std::printf("format:      AQPX v%u (docs/STORAGE.md)\n",
+              extent::kFormatVersion);
+  std::printf("file bytes:  %" PRIu64 "\n", reader->file_bytes());
+  std::printf("rows:        %" PRIu64 "\n", reader->num_rows());
+  std::printf("extents:     %zu (target %u rows each)\n",
+              reader->num_extents(), reader->extent_target_rows());
+  std::printf("columns:     %zu\n", schema.num_fields());
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    std::printf("  [%zu] %s : %s\n", c, schema.field(c).name.c_str(),
+                DataTypeName(schema.field(c).type).data());
+  }
+
+  // Codec usage across all chunks, and compressed-vs-raw totals.
+  std::map<extent::Codec, uint64_t> codec_chunks;
+  uint64_t stored = 0, raw = 0;
+  for (const auto& ext : reader->extents()) {
+    stored += ext.byte_size;
+    raw += ext.raw_bytes;
+    for (const auto& ch : ext.chunks) ++codec_chunks[ch.codec];
+  }
+  std::printf("stored:      %" PRIu64 " bytes (raw estimate %" PRIu64
+              ", ratio %.2fx)\n",
+              stored, raw,
+              stored > 0 ? static_cast<double>(raw) / stored : 0.0);
+  std::printf("codecs:     ");
+  for (const auto& [codec, n] : codec_chunks) {
+    std::printf(" %s=%" PRIu64, extent::CodecName(codec).data(), n);
+  }
+  std::printf("\n\n");
+
+  for (size_t i = 0; i < reader->num_extents(); ++i) {
+    const extent::ExtentMeta& ext = reader->extent(i);
+    std::printf("extent %zu: rows [%" PRIu64 ", %" PRIu64 ") offset %" PRIu64
+                " bytes %" PRIu64 "\n",
+                i, ext.row_start, ext.row_start + ext.row_count,
+                ext.file_offset, ext.byte_size);
+    for (size_t c = 0; c < ext.chunks.size(); ++c) {
+      const extent::ChunkMeta& ch = ext.chunks[c];
+      std::printf("  %-16s %-6s %8" PRIu64 " B  nulls=%" PRIu64 "  %s\n",
+                  schema.field(c).name.c_str(),
+                  extent::CodecName(ch.codec).data(), ch.bytes,
+                  ch.zone.null_count, BoundsRepr(ch.zone).c_str());
+    }
+  }
+  return 0;
+}
+
+int RunValidate(const std::string& path) {
+  auto reader_or = extent::ExtentReader::Open(path);
+  if (!reader_or.ok()) {
+    std::fprintf(stderr, "aqpfile: %s: OPEN FAILED: %s\n", path.c_str(),
+                 reader_or.status().ToString().c_str());
+    return 1;
+  }
+  auto reader = std::move(reader_or).value();
+  Status s = reader->ValidateAll();
+  if (!s.ok()) {
+    std::fprintf(stderr, "aqpfile: %s: INVALID: %s\n", path.c_str(),
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: OK (%zu extents, %" PRIu64 " rows, all CRCs verified)\n",
+              path.c_str(), reader->num_extents(), reader->num_rows());
+  return 0;
+}
+
+int RunSynopses(const std::string& path) {
+  service::SynopsisLoadStats stats;
+  auto entries_or = service::LoadSynopses(path, &stats);
+  if (!entries_or.ok()) {
+    std::fprintf(stderr, "aqpfile: %s: %s\n", path.c_str(),
+                 entries_or.status().ToString().c_str());
+    return 1;
+  }
+  auto entries = std::move(entries_or).value();
+  std::printf("%s: %zu entries in file, %zu loaded, %zu skipped corrupt\n",
+              path.c_str(), stats.entries_in_file, stats.loaded,
+              stats.skipped_corrupt);
+  for (const auto& e : entries) {
+    uint64_t sample_rows = e.sample ? e.sample->sample.table.num_rows() : 0;
+    std::printf(
+        "  table=%-12s version=%" PRIu64 " strata=%-10s budget=%" PRIu64
+        " seed=%" PRIu64 " sample_rows=%" PRIu64 " baseline=%s drift=%.3f\n",
+        e.table.c_str(), e.catalog_version,
+        e.spec.strata_column.empty() ? "(uniform)"
+                                     : e.spec.strata_column.c_str(),
+        e.spec.budget, e.spec.seed, sample_rows, e.baseline ? "yes" : "no",
+        e.drift_score);
+  }
+  // Skipped-corrupt entries are survivable for the service (it rebuilds),
+  // but the inspector's job is to report the file's true health.
+  return stats.skipped_corrupt > 0 ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace aqp
+
+int main(int argc, char** argv) {
+  if (argc != 3) return aqp::Usage();
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+  if (cmd == "info") return aqp::RunInfo(path);
+  if (cmd == "validate") return aqp::RunValidate(path);
+  if (cmd == "synopses") return aqp::RunSynopses(path);
+  return aqp::Usage();
+}
